@@ -1,0 +1,302 @@
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/paperdata"
+	"repro/internal/pref"
+	"repro/internal/psql"
+	"repro/internal/rank"
+	"repro/internal/skyline"
+	"repro/internal/workload"
+)
+
+// One benchmark per reproduced experiment (DESIGN.md per-experiment index),
+// plus the ablation benches the design calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The E-benches measure the cost of regenerating the paper's worked
+// examples; the F-benches measure the quantitative studies' hot paths.
+
+func BenchmarkE01Explicit(b *testing.B) {
+	p := paperdata.Example1Explicit()
+	tuples := paperdata.ColorTuples()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := pref.NewGraph(p, tuples)
+		if g.MaxLevel() != 4 {
+			b.Fatal("wrong level structure")
+		}
+	}
+}
+
+func BenchmarkE02Pareto(b *testing.B) {
+	p := paperdata.Example2Pareto()
+	r := paperdata.Example2R()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(engine.BMOIndices(p, r, engine.Naive)) != 3 {
+			b.Fatal("wrong Pareto-optimal set")
+		}
+	}
+}
+
+func BenchmarkE03SharedPareto(b *testing.B) {
+	p5, p6 := paperdata.Example3Prefs()
+	p7 := pref.Pareto(p5, p6)
+	tuples := paperdata.Example3STuples()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pref.NewGraph(p7, tuples)
+	}
+}
+
+func BenchmarkE04Prioritized(b *testing.B) {
+	p1, p2, p3 := paperdata.Example2Prefs()
+	p9 := pref.Prioritized(pref.Pareto(p1, p2), p3)
+	r := paperdata.Example2R()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		engine.BMOIndices(p9, r, engine.BNL)
+	}
+}
+
+func BenchmarkE05RankF(b *testing.B) {
+	p := paperdata.Example5Rank()
+	r := paperdata.Example5R()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < r.Len(); j++ {
+			p.ScoreOf(r.Tuple(j))
+		}
+	}
+}
+
+func BenchmarkE06Engineering(b *testing.B) {
+	cars := workload.Cars(2000, 42)
+	p1 := pref.MustPOSPOS("category", []pref.Value{"cabriolet"}, []pref.Value{"roadster"})
+	p2 := pref.POS("transmission", "automatic")
+	p3 := pref.AROUND("horsepower", 100)
+	p4 := pref.LOWEST("price")
+	p5 := pref.NEG("color", "gray")
+	q1 := pref.Prioritized(p5, pref.Prioritized(pref.ParetoAll(p1, p2, p3), p4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.BMO(q1, cars, engine.BNL)
+	}
+}
+
+func BenchmarkE07NonDiscrimination(b *testing.B) {
+	p1, p2 := paperdata.Example7Prefs()
+	rhs := pref.MustIntersection(pref.Prioritized(p1, p2), pref.Prioritized(p2, p1))
+	r := paperdata.Example7CarDB()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		engine.BMOIndices(rhs, r, engine.Naive)
+	}
+}
+
+func BenchmarkE10Grouping(b *testing.B) {
+	r := paperdata.Example10Cars()
+	p2 := pref.AROUND("Price", 40000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		engine.GroupBy(p2, []string{"Make"}, r, engine.Naive)
+	}
+}
+
+func BenchmarkE11Decomposition(b *testing.B) {
+	p1, p2 := paperdata.Example11Prefs()
+	pareto := pref.Pareto(p1, p2)
+	r := paperdata.Example11R()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		engine.BMOIndices(pareto, r, engine.Decomposition)
+	}
+}
+
+// BenchmarkF1FilterEffect measures result-size computation across the
+// accumulation constructors (Prop 13).
+func BenchmarkF1FilterEffect(b *testing.B) {
+	rel := workload.Numeric(2000, 2, workload.Independent, 7)
+	p := pref.Pareto(pref.LOWEST("d1"), pref.LOWEST("d2"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.ResultSize(p, rel, engine.BNL)
+	}
+}
+
+// BenchmarkF2ResultSizes measures one e-shop Pareto query of the [KFH01]
+// replay through the full Preference SQL path.
+func BenchmarkF2ResultSizes(b *testing.B) {
+	cars := workload.Cars(5000, 99)
+	cat := psql.Catalog{"car": cars}
+	query := "SELECT oid FROM car PREFERRING LOWEST(price) AND LOWEST(mileage)"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := psql.Run(query, cat, psql.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkF3Algorithms is the crossover study: every algorithm on the
+// same anti-correlated 3-d workload across sizes.
+func BenchmarkF3Algorithms(b *testing.B) {
+	p := pref.ParetoAll(pref.LOWEST("d1"), pref.LOWEST("d2"), pref.LOWEST("d3"))
+	for _, n := range []int{1000, 4000} {
+		rel := workload.Numeric(n, 3, workload.AntiCorrelated, 23)
+		for _, alg := range []engine.Algorithm{engine.Naive, engine.BNL, engine.SFS, engine.DNC, engine.Decomposition} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, alg), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					engine.BMOIndices(p, rel, alg)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkF4TopK compares the heap scan against the threshold algorithm
+// for the ranked query model.
+func BenchmarkF4TopK(b *testing.B) {
+	rel := workload.Numeric(20000, 2, workload.Independent, 5)
+	p := pref.Rank("w-sum", pref.WeightedSum(1, 2), pref.HIGHEST("d1"), pref.HIGHEST("d2"))
+	b.Run("heap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rank.TopK(p, rel, 10)
+		}
+	})
+	b.Run("threshold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rank.ThresholdTopK(p, rel, 10)
+		}
+	})
+}
+
+// BenchmarkAblationDecompositionVsDirect quantifies the cost of evaluating
+// Pareto queries through the Prop-12 decomposition versus direct BNL — the
+// divide & conquer trade-off §5.1 raises for a preference query optimizer.
+func BenchmarkAblationDecompositionVsDirect(b *testing.B) {
+	rel := workload.Numeric(2000, 2, workload.Independent, 13)
+	p := pref.Pareto(pref.AROUND("d1", 0.5), pref.LOWEST("d2"))
+	b.Run("direct-bnl", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			engine.BMOIndices(p, rel, engine.BNL)
+		}
+	})
+	b.Run("prop12-decomposition", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			engine.BMOIndices(p, rel, engine.Decomposition)
+		}
+	})
+}
+
+// BenchmarkAblationChainShortcut measures Prop 11's cascade shortcut for
+// prioritized queries with a chain head against generic grouping.
+func BenchmarkAblationChainShortcut(b *testing.B) {
+	rel := workload.Numeric(4000, 2, workload.Independent, 19)
+	chainFirst := pref.Prioritized(pref.LOWEST("d1"), pref.AROUND("d2", 0.5))
+	b.Run("prop11-cascade", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			engine.BMOIndices(chainFirst, rel, engine.Decomposition)
+		}
+	})
+	b.Run("direct-bnl", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			engine.BMOIndices(chainFirst, rel, engine.BNL)
+		}
+	})
+}
+
+// BenchmarkAblationBinaryVsNaryPareto compares nested binary ⊗ (Example 2
+// style) against the coordinate-wise n-ary product on identical data.
+func BenchmarkAblationBinaryVsNaryPareto(b *testing.B) {
+	rel := workload.Numeric(2000, 3, workload.AntiCorrelated, 29)
+	binary := pref.ParetoAll(pref.LOWEST("d1"), pref.LOWEST("d2"), pref.LOWEST("d3"))
+	nary := pref.ParetoProduct(pref.LOWEST("d1"), pref.LOWEST("d2"), pref.LOWEST("d3"))
+	b.Run("nested-binary", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			engine.BMOIndices(binary, rel, engine.BNL)
+		}
+	})
+	b.Run("nary-product", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			engine.BMOIndices(nary, rel, engine.BNL)
+		}
+	})
+}
+
+// BenchmarkProgressiveFirstResult measures time to the FIRST skyline
+// member via the progressive evaluator against full batch computation
+// ([TEO01]'s motivation).
+func BenchmarkProgressiveFirstResult(b *testing.B) {
+	rel := workload.Numeric(20000, 2, workload.AntiCorrelated, 31)
+	clause, err := skyline.Parse("d1 MIN, d2 MIN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("progressive-first", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := skyline.FirstK(clause, rel, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch-full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := skyline.Compute(clause, rel, engine.BNL); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPreferenceSQLParse isolates the language front end.
+func BenchmarkPreferenceSQLParse(b *testing.B) {
+	query := `SELECT * FROM car WHERE make = 'Opel'
+		PREFERRING (category = 'roadster' ELSE category <> 'passenger' AND
+		price AROUND 40000 AND HIGHEST(power))
+		CASCADE color = 'red' CASCADE LOWEST(mileage)`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := psql.Parse(query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExperimentExamples runs the full worked-example suite once per
+// iteration, the end-to-end reproduction cost.
+func BenchmarkExperimentExamples(b *testing.B) {
+	ids := []string{"E1", "E2", "E3", "E4", "E5", "E7", "E8", "E9", "E10", "E11"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, id := range ids {
+			e, ok := experiments.ByID(id)
+			if !ok {
+				b.Fatal("missing experiment", id)
+			}
+			if rep := e.Run(); !rep.Pass {
+				b.Fatalf("%s failed: %v", id, rep.Err)
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Command prefrepo manages a persistent preference repository (§7
+// roadmap): named preference terms in pterm syntax with owner metadata,
+// stored as JSON.
+//
+// Usage:
+//
+//	prefrepo -file prefs.json list
+//	prefrepo -file prefs.json put -name buyer -owner alice \
+//	         -term "LOWEST(price) >< NEG(color, {'gray'})"
+//	prefrepo -file prefs.json show -name buyer
+//	prefrepo -file prefs.json compose -mode pareto buyer seller
+//	prefrepo -file prefs.json delete -name buyer
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/prefrepo"
+	"repro/internal/pterm"
+)
+
+func main() {
+	file := flag.String("file", "preferences.json", "repository file")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	repo, err := prefrepo.LoadFile(*file)
+	if err != nil {
+		fatal(err)
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "list":
+		for _, e := range repo.List() {
+			fmt.Printf("%-16s %-10s %s\n", e.Name, e.Owner, e.Term)
+			if e.Description != "" {
+				fmt.Printf("%-16s %-10s ↳ %s\n", "", "", e.Description)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "(%d entries)\n", repo.Len())
+	case "put":
+		fs := flag.NewFlagSet("put", flag.ExitOnError)
+		name := fs.String("name", "", "entry name")
+		owner := fs.String("owner", "", "owning party")
+		desc := fs.String("desc", "", "description")
+		term := fs.String("term", "", "preference term in pterm syntax")
+		parse(fs, rest)
+		if *name == "" || *term == "" {
+			fatal(fmt.Errorf("prefrepo put: -name and -term are required"))
+		}
+		if err := repo.PutTerm(*name, *desc, *owner, *term); err != nil {
+			fatal(err)
+		}
+		save(repo, *file)
+	case "show":
+		fs := flag.NewFlagSet("show", flag.ExitOnError)
+		name := fs.String("name", "", "entry name")
+		parse(fs, rest)
+		p, err := repo.Get(*name)
+		if err != nil {
+			fatal(err)
+		}
+		e, _ := repo.Entry(*name)
+		fmt.Printf("name:  %s\nowner: %s\nterm:  %s\nattrs: %v\n", e.Name, e.Owner, e.Term, p.Attrs())
+		if e.Description != "" {
+			fmt.Printf("desc:  %s\n", e.Description)
+		}
+	case "delete":
+		fs := flag.NewFlagSet("delete", flag.ExitOnError)
+		name := fs.String("name", "", "entry name")
+		parse(fs, rest)
+		if *name == "" {
+			fatal(fmt.Errorf("prefrepo delete: -name is required"))
+		}
+		repo.Delete(*name)
+		save(repo, *file)
+	case "compose":
+		fs := flag.NewFlagSet("compose", flag.ExitOnError)
+		mode := fs.String("mode", "pareto", "pareto or prioritized")
+		parse(fs, rest)
+		names := fs.Args()
+		p, err := repo.Compose(*mode, names...)
+		if err != nil {
+			fatal(err)
+		}
+		text, err := pterm.Marshal(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(text)
+	default:
+		usage()
+	}
+}
+
+func parse(fs *flag.FlagSet, args []string) {
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+}
+
+func save(repo *prefrepo.Repo, file string) {
+	if err := repo.SaveFile(file); err != nil {
+		fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: prefrepo [-file prefs.json] list|put|show|delete|compose …")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+// Command prefxpath evaluates Preference XPath expressions against an XML
+// document.
+//
+// Usage:
+//
+//	prefxpath -f catalog.xml -q "/CARS/CAR #[(@price)lowest and (@horsepower)highest]#"
+//	cat doc.xml | prefxpath -q "//CAR[@make = 'Opel'] #[(@price)around 40000]#"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/pxpath"
+)
+
+func main() {
+	var (
+		file  = flag.String("f", "", "XML document (default stdin)")
+		query = flag.String("q", "", "Preference XPath expression")
+	)
+	flag.Parse()
+	if *query == "" {
+		fmt.Fprintln(os.Stderr, "prefxpath: -q query is required")
+		os.Exit(2)
+	}
+	in := os.Stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	root, err := pxpath.ParseXML(in)
+	if err != nil {
+		fatal(err)
+	}
+	nodes, err := pxpath.Query(root, *query)
+	if err != nil {
+		fatal(err)
+	}
+	for _, n := range nodes {
+		fmt.Println(n)
+	}
+	fmt.Fprintf(os.Stderr, "(%d nodes)\n", len(nodes))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of Werner Kießling,
+// "Foundations of Preferences in Database Systems" (VLDB 2002): the
+// preference model as strict partial orders, the preference algebra, the
+// BMO query model with its decomposition theorems, Preference SQL and
+// Preference XPath, plus the evaluation substrates needed to regenerate
+// every worked example and quantitative claim of the paper.
+//
+// Start with internal/core (the façade API), README.md (tour), DESIGN.md
+// (system inventory) and EXPERIMENTS.md (paper-vs-measured results).
+// bench_test.go in this directory holds one benchmark per reproduced
+// experiment.
+package repro

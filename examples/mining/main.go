@@ -1,0 +1,74 @@
+// Mining closes the §7 roadmap loop: observe a user's choices, mine a
+// preference term from the log, store it in the persistent repository,
+// and answer the next session's query with it under BMO semantics.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mining"
+	"repro/internal/pref"
+	"repro/internal/prefrepo"
+	"repro/internal/pterm"
+	"repro/internal/workload"
+)
+
+func main() {
+	cars := workload.Cars(3000, 23)
+
+	// 1. A browsing session: the user clicks cheap red cars, skips the rest.
+	log := &mining.Log{}
+	for i := 0; i < cars.Len(); i++ {
+		t := cars.Tuple(i)
+		color, _ := t.Get("color")
+		price, _ := t.Get("price")
+		p, _ := pref.Numeric(price)
+		log.Observe(t, color == "red" && p < 15000)
+	}
+	fmt.Printf("choice log: %d accepted, %d rejected\n", len(log.Accepted), len(log.Rejected))
+
+	// 2. Mine a preference term from the observed behaviour.
+	mined, err := mining.Fit(log, []string{"color", "price"}, 0.5)
+	must(err)
+	term, err := pterm.Marshal(mined)
+	must(err)
+	fmt.Println("mined preference:", term)
+
+	// 3. Persist it for the next session.
+	repo := prefrepo.New()
+	must(repo.Put("learned-taste", "mined from session log", "visitor-42", mined))
+
+	// 4. Next session: recall and query.
+	recalled, err := repo.Get("learned-taste")
+	must(err)
+	best := core.BMO(recalled, cars)
+	fmt.Printf("σ[mined](cars): %d best matches\n", best.Len())
+	limit := best.Len()
+	if limit > 5 {
+		limit = 5
+	}
+	for i := 0; i < limit; i++ {
+		t := best.Tuple(i)
+		oid, _ := t.Get("oid")
+		color, _ := t.Get("color")
+		price, _ := t.Get("price")
+		fmt.Printf("  #%v %v %v€\n", oid, color, price)
+	}
+
+	// 5. Pairwise choices induce EXPLICIT graphs, too.
+	choices := []mining.Comparison{
+		{Winner: "BMW", Loser: "Opel"}, {Winner: "BMW", Loser: "Opel"},
+		{Winner: "Audi", Loser: "BMW"}, {Winner: "Audi", Loser: "BMW"},
+		{Winner: "Opel", Loser: "Ford"},
+	}
+	brand, err := mining.MineEXPLICIT("make", choices, 1)
+	must(err)
+	fmt.Println("mined brand order:", pterm.MustMarshal(brand))
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

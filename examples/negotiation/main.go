@@ -1,0 +1,77 @@
+// Negotiation demonstrates the conflict tolerance of the preference model
+// (§7: "the conflict tolerance of our preference model forms the basis for
+// research concerned with e-negotiations"): a buyer's and a seller's
+// directly conflicting preferences combine by Pareto accumulation without
+// any failure; the conflicting pairs simply stay unranked — the "natural
+// reservoir to negotiate compromises". The parties' wish lists live in a
+// persistent preference repository (§7 roadmap).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/engine"
+	"repro/internal/pref"
+	"repro/internal/prefrepo"
+	"repro/internal/workload"
+)
+
+func main() {
+	cars := workload.Cars(1000, 17)
+
+	// Both parties register their preferences in a repository.
+	repo := prefrepo.New()
+	must(repo.Put("buyer", "pay as little as possible, avoid gray", "alice",
+		pref.Pareto(pref.LOWEST("price"), pref.NEG("color", "gray"))))
+	must(repo.Put("seller", "earn the highest commission", "bob",
+		pref.HIGHEST("commission")))
+	for _, e := range repo.List() {
+		fmt.Printf("%-6s (%s): %s\n", e.Name, e.Owner, e.Term)
+	}
+
+	// Conflicting interests, accumulated as equally important: buyer's
+	// low price and seller's high commission anti-correlate, yet the
+	// combined query cannot fail.
+	deal, err := repo.Compose("pareto", "buyer", "seller")
+	must(err)
+	table := engine.BMO(deal, cars, engine.Auto)
+	fmt.Printf("\nnegotiation table (Pareto of both parties): %d candidate deals of %d offers\n",
+		table.Len(), cars.Len())
+
+	// Every pair of candidate deals is unranked under the combined
+	// preference — that's what makes them the negotiation frontier.
+	unranked := 0
+	for i := 0; i < table.Len(); i++ {
+		for j := i + 1; j < table.Len(); j++ {
+			if pref.Indifferent(deal, table.Tuple(i), table.Tuple(j)) {
+				unranked++
+			}
+		}
+	}
+	pairs := table.Len() * (table.Len() - 1) / 2
+	fmt.Printf("unranked candidate pairs: %d of %d (the compromise reservoir)\n\n", unranked, pairs)
+
+	// Contrast: give one party priority and the frontier collapses toward
+	// that party's optimum.
+	buyer, _ := repo.Get("buyer")
+	seller, _ := repo.Get("seller")
+	buyerFirst := engine.BMO(pref.Prioritized(buyer, seller), cars, engine.Auto)
+	sellerFirst := engine.BMO(pref.Prioritized(seller, buyer), cars, engine.Auto)
+	fmt.Printf("buyer-first (&):  %d deals\n", buyerFirst.Len())
+	fmt.Printf("seller-first (&): %d deals\n", sellerFirst.Len())
+
+	// Persist the repository for the next session.
+	path := "preferences.json"
+	must(repo.SaveFile(path))
+	back, err := prefrepo.LoadFile(path)
+	must(err)
+	fmt.Printf("\nrepository saved and reloaded: %d entries in %s\n", back.Len(), path)
+	os.Remove(path)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,56 @@
+// Trips demonstrates quality supervision: the BUT ONLY clause of §6.1 with
+// the DISTANCE and LEVEL quality functions, on the paper's trip-booking
+// query "start date around day 327, duration around 14 — but only within
+// a distance of 2 on both".
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/psql"
+	"repro/internal/workload"
+)
+
+func main() {
+	trips := workload.Trips(3000, 7)
+	cat := psql.Catalog{"trips": trips}
+
+	// The paper's §6.1 trips query, with the start date expressed as a
+	// day-of-year ordinal (day 327 ≈ 2001/11/23).
+	withGuard := `SELECT * FROM trips
+	              PREFERRING start_day AROUND 327 AND duration AROUND 14
+	              BUT ONLY DISTANCE(start_day) <= 2 AND DISTANCE(duration) <= 2
+	              ORDER BY tid`
+	res, err := psql.Run(withGuard, cat, psql.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("PREFERRING … BUT ONLY DISTANCE ≤ 2:")
+	fmt.Println(res)
+
+	// Without the guard, BMO still answers cooperatively even when no
+	// trip matches the wishes exactly — query relaxation is implicit.
+	unguarded := `SELECT * FROM trips
+	              PREFERRING start_day AROUND 327 AND duration AROUND 14
+	              ORDER BY tid`
+	res2, err := psql.Run(unguarded, cat, psql.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("without BUT ONLY: %d best matches (never the empty result)\n\n", res2.Len())
+
+	// LEVEL supervision on a non-numerical preference: only first-choice
+	// destinations qualify.
+	level := `SELECT tid, destination, price FROM trips
+	          WHERE duration = 14
+	          PREFERRING destination IN ('Crete', 'Rhodes') ELSE destination IN ('Malta')
+	          BUT ONLY LEVEL(destination) <= 1
+	          ORDER BY price
+	          TOP 5`
+	res3, err := psql.Run(level, cat, psql.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("LEVEL(destination) <= 1, five cheapest:")
+	fmt.Println(res3)
+}

@@ -1,0 +1,84 @@
+// Usedcars replays the preference-engineering scenario of Example 6:
+// Julia's wish list Q1, dealer Michael's extension Q2 with domain
+// knowledge and vendor preferences, and the renegotiated Q1* after Leslie
+// joins — all three against a synthetic used-car database, through both
+// the programmatic API and Preference SQL.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/pref"
+	"repro/internal/psql"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+func main() {
+	cars := workload.Cars(5000, 42)
+	fmt.Printf("used-car database: %d offers\n\n", cars.Len())
+
+	// Julia's wish list (Example 6).
+	p1 := pref.MustPOSPOS("category", []pref.Value{"cabriolet"}, []pref.Value{"roadster"})
+	p2 := pref.POS("transmission", "automatic")
+	p3 := pref.AROUND("horsepower", 100)
+	p4 := pref.LOWEST("price")
+	p5 := pref.NEG("color", "gray")
+
+	// Q1 = P5 & ((P1 ⊗ P2 ⊗ P3) & P4): color matters most, then the
+	// category/transmission/horsepower trade-off, then price.
+	q1 := pref.Prioritized(p5, pref.Prioritized(pref.ParetoAll(p1, p2, p3), p4))
+	show("Q1 (Julia)", q1, cars)
+
+	// Michael adds domain knowledge P6 and his own interest P7:
+	// Q2 = (Q1 & P6) & P7. Conflicting preferences are fine — conflicts
+	// never crash a preference query, they just stay unranked.
+	p6 := pref.HIGHEST("year")
+	p7 := pref.HIGHEST("commission")
+	q2 := pref.Prioritized(pref.Prioritized(q1, p6), p7)
+	show("Q2 (dealer-extended)", q2, cars)
+
+	// Leslie renegotiates: her color taste P8, and money now matters as
+	// much as color: Q1* = (P5 ⊗ P8 ⊗ P4) & (P1 ⊗ P2 ⊗ P3).
+	p8 := pref.MustPOSNEG("color", []pref.Value{"blue"}, []pref.Value{"gray", "red"})
+	q1star := pref.Prioritized(pref.ParetoAll(p5, p8, p4), pref.ParetoAll(p1, p2, p3))
+	show("Q1* (renegotiated)", q1star, cars)
+
+	// The same wish in Preference SQL.
+	query := `SELECT oid, make, category, transmission, color, horsepower, price
+	          FROM car
+	          PREFERRING color <> 'gray' PRIOR TO
+	            (category = 'cabriolet' ELSE category = 'roadster' AND
+	             transmission = 'automatic' AND horsepower AROUND 100)
+	          PRIOR TO LOWEST(price)
+	          ORDER BY price`
+	res, err := psql.Run(query, psql.Catalog{"car": cars}, psql.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("Preference SQL:")
+	fmt.Println(res)
+}
+
+func show(name string, p pref.Preference, cars *relation.Relation) {
+	res := engine.BMO(p, cars, engine.Auto)
+	fmt.Printf("%s → %d best matches\n", name, res.Len())
+	limit := res.Len()
+	if limit > 5 {
+		limit = 5
+	}
+	for i := 0; i < limit; i++ {
+		t := res.Tuple(i)
+		oid, _ := t.Get("oid")
+		cat, _ := t.Get("category")
+		color, _ := t.Get("color")
+		hp, _ := t.Get("horsepower")
+		price, _ := t.Get("price")
+		fmt.Printf("  #%v %v %v %vhp %v€\n", oid, cat, color, hp, price)
+	}
+	if res.Len() > limit {
+		fmt.Printf("  … and %d more\n", res.Len()-limit)
+	}
+	fmt.Println()
+}

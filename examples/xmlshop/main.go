@@ -1,0 +1,59 @@
+// Xmlshop runs the paper's Preference XPath sample queries (§6.1, [KHF01])
+// against an attribute-rich XML car catalog: hard predicates in […],
+// soft preference selections in #[…]#, Pareto as "and" and prioritization
+// as "prior to".
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/pxpath"
+)
+
+const catalog = `<CARS>
+  <CAR make="Opel"     color="black" price="9800"  mileage="120000" fuel_economy="38" horsepower="90"/>
+  <CAR make="Opel"     color="white" price="10400" mileage="60000"  fuel_economy="42" horsepower="75"/>
+  <CAR make="BMW"      color="red"   price="24500" mileage="30000"  fuel_economy="30" horsepower="190"/>
+  <CAR make="BMW"      color="black" price="19900" mileage="80000"  fuel_economy="33" horsepower="170"/>
+  <CAR make="VW"       color="blue"  price="11200" mileage="45000"  fuel_economy="45" horsepower="105"/>
+  <CAR make="VW"       color="white" price="8900"  mileage="95000"  fuel_economy="44" horsepower="75"/>
+  <CAR make="Mercedes" color="gray"  price="31000" mileage="15000"  fuel_economy="28" horsepower="220"/>
+  <CAR make="Mercedes" color="black" price="27500" mileage="25000"  fuel_economy="31" horsepower="204"/>
+</CARS>`
+
+func main() {
+	root, err := pxpath.ParseXMLString(catalog)
+	if err != nil {
+		panic(err)
+	}
+
+	// Q1 of the paper: equally important fuel economy and horsepower.
+	q1 := `/CARS/CAR #[(@fuel_economy)highest and (@horsepower)highest]#`
+	run(root, "Q1", q1)
+
+	// Q2 of the paper: color first, then price around 10000; among the
+	// survivors, lowest mileage.
+	q2 := `/CARS/CAR #[(@color)in("black", "white") prior to (@price)around 10000]#
+	       #[(@mileage)lowest]#`
+	run(root, "Q2", q2)
+
+	// Hard and soft selections compose: only Opels, best price trade-off.
+	q3 := `//CAR[@make = "Opel"] #[(@price)lowest and (@mileage)lowest]#`
+	run(root, "Q3", q3)
+
+	// POS/NEG through else: blue favourites, gray disliked.
+	q4 := `/CARS/CAR #[(@color)in("blue") else not in("gray") prior to (@price)lowest]#`
+	run(root, "Q4", q4)
+}
+
+func run(root *pxpath.Node, name, query string) {
+	nodes, err := pxpath.Query(root, query)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %s\n", name, query)
+	for _, n := range nodes {
+		fmt.Println("   ", n)
+	}
+	fmt.Println()
+}

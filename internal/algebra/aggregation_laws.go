@@ -1,0 +1,186 @@
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/pref"
+)
+
+// AggregationLaws completes Proposition 2 for the aggregation constructors
+// '+' and '⊕', whose operands need disjointness preconditions that the
+// generic Laws table cannot synthesize from arbitrary terms. Each law
+// builds its operands from the supplied disjoint single-attribute value
+// segments.
+//
+//	Prop 2e: P1 + P2 ≡ P2 + P1,  (P1 + P2) + P3 ≡ P1 + (P2 + P3)
+//	Prop 2f: (P1 ⊕ P2) ⊕ P3 ≡ P1 ⊕ (P2 ⊕ P3)
+//	Prop 3c: (P1 ⊕ P2)∂ ≡ P2∂ ⊕ P1∂
+//
+// Disjoint '+' operands are EXPLICIT fragments restricted to separate
+// value segments (their "outside values" rule is neutralized by evaluating
+// only over the union of segments ordered within one fragment each —
+// instead we use segment-local orders built from prioritized anti-chain
+// sums, which have genuinely disjoint ranges).
+type AggregationLaw struct {
+	Name string
+	// Check verifies the law over segments of a single-attribute universe;
+	// segs are pairwise disjoint value slices.
+	Check func(attr string, segs [][]pref.Value, universe []pref.Tuple) error
+}
+
+// segmentOrder builds a preference on attr that ranks only within the
+// given value segment: the linear order seg[0] < seg[1] < … (better last),
+// empty elsewhere. Its range is exactly the segment, so two segmentOrders
+// over disjoint segments are disjoint preferences per Definition 4.
+func segmentOrder(attr string, seg []pref.Value) (pref.Preference, error) {
+	var edges []pref.Edge
+	for i := 0; i+1 < len(seg); i++ {
+		edges = append(edges, pref.Edge{Worse: seg[i], Better: seg[i+1]})
+	}
+	ex, err := pref.EXPLICIT(attr, edges)
+	if err != nil {
+		return nil, err
+	}
+	return restrictToRange{ex}, nil
+}
+
+// restrictToRange strips the EXPLICIT rule "graph values beat all other
+// values", leaving only the in-graph order — a preference whose range is
+// exactly the graph's value set.
+type restrictToRange struct{ ex *pref.Explicit }
+
+// Attrs implements pref.Preference.
+func (r restrictToRange) Attrs() []string { return r.ex.Attrs() }
+
+// Less ranks only within the explicit graph.
+func (r restrictToRange) Less(x, y pref.Tuple) bool {
+	attr := r.ex.Attr()
+	xv, xok := x.Get(attr)
+	yv, yok := y.Get(attr)
+	if !xok || !yok {
+		return false
+	}
+	return r.ex.InGraphLess(xv, yv)
+}
+
+func (r restrictToRange) String() string { return "in-range " + r.ex.String() }
+
+// AggregationLawSet is the verifiable law set.
+var AggregationLawSet = []AggregationLaw{
+	{
+		Name: "Prop2e: P1+P2 ≡ P2+P1",
+		Check: func(attr string, segs [][]pref.Value, universe []pref.Tuple) error {
+			p1, err := segmentOrder(attr, segs[0])
+			if err != nil {
+				return err
+			}
+			p2, err := segmentOrder(attr, segs[1])
+			if err != nil {
+				return err
+			}
+			l := pref.MustDisjointUnion(p1, p2)
+			r := pref.MustDisjointUnion(p2, p1)
+			if w := FindInequivalence(l, r, universe); w != nil {
+				return fmt.Errorf("%s", w.Reason)
+			}
+			return nil
+		},
+	},
+	{
+		Name: "Prop2e: (P1+P2)+P3 ≡ P1+(P2+P3)",
+		Check: func(attr string, segs [][]pref.Value, universe []pref.Tuple) error {
+			p1, err := segmentOrder(attr, segs[0])
+			if err != nil {
+				return err
+			}
+			p2, err := segmentOrder(attr, segs[1])
+			if err != nil {
+				return err
+			}
+			p3, err := segmentOrder(attr, segs[2])
+			if err != nil {
+				return err
+			}
+			l := pref.MustDisjointUnion(pref.MustDisjointUnion(p1, p2), p3)
+			r := pref.MustDisjointUnion(p1, pref.MustDisjointUnion(p2, p3))
+			if w := FindInequivalence(l, r, universe); w != nil {
+				return fmt.Errorf("%s", w.Reason)
+			}
+			return nil
+		},
+	},
+	{
+		Name: "Prop2f: (P1⊕P2)⊕P3 ≡ P1⊕(P2⊕P3)",
+		Check: func(attr string, segs [][]pref.Value, universe []pref.Tuple) error {
+			// Linear sums operate on anti-chain segments; associativity is
+			// checked on the combined attribute.
+			a1 := pref.AntiChainSet("s1", segs[0]...)
+			a2 := pref.AntiChainSet("s2", segs[1]...)
+			a3 := pref.AntiChainSet("s3", segs[2]...)
+			l12, err := pref.LinearSum("s12", a1, a2)
+			if err != nil {
+				return err
+			}
+			lhs, err := pref.LinearSum(attr, l12, a3)
+			if err != nil {
+				return err
+			}
+			r23, err := pref.LinearSum("s23", a2, a3)
+			if err != nil {
+				return err
+			}
+			rhs, err := pref.LinearSum(attr, a1, r23)
+			if err != nil {
+				return err
+			}
+			if w := FindInequivalence(lhs, rhs, universe); w != nil {
+				return fmt.Errorf("%s", w.Reason)
+			}
+			return nil
+		},
+	},
+	{
+		Name: "Prop3c: (P1⊕P2)∂ ≡ P2∂⊕P1∂",
+		Check: func(attr string, segs [][]pref.Value, universe []pref.Tuple) error {
+			// With anti-chain segments, Pi∂ = Pi (Prop 3a), so the law
+			// reduces to (P1⊕P2)∂ ≡ P2⊕P1 — still a non-trivial reversal.
+			a1 := pref.AntiChainSet("s1", segs[0]...)
+			a2 := pref.AntiChainSet("s2", segs[1]...)
+			fwd, err := pref.LinearSum(attr, a1, a2)
+			if err != nil {
+				return err
+			}
+			rev, err := pref.LinearSum(attr, a2, a1)
+			if err != nil {
+				return err
+			}
+			if w := FindInequivalence(pref.Dual(fwd), rev, universe); w != nil {
+				return fmt.Errorf("%s", w.Reason)
+			}
+			return nil
+		},
+	},
+}
+
+// CheckAggregationLaws verifies the '+'/'⊕' law set over a single-attribute
+// integer universe split into three segments, returning any failures.
+func CheckAggregationLaws(attr string, domainSize int) []error {
+	if domainSize < 6 {
+		domainSize = 6
+	}
+	var all []pref.Value
+	var universe []pref.Tuple
+	for i := 0; i < domainSize; i++ {
+		all = append(all, int64(i))
+		universe = append(universe, pref.Single{Attr: attr, Value: int64(i)})
+	}
+	third := domainSize / 3
+	segs := [][]pref.Value{all[:third], all[third : 2*third], all[2*third:]}
+	var errs []error
+	for _, law := range AggregationLawSet {
+		if err := law.Check(attr, segs, universe); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", law.Name, err))
+		}
+	}
+	return errs
+}

@@ -1,0 +1,290 @@
+// Package algebra implements the preference algebra of §4: equivalence of
+// preference terms (Definition 13), the law collection of Propositions 2
+// and 3, the discrimination theorem (Proposition 4), the non-discrimination
+// theorem (Proposition 5), term simplification, and the sub-constructor
+// hierarchy of §3.4. Equivalence over infinite domains is undecidable in
+// general, so all checkers operate on finite tuple universes — exactly the
+// setting of the paper's better-than graphs — and back the property-based
+// test suite.
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/pref"
+)
+
+// Equivalent reports P1 ≡ P2 over the finite tuple universe per Definition
+// 13: identical attribute sets and identical better-than relations on
+// every pair.
+func Equivalent(p1, p2 pref.Preference, universe []pref.Tuple) bool {
+	return FindInequivalence(p1, p2, universe) == nil
+}
+
+// Inequivalence is a witness pair on which two preference terms disagree.
+type Inequivalence struct {
+	X, Y   pref.Tuple
+	P1Less bool
+	P2Less bool
+	Reason string
+}
+
+// Error implements error.
+func (w *Inequivalence) Error() string { return "algebra: " + w.Reason }
+
+// FindInequivalence returns a witness that P1 ≢ P2 over the universe, or
+// nil if the terms agree everywhere.
+func FindInequivalence(p1, p2 pref.Preference, universe []pref.Tuple) *Inequivalence {
+	if !pref.AttrsEqual(p1.Attrs(), p2.Attrs()) {
+		return &Inequivalence{Reason: fmt.Sprintf("attribute sets differ: %v vs %v", p1.Attrs(), p2.Attrs())}
+	}
+	for i, x := range universe {
+		for j, y := range universe {
+			if i == j {
+				continue
+			}
+			l1 := p1.Less(x, y)
+			l2 := p2.Less(x, y)
+			if l1 != l2 {
+				return &Inequivalence{
+					X: x, Y: y, P1Less: l1, P2Less: l2,
+					Reason: fmt.Sprintf("terms disagree on a pair: %s=%v, %s=%v", p1, l1, p2, l2),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// StrongerFilter reports whether p1 is a stronger preference filter than p2
+// on the universe (Definition 19): size(P1, U) ≤ size(P2, U), measured as
+// the number of maximal distinct projections.
+func StrongerFilter(p1, p2 pref.Preference, universe []pref.Tuple) bool {
+	return maxCount(p1, universe) <= maxCount(p2, universe)
+}
+
+// maxCount counts distinct maximal projections of p over the universe.
+func maxCount(p pref.Preference, universe []pref.Tuple) int {
+	attrs := p.Attrs()
+	seen := make(map[string]struct{})
+	for _, t := range pref.Max(p, universe) {
+		seen[pref.ProjectionKey(t, attrs)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Law is one verifiable algebraic law: it constructs both sides from the
+// supplied operand preferences and names itself for reporting.
+type Law struct {
+	Name string
+	// Arity is the number of operand preferences the law consumes.
+	Arity int
+	// Build constructs (lhs, rhs) from operands; it may reject operands
+	// that violate the law's preconditions by returning an error.
+	Build func(ops []pref.Preference) (lhs, rhs pref.Preference, err error)
+}
+
+// Check verifies the law for the given operands over the universe. A nil
+// error means the law held (or its preconditions were unsatisfiable for
+// these operands, reported via ok=false).
+func (l Law) Check(ops []pref.Preference, universe []pref.Tuple) (ok bool, err error) {
+	if len(ops) != l.Arity {
+		return false, fmt.Errorf("algebra: law %s wants %d operands, got %d", l.Name, l.Arity, len(ops))
+	}
+	lhs, rhs, err := l.Build(ops)
+	if err != nil {
+		return false, nil // preconditions unsatisfied; vacuous
+	}
+	if w := FindInequivalence(lhs, rhs, universe); w != nil {
+		return true, fmt.Errorf("algebra: law %s failed: %s", l.Name, w.Reason)
+	}
+	return true, nil
+}
+
+// Laws is the verifiable subset of Propositions 2 and 3. Laws whose
+// preconditions reference a specific operand shape (duals of linear sums,
+// anti-chains) construct the required shape from the supplied operands.
+var Laws = []Law{
+	{
+		Name: "Prop2b: P1⊗P2 ≡ P2⊗P1", Arity: 2,
+		Build: func(ops []pref.Preference) (pref.Preference, pref.Preference, error) {
+			return pref.Pareto(ops[0], ops[1]), pref.Pareto(ops[1], ops[0]), nil
+		},
+	},
+	{
+		Name: "Prop2b: (P1⊗P2)⊗P3 ≡ P1⊗(P2⊗P3)", Arity: 3,
+		Build: func(ops []pref.Preference) (pref.Preference, pref.Preference, error) {
+			return pref.Pareto(pref.Pareto(ops[0], ops[1]), ops[2]),
+				pref.Pareto(ops[0], pref.Pareto(ops[1], ops[2])), nil
+		},
+	},
+	{
+		Name: "Prop2c: (P1&P2)&P3 ≡ P1&(P2&P3)", Arity: 3,
+		Build: func(ops []pref.Preference) (pref.Preference, pref.Preference, error) {
+			return pref.Prioritized(pref.Prioritized(ops[0], ops[1]), ops[2]),
+				pref.Prioritized(ops[0], pref.Prioritized(ops[1], ops[2])), nil
+		},
+	},
+	{
+		Name: "Prop2d: P1♦P2 ≡ P2♦P1", Arity: 2,
+		Build: func(ops []pref.Preference) (pref.Preference, pref.Preference, error) {
+			l, err := pref.Intersection(ops[0], ops[1])
+			if err != nil {
+				return nil, nil, err
+			}
+			r, err := pref.Intersection(ops[1], ops[0])
+			if err != nil {
+				return nil, nil, err
+			}
+			return l, r, nil
+		},
+	},
+	{
+		Name: "Prop2d: (P1♦P2)♦P3 ≡ P1♦(P2♦P3)", Arity: 3,
+		Build: func(ops []pref.Preference) (pref.Preference, pref.Preference, error) {
+			l12, err := pref.Intersection(ops[0], ops[1])
+			if err != nil {
+				return nil, nil, err
+			}
+			l, err := pref.Intersection(l12, ops[2])
+			if err != nil {
+				return nil, nil, err
+			}
+			r23, err := pref.Intersection(ops[1], ops[2])
+			if err != nil {
+				return nil, nil, err
+			}
+			r, err := pref.Intersection(ops[0], r23)
+			if err != nil {
+				return nil, nil, err
+			}
+			return l, r, nil
+		},
+	},
+	{
+		Name: "Prop3b: (P∂)∂ ≡ P", Arity: 1,
+		Build: func(ops []pref.Preference) (pref.Preference, pref.Preference, error) {
+			return rawDual{rawDual{ops[0]}}, ops[0], nil
+		},
+	},
+	{
+		Name: "Prop3d: HIGHEST ≡ LOWEST∂", Arity: 1,
+		Build: func(ops []pref.Preference) (pref.Preference, pref.Preference, error) {
+			attr := ops[0].Attrs()[0]
+			return pref.HIGHEST(attr), pref.Dual(pref.LOWEST(attr)), nil
+		},
+	},
+	{
+		Name: "Prop3f: P♦P ≡ P", Arity: 1,
+		Build: func(ops []pref.Preference) (pref.Preference, pref.Preference, error) {
+			l, err := pref.Intersection(ops[0], ops[0])
+			if err != nil {
+				return nil, nil, err
+			}
+			return l, ops[0], nil
+		},
+	},
+	{
+		Name: "Prop3g: P♦P∂ ≡ A↔", Arity: 1,
+		Build: func(ops []pref.Preference) (pref.Preference, pref.Preference, error) {
+			l, err := pref.Intersection(ops[0], pref.Dual(ops[0]))
+			if err != nil {
+				return nil, nil, err
+			}
+			return l, pref.AntiChain(ops[0].Attrs()...), nil
+		},
+	},
+	{
+		Name: "Prop3i: P&P ≡ P", Arity: 1,
+		Build: func(ops []pref.Preference) (pref.Preference, pref.Preference, error) {
+			return pref.Prioritized(ops[0], ops[0]), ops[0], nil
+		},
+	},
+	{
+		Name: "Prop3i: P&P∂ ≡ P", Arity: 1,
+		Build: func(ops []pref.Preference) (pref.Preference, pref.Preference, error) {
+			return pref.Prioritized(ops[0], pref.Dual(ops[0])), ops[0], nil
+		},
+	},
+	{
+		Name: "Prop3j: P&A↔ ≡ P", Arity: 1,
+		Build: func(ops []pref.Preference) (pref.Preference, pref.Preference, error) {
+			return pref.Prioritized(ops[0], pref.AntiChain(ops[0].Attrs()...)), ops[0], nil
+		},
+	},
+	{
+		Name: "Prop3k: A↔&P ≡ A↔  (shared attributes)", Arity: 1,
+		Build: func(ops []pref.Preference) (pref.Preference, pref.Preference, error) {
+			ac := pref.AntiChain(ops[0].Attrs()...)
+			return pref.Prioritized(ac, ops[0]), ac, nil
+		},
+	},
+	{
+		Name: "Prop3l: P⊗P ≡ P", Arity: 1,
+		Build: func(ops []pref.Preference) (pref.Preference, pref.Preference, error) {
+			return pref.Pareto(ops[0], ops[0]), ops[0], nil
+		},
+	},
+	{
+		Name: "Prop3m: A↔⊗P ≡ A↔&P  (shared attributes)", Arity: 1,
+		Build: func(ops []pref.Preference) (pref.Preference, pref.Preference, error) {
+			ac := pref.AntiChain(ops[0].Attrs()...)
+			return pref.Pareto(ac, ops[0]), pref.Prioritized(ac, ops[0]), nil
+		},
+	},
+	{
+		Name: "Prop3n: P⊗A↔ ≡ A↔  (shared attributes)", Arity: 1,
+		Build: func(ops []pref.Preference) (pref.Preference, pref.Preference, error) {
+			ac := pref.AntiChain(ops[0].Attrs()...)
+			return pref.Pareto(ops[0], ac), ac, nil
+		},
+	},
+	{
+		Name: "Prop3n: P⊗P∂ ≡ A↔  (shared attributes)", Arity: 1,
+		Build: func(ops []pref.Preference) (pref.Preference, pref.Preference, error) {
+			return pref.Pareto(ops[0], pref.Dual(ops[0])), pref.AntiChain(ops[0].Attrs()...), nil
+		},
+	},
+	{
+		Name: "Prop4a: P1&P2 ≡ P1  (identical attribute sets)", Arity: 2,
+		Build: func(ops []pref.Preference) (pref.Preference, pref.Preference, error) {
+			if !pref.AttrsEqual(ops[0].Attrs(), ops[1].Attrs()) {
+				return nil, nil, fmt.Errorf("needs identical attribute sets")
+			}
+			return pref.Prioritized(ops[0], ops[1]), ops[0], nil
+		},
+	},
+	{
+		Name: "Prop5: P1⊗P2 ≡ (P1&P2)♦(P2&P1)", Arity: 2,
+		Build: func(ops []pref.Preference) (pref.Preference, pref.Preference, error) {
+			rhs, err := pref.Intersection(pref.Prioritized(ops[0], ops[1]), pref.Prioritized(ops[1], ops[0]))
+			if err != nil {
+				return nil, nil, err
+			}
+			return pref.Pareto(ops[0], ops[1]), rhs, nil
+		},
+	},
+	{
+		Name: "Prop6: P1⊗P2 ≡ P1♦P2  (identical attribute sets)", Arity: 2,
+		Build: func(ops []pref.Preference) (pref.Preference, pref.Preference, error) {
+			rhs, err := pref.Intersection(ops[0], ops[1])
+			if err != nil {
+				return nil, nil, err
+			}
+			return pref.Pareto(ops[0], ops[1]), rhs, nil
+		},
+	},
+}
+
+// rawDual reverses an order without the structural collapse the pref.Dual
+// constructor performs, so Prop 3b is tested semantically: rawDual{rawDual
+// {P}} evaluates two genuine reversals.
+type rawDual struct{ p pref.Preference }
+
+// Attrs implements pref.Preference.
+func (d rawDual) Attrs() []string { return d.p.Attrs() }
+
+// Less reverses the inner order.
+func (d rawDual) Less(x, y pref.Tuple) bool { return d.p.Less(y, x) }
+
+func (d rawDual) String() string { return d.p.String() + "∂" }

@@ -1,0 +1,204 @@
+package algebra
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/pref"
+)
+
+// Gen produces random preference terms and tuple universes for
+// property-based testing. All output is deterministic for a given seed.
+type Gen struct {
+	rng *rand.Rand
+	// Attrs is the attribute vocabulary; each attribute carries a small
+	// integer domain 0…DomainSize-1.
+	Attrs      []string
+	DomainSize int
+}
+
+// NewGen creates a generator over the given attribute vocabulary.
+func NewGen(seed int64, domainSize int, attrs ...string) *Gen {
+	if len(attrs) == 0 {
+		attrs = []string{"a", "b", "c"}
+	}
+	if domainSize < 2 {
+		domainSize = 4
+	}
+	return &Gen{rng: rand.New(rand.NewSource(seed)), Attrs: attrs, DomainSize: domainSize}
+}
+
+// Universe returns n random tuples assigning each attribute a value from
+// its integer domain.
+func (g *Gen) Universe(n int) []pref.Tuple {
+	out := make([]pref.Tuple, n)
+	for i := range out {
+		t := make(pref.MapTuple, len(g.Attrs))
+		for _, a := range g.Attrs {
+			t[a] = int64(g.rng.Intn(g.DomainSize))
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// domainValues returns the full integer domain as values.
+func (g *Gen) domainValues() []pref.Value {
+	out := make([]pref.Value, g.DomainSize)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}
+
+// subset draws a random subset of the integer domain.
+func (g *Gen) subset() []pref.Value {
+	var out []pref.Value
+	for i := 0; i < g.DomainSize; i++ {
+		if g.rng.Intn(2) == 0 {
+			out = append(out, int64(i))
+		}
+	}
+	return out
+}
+
+// BasePref draws a random base preference on a random attribute.
+func (g *Gen) BasePref() pref.Preference {
+	return g.BasePrefOn(g.Attrs[g.rng.Intn(len(g.Attrs))])
+}
+
+// BasePrefOn draws a random base preference on the given attribute.
+func (g *Gen) BasePrefOn(attr string) pref.Preference {
+	switch g.rng.Intn(9) {
+	case 0:
+		return pref.POS(attr, g.subset()...)
+	case 1:
+		return pref.NEG(attr, g.subset()...)
+	case 2:
+		pos := g.subset()
+		var neg []pref.Value
+		posSet := pref.NewValueSet(pos...)
+		for _, v := range g.subset() {
+			if !posSet.Contains(v) {
+				neg = append(neg, v)
+			}
+		}
+		p, err := pref.POSNEG(attr, pos, neg)
+		if err != nil {
+			return pref.POS(attr, pos...)
+		}
+		return p
+	case 3:
+		pos1 := g.subset()
+		var pos2 []pref.Value
+		set1 := pref.NewValueSet(pos1...)
+		for _, v := range g.subset() {
+			if !set1.Contains(v) {
+				pos2 = append(pos2, v)
+			}
+		}
+		p, err := pref.POSPOS(attr, pos1, pos2)
+		if err != nil {
+			return pref.POS(attr, pos1...)
+		}
+		return p
+	case 4:
+		return g.explicit(attr)
+	case 5:
+		return pref.AROUND(attr, float64(g.rng.Intn(g.DomainSize)))
+	case 6:
+		lo := float64(g.rng.Intn(g.DomainSize))
+		hi := lo + float64(g.rng.Intn(g.DomainSize))
+		return pref.MustBETWEEN(attr, lo, hi)
+	case 7:
+		return pref.LOWEST(attr)
+	}
+	return pref.HIGHEST(attr)
+}
+
+// explicit draws a random acyclic explicit graph by orienting random edges
+// from higher to lower domain values (guaranteeing acyclicity).
+func (g *Gen) explicit(attr string) pref.Preference {
+	var edges []pref.Edge
+	for i := 0; i < g.DomainSize; i++ {
+		for j := i + 1; j < g.DomainSize; j++ {
+			if g.rng.Intn(4) == 0 {
+				edges = append(edges, pref.Edge{Worse: int64(i), Better: int64(j)})
+			}
+		}
+	}
+	p, err := pref.EXPLICIT(attr, edges)
+	if err != nil {
+		// Unreachable: edges are oriented by value, hence acyclic.
+		panic(fmt.Sprintf("algebra: generated cyclic EXPLICIT graph: %v", err))
+	}
+	return p
+}
+
+// Term draws a random preference term of at most the given constructor
+// depth, combining base preferences with ⊗, &, ∂ and rank(F).
+func (g *Gen) Term(depth int) pref.Preference {
+	if depth <= 0 {
+		return g.BasePref()
+	}
+	switch g.rng.Intn(6) {
+	case 0:
+		return pref.Pareto(g.Term(depth-1), g.Term(depth-1))
+	case 1:
+		return pref.Prioritized(g.Term(depth-1), g.Term(depth-1))
+	case 2:
+		return pref.Dual(g.Term(depth - 1))
+	case 3:
+		a1 := g.Attrs[g.rng.Intn(len(g.Attrs))]
+		a2 := g.Attrs[g.rng.Intn(len(g.Attrs))]
+		return pref.Rank("w-sum", pref.WeightedSum(1, 2),
+			pref.AROUND(a1, float64(g.rng.Intn(g.DomainSize))),
+			pref.HIGHEST(a2))
+	case 4:
+		sub := g.Term(depth - 1)
+		other := g.sameAttrsTerm(sub)
+		p, err := pref.Intersection(sub, other)
+		if err != nil {
+			return sub
+		}
+		return p
+	}
+	return g.BasePref()
+}
+
+// sameAttrsTerm draws a term over exactly the attribute set of the given
+// term, for aggregation constructors that require matching attributes.
+func (g *Gen) sameAttrsTerm(p pref.Preference) pref.Preference {
+	attrs := p.Attrs()
+	acc := g.BasePrefOn(attrs[0])
+	for _, a := range attrs[1:] {
+		acc = pref.Pareto(acc, g.BasePrefOn(a))
+	}
+	return acc
+}
+
+// ChainTerm draws a random structural chain (LOWEST/HIGHEST prioritized
+// chains), for laws requiring chain operands.
+func (g *Gen) ChainTerm(depth int) pref.Preference {
+	attr := g.Attrs[g.rng.Intn(len(g.Attrs))]
+	var leaf pref.Preference
+	if g.rng.Intn(2) == 0 {
+		leaf = pref.LOWEST(attr)
+	} else {
+		leaf = pref.HIGHEST(attr)
+	}
+	if depth <= 0 {
+		return leaf
+	}
+	return pref.Prioritized(leaf, g.ChainTerm(depth-1))
+}
+
+// DomainTuples wraps the full integer domain of one attribute as tuples.
+func (g *Gen) DomainTuples(attr string) []pref.Tuple {
+	vals := g.domainValues()
+	out := make([]pref.Tuple, len(vals))
+	for i, v := range vals {
+		out[i] = pref.Single{Attr: attr, Value: v}
+	}
+	return out
+}

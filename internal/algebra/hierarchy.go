@@ -1,0 +1,191 @@
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/pref"
+)
+
+// SubConstructor is one edge C1 ≼ C2 of the §3.4 sub-constructor
+// hierarchies: the definition of C1 is obtained from C2 by specializing
+// constraints. Each entry builds a C1 instance and the specialized C2
+// instance it must be equivalent to; equivalence is then checked on finite
+// universes by the tests and prefbench.
+type SubConstructor struct {
+	Name string
+	// Build returns (sub, super) such that sub ≼ super demands sub ≡ super
+	// over every finite universe for the chosen parameters.
+	Build func(attr string, universe []pref.Value) (sub, super pref.Preference, err error)
+}
+
+// Hierarchy is the verifiable edge set of the three §3.4 hierarchies. The
+// builders choose concrete parameters from the supplied value universe.
+var Hierarchy = []SubConstructor{
+	{
+		Name: "POS ≼ POS/POS (POS2-set = ∅)",
+		Build: func(attr string, universe []pref.Value) (pref.Preference, pref.Preference, error) {
+			posSet := firstHalf(universe)
+			super, err := pref.POSPOS(attr, posSet, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			return pref.POS(attr, posSet...), super, nil
+		},
+	},
+	{
+		Name: "POS ≼ POS/NEG (NEG-set = ∅)",
+		Build: func(attr string, universe []pref.Value) (pref.Preference, pref.Preference, error) {
+			posSet := firstHalf(universe)
+			super, err := pref.POSNEG(attr, posSet, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			return pref.POS(attr, posSet...), super, nil
+		},
+	},
+	{
+		Name: "NEG ≼ POS/NEG (POS-set = ∅)",
+		Build: func(attr string, universe []pref.Value) (pref.Preference, pref.Preference, error) {
+			negSet := firstHalf(universe)
+			super, err := pref.POSNEG(attr, nil, negSet)
+			if err != nil {
+				return nil, nil, err
+			}
+			return pref.NEG(attr, negSet...), super, nil
+		},
+	},
+	{
+		Name: "POS/POS ≼ EXPLICIT (EXPLICIT-graph = POS1↔ ⊕ POS2↔)",
+		Build: func(attr string, universe []pref.Value) (pref.Preference, pref.Preference, error) {
+			if len(universe) < 2 {
+				return nil, nil, fmt.Errorf("universe too small")
+			}
+			pos1 := firstHalf(universe)
+			pos2 := secondQuarter(universe)
+			sub, err := pref.POSPOS(attr, pos1, pos2)
+			if err != nil {
+				return nil, nil, err
+			}
+			var edges []pref.Edge
+			for _, worse := range pos2 {
+				for _, better := range pos1 {
+					edges = append(edges, pref.Edge{Worse: worse, Better: better})
+				}
+			}
+			super, err := pref.EXPLICIT(attr, edges)
+			if err != nil {
+				return nil, nil, err
+			}
+			return sub, super, nil
+		},
+	},
+	{
+		Name: "AROUND ≼ BETWEEN (low = up)",
+		Build: func(attr string, universe []pref.Value) (pref.Preference, pref.Preference, error) {
+			z, err := numericPivot(universe)
+			if err != nil {
+				return nil, nil, err
+			}
+			super, err := pref.BETWEEN(attr, z, z)
+			if err != nil {
+				return nil, nil, err
+			}
+			return pref.AROUND(attr, z), super, nil
+		},
+	},
+	{
+		Name: "BETWEEN ≼ SCORE (f(x) = −distance(x, [low, up]))",
+		Build: func(attr string, universe []pref.Value) (pref.Preference, pref.Preference, error) {
+			z, err := numericPivot(universe)
+			if err != nil {
+				return nil, nil, err
+			}
+			low, up := z-1, z+1
+			between, err := pref.BETWEEN(attr, low, up)
+			if err != nil {
+				return nil, nil, err
+			}
+			super := pref.SCORE(attr, "-distance", func(v pref.Value) float64 {
+				return -between.Distance(v)
+			})
+			return between, super, nil
+		},
+	},
+	{
+		Name: "HIGHEST ≼ SCORE (f(x) = x)",
+		Build: func(attr string, universe []pref.Value) (pref.Preference, pref.Preference, error) {
+			super := pref.SCORE(attr, "identity", func(v pref.Value) float64 {
+				n, ok := pref.Numeric(v)
+				if !ok {
+					return 0
+				}
+				return n
+			})
+			return pref.HIGHEST(attr), super, nil
+		},
+	},
+	{
+		Name: "LOWEST ≼ SCORE (f(x) = −x)",
+		Build: func(attr string, universe []pref.Value) (pref.Preference, pref.Preference, error) {
+			super := pref.SCORE(attr, "negate", func(v pref.Value) float64 {
+				n, ok := pref.Numeric(v)
+				if !ok {
+					return 0
+				}
+				return -n
+			})
+			return pref.LOWEST(attr), super, nil
+		},
+	},
+}
+
+// CheckHierarchy verifies every hierarchy edge over the given single-
+// attribute value universe and returns the failures.
+func CheckHierarchy(attr string, universe []pref.Value) []error {
+	tuples := make([]pref.Tuple, len(universe))
+	for i, v := range universe {
+		tuples[i] = pref.Single{Attr: attr, Value: v}
+	}
+	var errs []error
+	for _, edge := range Hierarchy {
+		sub, super, err := edge.Build(attr, universe)
+		if err != nil {
+			continue // parameters unsatisfiable for this universe
+		}
+		if w := FindInequivalence(sub, super, tuples); w != nil {
+			errs = append(errs, fmt.Errorf("hierarchy edge %s: %s", edge.Name, w.Reason))
+		}
+	}
+	return errs
+}
+
+// firstHalf returns the first half of a value universe (at least one value
+// when non-empty).
+func firstHalf(universe []pref.Value) []pref.Value {
+	if len(universe) == 0 {
+		return nil
+	}
+	n := (len(universe) + 1) / 2
+	return universe[:n]
+}
+
+// secondQuarter returns values from the third quarter of the universe,
+// disjoint from firstHalf.
+func secondQuarter(universe []pref.Value) []pref.Value {
+	lo := (len(universe) + 1) / 2
+	hi := lo + (len(universe)-lo+1)/2
+	if lo >= len(universe) {
+		return nil
+	}
+	return universe[lo:hi]
+}
+
+// numericPivot picks a numeric pivot value from the universe.
+func numericPivot(universe []pref.Value) (float64, error) {
+	for _, v := range universe {
+		if n, ok := pref.Numeric(v); ok {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("no numeric value in universe")
+}

@@ -1,0 +1,102 @@
+package algebra
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pref"
+)
+
+// TestHierarchyAllEdges verifies every §3.4 sub-constructor edge on a
+// numeric universe (numeric so AROUND/BETWEEN/LOWEST/HIGHEST edges apply;
+// the set-based edges work on any values).
+func TestHierarchyAllEdges(t *testing.T) {
+	universe := []pref.Value{int64(0), int64(1), int64(2), int64(3), int64(4), int64(5)}
+	if errs := CheckHierarchy("A", universe); len(errs) != 0 {
+		for _, err := range errs {
+			t.Error(err)
+		}
+	}
+}
+
+// TestHierarchyPropertyBased re-checks the edges on random universes.
+func TestHierarchyPropertyBased(t *testing.T) {
+	check := func(seed int64) bool {
+		g := NewGen(seed, 6, "A")
+		var universe []pref.Value
+		for i := 0; i < g.DomainSize; i++ {
+			universe = append(universe, int64(i))
+		}
+		// Shuffle so firstHalf/secondQuarter pick varying sets.
+		for i := len(universe) - 1; i > 0; i-- {
+			j := int(seed+int64(i)*7) % (i + 1)
+			if j < 0 {
+				j = -j
+			}
+			universe[i], universe[j] = universe[j], universe[i]
+		}
+		return len(CheckHierarchy("A", universe)) == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIntersectionIsSubConstructorOfPareto is Prop 6 as a hierarchy edge:
+// ♦ ≼ ⊗ on identical attribute sets.
+func TestIntersectionIsSubConstructorOfPareto(t *testing.T) {
+	g := NewGen(9, 5, "A")
+	universe := g.Universe(12)
+	for trial := 0; trial < 20; trial++ {
+		p1 := g.BasePrefOn("A")
+		p2 := g.BasePrefOn("A")
+		pareto := pref.Pareto(p1, p2)
+		sect := pref.MustIntersection(p1, p2)
+		if w := FindInequivalence(pareto, sect, universe); w != nil {
+			t.Fatalf("♦ ≼ ⊗ failed for %s, %s: %v", p1, p2, w.Reason)
+		}
+	}
+}
+
+// TestPrioritizedIsSubConstructorOfRankF realizes the paper's §3.4 remark
+// that '&' ≼ rank(F) can be verified with a properly weighted F: for
+// bounded scores, F(x1, x2) = M·x1 + x2 with M large enough makes the
+// weighted sum lexicographic. This holds when P1's score gaps are bounded
+// below (finite domains).
+func TestPrioritizedIsSubConstructorOfRankF(t *testing.T) {
+	// Scores in {0..5}; gap ≥ 1, so M = 10 dominates any x2 spread.
+	s1 := pref.HIGHEST("a")
+	s2 := pref.HIGHEST("b")
+	prio := pref.Prioritized(s1, s2)
+	rankF := pref.Rank("lex", pref.WeightedSum(10, 1), s1, s2)
+	g := NewGen(13, 6, "a", "b")
+	universe := g.Universe(20)
+	for i, x := range universe {
+		for j, y := range universe {
+			if i == j {
+				continue
+			}
+			// rank(F) is complete where & may leave ties: only check that
+			// every &-ranking is preserved (order embedding, the essence of
+			// the sub-constructor claim for chains).
+			if prio.Less(x, y) && !rankF.Less(x, y) {
+				t.Fatalf("rank(F) with lexicographic weights must extend &: (%v, %v)", x, y)
+			}
+		}
+	}
+}
+
+func TestHierarchyHelpersEdgeCases(t *testing.T) {
+	if got := firstHalf(nil); got != nil {
+		t.Error("empty universe halves are empty")
+	}
+	if got := secondQuarter([]pref.Value{int64(1)}); got != nil {
+		t.Error("one-value universe has empty second quarter")
+	}
+	if _, err := numericPivot([]pref.Value{"x"}); err == nil {
+		t.Error("non-numeric universe has no pivot")
+	}
+	if v, err := numericPivot([]pref.Value{"x", int64(3)}); err != nil || v != 3 {
+		t.Error("pivot skips non-numerics")
+	}
+}

@@ -1,0 +1,223 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pref"
+)
+
+// TestLawsPropertyBased verifies every law of Propositions 2 and 3 against
+// randomly generated operand terms over random finite universes.
+func TestLawsPropertyBased(t *testing.T) {
+	check := func(seed int64) bool {
+		g := NewGen(seed, 4, "a", "b", "c")
+		universe := g.Universe(10)
+		for _, law := range Laws {
+			ops := make([]pref.Preference, law.Arity)
+			for i := range ops {
+				ops[i] = g.Term(1)
+			}
+			// Laws with shared-attribute preconditions draw operands on a
+			// single attribute.
+			if strings.Contains(law.Name, "identical attribute sets") || strings.Contains(law.Name, "shared attributes") {
+				for i := range ops {
+					ops[i] = g.BasePrefOn("a")
+				}
+			}
+			// Intersection-based laws need matching attribute sets.
+			if strings.Contains(law.Name, "♦") && law.Arity >= 2 {
+				for i := range ops {
+					ops[i] = g.BasePrefOn("a")
+				}
+			}
+			_, err := law.Check(ops, universe)
+			if err != nil {
+				t.Logf("seed %d: %v (operands %v)", seed, err, ops)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNonDiscriminationTheoremExplicit pins Proposition 5 on the paper's
+// Example 7 preferences plus random operands with disjoint attributes.
+func TestNonDiscriminationTheoremExplicit(t *testing.T) {
+	g := NewGen(42, 5, "Price", "Mileage")
+	universe := g.Universe(20)
+	p1 := pref.LOWEST("Price")
+	p2 := pref.LOWEST("Mileage")
+	lhs := pref.Pareto(p1, p2)
+	rhs := pref.MustIntersection(pref.Prioritized(p1, p2), pref.Prioritized(p2, p1))
+	if w := FindInequivalence(lhs, rhs, universe); w != nil {
+		t.Fatalf("non-discrimination theorem failed: %v", w.Reason)
+	}
+}
+
+// TestDiscriminationTheoremDisjoint verifies Prop 4b: P1&P2 ≡ P1 +
+// (A1↔ & P2) for disjoint attribute sets. The paper embeds P1 into the
+// union attribute space; evaluated over tuples that carry both attributes,
+// the two sides must agree.
+func TestDiscriminationTheoremDisjoint(t *testing.T) {
+	check := func(seed int64) bool {
+		g := NewGen(seed, 4, "a", "b")
+		universe := g.Universe(12)
+		p1 := g.BasePrefOn("a")
+		p2 := g.BasePrefOn("b")
+		lhs := pref.Prioritized(p1, p2)
+		// rhs: x < y iff x <P1 y ∨ (x =a y ∧ x <P2 y), assembled from the
+		// disjoint union of P1* and A1↔&P2.
+		grouped := pref.GroupBy([]string{"a"}, p2)
+		for i, x := range universe {
+			for j, y := range universe {
+				if i == j {
+					continue
+				}
+				want := lhs.Less(x, y)
+				got := p1.Less(x, y) || grouped.Less(x, y)
+				if want != got {
+					t.Logf("seed %d: mismatch for %s & %s", seed, p1, p2)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParetoAssociativityGeneralSPOs probes the Prop 2b associativity claim
+// on general (non-chain) component preferences — an interesting corner
+// because Definition 8's equality-based composition makes nesting order
+// visible in principle. The reproduction documents the finding in
+// EXPERIMENTS.md.
+func TestParetoAssociativityGeneralSPOs(t *testing.T) {
+	violations := 0
+	var witness string
+	for seed := int64(0); seed < 120; seed++ {
+		g := NewGen(seed, 3, "a", "b", "c")
+		universe := g.Universe(8)
+		p1 := g.BasePrefOn("a")
+		p2 := g.BasePrefOn("b")
+		p3 := g.BasePrefOn("c")
+		lhs := pref.Pareto(pref.Pareto(p1, p2), p3)
+		rhs := pref.Pareto(p1, pref.Pareto(p2, p3))
+		if w := FindInequivalence(lhs, rhs, universe); w != nil {
+			violations++
+			if witness == "" {
+				witness = w.Reason + " with " + p1.String() + ", " + p2.String() + ", " + p3.String()
+			}
+		}
+	}
+	// Pareto over single-attribute base preferences with the paper's
+	// equality semantics IS associative on disjoint attributes (equality
+	// distributes over projections); any violation is a bug.
+	if violations > 0 {
+		t.Errorf("associativity violated in %d/120 samples; first witness: %s", violations, witness)
+	}
+}
+
+// TestCommutativityPareto on disjoint attributes, direct check.
+func TestCommutativityPareto(t *testing.T) {
+	g := NewGen(7, 4, "a", "b")
+	universe := g.Universe(12)
+	p1 := g.BasePrefOn("a")
+	p2 := g.BasePrefOn("b")
+	if !Equivalent(pref.Pareto(p1, p2), pref.Pareto(p2, p1), universe) {
+		t.Error("⊗ must commute")
+	}
+}
+
+func TestEquivalenceRequiresSameAttrs(t *testing.T) {
+	w := FindInequivalence(pref.LOWEST("a"), pref.LOWEST("b"), nil)
+	if w == nil || !strings.Contains(w.Reason, "attribute sets differ") {
+		t.Fatal("different attribute sets must be inequivalent outright")
+	}
+	if w.Error() == "" {
+		t.Error("witness must render as error")
+	}
+}
+
+func TestEquivalentFindsWitness(t *testing.T) {
+	g := NewGen(1, 4, "a")
+	universe := g.Universe(8)
+	w := FindInequivalence(pref.LOWEST("a"), pref.HIGHEST("a"), universe)
+	if w == nil {
+		t.Fatal("LOWEST and HIGHEST must differ")
+	}
+	if w.X == nil || w.Y == nil {
+		t.Error("witness tuples must be populated")
+	}
+	if w.P1Less == w.P2Less {
+		t.Error("witness must show disagreement")
+	}
+}
+
+func TestStrongerFilterProp13(t *testing.T) {
+	g := NewGen(3, 5, "a", "b")
+	universe := g.Universe(30)
+	p1 := pref.LOWEST("a")
+	p2 := pref.LOWEST("b")
+	prio := pref.Prioritized(p1, p2)
+	pareto := pref.Pareto(p1, p2)
+	if !StrongerFilter(prio, p1, universe) {
+		t.Error("P1&P2 ⇛ P1 (Prop 13c)")
+	}
+	if !StrongerFilter(prio, pareto, universe) {
+		t.Error("P1&P2 ⇛ P1⊗P2 (Prop 13d)")
+	}
+}
+
+func TestLawCheckArityError(t *testing.T) {
+	law := Laws[0]
+	if _, err := law.Check(nil, nil); err == nil {
+		t.Error("wrong arity must error")
+	}
+}
+
+// TestAggregationLaws verifies the '+' and '⊕' portion of Propositions 2
+// and 3 over integer segment universes of several sizes.
+func TestAggregationLaws(t *testing.T) {
+	for _, size := range []int{6, 9, 12} {
+		for _, err := range CheckAggregationLaws("A", size) {
+			t.Errorf("domain size %d: %v", size, err)
+		}
+	}
+}
+
+// TestSegmentOrderIsDisjoint validates the '+' operand construction: two
+// segment orders over disjoint segments must be disjoint preferences.
+func TestSegmentOrderIsDisjoint(t *testing.T) {
+	p1, err := segmentOrder("A", []pref.Value{int64(0), int64(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := segmentOrder("A", []pref.Value{int64(2), int64(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var universe []pref.Tuple
+	for i := int64(0); i < 4; i++ {
+		universe = append(universe, pref.Single{Attr: "A", Value: i})
+	}
+	if !pref.DisjointOn(p1, p2, universe) {
+		t.Fatal("segment orders over disjoint segments must be disjoint preferences")
+	}
+	if v := pref.CheckSPO(p1, universe); v != nil {
+		t.Fatalf("segment order violates SPO: %v", v)
+	}
+	// In-segment order present, cross-segment absent.
+	if !p1.Less(universe[0], universe[1]) {
+		t.Error("0 < 1 within the segment")
+	}
+	if p1.Less(universe[2], universe[3]) {
+		t.Error("p1 must not rank outside its segment")
+	}
+}

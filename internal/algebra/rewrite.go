@@ -1,0 +1,161 @@
+package algebra
+
+import (
+	"repro/internal/pref"
+)
+
+// Simplify rewrites a preference term using the algebra's equivalence laws
+// until no rule applies, returning an equivalent (usually smaller) term.
+// It is the heuristic-transformation layer a preference query optimizer
+// would sit on (§7 "push preference … heuristic transformations"). The
+// rewrites applied are exactly Propositions 3 and 4a:
+//
+//	(P∂)∂            → P            (Prop 3b, structural in pref.Dual)
+//	P & P            → P            (Prop 3i)
+//	P & A↔           → P            (Prop 3j, shared attributes)
+//	A↔ & P           → A↔           (Prop 3k, shared attributes)
+//	P ⊗ P            → P            (Prop 3l)
+//	A↔ ⊗ P, P ⊗ A↔   → A↔           (Prop 3m/3n, shared attributes)
+//	P ♦ P            → P            (Prop 3f)
+//	P1 & P2          → P1           (Prop 4a, identical attribute sets)
+//	LOWEST∂          → HIGHEST      (Prop 3d)
+//	HIGHEST∂         → LOWEST       (Prop 3d)
+//	POS∂             → NEG          (Prop 3e, same value set)
+//	NEG∂             → POS          (Prop 3e, same value set)
+//
+// Equality of sub-terms is syntactic (identical rendered terms), which is
+// sound: syntactically equal terms are trivially equivalent.
+func Simplify(p pref.Preference) pref.Preference {
+	for {
+		next, changed := simplifyOnce(p)
+		if !changed {
+			return next
+		}
+		p = next
+	}
+}
+
+func simplifyOnce(p pref.Preference) (pref.Preference, bool) {
+	switch q := p.(type) {
+	case *pref.DualPref:
+		inner, changed := simplifyOnce(q.Inner())
+		if changed {
+			return pref.Dual(inner), true
+		}
+		switch i := q.Inner().(type) {
+		case *pref.Lowest:
+			return pref.HIGHEST(i.Attr()), true
+		case *pref.Highest:
+			return pref.LOWEST(i.Attr()), true
+		case *pref.Pos:
+			return pref.NEG(i.Attr(), i.PosSet().Values()...), true
+		case *pref.Neg:
+			return pref.POS(i.Attr(), i.NegSet().Values()...), true
+		}
+		return p, false
+	case *pref.PrioritizedPref:
+		l, lc := simplifyOnce(q.Left())
+		r, rc := simplifyOnce(q.Right())
+		if lc || rc {
+			return pref.Prioritized(l, r), true
+		}
+		if isAntiChain(l) && pref.AttrsEqual(l.Attrs(), r.Attrs()) {
+			return l, true // Prop 3k
+		}
+		if isAntiChain(r) && pref.AttrsEqual(l.Attrs(), r.Attrs()) {
+			return l, true // Prop 3j
+		}
+		if sameTerm(l, r) {
+			return l, true // Prop 3i
+		}
+		if pref.AttrsEqual(l.Attrs(), r.Attrs()) {
+			return l, true // Prop 4a
+		}
+		return p, false
+	case *pref.ParetoPref:
+		l, lc := simplifyOnce(q.Left())
+		r, rc := simplifyOnce(q.Right())
+		if lc || rc {
+			return pref.Pareto(l, r), true
+		}
+		if sameTerm(l, r) {
+			return l, true // Prop 3l
+		}
+		if pref.AttrsEqual(l.Attrs(), r.Attrs()) {
+			if isAntiChain(l) || isAntiChain(r) {
+				return pref.AntiChain(l.Attrs()...), true // Prop 3m/3n
+			}
+		}
+		return p, false
+	case *pref.IntersectionPref:
+		l, lc := simplifyOnce(q.Left())
+		r, rc := simplifyOnce(q.Right())
+		if lc || rc {
+			n, err := pref.Intersection(l, r)
+			if err != nil {
+				return p, false
+			}
+			return n, true
+		}
+		if sameTerm(l, r) {
+			return l, true // Prop 3f
+		}
+		if isAntiChain(l) || isAntiChain(r) {
+			return pref.AntiChain(l.Attrs()...), true // x <♦ y needs both
+		}
+		return p, false
+	case *pref.DisjointUnionPref:
+		l, lc := simplifyOnce(q.Left())
+		r, rc := simplifyOnce(q.Right())
+		if lc || rc {
+			n, err := pref.DisjointUnion(l, r)
+			if err != nil {
+				return p, false
+			}
+			return n, true
+		}
+		if isAntiChain(l) {
+			return r, true // empty order contributes nothing to ∨
+		}
+		if isAntiChain(r) {
+			return l, true
+		}
+		return p, false
+	}
+	return p, false
+}
+
+// isAntiChain reports a structurally empty order.
+func isAntiChain(p pref.Preference) bool {
+	_, ok := p.(*pref.AntiChainPref)
+	return ok
+}
+
+// sameTerm reports syntactic equality of rendered terms.
+func sameTerm(a, b pref.Preference) bool { return a.String() == b.String() }
+
+// TermSize counts the constructor nodes of a term, a simple cost proxy for
+// rewriting experiments.
+func TermSize(p pref.Preference) int {
+	switch q := p.(type) {
+	case *pref.DualPref:
+		return 1 + TermSize(q.Inner())
+	case *pref.ParetoPref:
+		return 1 + TermSize(q.Left()) + TermSize(q.Right())
+	case *pref.PrioritizedPref:
+		return 1 + TermSize(q.Left()) + TermSize(q.Right())
+	case *pref.IntersectionPref:
+		return 1 + TermSize(q.Left()) + TermSize(q.Right())
+	case *pref.DisjointUnionPref:
+		return 1 + TermSize(q.Left()) + TermSize(q.Right())
+	case *pref.LinearSumPref:
+		return 1 + TermSize(q.Left()) + TermSize(q.Right())
+	case *pref.RankPref:
+		n := 1
+		for _, s := range q.Parts() {
+			n += TermSize(s)
+		}
+		return n
+	}
+	return 1
+}

@@ -1,0 +1,137 @@
+package algebra
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pref"
+)
+
+func TestSimplifyRules(t *testing.T) {
+	lo := pref.LOWEST("a")
+	hi := pref.HIGHEST("a")
+	ac := pref.AntiChain("a")
+	cases := []struct {
+		name string
+		in   pref.Preference
+		want string
+	}{
+		{"P&P → P", pref.Prioritized(lo, lo), "LOWEST(a)"},
+		{"P⊗P → P", pref.Pareto(lo, lo), "LOWEST(a)"},
+		{"P♦P → P", pref.MustIntersection(lo, lo), "LOWEST(a)"},
+		{"P&A↔ → P", pref.Prioritized(lo, ac), "LOWEST(a)"},
+		{"A↔&P → A↔", pref.Prioritized(ac, lo), ac.String()},
+		{"A↔⊗P → A↔", pref.Pareto(ac, lo), ac.String()},
+		{"P⊗A↔ → A↔", pref.Pareto(lo, ac), ac.String()},
+		{"LOWEST∂ → HIGHEST", pref.Dual(lo), "HIGHEST(a)"},
+		{"HIGHEST∂ → LOWEST", pref.Dual(hi), "LOWEST(a)"},
+		{"POS∂ → NEG", pref.Dual(pref.POS("a", int64(1))), "NEG(a, {1})"},
+		{"NEG∂ → POS", pref.Dual(pref.NEG("a", int64(1))), "POS(a, {1})"},
+		{"P1&P2 → P1 (same attrs)", pref.Prioritized(lo, hi), "LOWEST(a)"},
+		{"A↔+P → P", pref.MustDisjointUnion(ac, lo), "LOWEST(a)"},
+		{"P+A↔ → P", pref.MustDisjointUnion(lo, ac), "LOWEST(a)"},
+		{"P♦A↔ → A↔", pref.MustIntersection(lo, ac), ac.String()},
+	}
+	for _, c := range cases {
+		if got := Simplify(c.in).String(); got != c.want {
+			t.Errorf("%s: Simplify(%s) = %s, want %s", c.name, c.in, got, c.want)
+		}
+	}
+}
+
+func TestSimplifyRecursesIntoSubTerms(t *testing.T) {
+	lo := pref.LOWEST("a")
+	hi := pref.HIGHEST("b")
+	// (LOWEST(a)∂ & HIGHEST(b)) should rewrite the dual leaf.
+	in := pref.Prioritized(pref.Dual(lo), hi)
+	got := Simplify(in).String()
+	want := pref.Prioritized(pref.HIGHEST("a"), hi).String()
+	if got != want {
+		t.Errorf("nested rewrite: got %s, want %s", got, want)
+	}
+}
+
+func TestSimplifyLeavesGroupingIntact(t *testing.T) {
+	// A↔(Make) & P(Price) must NOT collapse — the anti-chain is on a
+	// different attribute set (Definition 16 grouping).
+	g := pref.GroupBy([]string{"Make"}, pref.LOWEST("Price"))
+	if got := Simplify(g).String(); got != g.String() {
+		t.Errorf("grouping rewritten: %s", got)
+	}
+}
+
+// TestSimplifyPreservesSemantics: the rewritten term must be equivalent to
+// the original on random universes — the soundness property of the whole
+// rewriting layer.
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	check := func(seed int64) bool {
+		g := NewGen(seed, 4, "a", "b", "c")
+		universe := g.Universe(10)
+		term := g.Term(3)
+		simplified := Simplify(term)
+		if !pref.AttrsEqual(term.Attrs(), simplified.Attrs()) {
+			// Prop 4a rewriting can only fire on identical attribute sets,
+			// so attribute sets must be preserved.
+			t.Logf("seed %d: attribute sets changed: %v vs %v", seed, term.Attrs(), simplified.Attrs())
+			return false
+		}
+		if w := FindInequivalence(term, simplified, universe); w != nil {
+			t.Logf("seed %d: %s simplified to inequivalent %s: %s", seed, term, simplified, w.Reason)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimplifyShrinksOrKeepsTermSize(t *testing.T) {
+	check := func(seed int64) bool {
+		g := NewGen(seed, 4, "a", "b")
+		term := g.Term(3)
+		return TermSize(Simplify(term)) <= TermSize(term)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTermSize(t *testing.T) {
+	lo := pref.LOWEST("a")
+	if TermSize(lo) != 1 {
+		t.Error("leaf size 1")
+	}
+	if TermSize(pref.Pareto(lo, lo)) != 3 {
+		t.Error("⊗ adds one node")
+	}
+	if TermSize(pref.Dual(pref.Pareto(lo, lo))) != 4 {
+		t.Error("∂ adds one node")
+	}
+	r := pref.Rank("F", pref.WeightedSum(1), pref.HIGHEST("a"), pref.LOWEST("b"))
+	if TermSize(r) != 3 {
+		t.Errorf("rank size = %d", TermSize(r))
+	}
+	sum := pref.MustLinearSum("s", pref.AntiChainSet("x", "a"), pref.AntiChainSet("y", "b"))
+	if TermSize(sum) != 3 {
+		t.Errorf("⊕ size = %d", TermSize(sum))
+	}
+}
+
+func TestGenProducesValidTermsAndChains(t *testing.T) {
+	g := NewGen(5, 4, "a", "b")
+	universe := g.Universe(10)
+	for i := 0; i < 30; i++ {
+		term := g.Term(2)
+		if v := pref.CheckSPO(term, universe); v != nil {
+			t.Fatalf("generated term %s violates SPO: %v", term, v)
+		}
+	}
+	chain := g.ChainTerm(2)
+	if v := pref.CheckSPO(chain, universe); v != nil {
+		t.Fatalf("generated chain %s violates SPO: %v", chain, v)
+	}
+	if len(g.DomainTuples("a")) != g.DomainSize {
+		t.Error("DomainTuples size")
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func sampleCars() *Relation {
+	return relation.New("car", relation.MustSchema(
+		relation.Column{Name: "color", Type: relation.String},
+		relation.Column{Name: "price", Type: relation.Int},
+		relation.Column{Name: "mileage", Type: relation.Int},
+		relation.Column{Name: "make", Type: relation.String},
+	)).MustInsert(
+		relation.Row{"red", int64(40000), int64(15000), "Audi"},
+		relation.Row{"gray", int64(35000), int64(30000), "BMW"},
+		relation.Row{"red", int64(20000), int64(10000), "Audi"},
+		relation.Row{"blue", int64(15000), int64(35000), "BMW"},
+	)
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cars := sampleCars()
+	wish := Prioritized(
+		NEG("color", "gray"),
+		Pareto(LOWEST("price"), LOWEST("mileage")),
+	)
+	best := BMO(wish, cars)
+	if best.Len() == 0 || best.Len() == cars.Len() {
+		t.Fatalf("BMO must filter without emptying: %d of %d", best.Len(), cars.Len())
+	}
+	for i := 0; i < best.Len(); i++ {
+		if c, _ := best.Tuple(i).Get("color"); c == "gray" {
+			t.Error("gray must be relaxed away (non-gray alternatives exist)")
+		}
+	}
+	if got := BMOWith(wish, cars, Naive); got.Len() != best.Len() {
+		t.Error("BMOWith(Naive) must agree with Auto")
+	}
+}
+
+func TestFacadeGroupByAndCascade(t *testing.T) {
+	cars := sampleCars()
+	perMake := GroupBy(LOWEST("price"), []string{"make"}, cars)
+	if perMake.Len() != 2 {
+		t.Errorf("cheapest per make = %d rows, want 2", perMake.Len())
+	}
+	cascaded := Cascade(cars, POS("color", "red"), LOWEST("price"))
+	if cascaded.Len() != 1 {
+		t.Errorf("cascade = %d rows, want 1", cascaded.Len())
+	}
+}
+
+func TestFacadeQualityAndRank(t *testing.T) {
+	cars := sampleCars()
+	if size := ResultSize(LOWEST("price"), cars); size != 1 {
+		t.Errorf("ResultSize = %d", size)
+	}
+	pm := PerfectMatches(POS("color", "red"), cars)
+	if pm.Len() != 2 {
+		t.Errorf("perfect matches = %d", pm.Len())
+	}
+	top := TopK(HIGHEST("price"), cars, 2)
+	if len(top) != 2 || top[0].Score != 40000 {
+		t.Errorf("TopK = %v", top)
+	}
+	tup := MapTuple{"color": "red"}
+	if l, ok := Level(POS("color", "red"), tup); !ok || l != 1 {
+		t.Errorf("Level = %d, %v", l, ok)
+	}
+	if d, ok := Distance(AROUND("price", 100), MapTuple{"price": int64(90)}); !ok || d != 10 {
+		t.Errorf("Distance = %v, %v", d, ok)
+	}
+}
+
+func TestFacadeGraph(t *testing.T) {
+	cars := sampleCars()
+	g := BetterThanGraph(Pareto(LOWEST("price"), LOWEST("mileage")), cars)
+	if g.MaxLevel() < 2 {
+		t.Errorf("graph should have at least 2 levels, got %d", g.MaxLevel())
+	}
+}
+
+func TestFacadeConstructorsCovered(t *testing.T) {
+	// Error-returning constructors surface through the façade unchanged.
+	if _, err := POSNEG("c", []Value{"a"}, []Value{"a"}); err == nil {
+		t.Error("POSNEG overlap must error")
+	}
+	if _, err := POSPOS("c", []Value{"a"}, []Value{"a"}); err == nil {
+		t.Error("POSPOS overlap must error")
+	}
+	if _, err := BETWEEN("p", 5, 1); err == nil {
+		t.Error("BETWEEN inverted must error")
+	}
+	if _, err := EXPLICIT("c", []Edge{{Worse: "a", Better: "a"}}); err == nil {
+		t.Error("EXPLICIT self-loop must error")
+	}
+	if _, err := Intersection(LOWEST("a"), LOWEST("b")); err == nil {
+		t.Error("Intersection attr mismatch must error")
+	}
+	if _, err := DisjointUnion(LOWEST("a"), LOWEST("b")); err == nil {
+		t.Error("DisjointUnion attr mismatch must error")
+	}
+	if _, err := LinearSum("x", AntiChainSet("a", "v"), AntiChainSet("b", "v")); err == nil {
+		t.Error("LinearSum overlap must error")
+	}
+	// Value constructors.
+	ps := []Preference{
+		ParetoAll(LOWEST("a"), HIGHEST("b")),
+		PrioritizedAll(LOWEST("a"), HIGHEST("b")),
+		Dual(LOWEST("a")),
+		AntiChain("a"),
+		GroupByPref([]string{"a"}, LOWEST("b")),
+		Rank("F", WeightedSum(1, 2), AROUND("a", 0), HIGHEST("b")),
+		SCORE("a", "id", func(Value) float64 { return 0 }),
+	}
+	for _, p := range ps {
+		if p == nil || len(p.Attrs()) == 0 {
+			t.Errorf("constructor produced invalid preference %v", p)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/pref"
+	"repro/internal/relation"
+)
+
+// naive performs exhaustive pairwise better-than tests over the candidate
+// index set: O(n²) comparisons, the paper's reference strategy (§5.1).
+func naive(p pref.Preference, r *relation.Relation, idx []int) []int {
+	var out []int
+	for _, i := range idx {
+		ti := r.Tuple(i)
+		maximal := true
+		for _, j := range idx {
+			if i == j {
+				continue
+			}
+			if p.Less(ti, r.Tuple(j)) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// bnl is the block-nested-loops algorithm: maintain a window of mutually
+// unranked candidates; each incoming tuple either is dominated by a window
+// member, evicts dominated members, or joins the window. The window is the
+// exact BMO result after one pass because domination is transitive.
+func bnl(p pref.Preference, r *relation.Relation, idx []int) []int {
+	window := make([]int, 0, 16)
+	for _, i := range idx {
+		ti := r.Tuple(i)
+		dominated := false
+		keep := window[:0]
+		for _, w := range window {
+			tw := r.Tuple(w)
+			if p.Less(ti, tw) {
+				// The candidate is beaten. By transitivity it cannot have
+				// dominated any earlier window member (they are mutually
+				// unranked), so the window is unchanged.
+				dominated = true
+				break
+			}
+			if !p.Less(tw, ti) {
+				keep = append(keep, w)
+			}
+		}
+		if dominated {
+			continue
+		}
+		window = append(keep, i)
+	}
+	sort.Ints(window)
+	return window
+}
+
+// sfsKey derives a sort key compatible with P: a vector key(t) ∈ ℝ^k,
+// compared lexicographically, such that x <P y implies key(x) <lex key(y)
+// strictly. SFS sorts candidates by descending key so no tuple can be
+// dominated by a later one.
+//
+// Keys exist for Scorer leaves (k=1), prioritized accumulations
+// (concatenation: lexicographic order respects & by Definition 9), and
+// Pareto accumulations of scalar-keyed operands (sum: each component is ≤
+// with at least one <, per Definition 8).
+func sfsKey(p pref.Preference) (func(pref.Tuple) []float64, bool) {
+	if fn, ok := scalarKey(p); ok {
+		return func(t pref.Tuple) []float64 { return []float64{fn(t)} }, true
+	}
+	switch q := p.(type) {
+	case *pref.PrioritizedPref:
+		k1, ok1 := sfsKey(q.Left())
+		k2, ok2 := sfsKey(q.Right())
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		return func(t pref.Tuple) []float64 {
+			return append(k1(t), k2(t)...)
+		}, true
+	}
+	return nil, false
+}
+
+// scalarKey derives a scalar key with x <P y ⇒ key(x) < key(y) and
+// projection-equality ⇒ key-equality: Scorers directly, Pareto trees of
+// scalars by summation.
+func scalarKey(p pref.Preference) (func(pref.Tuple) float64, bool) {
+	switch q := p.(type) {
+	case pref.Scorer:
+		return q.ScoreOf, true
+	case *pref.ParetoPref:
+		k1, ok1 := scalarKey(q.Left())
+		k2, ok2 := scalarKey(q.Right())
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		return func(t pref.Tuple) float64 { return k1(t) + k2(t) }, true
+	}
+	return nil, false
+}
+
+// sfs runs sort-filter-skyline: sort by descending compatible key, then a
+// single pass comparing each candidate only against confirmed result
+// members. Falls back to BNL when no compatible key exists.
+func sfs(p pref.Preference, r *relation.Relation, idx []int) []int {
+	keyFn, ok := sfsKey(p)
+	if !ok {
+		return bnl(p, r, idx)
+	}
+	type cand struct {
+		row int
+		key []float64
+	}
+	cands := make([]cand, len(idx))
+	for k, i := range idx {
+		cands[k] = cand{i, keyFn(r.Tuple(i))}
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		ka, kb := cands[a].key, cands[b].key
+		for i := range ka {
+			if ka[i] != kb[i] {
+				return ka[i] > kb[i] // descending
+			}
+		}
+		return false
+	})
+	var result []int
+	for _, c := range cands {
+		tc := r.Tuple(c.row)
+		dominated := false
+		for _, w := range result {
+			if p.Less(tc, r.Tuple(w)) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			result = append(result, c.row)
+		}
+	}
+	sort.Ints(result)
+	return result
+}
+
+// chainDims flattens a Pareto tree into its chain dimensions (LOWEST or
+// HIGHEST leaves on distinct attributes). This is exactly the fragment the
+// SKYLINE OF clause of [BKS01] covers; on it, the paper's equality-based
+// Pareto semantics coincides with coordinate-wise score dominance, so the
+// [KLP75] divide & conquer maxima algorithm applies.
+func chainDims(p pref.Preference) ([]pref.Scorer, bool) {
+	switch q := p.(type) {
+	case *pref.Lowest:
+		return []pref.Scorer{q}, true
+	case *pref.Highest:
+		return []pref.Scorer{q}, true
+	case *pref.ParetoPref:
+		d1, ok1 := chainDims(q.Left())
+		d2, ok2 := chainDims(q.Right())
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		dims := append(d1, d2...)
+		seen := make(map[string]struct{}, len(dims))
+		for _, d := range dims {
+			a := d.Attrs()[0]
+			if _, dup := seen[a]; dup {
+				return nil, false
+			}
+			seen[a] = struct{}{}
+		}
+		return dims, true
+	}
+	return nil, false
+}
+
+// dncPoint carries a row index with its maximize-all score vector.
+type dncPoint struct {
+	row   int
+	coord []float64
+}
+
+// dominates reports coordinate-wise dominance: a ≥ b everywhere and a > b
+// somewhere (all dimensions maximize).
+func dominates(a, b []float64) bool {
+	strict := false
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+		if a[i] > b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// dnc computes the maxima via divide & conquer [KLP75] for chain-product
+// preferences: split on the median of the first dimension, recurse, then
+// filter the low half's maxima against the high half's maxima. Falls back
+// to BNL for non-chain-product preferences.
+func dnc(p pref.Preference, r *relation.Relation, idx []int) []int {
+	dims, ok := chainDims(p)
+	if !ok {
+		return bnl(p, r, idx)
+	}
+	pts := make([]dncPoint, len(idx))
+	for k, i := range idx {
+		coord := make([]float64, len(dims))
+		t := r.Tuple(i)
+		for d, s := range dims {
+			coord[d] = s.ScoreOf(t)
+		}
+		pts[k] = dncPoint{i, coord}
+	}
+	maxima := dncMaxima(pts)
+	out := make([]int, len(maxima))
+	for k, pt := range maxima {
+		out[k] = pt.row
+	}
+	sort.Ints(out)
+	return out
+}
+
+// dncMaxima returns the non-dominated points.
+func dncMaxima(pts []dncPoint) []dncPoint {
+	if len(pts) <= 8 {
+		return bruteMaxima(pts)
+	}
+	// Split at the median of dimension 0: high half can dominate low half
+	// but not vice versa (after in-half maxima are taken).
+	keys := make([]float64, len(pts))
+	for i, p := range pts {
+		keys[i] = p.coord[0]
+	}
+	sort.Float64s(keys)
+	median := keys[len(keys)/2]
+	var high, low []dncPoint
+	for _, p := range pts {
+		if p.coord[0] >= median {
+			high = append(high, p)
+		} else {
+			low = append(low, p)
+		}
+	}
+	if len(low) == 0 || len(high) == 0 {
+		// Degenerate split (many ties on dim 0): fall back to brute force
+		// on this partition to guarantee termination.
+		return bruteMaxima(pts)
+	}
+	mHigh := dncMaxima(high)
+	mLow := dncMaxima(low)
+	// Filter the low maxima against the high maxima.
+	out := append([]dncPoint(nil), mHigh...)
+	for _, lp := range mLow {
+		dominated := false
+		for _, hp := range mHigh {
+			if dominates(hp.coord, lp.coord) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, lp)
+		}
+	}
+	return out
+}
+
+// bruteMaxima is the quadratic base case of the divide & conquer.
+func bruteMaxima(pts []dncPoint) []dncPoint {
+	var out []dncPoint
+	for i, a := range pts {
+		maximal := true
+		for j, b := range pts {
+			if i != j && dominates(b.coord, a.coord) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/pref"
+	"repro/internal/relation"
+)
+
+// decomposed evaluates σ[P](R) by structural recursion over the preference
+// term using the paper's decomposition theorems:
+//
+//	Prop 8:  σ[P1+P2](R) = σ[P1](R) ∩ σ[P2](R)
+//	Prop 9:  σ[P1♦P2](R) = σ[P1](R) ∪ σ[P2](R) ∪ YY(P1, P2)R
+//	Prop 10: σ[P1&P2](R) = σ[P1](R) ∩ σ[P2 groupby A1](R)   (A1 ∩ A2 = ∅)
+//	Prop 11: σ[P1&P2](R) = σ[P2](σ[P1](R))                  (P1 a chain)
+//	Prop 12: σ[P1⊗P2](R) = (σ[P1](R) ∩ σ[P2 groupby A1](R)) ∪
+//	                       (σ[P2](R) ∩ σ[P1 groupby A2](R)) ∪
+//	                       YY(P1&P2, P2&P1)R
+//
+// Leaves and non-decomposable terms evaluate with BNL.
+func decomposed(p pref.Preference, r *relation.Relation, idx []int) []int {
+	switch q := p.(type) {
+	case *pref.DisjointUnionPref:
+		return intersect(
+			decomposed(q.Left(), r, idx),
+			decomposed(q.Right(), r, idx),
+		)
+	case *pref.IntersectionPref:
+		return union(
+			decomposed(q.Left(), r, idx),
+			decomposed(q.Right(), r, idx),
+			yy(q.Left(), q.Right(), r, idx),
+		)
+	case *pref.PrioritizedPref:
+		return decomposedPrioritized(q, r, idx)
+	case *pref.ParetoPref:
+		return decomposedPareto(q, r, idx)
+	}
+	return bnl(p, r, idx)
+}
+
+// decomposedPrioritized applies Prop 4a (shared attributes), Prop 11
+// (chain shortcut) or Prop 10 (grouping), falling back to BNL when the
+// attribute sets overlap without being equal.
+func decomposedPrioritized(q *pref.PrioritizedPref, r *relation.Relation, idx []int) []int {
+	a1, a2 := q.Left().Attrs(), q.Right().Attrs()
+	if pref.AttrsEqual(a1, a2) {
+		// Prop 4a: P1 & P2 ≡ P1 on shared attributes.
+		return decomposed(q.Left(), r, idx)
+	}
+	if !pref.AttrsDisjoint(a1, a2) {
+		return bnl(q, r, idx)
+	}
+	if isStructuralChain(q.Left()) {
+		// Prop 11: cascade of preference queries.
+		return decomposed(q.Right(), r, decomposed(q.Left(), r, idx))
+	}
+	// Prop 10: σ[P1](R) ∩ σ[P2 groupby A1](R).
+	return intersect(
+		decomposed(q.Left(), r, idx),
+		groupByIndicesOn(q.Right(), a1, r, idx),
+	)
+}
+
+// decomposedPareto applies the main decomposition theorem Prop 12. It
+// requires disjoint attribute sets (the prioritized sub-terms degrade to
+// Prop 4a otherwise, which would change the semantics); shared-attribute
+// Pareto terms use Prop 6 (⊗ ≡ ♦ on identical attribute sets) or BNL.
+func decomposedPareto(q *pref.ParetoPref, r *relation.Relation, idx []int) []int {
+	a1, a2 := q.Left().Attrs(), q.Right().Attrs()
+	if pref.AttrsEqual(a1, a2) {
+		// Prop 6: P1 ⊗ P2 ≡ P1 ♦ P2 on identical attribute sets.
+		return union(
+			decomposed(q.Left(), r, idx),
+			decomposed(q.Right(), r, idx),
+			yy(q.Left(), q.Right(), r, idx),
+		)
+	}
+	if !pref.AttrsDisjoint(a1, a2) {
+		return bnl(q, r, idx)
+	}
+	term1 := intersect(
+		decomposed(q.Left(), r, idx),
+		groupByIndicesOn(q.Right(), a1, r, idx),
+	)
+	term2 := intersect(
+		decomposed(q.Right(), r, idx),
+		groupByIndicesOn(q.Left(), a2, r, idx),
+	)
+	term3 := yy(pref.Prioritized(q.Left(), q.Right()), pref.Prioritized(q.Right(), q.Left()), r, idx)
+	return union(term1, term2, term3)
+}
+
+// yy computes YY(P1, P2)R over the candidate rows (Definition 17c): the
+// rows whose projection is non-maximal in both P1R and P2R yet has no
+// common dominator, i.e. P1↑t[A] ∩ P2↑t[A] ∩ R[A] = ∅.
+func yy(p1, p2 pref.Preference, r *relation.Relation, idx []int) []int {
+	max1 := toSet(bnl(p1, r, idx))
+	max2 := toSet(bnl(p2, r, idx))
+	var out []int
+	for _, i := range idx {
+		if max1[i] || max2[i] {
+			continue // maximal in one of them, not in Nmax ∩ Nmax
+		}
+		ti := r.Tuple(i)
+		common := false
+		for _, j := range idx {
+			if i == j {
+				continue
+			}
+			tj := r.Tuple(j)
+			if p1.Less(ti, tj) && p2.Less(ti, tj) {
+				common = true
+				break
+			}
+		}
+		if !common {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// groupByIndices evaluates σ[P groupby A](R) over the whole relation.
+func groupByIndices(p pref.Preference, groupAttrs []string, r *relation.Relation, alg Algorithm) []int {
+	eval := func(p pref.Preference, r *relation.Relation, idx []int) []int {
+		switch alg {
+		case Naive:
+			return naive(p, r, idx)
+		case SFS:
+			return sfs(p, r, idx)
+		case DNC:
+			return dnc(p, r, idx)
+		case Decomposition:
+			return decomposed(p, r, idx)
+		case ParallelBNL:
+			return bnlParallel(p, r, idx)
+		case Auto:
+			return auto(p, r, idx)
+		}
+		return bnl(p, r, idx)
+	}
+	var out []int
+	for _, group := range r.Groups(groupAttrs) {
+		out = append(out, eval(p, r, group)...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// groupByIndicesOn is groupByIndices restricted to a candidate index set,
+// used inside the decomposition recursion.
+func groupByIndicesOn(p pref.Preference, groupAttrs []string, r *relation.Relation, idx []int) []int {
+	byKey := make(map[string][]int)
+	var order []string
+	for _, i := range idx {
+		k := pref.ProjectionKey(r.Tuple(i), groupAttrs)
+		if _, ok := byKey[k]; !ok {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], i)
+	}
+	var out []int
+	for _, k := range order {
+		out = append(out, decomposed(p, r, byKey[k])...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// isStructuralChain reports whether p is a chain by construction: LOWEST
+// and HIGHEST are chains (Definition 7c), and prioritized accumulations of
+// chains are chains (Proposition 3h). SCORE/rank(F) preferences are chains
+// only for injective scoring functions, which is not decidable here, so
+// they report false (the grouping path of Prop 10 is then used, which is
+// always correct).
+func isStructuralChain(p pref.Preference) bool {
+	switch q := p.(type) {
+	case *pref.Lowest, *pref.Highest:
+		return true
+	case *pref.PrioritizedPref:
+		return isStructuralChain(q.Left()) && isStructuralChain(q.Right())
+	}
+	return false
+}
+
+func toSet(idx []int) map[int]bool {
+	m := make(map[int]bool, len(idx))
+	for _, i := range idx {
+		m[i] = true
+	}
+	return m
+}
+
+// intersect returns the sorted intersection of index sets.
+func intersect(a, b []int) []int {
+	inB := toSet(b)
+	var out []int
+	for _, i := range a {
+		if inB[i] {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// union returns the sorted duplicate-free union of index sets.
+func union(sets ...[]int) []int {
+	seen := make(map[int]struct{})
+	var out []int
+	for _, s := range sets {
+		for _, i := range s {
+			if _, dup := seen[i]; dup {
+				continue
+			}
+			seen[i] = struct{}{}
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/pref"
+	"repro/internal/relation"
+)
+
+// bnlParallel evaluates the BMO query with partitioned block-nested-loops:
+// the candidate set splits into one partition per CPU, each partition's
+// maxima are computed concurrently, and the local maxima merge with a
+// final BNL pass. Correctness rests on the divide & conquer identity
+// max(P over A ∪ B) = max(P over max(P, A) ∪ max(P, B)), which holds for
+// every strict partial order: a tuple dominated within its partition is
+// dominated globally, and the merge removes cross-partition domination.
+func bnlParallel(p pref.Preference, r *relation.Relation, idx []int) []int {
+	workers := runtime.NumCPU()
+	if workers > len(idx)/512 {
+		workers = len(idx) / 512
+	}
+	if workers < 2 {
+		return bnl(p, r, idx)
+	}
+	chunk := (len(idx) + workers - 1) / workers
+	locals := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(idx) {
+			hi = len(idx)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, part []int) {
+			defer wg.Done()
+			locals[w] = bnl(p, r, part)
+		}(w, idx[lo:hi])
+	}
+	wg.Wait()
+	var merged []int
+	for _, l := range locals {
+		merged = append(merged, l...)
+	}
+	out := bnl(p, r, merged)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pref"
+	"repro/internal/relation"
+)
+
+// TestParallelBNLAgreesWithSequential: the partition-and-merge evaluation
+// must be exact for arbitrary preference terms.
+func TestParallelBNLAgreesWithSequential(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rel := randomRelation(rng, 600+rng.Intn(2000), 2+rng.Intn(8))
+		p := randomTerm(rng, 8)
+		want := BMOIndices(p, rel, BNL)
+		got := BMOIndices(p, rel, ParallelBNL)
+		if !sameIndices(got, want) {
+			t.Logf("seed %d: parallel BNL diverged on %s: %d vs %d rows", seed, p, len(got), len(want))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelBNLSmallInputFallsThrough(t *testing.T) {
+	// Inputs below the partition threshold run sequentially — same result.
+	rng := rand.New(rand.NewSource(3))
+	rel := randomRelation(rng, 50, 3)
+	p := pref.Pareto(pref.LOWEST("A1"), pref.LOWEST("A2"))
+	if !sameIndices(BMOIndices(p, rel, ParallelBNL), BMOIndices(p, rel, BNL)) {
+		t.Error("small-input parallel evaluation must equal sequential")
+	}
+}
+
+func TestParallelBNLEmptyAndSingleton(t *testing.T) {
+	rel := relation.New("R", relation.MustSchema(relation.Column{Name: "A1", Type: relation.Int}))
+	p := pref.LOWEST("A1")
+	if got := BMOIndices(p, rel, ParallelBNL); len(got) != 0 {
+		t.Error("empty input")
+	}
+	rel.MustInsert(relation.Row{int64(1)})
+	if got := BMOIndices(p, rel, ParallelBNL); len(got) != 1 {
+		t.Error("singleton input")
+	}
+}
+
+func TestParallelBNLInGrouping(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rel := randomRelation(rng, 1500, 3)
+	p := pref.AROUND("A2", 1)
+	a := GroupBy(p, []string{"A1"}, rel, BNL)
+	b := GroupBy(p, []string{"A1"}, rel, ParallelBNL)
+	if a.Len() != b.Len() {
+		t.Errorf("grouping with parallel BNL diverged: %d vs %d", a.Len(), b.Len())
+	}
+}

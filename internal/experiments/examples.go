@@ -1,0 +1,408 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/engine"
+	"repro/internal/paperdata"
+	"repro/internal/pref"
+	"repro/internal/psql"
+	"repro/internal/workload"
+)
+
+// E1 rebuilds the better-than graph of the EXPLICIT colour preference of
+// Example 1 and checks the stated level assignment.
+func E1() *Report {
+	r := &Report{ID: "E1", Title: "Example 1", Pass: true}
+	p := paperdata.Example1Explicit()
+	g := pref.NewGraph(p, paperdata.ColorTuples())
+	for i, labels := range g.LevelNodes() {
+		r.printf("Level %d:  %v", i+1, labels)
+	}
+	for i := 0; i < g.Len(); i++ {
+		label := g.Label(i)
+		want := paperdata.Example1Levels[label]
+		if g.Level(i) != want {
+			r.fail("level of %s = %d, paper states %d", label, g.Level(i), want)
+		}
+	}
+	return r
+}
+
+// E2 evaluates the Pareto preference P4 = (P1 ⊗ P2) ⊗ P3 of Example 2 over
+// R and checks the Pareto-optimal set {val1, val3, val5} and the two-level
+// graph structure.
+func E2() *Report {
+	r := &Report{ID: "E2", Title: "Example 2", Pass: true}
+	p4 := paperdata.Example2Pareto()
+	rel := paperdata.Example2R()
+	got := engine.BMOIndices(p4, rel, engine.Naive)
+	r.printf("Pareto-optimal set: rows %s (want %s)", sortedInts(got), sortedInts(paperdata.Example2ParetoOptimal))
+	if !equalIntSets(got, paperdata.Example2ParetoOptimal) {
+		r.fail("Pareto-optimal set mismatch")
+	}
+	g := pref.NewGraph(p4, rel.Tuples())
+	for i, labels := range g.LevelNodes() {
+		r.printf("Level %d:  %v", i+1, labels)
+	}
+	for row, want := range paperdata.Example2Levels {
+		if got := g.Level(row); got != want {
+			r.fail("level of val%d = %d, paper states %d", row+1, got, want)
+		}
+	}
+	// The paper notes every component preference contributes a maximal
+	// value to the Pareto-optimal set (5 and −5 for P1, 0 for P2, 8 for P3).
+	return r
+}
+
+// E3 evaluates the shared-attribute Pareto preference P7 = P5 ⊗ P6 of
+// Example 3 over the colour set S and checks the stated compromise levels.
+func E3() *Report {
+	r := &Report{ID: "E3", Title: "Example 3", Pass: true}
+	p5, p6 := paperdata.Example3Prefs()
+	p7 := pref.Pareto(p5, p6)
+	g := pref.NewGraph(p7, paperdata.Example3STuples())
+	for i, labels := range g.LevelNodes() {
+		r.printf("Level %d:  %v", i+1, labels)
+	}
+	for color, want := range paperdata.Example3Levels {
+		found := false
+		for i := 0; i < g.Len(); i++ {
+			if g.Label(i) == color {
+				found = true
+				if g.Level(i) != want {
+					r.fail("level of %s = %d, paper states %d", color, g.Level(i), want)
+				}
+			}
+		}
+		if !found {
+			r.fail("colour %s missing from graph", color)
+		}
+	}
+	return r
+}
+
+// E4 rebuilds the prioritized better-than graphs of Example 4 (P8 = P1 & P2
+// and P9 = (P1 ⊗ P2) & P3 over R) and checks the stated level structures.
+func E4() *Report {
+	r := &Report{ID: "E4", Title: "Example 4", Pass: true}
+	p1, p2, p3 := paperdata.Example2Prefs()
+	rel := paperdata.Example2R()
+	p8 := pref.Prioritized(p1, p2)
+	p9 := pref.Prioritized(pref.Pareto(p1, p2), p3)
+	check := func(name string, p pref.Preference, want map[int]int) {
+		g := pref.NewGraph(p, rel.Tuples())
+		r.printf("%s:", name)
+		for i, labels := range g.LevelNodes() {
+			r.printf("  Level %d:  %v", i+1, labels)
+		}
+		// Map rows to graph nodes through their projections.
+		for row, wantLevel := range want {
+			t := rel.Tuple(row)
+			for i := 0; i < g.Len(); i++ {
+				if pref.EqualOn(t, g.Nodes()[i], p.Attrs()) {
+					if g.Level(i) != wantLevel {
+						r.fail("%s: level of val%d = %d, paper states %d", name, row+1, g.Level(i), wantLevel)
+					}
+				}
+			}
+		}
+	}
+	check("P8 = P1 & P2", p8, paperdata.Example4P8Levels)
+	check("P9 = (P1 ⊗ P2) & P3", p9, paperdata.Example4P9Levels)
+	return r
+}
+
+// E5 evaluates the numerical preference P3 = rank(F)(P1, P2) of Example 5,
+// checking the combined F-values and the stated 5-level chain of groups.
+func E5() *Report {
+	r := &Report{ID: "E5", Title: "Example 5", Pass: true}
+	p := paperdata.Example5Rank()
+	rel := paperdata.Example5R()
+	for i := 0; i < rel.Len(); i++ {
+		f := p.ScoreOf(rel.Tuple(i))
+		r.printf("val%d: F = %g (want %g)", i+1, f, paperdata.Example5FValues[i])
+		if f != paperdata.Example5FValues[i] {
+			r.fail("F-value of val%d = %g, paper states %g", i+1, f, paperdata.Example5FValues[i])
+		}
+	}
+	g := pref.NewGraph(p, rel.Tuples())
+	if g.MaxLevel() != len(paperdata.Example5Chain) {
+		r.fail("graph has %d levels, paper states %d", g.MaxLevel(), len(paperdata.Example5Chain))
+	}
+	for level, rows := range paperdata.Example5Chain {
+		for _, row := range rows {
+			t := rel.Tuple(row)
+			for i := 0; i < g.Len(); i++ {
+				if pref.EqualOn(t, g.Nodes()[i], p.Attrs()) && g.Level(i) != level+1 {
+					r.fail("val%d on level %d, paper states %d", row+1, g.Level(i), level+1)
+				}
+			}
+		}
+	}
+	// The paper's observation: the maximal f1-value 6 does not appear in
+	// the top performer val4 — rank(F) can discriminate against P1.
+	top := engine.BMOIndices(p, rel, engine.Naive)
+	r.printf("BMO top performer rows: %s (val4 expected)", sortedInts(top))
+	if !equalIntSets(top, []int{3}) {
+		r.fail("top performer mismatch: got %s", sortedInts(top))
+	}
+	return r
+}
+
+// E6 runs the full preference-engineering scenario of Example 6 against a
+// synthetic used-car database: Julia's wish list Q1, the dealer-extended
+// Q2, and the renegotiated Q1*. The scenario is qualitative; the checks
+// assert non-empty, small BMO results (no empty-result effect, no
+// flooding) and that Q2 refines Q1's result.
+func E6() *Report {
+	r := &Report{ID: "E6", Title: "Example 6", Pass: true}
+	cars := workload.Cars(2000, 42)
+
+	p1 := pref.MustPOSPOS("category", []pref.Value{"cabriolet"}, []pref.Value{"roadster"})
+	p2 := pref.POS("transmission", "automatic")
+	p3 := pref.AROUND("horsepower", 100)
+	p4 := pref.LOWEST("price")
+	p5 := pref.NEG("color", "gray")
+	q1 := pref.Prioritized(p5, pref.Prioritized(pref.ParetoAll(p1, p2, p3), p4))
+	p6 := pref.HIGHEST("year")
+	p7 := pref.HIGHEST("commission")
+	q2 := pref.Prioritized(pref.Prioritized(q1, p6), p7)
+	p8 := pref.MustPOSNEG("color", []pref.Value{"blue"}, []pref.Value{"gray", "red"})
+	q1star := pref.Prioritized(pref.ParetoAll(p5, p8, p4), pref.ParetoAll(p1, p2, p3))
+
+	for _, c := range []struct {
+		name string
+		p    pref.Preference
+	}{{"Q1", q1}, {"Q2", q2}, {"Q1*", q1star}} {
+		res := engine.BMO(c.p, cars, engine.BNL)
+		r.printf("%-3s → %d best matches of %d cars", c.name, res.Len(), cars.Len())
+		if res.Len() == 0 {
+			r.fail("%s returned an empty result: BMO must avoid the empty-result effect", c.name)
+		}
+		if res.Len() > cars.Len()/10 {
+			r.fail("%s flooded: %d of %d rows", c.name, res.Len(), cars.Len())
+		}
+	}
+	// Q2 = (Q1 & P6) & P7 refines Q1: its result is a subset of Q1's
+	// (prioritization only filters within Q1's optima — Prop 13c).
+	q1Rows := toSet(engine.BMOIndices(q1, cars, engine.BNL))
+	for _, i := range engine.BMOIndices(q2, cars, engine.BNL) {
+		if !q1Rows[i] {
+			r.fail("Q2 result row %d not in Q1 result; & must refine", i)
+		}
+	}
+	// The same scenario through Preference SQL.
+	sql := `SELECT oid, category, transmission, horsepower, price, color FROM car
+	        PREFERRING color <> 'gray' PRIOR TO
+	        (category = 'cabriolet' ELSE category = 'roadster' AND
+	         transmission = 'automatic' AND horsepower AROUND 100)
+	        PRIOR TO LOWEST(price)`
+	res, err := psql.Run(sql, psql.Catalog{"car": cars}, psql.Options{})
+	if err != nil {
+		r.fail("Preference SQL variant failed: %v", err)
+		return r
+	}
+	r.printf("Preference SQL variant → %d rows", res.Len())
+	if res.Len() == 0 {
+		r.fail("Preference SQL variant returned no rows")
+	}
+	return r
+}
+
+// E7 verifies the non-discrimination theorem on the Car-DB of Example 7:
+// the better-than graph of P1 ⊗ P2 equals that of (P1 & P2) ♦ (P2 & P1),
+// and the two prioritized preferences are the stated chains.
+func E7() *Report {
+	r := &Report{ID: "E7", Title: "Example 7", Pass: true}
+	p1, p2 := paperdata.Example7Prefs()
+	rel := paperdata.Example7CarDB()
+	pareto := pref.Pareto(p1, p2)
+	rhs := pref.MustIntersection(pref.Prioritized(p1, p2), pref.Prioritized(p2, p1))
+	if w := algebra.FindInequivalence(pareto, rhs, rel.Tuples()); w != nil {
+		r.fail("P1⊗P2 ≢ (P1&P2)♦(P2&P1) on Car-DB: %v", w.Reason)
+	}
+	got := engine.BMOIndices(pareto, rel, engine.Naive)
+	r.printf("max(P1⊗P2) over Car-DB: rows %s (want %s)", sortedInts(got), sortedInts(paperdata.Example7Maxima))
+	if !equalIntSets(got, paperdata.Example7Maxima) {
+		r.fail("Pareto maxima mismatch")
+	}
+	checkChain := func(name string, p pref.Preference, want []int) {
+		g := pref.NewGraph(p, rel.Tuples())
+		var order []int
+		for level := 1; level <= g.MaxLevel(); level++ {
+			for i := 0; i < g.Len(); i++ {
+				if g.Level(i) == level {
+					for row := 0; row < rel.Len(); row++ {
+						if pref.EqualOn(rel.Tuple(row), g.Nodes()[i], p.Attrs()) {
+							order = append(order, row)
+						}
+					}
+				}
+			}
+		}
+		r.printf("%s chain (best first): rows %v (want %v)", name, order, want)
+		if fmt.Sprint(order) != fmt.Sprint(want) {
+			r.fail("%s chain mismatch", name)
+		}
+	}
+	checkChain("P1&P2", pref.Prioritized(p1, p2), paperdata.Example7PrioChain)
+	checkChain("P2&P1", pref.Prioritized(p2, p1), paperdata.Example7PrioChainRev)
+	return r
+}
+
+// E8 poses the BMO query of Example 8: σ[P](R) for the EXPLICIT preference
+// of Example 1 over R(Color) = {yellow, red, green, black}, expecting
+// {yellow, red} with red a perfect match.
+func E8() *Report {
+	r := &Report{ID: "E8", Title: "Example 8", Pass: true}
+	p := paperdata.Example1Explicit()
+	rel := paperdata.Example8R()
+	res := engine.BMO(p, rel, engine.Naive)
+	var got []string
+	for i := 0; i < res.Len(); i++ {
+		v, _ := res.Tuple(i).Get("Color")
+		got = append(got, v.(string))
+	}
+	sort.Strings(got)
+	want := append([]string(nil), paperdata.Example8BMO...)
+	sort.Strings(want)
+	r.printf("σ[P](R) = %v (want %v)", got, want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		r.fail("BMO result mismatch")
+	}
+	perfect := engine.PerfectMatches(p, rel, engine.Naive)
+	var perfectColors []string
+	for i := 0; i < perfect.Len(); i++ {
+		v, _ := perfect.Tuple(i).Get("Color")
+		perfectColors = append(perfectColors, v.(string))
+	}
+	r.printf("perfect matches: %v (want [red])", perfectColors)
+	if fmt.Sprint(perfectColors) != "[red]" {
+		r.fail("perfect match should be exactly red, got %v", perfectColors)
+	}
+	return r
+}
+
+// E9 replays the growing Cars sets of Example 9, demonstrating the
+// non-monotonicity of preference query results: adding tuples can shrink,
+// grow or replace the BMO answer.
+func E9() *Report {
+	r := &Report{ID: "E9", Title: "Example 9", Pass: true}
+	p := paperdata.Example9Pref()
+	stages, want := paperdata.Example9Stages()
+	var sizes []int
+	for s, rel := range stages {
+		res := engine.BMO(p, rel, engine.Naive)
+		var names []string
+		for i := 0; i < res.Len(); i++ {
+			v, _ := res.Tuple(i).Get("Nickname")
+			names = append(names, v.(string))
+		}
+		sort.Strings(names)
+		w := append([]string(nil), want[s]...)
+		sort.Strings(w)
+		r.printf("card(Cars)=%d → σ[P](Cars) = %v (want %v)", rel.Len(), names, w)
+		if fmt.Sprint(names) != fmt.Sprint(w) {
+			r.fail("stage %d mismatch", s+1)
+		}
+		sizes = append(sizes, res.Len())
+	}
+	// Non-monotone: result size goes 1 → 2 → 1 while input only grows.
+	if !(sizes[0] < sizes[1] && sizes[2] < sizes[1]) {
+		r.fail("result sizes %v do not exhibit the stated non-monotonicity", sizes)
+	}
+	return r
+}
+
+// E10 evaluates the grouped prioritized query of Example 10, "for each
+// make an offer with a price around 40000", via Prop 10 and directly.
+func E10() *Report {
+	r := &Report{ID: "E10", Title: "Example 10", Pass: true}
+	rel := paperdata.Example10Cars()
+	p2 := pref.AROUND("Price", 40000)
+	res := engine.GroupBy(p2, []string{"Make"}, rel, engine.Naive)
+	var oids []int64
+	for i := 0; i < res.Len(); i++ {
+		v, _ := res.Tuple(i).Get("Oid")
+		oids = append(oids, v.(int64))
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	r.printf("σ[P2 groupby Make](Cars) → Oids %v (want %v)", oids, paperdata.Example10Want)
+	if fmt.Sprint(oids) != fmt.Sprint(paperdata.Example10Want) {
+		r.fail("grouped result mismatch")
+	}
+	// Definition 16: groupby is literally σ[Make↔ & P2](R).
+	direct := engine.BMOIndices(pref.GroupBy([]string{"Make"}, p2), rel, engine.Naive)
+	if len(direct) != res.Len() {
+		r.fail("σ[Make↔&P2](R) has %d rows, grouping evaluation %d", len(direct), res.Len())
+	}
+	// The same query in Preference SQL.
+	out, err := psql.Run(
+		"SELECT Oid FROM Cars PREFERRING Price AROUND 40000 GROUPING BY Make ORDER BY Oid",
+		psql.Catalog{"Cars": rel}, psql.Options{})
+	if err != nil {
+		r.fail("Preference SQL variant failed: %v", err)
+		return r
+	}
+	var sqlOids []int64
+	for i := 0; i < out.Len(); i++ {
+		v, _ := out.Tuple(i).Get("Oid")
+		sqlOids = append(sqlOids, v.(int64))
+	}
+	r.printf("Preference SQL GROUPING BY → Oids %v", sqlOids)
+	if fmt.Sprint(sqlOids) != fmt.Sprint(paperdata.Example10Want) {
+		r.fail("Preference SQL grouped result mismatch")
+	}
+	return r
+}
+
+// E11 recomputes Example 11: σ[P1⊗P2](R) for P1 = LOWEST(A), P2 =
+// HIGHEST(A) = P1∂ over R = {3, 6, 9} equals R, both via the algebra
+// (P⊗P∂ ≡ A↔) and via the Prop 12 decomposition whose YY term contributes
+// exactly {6}.
+func E11() *Report {
+	r := &Report{ID: "E11", Title: "Example 11", Pass: true}
+	p1, p2 := paperdata.Example11Prefs()
+	rel := paperdata.Example11R()
+	pareto := pref.Pareto(p1, p2)
+	direct := engine.BMOIndices(pareto, rel, engine.Naive)
+	r.printf("σ[P1⊗P2](R) = rows %s (want all of R)", sortedInts(direct))
+	if len(direct) != rel.Len() {
+		r.fail("σ[P1⊗P2](R) must equal R, got %d of %d rows", len(direct), rel.Len())
+	}
+	// Check the algebra shortcut P1⊗P1∂ ≡ A↔ on R.
+	if w := algebra.FindInequivalence(pareto, pref.AntiChain("A"), rel.Tuples()); w != nil {
+		r.fail("P1⊗P1∂ ≢ A↔ on R: %v", w.Reason)
+	}
+	// Decomposition evaluator must agree.
+	dec := engine.BMOIndices(pareto, rel, engine.Decomposition)
+	r.printf("decomposition evaluator: rows %s", sortedInts(dec))
+	if !equalIntSets(direct, dec) {
+		r.fail("decomposition evaluator disagrees: %s vs %s", sortedInts(dec), sortedInts(direct))
+	}
+	// The YY term of Prop 12 contributes exactly the middle value 6 (row 1):
+	// σ[P2](σ[P1](R)) = {3}, σ[P1](σ[P2](R)) = {9}, YY = {6}.
+	lo := engine.BMOIndices(p1, rel, engine.Naive)
+	hi := engine.BMOIndices(p2, rel, engine.Naive)
+	r.printf("σ[P1](R) = rows %s, σ[P2](R) = rows %s, YY = {6} ⇒ union = R", sortedInts(lo), sortedInts(hi))
+	if !equalIntSets(lo, []int{0}) || !equalIntSets(hi, []int{2}) {
+		r.fail("component maxima mismatch: lo=%s hi=%s", sortedInts(lo), sortedInts(hi))
+	}
+	return r
+}
+
+// E5 chain levels use floating point equality; the scores are small
+// integers so this is exact.
+var _ = math.Abs
+
+func toSet(idx []int) map[int]bool {
+	m := make(map[int]bool, len(idx))
+	for _, i := range idx {
+		m[i] = true
+	}
+	return m
+}

@@ -1,0 +1,121 @@
+// Package experiments regenerates every evaluation artifact of the paper:
+// the worked Examples 1–11 (each checked against the outcome the paper
+// states), the filter-effect study of Proposition 13 (F1), the [KFH01]
+// BMO result-size claim (F2), the evaluation-algorithm comparison the
+// efficiency discussion of §5 motivates (F3), and the ranked query model
+// access study of §6.2 (F4). The prefbench command prints these reports;
+// the test suite asserts their Pass flags.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is the outcome of one experiment.
+type Report struct {
+	ID    string
+	Title string
+	// Lines is the human-readable table/figure reproduction.
+	Lines []string
+	// Pass reports whether the measured outcome matches the paper's
+	// stated outcome (always true for purely quantitative studies that
+	// have no exact paper numbers, provided their sanity checks hold).
+	Pass bool
+	// Err carries a failure explanation when Pass is false.
+	Err error
+}
+
+func (r *Report) printf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+func (r *Report) fail(format string, args ...any) {
+	r.Pass = false
+	r.Err = fmt.Errorf(format, args...)
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	status := "PASS"
+	if !r.Pass {
+		status = "FAIL"
+	}
+	fmt.Fprintf(&b, "=== %s: %s [%s]\n", r.ID, r.Title, status)
+	for _, l := range r.Lines {
+		b.WriteString("    " + l + "\n")
+	}
+	if r.Err != nil {
+		fmt.Fprintf(&b, "    error: %v\n", r.Err)
+	}
+	return b.String()
+}
+
+// Experiment pairs an ID with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() *Report
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Example 1: EXPLICIT colour preference levels", E1},
+		{"E2", "Example 2: Pareto accumulation over R", E2},
+		{"E3", "Example 3: shared-attribute Pareto POS ⊗ NEG", E3},
+		{"E4", "Example 4: prioritized accumulation graphs", E4},
+		{"E5", "Example 5: rank(F) weighted-sum ranking", E5},
+		{"E6", "Example 6: preference engineering scenario", E6},
+		{"E7", "Example 7: non-discrimination theorem on Car-DB", E7},
+		{"E8", "Example 8: BMO query on the EXPLICIT preference", E8},
+		{"E9", "Example 9: non-monotonicity of BMO results", E9},
+		{"E10", "Example 10: grouped prioritized evaluation", E10},
+		{"E11", "Example 11: Pareto decomposition with YY term", E11},
+		{"L1", "Propositions 2-6 and the §3.4 hierarchy (property check)", L1},
+		{"F1", "Prop 13: filter effect of accumulation (measured)", F1},
+		{"F2", "[KFH01]: BMO result sizes on an e-shop workload", F2},
+		{"F3", "BMO evaluation algorithms: crossover study", F3},
+		{"F4", "Ranked query model: heap scan vs threshold algorithm", F4},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// sortedInts formats an int slice deterministically.
+func sortedInts(xs []int) string {
+	s := append([]int(nil), xs...)
+	sort.Ints(s)
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = fmt.Sprint(v)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// equalIntSets reports set equality of two int slices.
+func equalIntSets(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int(nil), a...)
+	bs := append([]int(nil), b...)
+	sort.Ints(as)
+	sort.Ints(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

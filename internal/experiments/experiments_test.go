@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass runs the complete paper reproduction: every
+// worked example and every quantitative study must match the paper's
+// stated outcome.
+func TestAllExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quantitative experiments are slow; run without -short")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep := e.Run()
+			if !rep.Pass {
+				t.Errorf("%s (%s) failed: %v\n%s", e.ID, e.Title, rep.Err, rep)
+			}
+			if len(rep.Lines) == 0 {
+				t.Errorf("%s produced no report lines", e.ID)
+			}
+		})
+	}
+}
+
+func TestExamplesOnlyFast(t *testing.T) {
+	// The worked examples are cheap; always run them, even with -short.
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E7", "E8", "E9", "E10", "E11"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		if rep := e.Run(); !rep.Pass {
+			t.Errorf("%s failed: %v", id, rep.Err)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E7"); !ok {
+		t.Error("E7 must exist")
+	}
+	if _, ok := ByID("e7"); !ok {
+		t.Error("lookup is case-insensitive")
+	}
+	if _, ok := ByID("Z9"); ok {
+		t.Error("unknown ID must miss")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{ID: "X", Title: "demo", Pass: true}
+	r.printf("line %d", 1)
+	out := r.String()
+	if !strings.Contains(out, "[PASS]") || !strings.Contains(out, "line 1") {
+		t.Errorf("rendering:\n%s", out)
+	}
+	r.fail("boom %d", 7)
+	out = r.String()
+	if !strings.Contains(out, "[FAIL]") || !strings.Contains(out, "boom 7") {
+		t.Errorf("fail rendering:\n%s", out)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if !equalIntSets([]int{3, 1}, []int{1, 3}) {
+		t.Error("set equality ignores order")
+	}
+	if equalIntSets([]int{1}, []int{1, 2}) {
+		t.Error("length mismatch")
+	}
+	if equalIntSets([]int{1, 2}, []int{1, 3}) {
+		t.Error("member mismatch")
+	}
+	if got := sortedInts([]int{3, 1, 2}); got != "{1, 2, 3}" {
+		t.Errorf("sortedInts = %s", got)
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/pref"
+)
+
+// L1 verifies the full preference-algebra law collection (Propositions 2
+// and 3, including the '+'/'⊕' aggregation laws), the discrimination and
+// non-discrimination theorems (Propositions 4–6), and the §3.4
+// sub-constructor hierarchy over seeded random terms and universes —
+// prefbench's view of what the property-based test suite asserts.
+func L1() *Report {
+	r := &Report{ID: "L1", Title: "Algebra laws", Pass: true}
+
+	lawFailures := 0
+	const rounds = 30
+	for seed := int64(0); seed < rounds; seed++ {
+		g := algebra.NewGen(seed, 4, "a", "b", "c")
+		universe := g.Universe(10)
+		for _, law := range algebra.Laws {
+			ops := make([]pref.Preference, law.Arity)
+			for i := range ops {
+				ops[i] = g.Term(1)
+			}
+			if strings.Contains(law.Name, "identical attribute sets") ||
+				strings.Contains(law.Name, "shared attributes") ||
+				strings.Contains(law.Name, "♦") {
+				for i := range ops {
+					ops[i] = g.BasePrefOn("a")
+				}
+			}
+			if _, err := law.Check(ops, universe); err != nil {
+				lawFailures++
+				r.fail("%v", err)
+			}
+		}
+	}
+	r.printf("%d laws × %d random operand draws: %d failures", len(algebra.Laws), rounds, lawFailures)
+
+	aggErrs := algebra.CheckAggregationLaws("A", 9)
+	r.printf("aggregation laws (+, ⊕): %d of %d hold", len(algebra.AggregationLawSet)-len(aggErrs), len(algebra.AggregationLawSet))
+	for _, err := range aggErrs {
+		r.fail("%v", err)
+	}
+
+	hierErrs := algebra.CheckHierarchy("A", []pref.Value{int64(0), int64(1), int64(2), int64(3), int64(4), int64(5)})
+	r.printf("sub-constructor hierarchy edges (§3.4): %d of %d hold", len(algebra.Hierarchy)-len(hierErrs), len(algebra.Hierarchy))
+	for _, err := range hierErrs {
+		r.fail("%v", err)
+	}
+	return r
+}

@@ -1,0 +1,249 @@
+// Package mining induces preference terms from observed choice behaviour —
+// the "preference mining from query log files" item on the paper's §7
+// roadmap. Given tuples a user accepted and tuples the user rejected (or
+// skipped), the miners fit the paper's base preference constructors:
+// POS/NEG sets for categorical attributes, AROUND targets and BETWEEN
+// bands for numerical ones, and EXPLICIT graphs from pairwise win counts.
+// The fitted preferences are ordinary pref values: they compose with ⊗
+// and &, evaluate under BMO, and serialize through internal/pterm.
+package mining
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/pref"
+)
+
+// Log is a choice log over one attribute universe: tuples the user
+// accepted (clicked, bought) and tuples presented but rejected.
+type Log struct {
+	Accepted []pref.Tuple
+	Rejected []pref.Tuple
+}
+
+// Observe appends one observation.
+func (l *Log) Observe(t pref.Tuple, accepted bool) {
+	if accepted {
+		l.Accepted = append(l.Accepted, t)
+	} else {
+		l.Rejected = append(l.Rejected, t)
+	}
+}
+
+// valueCounts tallies the attribute's values over the tuples.
+func valueCounts(tuples []pref.Tuple, attr string) (map[string]int, map[string]pref.Value, int) {
+	counts := make(map[string]int)
+	rep := make(map[string]pref.Value)
+	total := 0
+	for _, t := range tuples {
+		v, ok := t.Get(attr)
+		if !ok || v == nil {
+			continue
+		}
+		k := pref.ValueKey(v)
+		counts[k]++
+		rep[k] = v
+		total++
+	}
+	return counts, rep, total
+}
+
+// MinePOS fits POS(attr, S): S holds the values whose acceptance share is
+// at least minSupport (fraction of accepted observations carrying the
+// value, in [0, 1]). It errors when the log holds no accepted observation
+// with the attribute.
+func MinePOS(l *Log, attr string, minSupport float64) (*pref.Pos, error) {
+	counts, rep, total := valueCounts(l.Accepted, attr)
+	if total == 0 {
+		return nil, fmt.Errorf("mining: no accepted observations carry %q", attr)
+	}
+	var favored []pref.Value
+	for k, c := range counts {
+		if float64(c)/float64(total) >= minSupport {
+			favored = append(favored, rep[k])
+		}
+	}
+	if len(favored) == 0 {
+		return nil, fmt.Errorf("mining: no value of %q reaches support %.2f", attr, minSupport)
+	}
+	pref.SortValues(favored)
+	return pref.POS(attr, favored...), nil
+}
+
+// MineNEG fits NEG(attr, S): S holds values that occur among rejected
+// observations with share ≥ minSupport while never occurring among
+// accepted ones.
+func MineNEG(l *Log, attr string, minSupport float64) (*pref.Neg, error) {
+	rejCounts, rep, rejTotal := valueCounts(l.Rejected, attr)
+	if rejTotal == 0 {
+		return nil, fmt.Errorf("mining: no rejected observations carry %q", attr)
+	}
+	accCounts, _, _ := valueCounts(l.Accepted, attr)
+	var disliked []pref.Value
+	for k, c := range rejCounts {
+		if accCounts[k] > 0 {
+			continue
+		}
+		if float64(c)/float64(rejTotal) >= minSupport {
+			disliked = append(disliked, rep[k])
+		}
+	}
+	if len(disliked) == 0 {
+		return nil, fmt.Errorf("mining: no value of %q is consistently rejected at support %.2f", attr, minSupport)
+	}
+	pref.SortValues(disliked)
+	return pref.NEG(attr, disliked...), nil
+}
+
+// MineAROUND fits AROUND(attr, z) with z the median of the accepted
+// observations' values — robust against outliers in the log.
+func MineAROUND(l *Log, attr string) (*pref.Around, error) {
+	vals := numericValues(l.Accepted, attr)
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("mining: no accepted numeric observations carry %q", attr)
+	}
+	sort.Float64s(vals)
+	var z float64
+	n := len(vals)
+	if n%2 == 1 {
+		z = vals[n/2]
+	} else {
+		z = (vals[n/2-1] + vals[n/2]) / 2
+	}
+	return pref.AROUND(attr, z), nil
+}
+
+// MineBETWEEN fits BETWEEN(attr, [low, up]) spanning the central share of
+// the accepted values: share 0.9 keeps the 5th–95th percentile band.
+func MineBETWEEN(l *Log, attr string, share float64) (*pref.Between, error) {
+	if share <= 0 || share > 1 {
+		return nil, fmt.Errorf("mining: share must be in (0, 1], got %v", share)
+	}
+	vals := numericValues(l.Accepted, attr)
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("mining: no accepted numeric observations carry %q", attr)
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	cut := (1 - share) / 2
+	lo := vals[int(math.Floor(cut*float64(n-1)))]
+	up := vals[int(math.Ceil((1-cut)*float64(n-1)))]
+	return pref.BETWEEN(attr, lo, up)
+}
+
+func numericValues(tuples []pref.Tuple, attr string) []float64 {
+	var out []float64
+	for _, t := range tuples {
+		v, ok := t.Get(attr)
+		if !ok {
+			continue
+		}
+		if n, ok := pref.Numeric(v); ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Comparison is one observed pairwise choice: the user preferred Winner's
+// value of the attribute over Loser's.
+type Comparison struct {
+	Winner pref.Value
+	Loser  pref.Value
+}
+
+// MineEXPLICIT fits an EXPLICIT preference from pairwise choices: an edge
+// (worse, better) is emitted when `better` beat `worse` at least minWins
+// times AND strictly more often than the reverse. Cycles arising from
+// inconsistent observations are broken by dropping the weakest-margin
+// edges until the graph is acyclic, so the result is always a valid
+// strict partial order.
+func MineEXPLICIT(attr string, choices []Comparison, minWins int) (*pref.Explicit, error) {
+	if minWins < 1 {
+		minWins = 1
+	}
+	type pairKey struct{ worse, better string }
+	wins := make(map[pairKey]int)
+	rep := make(map[string]pref.Value)
+	for _, c := range choices {
+		wk, lk := pref.ValueKey(c.Winner), pref.ValueKey(c.Loser)
+		if wk == lk {
+			continue
+		}
+		rep[wk], rep[lk] = c.Winner, c.Loser
+		wins[pairKey{worse: lk, better: wk}]++
+	}
+	type scored struct {
+		edge   pref.Edge
+		margin int
+	}
+	var candidates []scored
+	for k, w := range wins {
+		reverse := wins[pairKey{worse: k.better, better: k.worse}]
+		if w >= minWins && w > reverse {
+			candidates = append(candidates, scored{
+				edge:   pref.Edge{Worse: rep[k.worse], Better: rep[k.better]},
+				margin: w - reverse,
+			})
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("mining: no pair reaches %d net wins on %q", minWins, attr)
+	}
+	// Strongest edges first; insert greedily, skipping any edge that would
+	// close a cycle.
+	sort.SliceStable(candidates, func(i, j int) bool {
+		if candidates[i].margin != candidates[j].margin {
+			return candidates[i].margin > candidates[j].margin
+		}
+		return edgeKey(candidates[i].edge) < edgeKey(candidates[j].edge)
+	})
+	var edges []pref.Edge
+	for _, c := range candidates {
+		trial := append(append([]pref.Edge(nil), edges...), c.edge)
+		if _, err := pref.EXPLICIT(attr, trial); err != nil {
+			continue // would close a cycle; drop the weaker evidence
+		}
+		edges = trial
+	}
+	return pref.EXPLICIT(attr, edges)
+}
+
+func edgeKey(e pref.Edge) string {
+	return pref.ValueKey(e.Worse) + "→" + pref.ValueKey(e.Better)
+}
+
+// Fit mines a full multi-attribute preference from a log: categorical
+// attributes yield POS terms (falling back to NEG when no positive signal
+// clears the support), numeric attributes yield AROUND terms, and the
+// per-attribute preferences accumulate with Pareto ⊗ (no importance
+// information is observable from a flat log). Attributes without signal
+// are skipped; an error is returned only when nothing can be mined.
+func Fit(l *Log, attrs []string, minSupport float64) (pref.Preference, error) {
+	var parts []pref.Preference
+	for _, attr := range attrs {
+		if nums := numericValues(l.Accepted, attr); len(nums) > 0 {
+			p, err := MineAROUND(l, attr)
+			if err == nil {
+				parts = append(parts, p)
+			}
+			continue
+		}
+		if p, err := MinePOS(l, attr, minSupport); err == nil {
+			parts = append(parts, p)
+			continue
+		}
+		if p, err := MineNEG(l, attr, minSupport); err == nil {
+			parts = append(parts, p)
+		}
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("mining: no attribute of %v carries a minable signal", attrs)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return pref.ParetoAll(parts...), nil
+}

@@ -1,0 +1,241 @@
+package mining
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/pref"
+)
+
+func ct(attr string, v pref.Value) pref.Tuple { return pref.Single{Attr: attr, Value: v} }
+
+func colorLog() *Log {
+	l := &Log{}
+	for i := 0; i < 8; i++ {
+		l.Observe(ct("color", "red"), true)
+	}
+	for i := 0; i < 2; i++ {
+		l.Observe(ct("color", "blue"), true)
+	}
+	for i := 0; i < 6; i++ {
+		l.Observe(ct("color", "gray"), false)
+	}
+	l.Observe(ct("color", "blue"), false)
+	return l
+}
+
+func TestMinePOS(t *testing.T) {
+	p, err := MinePOS(colorLog(), "color", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.PosSet().Contains("red") {
+		t.Error("red dominates acceptances and must be mined")
+	}
+	if p.PosSet().Contains("blue") {
+		t.Error("blue is below 50% support")
+	}
+	// Lower support admits blue.
+	p, _ = MinePOS(colorLog(), "color", 0.1)
+	if !p.PosSet().Contains("blue") {
+		t.Error("blue clears 10% support")
+	}
+	if _, err := MinePOS(&Log{}, "color", 0.5); err == nil {
+		t.Error("empty log must fail")
+	}
+	if _, err := MinePOS(colorLog(), "color", 0.99); err == nil {
+		t.Error("unreachable support must fail")
+	}
+}
+
+func TestMineNEG(t *testing.T) {
+	p, err := MineNEG(colorLog(), "color", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.NegSet().Contains("gray") {
+		t.Error("gray is consistently rejected")
+	}
+	if p.NegSet().Contains("blue") {
+		t.Error("blue was also accepted; never disliked")
+	}
+	if _, err := MineNEG(&Log{}, "color", 0.5); err == nil {
+		t.Error("empty log must fail")
+	}
+}
+
+func TestMineAROUNDMedian(t *testing.T) {
+	l := &Log{}
+	for _, v := range []int64{90, 100, 110, 95, 105} {
+		l.Observe(ct("hp", v), true)
+	}
+	p, err := MineAROUND(l, "hp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Target() != 100 {
+		t.Errorf("median target = %v, want 100", p.Target())
+	}
+	// Even count: mean of the middle two.
+	l.Observe(ct("hp", int64(120)), true)
+	p, _ = MineAROUND(l, "hp")
+	if p.Target() != 102.5 {
+		t.Errorf("even-count target = %v, want 102.5", p.Target())
+	}
+	if _, err := MineAROUND(&Log{}, "hp"); err == nil {
+		t.Error("empty log must fail")
+	}
+}
+
+func TestMineBETWEEN(t *testing.T) {
+	l := &Log{}
+	for v := int64(0); v <= 100; v++ {
+		l.Observe(ct("price", v), true)
+	}
+	p, err := MineBETWEEN(l, "price", 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, up := p.Bounds()
+	if lo > 10 || up < 90 {
+		t.Errorf("band [%v, %v] too narrow for 90%% share", lo, up)
+	}
+	if lo == 0 && up == 100 {
+		t.Error("band must trim the tails")
+	}
+	if _, err := MineBETWEEN(l, "price", 0); err == nil {
+		t.Error("invalid share must fail")
+	}
+	if _, err := MineBETWEEN(&Log{}, "price", 0.9); err == nil {
+		t.Error("empty log must fail")
+	}
+}
+
+func TestMineEXPLICITFromPairwiseChoices(t *testing.T) {
+	var choices []Comparison
+	// Consistent: a > b (3×), b > c (2×), one contradictory c > b.
+	for i := 0; i < 3; i++ {
+		choices = append(choices, Comparison{Winner: "a", Loser: "b"})
+	}
+	choices = append(choices,
+		Comparison{Winner: "b", Loser: "c"},
+		Comparison{Winner: "b", Loser: "c"},
+		Comparison{Winner: "c", Loser: "b"},
+	)
+	p, err := MineEXPLICIT("brand", choices, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := func(worse, better string) bool {
+		return p.Less(ct("brand", worse), ct("brand", better))
+	}
+	if !bt("b", "a") {
+		t.Error("a beats b")
+	}
+	if !bt("c", "b") {
+		t.Error("b beats c on net wins")
+	}
+	if !bt("c", "a") {
+		t.Error("transitivity through the mined graph")
+	}
+}
+
+func TestMineEXPLICITBreaksCycles(t *testing.T) {
+	// a>b (2), b>c (2), c>a (1): greedy insertion keeps the two strong
+	// edges and drops whichever would close the cycle.
+	choices := []Comparison{
+		{Winner: "a", Loser: "b"}, {Winner: "a", Loser: "b"},
+		{Winner: "b", Loser: "c"}, {Winner: "b", Loser: "c"},
+		{Winner: "c", Loser: "a"},
+	}
+	p, err := MineEXPLICIT("x", choices, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must be a valid SPO regardless of the contradiction.
+	universe := []pref.Tuple{ct("x", "a"), ct("x", "b"), ct("x", "c")}
+	if v := pref.CheckSPO(p, universe); v != nil {
+		t.Fatalf("mined EXPLICIT violates SPO: %v", v)
+	}
+	if len(p.Edges()) != 2 {
+		t.Errorf("expected the two strong edges to survive, got %v", p.Edges())
+	}
+}
+
+func TestMineEXPLICITNoSignal(t *testing.T) {
+	// Perfectly contradictory: no net wins.
+	choices := []Comparison{
+		{Winner: "a", Loser: "b"},
+		{Winner: "b", Loser: "a"},
+	}
+	if _, err := MineEXPLICIT("x", choices, 1); err == nil {
+		t.Error("no net preference must fail")
+	}
+	if _, err := MineEXPLICIT("x", nil, 1); err == nil {
+		t.Error("empty choices must fail")
+	}
+	// Self-comparisons are ignored.
+	if _, err := MineEXPLICIT("x", []Comparison{{Winner: "a", Loser: "a"}}, 1); err == nil {
+		t.Error("self-comparisons carry no signal")
+	}
+}
+
+func TestFitMultiAttribute(t *testing.T) {
+	l := &Log{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 40; i++ {
+		l.Observe(pref.MapTuple{
+			"color": "red",
+			"price": int64(9500 + rng.Intn(1000)),
+		}, true)
+	}
+	for i := 0; i < 40; i++ {
+		l.Observe(pref.MapTuple{
+			"color": "gray",
+			"price": int64(20000 + rng.Intn(5000)),
+		}, false)
+	}
+	p, err := Fit(l, []string{"color", "price"}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	if !strings.Contains(s, "POS(color") || !strings.Contains(s, "AROUND(price") {
+		t.Errorf("fitted term = %s", s)
+	}
+	// The fitted preference ranks a log-like tuple above a rejected-like
+	// tuple.
+	good := pref.MapTuple{"color": "red", "price": int64(10000)}
+	bad := pref.MapTuple{"color": "gray", "price": int64(22000)}
+	if !p.Less(bad, good) {
+		t.Error("fitted preference must prefer accepted-like tuples")
+	}
+	if _, err := Fit(&Log{}, []string{"color"}, 0.5); err == nil {
+		t.Error("empty log must fail")
+	}
+	// Single-attribute fit returns the bare term.
+	single, err := Fit(l, []string{"price"}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(single.String(), "⊗") {
+		t.Error("single-attribute fit must not wrap in Pareto")
+	}
+}
+
+func TestFitFallsBackToNEG(t *testing.T) {
+	l := &Log{}
+	// Accepted observations carry no color at all; rejected ones do.
+	l.Observe(pref.MapTuple{"price": int64(10)}, true)
+	for i := 0; i < 5; i++ {
+		l.Observe(pref.MapTuple{"color": "gray", "price": int64(50)}, false)
+	}
+	p, err := Fit(l, []string{"color"}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.String(), "NEG(color") {
+		t.Errorf("fit must fall back to NEG, got %s", p)
+	}
+}

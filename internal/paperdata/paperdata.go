@@ -1,0 +1,291 @@
+// Package paperdata holds the paper's worked-example fixtures verbatim:
+// the preferences and database sets of Examples 1–11 together with the
+// outcomes the paper states for them. Tests and the prefbench experiment
+// runner both consume these fixtures, so the reproduction is checked
+// against a single source of truth.
+package paperdata
+
+import (
+	"repro/internal/pref"
+	"repro/internal/relation"
+)
+
+// ColorDomain is dom(Color) of Example 1.
+var ColorDomain = []string{"white", "red", "yellow", "green", "brown", "black"}
+
+// Example1Explicit is the EXPLICIT colour preference of Example 1:
+// EXPLICIT(Color, {(green, yellow), (green, red), (yellow, white)}).
+func Example1Explicit() *pref.Explicit {
+	return pref.MustEXPLICIT("Color", []pref.Edge{
+		{Worse: "green", Better: "yellow"},
+		{Worse: "green", Better: "red"},
+		{Worse: "yellow", Better: "white"},
+	})
+}
+
+// Example1Levels is the level assignment Example 1 states: white and red
+// maximal at level 1, yellow at 2, green at 3, brown and black minimal at
+// level 4.
+var Example1Levels = map[string]int{
+	"white": 1, "red": 1, "yellow": 2, "green": 3, "brown": 4, "black": 4,
+}
+
+// ColorTuples wraps the colour domain as tuples.
+func ColorTuples() []pref.Tuple {
+	out := make([]pref.Tuple, len(ColorDomain))
+	for i, c := range ColorDomain {
+		out[i] = pref.Single{Attr: "Color", Value: c}
+	}
+	return out
+}
+
+// Example2Schema is R(A1, A2, A3) of Example 2.
+func Example2Schema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "A1", Type: relation.Int},
+		relation.Column{Name: "A2", Type: relation.Int},
+		relation.Column{Name: "A3", Type: relation.Int},
+	)
+}
+
+// Example2R is the value set R of Example 2 (val1 … val7, in order).
+func Example2R() *relation.Relation {
+	r := relation.New("R", Example2Schema())
+	return r.MustInsert(
+		relation.Row{int64(-5), int64(3), int64(4)}, // val1
+		relation.Row{int64(-5), int64(4), int64(4)}, // val2
+		relation.Row{int64(5), int64(1), int64(8)},  // val3
+		relation.Row{int64(5), int64(6), int64(6)},  // val4
+		relation.Row{int64(-6), int64(0), int64(6)}, // val5
+		relation.Row{int64(-6), int64(0), int64(4)}, // val6
+		relation.Row{int64(6), int64(2), int64(7)},  // val7
+	)
+}
+
+// Example2Prefs returns P1 := AROUND(A1, 0), P2 := LOWEST(A2),
+// P3 := HIGHEST(A3).
+func Example2Prefs() (p1, p2, p3 pref.Preference) {
+	return pref.AROUND("A1", 0), pref.LOWEST("A2"), pref.HIGHEST("A3")
+}
+
+// Example2Pareto is P4 := (P1 ⊗ P2) ⊗ P3.
+func Example2Pareto() pref.Preference {
+	p1, p2, p3 := Example2Prefs()
+	return pref.Pareto(pref.Pareto(p1, p2), p3)
+}
+
+// Example2ParetoOptimal lists the row indices (0-based) of the Pareto-
+// optimal set the paper states: {val1, val3, val5}.
+var Example2ParetoOptimal = []int{0, 2, 4}
+
+// Example2Levels is the two-level structure of the better-than graph of P4
+// for subset R, keyed by 0-based row index.
+var Example2Levels = map[int]int{0: 1, 2: 1, 4: 1, 1: 2, 3: 2, 6: 2, 5: 2}
+
+// Example3Prefs returns P5 := POS(Color, {green, yellow}) and
+// P6 := NEG(Color, {red, green, blue, purple}).
+func Example3Prefs() (p5, p6 pref.Preference) {
+	return pref.POS("Color", "green", "yellow"),
+		pref.NEG("Color", "red", "green", "blue", "purple")
+}
+
+// Example3S is the colour set S of Example 3.
+var Example3S = []string{"red", "green", "yellow", "blue", "black", "purple"}
+
+// Example3STuples wraps S as tuples.
+func Example3STuples() []pref.Tuple {
+	out := make([]pref.Tuple, len(Example3S))
+	for i, c := range Example3S {
+		out[i] = pref.Single{Attr: "Color", Value: c}
+	}
+	return out
+}
+
+// Example3Levels is the stated two-level structure of P7 = P5 ⊗ P6 over S.
+var Example3Levels = map[string]int{
+	"yellow": 1, "green": 1, "black": 1, "red": 2, "blue": 2, "purple": 2,
+}
+
+// Example4P8Levels is the stated three-level structure of P8 = P1 & P2
+// over R: val1, val3 on level 1; val2, val4 on level 2; val5, val6, val7
+// on level 3 (0-based row indices).
+var Example4P8Levels = map[int]int{0: 1, 2: 1, 1: 2, 3: 2, 4: 3, 5: 3, 6: 3}
+
+// Example4P9Levels is the stated two-level structure of
+// P9 = (P1 ⊗ P2) & P3 over R.
+var Example4P9Levels = map[int]int{0: 1, 2: 1, 4: 1, 1: 2, 3: 2, 6: 2, 5: 2}
+
+// Example5Schema is R(A1, A2) of Example 5.
+func Example5Schema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "A1", Type: relation.Int},
+		relation.Column{Name: "A2", Type: relation.Int},
+	)
+}
+
+// Example5R is the value set of Example 5.
+func Example5R() *relation.Relation {
+	r := relation.New("R", Example5Schema())
+	return r.MustInsert(
+		relation.Row{int64(-5), int64(3)}, // val1
+		relation.Row{int64(-5), int64(4)}, // val2
+		relation.Row{int64(5), int64(1)},  // val3
+		relation.Row{int64(5), int64(6)},  // val4
+		relation.Row{int64(-6), int64(0)}, // val5
+		relation.Row{int64(-6), int64(0)}, // val6
+	)
+}
+
+// Example5Rank is P3 := rank(F)(P1, P2) with f1(x) = distance(x, 0),
+// f2(x) = distance(x, −2) and F(x1, x2) = x1 + 2·x2. Note Example 5 scores
+// are distances combined by F, and the induced order ranks higher F-values
+// better, with x <P y iff F(x) < F(y); the paper's better-than graph runs
+// from val4 (F = 21) down to val5/val6 (F = 10).
+func Example5Rank() *pref.RankPref {
+	f1 := pref.SCORE("A1", "distance(x,0)", func(v pref.Value) float64 {
+		n, _ := pref.Numeric(v)
+		return abs(n - 0)
+	})
+	f2 := pref.SCORE("A2", "distance(x,-2)", func(v pref.Value) float64 {
+		n, _ := pref.Numeric(v)
+		return abs(n - (-2))
+	})
+	return pref.Rank("x1+2*x2", pref.WeightedSum(1, 2), f1, f2)
+}
+
+// Example5FValues lists the stated combined F-rankings per row (0-based).
+var Example5FValues = []float64{15, 17, 11, 21, 10, 10}
+
+// Example5Chain is the stated 5-level better-than chain of row groups,
+// best first: val4 → val2 → val1 → val3 → {val5, val6}.
+var Example5Chain = [][]int{{3}, {1}, {0}, {2}, {4, 5}}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Example7Schema is Car-DB(Price, Mileage) of Example 7.
+func Example7Schema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "Price", Type: relation.Int},
+		relation.Column{Name: "Mileage", Type: relation.Int},
+	)
+}
+
+// Example7CarDB is the Car-DB value set of Example 7.
+func Example7CarDB() *relation.Relation {
+	r := relation.New("CarDB", Example7Schema())
+	return r.MustInsert(
+		relation.Row{int64(40000), int64(15000)}, // val1
+		relation.Row{int64(35000), int64(30000)}, // val2
+		relation.Row{int64(20000), int64(10000)}, // val3
+		relation.Row{int64(15000), int64(35000)}, // val4
+		relation.Row{int64(15000), int64(30000)}, // val5
+	)
+}
+
+// Example7Prefs returns P1 := LOWEST(Price), P2 := LOWEST(Mileage).
+func Example7Prefs() (p1, p2 pref.Preference) {
+	return pref.LOWEST("Price"), pref.LOWEST("Mileage")
+}
+
+// Example7Maxima lists the stated level-1 rows of P1 ⊗ P2 over Car-DB:
+// {val3, val5} (0-based indices).
+var Example7Maxima = []int{2, 4}
+
+// Example7PrioChain is the stated chain of P1 & P2 over Car-DB, best
+// first: val5 → val4 → val3 → val2 → val1.
+var Example7PrioChain = []int{4, 3, 2, 1, 0}
+
+// Example7PrioChainRev is the stated chain of P2 & P1 over Car-DB, best
+// first: val3 → val1 → val5 → val2 → val4.
+var Example7PrioChainRev = []int{2, 0, 4, 1, 3}
+
+// Example8R is R(Color) of Example 8.
+func Example8R() *relation.Relation {
+	r := relation.New("R", relation.MustSchema(relation.Column{Name: "Color", Type: relation.String}))
+	return r.MustInsert(
+		relation.Row{"yellow"},
+		relation.Row{"red"},
+		relation.Row{"green"},
+		relation.Row{"black"},
+	)
+}
+
+// Example8BMO is the stated BMO result of σ[P](R) for the Example 1
+// preference: {yellow, red}, with red a perfect match.
+var Example8BMO = []string{"yellow", "red"}
+
+// Example9Schema is Cars(Fuel_Economy, Insurance_Rating, Nickname).
+func Example9Schema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "Fuel_Economy", Type: relation.Int},
+		relation.Column{Name: "Insurance_Rating", Type: relation.Int},
+		relation.Column{Name: "Nickname", Type: relation.String},
+	)
+}
+
+// Example9Pref is P = HIGHEST(Fuel_Economy) ⊗ HIGHEST(Insurance_Rating).
+func Example9Pref() pref.Preference {
+	return pref.Pareto(pref.HIGHEST("Fuel_Economy"), pref.HIGHEST("Insurance_Rating"))
+}
+
+// Example9Stages returns the three growing Cars sets of Example 9 and the
+// nicknames of the stated BMO result at each stage.
+func Example9Stages() (stages []*relation.Relation, want [][]string) {
+	rows := []relation.Row{
+		{int64(100), int64(3), "frog"},
+		{int64(50), int64(3), "cat"},
+		{int64(50), int64(10), "shark"},
+		{int64(100), int64(10), "turtle"},
+	}
+	for n := 2; n <= 4; n++ {
+		r := relation.New("Cars", Example9Schema())
+		r.MustInsert(rows[:n]...)
+		stages = append(stages, r)
+	}
+	want = [][]string{
+		{"frog"},
+		{"frog", "shark"},
+		{"turtle"},
+	}
+	return stages, want
+}
+
+// Example10Schema is Cars(Make, Price, Oid) of Example 10.
+func Example10Schema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "Make", Type: relation.String},
+		relation.Column{Name: "Price", Type: relation.Int},
+		relation.Column{Name: "Oid", Type: relation.Int},
+	)
+}
+
+// Example10Cars is the Cars set of Example 10.
+func Example10Cars() *relation.Relation {
+	r := relation.New("Cars", Example10Schema())
+	return r.MustInsert(
+		relation.Row{"Audi", int64(40000), int64(1)},
+		relation.Row{"BMW", int64(35000), int64(2)},
+		relation.Row{"VW", int64(20000), int64(3)},
+		relation.Row{"BMW", int64(50000), int64(4)},
+	)
+}
+
+// Example10Want lists the Oids of the stated result of
+// σ[Make↔ & AROUND(Price, 40000)](Cars): offers 1, 2, 3.
+var Example10Want = []int64{1, 2, 3}
+
+// Example11R is R(A) = {3, 6, 9} of Example 11.
+func Example11R() *relation.Relation {
+	r := relation.New("R", relation.MustSchema(relation.Column{Name: "A", Type: relation.Int}))
+	return r.MustInsert(relation.Row{int64(3)}, relation.Row{int64(6)}, relation.Row{int64(9)})
+}
+
+// Example11Prefs returns P1 := LOWEST(A) and its dual P2 := HIGHEST(A).
+func Example11Prefs() (p1, p2 pref.Preference) {
+	return pref.LOWEST("A"), pref.HIGHEST("A")
+}

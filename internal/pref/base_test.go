@@ -1,0 +1,242 @@
+package pref
+
+import (
+	"strings"
+	"testing"
+)
+
+// colorTuple builds a single-attribute tuple on Color.
+func colorTuple(v Value) Tuple { return Single{Attr: "Color", Value: v} }
+
+// less is shorthand for p.Less over raw Color values.
+func colorLess(p Preference, x, y Value) bool {
+	return p.Less(colorTuple(x), colorTuple(y))
+}
+
+func TestPOSSemantics(t *testing.T) {
+	p := POS("Color", "yellow", "green")
+	// Non-favorite < favorite.
+	if !colorLess(p, "red", "yellow") {
+		t.Error("red <P yellow must hold")
+	}
+	// Favorite not < favorite.
+	if colorLess(p, "yellow", "green") || colorLess(p, "green", "yellow") {
+		t.Error("favorites are mutually unranked")
+	}
+	// Non-favorites mutually unranked.
+	if colorLess(p, "red", "blue") || colorLess(p, "blue", "red") {
+		t.Error("non-favorites are mutually unranked")
+	}
+	// Favorite never < non-favorite.
+	if colorLess(p, "yellow", "red") {
+		t.Error("a favorite is never worse than a non-favorite")
+	}
+}
+
+func TestPOSMissingAttribute(t *testing.T) {
+	p := POS("Color", "yellow")
+	other := Single{Attr: "Shape", Value: "round"}
+	if p.Less(other, colorTuple("yellow")) || p.Less(colorTuple("red"), other) {
+		t.Error("tuples lacking the attribute participate in no ranking")
+	}
+}
+
+func TestNEGSemantics(t *testing.T) {
+	p := NEG("Color", "gray", "brown")
+	if !colorLess(p, "gray", "red") {
+		t.Error("disliked gray <P any non-disliked value")
+	}
+	if colorLess(p, "red", "gray") {
+		t.Error("non-disliked never worse than disliked")
+	}
+	if colorLess(p, "gray", "brown") || colorLess(p, "brown", "gray") {
+		t.Error("disliked values are mutually unranked")
+	}
+	if colorLess(p, "red", "blue") {
+		t.Error("non-disliked values are mutually unranked")
+	}
+}
+
+func TestPOSNEGSemanticsAndLevels(t *testing.T) {
+	p := MustPOSNEG("Color", []Value{"yellow"}, []Value{"gray"})
+	// Level 3 < level 2 < level 1, transitively level 3 < level 1.
+	if !colorLess(p, "gray", "red") {
+		t.Error("NEG < other")
+	}
+	if !colorLess(p, "red", "yellow") {
+		t.Error("other < POS")
+	}
+	if !colorLess(p, "gray", "yellow") {
+		t.Error("NEG < POS (transitivity of the 3-level structure)")
+	}
+	if colorLess(p, "yellow", "red") || colorLess(p, "red", "gray") {
+		t.Error("order must not reverse")
+	}
+}
+
+func TestPOSNEGRejectsOverlap(t *testing.T) {
+	if _, err := POSNEG("Color", []Value{"red"}, []Value{"red"}); err == nil {
+		t.Fatal("overlapping POS/NEG sets must be rejected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustPOSNEG must panic on overlap")
+		}
+	}()
+	MustPOSNEG("Color", []Value{"red"}, []Value{"red"})
+}
+
+func TestPOSPOSSemantics(t *testing.T) {
+	p := MustPOSPOS("Category", []Value{"cabriolet"}, []Value{"roadster"})
+	cat := func(v Value) Tuple { return Single{Attr: "Category", Value: v} }
+	if !p.Less(cat("roadster"), cat("cabriolet")) {
+		t.Error("POS2 < POS1")
+	}
+	if !p.Less(cat("sedan"), cat("roadster")) {
+		t.Error("other < POS2")
+	}
+	if !p.Less(cat("sedan"), cat("cabriolet")) {
+		t.Error("other < POS1")
+	}
+	if p.Less(cat("cabriolet"), cat("roadster")) {
+		t.Error("POS1 never worse than POS2")
+	}
+	if p.Less(cat("sedan"), cat("van")) {
+		t.Error("others mutually unranked")
+	}
+}
+
+func TestPOSPOSRejectsOverlap(t *testing.T) {
+	if _, err := POSPOS("Category", []Value{"x"}, []Value{"x"}); err == nil {
+		t.Fatal("overlapping POS1/POS2 sets must be rejected")
+	}
+}
+
+func TestExplicitExample1(t *testing.T) {
+	// Example 1's graph: (green, yellow), (green, red), (yellow, white).
+	p := MustEXPLICIT("Color", []Edge{
+		{Worse: "green", Better: "yellow"},
+		{Worse: "green", Better: "red"},
+		{Worse: "yellow", Better: "white"},
+	})
+	// Direct edges.
+	if !colorLess(p, "green", "yellow") || !colorLess(p, "green", "red") || !colorLess(p, "yellow", "white") {
+		t.Error("direct EXPLICIT edges missing")
+	}
+	// Transitive closure: green < white through yellow.
+	if !colorLess(p, "green", "white") {
+		t.Error("transitive edge green < white missing")
+	}
+	// Unranked within the graph: yellow and red.
+	if colorLess(p, "yellow", "red") || colorLess(p, "red", "yellow") {
+		t.Error("yellow and red are unranked")
+	}
+	// Values outside the graph are worse than every graph value.
+	for _, outside := range []Value{"brown", "black"} {
+		for _, inside := range []Value{"white", "red", "yellow", "green"} {
+			if !colorLess(p, outside, inside) {
+				t.Errorf("%v <P %v must hold (outside < graph value)", outside, inside)
+			}
+			if colorLess(p, inside, outside) {
+				t.Errorf("%v <P %v must not hold", inside, outside)
+			}
+		}
+	}
+	// Outside values are mutually unranked.
+	if colorLess(p, "brown", "black") || colorLess(p, "black", "brown") {
+		t.Error("outside values are mutually unranked")
+	}
+}
+
+func TestExplicitRejectsCycle(t *testing.T) {
+	_, err := EXPLICIT("Color", []Edge{
+		{Worse: "a", Better: "b"},
+		{Worse: "b", Better: "c"},
+		{Worse: "c", Better: "a"},
+	})
+	if err == nil {
+		t.Fatal("cyclic EXPLICIT graph must be rejected")
+	}
+	if !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("error should mention the cycle, got %v", err)
+	}
+}
+
+func TestExplicitSelfLoopRejected(t *testing.T) {
+	if _, err := EXPLICIT("Color", []Edge{{Worse: "a", Better: "a"}}); err == nil {
+		t.Fatal("self-loop must be rejected")
+	}
+}
+
+func TestExplicitEmptyGraphIsAntiChain(t *testing.T) {
+	p := MustEXPLICIT("Color", nil)
+	if colorLess(p, "a", "b") || colorLess(p, "b", "a") {
+		t.Error("empty EXPLICIT graph ranks nothing")
+	}
+}
+
+func TestExplicitRange(t *testing.T) {
+	p := MustEXPLICIT("Color", []Edge{{Worse: "green", Better: "yellow"}})
+	if !p.Range().Contains("green") || !p.Range().Contains("yellow") {
+		t.Error("range must contain both edge endpoints")
+	}
+	if p.Range().Contains("red") {
+		t.Error("range must not contain unmentioned values")
+	}
+}
+
+func TestBasePreferencesAreSPOs(t *testing.T) {
+	universe := []Tuple{}
+	for _, c := range []string{"white", "red", "yellow", "green", "brown", "black"} {
+		universe = append(universe, colorTuple(c))
+	}
+	prefs := []Preference{
+		POS("Color", "yellow", "green"),
+		NEG("Color", "gray", "red"),
+		MustPOSNEG("Color", []Value{"yellow"}, []Value{"gray", "red"}),
+		MustPOSPOS("Color", []Value{"yellow"}, []Value{"green", "red"}),
+		MustEXPLICIT("Color", []Edge{
+			{Worse: "green", Better: "yellow"},
+			{Worse: "green", Better: "red"},
+			{Worse: "yellow", Better: "white"},
+		}),
+	}
+	for _, p := range prefs {
+		if v := CheckSPO(p, universe); v != nil {
+			t.Errorf("%s violates SPO axioms: %v", p, v)
+		}
+	}
+}
+
+func TestBaseStringRendering(t *testing.T) {
+	cases := []struct {
+		p    Preference
+		want string
+	}{
+		{POS("Color", "yellow"), "POS(Color, {yellow})"},
+		{NEG("Color", "gray"), "NEG(Color, {gray})"},
+		{MustPOSNEG("Color", []Value{"a"}, []Value{"b"}), "POS/NEG(Color, {a}; {b})"},
+		{MustPOSPOS("Color", []Value{"a"}, []Value{"b"}), "POS/POS(Color, {a}; {b})"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	if s := MustEXPLICIT("C", []Edge{{Worse: "a", Better: "b"}}).String(); !strings.Contains(s, "(a, b)") {
+		t.Errorf("EXPLICIT rendering should list edges, got %q", s)
+	}
+}
+
+func TestBaseAttrAccessors(t *testing.T) {
+	p := POS("Color", "x")
+	if p.Attr() != "Color" {
+		t.Errorf("Attr() = %q", p.Attr())
+	}
+	if len(p.Attrs()) != 1 || p.Attrs()[0] != "Color" {
+		t.Errorf("Attrs() = %v", p.Attrs())
+	}
+	if p.PosSet().Len() != 1 {
+		t.Error("PosSet accessor broken")
+	}
+}

@@ -1,0 +1,436 @@
+package pref
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AntiChainPref is the anti-chain preference S↔ of Definition 3b: no value
+// is better than any other. When built over an explicit value set it also
+// carries the set as its finite domain (for linear sums); when built over
+// attribute names only, the domain is unconstrained.
+type AntiChainPref struct {
+	attrs  []string
+	domain *ValueSet // nil when the domain is the full attribute domain
+}
+
+// AntiChain constructs A↔ over the given attribute names: the empty order
+// on dom(A).
+func AntiChain(attrs ...string) *AntiChainPref {
+	return &AntiChainPref{attrs: AttrUnion(attrs)}
+}
+
+// AntiChainSet constructs S↔ for an explicit finite value set S over a
+// single attribute. It implements Domainer, so it can participate in
+// linear sums (§3.3.2's characterization of POS, POS/NEG, POS/POS and
+// EXPLICIT as linear sums of anti-chains).
+func AntiChainSet(attr string, values ...Value) *AntiChainPref {
+	return &AntiChainPref{attrs: []string{attr}, domain: NewValueSet(values...)}
+}
+
+// Attrs implements Preference.
+func (p *AntiChainPref) Attrs() []string { return p.attrs }
+
+// Less always reports false: anti-chains rank nothing.
+func (p *AntiChainPref) Less(x, y Tuple) bool { return false }
+
+// Domain returns the explicit value set, or nil when unconstrained.
+func (p *AntiChainPref) Domain() *ValueSet { return p.domain }
+
+func (p *AntiChainPref) String() string {
+	if p.domain != nil {
+		return p.domain.String() + "<->"
+	}
+	return "{" + strings.Join(p.attrs, ", ") + "}<->"
+}
+
+// DualPref is the dual preference Pδ of Definition 3c, reversing the order:
+// x <Pδ y iff y <P x.
+type DualPref struct {
+	inner Preference
+}
+
+// Dual constructs Pδ. Dualizing twice yields a preference equivalent to P
+// (Proposition 3b); Dual collapses the double application structurally.
+func Dual(p Preference) Preference {
+	if d, ok := p.(*DualPref); ok {
+		return d.inner
+	}
+	return &DualPref{p}
+}
+
+// Inner returns the dualized preference.
+func (p *DualPref) Inner() Preference { return p.inner }
+
+// Attrs implements Preference.
+func (p *DualPref) Attrs() []string { return p.inner.Attrs() }
+
+// Less reports x <Pδ y iff y <P x.
+func (p *DualPref) Less(x, y Tuple) bool { return p.inner.Less(y, x) }
+
+func (p *DualPref) String() string { return p.inner.String() + "∂" }
+
+// ParetoPref is the Pareto accumulation P1 ⊗ P2 of Definition 8: P1 and P2
+// are equally important; for y to beat x, y must be better in one component
+// and better-or-equal in the other.
+type ParetoPref struct {
+	p1, p2 Preference
+	attrs  []string
+}
+
+// Pareto constructs P1 ⊗ P2.
+func Pareto(p1, p2 Preference) *ParetoPref {
+	return &ParetoPref{p1, p2, AttrUnion(p1.Attrs(), p2.Attrs())}
+}
+
+// ParetoAll folds Pareto over two or more preferences left-associatively:
+// ((P1 ⊗ P2) ⊗ P3) ⊗ …, matching the paper's Example 2 construction.
+func ParetoAll(ps ...Preference) Preference {
+	if len(ps) == 0 {
+		panic("pref: ParetoAll requires at least one preference")
+	}
+	acc := ps[0]
+	for _, p := range ps[1:] {
+		acc = Pareto(acc, p)
+	}
+	return acc
+}
+
+// Left returns P1.
+func (p *ParetoPref) Left() Preference { return p.p1 }
+
+// Right returns P2.
+func (p *ParetoPref) Right() Preference { return p.p2 }
+
+// Attrs implements Preference.
+func (p *ParetoPref) Attrs() []string { return p.attrs }
+
+// Less implements Definition 8:
+//
+//	x <P1⊗P2 y iff (x1 <P1 y1 ∧ (x2 <P2 y2 ∨ x2 = y2)) ∨
+//	               (x2 <P2 y2 ∧ (x1 <P1 y1 ∨ x1 = y1))
+//
+// where equality is equality of the projection onto the component's
+// attribute set, so overlapping attribute names (Example 3) work as stated.
+func (p *ParetoPref) Less(x, y Tuple) bool {
+	b := p.p1.Less(x, y)
+	d := p.p2.Less(x, y)
+	if b && d {
+		return true
+	}
+	if b && EqualOn(x, y, p.p2.Attrs()) {
+		return true
+	}
+	if d && EqualOn(x, y, p.p1.Attrs()) {
+		return true
+	}
+	return false
+}
+
+func (p *ParetoPref) String() string {
+	return fmt.Sprintf("(%s ⊗ %s)", p.p1, p.p2)
+}
+
+// PrioritizedPref is the prioritized accumulation P1 & P2 of Definition 9:
+// P1 is more important; P2 is respected only where P1 does not mind.
+type PrioritizedPref struct {
+	p1, p2 Preference
+	attrs  []string
+}
+
+// Prioritized constructs P1 & P2.
+func Prioritized(p1, p2 Preference) *PrioritizedPref {
+	return &PrioritizedPref{p1, p2, AttrUnion(p1.Attrs(), p2.Attrs())}
+}
+
+// PrioritizedAll folds & over two or more preferences left-associatively;
+// & is associative (Proposition 2c), so the grouping is immaterial.
+func PrioritizedAll(ps ...Preference) Preference {
+	if len(ps) == 0 {
+		panic("pref: PrioritizedAll requires at least one preference")
+	}
+	acc := ps[0]
+	for _, p := range ps[1:] {
+		acc = Prioritized(acc, p)
+	}
+	return acc
+}
+
+// Left returns the more important preference P1.
+func (p *PrioritizedPref) Left() Preference { return p.p1 }
+
+// Right returns the subordinate preference P2.
+func (p *PrioritizedPref) Right() Preference { return p.p2 }
+
+// Attrs implements Preference.
+func (p *PrioritizedPref) Attrs() []string { return p.attrs }
+
+// Less implements Definition 9:
+// x <P1&P2 y iff x1 <P1 y1 ∨ (x1 = y1 ∧ x2 <P2 y2).
+func (p *PrioritizedPref) Less(x, y Tuple) bool {
+	if p.p1.Less(x, y) {
+		return true
+	}
+	return EqualOn(x, y, p.p1.Attrs()) && p.p2.Less(x, y)
+}
+
+func (p *PrioritizedPref) String() string {
+	return fmt.Sprintf("(%s & %s)", p.p1, p.p2)
+}
+
+// CombineFn accumulates component scores into an overall score for rank(F).
+type CombineFn func(scores ...float64) float64
+
+// WeightedSum returns the combining function F(x1, …, xn) = Σ wi·xi.
+func WeightedSum(weights ...float64) CombineFn {
+	ws := append([]float64(nil), weights...)
+	return func(scores ...float64) float64 {
+		var sum float64
+		for i, s := range scores {
+			w := 1.0
+			if i < len(ws) {
+				w = ws[i]
+			}
+			sum += w * s
+		}
+		return sum
+	}
+}
+
+// RankPref is the numerical accumulation rank(F)(P1, …, Pn) of Definition
+// 10 over Scorer preferences: x <P y iff F(f1(x1), …) < F(f1(y1), …).
+// Through the Scorer interface, AROUND, BETWEEN, LOWEST and HIGHEST may be
+// supplied wherever a SCORE preference is requested (constructor
+// substitutability, §3.4).
+type RankPref struct {
+	fname string
+	f     CombineFn
+	parts []Scorer
+	attrs []string
+	// weights records the weighted-sum coefficients when the preference
+	// was built through RankWeighted, keeping the term serializable.
+	weights []float64
+}
+
+// Rank constructs rank(F)(P1, …, Pn). The name labels F in rendered terms.
+func Rank(fname string, f CombineFn, parts ...Scorer) *RankPref {
+	if len(parts) == 0 {
+		panic("pref: Rank requires at least one SCORE preference")
+	}
+	lists := make([][]string, len(parts))
+	for i, s := range parts {
+		lists[i] = s.Attrs()
+	}
+	return &RankPref{fname: fname, f: f, parts: append([]Scorer(nil), parts...), attrs: AttrUnion(lists...)}
+}
+
+// Parts returns the component Scorer preferences.
+func (p *RankPref) Parts() []Scorer { return p.parts }
+
+// Attrs implements Preference.
+func (p *RankPref) Attrs() []string { return p.attrs }
+
+// Combine applies the combining function F to an explicit score vector,
+// used by the threshold algorithm of internal/rank which obtains component
+// scores through sorted and random accesses rather than tuple evaluation.
+func (p *RankPref) Combine(scores []float64) float64 { return p.f(scores...) }
+
+// ScoreOf returns the combined score F(f1(x1), …, fn(xn)); RankPref is
+// itself a Scorer, so numerical preferences can feed every other
+// constructor, as the paper notes.
+func (p *RankPref) ScoreOf(t Tuple) float64 {
+	scores := make([]float64, len(p.parts))
+	for i, s := range p.parts {
+		scores[i] = s.ScoreOf(t)
+	}
+	return p.f(scores...)
+}
+
+// Less reports x <P y iff the combined score of x is below that of y.
+func (p *RankPref) Less(x, y Tuple) bool {
+	return p.ScoreOf(x) < p.ScoreOf(y)
+}
+
+func (p *RankPref) String() string {
+	names := make([]string, len(p.parts))
+	for i, s := range p.parts {
+		names[i] = s.String()
+	}
+	return fmt.Sprintf("rank(%s)(%s)", p.fname, strings.Join(names, ", "))
+}
+
+// IntersectionPref is the intersection aggregation P1 ♦ P2 of Definition
+// 11a over preferences on the same attribute set:
+// x <P1♦P2 y iff x <P1 y ∧ x <P2 y.
+type IntersectionPref struct {
+	p1, p2 Preference
+}
+
+// Intersection constructs P1 ♦ P2. Both preferences must act on the same
+// set of attribute names (Definition 11).
+func Intersection(p1, p2 Preference) (*IntersectionPref, error) {
+	if !AttrsEqual(p1.Attrs(), p2.Attrs()) {
+		return nil, fmt.Errorf("pref: intersection ♦ requires identical attribute sets, got %v and %v", p1.Attrs(), p2.Attrs())
+	}
+	return &IntersectionPref{p1, p2}, nil
+}
+
+// MustIntersection is Intersection that panics on mismatched attributes.
+func MustIntersection(p1, p2 Preference) *IntersectionPref {
+	p, err := Intersection(p1, p2)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Left returns P1.
+func (p *IntersectionPref) Left() Preference { return p.p1 }
+
+// Right returns P2.
+func (p *IntersectionPref) Right() Preference { return p.p2 }
+
+// Attrs implements Preference.
+func (p *IntersectionPref) Attrs() []string { return p.p1.Attrs() }
+
+// Less reports x <P y iff both components rank y above x.
+func (p *IntersectionPref) Less(x, y Tuple) bool {
+	return p.p1.Less(x, y) && p.p2.Less(x, y)
+}
+
+func (p *IntersectionPref) String() string {
+	return fmt.Sprintf("(%s ♦ %s)", p.p1, p.p2)
+}
+
+// DisjointUnionPref is the disjoint union aggregation P1 + P2 of Definition
+// 11b over disjoint preferences on the same attribute set:
+// x <P1+P2 y iff x <P1 y ∨ x <P2 y.
+type DisjointUnionPref struct {
+	p1, p2 Preference
+}
+
+// DisjointUnion constructs P1 + P2. Both preferences must act on the same
+// attribute names; the range-disjointness requirement of Definition 4 is
+// the caller's obligation (it is not decidable for infinite domains) and is
+// validated on finite extents by algebra.CheckDisjoint.
+func DisjointUnion(p1, p2 Preference) (*DisjointUnionPref, error) {
+	if !AttrsEqual(p1.Attrs(), p2.Attrs()) {
+		return nil, fmt.Errorf("pref: disjoint union + requires identical attribute sets, got %v and %v", p1.Attrs(), p2.Attrs())
+	}
+	return &DisjointUnionPref{p1, p2}, nil
+}
+
+// MustDisjointUnion is DisjointUnion that panics on mismatched attributes.
+func MustDisjointUnion(p1, p2 Preference) *DisjointUnionPref {
+	p, err := DisjointUnion(p1, p2)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Left returns P1.
+func (p *DisjointUnionPref) Left() Preference { return p.p1 }
+
+// Right returns P2.
+func (p *DisjointUnionPref) Right() Preference { return p.p2 }
+
+// Attrs implements Preference.
+func (p *DisjointUnionPref) Attrs() []string { return p.p1.Attrs() }
+
+// Less reports x <P y iff either component ranks y above x.
+func (p *DisjointUnionPref) Less(x, y Tuple) bool {
+	return p.p1.Less(x, y) || p.p2.Less(x, y)
+}
+
+func (p *DisjointUnionPref) String() string {
+	return fmt.Sprintf("(%s + %s)", p.p1, p.p2)
+}
+
+// LinearSumPref is the linear sum aggregation P1 ⊕ P2 of Definition 12 over
+// single-attribute preferences with disjoint finite domains: within dom(A1)
+// order by P1, within dom(A2) order by P2, and every dom(A1) value beats
+// every dom(A2) value. The combined preference acts on a fresh attribute
+// whose domain is dom(A1) ∪ dom(A2).
+type LinearSumPref struct {
+	attr   string
+	p1, p2 Preference
+	dom1   *ValueSet
+	dom2   *ValueSet
+}
+
+// LinearSum constructs P1 ⊕ P2 on the new attribute name attr. Both
+// operands must be single-attribute preferences implementing Domainer with
+// disjoint domains.
+func LinearSum(attr string, p1, p2 Preference) (*LinearSumPref, error) {
+	d1, ok1 := p1.(Domainer)
+	d2, ok2 := p2.(Domainer)
+	if !ok1 || !ok2 || d1.Domain() == nil || d2.Domain() == nil {
+		return nil, fmt.Errorf("pref: linear sum ⊕ requires operands with explicit finite domains")
+	}
+	if len(p1.Attrs()) != 1 || len(p2.Attrs()) != 1 {
+		return nil, fmt.Errorf("pref: linear sum ⊕ requires single-attribute operands")
+	}
+	if !d1.Domain().Disjoint(d2.Domain()) {
+		return nil, fmt.Errorf("pref: linear sum ⊕ requires disjoint domains, %s and %s overlap", d1.Domain(), d2.Domain())
+	}
+	return &LinearSumPref{attr, p1, p2, d1.Domain(), d2.Domain()}, nil
+}
+
+// MustLinearSum is LinearSum that panics on violated preconditions.
+func MustLinearSum(attr string, p1, p2 Preference) *LinearSumPref {
+	p, err := LinearSum(attr, p1, p2)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Left returns P1 (the dominant segment).
+func (p *LinearSumPref) Left() Preference { return p.p1 }
+
+// Right returns P2 (the subordinate segment).
+func (p *LinearSumPref) Right() Preference { return p.p2 }
+
+// Attrs implements Preference.
+func (p *LinearSumPref) Attrs() []string { return []string{p.attr} }
+
+// Domain implements Domainer with dom(A) = dom(A1) ∪ dom(A2), so linear
+// sums nest, e.g. POS/NEG = (POS-set↔ ⊕ other↔) ⊕ NEG-set↔.
+func (p *LinearSumPref) Domain() *ValueSet {
+	all := append(append([]Value(nil), p.dom1.Values()...), p.dom2.Values()...)
+	return NewValueSet(all...)
+}
+
+// Less implements Definition 12: x <P y iff x <P1 y ∨ x <P2 y ∨
+// (x ∈ dom(A2) ∧ y ∈ dom(A1)). The component relations are consulted on
+// the component's own attribute name with the combined attribute's value.
+func (p *LinearSumPref) Less(x, y Tuple) bool {
+	xv, xok := x.Get(p.attr)
+	yv, yok := y.Get(p.attr)
+	if !xok || !yok {
+		return false
+	}
+	a1 := p.p1.Attrs()[0]
+	a2 := p.p2.Attrs()[0]
+	if p.dom1.Contains(xv) && p.dom1.Contains(yv) &&
+		p.p1.Less(Single{a1, xv}, Single{a1, yv}) {
+		return true
+	}
+	if p.dom2.Contains(xv) && p.dom2.Contains(yv) &&
+		p.p2.Less(Single{a2, xv}, Single{a2, yv}) {
+		return true
+	}
+	return p.dom2.Contains(xv) && p.dom1.Contains(yv)
+}
+
+func (p *LinearSumPref) String() string {
+	return fmt.Sprintf("(%s ⊕ %s)", p.p1, p.p2)
+}
+
+// GroupBy constructs A↔ & P, the grouped preference of Definition 16:
+// within groups of equal A-values, order by P; across groups, nothing is
+// ranked. σ[P groupby A](R) = σ[A↔ & P](R).
+func GroupBy(attrs []string, p Preference) *PrioritizedPref {
+	return Prioritized(AntiChain(attrs...), p)
+}

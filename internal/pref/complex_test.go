@@ -1,0 +1,383 @@
+package pref
+
+import (
+	"strings"
+	"testing"
+)
+
+// twoAttr builds a tuple over A1, A2.
+func twoAttr(a1, a2 Value) Tuple { return MapTuple{"A1": a1, "A2": a2} }
+
+func TestParetoDefinition8TruthTable(t *testing.T) {
+	p := Pareto(LOWEST("A1"), LOWEST("A2"))
+	cases := []struct {
+		x, y Tuple
+		want bool
+		name string
+	}{
+		{twoAttr(int64(2), int64(2)), twoAttr(int64(1), int64(1)), true, "better in both"},
+		{twoAttr(int64(2), int64(1)), twoAttr(int64(1), int64(1)), true, "better in one, equal other"},
+		{twoAttr(int64(1), int64(2)), twoAttr(int64(1), int64(1)), true, "equal one, better other"},
+		{twoAttr(int64(1), int64(2)), twoAttr(int64(2), int64(1)), false, "trade-off: unranked"},
+		{twoAttr(int64(1), int64(1)), twoAttr(int64(1), int64(1)), false, "irreflexive"},
+		{twoAttr(int64(1), int64(1)), twoAttr(int64(2), int64(2)), false, "worse in both"},
+	}
+	for _, c := range cases {
+		if got := p.Less(c.x, c.y); got != c.want {
+			t.Errorf("%s: Less = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestParetoStrictEqualitySemantics(t *testing.T) {
+	// With a non-injective SCORE component, equal scores with different
+	// values do NOT count as "equal" in Definition 8 — the pair stays
+	// unranked even though score dominance would rank it. This pins the
+	// paper's exact semantics (later work relaxed it via substitutable
+	// values).
+	sc := SCORE("A1", "mod2", func(v Value) float64 {
+		n, _ := Numeric(v)
+		return float64(int64(n) % 2)
+	})
+	p := Pareto(sc, LOWEST("A2"))
+	x := twoAttr(int64(2), int64(5)) // score 0
+	y := twoAttr(int64(4), int64(1)) // score 0, better A2
+	if p.Less(x, y) {
+		t.Error("equal scores on different values must stay unranked under ⊗")
+	}
+	// But with identical A1 values, A2 decides.
+	x2 := twoAttr(int64(2), int64(5))
+	y2 := twoAttr(int64(2), int64(1))
+	if !p.Less(x2, y2) {
+		t.Error("identical A1 projection lets A2 decide")
+	}
+}
+
+func TestParetoSharedAttributesExample3(t *testing.T) {
+	p5 := POS("Color", "green", "yellow")
+	p6 := NEG("Color", "red", "green", "blue", "purple")
+	p7 := Pareto(p5, p6)
+	if !AttrsEqual(p7.Attrs(), []string{"Color"}) {
+		t.Fatalf("shared-attribute Pareto keeps one attribute, got %v", p7.Attrs())
+	}
+	lt := func(x, y Value) bool { return colorLess(p7, x, y) }
+	// red < yellow: both agree.
+	if !lt("red", "yellow") {
+		t.Error("red < yellow")
+	}
+	// red not < green: P6 disagrees (green disliked).
+	if lt("red", "green") {
+		t.Error("red vs green must stay unranked (P6 conflicts)")
+	}
+	// black is maximal: nothing beats it.
+	for _, c := range []string{"red", "green", "yellow", "blue", "purple"} {
+		if lt("black", c) {
+			t.Errorf("black must not be beaten by %s", c)
+		}
+	}
+	// blue < yellow, purple < yellow.
+	if !lt("blue", "yellow") || !lt("purple", "yellow") {
+		t.Error("blue/purple < yellow")
+	}
+}
+
+func TestPrioritizedDefinition9(t *testing.T) {
+	p := Prioritized(LOWEST("A1"), LOWEST("A2"))
+	// P1 decides outright.
+	if !p.Less(twoAttr(int64(2), int64(0)), twoAttr(int64(1), int64(9))) {
+		t.Error("P1 better ⇒ better, regardless of P2")
+	}
+	// P1 equal: P2 decides.
+	if !p.Less(twoAttr(int64(1), int64(5)), twoAttr(int64(1), int64(2))) {
+		t.Error("P1 tie, P2 better ⇒ better")
+	}
+	// P1 unranked (different values, no order): nothing decides. Use POS to
+	// get genuine unrankedness.
+	q := Prioritized(POS("A1", "a"), LOWEST("A2"))
+	if q.Less(twoAttr("x", int64(5)), twoAttr("y", int64(2))) {
+		t.Error("P1 unranked on different values blocks P2")
+	}
+	if !q.Less(twoAttr("x", int64(5)), twoAttr("x", int64(2))) {
+		t.Error("equal A1 values let P2 through")
+	}
+}
+
+func TestPrioritizedChainOfChainsIsChain(t *testing.T) {
+	// Prop 3h: prioritized accumulations of chains are chains.
+	p := Prioritized(LOWEST("A1"), HIGHEST("A2"))
+	var tuples []Tuple
+	for _, a := range []int64{1, 2} {
+		for _, b := range []int64{1, 2, 3} {
+			tuples = append(tuples, twoAttr(a, b))
+		}
+	}
+	if !IsChain(p, tuples) {
+		t.Error("chain & chain must be a chain")
+	}
+}
+
+func TestDualReversesAndCollapses(t *testing.T) {
+	p := POS("Color", "red")
+	d := Dual(p)
+	if !d.Less(colorTuple("red"), colorTuple("blue")) {
+		t.Error("dual reverses: red <P∂ blue")
+	}
+	if d.Less(colorTuple("blue"), colorTuple("red")) {
+		t.Error("dual must not keep the original direction")
+	}
+	// Dual of dual returns the original preference (Prop 3b, structural).
+	if dd := Dual(d); dd != Preference(p) {
+		t.Error("Dual(Dual(p)) must collapse to p")
+	}
+	if !strings.HasSuffix(d.String(), "∂") {
+		t.Errorf("dual rendering, got %q", d)
+	}
+	if inner := d.(*DualPref).Inner(); inner != Preference(p) {
+		t.Error("Inner accessor broken")
+	}
+}
+
+func TestAntiChain(t *testing.T) {
+	ac := AntiChain("A", "B")
+	if ac.Less(MapTuple{"A": int64(1), "B": int64(2)}, MapTuple{"A": int64(3), "B": int64(4)}) {
+		t.Error("anti-chains rank nothing")
+	}
+	if !AttrsEqual(ac.Attrs(), []string{"A", "B"}) {
+		t.Errorf("Attrs = %v", ac.Attrs())
+	}
+	if ac.Domain() != nil {
+		t.Error("attribute anti-chain has unconstrained domain")
+	}
+	acs := AntiChainSet("A", "x", "y")
+	if acs.Domain().Len() != 2 {
+		t.Error("set anti-chain carries its domain")
+	}
+	// Dual of an anti-chain is the anti-chain (Prop 3a).
+	d := Dual(Preference(ac))
+	if d.Less(MapTuple{"A": int64(1)}, MapTuple{"A": int64(2)}) {
+		t.Error("(S↔)∂ ranks nothing")
+	}
+}
+
+func TestRankWeightedSumExample5Style(t *testing.T) {
+	f1 := SCORE("A1", "d0", func(v Value) float64 { n, _ := Numeric(v); return abs(n) })
+	f2 := SCORE("A2", "d-2", func(v Value) float64 { n, _ := Numeric(v); return abs(n + 2) })
+	p := Rank("F", WeightedSum(1, 2), f1, f2)
+	// val1 = (−5, 3): F = 5 + 2·5 = 15.
+	if got := p.ScoreOf(twoAttr(int64(-5), int64(3))); got != 15 {
+		t.Errorf("ScoreOf(val1) = %v, want 15", got)
+	}
+	// Less follows combined score.
+	if !p.Less(twoAttr(int64(5), int64(1)), twoAttr(int64(-5), int64(3))) {
+		t.Error("F=11 <P F=15")
+	}
+	if p.Less(twoAttr(int64(-6), int64(0)), twoAttr(int64(-6), int64(0))) {
+		t.Error("irreflexive")
+	}
+	if !AttrsEqual(p.Attrs(), []string{"A1", "A2"}) {
+		t.Errorf("Attrs = %v", p.Attrs())
+	}
+	if len(p.Parts()) != 2 {
+		t.Error("Parts accessor broken")
+	}
+	if got := p.Combine([]float64{5, 5}); got != 15 {
+		t.Errorf("Combine = %v, want 15", got)
+	}
+	if !strings.HasPrefix(p.String(), "rank(F)(") {
+		t.Errorf("rendering %q", p)
+	}
+}
+
+func TestRankAcceptsHierarchySubConstructors(t *testing.T) {
+	// Constructor substitutability: AROUND and HIGHEST in place of SCORE.
+	p := Rank("F", WeightedSum(1, 1), AROUND("A1", 0), HIGHEST("A2"))
+	// (0, 10) scores 0 + 10 = 10; (5, 10) scores −5 + 10 = 5.
+	if !p.Less(twoAttr(int64(5), int64(10)), twoAttr(int64(0), int64(10))) {
+		t.Error("substituted scorers must work inside rank(F)")
+	}
+}
+
+func TestRankPanicsWithoutParts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Rank() without parts must panic")
+		}
+	}()
+	Rank("F", WeightedSum())
+}
+
+func TestWeightedSumDefaultsMissingWeightsToOne(t *testing.T) {
+	f := WeightedSum(2)
+	if got := f(3, 4); got != 10 {
+		t.Errorf("2·3 + 1·4 = %v, want 10", got)
+	}
+	if got := WeightedSum()(3, 4); got != 7 {
+		t.Errorf("unit weights: %v, want 7", got)
+	}
+}
+
+func TestIntersectionRequiresSameAttrs(t *testing.T) {
+	if _, err := Intersection(LOWEST("A"), LOWEST("B")); err == nil {
+		t.Fatal("♦ must reject different attribute sets")
+	}
+	p := MustIntersection(LOWEST("A"), HIGHEST("A"))
+	one := Single{Attr: "A", Value: int64(1)}
+	two := Single{Attr: "A", Value: int64(2)}
+	if p.Less(one, two) || p.Less(two, one) {
+		t.Error("P ♦ P∂ ranks nothing (Prop 3g)")
+	}
+	if p.Left() == nil || p.Right() == nil {
+		t.Error("accessors broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIntersection must panic on mismatch")
+		}
+	}()
+	MustIntersection(LOWEST("A"), LOWEST("B"))
+}
+
+func TestDisjointUnionSemantics(t *testing.T) {
+	if _, err := DisjointUnion(LOWEST("A"), LOWEST("B")); err == nil {
+		t.Fatal("+ must reject different attribute sets")
+	}
+	// Two disjoint explicit orders on the same attribute.
+	p1 := MustEXPLICIT("A", []Edge{{Worse: "a", Better: "b"}})
+	p2 := MustEXPLICIT("A", []Edge{{Worse: "c", Better: "d"}})
+	// Restrict to in-graph pairs; the "outside < graph" rule of EXPLICIT
+	// would break range-disjointness on other values.
+	u := MustDisjointUnion(p1, p2)
+	av := func(v Value) Tuple { return Single{Attr: "A", Value: v} }
+	if !u.Less(av("a"), av("b")) || !u.Less(av("c"), av("d")) {
+		t.Error("union must contain both orders")
+	}
+	if u.Less(av("b"), av("a")) {
+		t.Error("no reversal")
+	}
+}
+
+func TestLinearSumDefinition12(t *testing.T) {
+	// POS = POS-set↔ ⊕ other-values↔ (the §3.3.2 characterization), built
+	// over a finite colour universe.
+	posSet := AntiChainSet("C1", "yellow", "green")
+	others := AntiChainSet("C2", "red", "blue", "black")
+	sum := MustLinearSum("Color", posSet, others)
+	pos := POS("Color", "yellow", "green")
+	for _, x := range []Value{"yellow", "green", "red", "blue", "black"} {
+		for _, y := range []Value{"yellow", "green", "red", "blue", "black"} {
+			got := sum.Less(colorTuple(x), colorTuple(y))
+			want := pos.Less(colorTuple(x), colorTuple(y))
+			if got != want {
+				t.Errorf("⊕ vs POS disagree on (%v, %v): %v vs %v", x, y, got, want)
+			}
+		}
+	}
+	if sum.Domain().Len() != 5 {
+		t.Errorf("combined domain size = %d, want 5", sum.Domain().Len())
+	}
+}
+
+func TestLinearSumNesting(t *testing.T) {
+	// POS/POS = (POS1↔ ⊕ POS2↔) ⊕ other↔.
+	pos1 := AntiChainSet("X1", "cabriolet")
+	pos2 := AntiChainSet("X2", "roadster")
+	inner := MustLinearSum("X12", pos1, pos2)
+	other := AntiChainSet("X3", "sedan", "van")
+	sum := MustLinearSum("Category", inner, other)
+	pp := MustPOSPOS("Category", []Value{"cabriolet"}, []Value{"roadster"})
+	vals := []Value{"cabriolet", "roadster", "sedan", "van"}
+	ct := func(v Value) Tuple { return Single{Attr: "Category", Value: v} }
+	for _, x := range vals {
+		for _, y := range vals {
+			if got, want := sum.Less(ct(x), ct(y)), pp.Less(ct(x), ct(y)); got != want {
+				t.Errorf("nested ⊕ vs POS/POS disagree on (%v, %v)", x, y)
+			}
+		}
+	}
+}
+
+func TestLinearSumPreconditions(t *testing.T) {
+	if _, err := LinearSum("A", LOWEST("X"), AntiChainSet("Y", "a")); err == nil {
+		t.Error("⊕ requires Domainer operands")
+	}
+	if _, err := LinearSum("A", AntiChainSet("X", "a"), AntiChainSet("Y", "a")); err == nil {
+		t.Error("⊕ requires disjoint domains")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLinearSum must panic on violations")
+		}
+	}()
+	MustLinearSum("A", AntiChainSet("X", "a"), AntiChainSet("Y", "a"))
+}
+
+func TestGroupByPreference(t *testing.T) {
+	g := GroupBy([]string{"Make"}, AROUND("Price", 100))
+	// Within the same make: price decides.
+	x := MapTuple{"Make": "Audi", "Price": int64(50)}
+	y := MapTuple{"Make": "Audi", "Price": int64(90)}
+	if !g.Less(x, y) {
+		t.Error("within a group the inner preference ranks")
+	}
+	// Across makes: unranked.
+	z := MapTuple{"Make": "BMW", "Price": int64(100)}
+	if g.Less(x, z) || g.Less(z, x) {
+		t.Error("across groups nothing is ranked")
+	}
+}
+
+func TestParetoAllAndPrioritizedAllFolding(t *testing.T) {
+	p1, p2, p3 := LOWEST("A"), LOWEST("B"), LOWEST("C")
+	p := ParetoAll(p1, p2, p3)
+	if !AttrsEqual(p.Attrs(), []string{"A", "B", "C"}) {
+		t.Errorf("ParetoAll attrs = %v", p.Attrs())
+	}
+	q := PrioritizedAll(p1, p2, p3)
+	if !AttrsEqual(q.Attrs(), []string{"A", "B", "C"}) {
+		t.Errorf("PrioritizedAll attrs = %v", q.Attrs())
+	}
+	if ParetoAll(p1) != Preference(p1) || PrioritizedAll(p1) != Preference(p1) {
+		t.Error("single-element folds return the operand")
+	}
+	for _, f := range []func(){func() { ParetoAll() }, func() { PrioritizedAll() }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("empty folds must panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestComplexPreferencesAreSPOs(t *testing.T) {
+	var universe []Tuple
+	for _, a := range []int64{0, 1, 2} {
+		for _, b := range []int64{0, 1, 2} {
+			universe = append(universe, twoAttr(a, b))
+		}
+	}
+	prefs := []Preference{
+		Pareto(LOWEST("A1"), HIGHEST("A2")),
+		Pareto(AROUND("A1", 1), AROUND("A2", 1)),
+		Prioritized(AROUND("A1", 1), LOWEST("A2")),
+		Prioritized(POS("A1", int64(0)), NEG("A2", int64(2))),
+		MustIntersection(Prioritized(LOWEST("A1"), LOWEST("A2")), Prioritized(LOWEST("A2"), LOWEST("A1"))),
+		Rank("F", WeightedSum(1, 2), AROUND("A1", 0), HIGHEST("A2")),
+		Dual(Pareto(LOWEST("A1"), LOWEST("A2"))),
+		GroupBy([]string{"A1"}, LOWEST("A2")),
+	}
+	for _, p := range prefs {
+		if v := CheckSPO(p, universe); v != nil {
+			t.Errorf("%s violates SPO axioms: %v", p, v)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,230 @@
+package pref
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Graph is the 'better-than' graph (Hasse diagram) of a preference over a
+// finite tuple set, per Definition 2. Nodes are distinct projections onto
+// the preference's attribute set; edges point from a better node to the
+// worse nodes it immediately covers.
+type Graph struct {
+	pref   Preference
+	nodes  []Tuple  // one representative tuple per distinct projection
+	labels []string // display labels, parallel to nodes
+	// less[i][j] reports nodes[i] <P nodes[j] over the full relation
+	// (transitively closed by construction, since P is transitive).
+	less [][]bool
+	// covers[i] lists j such that nodes[j] <P nodes[i] immediately
+	// (Hasse edges: i is a direct predecessor of j).
+	covers [][]int
+	levels []int // 1-based level per Definition 2
+}
+
+// NewGraph builds the better-than graph of p over the given tuples.
+// Duplicate projections collapse into a single node.
+func NewGraph(p Preference, tuples []Tuple) *Graph {
+	attrs := p.Attrs()
+	var nodes []Tuple
+	seen := make(map[string]struct{})
+	for _, t := range tuples {
+		k := ProjectionKey(t, attrs)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		nodes = append(nodes, t)
+	}
+	n := len(nodes)
+	less := make([][]bool, n)
+	for i := range less {
+		less[i] = make([]bool, n)
+		for j := range less[i] {
+			if i != j {
+				less[i][j] = p.Less(nodes[i], nodes[j])
+			}
+		}
+	}
+	g := &Graph{pref: p, nodes: nodes, less: less}
+	g.labels = make([]string, n)
+	for i, t := range nodes {
+		g.labels[i] = labelFor(t, attrs)
+	}
+	g.computeCovers()
+	g.computeLevels()
+	return g
+}
+
+// labelFor renders the projection of t onto attrs for display.
+func labelFor(t Tuple, attrs []string) string {
+	if len(attrs) == 1 {
+		if v, ok := t.Get(attrs[0]); ok {
+			return FormatValue(v)
+		}
+		return "?"
+	}
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		if v, ok := t.Get(a); ok {
+			parts[i] = FormatValue(v)
+		} else {
+			parts[i] = "?"
+		}
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// computeCovers derives the Hasse edges: i covers j when j <P i with no k
+// strictly between.
+func (g *Graph) computeCovers() {
+	n := len(g.nodes)
+	g.covers = make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !g.less[j][i] {
+				continue
+			}
+			direct := true
+			for k := 0; k < n; k++ {
+				if g.less[j][k] && g.less[k][i] {
+					direct = false
+					break
+				}
+			}
+			if direct {
+				g.covers[i] = append(g.covers[i], j)
+			}
+		}
+	}
+}
+
+// computeLevels assigns each node its level: maximal nodes are level 1; a
+// node is on level j when the longest path to a maximal node has j−1 edges.
+func (g *Graph) computeLevels() {
+	n := len(g.nodes)
+	g.levels = make([]int, n)
+	var level func(i int) int
+	memo := make([]int, n)
+	level = func(i int) int {
+		if memo[i] != 0 {
+			return memo[i]
+		}
+		memo[i] = -1 // cycle guard; SPOs are acyclic so never observed
+		best := 1
+		// Predecessors of i are nodes j with i <P j (j is better).
+		for j := 0; j < n; j++ {
+			if g.less[i][j] {
+				if l := level(j) + 1; l > best {
+					best = l
+				}
+			}
+		}
+		memo[i] = best
+		return best
+	}
+	for i := 0; i < n; i++ {
+		g.levels[i] = level(i)
+	}
+}
+
+// Len returns the number of distinct nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Nodes returns one representative tuple per node.
+func (g *Graph) Nodes() []Tuple { return g.nodes }
+
+// Label returns the display label of node i.
+func (g *Graph) Label(i int) string { return g.labels[i] }
+
+// Less reports nodes[i] <P nodes[j].
+func (g *Graph) Less(i, j int) bool { return g.less[i][j] }
+
+// Level returns the 1-based level of node i.
+func (g *Graph) Level(i int) int { return g.levels[i] }
+
+// MaxLevel returns the deepest level present in the graph, or 0 when empty.
+func (g *Graph) MaxLevel() int {
+	max := 0
+	for _, l := range g.levels {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Maxima returns the node indices with no predecessor: the maximal elements
+// of the induced database preference (the BMO result over the tuple set).
+func (g *Graph) Maxima() []int {
+	var out []int
+	for i, l := range g.levels {
+		if l == 1 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Minima returns node indices with no successor.
+func (g *Graph) Minima() []int {
+	var out []int
+	for i := range g.nodes {
+		minimal := true
+		for j := range g.nodes {
+			if g.less[j][i] {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// LevelNodes returns the node labels on each level, outermost slice indexed
+// by level−1, each level's labels sorted for deterministic output.
+func (g *Graph) LevelNodes() [][]string {
+	out := make([][]string, g.MaxLevel())
+	for i, l := range g.levels {
+		out[l-1] = append(out[l-1], g.labels[i])
+	}
+	for _, lv := range out {
+		sort.Strings(lv)
+	}
+	return out
+}
+
+// HasseEdges returns the Hasse diagram edges as (better, worse) label
+// pairs, sorted for deterministic output.
+func (g *Graph) HasseEdges() [][2]string {
+	var out [][2]string
+	for i, cov := range g.covers {
+		for _, j := range cov {
+			out = append(out, [2]string{g.labels[i], g.labels[j]})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// Render draws the graph level by level, matching the paper's figures:
+//
+//	Level 1:  white  red
+//	Level 2:  yellow
+//	…
+func (g *Graph) Render() string {
+	var b strings.Builder
+	for i, labels := range g.LevelNodes() {
+		fmt.Fprintf(&b, "Level %d:  %s\n", i+1, strings.Join(labels, "  "))
+	}
+	return b.String()
+}

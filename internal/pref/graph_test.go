@@ -1,0 +1,158 @@
+package pref
+
+import (
+	"strings"
+	"testing"
+)
+
+func example1Graph() *Graph {
+	p := MustEXPLICIT("Color", []Edge{
+		{Worse: "green", Better: "yellow"},
+		{Worse: "green", Better: "red"},
+		{Worse: "yellow", Better: "white"},
+	})
+	var tuples []Tuple
+	for _, c := range []string{"white", "red", "yellow", "green", "brown", "black"} {
+		tuples = append(tuples, colorTuple(c))
+	}
+	return NewGraph(p, tuples)
+}
+
+func TestGraphLevelsExample1(t *testing.T) {
+	g := example1Graph()
+	want := map[string]int{"white": 1, "red": 1, "yellow": 2, "green": 3, "brown": 4, "black": 4}
+	for i := 0; i < g.Len(); i++ {
+		if got := g.Level(i); got != want[g.Label(i)] {
+			t.Errorf("level(%s) = %d, want %d", g.Label(i), got, want[g.Label(i)])
+		}
+	}
+	if g.MaxLevel() != 4 {
+		t.Errorf("MaxLevel = %d, want 4", g.MaxLevel())
+	}
+}
+
+func TestGraphMaximaMinima(t *testing.T) {
+	g := example1Graph()
+	var maxLabels []string
+	for _, i := range g.Maxima() {
+		maxLabels = append(maxLabels, g.Label(i))
+	}
+	if len(maxLabels) != 2 || !contains(maxLabels, "white") || !contains(maxLabels, "red") {
+		t.Errorf("maxima = %v, want white and red", maxLabels)
+	}
+	var minLabels []string
+	for _, i := range g.Minima() {
+		minLabels = append(minLabels, g.Label(i))
+	}
+	if !contains(minLabels, "brown") || !contains(minLabels, "black") {
+		t.Errorf("minima = %v, want brown and black among them", minLabels)
+	}
+}
+
+func TestGraphHasseEdges(t *testing.T) {
+	g := example1Graph()
+	edges := g.HasseEdges()
+	has := func(better, worse string) bool {
+		for _, e := range edges {
+			if e[0] == better && e[1] == worse {
+				return true
+			}
+		}
+		return false
+	}
+	// The Hasse diagram keeps covering edges only: white→yellow,
+	// yellow→green, red→green; NOT white→green (implied transitively).
+	if !has("white", "yellow") || !has("yellow", "green") || !has("red", "green") {
+		t.Errorf("missing cover edges in %v", edges)
+	}
+	if has("white", "green") {
+		t.Error("transitive edge white→green must be reduced away")
+	}
+	// Outside values hang under the deepest graph value green.
+	if !has("green", "brown") || !has("green", "black") {
+		t.Errorf("outside values must be covered by green, got %v", edges)
+	}
+}
+
+func TestGraphDuplicateProjectionsCollapse(t *testing.T) {
+	p := LOWEST("A")
+	tuples := []Tuple{
+		Single{Attr: "A", Value: int64(1)},
+		Single{Attr: "A", Value: int64(1)},
+		Single{Attr: "A", Value: int64(2)},
+	}
+	g := NewGraph(p, tuples)
+	if g.Len() != 2 {
+		t.Errorf("duplicate projections must collapse: %d nodes", g.Len())
+	}
+}
+
+func TestGraphRender(t *testing.T) {
+	g := example1Graph()
+	out := g.Render()
+	if !strings.Contains(out, "Level 1:") || !strings.Contains(out, "Level 4:") {
+		t.Errorf("render missing levels:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("expected 4 level lines, got %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "red") || !strings.Contains(lines[0], "white") {
+		t.Errorf("level 1 line wrong: %q", lines[0])
+	}
+}
+
+func TestGraphLevelNodesSorted(t *testing.T) {
+	g := example1Graph()
+	levels := g.LevelNodes()
+	if len(levels) != 4 {
+		t.Fatalf("levels = %d", len(levels))
+	}
+	if levels[0][0] != "red" || levels[0][1] != "white" {
+		t.Errorf("level 1 should sort alphabetically: %v", levels[0])
+	}
+}
+
+func TestGraphMultiAttributeLabels(t *testing.T) {
+	p := Pareto(LOWEST("A1"), LOWEST("A2"))
+	g := NewGraph(p, []Tuple{twoAttr(int64(1), int64(2))})
+	if g.Label(0) != "(1, 2)" {
+		t.Errorf("multi-attr label = %q", g.Label(0))
+	}
+}
+
+func TestGraphEmptyInput(t *testing.T) {
+	g := NewGraph(LOWEST("A"), nil)
+	if g.Len() != 0 || g.MaxLevel() != 0 {
+		t.Error("empty graph must be empty")
+	}
+	if len(g.Maxima()) != 0 {
+		t.Error("no maxima in an empty graph")
+	}
+	if g.Render() != "" {
+		t.Error("empty render")
+	}
+}
+
+func TestGraphLessAccessor(t *testing.T) {
+	g := NewGraph(LOWEST("A"), []Tuple{
+		Single{Attr: "A", Value: int64(2)},
+		Single{Attr: "A", Value: int64(1)},
+	})
+	// Node 0 is value 2, node 1 is value 1; 2 <LOWEST 1.
+	if !g.Less(0, 1) || g.Less(1, 0) {
+		t.Error("Less accessor must mirror the preference")
+	}
+	if len(g.Nodes()) != 2 {
+		t.Error("Nodes accessor broken")
+	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

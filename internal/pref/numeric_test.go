@@ -1,0 +1,245 @@
+package pref
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func numTuple(attr string, v Value) Tuple { return Single{Attr: attr, Value: v} }
+
+func TestAroundSemantics(t *testing.T) {
+	p := AROUND("Price", 40000)
+	lt := func(x, y Value) bool { return p.Less(numTuple("Price", x), numTuple("Price", y)) }
+	// Closer is better.
+	if !lt(int64(30000), int64(39000)) {
+		t.Error("39000 beats 30000 for target 40000")
+	}
+	if !lt(int64(50000), int64(41000)) {
+		t.Error("41000 beats 50000")
+	}
+	// Exact hit beats everything else.
+	if !lt(int64(39999), int64(40000)) {
+		t.Error("exact target is maximal")
+	}
+	// Equal distance on opposite sides: unranked (Definition 7a note).
+	if lt(int64(39000), int64(41000)) || lt(int64(41000), int64(39000)) {
+		t.Error("equidistant values are unranked")
+	}
+	// Irreflexive.
+	if lt(int64(40000), int64(40000)) {
+		t.Error("irreflexivity violated")
+	}
+}
+
+func TestAroundDistance(t *testing.T) {
+	p := AROUND("A", 10)
+	if d := p.Distance(int64(7)); d != 3 {
+		t.Errorf("Distance(7) = %v, want 3", d)
+	}
+	if d := p.Distance(float64(12.5)); d != 2.5 {
+		t.Errorf("Distance(12.5) = %v, want 2.5", d)
+	}
+	if d := p.Distance("oops"); !math.IsInf(d, 1) {
+		t.Errorf("Distance(non-numeric) = %v, want +Inf", d)
+	}
+	if p.Target() != 10 {
+		t.Error("Target accessor broken")
+	}
+}
+
+func TestAroundTime(t *testing.T) {
+	target := time.Date(2001, 11, 23, 0, 0, 0, 0, time.UTC)
+	p := AROUNDTime("start_date", target)
+	day := func(offset int) Tuple {
+		return numTuple("start_date", target.AddDate(0, 0, offset))
+	}
+	if !p.Less(day(-7), day(-2)) {
+		t.Error("2 days early beats 7 days early")
+	}
+	if !p.Less(day(5), day(1)) {
+		t.Error("1 day late beats 5 days late")
+	}
+	if p.Less(day(-2), day(2)) || p.Less(day(2), day(-2)) {
+		t.Error("equidistant dates are unranked")
+	}
+}
+
+func TestBetweenSemantics(t *testing.T) {
+	p := MustBETWEEN("Duration", 7, 14)
+	lt := func(x, y Value) bool { return p.Less(numTuple("Duration", x), numTuple("Duration", y)) }
+	// All in-interval values are maximal and mutually unranked.
+	if lt(int64(7), int64(14)) || lt(int64(14), int64(7)) || lt(int64(10), int64(12)) {
+		t.Error("in-interval values are mutually unranked")
+	}
+	// Outside: closer to the boundary is better.
+	if !lt(int64(20), int64(16)) {
+		t.Error("16 beats 20 (distance 2 vs 6)")
+	}
+	if !lt(int64(3), int64(6)) {
+		t.Error("6 beats 3 below the interval")
+	}
+	// Outside < inside.
+	if !lt(int64(16), int64(10)) || !lt(int64(5), int64(7)) {
+		t.Error("in-interval values beat outside values")
+	}
+	// Equal distance from opposite boundaries: unranked.
+	if lt(int64(5), int64(16)) || lt(int64(16), int64(5)) {
+		t.Error("distance 2 below vs distance 2 above are unranked")
+	}
+}
+
+func TestBetweenDistance(t *testing.T) {
+	p := MustBETWEEN("A", 10, 20)
+	cases := []struct {
+		v    float64
+		want float64
+	}{{15, 0}, {10, 0}, {20, 0}, {5, 5}, {25, 5}}
+	for _, c := range cases {
+		if d := p.Distance(c.v); d != c.want {
+			t.Errorf("Distance(%v) = %v, want %v", c.v, d, c.want)
+		}
+	}
+	lo, up := p.Bounds()
+	if lo != 10 || up != 20 {
+		t.Error("Bounds accessor broken")
+	}
+}
+
+func TestBetweenRejectsInvertedInterval(t *testing.T) {
+	if _, err := BETWEEN("A", 20, 10); err == nil {
+		t.Fatal("low > up must be rejected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBETWEEN must panic on inverted interval")
+		}
+	}()
+	MustBETWEEN("A", 20, 10)
+}
+
+func TestLowestHighestAreChainsAndDual(t *testing.T) {
+	lo := LOWEST("Price")
+	hi := HIGHEST("Price")
+	vals := []Value{int64(1), int64(2), int64(3), int64(5)}
+	var tuples []Tuple
+	for _, v := range vals {
+		tuples = append(tuples, numTuple("Price", v))
+	}
+	if !IsChain(lo, tuples) || !IsChain(hi, tuples) {
+		t.Error("LOWEST and HIGHEST are chains")
+	}
+	for i, x := range vals {
+		for j, y := range vals {
+			wantLo := i > j // x > y means x <LOWEST y
+			if got := lo.Less(numTuple("Price", x), numTuple("Price", y)); got != wantLo {
+				t.Errorf("LOWEST.Less(%v, %v) = %v, want %v", x, y, got, wantLo)
+			}
+			wantHi := i < j
+			if got := hi.Less(numTuple("Price", x), numTuple("Price", y)); got != wantHi {
+				t.Errorf("HIGHEST.Less(%v, %v) = %v, want %v", x, y, got, wantHi)
+			}
+		}
+	}
+	// HIGHEST ≡ LOWEST∂ (Prop 3d).
+	dual := Dual(lo)
+	for _, x := range vals {
+		for _, y := range vals {
+			if hi.Less(numTuple("Price", x), numTuple("Price", y)) != dual.Less(numTuple("Price", x), numTuple("Price", y)) {
+				t.Fatal("HIGHEST must equal LOWEST∂")
+			}
+		}
+	}
+}
+
+func TestScoreSemantics(t *testing.T) {
+	// Non-injective f: SCORE need not be a chain (Definition 7d note).
+	p := SCORE("A", "mod2", func(v Value) float64 {
+		n, _ := Numeric(v)
+		return math.Mod(n, 2)
+	})
+	if !p.Less(numTuple("A", int64(2)), numTuple("A", int64(3))) {
+		t.Error("f(2)=0 < f(3)=1 so 2 <P 3")
+	}
+	if p.Less(numTuple("A", int64(2)), numTuple("A", int64(4))) || p.Less(numTuple("A", int64(4)), numTuple("A", int64(2))) {
+		t.Error("equal scores are unranked")
+	}
+	tuples := []Tuple{numTuple("A", int64(1)), numTuple("A", int64(2)), numTuple("A", int64(3))}
+	if IsChain(p, tuples) {
+		t.Error("non-injective SCORE is not a chain")
+	}
+	if v := CheckSPO(p, tuples); v != nil {
+		t.Errorf("SCORE violates SPO: %v", v)
+	}
+}
+
+func TestScorerInterfaceAcrossHierarchy(t *testing.T) {
+	// AROUND/BETWEEN score as negated distance; LOWEST negates; HIGHEST is
+	// the identity (§3.4 hierarchy).
+	var scorers = []struct {
+		s    Scorer
+		v    Value
+		want float64
+	}{
+		{AROUND("A", 10), int64(7), -3},
+		{MustBETWEEN("A", 0, 5), int64(8), -3},
+		{LOWEST("A"), int64(4), -4},
+		{HIGHEST("A"), int64(4), 4},
+		{SCORE("A", "id", func(v Value) float64 { n, _ := Numeric(v); return n }), int64(4), 4},
+	}
+	for _, c := range scorers {
+		if got := c.s.ScoreOf(numTuple("A", c.v)); got != c.want {
+			t.Errorf("%s.ScoreOf(%v) = %v, want %v", c.s, c.v, got, c.want)
+		}
+	}
+}
+
+func TestScorerMissingAttribute(t *testing.T) {
+	for _, s := range []Scorer{AROUND("A", 1), MustBETWEEN("A", 0, 1), LOWEST("A"), HIGHEST("A"), SCORE("A", "f", func(Value) float64 { return 1 })} {
+		if got := s.ScoreOf(Single{Attr: "B", Value: int64(1)}); !math.IsInf(got, -1) {
+			t.Errorf("%s.ScoreOf(missing attr) = %v, want -Inf", s, got)
+		}
+	}
+}
+
+func TestNumericPreferencesIgnoreNonNumericValues(t *testing.T) {
+	lo := LOWEST("A")
+	// A present-but-non-numeric value (a NULL, say) loses to any numeric
+	// value — it must not float to the top of a BMO result.
+	if !lo.Less(numTuple("A", "x"), numTuple("A", int64(1))) {
+		t.Error("non-numeric loses to numeric under LOWEST")
+	}
+	if lo.Less(numTuple("A", int64(1)), numTuple("A", "x")) {
+		t.Error("numeric never loses to non-numeric under LOWEST")
+	}
+	if lo.Less(numTuple("A", "x"), numTuple("A", "y")) {
+		t.Error("two non-numeric values stay unranked under LOWEST")
+	}
+	ar := AROUND("A", 0)
+	if ar.Less(numTuple("A", "x"), numTuple("A", "y")) {
+		t.Error("two non-numeric values stay unranked under AROUND")
+	}
+	// A numeric value does beat a non-numeric one under AROUND, since the
+	// latter has infinite distance — but only with a finite witness.
+	if !ar.Less(numTuple("A", "x"), numTuple("A", int64(1))) {
+		t.Error("finite distance beats infinite distance")
+	}
+}
+
+func TestNumericStringRendering(t *testing.T) {
+	if s := AROUND("Price", 40000).String(); s != "AROUND(Price, 40000)" {
+		t.Errorf("got %q", s)
+	}
+	if s := MustBETWEEN("D", 7, 14).String(); s != "BETWEEN(D, [7, 14])" {
+		t.Errorf("got %q", s)
+	}
+	if s := LOWEST("P").String(); s != "LOWEST(P)" {
+		t.Errorf("got %q", s)
+	}
+	if s := HIGHEST("P").String(); s != "HIGHEST(P)" {
+		t.Errorf("got %q", s)
+	}
+	if s := SCORE("A", "f", func(Value) float64 { return 0 }).String(); s != "SCORE(A, f)" {
+		t.Errorf("got %q", s)
+	}
+}

@@ -1,0 +1,92 @@
+package pref
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ProductPref is the n-ary Pareto accumulation P1 ⊗ P2 ⊗ … ⊗ Pn defined
+// coordinate-wise, the "straightforward generalization to n > 2" the paper
+// mentions after Definition 8:
+//
+//	x <P y iff ∀i (xi <Pi yi ∨ xi = yi) ∧ ∃j (xj <Pj yj)
+//
+// For components over disjoint attribute sets this coincides with nested
+// binary Pareto accumulation (Proposition 2b associativity); the ablation
+// bench compares both evaluations.
+type ProductPref struct {
+	parts []Preference
+	attrs []string
+}
+
+// ParetoProduct constructs the n-ary coordinate-wise Pareto accumulation.
+func ParetoProduct(parts ...Preference) *ProductPref {
+	if len(parts) < 2 {
+		panic("pref: ParetoProduct requires at least two preferences")
+	}
+	lists := make([][]string, len(parts))
+	for i, p := range parts {
+		lists[i] = p.Attrs()
+	}
+	return &ProductPref{append([]Preference(nil), parts...), AttrUnion(lists...)}
+}
+
+// Parts returns the component preferences.
+func (p *ProductPref) Parts() []Preference { return p.parts }
+
+// Attrs implements Preference.
+func (p *ProductPref) Attrs() []string { return p.attrs }
+
+// Less implements the coordinate-wise order: y beats x when every
+// component finds y better or projection-equal and at least one finds it
+// strictly better.
+func (p *ProductPref) Less(x, y Tuple) bool {
+	strict := false
+	for _, part := range p.parts {
+		switch {
+		case part.Less(x, y):
+			strict = true
+		case EqualOn(x, y, part.Attrs()):
+			// equal in this coordinate; fine
+		default:
+			return false
+		}
+	}
+	return strict
+}
+
+func (p *ProductPref) String() string {
+	names := make([]string, len(p.parts))
+	for i, part := range p.parts {
+		names[i] = part.String()
+	}
+	return "(" + strings.Join(names, " ⊗ ") + ")"
+}
+
+// RankWeighted constructs rank(F) with an explicit weighted-sum combining
+// function whose weights stay introspectable, enabling serialization of
+// the term (see internal/pterm). Weights must match the number of parts.
+func RankWeighted(weights []float64, parts ...Scorer) (*RankPref, error) {
+	if len(weights) != len(parts) {
+		return nil, fmt.Errorf("pref: RankWeighted needs one weight per part, got %d weights for %d parts", len(weights), len(parts))
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("pref: RankWeighted requires at least one SCORE preference")
+	}
+	name := make([]string, len(weights))
+	for i, w := range weights {
+		name[i] = FormatValue(w)
+	}
+	r := Rank("wsum["+strings.Join(name, ",")+"]", WeightedSum(weights...), parts...)
+	r.weights = append([]float64(nil), weights...)
+	return r, nil
+}
+
+// Weights returns the weighted-sum weights when the preference was built
+// with RankWeighted; ok is false for opaque combining functions.
+func (p *RankPref) Weights() ([]float64, bool) {
+	if p.weights == nil {
+		return nil, false
+	}
+	return p.weights, true
+}

@@ -1,0 +1,120 @@
+package pref
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func threeAttr(a, b, c Value) Tuple { return MapTuple{"A": a, "B": b, "C": c} }
+
+func TestParetoProductSemantics(t *testing.T) {
+	p := ParetoProduct(LOWEST("A"), LOWEST("B"), LOWEST("C"))
+	cases := []struct {
+		x, y Tuple
+		want bool
+		name string
+	}{
+		{threeAttr(int64(2), int64(2), int64(2)), threeAttr(int64(1), int64(1), int64(1)), true, "better everywhere"},
+		{threeAttr(int64(1), int64(2), int64(1)), threeAttr(int64(1), int64(1), int64(1)), true, "better in one, equal elsewhere"},
+		{threeAttr(int64(1), int64(1), int64(1)), threeAttr(int64(1), int64(1), int64(1)), false, "irreflexive"},
+		{threeAttr(int64(1), int64(2), int64(1)), threeAttr(int64(2), int64(1), int64(1)), false, "trade-off stays unranked"},
+	}
+	for _, c := range cases {
+		if got := p.Less(c.x, c.y); got != c.want {
+			t.Errorf("%s: Less = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if len(p.Parts()) != 3 {
+		t.Error("Parts accessor")
+	}
+	if len(p.Attrs()) != 3 {
+		t.Errorf("Attrs = %v", p.Attrs())
+	}
+	if p.String() == "" {
+		t.Error("String rendering")
+	}
+}
+
+func TestParetoProductPanicsBelowTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ParetoProduct with one operand must panic")
+		}
+	}()
+	ParetoProduct(LOWEST("A"))
+}
+
+// TestProductEqualsNestedBinaryOnDisjointAttrs: for single-attribute
+// components over disjoint attributes, the coordinate-wise n-ary product
+// must agree with the paper's nested binary construction (the Prop 2b
+// associativity regime).
+func TestProductEqualsNestedBinaryOnDisjointAttrs(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func(attr string) Preference {
+			switch rng.Intn(4) {
+			case 0:
+				return LOWEST(attr)
+			case 1:
+				return HIGHEST(attr)
+			case 2:
+				return AROUND(attr, float64(rng.Intn(4)))
+			}
+			return POS(attr, int64(rng.Intn(4)))
+		}
+		p1, p2, p3 := mk("A"), mk("B"), mk("C")
+		nested := Pareto(Pareto(p1, p2), p3)
+		nary := ParetoProduct(p1, p2, p3)
+		for i := 0; i < 40; i++ {
+			x := threeAttr(int64(rng.Intn(4)), int64(rng.Intn(4)), int64(rng.Intn(4)))
+			y := threeAttr(int64(rng.Intn(4)), int64(rng.Intn(4)), int64(rng.Intn(4)))
+			if nested.Less(x, y) != nary.Less(x, y) {
+				t.Logf("seed %d: nested %v vs n-ary %v on (%v, %v) under %s",
+					seed, nested.Less(x, y), nary.Less(x, y), x, y, nary)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParetoProductIsSPO(t *testing.T) {
+	var universe []Tuple
+	for a := int64(0); a < 3; a++ {
+		for b := int64(0); b < 3; b++ {
+			universe = append(universe, MapTuple{"A": a, "B": b})
+		}
+	}
+	p := ParetoProduct(AROUND("A", 1), POS("B", int64(0)))
+	if v := CheckSPO(p, universe); v != nil {
+		t.Fatalf("n-ary product violates SPO: %v", v)
+	}
+}
+
+func TestRankWeightedValidation(t *testing.T) {
+	if _, err := RankWeighted([]float64{1}, HIGHEST("a"), HIGHEST("b")); err == nil {
+		t.Error("weight arity mismatch must fail")
+	}
+	if _, err := RankWeighted(nil); err == nil {
+		t.Error("no parts must fail")
+	}
+	r, err := RankWeighted([]float64{2, 3}, HIGHEST("a"), HIGHEST("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ScoreOf(MapTuple{"a": int64(1), "b": int64(1)}); got != 5 {
+		t.Errorf("weighted score = %v, want 5", got)
+	}
+	ws, ok := r.Weights()
+	if !ok || len(ws) != 2 {
+		t.Error("weights must be introspectable")
+	}
+	// Plain Rank has no weights.
+	if _, ok := Rank("F", WeightedSum(1), HIGHEST("a")).Weights(); ok {
+		t.Error("opaque rank must not report weights")
+	}
+}

@@ -1,0 +1,160 @@
+package pref
+
+import "fmt"
+
+// SPOViolation describes a failure of the strict-partial-order axioms of
+// Definition 1 on a finite tuple set.
+type SPOViolation struct {
+	Axiom string // "irreflexivity", "asymmetry" or "transitivity"
+	X, Y  Tuple  // witnesses; Z set for transitivity violations
+	Z     Tuple
+}
+
+// Error implements error.
+func (v *SPOViolation) Error() string {
+	attrs := []string{}
+	switch v.Axiom {
+	case "irreflexivity":
+		return fmt.Sprintf("pref: irreflexivity violated: x <P x for x=%s", labelFor(v.X, attrs))
+	case "asymmetry":
+		return fmt.Sprintf("pref: asymmetry violated: x <P y and y <P x")
+	}
+	return "pref: transitivity violated: x <P y, y <P z but not x <P z"
+}
+
+// CheckSPO verifies irreflexivity, asymmetry and transitivity of p over the
+// given finite tuple set, returning the first violation found or nil. It is
+// the workhorse of the property-based tests: every preference term must
+// pass it on arbitrary finite extents (Proposition 1).
+func CheckSPO(p Preference, tuples []Tuple) *SPOViolation {
+	n := len(tuples)
+	less := make([][]bool, n)
+	for i := range less {
+		less[i] = make([]bool, n)
+		for j := range less[i] {
+			less[i][j] = p.Less(tuples[i], tuples[j])
+		}
+	}
+	for i := 0; i < n; i++ {
+		if less[i][i] {
+			return &SPOViolation{Axiom: "irreflexivity", X: tuples[i], Y: tuples[i]}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && less[i][j] && less[j][i] {
+				return &SPOViolation{Axiom: "asymmetry", X: tuples[i], Y: tuples[j]}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !less[i][j] {
+				continue
+			}
+			for k := 0; k < n; k++ {
+				if less[j][k] && !less[i][k] {
+					return &SPOViolation{Axiom: "transitivity", X: tuples[i], Y: tuples[j], Z: tuples[k]}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// IsChain reports whether p is a chain (total order) over the given finite
+// tuple set: every pair of tuples with distinct projections is ranked
+// (Definition 3a).
+func IsChain(p Preference, tuples []Tuple) bool {
+	attrs := p.Attrs()
+	for i := range tuples {
+		for j := range tuples {
+			if i == j {
+				continue
+			}
+			if EqualOn(tuples[i], tuples[j], attrs) {
+				continue
+			}
+			if !Comparable(p, tuples[i], tuples[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Max computes max(P) over a finite tuple set: all tuples whose projection
+// has no strictly better tuple in the set. This is the semantic reference
+// implementation the evaluation engines are tested against.
+func Max(p Preference, tuples []Tuple) []Tuple {
+	var out []Tuple
+	for i, t := range tuples {
+		maximal := true
+		for j, u := range tuples {
+			if i != j && p.Less(t, u) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// RangeOf computes range(<P) over a finite tuple set (Definition 4): the
+// projections participating in at least one better-than relationship.
+// The result maps projection keys to a representative tuple.
+func RangeOf(p Preference, tuples []Tuple) map[string]Tuple {
+	attrs := p.Attrs()
+	out := make(map[string]Tuple)
+	for i, x := range tuples {
+		for j, y := range tuples {
+			if i == j {
+				continue
+			}
+			if p.Less(x, y) {
+				out[ProjectionKey(x, attrs)] = x
+				out[ProjectionKey(y, attrs)] = y
+			}
+		}
+	}
+	return out
+}
+
+// DisjointOn reports whether p1 and p2 are disjoint preferences over the
+// finite tuple set (Definition 4): range(<P1) ∩ range(<P2) = ∅. Both
+// preferences must share an attribute universe for the check to be
+// meaningful; ranges are compared on the union of the attribute sets.
+func DisjointOn(p1, p2 Preference, tuples []Tuple) bool {
+	attrs := AttrUnion(p1.Attrs(), p2.Attrs())
+	r1 := make(map[string]struct{})
+	for i, x := range tuples {
+		for j, y := range tuples {
+			if i == j {
+				continue
+			}
+			if p1.Less(x, y) {
+				r1[ProjectionKey(x, attrs)] = struct{}{}
+				r1[ProjectionKey(y, attrs)] = struct{}{}
+			}
+		}
+	}
+	for i, x := range tuples {
+		for j, y := range tuples {
+			if i == j {
+				continue
+			}
+			if p2.Less(x, y) {
+				if _, hit := r1[ProjectionKey(x, attrs)]; hit {
+					return false
+				}
+				if _, hit := r1[ProjectionKey(y, attrs)]; hit {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

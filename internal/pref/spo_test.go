@@ -1,0 +1,219 @@
+package pref
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// brokenPref violates whatever axiom its mode selects, to prove CheckSPO
+// catches violations.
+type brokenPref struct{ mode string }
+
+func (b brokenPref) Attrs() []string { return []string{"A"} }
+func (b brokenPref) String() string  { return "broken(" + b.mode + ")" }
+func (b brokenPref) Less(x, y Tuple) bool {
+	xv, _ := x.Get("A")
+	yv, _ := y.Get("A")
+	nx, _ := Numeric(xv)
+	ny, _ := Numeric(yv)
+	switch b.mode {
+	case "reflexive":
+		return nx == ny
+	case "symmetric":
+		return nx != ny
+	case "intransitive":
+		// 0 < 1, 1 < 2, but not 0 < 2.
+		return nx == 0 && ny == 1 || nx == 1 && ny == 2
+	}
+	return false
+}
+
+func intTuples(vals ...int64) []Tuple {
+	out := make([]Tuple, len(vals))
+	for i, v := range vals {
+		out[i] = Single{Attr: "A", Value: v}
+	}
+	return out
+}
+
+func TestCheckSPODetectsViolations(t *testing.T) {
+	u := intTuples(0, 1, 2)
+	cases := []struct {
+		mode  string
+		axiom string
+	}{
+		{"reflexive", "irreflexivity"},
+		{"symmetric", "asymmetry"},
+		{"intransitive", "transitivity"},
+	}
+	for _, c := range cases {
+		v := CheckSPO(brokenPref{c.mode}, u)
+		if v == nil {
+			t.Errorf("mode %s: violation not detected", c.mode)
+			continue
+		}
+		if v.Axiom != c.axiom {
+			t.Errorf("mode %s: detected %s, want %s", c.mode, v.Axiom, c.axiom)
+		}
+		if v.Error() == "" {
+			t.Error("violations must render an error message")
+		}
+	}
+}
+
+func TestCheckSPOAcceptsValidOrder(t *testing.T) {
+	if v := CheckSPO(LOWEST("A"), intTuples(3, 1, 2, 2)); v != nil {
+		t.Errorf("LOWEST is an SPO: %v", v)
+	}
+}
+
+// TestProposition1PropertyBased is the statement "each preference term
+// defines a preference" (Proposition 1): randomly composed terms over
+// random finite universes must satisfy the SPO axioms. testing/quick
+// drives the randomness.
+func TestProposition1PropertyBased(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		universe := make([]Tuple, 8)
+		for i := range universe {
+			universe[i] = MapTuple{
+				"A1": int64(rng.Intn(4)),
+				"A2": int64(rng.Intn(4)),
+			}
+		}
+		terms := []Preference{
+			POS("A1", int64(rng.Intn(4)), int64(rng.Intn(4))),
+			NEG("A2", int64(rng.Intn(4))),
+			AROUND("A1", float64(rng.Intn(4))),
+			MustBETWEEN("A2", 1, 2),
+			Pareto(AROUND("A1", float64(rng.Intn(4))), LOWEST("A2")),
+			Prioritized(POS("A1", int64(rng.Intn(4))), HIGHEST("A2")),
+			Pareto(POS("A1", int64(0), int64(1)), NEG("A1", int64(2))),
+			Dual(Prioritized(LOWEST("A1"), LOWEST("A2"))),
+			Rank("F", WeightedSum(1, float64(1+rng.Intn(3))), AROUND("A1", 0), HIGHEST("A2")),
+		}
+		for _, p := range terms {
+			if CheckSPO(p, universe) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsChain(t *testing.T) {
+	u := intTuples(1, 2, 3)
+	if !IsChain(LOWEST("A"), u) {
+		t.Error("LOWEST is a chain")
+	}
+	if IsChain(POS("A", int64(1)), u) {
+		t.Error("POS is not a chain for >2 values")
+	}
+	// Duplicate projections do not break chain-ness.
+	if !IsChain(LOWEST("A"), intTuples(1, 1, 2)) {
+		t.Error("duplicates are allowed in chains")
+	}
+}
+
+func TestMaxMatchesGraphMaxima(t *testing.T) {
+	p := Pareto(LOWEST("A1"), LOWEST("A2"))
+	universe := []Tuple{
+		twoAttr(int64(1), int64(3)),
+		twoAttr(int64(2), int64(2)),
+		twoAttr(int64(3), int64(1)),
+		twoAttr(int64(3), int64(3)),
+	}
+	maxima := Max(p, universe)
+	if len(maxima) != 3 {
+		t.Fatalf("want 3 maxima, got %d", len(maxima))
+	}
+	for _, m := range maxima {
+		v, _ := m.Get("A1")
+		w, _ := m.Get("A2")
+		if EqualValues(v, int64(3)) && EqualValues(w, int64(3)) {
+			t.Error("(3,3) is dominated and must not be maximal")
+		}
+	}
+}
+
+func TestRangeOfAndDisjointOn(t *testing.T) {
+	u := intTuples(0, 1, 2, 3)
+	p1 := MustEXPLICIT("A", []Edge{{Worse: int64(0), Better: int64(1)}})
+	// range(<P1) over u: EXPLICIT puts graph values above ALL others, so
+	// every value participates.
+	r1 := RangeOf(p1, u)
+	if len(r1) != 4 {
+		t.Errorf("range of EXPLICIT over 4 values = %d, want 4 (outside values participate)", len(r1))
+	}
+	// An anti-chain has empty range and is disjoint from everything.
+	ac := AntiChain("A")
+	if len(RangeOf(ac, u)) != 0 {
+		t.Error("anti-chain has empty range")
+	}
+	if !DisjointOn(ac, p1, u) || !DisjointOn(p1, ac, u) {
+		t.Error("anti-chain is disjoint from everything")
+	}
+	if DisjointOn(p1, LOWEST("A"), u) {
+		t.Error("EXPLICIT and LOWEST overlap on this universe")
+	}
+}
+
+func TestEqualOnAndProjectionKey(t *testing.T) {
+	x := MapTuple{"A": int64(1), "B": "x"}
+	y := MapTuple{"A": float64(1), "B": "x", "C": true}
+	if !EqualOn(x, y, []string{"A", "B"}) {
+		t.Error("numeric-insensitive equality on shared attrs")
+	}
+	if EqualOn(x, y, []string{"A", "C"}) {
+		t.Error("C missing from x: not equal")
+	}
+	if ProjectionKey(x, []string{"A", "B"}) != ProjectionKey(y, []string{"A", "B"}) {
+		t.Error("projection keys must agree with EqualOn")
+	}
+	if ProjectionKey(x, []string{"C"}) == ProjectionKey(y, []string{"C"}) {
+		t.Error("missing vs present attribute must differ")
+	}
+	// Missing from both counts as agreement.
+	if !EqualOn(x, MapTuple{"A": int64(1), "B": "x"}, []string{"A", "B", "Z"}) {
+		t.Error("attribute missing from both tuples counts as equal")
+	}
+}
+
+func TestAttrHelpers(t *testing.T) {
+	u := AttrUnion([]string{"b", "a"}, []string{"a", "c"})
+	if len(u) != 3 || u[0] != "a" || u[1] != "b" || u[2] != "c" {
+		t.Errorf("AttrUnion = %v", u)
+	}
+	if !AttrsEqual([]string{"a", "b"}, []string{"a", "b"}) {
+		t.Error("AttrsEqual broken")
+	}
+	if AttrsEqual([]string{"a"}, []string{"a", "b"}) {
+		t.Error("length mismatch must fail")
+	}
+	if !AttrsDisjoint([]string{"a"}, []string{"b"}) {
+		t.Error("disjoint sets")
+	}
+	if AttrsDisjoint([]string{"a", "b"}, []string{"b"}) {
+		t.Error("overlapping sets")
+	}
+}
+
+func TestComparableAndIndifferent(t *testing.T) {
+	p := LOWEST("A")
+	a := Single{Attr: "A", Value: int64(1)}
+	b := Single{Attr: "A", Value: int64(2)}
+	if !Comparable(p, a, b) {
+		t.Error("1 and 2 are comparable under LOWEST")
+	}
+	if Indifferent(p, a, b) {
+		t.Error("comparable values are not indifferent")
+	}
+	ac := AntiChain("A")
+	if !Indifferent(ac, a, b) || Comparable(ac, a, b) {
+		t.Error("anti-chain leaves everything indifferent")
+	}
+}

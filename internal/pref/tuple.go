@@ -1,0 +1,118 @@
+package pref
+
+import (
+	"sort"
+	"strings"
+)
+
+// Tuple supplies attribute values to preference evaluation. Implementations
+// include MapTuple (ad-hoc values keyed by attribute name) and the row
+// views of internal/relation.
+type Tuple interface {
+	// Get returns the value bound to the attribute, and whether the
+	// attribute is present at all.
+	Get(attr string) (Value, bool)
+}
+
+// MapTuple is the simplest Tuple: a map from attribute names to values.
+type MapTuple map[string]Value
+
+// Get implements Tuple.
+func (t MapTuple) Get(attr string) (Value, bool) {
+	v, ok := t[attr]
+	return v, ok
+}
+
+// Single wraps a lone value as a tuple over one attribute, convenient for
+// evaluating single-attribute preferences over raw domain values.
+type Single struct {
+	Attr  string
+	Value Value
+}
+
+// Get implements Tuple.
+func (s Single) Get(attr string) (Value, bool) {
+	if attr == s.Attr {
+		return s.Value, true
+	}
+	return nil, false
+}
+
+// EqualOn reports whether tuples x and y agree on every attribute in attrs.
+// An attribute missing from both tuples counts as agreement; missing from
+// exactly one counts as disagreement.
+func EqualOn(x, y Tuple, attrs []string) bool {
+	for _, a := range attrs {
+		xv, xok := x.Get(a)
+		yv, yok := y.Get(a)
+		if xok != yok {
+			return false
+		}
+		if xok && !EqualValues(xv, yv) {
+			return false
+		}
+	}
+	return true
+}
+
+// ProjectionKey returns a canonical string identifying the projection of t
+// onto attrs. Two tuples have the same key exactly when EqualOn holds.
+func ProjectionKey(t Tuple, attrs []string) string {
+	var b strings.Builder
+	for i, a := range attrs {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		if v, ok := t.Get(a); ok {
+			b.WriteString(ValueKey(v))
+		} else {
+			b.WriteString("\x00absent")
+		}
+	}
+	return b.String()
+}
+
+// AttrUnion merges attribute name lists into a sorted, duplicate-free list.
+func AttrUnion(lists ...[]string) []string {
+	seen := make(map[string]struct{})
+	var out []string
+	for _, l := range lists {
+		for _, a := range l {
+			if _, dup := seen[a]; dup {
+				continue
+			}
+			seen[a] = struct{}{}
+			out = append(out, a)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AttrsEqual reports whether two sorted attribute lists contain the same
+// names.
+func AttrsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AttrsDisjoint reports whether the two attribute lists share no name.
+func AttrsDisjoint(a, b []string) bool {
+	set := make(map[string]struct{}, len(a))
+	for _, x := range a {
+		set[x] = struct{}{}
+	}
+	for _, y := range b {
+		if _, hit := set[y]; hit {
+			return false
+		}
+	}
+	return true
+}

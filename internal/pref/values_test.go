@@ -1,0 +1,185 @@
+package pref
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEqualValuesNumericCrossType(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{int64(5), float64(5), true},
+		{int(5), int64(5), true},
+		{uint8(5), float32(5), true},
+		{int64(5), float64(5.5), false},
+		{"a", "a", true},
+		{"a", "b", false},
+		{"5", int64(5), false},
+		{true, true, true},
+		{true, false, false},
+		{nil, nil, true},
+		{nil, int64(0), false},
+		{int64(0), nil, false},
+	}
+	for _, c := range cases {
+		if got := EqualValues(c.a, c.b); got != c.want {
+			t.Errorf("EqualValues(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqualValuesTime(t *testing.T) {
+	t1 := time.Date(2001, 11, 23, 0, 0, 0, 0, time.UTC)
+	t2 := t1.In(time.FixedZone("X", 3600))
+	if !EqualValues(t1, t2) {
+		t.Error("equal instants in different zones must compare equal")
+	}
+	if EqualValues(t1, t1.Add(time.Second)) {
+		t.Error("distinct instants must not compare equal")
+	}
+	if EqualValues(t1, "2001-11-23") {
+		t.Error("time must not equal its string rendering")
+	}
+}
+
+func TestCompareValues(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		cmp  int
+		ok   bool
+	}{
+		{int64(1), int64(2), -1, true},
+		{int64(2), int64(2), 0, true},
+		{float64(3), int64(2), 1, true},
+		{"a", "b", -1, true},
+		{"b", "a", 1, true},
+		{"a", "a", 0, true},
+		{false, true, -1, true},
+		{true, true, 0, true},
+		{true, false, 1, true},
+		{"a", int64(1), 0, false},
+		{int64(1), "a", 0, false},
+	}
+	for _, c := range cases {
+		cmp, ok := CompareValues(c.a, c.b)
+		if ok != c.ok || (ok && cmp != c.cmp) {
+			t.Errorf("CompareValues(%v, %v) = (%d, %v), want (%d, %v)", c.a, c.b, cmp, ok, c.cmp, c.ok)
+		}
+	}
+}
+
+func TestCompareValuesTime(t *testing.T) {
+	t1 := time.Date(2001, 11, 23, 0, 0, 0, 0, time.UTC)
+	t2 := t1.AddDate(0, 0, 1)
+	if cmp, ok := CompareValues(t1, t2); !ok || cmp != -1 {
+		t.Errorf("CompareValues(t1, t2) = (%d, %v), want (-1, true)", cmp, ok)
+	}
+	if cmp, ok := CompareValues(t2, t1); !ok || cmp != 1 {
+		t.Errorf("CompareValues(t2, t1) = (%d, %v), want (1, true)", cmp, ok)
+	}
+}
+
+func TestValueKeyDistinguishesTypesButNotNumerics(t *testing.T) {
+	if ValueKey(int64(5)) != ValueKey(float64(5)) {
+		t.Error("numeric 5s must share a key")
+	}
+	if ValueKey("5") == ValueKey(int64(5)) {
+		t.Error("string \"5\" must not share a key with numeric 5")
+	}
+	if ValueKey(true) == ValueKey("true") {
+		t.Error("bool true must not share a key with string \"true\"")
+	}
+	if ValueKey(nil) == ValueKey("") {
+		t.Error("nil must not share a key with the empty string")
+	}
+}
+
+func TestValueSetMembershipAndDedup(t *testing.T) {
+	s := NewValueSet("red", "green", "red", int64(3), float64(3))
+	if s.Len() != 3 {
+		t.Fatalf("set should hold 3 distinct values, got %d: %s", s.Len(), s)
+	}
+	if !s.Contains("red") || !s.Contains("green") {
+		t.Error("missing string members")
+	}
+	if !s.Contains(int64(3)) || !s.Contains(float64(3)) || !s.Contains(int(3)) {
+		t.Error("numeric membership must be type-insensitive")
+	}
+	if s.Contains("blue") || s.Contains(int64(4)) {
+		t.Error("non-members reported present")
+	}
+}
+
+func TestValueSetDisjoint(t *testing.T) {
+	a := NewValueSet("x", "y")
+	b := NewValueSet("z")
+	c := NewValueSet("y", "w")
+	if !a.Disjoint(b) {
+		t.Error("{x,y} and {z} are disjoint")
+	}
+	if a.Disjoint(c) {
+		t.Error("{x,y} and {y,w} overlap")
+	}
+	var nilSet *ValueSet
+	if !nilSet.Disjoint(a) || !a.Disjoint(nilSet) {
+		t.Error("nil sets are disjoint from everything")
+	}
+	if nilSet.Contains("x") {
+		t.Error("nil set contains nothing")
+	}
+	if nilSet.Len() != 0 {
+		t.Error("nil set has length 0")
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{nil, "NULL"},
+		{"abc", "abc"},
+		{int64(42), "42"},
+		{float64(42), "42"},
+		{float64(2.5), "2.5"},
+		{true, "true"},
+		{time.Date(2001, 11, 23, 0, 0, 0, 0, time.UTC), "2001-11-23"},
+	}
+	for _, c := range cases {
+		if got := FormatValue(c.v); got != c.want {
+			t.Errorf("FormatValue(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSortValuesMixed(t *testing.T) {
+	vs := []Value{int64(3), int64(1), int64(2)}
+	SortValues(vs)
+	for i, want := range []int64{1, 2, 3} {
+		if vs[i] != want {
+			t.Fatalf("sorted[%d] = %v, want %v", i, vs[i], want)
+		}
+	}
+	strs := []Value{"b", "a", "c"}
+	SortValues(strs)
+	if strs[0] != "a" || strs[2] != "c" {
+		t.Errorf("string sort wrong: %v", strs)
+	}
+}
+
+func TestNumericConversions(t *testing.T) {
+	for _, v := range []Value{int(1), int8(1), int16(1), int32(1), int64(1), uint(1), uint8(1), uint16(1), uint32(1), uint64(1), float32(1), float64(1)} {
+		n, ok := Numeric(v)
+		if !ok || n != 1 {
+			t.Errorf("Numeric(%T) = (%v, %v), want (1, true)", v, n, ok)
+		}
+	}
+	if _, ok := Numeric("1"); ok {
+		t.Error("strings are not numeric")
+	}
+	if _, ok := Numeric(nil); ok {
+		t.Error("nil is not numeric")
+	}
+}

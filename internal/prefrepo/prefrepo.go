@@ -1,0 +1,209 @@
+// Package prefrepo is a persistent preference repository, the first item
+// on the paper's §7 roadmap: named preference terms with descriptions,
+// stored as JSON with the terms in pterm syntax, so personal wish lists
+// (Example 6's Q1, Q1*, …) survive across sessions and can be composed by
+// reference.
+package prefrepo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/pref"
+	"repro/internal/pterm"
+)
+
+// Entry is one stored preference.
+type Entry struct {
+	// Name is the repository key.
+	Name string `json:"name"`
+	// Term is the preference in pterm syntax.
+	Term string `json:"term"`
+	// Description is free-form documentation.
+	Description string `json:"description,omitempty"`
+	// Owner identifies the party holding the preference (customers and
+	// vendors may both store preferences; conflicts are fine).
+	Owner string `json:"owner,omitempty"`
+	// Created is the insertion timestamp.
+	Created time.Time `json:"created"`
+}
+
+// Repo is an in-memory preference repository with JSON persistence. The
+// zero value is not ready; use New.
+type Repo struct {
+	entries map[string]Entry
+}
+
+// New creates an empty repository.
+func New() *Repo {
+	return &Repo{entries: make(map[string]Entry)}
+}
+
+// Put stores a preference under a name, validating that the term
+// serializes (and therefore re-parses). Existing entries are replaced.
+func (r *Repo) Put(name, description, owner string, p pref.Preference) error {
+	if name == "" {
+		return fmt.Errorf("prefrepo: entry name must not be empty")
+	}
+	term, err := pterm.Marshal(p)
+	if err != nil {
+		return fmt.Errorf("prefrepo: preference %q is not storable: %w", name, err)
+	}
+	r.entries[name] = Entry{
+		Name:        name,
+		Term:        term,
+		Description: description,
+		Owner:       owner,
+		Created:     time.Now().UTC(),
+	}
+	return nil
+}
+
+// PutTerm stores a preference given directly in pterm syntax, validating
+// it parses.
+func (r *Repo) PutTerm(name, description, owner, term string) error {
+	if name == "" {
+		return fmt.Errorf("prefrepo: entry name must not be empty")
+	}
+	if _, err := pterm.Parse(term); err != nil {
+		return fmt.Errorf("prefrepo: term for %q does not parse: %w", name, err)
+	}
+	r.entries[name] = Entry{
+		Name:        name,
+		Term:        term,
+		Description: description,
+		Owner:       owner,
+		Created:     time.Now().UTC(),
+	}
+	return nil
+}
+
+// Get parses and returns the named preference.
+func (r *Repo) Get(name string) (pref.Preference, error) {
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("prefrepo: no preference named %q", name)
+	}
+	p, err := pterm.Parse(e.Term)
+	if err != nil {
+		return nil, fmt.Errorf("prefrepo: stored term for %q is corrupt: %w", name, err)
+	}
+	return p, nil
+}
+
+// Entry returns the raw entry.
+func (r *Repo) Entry(name string) (Entry, bool) {
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// Delete removes an entry; deleting a missing entry is a no-op.
+func (r *Repo) Delete(name string) {
+	delete(r.entries, name)
+}
+
+// Len returns the number of stored preferences.
+func (r *Repo) Len() int { return len(r.entries) }
+
+// List returns all entries sorted by name.
+func (r *Repo) List() []Entry {
+	out := make([]Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ListOwner returns the entries of one owner, sorted by name.
+func (r *Repo) ListOwner(owner string) []Entry {
+	var out []Entry
+	for _, e := range r.List() {
+		if e.Owner == owner {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Compose builds an accumulated preference from stored entries: mode
+// "pareto" combines them as equally important (⊗), mode "prioritized"
+// in the given order of importance (&). This is the repository-level
+// counterpart of the paper's preference-engineering workflow.
+func (r *Repo) Compose(mode string, names ...string) (pref.Preference, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("prefrepo: compose needs at least one name")
+	}
+	ps := make([]pref.Preference, len(names))
+	for i, n := range names {
+		p, err := r.Get(n)
+		if err != nil {
+			return nil, err
+		}
+		ps[i] = p
+	}
+	switch mode {
+	case "pareto":
+		return pref.ParetoAll(ps...), nil
+	case "prioritized":
+		return pref.PrioritizedAll(ps...), nil
+	}
+	return nil, fmt.Errorf("prefrepo: unknown compose mode %q (want pareto or prioritized)", mode)
+}
+
+// Save writes the repository as indented JSON.
+func (r *Repo) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.List())
+}
+
+// Load reads a repository from JSON, validating every term.
+func Load(rd io.Reader) (*Repo, error) {
+	var entries []Entry
+	if err := json.NewDecoder(rd).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("prefrepo: decoding repository: %w", err)
+	}
+	r := New()
+	for _, e := range entries {
+		if e.Name == "" {
+			return nil, fmt.Errorf("prefrepo: entry with empty name")
+		}
+		if _, err := pterm.Parse(e.Term); err != nil {
+			return nil, fmt.Errorf("prefrepo: entry %q has a corrupt term: %w", e.Name, err)
+		}
+		r.entries[e.Name] = e
+	}
+	return r, nil
+}
+
+// SaveFile writes the repository to a file.
+func (r *Repo) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := r.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a repository file; a missing file yields an empty
+// repository, so first runs need no setup.
+func LoadFile(path string) (*Repo, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return New(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

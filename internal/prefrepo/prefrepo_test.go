@@ -1,0 +1,172 @@
+package prefrepo
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/pref"
+)
+
+func julia() pref.Preference {
+	return pref.Prioritized(
+		pref.NEG("color", "gray"),
+		pref.Pareto(pref.LOWEST("price"), pref.AROUND("horsepower", 100)),
+	)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	r := New()
+	if err := r.Put("julia-q1", "Julia's wish list", "julia", julia()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Get("julia-q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := algebra.NewGen(1, 4, "color", "price", "horsepower")
+	if w := algebra.FindInequivalence(julia(), got, g.Universe(12)); w != nil {
+		t.Fatalf("stored preference changed: %s", w.Reason)
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	r := New()
+	if err := r.Put("", "", "", julia()); err == nil {
+		t.Error("empty names must be rejected")
+	}
+	score := pref.SCORE("a", "f", func(pref.Value) float64 { return 0 })
+	if err := r.Put("s", "", "", score); err == nil {
+		t.Error("unserializable preferences must be rejected")
+	}
+	if err := r.PutTerm("bad", "", "", "WRONG("); err == nil {
+		t.Error("unparseable terms must be rejected")
+	}
+	if err := r.PutTerm("", "", "", "LOWEST(a)"); err == nil {
+		t.Error("empty name in PutTerm must be rejected")
+	}
+	if err := r.PutTerm("ok", "", "", "LOWEST(a)"); err != nil {
+		t.Errorf("valid term rejected: %v", err)
+	}
+}
+
+func TestGetMissingAndDelete(t *testing.T) {
+	r := New()
+	if _, err := r.Get("nope"); err == nil {
+		t.Error("missing entry must error")
+	}
+	r.PutTerm("x", "", "", "LOWEST(a)")
+	if r.Len() != 1 {
+		t.Error("Len")
+	}
+	r.Delete("x")
+	if r.Len() != 0 {
+		t.Error("Delete")
+	}
+	r.Delete("x") // no-op
+}
+
+func TestListAndOwners(t *testing.T) {
+	r := New()
+	r.PutTerm("b-pref", "", "leslie", "LOWEST(price)")
+	r.PutTerm("a-pref", "", "julia", "NEG(color, {'gray'})")
+	r.PutTerm("c-pref", "", "julia", "HIGHEST(year)")
+	names := []string{}
+	for _, e := range r.List() {
+		names = append(names, e.Name)
+	}
+	if strings.Join(names, ",") != "a-pref,b-pref,c-pref" {
+		t.Errorf("List order: %v", names)
+	}
+	if got := r.ListOwner("julia"); len(got) != 2 {
+		t.Errorf("julia owns %d", len(got))
+	}
+	if e, ok := r.Entry("a-pref"); !ok || e.Owner != "julia" {
+		t.Error("Entry accessor")
+	}
+}
+
+func TestCompose(t *testing.T) {
+	r := New()
+	r.PutTerm("color", "", "", "NEG(color, {'gray'})")
+	r.PutTerm("price", "", "", "LOWEST(price)")
+	p, err := r.Compose("pareto", "color", "price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.String(), "⊗") {
+		t.Errorf("pareto compose = %s", p)
+	}
+	p, err = r.Compose("prioritized", "color", "price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.String(), "&") {
+		t.Errorf("prioritized compose = %s", p)
+	}
+	if _, err := r.Compose("pareto"); err == nil {
+		t.Error("empty compose must fail")
+	}
+	if _, err := r.Compose("pareto", "missing"); err == nil {
+		t.Error("missing names must fail")
+	}
+	if _, err := r.Compose("wrong", "color"); err == nil {
+		t.Error("unknown mode must fail")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	r := New()
+	r.Put("julia-q1", "wish list", "julia", julia())
+	r.PutTerm("dealer", "domain knowledge", "michael", "HIGHEST(year) & HIGHEST(commission)")
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("loaded %d entries", back.Len())
+	}
+	e, _ := back.Entry("julia-q1")
+	if e.Description != "wish list" || e.Owner != "julia" {
+		t.Error("metadata lost")
+	}
+	if _, err := back.Get("dealer"); err != nil {
+		t.Errorf("loaded term must parse: %v", err)
+	}
+}
+
+func TestLoadRejectsCorruptData(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("bad JSON must fail")
+	}
+	if _, err := Load(strings.NewReader(`[{"name": "x", "term": "WRONG("}]`)); err == nil {
+		t.Error("corrupt terms must fail")
+	}
+	if _, err := Load(strings.NewReader(`[{"name": "", "term": "LOWEST(a)"}]`)); err == nil {
+		t.Error("empty names must fail")
+	}
+}
+
+func TestFilePersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prefs.json")
+	// Missing file loads as empty.
+	r, err := LoadFile(path)
+	if err != nil || r.Len() != 0 {
+		t.Fatalf("missing file: %v, %d entries", err, r.Len())
+	}
+	r.PutTerm("x", "", "", "LOWEST(a)")
+	if err := r.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil || back.Len() != 1 {
+		t.Fatalf("reload: %v, %d entries", err, back.Len())
+	}
+}

@@ -1,0 +1,230 @@
+package psql
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/pref"
+	"repro/internal/quality"
+	"repro/internal/rank"
+	"repro/internal/relation"
+)
+
+// Catalog resolves relation names for query execution.
+type Catalog map[string]*relation.Relation
+
+// Options configure execution.
+type Options struct {
+	// Algorithm selects the BMO evaluation strategy (engine.Auto default).
+	Algorithm engine.Algorithm
+}
+
+// Run parses and executes a Preference SQL statement against the catalog.
+func Run(query string, cat Catalog, opts Options) (*relation.Relation, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return Exec(q, cat, opts)
+}
+
+// Exec executes a parsed query. The evaluation pipeline follows §5 and
+// §6.1: hard WHERE selection first, then the PREFERRING soft constraint
+// under BMO semantics (grouped per GROUPING BY), then CASCADE preference
+// queries, the BUT ONLY quality filter, SKYLINE OF, ORDER BY, TOP-k and
+// finally projection. A TOP-k with a RANK preference switches to the
+// ranked (k-best) query model of §6.2 instead of BMO.
+func Exec(q *Query, cat Catalog, opts Options) (*relation.Relation, error) {
+	if q.ExplainPlan {
+		text, err := Explain(q, cat, opts)
+		if err != nil {
+			return nil, err
+		}
+		return explainRelation(text), nil
+	}
+	rel, ok := cat[q.From]
+	if !ok {
+		return nil, fmt.Errorf("psql: unknown relation %q", q.From)
+	}
+	if err := checkAttrs(q, rel); err != nil {
+		return nil, err
+	}
+	out := rel
+	if q.Where != nil {
+		out = out.Select(q.Where.Eval)
+	}
+	var builtPref pref.Preference
+	if q.Preferring != nil {
+		p, err := q.Preferring.Build()
+		if err != nil {
+			return nil, err
+		}
+		builtPref = p
+		if s, ok := p.(pref.Scorer); ok && q.Top > 0 {
+			// Ranked query model: k best by combined score, bypassing BMO.
+			results := rank.TopK(s, out, q.Top)
+			idx := make([]int, len(results))
+			for i, r := range results {
+				idx[i] = r.Row
+			}
+			out = out.Pick(idx)
+			return project(q, out)
+		}
+		if len(q.GroupingBy) > 0 {
+			out = engine.GroupBy(p, q.GroupingBy, out, opts.Algorithm)
+		} else {
+			out = engine.BMO(p, out, opts.Algorithm)
+		}
+	}
+	for _, c := range q.Cascades {
+		p, err := c.Build()
+		if err != nil {
+			return nil, err
+		}
+		if builtPref == nil {
+			builtPref = p
+		}
+		out = engine.BMO(p, out, opts.Algorithm)
+	}
+	if q.ButOnly != nil {
+		if builtPref == nil {
+			return nil, fmt.Errorf("psql: BUT ONLY requires a PREFERRING clause")
+		}
+		byAttr := collectBasePrefs(q)
+		out = out.Select(func(t pref.Tuple) bool { return q.ButOnly.Eval(byAttr, t) })
+	}
+	if q.Skyline != nil {
+		p, err := q.Skyline.Preference()
+		if err != nil {
+			return nil, err
+		}
+		out = engine.BMO(p, out, opts.Algorithm)
+	}
+	if len(q.OrderBy) > 0 {
+		out = out.Clone()
+		out.SortBy(func(a, b pref.Tuple) bool { return orderLess(q.OrderBy, a, b) })
+	}
+	if q.Top > 0 && out.Len() > q.Top {
+		idx := make([]int, q.Top)
+		for i := range idx {
+			idx[i] = i
+		}
+		out = out.Pick(idx)
+	}
+	return project(q, out)
+}
+
+// checkAttrs validates every attribute reference in the query against the
+// relation's schema, so typos fail fast rather than silently matching
+// nothing.
+func checkAttrs(q *Query, rel *relation.Relation) error {
+	var missing []string
+	check := func(attr string) {
+		if _, ok := rel.Schema().Index(attr); !ok {
+			missing = append(missing, attr)
+		}
+	}
+	for _, a := range q.Select {
+		check(a)
+	}
+	for _, a := range q.GroupingBy {
+		check(a)
+	}
+	for _, o := range q.OrderBy {
+		check(o.Attr)
+	}
+	if q.Preferring != nil {
+		if p, err := q.Preferring.Build(); err == nil {
+			for _, a := range p.Attrs() {
+				check(a)
+			}
+		}
+	}
+	for _, c := range q.Cascades {
+		if p, err := c.Build(); err == nil {
+			for _, a := range p.Attrs() {
+				check(a)
+			}
+		}
+	}
+	if q.Skyline != nil {
+		for _, d := range q.Skyline.Dims {
+			check(d.Attr)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("psql: unknown column(s) %v in relation %q", missing, rel.Name())
+	}
+	return nil
+}
+
+// collectBasePrefs indexes the base preferences of PREFERRING and CASCADE
+// clauses by attribute for BUT ONLY resolution.
+func collectBasePrefs(q *Query) map[string]pref.Preference {
+	out := make(map[string]pref.Preference)
+	add := func(e PrefExpr) {
+		p, err := e.Build()
+		if err != nil {
+			return
+		}
+		for attr, bp := range quality.BasePrefsByAttr(p) {
+			if _, dup := out[attr]; !dup {
+				out[attr] = bp
+			}
+		}
+	}
+	if q.Preferring != nil {
+		add(q.Preferring)
+	}
+	for _, c := range q.Cascades {
+		add(c)
+	}
+	return out
+}
+
+// orderLess compares tuples under the ORDER BY directives.
+func orderLess(items []OrderItem, a, b pref.Tuple) bool {
+	for _, it := range items {
+		av, aok := a.Get(it.Attr)
+		bv, bok := b.Get(it.Attr)
+		if !aok || !bok {
+			continue
+		}
+		c, ok := pref.CompareValues(av, bv)
+		if !ok || c == 0 {
+			continue
+		}
+		if it.Desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return false
+}
+
+// project applies the SELECT list and DISTINCT.
+func project(q *Query, rel *relation.Relation) (*relation.Relation, error) {
+	out := rel
+	if len(q.Select) > 0 {
+		p, err := out.Project(q.Select)
+		if err != nil {
+			return nil, err
+		}
+		out = p
+	}
+	if q.Distinct {
+		d, err := out.DistinctProject(out.Schema().Names())
+		if err != nil {
+			return nil, err
+		}
+		out = d
+	}
+	return out, nil
+}
+
+// makeCondition builds a BUT ONLY quality condition.
+func makeCondition(kind, attr, op string, threshold float64) quality.Condition {
+	return quality.Condition{Kind: kind, Attr: attr, Op: op, Threshold: threshold}
+}

@@ -1,0 +1,139 @@
+package psql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/engine"
+	"repro/internal/pref"
+	"repro/internal/relation"
+)
+
+// Explain renders the evaluation plan of a query without running it: the
+// pipeline of operators, the preference term each soft step evaluates
+// (before and after algebraic simplification), and the physical algorithm
+// the engine would select. This is the observable face of the paper's §7
+// "preference query optimizer" roadmap item.
+func Explain(q *Query, cat Catalog, opts Options) (string, error) {
+	rel, ok := cat[q.From]
+	if !ok {
+		return "", fmt.Errorf("psql: unknown relation %q", q.From)
+	}
+	if err := checkAttrs(q, rel); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	step := 0
+	emit := func(format string, args ...any) {
+		step++
+		fmt.Fprintf(&b, "%2d. %s\n", step, fmt.Sprintf(format, args...))
+	}
+	emit("scan %s (%d rows)", q.From, rel.Len())
+	n := rel.Len()
+	if q.Where != nil {
+		emit("hard selection: %s", q.Where)
+	}
+	if q.Preferring != nil {
+		p, err := q.Preferring.Build()
+		if err != nil {
+			return "", err
+		}
+		simplified := algebra.Simplify(p)
+		alg := opts.Algorithm
+		resolved := alg
+		if alg == engine.Auto {
+			resolved = engine.ResolveAuto(simplified, n)
+		}
+		if _, isScorer := p.(pref.Scorer); isScorer && q.Top > 0 {
+			emit("ranked query model (k-best): TOP %d by combined score of %s", q.Top, p)
+			emitProjection(&b, &step, q)
+			return b.String(), nil
+		}
+		if len(q.GroupingBy) > 0 {
+			emit("BMO σ[P groupby {%s}], P = %s [algorithm %s per group]",
+				strings.Join(q.GroupingBy, ", "), simplified, resolved)
+		} else {
+			emit("BMO σ[P], P = %s [algorithm %s]", simplified, resolved)
+		}
+		if simplified.String() != p.String() {
+			fmt.Fprintf(&b, "    (simplified from %s by the preference algebra)\n", p)
+		}
+	}
+	for _, c := range q.Cascades {
+		p, err := c.Build()
+		if err != nil {
+			return "", err
+		}
+		simplified := algebra.Simplify(p)
+		resolved := opts.Algorithm
+		if resolved == engine.Auto {
+			resolved = engine.ResolveAuto(simplified, n)
+		}
+		emit("cascade BMO σ[P], P = %s [algorithm %s]", simplified, resolved)
+	}
+	if q.ButOnly != nil {
+		emit("quality filter BUT ONLY %s", q.ButOnly)
+	}
+	if q.Skyline != nil {
+		p, err := q.Skyline.Preference()
+		if err != nil {
+			return "", err
+		}
+		resolved := opts.Algorithm
+		if resolved == engine.Auto {
+			resolved = engine.ResolveAuto(p, n)
+		}
+		emit("%s ⇒ BMO σ[P], P = %s [algorithm %s]", q.Skyline, p, resolved)
+	}
+	if len(q.OrderBy) > 0 {
+		parts := make([]string, len(q.OrderBy))
+		for i, o := range q.OrderBy {
+			parts[i] = o.Attr
+			if o.Desc {
+				parts[i] += " DESC"
+			}
+		}
+		emit("sort by %s", strings.Join(parts, ", "))
+	}
+	if q.Top > 0 {
+		emit("truncate to TOP %d", q.Top)
+	}
+	emitProjection(&b, &step, q)
+	return b.String(), nil
+}
+
+// emitProjection appends the projection/distinct steps.
+func emitProjection(b *strings.Builder, step *int, q *Query) {
+	emit := func(format string, args ...any) {
+		*step++
+		fmt.Fprintf(b, "%2d. %s\n", *step, fmt.Sprintf(format, args...))
+	}
+	if len(q.Select) > 0 {
+		emit("project %s", strings.Join(q.Select, ", "))
+	} else {
+		emit("project *")
+	}
+	if q.Distinct {
+		emit("distinct")
+	}
+}
+
+// ExplainQuery parses and explains a statement in one call.
+func ExplainQuery(query string, cat Catalog, opts Options) (string, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return "", err
+	}
+	return Explain(q, cat, opts)
+}
+
+// explainRelation packages plan text as a one-column relation so EXPLAIN
+// statements flow through the normal Run result channel.
+func explainRelation(text string) *relation.Relation {
+	rel := relation.New("plan", relation.MustSchema(relation.Column{Name: "plan", Type: relation.String}))
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		rel.MustInsert(relation.Row{line})
+	}
+	return rel
+}

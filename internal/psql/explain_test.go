@@ -1,0 +1,129 @@
+package psql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func TestExplainPipeline(t *testing.T) {
+	plan, err := ExplainQuery(`SELECT oid, price FROM car WHERE make = 'Opel'
+		PREFERRING LOWEST(price) AND LOWEST(mileage)
+		CASCADE HIGHEST(power)
+		ORDER BY price TOP 3`, testCatalog(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"scan car (5 rows)",
+		"hard selection: make = 'Opel'",
+		"BMO σ[P]",
+		"LOWEST(price) ⊗ LOWEST(mileage)",
+		"cascade BMO σ[P], P = HIGHEST(power)",
+		"sort by price",
+		"truncate to TOP 3",
+		"project oid, price",
+	} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+}
+
+func TestExplainReportsAutoAlgorithm(t *testing.T) {
+	plan, err := ExplainQuery("SELECT * FROM car PREFERRING LOWEST(price) AND LOWEST(mileage)", testCatalog(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Five rows: auto resolves to SFS for a chain-product preference below
+	// the DNC threshold.
+	if !strings.Contains(plan, "[algorithm sfs]") {
+		t.Errorf("plan must state the resolved algorithm:\n%s", plan)
+	}
+	plan, err = ExplainQuery("SELECT * FROM car PREFERRING LOWEST(price)", testCatalog(), Options{Algorithm: engine.Naive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "[algorithm naive]") {
+		t.Errorf("explicit algorithm must be reported:\n%s", plan)
+	}
+}
+
+func TestExplainShowsSimplification(t *testing.T) {
+	// color = 'x' PRIOR TO color <> 'y' has identical attribute sets:
+	// Prop 4a collapses the term, and the plan must say so.
+	plan, err := ExplainQuery("SELECT * FROM car PREFERRING color = 'red' PRIOR TO color <> 'gray'", testCatalog(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "simplified from") {
+		t.Errorf("plan must note algebraic simplification:\n%s", plan)
+	}
+	if !strings.Contains(plan, "P = POS(color, {red})") {
+		t.Errorf("plan must show the simplified term:\n%s", plan)
+	}
+}
+
+func TestExplainRankedModel(t *testing.T) {
+	plan, err := ExplainQuery("SELECT oid FROM car PREFERRING RANK(HIGHEST(power), LOWEST(price)) TOP 3", testCatalog(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "ranked query model (k-best): TOP 3") {
+		t.Errorf("ranked model not recognized:\n%s", plan)
+	}
+}
+
+func TestExplainGroupingAndSkylineAndButOnly(t *testing.T) {
+	plan, err := ExplainQuery(`SELECT oid FROM car
+		PREFERRING price AROUND 40000 GROUPING BY make
+		BUT ONLY DISTANCE(price) <= 1000`, testCatalog(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "groupby {make}") {
+		t.Errorf("grouping missing:\n%s", plan)
+	}
+	if !strings.Contains(plan, "BUT ONLY DISTANCE(price) <= 1000") {
+		t.Errorf("quality filter missing:\n%s", plan)
+	}
+	plan, err = ExplainQuery("SELECT * FROM car SKYLINE OF price MIN, power MAX", testCatalog(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "SKYLINE OF price MIN, power MAX") {
+		t.Errorf("skyline step missing:\n%s", plan)
+	}
+}
+
+func TestExplainStatementThroughRun(t *testing.T) {
+	res, err := Run("EXPLAIN SELECT oid FROM car PREFERRING LOWEST(price)", testCatalog(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() < 3 {
+		t.Fatalf("plan relation has %d rows", res.Len())
+	}
+	v, _ := res.Tuple(0).Get("plan")
+	if !strings.Contains(v.(string), "scan car") {
+		t.Errorf("first plan line = %v", v)
+	}
+	// EXPLAIN round-trips through Query.String().
+	q, err := Parse("EXPLAIN SELECT * FROM car")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(q.String(), "EXPLAIN SELECT") {
+		t.Errorf("rendering: %s", q)
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	if _, err := ExplainQuery("SELECT * FROM missing", testCatalog(), Options{}); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	if _, err := ExplainQuery("SELECT nope FROM car", testCatalog(), Options{}); err == nil {
+		t.Error("unknown column must fail")
+	}
+}

@@ -1,0 +1,199 @@
+// Package psql implements Preference SQL (§6.1): SQL extended by a
+// PREFERRING clause for soft constraints under BMO semantics, CASCADE
+// chains, GROUPING BY, quality supervision via BUT ONLY with LEVEL and
+// DISTANCE, the SKYLINE OF clause of [BKS01], and TOP-k for the ranked
+// query model. Queries are parsed into an AST, planned, and executed
+// against in-memory relations (internal/relation) using the evaluation
+// engines of internal/engine.
+package psql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp     // = <> != < <= > >= + - * /
+	TokLParen // (
+	TokRParen // )
+	TokComma
+	TokSemi
+	TokStar
+)
+
+// Token is one lexical token with its source position (1-based offset).
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; identifiers keep their case
+	Pos  int
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of query"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	}
+	return t.Text
+}
+
+// keywords of Preference SQL. Multi-word constructs (PRIOR TO, BUT ONLY,
+// GROUPING BY, SKYLINE OF, NOT IN, ORDER BY, IS NULL) are assembled in the
+// parser from consecutive keyword tokens.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "PREFERRING": true,
+	"CASCADE": true, "BUT": true, "ONLY": true, "GROUPING": true,
+	"BY": true, "ORDER": true, "AND": true, "OR": true, "NOT": true,
+	"IN": true, "LIKE": true, "IS": true, "NULL": true, "ELSE": true,
+	"AROUND": true, "BETWEEN": true, "LOWEST": true, "HIGHEST": true,
+	"SCORE": true, "EXPLICIT": true, "PRIOR": true, "TO": true,
+	"SKYLINE": true, "OF": true, "MIN": true, "MAX": true, "TOP": true,
+	"LIMIT": true, "ASC": true, "DESC": true, "DISTINCT": true,
+	"LEVEL": true, "DISTANCE": true, "AS": true, "TRUE": true, "FALSE": true,
+	"EXPLAIN": true,
+	"RANK":    true,
+}
+
+// Lex tokenizes a Preference SQL query.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, Token{TokLParen, "(", i + 1})
+			i++
+		case c == ')':
+			toks = append(toks, Token{TokRParen, ")", i + 1})
+			i++
+		case c == ',':
+			toks = append(toks, Token{TokComma, ",", i + 1})
+			i++
+		case c == ';':
+			toks = append(toks, Token{TokSemi, ";", i + 1})
+			i++
+		case c == '*':
+			toks = append(toks, Token{TokStar, "*", i + 1})
+			i++
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			closed := false
+			for j < n {
+				if input[j] == '\'' {
+					if j+1 < n && input[j+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					closed = true
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			if !closed {
+				return nil, fmt.Errorf("psql: unterminated string literal at offset %d", i+1)
+			}
+			toks = append(toks, Token{TokString, sb.String(), i + 1})
+			i = j + 1
+		case c == '=':
+			toks = append(toks, Token{TokOp, "=", i + 1})
+			i++
+		case c == '<':
+			switch {
+			case i+1 < n && input[i+1] == '>':
+				toks = append(toks, Token{TokOp, "<>", i + 1})
+				i += 2
+			case i+1 < n && input[i+1] == '=':
+				toks = append(toks, Token{TokOp, "<=", i + 1})
+				i += 2
+			default:
+				toks = append(toks, Token{TokOp, "<", i + 1})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{TokOp, ">=", i + 1})
+				i += 2
+			} else {
+				toks = append(toks, Token{TokOp, ">", i + 1})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{TokOp, "<>", i + 1})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("psql: unexpected '!' at offset %d", i+1)
+			}
+		case c >= '0' && c <= '9' || c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9':
+			j := i
+			seenDot := false
+			for j < n && (input[j] >= '0' && input[j] <= '9' || input[j] == '.' && !seenDot) {
+				if input[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, Token{TokNumber, input[i:j], i + 1})
+			i = j
+		case c == '-' && len(toks) > 0 && (toks[len(toks)-1].Kind == TokOp || toks[len(toks)-1].Kind == TokLParen || toks[len(toks)-1].Kind == TokComma || toks[len(toks)-1].Kind == TokKeyword):
+			// Unary minus on a numeric literal.
+			j := i + 1
+			seenDot := false
+			for j < n && (input[j] >= '0' && input[j] <= '9' || input[j] == '.' && !seenDot) {
+				if input[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("psql: stray '-' at offset %d", i+1)
+			}
+			toks = append(toks, Token{TokNumber, input[i:j], i + 1})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(input[j])) {
+				j++
+			}
+			word := input[i:j]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, Token{TokKeyword, upper, i + 1})
+			} else {
+				toks = append(toks, Token{TokIdent, word, i + 1})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("psql: unexpected character %q at offset %d", c, i+1)
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", n + 1})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,580 @@
+package pterm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/pref"
+)
+
+// Parse reads a preference term in pterm syntax (see the package comment)
+// and builds the corresponding preference.
+func Parse(input string) (pref.Preference, error) {
+	p := &parser{in: input}
+	term, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.in) {
+		return nil, p.errorf("unexpected trailing input %q", p.in[p.pos:])
+	}
+	return term, nil
+}
+
+// MustParse is Parse that panics on malformed terms.
+func MustParse(input string) pref.Preference {
+	p, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	in  string
+	pos int
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("pterm: at offset %d: %s", p.pos+1, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.in) {
+		switch p.in[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) lit(s string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.in[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(s string) error {
+	if !p.lit(s) {
+		return p.errorf("expected %q", s)
+	}
+	return nil
+}
+
+func isWord(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// keyword consumes a case-insensitive constructor name.
+func (p *parser) keyword(kw string) bool {
+	p.skipSpace()
+	n := len(kw)
+	if p.pos+n > len(p.in) || !strings.EqualFold(p.in[p.pos:p.pos+n], kw) {
+		return false
+	}
+	if p.pos+n < len(p.in) && isWord(p.in[p.pos+n]) {
+		return false
+	}
+	p.pos += n
+	return true
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.in) && isWord(p.in[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errorf("expected identifier")
+	}
+	return p.in[start:p.pos], nil
+}
+
+func (p *parser) number() (float64, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.pos < len(p.in) && (p.in[p.pos] == '-' || p.in[p.pos] == '+') {
+		p.pos++
+	}
+	seenDot := false
+	for p.pos < len(p.in) && (p.in[p.pos] >= '0' && p.in[p.pos] <= '9' || p.in[p.pos] == '.' && !seenDot || p.in[p.pos] == 'e' || p.in[p.pos] == 'E') {
+		if p.in[p.pos] == '.' {
+			seenDot = true
+		}
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, p.errorf("expected number")
+	}
+	return strconv.ParseFloat(p.in[start:p.pos], 64)
+}
+
+// value parses 'string', number, true or false. Numbers without a
+// fractional part load as int64 so POS sets round-trip integer members.
+func (p *parser) value() (pref.Value, error) {
+	p.skipSpace()
+	if p.pos < len(p.in) && p.in[p.pos] == '\'' {
+		p.pos++
+		var sb strings.Builder
+		for p.pos < len(p.in) {
+			if p.in[p.pos] == '\'' {
+				if p.pos+1 < len(p.in) && p.in[p.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					p.pos += 2
+					continue
+				}
+				p.pos++
+				return sb.String(), nil
+			}
+			sb.WriteByte(p.in[p.pos])
+			p.pos++
+		}
+		return nil, p.errorf("unterminated string")
+	}
+	if p.keyword("true") {
+		return true, nil
+	}
+	if p.keyword("false") {
+		return false, nil
+	}
+	n, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	if n == float64(int64(n)) {
+		return int64(n), nil
+	}
+	return n, nil
+}
+
+// valueSet parses {v1, v2, …} (possibly empty).
+func (p *parser) valueSet() ([]pref.Value, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []pref.Value
+	p.skipSpace()
+	if p.lit("}") {
+		return out, nil
+	}
+	for {
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		if !p.lit(",") {
+			break
+		}
+	}
+	if err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseTerm parses prior := pareto ('&' pareto)*.
+func (p *parser) parseTerm() (pref.Preference, error) {
+	l, err := p.parsePareto()
+	if err != nil {
+		return nil, err
+	}
+	for p.lit("&") {
+		r, err := p.parsePareto()
+		if err != nil {
+			return nil, err
+		}
+		l = pref.Prioritized(l, r)
+	}
+	return l, nil
+}
+
+// parsePareto parses unit (('><' | '⊗') unit)*.
+func (p *parser) parsePareto() (pref.Preference, error) {
+	l, err := p.parseUnit()
+	if err != nil {
+		return nil, err
+	}
+	for p.lit("><") || p.lit("⊗") {
+		r, err := p.parseUnit()
+		if err != nil {
+			return nil, err
+		}
+		l = pref.Pareto(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnit() (pref.Preference, error) {
+	p.skipSpace()
+	switch {
+	case p.keyword("POSNEG"):
+		return p.parseTwoSets(func(attr string, a, b []pref.Value) (pref.Preference, error) {
+			return pref.POSNEG(attr, a, b)
+		})
+	case p.keyword("POSPOS"):
+		return p.parseTwoSets(func(attr string, a, b []pref.Value) (pref.Preference, error) {
+			return pref.POSPOS(attr, a, b)
+		})
+	case p.keyword("POS"):
+		return p.parseOneSet(func(attr string, vs []pref.Value) pref.Preference {
+			return pref.POS(attr, vs...)
+		})
+	case p.keyword("NEG"):
+		return p.parseOneSet(func(attr string, vs []pref.Value) pref.Preference {
+			return pref.NEG(attr, vs...)
+		})
+	case p.keyword("EXPLICIT"):
+		return p.parseExplicit()
+	case p.keyword("AROUND"):
+		return p.parseAround()
+	case p.keyword("BETWEEN"):
+		return p.parseBetween()
+	case p.keyword("LOWEST"):
+		attr, err := p.parseAttrArg()
+		if err != nil {
+			return nil, err
+		}
+		return pref.LOWEST(attr), nil
+	case p.keyword("HIGHEST"):
+		attr, err := p.parseAttrArg()
+		if err != nil {
+			return nil, err
+		}
+		return pref.HIGHEST(attr), nil
+	case p.keyword("DUAL"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return pref.Dual(inner), nil
+	case p.keyword("INTERSECT"):
+		return p.parsePair(func(a, b pref.Preference) (pref.Preference, error) {
+			return pref.Intersection(a, b)
+		})
+	case p.keyword("UNION"):
+		return p.parsePair(func(a, b pref.Preference) (pref.Preference, error) {
+			return pref.DisjointUnion(a, b)
+		})
+	case p.keyword("GROUPBY"):
+		return p.parseGroupBy()
+	case p.keyword("RANK"):
+		return p.parseRank()
+	case p.keyword("ANTICHAINSET"):
+		return p.parseOneSet(func(attr string, vs []pref.Value) pref.Preference {
+			return pref.AntiChainSet(attr, vs...)
+		})
+	case p.keyword("ANTICHAIN"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		attrs, err := p.attrSet()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return pref.AntiChain(attrs...), nil
+	case p.lit("("):
+		inner, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return nil, p.errorf("expected a preference constructor")
+}
+
+func (p *parser) parseAttrArg() (string, error) {
+	if err := p.expect("("); err != nil {
+		return "", err
+	}
+	attr, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if err := p.expect(")"); err != nil {
+		return "", err
+	}
+	return attr, nil
+}
+
+func (p *parser) parseOneSet(build func(string, []pref.Value) pref.Preference) (pref.Preference, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	attr, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	vs, err := p.valueSet()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return build(attr, vs), nil
+}
+
+func (p *parser) parseTwoSets(build func(string, []pref.Value, []pref.Value) (pref.Preference, error)) (pref.Preference, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	attr, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	a, err := p.valueSet()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	b, err := p.valueSet()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return build(attr, a, b)
+}
+
+func (p *parser) parseExplicit() (pref.Preference, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	attr, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var edges []pref.Edge
+	p.skipSpace()
+	if !p.lit("}") {
+		for {
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			worse, err := p.value()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+			better, err := p.value()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			edges = append(edges, pref.Edge{Worse: worse, Better: better})
+			if !p.lit(",") {
+				break
+			}
+		}
+		if err := p.expect("}"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return pref.EXPLICIT(attr, edges)
+}
+
+func (p *parser) parseAround() (pref.Preference, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	attr, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	z, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return pref.AROUND(attr, z), nil
+}
+
+func (p *parser) parseBetween() (pref.Preference, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	attr, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	if err := p.expect("["); err != nil {
+		return nil, err
+	}
+	lo, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	up, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("]"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return pref.BETWEEN(attr, lo, up)
+}
+
+func (p *parser) parsePair(build func(a, b pref.Preference) (pref.Preference, error)) (pref.Preference, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	a, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	b, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return build(a, b)
+}
+
+func (p *parser) attrSet() ([]string, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var attrs []string
+	for {
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, a)
+		if !p.lit(",") {
+			break
+		}
+	}
+	if err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	return attrs, nil
+}
+
+func (p *parser) parseGroupBy() (pref.Preference, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	attrs, err := p.attrSet()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	inner, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return pref.GroupBy(attrs, inner), nil
+}
+
+func (p *parser) parseRank() (pref.Preference, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if err := p.expect("["); err != nil {
+		return nil, err
+	}
+	var weights []float64
+	for {
+		w, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		weights = append(weights, w)
+		if !p.lit(",") {
+			break
+		}
+	}
+	if err := p.expect("]"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	var parts []pref.Scorer
+	for {
+		u, err := p.parseUnit()
+		if err != nil {
+			return nil, err
+		}
+		s, ok := u.(pref.Scorer)
+		if !ok {
+			return nil, p.errorf("RANK parts must be SCORE-substitutable preferences, got %s", u)
+		}
+		parts = append(parts, s)
+		if !p.lit(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return pref.RankWeighted(weights, parts...)
+}

@@ -1,0 +1,198 @@
+// Package pterm gives preference terms a textual syntax: Marshal renders a
+// preference to a canonical string and Parse reads it back. This is the
+// substrate for the persistent preference repository of §7's roadmap
+// ("a persistent preference repository") — preferences become storable,
+// diffable artifacts instead of opaque in-memory values.
+//
+// The syntax mirrors the paper's notation, ASCII-friendly:
+//
+//	POS(color, {'yellow', 'green'}) & (LOWEST(price) >< AROUND(hp, 100))
+//	POSNEG(color, {'blue'}; {'gray', 'red'})
+//	EXPLICIT(color, {('green', 'yellow'), ('yellow', 'white')})
+//	RANK([1, 2]; AROUND(price, 40000), HIGHEST(power))
+//	GROUPBY({make}; AROUND(price, 40000))
+//
+// '&' is prioritized accumulation (lowest precedence), '><' (or '⊗') is
+// Pareto accumulation, DUAL(…), INTERSECT(…, …) and UNION(…, …) cover the
+// remaining constructors. SCORE preferences and rank(F) terms with opaque
+// combining functions carry Go functions and cannot be serialized; Marshal
+// reports them as errors (RANK built via pref.RankWeighted round-trips).
+package pterm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/pref"
+)
+
+// Marshal renders a preference term in the pterm syntax. It returns an
+// error for preferences carrying opaque Go functions (SCORE, rank(F) with
+// a non-weighted-sum F) and for linear sums (their domains are anonymous).
+func Marshal(p pref.Preference) (string, error) {
+	var b strings.Builder
+	if err := marshal(&b, p, false); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func marshal(b *strings.Builder, p pref.Preference, nested bool) error {
+	switch q := p.(type) {
+	case *pref.Pos:
+		fmt.Fprintf(b, "POS(%s, %s)", q.Attr(), setText(q.PosSet()))
+	case *pref.Neg:
+		fmt.Fprintf(b, "NEG(%s, %s)", q.Attr(), setText(q.NegSet()))
+	case *pref.PosNeg:
+		fmt.Fprintf(b, "POSNEG(%s, %s; %s)", q.Attr(), setText(q.PosSet()), setText(q.NegSet()))
+	case *pref.PosPos:
+		fmt.Fprintf(b, "POSPOS(%s, %s; %s)", q.Attr(), setText(q.Pos1Set()), setText(q.Pos2Set()))
+	case *pref.Explicit:
+		parts := make([]string, len(q.Edges()))
+		for i, e := range q.Edges() {
+			parts[i] = fmt.Sprintf("(%s, %s)", valueText(e.Worse), valueText(e.Better))
+		}
+		fmt.Fprintf(b, "EXPLICIT(%s, {%s})", q.Attr(), strings.Join(parts, ", "))
+	case *pref.Around:
+		fmt.Fprintf(b, "AROUND(%s, %s)", q.Attr(), formatNum(q.Target()))
+	case *pref.Between:
+		lo, up := q.Bounds()
+		fmt.Fprintf(b, "BETWEEN(%s, [%s, %s])", q.Attr(), formatNum(lo), formatNum(up))
+	case *pref.Lowest:
+		fmt.Fprintf(b, "LOWEST(%s)", q.Attr())
+	case *pref.Highest:
+		fmt.Fprintf(b, "HIGHEST(%s)", q.Attr())
+	case *pref.AntiChainPref:
+		if q.Domain() != nil {
+			fmt.Fprintf(b, "ANTICHAINSET(%s, %s)", q.Attrs()[0], setText(q.Domain()))
+		} else {
+			fmt.Fprintf(b, "ANTICHAIN({%s})", strings.Join(q.Attrs(), ", "))
+		}
+	case *pref.DualPref:
+		b.WriteString("DUAL(")
+		if err := marshal(b, q.Inner(), false); err != nil {
+			return err
+		}
+		b.WriteString(")")
+	case *pref.ParetoPref:
+		if nested {
+			b.WriteString("(")
+		}
+		if err := marshalBinary(b, q.Left(), " >< ", q.Right()); err != nil {
+			return err
+		}
+		if nested {
+			b.WriteString(")")
+		}
+	case *pref.PrioritizedPref:
+		if nested {
+			b.WriteString("(")
+		}
+		if err := marshalBinary(b, q.Left(), " & ", q.Right()); err != nil {
+			return err
+		}
+		if nested {
+			b.WriteString(")")
+		}
+	case *pref.IntersectionPref:
+		b.WriteString("INTERSECT(")
+		if err := marshal(b, q.Left(), false); err != nil {
+			return err
+		}
+		b.WriteString(", ")
+		if err := marshal(b, q.Right(), false); err != nil {
+			return err
+		}
+		b.WriteString(")")
+	case *pref.DisjointUnionPref:
+		b.WriteString("UNION(")
+		if err := marshal(b, q.Left(), false); err != nil {
+			return err
+		}
+		b.WriteString(", ")
+		if err := marshal(b, q.Right(), false); err != nil {
+			return err
+		}
+		b.WriteString(")")
+	case *pref.RankPref:
+		weights, ok := q.Weights()
+		if !ok {
+			return fmt.Errorf("pterm: rank(F) with an opaque combining function is not serializable; build it with pref.RankWeighted")
+		}
+		ws := make([]string, len(weights))
+		for i, w := range weights {
+			ws[i] = formatNum(w)
+		}
+		fmt.Fprintf(b, "RANK([%s]; ", strings.Join(ws, ", "))
+		for i, part := range q.Parts() {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if err := marshal(b, part, true); err != nil {
+				return err
+			}
+		}
+		b.WriteString(")")
+	case *pref.ProductPref:
+		if nested {
+			b.WriteString("(")
+		}
+		for i, part := range q.Parts() {
+			if i > 0 {
+				b.WriteString(" >< ")
+			}
+			if err := marshal(b, part, true); err != nil {
+				return err
+			}
+		}
+		if nested {
+			b.WriteString(")")
+		}
+	default:
+		return fmt.Errorf("pterm: preference %T is not serializable", p)
+	}
+	return nil
+}
+
+func marshalBinary(b *strings.Builder, l pref.Preference, op string, r pref.Preference) error {
+	if err := marshal(b, l, true); err != nil {
+		return err
+	}
+	b.WriteString(op)
+	return marshal(b, r, true)
+}
+
+func setText(s *pref.ValueSet) string {
+	parts := make([]string, 0, s.Len())
+	for _, v := range s.Values() {
+		parts = append(parts, valueText(v))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func valueText(v pref.Value) string {
+	switch t := v.(type) {
+	case string:
+		return "'" + strings.ReplaceAll(t, "'", "''") + "'"
+	case bool:
+		return strconv.FormatBool(t)
+	}
+	if n, ok := pref.Numeric(v); ok {
+		return formatNum(n)
+	}
+	return fmt.Sprintf("'%v'", v)
+}
+
+func formatNum(n float64) string {
+	return strconv.FormatFloat(n, 'g', -1, 64)
+}
+
+// MustMarshal is Marshal that panics on unserializable terms.
+func MustMarshal(p pref.Preference) string {
+	s, err := Marshal(p)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,294 @@
+package pterm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algebra"
+	"repro/internal/pref"
+)
+
+func TestMarshalBaseConstructors(t *testing.T) {
+	cases := []struct {
+		p    pref.Preference
+		want string
+	}{
+		{pref.POS("color", "yellow", "green"), "POS(color, {'yellow', 'green'})"},
+		{pref.NEG("color", "gray"), "NEG(color, {'gray'})"},
+		{pref.MustPOSNEG("c", []pref.Value{"a"}, []pref.Value{"b"}), "POSNEG(c, {'a'}; {'b'})"},
+		{pref.MustPOSPOS("c", []pref.Value{"a"}, []pref.Value{"b"}), "POSPOS(c, {'a'}; {'b'})"},
+		{pref.AROUND("price", 40000), "AROUND(price, 40000)"},
+		{pref.MustBETWEEN("d", 7, 14), "BETWEEN(d, [7, 14])"},
+		{pref.LOWEST("price"), "LOWEST(price)"},
+		{pref.HIGHEST("power"), "HIGHEST(power)"},
+		{pref.AntiChain("a", "b"), "ANTICHAIN({a, b})"},
+		{pref.AntiChainSet("a", "x"), "ANTICHAINSET(a, {'x'})"},
+		{pref.Dual(pref.LOWEST("p")), "DUAL(LOWEST(p))"},
+		{pref.POS("n", int64(1), 2.5, true), "POS(n, {1, 2.5, true})"},
+	}
+	for _, c := range cases {
+		got, err := Marshal(c.p)
+		if err != nil {
+			t.Errorf("Marshal(%s): %v", c.p, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Marshal(%s) = %q, want %q", c.p, got, c.want)
+		}
+	}
+}
+
+func TestMarshalComplexTerms(t *testing.T) {
+	term := pref.Prioritized(
+		pref.NEG("color", "gray"),
+		pref.Pareto(pref.LOWEST("price"), pref.AROUND("hp", 100)),
+	)
+	got := MustMarshal(term)
+	want := "NEG(color, {'gray'}) & (LOWEST(price) >< AROUND(hp, 100))"
+	if got != want {
+		t.Errorf("Marshal = %q, want %q", got, want)
+	}
+}
+
+func TestMarshalErrorsOnOpaqueFunctions(t *testing.T) {
+	if _, err := Marshal(pref.SCORE("a", "f", func(pref.Value) float64 { return 0 })); err == nil {
+		t.Error("SCORE is not serializable")
+	}
+	opaque := pref.Rank("F", pref.WeightedSum(1), pref.HIGHEST("a"))
+	if _, err := Marshal(opaque); err == nil {
+		t.Error("rank(F) without recorded weights is not serializable")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustMarshal must panic on unserializable terms")
+		}
+	}()
+	MustMarshal(opaque)
+}
+
+func TestParseRoundTripExamples(t *testing.T) {
+	sources := []string{
+		"POS(color, {'yellow', 'green'})",
+		"NEG(color, {'gray'})",
+		"POSNEG(color, {'blue'}; {'gray', 'red'})",
+		"POSPOS(cat, {'cabriolet'}; {'roadster'})",
+		"EXPLICIT(color, {('green', 'yellow'), ('yellow', 'white')})",
+		"EXPLICIT(color, {})",
+		"AROUND(price, 40000)",
+		"BETWEEN(d, [7, 14])",
+		"LOWEST(price)",
+		"HIGHEST(power)",
+		"DUAL(LOWEST(price))",
+		"ANTICHAIN({make})",
+		"ANTICHAINSET(color, {'x', 'y'})",
+		"LOWEST(a) >< LOWEST(b)",
+		"LOWEST(a) & LOWEST(b) & HIGHEST(c)",
+		"NEG(color, {'gray'}) & (LOWEST(price) >< AROUND(hp, 100))",
+		"INTERSECT(LOWEST(a) & LOWEST(b), LOWEST(b) & LOWEST(a))",
+		"GROUPBY({make}; AROUND(price, 40000))",
+		"RANK([1, 2]; AROUND(a, 0), HIGHEST(b))",
+		"POS(n, {1, 2.5, true, -3})",
+	}
+	for _, src := range sources {
+		p, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		out, err := Marshal(p)
+		if err != nil {
+			t.Errorf("Marshal(Parse(%q)): %v", src, err)
+			continue
+		}
+		p2, err := Parse(out)
+		if err != nil {
+			t.Errorf("re-Parse(%q): %v", out, err)
+			continue
+		}
+		out2, _ := Marshal(p2)
+		if out != out2 {
+			t.Errorf("canonical form not a fixpoint: %q vs %q", out, out2)
+		}
+	}
+}
+
+func TestParseUnicodeParetoAlias(t *testing.T) {
+	a := MustParse("LOWEST(a) ⊗ LOWEST(b)")
+	b := MustParse("LOWEST(a) >< LOWEST(b)")
+	if a.String() != b.String() {
+		t.Error("⊗ and >< must parse identically")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"POS(color)",
+		"POS(color, {'a'",
+		"WRONG(color, {'a'})",
+		"LOWEST(a) >< ",
+		"LOWEST(a) &",
+		"BETWEEN(a, [3])",
+		"BETWEEN(a, [5, 3])", // inverted interval rejected by constructor
+		"POSNEG(a, {'x'}; {'x'})",
+		"EXPLICIT(a, {('x', 'x')})",
+		"RANK([1]; POS(a, {'x'}))", // POS is not a Scorer
+		"RANK([1, 2]; LOWEST(a))",  // weight arity mismatch
+		"LOWEST(a) trailing",
+		"GROUPBY(make; LOWEST(a))",
+		"INTERSECT(LOWEST(a), LOWEST(b))", // attr mismatch rejected
+	}
+	for _, b := range bad {
+		if _, err := Parse(b); err == nil {
+			t.Errorf("Parse(%q) must fail", b)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse must panic")
+		}
+	}()
+	MustParse("garbage(")
+}
+
+// TestRoundTripPreservesSemantics: Marshal→Parse must produce a preference
+// equivalent to the original on random universes.
+func TestRoundTripPreservesSemantics(t *testing.T) {
+	check := func(seed int64) bool {
+		g := algebra.NewGen(seed, 4, "a", "b", "c")
+		universe := g.Universe(10)
+		term := g.Term(2)
+		src, err := Marshal(term)
+		if err != nil {
+			return true // generator produced an opaque rank/score; vacuous
+		}
+		back, err := Parse(src)
+		if err != nil {
+			t.Logf("seed %d: Parse(%q) failed: %v", seed, src, err)
+			return false
+		}
+		if w := algebra.FindInequivalence(term, back, universe); w != nil {
+			t.Logf("seed %d: %q round-tripped inequivalent: %s", seed, src, w.Reason)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseWhitespaceAndEscapes(t *testing.T) {
+	p := MustParse("  POS( color ,\n{ 'it''s' } ) ")
+	pos, ok := p.(*pref.Pos)
+	if !ok {
+		t.Fatal("wrong type")
+	}
+	if !pos.PosSet().Contains("it's") {
+		t.Error("escaped quote lost")
+	}
+}
+
+func TestRankRoundTripWeights(t *testing.T) {
+	r, err := pref.RankWeighted([]float64{1, 2}, pref.AROUND("a", 0), pref.HIGHEST("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := MustMarshal(r)
+	if !strings.Contains(src, "[1, 2]") {
+		t.Errorf("weights missing from %q", src)
+	}
+	back := MustParse(src)
+	rb, ok := back.(*pref.RankPref)
+	if !ok {
+		t.Fatal("wrong type")
+	}
+	ws, ok := rb.Weights()
+	if !ok || len(ws) != 2 || ws[0] != 1 || ws[1] != 2 {
+		t.Errorf("weights = %v", ws)
+	}
+	// Scores agree.
+	tup := pref.MapTuple{"a": int64(3), "b": int64(4)}
+	if r.ScoreOf(tup) != rb.ScoreOf(tup) {
+		t.Error("round-tripped rank scores differ")
+	}
+}
+
+func TestProductMarshals(t *testing.T) {
+	prod := pref.ParetoProduct(pref.LOWEST("a"), pref.LOWEST("b"), pref.HIGHEST("c"))
+	src := MustMarshal(prod)
+	// Products serialize as nested binary Pareto (equivalent on disjoint
+	// attribute sets).
+	back := MustParse(src)
+	g := algebra.NewGen(1, 4, "a", "b", "c")
+	if w := algebra.FindInequivalence(prod, back, g.Universe(12)); w != nil {
+		t.Errorf("product round trip inequivalent: %s", w.Reason)
+	}
+}
+
+func TestParseErrorPaths(t *testing.T) {
+	bad := []string{
+		"POS(, {'a'})",
+		"POS(color {'a'})",
+		"POS(color, 'a')",
+		"POSNEG(color, {'a'} {'b'})",
+		"POSNEG(color, {'a'}; {'b'}",
+		"EXPLICIT(color, {('a' 'b')})",
+		"EXPLICIT(color, ('a','b'))",
+		"AROUND(color)",
+		"AROUND(color, 'x')",
+		"BETWEEN(color, 3)",
+		"DUAL LOWEST(a)",
+		"DUAL(LOWEST(a)",
+		"UNION(LOWEST(a))",
+		"INTERSECT(LOWEST(a) LOWEST(a))",
+		"GROUPBY({}; LOWEST(a))",
+		"GROUPBY({m} LOWEST(a))",
+		"RANK(1; LOWEST(a))",
+		"RANK([1; LOWEST(a))",
+		"RANK([1]; )",
+		"ANTICHAIN(a)",
+		"ANTICHAINSET(a, 'x')",
+		"POS(a, {'unterminated)",
+		"LOWEST(a) >< >< LOWEST(b)",
+	}
+	for _, b := range bad {
+		if _, err := Parse(b); err == nil {
+			t.Errorf("Parse(%q) must fail", b)
+		}
+	}
+}
+
+func TestMarshalLinearSumUnsupported(t *testing.T) {
+	sum := pref.MustLinearSum("s", pref.AntiChainSet("x", "a"), pref.AntiChainSet("y", "b"))
+	if _, err := Marshal(sum); err == nil {
+		t.Error("linear sums carry anonymous domains and must not marshal")
+	}
+}
+
+func TestMarshalInsideAccumulationPropagatesErrors(t *testing.T) {
+	score := pref.SCORE("a", "f", func(pref.Value) float64 { return 0 })
+	for _, p := range []pref.Preference{
+		pref.Pareto(score, pref.LOWEST("b")),
+		pref.Prioritized(pref.LOWEST("b"), score),
+		pref.Dual(score),
+		pref.MustIntersection(score, pref.LOWEST("a")),
+		pref.MustDisjointUnion(pref.LOWEST("a"), score),
+	} {
+		if _, err := Marshal(p); err == nil {
+			t.Errorf("Marshal(%s) must propagate the SCORE error", p)
+		}
+	}
+}
+
+func TestValueTextFallback(t *testing.T) {
+	// Non-standard value types render as quoted strings.
+	type odd struct{ X int }
+	if got := valueText(odd{1}); !strings.HasPrefix(got, "'") {
+		t.Errorf("fallback rendering %q", got)
+	}
+	if got := valueText(false); got != "false" {
+		t.Errorf("bool rendering %q", got)
+	}
+}

@@ -1,0 +1,93 @@
+package pxpath
+
+import (
+	"repro/internal/pref"
+)
+
+// Eval evaluates the path against the document root and returns the
+// matching nodes in document order. Hard predicates filter each step's
+// node set; soft selections apply the BMO query model to it, keeping only
+// the best-matching nodes (Definition 15 lifted to node sets).
+func (p *Path) Eval(root *Node) []*Node {
+	current := []*Node{root}
+	for _, step := range p.Steps {
+		var next []*Node
+		for _, n := range current {
+			switch step.Axis {
+			case Child:
+				for _, c := range n.Children {
+					if step.Name == "*" || c.Name == step.Name {
+						next = append(next, c)
+					}
+				}
+			case Descendant:
+				for _, d := range n.Descendants(nil) {
+					if step.Name == "*" || d.Name == step.Name {
+						next = append(next, d)
+					}
+				}
+			}
+		}
+		next = dedupe(next)
+		for _, f := range step.Filters {
+			switch {
+			case f.Hard != nil:
+				var kept []*Node
+				for _, n := range next {
+					if f.Hard.Match(n) {
+						kept = append(kept, n)
+					}
+				}
+				next = kept
+			case f.Soft != nil:
+				next = bmoNodes(f.Soft, next)
+			}
+		}
+		current = next
+	}
+	return current
+}
+
+// Query parses and evaluates a Preference XPath expression in one call.
+func Query(root *Node, path string) ([]*Node, error) {
+	p, err := ParsePath(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.Eval(root), nil
+}
+
+// bmoNodes computes the BMO subset of a node set under the preference:
+// nodes whose attribute tuple no other node's tuple beats. The node set
+// plays the role of the database set R.
+func bmoNodes(p pref.Preference, nodes []*Node) []*Node {
+	var out []*Node
+	for i, n := range nodes {
+		maximal := true
+		for j, m := range nodes {
+			if i != j && p.Less(n, m) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// dedupe removes duplicate node pointers preserving order (a node can be
+// reached twice via overlapping descendant steps).
+func dedupe(nodes []*Node) []*Node {
+	seen := make(map[*Node]struct{}, len(nodes))
+	var out []*Node
+	for _, n := range nodes {
+		if _, dup := seen[n]; dup {
+			continue
+		}
+		seen[n] = struct{}{}
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+// Package pxpath implements Preference XPath (§6.1, [KHF01]): an XPath
+// subset whose location steps accept both hard predicates "[…]" and soft
+// preference selections "#[…]#". Soft selections evaluate the preference
+// model of internal/pref over the step's node set under BMO semantics;
+// Pareto accumulation is written "and" and prioritized accumulation
+// "prior to", as in the paper's sample queries.
+package pxpath
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/pref"
+)
+
+// Node is one element of an XML document tree.
+type Node struct {
+	Name     string
+	Attrs    map[string]string
+	Parent   *Node
+	Children []*Node
+	Text     string
+}
+
+// ParseXML builds a node tree from an XML document. Only elements,
+// attributes and character data are retained.
+func ParseXML(r io.Reader) (*Node, error) {
+	dec := xml.NewDecoder(r)
+	root := &Node{Name: "/"}
+	cur := root
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pxpath: parsing XML: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Name: t.Name.Local, Attrs: make(map[string]string, len(t.Attr)), Parent: cur}
+			for _, a := range t.Attr {
+				n.Attrs[a.Name.Local] = a.Value
+			}
+			cur.Children = append(cur.Children, n)
+			cur = n
+		case xml.EndElement:
+			if cur.Parent != nil {
+				cur = cur.Parent
+			}
+		case xml.CharData:
+			cur.Text += strings.TrimSpace(string(t))
+		}
+	}
+	if cur != root {
+		return nil, fmt.Errorf("pxpath: unbalanced XML document")
+	}
+	return root, nil
+}
+
+// ParseXMLString is ParseXML over a string.
+func ParseXMLString(s string) (*Node, error) {
+	return ParseXML(strings.NewReader(s))
+}
+
+// Attr returns the attribute value and whether it exists.
+func (n *Node) Attr(name string) (string, bool) {
+	v, ok := n.Attrs[name]
+	return v, ok
+}
+
+// Get implements pref.Tuple over the node's attributes: numeric-looking
+// attribute values surface as float64 so numerical base preferences apply,
+// everything else as string.
+func (n *Node) Get(attr string) (pref.Value, bool) {
+	s, ok := n.Attrs[attr]
+	if !ok {
+		return nil, false
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, true
+	}
+	return s, true
+}
+
+// Descendants appends all descendant elements of n (excluding n) in
+// document order.
+func (n *Node) Descendants(out []*Node) []*Node {
+	for _, c := range n.Children {
+		out = append(out, c)
+		out = c.Descendants(out)
+	}
+	return out
+}
+
+// String renders the node's start tag.
+func (n *Node) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	b.WriteString(n.Name)
+	// Deterministic attribute order.
+	keys := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%q", k, n.Attrs[k])
+	}
+	b.WriteString("/>")
+	return b.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,534 @@
+package pxpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/pref"
+)
+
+// Path is a parsed Preference XPath location path.
+type Path struct {
+	Steps []Step
+}
+
+// Axis selects how a step walks the tree.
+type Axis int
+
+// Axes.
+const (
+	Child Axis = iota
+	Descendant
+)
+
+// Step is one location step: axis, node test and a sequence of hard
+// predicates and soft preferences applied in order.
+type Step struct {
+	Axis Axis
+	// Name is the node test; "*" matches any element.
+	Name    string
+	Filters []Filter
+}
+
+// Filter is either a hard predicate or a soft preference selection.
+type Filter struct {
+	// Hard is non-nil for a "[…]" predicate.
+	Hard Predicate
+	// Soft is non-nil for a "#[…]#" preference.
+	Soft pref.Preference
+}
+
+// Predicate is a hard node condition.
+type Predicate interface {
+	Match(n *Node) bool
+	String() string
+}
+
+// ParsePath parses a Preference XPath expression such as
+//
+//	/CARS/CAR #[(@fuel_economy)highest and (@horsepower)highest]#
+//	//CAR[@make = 'Opel'] #[(@price)around 40000]#
+func ParsePath(input string) (*Path, error) {
+	p := &pathParser{in: input}
+	path, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	return path, nil
+}
+
+type pathParser struct {
+	in  string
+	pos int
+}
+
+func (p *pathParser) errorf(format string, args ...any) error {
+	return fmt.Errorf("pxpath: at offset %d: %s", p.pos+1, fmt.Sprintf(format, args...))
+}
+
+func (p *pathParser) skipSpace() {
+	for p.pos < len(p.in) {
+		switch p.in[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *pathParser) eof() bool {
+	p.skipSpace()
+	return p.pos >= len(p.in)
+}
+
+// lit consumes the exact literal when present.
+func (p *pathParser) lit(s string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.in[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+// keyword consumes a case-insensitive word bounded by non-ident characters.
+func (p *pathParser) keyword(kw string) bool {
+	p.skipSpace()
+	n := len(kw)
+	if p.pos+n > len(p.in) {
+		return false
+	}
+	if !strings.EqualFold(p.in[p.pos:p.pos+n], kw) {
+		return false
+	}
+	if p.pos+n < len(p.in) && isWordByte(p.in[p.pos+n]) {
+		return false
+	}
+	p.pos += n
+	return true
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// ident consumes an identifier.
+func (p *pathParser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.in) && isWordByte(p.in[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errorf("expected identifier")
+	}
+	return p.in[start:p.pos], nil
+}
+
+// number consumes a numeric literal.
+func (p *pathParser) number() (float64, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.pos < len(p.in) && (p.in[p.pos] == '-' || p.in[p.pos] == '+') {
+		p.pos++
+	}
+	seenDot := false
+	for p.pos < len(p.in) && (p.in[p.pos] >= '0' && p.in[p.pos] <= '9' || p.in[p.pos] == '.' && !seenDot) {
+		if p.in[p.pos] == '.' {
+			seenDot = true
+		}
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, p.errorf("expected number")
+	}
+	return strconv.ParseFloat(p.in[start:p.pos], 64)
+}
+
+// str consumes a quoted string ("…" or '…').
+func (p *pathParser) str() (string, error) {
+	p.skipSpace()
+	if p.pos >= len(p.in) || p.in[p.pos] != '"' && p.in[p.pos] != '\'' {
+		return "", p.errorf("expected string literal")
+	}
+	quote := p.in[p.pos]
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.in) && p.in[p.pos] != quote {
+		p.pos++
+	}
+	if p.pos >= len(p.in) {
+		return "", p.errorf("unterminated string literal")
+	}
+	s := p.in[start:p.pos]
+	p.pos++
+	return s, nil
+}
+
+func (p *pathParser) parse() (*Path, error) {
+	var path Path
+	for !p.eof() {
+		axis := Child
+		if p.lit("//") {
+			axis = Descendant
+		} else if !p.lit("/") {
+			if len(path.Steps) == 0 {
+				return nil, p.errorf("path must start with / or //")
+			}
+			return nil, p.errorf("expected / or //")
+		}
+		var name string
+		if p.lit("*") {
+			name = "*"
+		} else {
+			n, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			name = n
+		}
+		step := Step{Axis: axis, Name: name}
+		for {
+			p.skipSpace()
+			switch {
+			case strings.HasPrefix(p.in[p.pos:], "#["):
+				p.pos += 2
+				soft, err := p.parseSoft()
+				if err != nil {
+					return nil, err
+				}
+				if !p.lit("]#") {
+					return nil, p.errorf("expected ]# closing soft selection")
+				}
+				step.Filters = append(step.Filters, Filter{Soft: soft})
+				continue
+			case strings.HasPrefix(p.in[p.pos:], "["):
+				p.pos++
+				hard, err := p.parsePredOr()
+				if err != nil {
+					return nil, err
+				}
+				if !p.lit("]") {
+					return nil, p.errorf("expected ] closing predicate")
+				}
+				step.Filters = append(step.Filters, Filter{Hard: hard})
+				continue
+			}
+			break
+		}
+		path.Steps = append(path.Steps, step)
+	}
+	if len(path.Steps) == 0 {
+		return nil, p.errorf("empty path")
+	}
+	return &path, nil
+}
+
+// --- hard predicates ----------------------------------------------------
+
+type predAnd struct{ l, r Predicate }
+
+func (e predAnd) Match(n *Node) bool { return e.l.Match(n) && e.r.Match(n) }
+func (e predAnd) String() string     { return "(" + e.l.String() + " and " + e.r.String() + ")" }
+
+type predOr struct{ l, r Predicate }
+
+func (e predOr) Match(n *Node) bool { return e.l.Match(n) || e.r.Match(n) }
+func (e predOr) String() string     { return "(" + e.l.String() + " or " + e.r.String() + ")" }
+
+type predNot struct{ e Predicate }
+
+func (e predNot) Match(n *Node) bool { return !e.e.Match(n) }
+func (e predNot) String() string     { return "not(" + e.e.String() + ")" }
+
+type predCmp struct {
+	attr string
+	op   string
+	val  pref.Value
+}
+
+func (e predCmp) Match(n *Node) bool {
+	v, ok := n.Get(e.attr)
+	if !ok {
+		return false
+	}
+	switch e.op {
+	case "=":
+		return pref.EqualValues(v, e.val)
+	case "!=":
+		return !pref.EqualValues(v, e.val)
+	}
+	c, ok := pref.CompareValues(v, e.val)
+	if !ok {
+		return false
+	}
+	switch e.op {
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}
+
+func (e predCmp) String() string {
+	return fmt.Sprintf("@%s %s %v", e.attr, e.op, e.val)
+}
+
+type predHasAttr struct{ attr string }
+
+func (e predHasAttr) Match(n *Node) bool { _, ok := n.Attrs[e.attr]; return ok }
+func (e predHasAttr) String() string     { return "@" + e.attr }
+
+func (p *pathParser) parsePredOr() (Predicate, error) {
+	l, err := p.parsePredAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("or") {
+		r, err := p.parsePredAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = predOr{l, r}
+	}
+	return l, nil
+}
+
+func (p *pathParser) parsePredAnd() (Predicate, error) {
+	l, err := p.parsePredPrim()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("and") {
+		r, err := p.parsePredPrim()
+		if err != nil {
+			return nil, err
+		}
+		l = predAnd{l, r}
+	}
+	return l, nil
+}
+
+func (p *pathParser) parsePredPrim() (Predicate, error) {
+	if p.keyword("not") {
+		if !p.lit("(") {
+			return nil, p.errorf("expected ( after not")
+		}
+		e, err := p.parsePredOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.lit(")") {
+			return nil, p.errorf("expected ) after not(…")
+		}
+		return predNot{e}, nil
+	}
+	if p.lit("(") {
+		e, err := p.parsePredOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.lit(")") {
+			return nil, p.errorf("expected )")
+		}
+		return e, nil
+	}
+	if !p.lit("@") {
+		return nil, p.errorf("expected @attribute in predicate")
+	}
+	attr, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	for _, op := range []string{"<=", ">=", "!=", "=", "<", ">"} {
+		if p.lit(op) {
+			val, err := p.predValue()
+			if err != nil {
+				return nil, err
+			}
+			return predCmp{attr, op, val}, nil
+		}
+	}
+	return predHasAttr{attr}, nil
+}
+
+// predValue parses a string or numeric literal in a predicate.
+func (p *pathParser) predValue() (pref.Value, error) {
+	p.skipSpace()
+	if p.pos < len(p.in) && (p.in[p.pos] == '"' || p.in[p.pos] == '\'') {
+		return p.str()
+	}
+	return p.number()
+}
+
+// --- soft preferences -----------------------------------------------------
+
+// parseSoft parses soft := softPrior; softPrior := softPareto ("prior to"
+// softPareto)*; softPareto := softUnit ("and" softUnit)*.
+func (p *pathParser) parseSoft() (pref.Preference, error) {
+	l, err := p.parseSoftPareto()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		save := p.pos
+		if p.keyword("prior") {
+			if !p.keyword("to") {
+				return nil, p.errorf("expected 'to' after 'prior'")
+			}
+			r, err := p.parseSoftPareto()
+			if err != nil {
+				return nil, err
+			}
+			l = pref.Prioritized(l, r)
+			continue
+		}
+		p.pos = save
+		break
+	}
+	return l, nil
+}
+
+func (p *pathParser) parseSoftPareto() (pref.Preference, error) {
+	l, err := p.parseSoftUnit()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("and") {
+		r, err := p.parseSoftUnit()
+		if err != nil {
+			return nil, err
+		}
+		l = pref.Pareto(l, r)
+	}
+	return l, nil
+}
+
+// parseSoftUnit parses "(@attr) constructor", matching the paper's syntax
+// (@fuel_economy)highest, (@color)in("black", "white"),
+// (@price)around 10000, or a parenthesized sub-preference.
+func (p *pathParser) parseSoftUnit() (pref.Preference, error) {
+	p.skipSpace()
+	// Parenthesized sub-preference vs "(@attr)…": decide by lookahead.
+	if strings.HasPrefix(p.in[p.pos:], "(") && !strings.HasPrefix(strings.TrimLeft(p.in[p.pos+1:], " \t\n\r"), "@") {
+		p.pos++
+		e, err := p.parseSoft()
+		if err != nil {
+			return nil, err
+		}
+		if !p.lit(")") {
+			return nil, p.errorf("expected )")
+		}
+		return e, nil
+	}
+	if !p.lit("(") {
+		return nil, p.errorf("expected (@attribute)")
+	}
+	if !p.lit("@") {
+		return nil, p.errorf("expected @attribute")
+	}
+	attr, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if !p.lit(")") {
+		return nil, p.errorf("expected ) after @%s", attr)
+	}
+	switch {
+	case p.keyword("highest"):
+		return pref.HIGHEST(attr), nil
+	case p.keyword("lowest"):
+		return pref.LOWEST(attr), nil
+	case p.keyword("around"):
+		z, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		return pref.AROUND(attr, z), nil
+	case p.keyword("between"):
+		lo, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if !p.keyword("and") {
+			return nil, p.errorf("expected 'and' in between")
+		}
+		hi, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		return pref.BETWEEN(attr, lo, hi)
+	case p.keyword("not"):
+		if !p.keyword("in") {
+			return nil, p.errorf("expected 'in' after 'not'")
+		}
+		vals, err := p.softValueList()
+		if err != nil {
+			return nil, err
+		}
+		return pref.NEG(attr, vals...), nil
+	case p.keyword("in"):
+		vals, err := p.softValueList()
+		if err != nil {
+			return nil, err
+		}
+		if p.keyword("else") {
+			return p.parseSoftElse(attr, vals)
+		}
+		return pref.POS(attr, vals...), nil
+	}
+	return nil, p.errorf("expected preference constructor after (@%s)", attr)
+}
+
+// parseSoftElse handles "(@a)in(…) else in(…)" → POS/POS and
+// "(@a)in(…) else not in(…)" → POS/NEG.
+func (p *pathParser) parseSoftElse(attr string, pos []pref.Value) (pref.Preference, error) {
+	if p.keyword("not") {
+		if !p.keyword("in") {
+			return nil, p.errorf("expected 'in' after 'not'")
+		}
+		neg, err := p.softValueList()
+		if err != nil {
+			return nil, err
+		}
+		return pref.POSNEG(attr, pos, neg)
+	}
+	if !p.keyword("in") {
+		return nil, p.errorf("expected 'in' or 'not in' after 'else'")
+	}
+	pos2, err := p.softValueList()
+	if err != nil {
+		return nil, err
+	}
+	return pref.POSPOS(attr, pos, pos2)
+}
+
+// softValueList parses ("a", "b", 3, …).
+func (p *pathParser) softValueList() ([]pref.Value, error) {
+	if !p.lit("(") {
+		return nil, p.errorf("expected value list")
+	}
+	var out []pref.Value
+	for {
+		v, err := p.predValue()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		if !p.lit(",") {
+			break
+		}
+	}
+	if !p.lit(")") {
+		return nil, p.errorf("expected ) closing value list")
+	}
+	return out, nil
+}

@@ -1,0 +1,261 @@
+package pxpath
+
+import (
+	"strings"
+	"testing"
+)
+
+const testDoc = `<CARS>
+  <CAR make="Opel" color="black" price="9800" mileage="120000" fuel_economy="38" horsepower="90"/>
+  <CAR make="Opel" color="white" price="10400" mileage="60000" fuel_economy="42" horsepower="75"/>
+  <CAR make="BMW" color="red" price="24500" mileage="30000" fuel_economy="30" horsepower="190"/>
+  <CAR make="VW" color="blue" price="11200" mileage="45000" fuel_economy="45" horsepower="105">
+    <EXTRA name="sunroof"/>
+  </CAR>
+</CARS>`
+
+func doc(t *testing.T) *Node {
+	t.Helper()
+	root, err := ParseXMLString(testDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func makes(nodes []*Node) []string {
+	var out []string
+	for _, n := range nodes {
+		m, _ := n.Attr("make")
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestParseXMLTree(t *testing.T) {
+	root := doc(t)
+	if len(root.Children) != 1 || root.Children[0].Name != "CARS" {
+		t.Fatal("root structure wrong")
+	}
+	cars := root.Children[0].Children
+	if len(cars) != 4 {
+		t.Fatalf("cars = %d", len(cars))
+	}
+	if cars[0].Parent != root.Children[0] {
+		t.Error("parent links broken")
+	}
+	if v, ok := cars[3].Children[0].Attr("name"); !ok || v != "sunroof" {
+		t.Error("nested element attributes broken")
+	}
+}
+
+func TestParseXMLErrors(t *testing.T) {
+	if _, err := ParseXMLString("<a><b></a>"); err == nil {
+		t.Error("mismatched tags must fail")
+	}
+	if _, err := ParseXMLString("<a>"); err == nil {
+		t.Error("unbalanced document must fail")
+	}
+}
+
+func TestNodeGetNumericCoercion(t *testing.T) {
+	root := doc(t)
+	car := root.Children[0].Children[0]
+	if v, ok := car.Get("price"); !ok || v != float64(9800) {
+		t.Errorf("numeric attribute must surface as float64, got %v", v)
+	}
+	if v, ok := car.Get("color"); !ok || v != "black" {
+		t.Errorf("string attribute stays string, got %v", v)
+	}
+	if _, ok := car.Get("missing"); ok {
+		t.Error("missing attribute must report absent")
+	}
+}
+
+func TestChildAndDescendantSteps(t *testing.T) {
+	root := doc(t)
+	nodes, err := Query(root, "/CARS/CAR")
+	if err != nil || len(nodes) != 4 {
+		t.Fatalf("child step: %d nodes, err %v", len(nodes), err)
+	}
+	nodes, err = Query(root, "//CAR")
+	if err != nil || len(nodes) != 4 {
+		t.Fatalf("descendant step: %d nodes, err %v", len(nodes), err)
+	}
+	nodes, err = Query(root, "//EXTRA")
+	if err != nil || len(nodes) != 1 {
+		t.Fatalf("deep descendant: %d nodes, err %v", len(nodes), err)
+	}
+	nodes, err = Query(root, "/CARS/*")
+	if err != nil || len(nodes) != 4 {
+		t.Fatalf("wildcard: %d nodes, err %v", len(nodes), err)
+	}
+}
+
+func TestHardPredicates(t *testing.T) {
+	root := doc(t)
+	nodes, err := Query(root, `//CAR[@make = "Opel"]`)
+	if err != nil || len(nodes) != 2 {
+		t.Fatalf("equality predicate: %v, err %v", makes(nodes), err)
+	}
+	nodes, err = Query(root, `//CAR[@price < 11000]`)
+	if err != nil || len(nodes) != 2 {
+		t.Fatalf("numeric predicate: %v, err %v", makes(nodes), err)
+	}
+	nodes, err = Query(root, `//CAR[@make != "Opel" and @price <= 24500]`)
+	if err != nil || len(nodes) != 2 {
+		t.Fatalf("and predicate: %v, err %v", makes(nodes), err)
+	}
+	nodes, err = Query(root, `//CAR[@make = "Opel" or @make = "VW"]`)
+	if err != nil || len(nodes) != 3 {
+		t.Fatalf("or predicate: %v, err %v", makes(nodes), err)
+	}
+	nodes, err = Query(root, `//CAR[not(@make = "Opel")]`)
+	if err != nil || len(nodes) != 2 {
+		t.Fatalf("not predicate: %v, err %v", makes(nodes), err)
+	}
+	nodes, err = Query(root, `//CAR[@color]`)
+	if err != nil || len(nodes) != 4 {
+		t.Fatalf("has-attribute predicate: %v, err %v", makes(nodes), err)
+	}
+}
+
+func TestSoftSelections(t *testing.T) {
+	root := doc(t)
+	// Lowest price: the black Opel.
+	nodes, err := Query(root, `/CARS/CAR #[(@price)lowest]#`)
+	if err != nil || len(nodes) != 1 {
+		t.Fatalf("lowest: %v, err %v", makes(nodes), err)
+	}
+	if c, _ := nodes[0].Attr("color"); c != "black" {
+		t.Errorf("cheapest is the black Opel, got %s", c)
+	}
+	// Around: closest price to 11000 is 11200 (VW) vs 10400 (distance 600
+	// vs 200) — white Opel at 10400 is distance 600, VW 200.
+	nodes, err = Query(root, `/CARS/CAR #[(@price)around 11000]#`)
+	if err != nil || len(nodes) != 1 {
+		t.Fatalf("around: %v", makes(nodes))
+	}
+	if m, _ := nodes[0].Attr("make"); m != "VW" {
+		t.Errorf("closest to 11000 is the VW, got %s", m)
+	}
+	// Pareto "and": paper Q1 shape.
+	nodes, err = Query(root, `/CARS/CAR #[(@fuel_economy)highest and (@horsepower)highest]#`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := makes(nodes)
+	if len(got) != 2 || !contains(got, "BMW") || !contains(got, "VW") {
+		t.Errorf("Pareto maxima = %v, want BMW and VW", got)
+	}
+	// prior to: color dominates price. Note Definition 9's equality is on
+	// the color VALUE, so the black and white Opels (both POS members but
+	// different values) stay mutually unranked and both survive — the
+	// price preference only breaks ties within one colour.
+	nodes, err = Query(root, `/CARS/CAR #[(@color)in("black", "white") prior to (@price)around 10000]#`)
+	if err != nil || len(nodes) != 2 {
+		t.Fatalf("prior to: %v, err %v", makes(nodes), err)
+	}
+	for _, n := range nodes {
+		if c, _ := n.Attr("color"); c != "black" && c != "white" {
+			t.Errorf("non-POS colour %s survived the prioritized preference", c)
+		}
+	}
+	// between and in/else forms.
+	if _, err := Query(root, `/CARS/CAR #[(@price)between 9000 and 12000]#`); err != nil {
+		t.Errorf("between: %v", err)
+	}
+	if _, err := Query(root, `/CARS/CAR #[(@color)in("blue") else in("red")]#`); err != nil {
+		t.Errorf("pos/pos: %v", err)
+	}
+	if _, err := Query(root, `/CARS/CAR #[(@color)in("blue") else not in("gray")]#`); err != nil {
+		t.Errorf("pos/neg: %v", err)
+	}
+	if _, err := Query(root, `/CARS/CAR #[(@color)not in("gray")]#`); err != nil {
+		t.Errorf("neg: %v", err)
+	}
+}
+
+func TestChainedSoftSelections(t *testing.T) {
+	root := doc(t)
+	// Two #[]# filters cascade: first the color group, then lowest mileage.
+	nodes, err := Query(root, `/CARS/CAR #[(@color)in("black", "white")]# #[(@mileage)lowest]#`)
+	if err != nil || len(nodes) != 1 {
+		t.Fatalf("cascade: %v", makes(nodes))
+	}
+	if c, _ := nodes[0].Attr("color"); c != "white" {
+		t.Errorf("lowest mileage among black/white is the white Opel, got %s", c)
+	}
+}
+
+func TestHardThenSoft(t *testing.T) {
+	root := doc(t)
+	nodes, err := Query(root, `//CAR[@make = "Opel"] #[(@price)lowest and (@mileage)lowest]#`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 {
+		t.Errorf("Opel trade-off skyline = %d nodes, want 2", len(nodes))
+	}
+}
+
+func TestSoftSelectionNeverEmpty(t *testing.T) {
+	root := doc(t)
+	// No yellow car: POS relaxes to all cars.
+	nodes, err := Query(root, `/CARS/CAR #[(@color)in("yellow")]#`)
+	if err != nil || len(nodes) != 4 {
+		t.Fatalf("soft selection must not produce the empty-result effect: %d", len(nodes))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"CAR",
+		"/CARS/CAR #[(@price)wrongkw 5]#",
+		"/CARS/CAR #[(@price)lowest",
+		"/CARS/CAR [@price",
+		"/CARS/CAR #[(@price)between 1]#",
+		"/CARS/CAR #[(price)lowest]#",
+		`/CARS/CAR #[(@color)in("a" "b")]#`,
+		"/CARS/CAR #[(@color)in]#",
+		"/CARS/CAR #[(@price)prior lowest]#",
+	}
+	for _, b := range bad {
+		if _, err := ParsePath(b); err == nil {
+			t.Errorf("ParsePath(%q) must fail", b)
+		}
+	}
+}
+
+func TestNodeStringDeterministic(t *testing.T) {
+	root := doc(t)
+	car := root.Children[0].Children[0]
+	s := car.String()
+	if !strings.HasPrefix(s, "<CAR ") || !strings.Contains(s, `make="Opel"`) {
+		t.Errorf("node rendering: %s", s)
+	}
+	if s != car.String() {
+		t.Error("rendering must be deterministic")
+	}
+}
+
+func TestDedupeAcrossOverlappingSteps(t *testing.T) {
+	root, err := ParseXMLString(`<A><B><C x="1"/></B></A>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := Query(root, "//C")
+	if err != nil || len(nodes) != 1 {
+		t.Fatalf("descendant search must dedupe, got %d", len(nodes))
+	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,242 @@
+// Package quality implements the LEVEL and DISTANCE quality functions of
+// §6.1 and the BUT ONLY post-filter of Preference SQL: after a BMO query,
+// required quality levels can be supervised ("BUT ONLY DISTANCE(start_date)
+// <= 2") and exploited for query explanation.
+package quality
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/pref"
+)
+
+// Level returns the discrete quality level of a tuple's value under a
+// non-numerical base preference, per the level structure of Definition 6:
+// POS favorites are level 1, and so on. The second result reports whether
+// the preference has a defined level function (numerical base preferences
+// use DISTANCE instead, per §2).
+func Level(p pref.Preference, t pref.Tuple) (int, bool) {
+	switch q := p.(type) {
+	case *pref.Pos:
+		v, ok := t.Get(q.Attr())
+		if !ok {
+			return 0, false
+		}
+		if q.PosSet().Contains(v) {
+			return 1, true
+		}
+		return 2, true
+	case *pref.Neg:
+		v, ok := t.Get(q.Attr())
+		if !ok {
+			return 0, false
+		}
+		if q.NegSet().Contains(v) {
+			return 2, true
+		}
+		return 1, true
+	case *pref.PosNeg:
+		v, ok := t.Get(q.Attr())
+		if !ok {
+			return 0, false
+		}
+		switch {
+		case q.PosSet().Contains(v):
+			return 1, true
+		case q.NegSet().Contains(v):
+			return 3, true
+		}
+		return 2, true
+	case *pref.PosPos:
+		v, ok := t.Get(q.Attr())
+		if !ok {
+			return 0, false
+		}
+		switch {
+		case q.Pos1Set().Contains(v):
+			return 1, true
+		case q.Pos2Set().Contains(v):
+			return 2, true
+		}
+		return 3, true
+	case *pref.Explicit:
+		v, ok := t.Get(q.Attr())
+		if !ok {
+			return 0, false
+		}
+		return explicitLevel(q, v), true
+	case *pref.AntiChainPref:
+		return 1, true
+	}
+	return 0, false
+}
+
+// explicitLevel computes the level of v in the EXPLICIT preference's graph:
+// 1 + the longest in-graph path to a maximal graph value; values outside
+// the graph sit one level below the deepest graph value.
+func explicitLevel(q *pref.Explicit, v pref.Value) int {
+	vals := q.Range().Values()
+	depth := make(map[string]int, len(vals))
+	var levelOf func(pref.Value) int
+	levelOf = func(x pref.Value) int {
+		k := pref.ValueKey(x)
+		if d, ok := depth[k]; ok {
+			return d
+		}
+		depth[k] = 1 // provisional; graphs are acyclic
+		best := 1
+		for _, w := range vals {
+			if q.InGraphLess(x, w) {
+				// Use only covering steps by taking max over all better
+				// values; the longest path equals max level among strictly
+				// better values + 1.
+				if l := levelOf(w) + 1; l > best {
+					best = l
+				}
+			}
+		}
+		depth[k] = best
+		return best
+	}
+	if !q.Range().Contains(v) {
+		deepest := 1
+		for _, w := range vals {
+			if l := levelOf(w); l > deepest {
+				deepest = l
+			}
+		}
+		return deepest + 1
+	}
+	return levelOf(v)
+}
+
+// Distance returns the continuous quality distance of a tuple's value under
+// a numerical base preference (Definition 7): |v − z| for AROUND, the gap
+// to the interval for BETWEEN. LOWEST, HIGHEST and SCORE report the
+// negated score as a distance-like quality measure (0 is not necessarily
+// attainable). The second result reports whether the preference has a
+// defined distance function.
+func Distance(p pref.Preference, t pref.Tuple) (float64, bool) {
+	switch q := p.(type) {
+	case *pref.Around:
+		v, ok := t.Get(q.Attr())
+		if !ok {
+			return math.Inf(1), true
+		}
+		return q.Distance(v), true
+	case *pref.Between:
+		v, ok := t.Get(q.Attr())
+		if !ok {
+			return math.Inf(1), true
+		}
+		return q.Distance(v), true
+	case pref.Scorer:
+		return -q.ScoreOf(t), true
+	}
+	return 0, false
+}
+
+// Condition is one BUT ONLY constraint: a quality measure on the base
+// preference bound to Attr, compared against a threshold.
+type Condition struct {
+	// Kind selects the quality function: "level" or "distance".
+	Kind string
+	// Attr names the attribute whose base preference supplies the measure.
+	Attr string
+	// Op is one of "<", "<=", "=", ">=", ">", "<>".
+	Op string
+	// Threshold is the right-hand side.
+	Threshold float64
+}
+
+// String renders the condition in Preference SQL syntax.
+func (c Condition) String() string {
+	fn := "LEVEL"
+	if c.Kind == "distance" {
+		fn = "DISTANCE"
+	}
+	return fmt.Sprintf("%s(%s) %s %v", fn, c.Attr, c.Op, c.Threshold)
+}
+
+// Eval applies the condition to a tuple, resolving the quality measure via
+// the base preference registered for the attribute. Unknown attributes or
+// measures fail closed (false), so BUT ONLY never widens a result.
+func (c Condition) Eval(byAttr map[string]pref.Preference, t pref.Tuple) bool {
+	p, ok := byAttr[c.Attr]
+	if !ok {
+		return false
+	}
+	var measure float64
+	switch c.Kind {
+	case "level":
+		l, ok := Level(p, t)
+		if !ok {
+			return false
+		}
+		measure = float64(l)
+	case "distance":
+		d, ok := Distance(p, t)
+		if !ok {
+			return false
+		}
+		measure = d
+	default:
+		return false
+	}
+	switch c.Op {
+	case "<":
+		return measure < c.Threshold
+	case "<=":
+		return measure <= c.Threshold
+	case "=":
+		return measure == c.Threshold
+	case ">=":
+		return measure >= c.Threshold
+	case ">":
+		return measure > c.Threshold
+	case "<>":
+		return measure != c.Threshold
+	}
+	return false
+}
+
+// BasePrefsByAttr indexes the base preferences reachable in a preference
+// term by their single attribute, for resolving LEVEL(attr)/DISTANCE(attr)
+// references in BUT ONLY clauses. When several base preferences mention the
+// same attribute the first one in term order wins.
+func BasePrefsByAttr(p pref.Preference) map[string]pref.Preference {
+	out := make(map[string]pref.Preference)
+	var walk func(pref.Preference)
+	walk = func(p pref.Preference) {
+		switch q := p.(type) {
+		case *pref.ParetoPref:
+			walk(q.Left())
+			walk(q.Right())
+		case *pref.PrioritizedPref:
+			walk(q.Left())
+			walk(q.Right())
+		case *pref.IntersectionPref:
+			walk(q.Left())
+			walk(q.Right())
+		case *pref.DisjointUnionPref:
+			walk(q.Left())
+			walk(q.Right())
+		case *pref.RankPref:
+			for _, s := range q.Parts() {
+				walk(s)
+			}
+		case *pref.DualPref:
+			walk(q.Inner())
+		default:
+			attrs := p.Attrs()
+			if len(attrs) == 1 {
+				if _, dup := out[attrs[0]]; !dup {
+					out[attrs[0]] = p
+				}
+			}
+		}
+	}
+	walk(p)
+	return out
+}

@@ -1,0 +1,168 @@
+package quality
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pref"
+)
+
+func ct(v pref.Value) pref.Tuple { return pref.Single{Attr: "Color", Value: v} }
+
+func TestLevelPOS(t *testing.T) {
+	p := pref.POS("Color", "red")
+	if l, ok := Level(p, ct("red")); !ok || l != 1 {
+		t.Errorf("POS favorite level = %d, %v", l, ok)
+	}
+	if l, _ := Level(p, ct("blue")); l != 2 {
+		t.Errorf("POS other level = %d", l)
+	}
+}
+
+func TestLevelNEG(t *testing.T) {
+	p := pref.NEG("Color", "gray")
+	if l, _ := Level(p, ct("red")); l != 1 {
+		t.Errorf("NEG other level = %d", l)
+	}
+	if l, _ := Level(p, ct("gray")); l != 2 {
+		t.Errorf("NEG disliked level = %d", l)
+	}
+}
+
+func TestLevelPOSNEGAndPOSPOS(t *testing.T) {
+	pn := pref.MustPOSNEG("Color", []pref.Value{"red"}, []pref.Value{"gray"})
+	for v, want := range map[string]int{"red": 1, "blue": 2, "gray": 3} {
+		if l, _ := Level(pn, ct(v)); l != want {
+			t.Errorf("POS/NEG level(%s) = %d, want %d", v, l, want)
+		}
+	}
+	pp := pref.MustPOSPOS("Color", []pref.Value{"red"}, []pref.Value{"blue"})
+	for v, want := range map[string]int{"red": 1, "blue": 2, "gray": 3} {
+		if l, _ := Level(pp, ct(v)); l != want {
+			t.Errorf("POS/POS level(%s) = %d, want %d", v, l, want)
+		}
+	}
+}
+
+func TestLevelExplicitExample1(t *testing.T) {
+	p := pref.MustEXPLICIT("Color", []pref.Edge{
+		{Worse: "green", Better: "yellow"},
+		{Worse: "green", Better: "red"},
+		{Worse: "yellow", Better: "white"},
+	})
+	want := map[string]int{"white": 1, "red": 1, "yellow": 2, "green": 3, "brown": 4, "black": 4}
+	for v, wl := range want {
+		if l, ok := Level(p, ct(v)); !ok || l != wl {
+			t.Errorf("EXPLICIT level(%s) = %d, want %d", v, l, wl)
+		}
+	}
+}
+
+func TestLevelAntiChainAndUndefined(t *testing.T) {
+	if l, ok := Level(pref.AntiChain("Color"), ct("x")); !ok || l != 1 {
+		t.Error("anti-chain values all sit on level 1")
+	}
+	if _, ok := Level(pref.LOWEST("Color"), ct(int64(1))); ok {
+		t.Error("numerical preferences have no discrete level function")
+	}
+	if _, ok := Level(pref.POS("Color", "x"), pref.Single{Attr: "Other", Value: "y"}); ok {
+		t.Error("missing attribute has no level")
+	}
+}
+
+func TestDistanceFunctions(t *testing.T) {
+	nt := func(v pref.Value) pref.Tuple { return pref.Single{Attr: "P", Value: v} }
+	ar := pref.AROUND("P", 10)
+	if d, ok := Distance(ar, nt(int64(7))); !ok || d != 3 {
+		t.Errorf("AROUND distance = %v, %v", d, ok)
+	}
+	bw := pref.MustBETWEEN("P", 0, 5)
+	if d, ok := Distance(bw, nt(int64(8))); !ok || d != 3 {
+		t.Errorf("BETWEEN distance = %v, %v", d, ok)
+	}
+	// Scorers report negated score as a distance-like measure.
+	if d, ok := Distance(pref.LOWEST("P"), nt(int64(4))); !ok || d != 4 {
+		t.Errorf("LOWEST distance = %v, %v", d, ok)
+	}
+	if d, ok := Distance(ar, pref.Single{Attr: "Q", Value: int64(1)}); !ok || !math.IsInf(d, 1) {
+		t.Errorf("missing attribute distance = %v, %v", d, ok)
+	}
+	if _, ok := Distance(pref.POS("P", "x"), nt("x")); ok {
+		t.Error("POS has no distance function")
+	}
+}
+
+func TestConditionEval(t *testing.T) {
+	byAttr := map[string]pref.Preference{
+		"Color": pref.POS("Color", "red"),
+		"Price": pref.AROUND("Price", 100),
+	}
+	tup := pref.MapTuple{"Color": "red", "Price": int64(95)}
+	cases := []struct {
+		c    Condition
+		want bool
+	}{
+		{Condition{Kind: "level", Attr: "Color", Op: "<=", Threshold: 1}, true},
+		{Condition{Kind: "level", Attr: "Color", Op: "<", Threshold: 1}, false},
+		{Condition{Kind: "level", Attr: "Color", Op: "=", Threshold: 1}, true},
+		{Condition{Kind: "level", Attr: "Color", Op: "<>", Threshold: 1}, false},
+		{Condition{Kind: "distance", Attr: "Price", Op: "<=", Threshold: 5}, true},
+		{Condition{Kind: "distance", Attr: "Price", Op: "<", Threshold: 5}, false},
+		{Condition{Kind: "distance", Attr: "Price", Op: ">=", Threshold: 5}, true},
+		{Condition{Kind: "distance", Attr: "Price", Op: ">", Threshold: 4}, true},
+		{Condition{Kind: "distance", Attr: "Unknown", Op: "<", Threshold: 5}, false},
+		{Condition{Kind: "weird", Attr: "Price", Op: "<", Threshold: 5}, false},
+		{Condition{Kind: "distance", Attr: "Price", Op: "?", Threshold: 5}, false},
+		// Level on a numeric preference fails closed.
+		{Condition{Kind: "level", Attr: "Price", Op: "<=", Threshold: 5}, false},
+	}
+	for _, c := range cases {
+		if got := c.c.Eval(byAttr, tup); got != c.want {
+			t.Errorf("%s = %v, want %v", c.c, got, c.want)
+		}
+	}
+}
+
+func TestConditionString(t *testing.T) {
+	c := Condition{Kind: "distance", Attr: "P", Op: "<=", Threshold: 2}
+	if c.String() != "DISTANCE(P) <= 2" {
+		t.Errorf("rendering %q", c.String())
+	}
+	c = Condition{Kind: "level", Attr: "C", Op: "=", Threshold: 1}
+	if c.String() != "LEVEL(C) = 1" {
+		t.Errorf("rendering %q", c.String())
+	}
+}
+
+func TestBasePrefsByAttr(t *testing.T) {
+	p := pref.Prioritized(
+		pref.NEG("color", "gray"),
+		pref.Pareto(
+			pref.AROUND("price", 100),
+			pref.Rank("F", pref.WeightedSum(1), pref.HIGHEST("power")),
+		),
+	)
+	byAttr := BasePrefsByAttr(p)
+	if len(byAttr) != 3 {
+		t.Fatalf("indexed %d attrs, want 3: %v", len(byAttr), byAttr)
+	}
+	if _, ok := byAttr["color"].(*pref.Neg); !ok {
+		t.Error("color must map to the NEG preference")
+	}
+	if _, ok := byAttr["price"].(*pref.Around); !ok {
+		t.Error("price must map to the AROUND preference")
+	}
+	if _, ok := byAttr["power"].(*pref.Highest); !ok {
+		t.Error("power must surface from inside rank(F)")
+	}
+	// First-seen wins on duplicates.
+	dup := pref.Pareto(pref.POS("a", int64(1)), pref.NEG("a", int64(2)))
+	if _, ok := BasePrefsByAttr(dup)["a"].(*pref.Pos); !ok {
+		t.Error("first base preference on an attribute wins")
+	}
+	// Duals are traversed.
+	d := pref.Dual(pref.POS("x", int64(1)))
+	if _, ok := BasePrefsByAttr(d)["x"]; !ok {
+		t.Error("dual wrapper must be traversed")
+	}
+}

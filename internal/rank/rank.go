@@ -1,0 +1,175 @@
+// Package rank implements the ranked query model of §6.2: numerical
+// accumulation rank(F) evaluated under "k-best" semantics. Since rank(F)
+// usually constructs chains, a BMO query would return a single best object;
+// multi-feature engines therefore retrieve the k best objects, including
+// non-maximal ones. Two physical strategies are provided: a heap-based
+// full scan and a threshold algorithm over per-feature sorted lists in the
+// spirit of Quick-Combine [GBK00], which stops sorted access once the
+// threshold proves no unseen object can enter the top k.
+package rank
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"repro/internal/pref"
+	"repro/internal/relation"
+)
+
+// Result is one ranked answer: a row index in the source relation with its
+// combined score.
+type Result struct {
+	Row   int
+	Score float64
+}
+
+// TopK returns the k best rows of R under the Scorer p (highest combined
+// score first; ties broken by ascending row index for determinism). It
+// performs one full scan maintaining a size-k min-heap: O(n log k).
+func TopK(p pref.Scorer, r *relation.Relation, k int) []Result {
+	if k <= 0 {
+		return nil
+	}
+	h := &resultHeap{}
+	heap.Init(h)
+	for i := 0; i < r.Len(); i++ {
+		s := p.ScoreOf(r.Tuple(i))
+		if h.Len() < k {
+			heap.Push(h, Result{i, s})
+			continue
+		}
+		if worse(h.items[0], Result{i, s}) {
+			h.items[0] = Result{i, s}
+			heap.Fix(h, 0)
+		}
+	}
+	out := make([]Result, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Result)
+	}
+	return out
+}
+
+// worse reports a ranks strictly below b (lower score, or equal score and
+// higher row index).
+func worse(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Row > b.Row
+}
+
+// resultHeap is a min-heap on (score, -row).
+type resultHeap struct{ items []Result }
+
+func (h *resultHeap) Len() int           { return len(h.items) }
+func (h *resultHeap) Less(i, j int) bool { return worse(h.items[i], h.items[j]) }
+func (h *resultHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *resultHeap) Push(x any)         { h.items = append(h.items, x.(Result)) }
+func (h *resultHeap) Pop() (out any) {
+	n := len(h.items)
+	out = h.items[n-1]
+	h.items = h.items[:n-1]
+	return
+}
+
+// Stats reports the access behaviour of a threshold-algorithm run.
+type Stats struct {
+	// SortedAccesses counts rows popped from the per-feature sorted lists.
+	SortedAccesses int
+	// RandomAccesses counts score lookups for features other than the one
+	// accessed in sorted order.
+	RandomAccesses int
+	// Scanned counts distinct rows whose combined score was computed.
+	Scanned int
+}
+
+// ThresholdTopK computes the k best rows under rank(F) using the threshold
+// algorithm over per-feature score lists sorted in descending order. F must
+// be monotone in each argument (the usual requirement of [GBK00]/Fagin):
+// then once the k-th best combined score seen so far meets or exceeds
+// F(next scores at the list heads), no unseen row can qualify and the scan
+// stops. Returns the same ranking as TopK plus access statistics.
+func ThresholdTopK(p *pref.RankPref, r *relation.Relation, k int) ([]Result, Stats) {
+	var stats Stats
+	if k <= 0 || r.Len() == 0 {
+		return nil, stats
+	}
+	parts := p.Parts()
+	m := len(parts)
+	n := r.Len()
+	// Materialize per-feature scores and sorted access lists.
+	scores := make([][]float64, m)
+	lists := make([][]int, m)
+	for f := 0; f < m; f++ {
+		scores[f] = make([]float64, n)
+		lists[f] = make([]int, n)
+		for i := 0; i < n; i++ {
+			scores[f][i] = parts[f].ScoreOf(r.Tuple(i))
+			lists[f][i] = i
+		}
+		fs := scores[f]
+		sort.SliceStable(lists[f], func(a, b int) bool {
+			return fs[lists[f][a]] > fs[lists[f][b]]
+		})
+	}
+	combine := func(vec []float64) float64 {
+		return evalRankCombine(p, vec)
+	}
+	seen := make(map[int]struct{}, 2*k)
+	h := &resultHeap{}
+	heap.Init(h)
+	depth := 0
+	for depth < n {
+		// One round of sorted access on every list at the current depth.
+		for f := 0; f < m; f++ {
+			row := lists[f][depth]
+			stats.SortedAccesses++
+			if _, dup := seen[row]; dup {
+				continue
+			}
+			seen[row] = struct{}{}
+			vec := make([]float64, m)
+			for g := 0; g < m; g++ {
+				vec[g] = scores[g][row]
+				if g != f {
+					stats.RandomAccesses++
+				}
+			}
+			stats.Scanned++
+			res := Result{row, combine(vec)}
+			if h.Len() < k {
+				heap.Push(h, res)
+			} else if worse(h.items[0], res) {
+				h.items[0] = res
+				heap.Fix(h, 0)
+			}
+		}
+		depth++
+		// Threshold: best combined score any unseen row could reach.
+		tvec := make([]float64, m)
+		for f := 0; f < m; f++ {
+			if depth < n {
+				tvec[f] = scores[f][lists[f][depth]]
+			} else {
+				tvec[f] = math.Inf(-1)
+			}
+		}
+		if h.Len() == k && !worse(h.items[0], Result{Row: -1, Score: combine(tvec)}) {
+			break
+		}
+	}
+	out := make([]Result, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(Result)
+	}
+	return out, stats
+}
+
+// evalRankCombine applies the RankPref's combining function to a score
+// vector. RankPref exposes only tuple-level scoring, so the combine step
+// re-derives F through a probe tuple carrying precomputed part scores.
+func evalRankCombine(p *pref.RankPref, vec []float64) float64 {
+	return p.Combine(vec)
+}

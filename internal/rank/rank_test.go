@@ -1,0 +1,141 @@
+package rank
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pref"
+	"repro/internal/relation"
+)
+
+func scoreRel(rng *rand.Rand, n int) *relation.Relation {
+	r := relation.New("R", relation.MustSchema(
+		relation.Column{Name: "a", Type: relation.Float},
+		relation.Column{Name: "b", Type: relation.Float},
+	))
+	for i := 0; i < n; i++ {
+		r.MustInsert(relation.Row{rng.Float64(), rng.Float64()})
+	}
+	return r
+}
+
+func testRank() *pref.RankPref {
+	return pref.Rank("F", pref.WeightedSum(1, 2), pref.HIGHEST("a"), pref.HIGHEST("b"))
+}
+
+func TestTopKOrderingAndTies(t *testing.T) {
+	r := relation.New("R", relation.MustSchema(relation.Column{Name: "a", Type: relation.Int})).MustInsert(
+		relation.Row{int64(5)},
+		relation.Row{int64(9)},
+		relation.Row{int64(9)}, // tie with row 1: lower row index first
+		relation.Row{int64(1)},
+	)
+	p := pref.Rank("F", pref.WeightedSum(1), pref.HIGHEST("a"))
+	got := TopK(p, r, 3)
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got[0].Row != 1 || got[1].Row != 2 || got[2].Row != 0 {
+		t.Errorf("rows = %v", got)
+	}
+	if got[0].Score != 9 {
+		t.Errorf("score = %v", got[0].Score)
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := scoreRel(rng, 5)
+	p := testRank()
+	if got := TopK(p, r, 0); got != nil {
+		t.Error("k=0 returns nil")
+	}
+	if got := TopK(p, r, -3); got != nil {
+		t.Error("negative k returns nil")
+	}
+	if got := TopK(p, r, 100); len(got) != 5 {
+		t.Errorf("k beyond n returns all rows, got %d", len(got))
+	}
+	empty := relation.New("E", r.Schema())
+	if got := TopK(p, empty, 3); len(got) != 0 {
+		t.Error("empty relation yields no results")
+	}
+}
+
+// TestThresholdAgreesWithHeap: the threshold algorithm must produce the
+// exact TopK ranking for monotone F, on random inputs.
+func TestThresholdAgreesWithHeap(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := scoreRel(rng, 10+rng.Intn(200))
+		p := testRank()
+		k := 1 + rng.Intn(10)
+		want := TopK(p, r, k)
+		got, _ := ThresholdTopK(p, r, k)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i].Row != want[i].Row || got[i].Score != want[i].Score {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThresholdSavesAccesses(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	r := scoreRel(rng, 5000)
+	p := testRank()
+	_, stats := ThresholdTopK(p, r, 5)
+	if stats.Scanned >= r.Len() {
+		t.Errorf("threshold scanned all %d rows", stats.Scanned)
+	}
+	if stats.SortedAccesses == 0 || stats.RandomAccesses == 0 {
+		t.Error("access statistics must be populated")
+	}
+}
+
+func TestThresholdEdgeCases(t *testing.T) {
+	p := testRank()
+	empty := relation.New("E", relation.MustSchema(
+		relation.Column{Name: "a", Type: relation.Float},
+		relation.Column{Name: "b", Type: relation.Float},
+	))
+	if got, _ := ThresholdTopK(p, empty, 3); len(got) != 0 {
+		t.Error("empty relation")
+	}
+	if got, _ := ThresholdTopK(p, empty, 0); got != nil {
+		t.Error("k=0")
+	}
+	rng := rand.New(rand.NewSource(2))
+	r := scoreRel(rng, 4)
+	if got, _ := ThresholdTopK(p, r, 10); len(got) != 4 {
+		t.Errorf("k beyond n returns all rows, got %d", len(got))
+	}
+}
+
+func TestThresholdStopsEarlyOnSkewedData(t *testing.T) {
+	// One row dominates both lists: the algorithm should stop after very
+	// few rounds.
+	r := relation.New("R", relation.MustSchema(
+		relation.Column{Name: "a", Type: relation.Float},
+		relation.Column{Name: "b", Type: relation.Float},
+	))
+	r.MustInsert(relation.Row{100.0, 100.0})
+	for i := 0; i < 1000; i++ {
+		r.MustInsert(relation.Row{float64(i%10) * 0.1, float64(i%7) * 0.1})
+	}
+	got, stats := ThresholdTopK(testRank(), r, 1)
+	if len(got) != 1 || got[0].Row != 0 {
+		t.Fatalf("winner = %v", got)
+	}
+	if stats.Scanned > 20 {
+		t.Errorf("skewed data should stop almost immediately, scanned %d", stats.Scanned)
+	}
+}

@@ -1,0 +1,168 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/pref"
+)
+
+// ReadCSV loads a relation from CSV. The first record is the header; column
+// types are inferred from the data (INT, then FLOAT, then BOOL, then TIME
+// in "2006-01-02" layout, falling back to STRING). Empty cells become NULL.
+func ReadCSV(name string, r io.Reader) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV for %s: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("relation: CSV for %s has no header", name)
+	}
+	header := records[0]
+	data := records[1:]
+	types := make([]Type, len(header))
+	for c := range header {
+		types[c] = inferColumnType(data, c)
+	}
+	cols := make([]Column, len(header))
+	for c, h := range header {
+		cols[c] = Column{Name: strings.TrimSpace(h), Type: types[c]}
+	}
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	rel := New(name, schema)
+	for ln, rec := range data {
+		row := make(Row, len(header))
+		for c := range header {
+			cell := ""
+			if c < len(rec) {
+				cell = strings.TrimSpace(rec[c])
+			}
+			v, err := parseCell(types[c], cell)
+			if err != nil {
+				return nil, fmt.Errorf("relation: %s line %d column %s: %w", name, ln+2, header[c], err)
+			}
+			row[c] = v
+		}
+		if err := rel.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// LoadCSVFile loads a relation from a CSV file; the relation is named after
+// the file's base name without extension.
+func LoadCSVFile(path string) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	base = strings.TrimSuffix(base, ".csv")
+	return ReadCSV(base, f)
+}
+
+const csvTimeLayout = "2006-01-02"
+
+func inferColumnType(data [][]string, c int) Type {
+	couldInt, couldFloat, couldBool, couldTime := true, true, true, true
+	nonEmpty := 0
+	for _, rec := range data {
+		if c >= len(rec) {
+			continue
+		}
+		cell := strings.TrimSpace(rec[c])
+		if cell == "" {
+			continue
+		}
+		nonEmpty++
+		if _, err := strconv.ParseInt(cell, 10, 64); err != nil {
+			couldInt = false
+		}
+		if _, err := strconv.ParseFloat(cell, 64); err != nil {
+			couldFloat = false
+		}
+		if _, err := strconv.ParseBool(cell); err != nil {
+			couldBool = false
+		}
+		if _, err := time.Parse(csvTimeLayout, cell); err != nil {
+			couldTime = false
+		}
+	}
+	if nonEmpty == 0 {
+		return String
+	}
+	switch {
+	case couldInt:
+		return Int
+	case couldFloat:
+		return Float
+	case couldBool:
+		return Bool
+	case couldTime:
+		return Time
+	}
+	return String
+}
+
+func parseCell(t Type, cell string) (pref.Value, error) {
+	if cell == "" {
+		return nil, nil
+	}
+	switch t {
+	case Int:
+		n, err := strconv.ParseInt(cell, 10, 64)
+		return n, err
+	case Float:
+		f, err := strconv.ParseFloat(cell, 64)
+		return f, err
+	case Bool:
+		b, err := strconv.ParseBool(cell)
+		return b, err
+	case Time:
+		ts, err := time.Parse(csvTimeLayout, cell)
+		return ts, err
+	}
+	return cell, nil
+}
+
+// WriteCSV writes the relation as CSV with a header row.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.schema.Names()); err != nil {
+		return err
+	}
+	for _, row := range r.rows {
+		rec := make([]string, len(row))
+		for i, v := range row {
+			if v == nil {
+				rec[i] = ""
+				continue
+			}
+			if t, ok := v.(time.Time); ok {
+				rec[i] = t.Format(csvTimeLayout)
+				continue
+			}
+			rec[i] = pref.FormatValue(v)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

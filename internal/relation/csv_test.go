@@ -1,0 +1,121 @@
+package relation
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pref"
+)
+
+const carsCSV = `id,color,price,sold,since
+1,red,9800.5,true,2001-11-23
+2,blue,15000,false,2000-01-02
+3,gray,,true,1999-06-30
+`
+
+func TestReadCSVTypeInference(t *testing.T) {
+	r, err := ReadCSV("car", strings.NewReader(carsCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTypes := map[string]Type{"id": Int, "color": String, "price": Float, "sold": Bool, "since": Time}
+	for name, want := range wantTypes {
+		i, ok := r.Schema().Index(name)
+		if !ok {
+			t.Fatalf("missing column %s", name)
+		}
+		if got := r.Schema().Col(i).Type; got != want {
+			t.Errorf("column %s inferred as %s, want %s", name, got, want)
+		}
+	}
+	if r.Len() != 3 {
+		t.Fatalf("rows = %d", r.Len())
+	}
+	if v, _ := r.Tuple(0).Get("price"); !pref.EqualValues(v, 9800.5) {
+		t.Errorf("price[0] = %v", v)
+	}
+	if v, _ := r.Tuple(2).Get("price"); v != nil {
+		t.Errorf("empty cell must be NULL, got %v", v)
+	}
+	if v, _ := r.Tuple(0).Get("since"); !pref.EqualValues(v, time.Date(2001, 11, 23, 0, 0, 0, 0, time.UTC)) {
+		t.Errorf("since[0] = %v", v)
+	}
+}
+
+func TestReadCSVIntBeatsFloat(t *testing.T) {
+	r, err := ReadCSV("x", strings.NewReader("n\n1\n2\n3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema().Col(0).Type != Int {
+		t.Errorf("all-integer column inferred as %s", r.Schema().Col(0).Type)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("x", strings.NewReader("")); err == nil {
+		t.Error("empty CSV must fail")
+	}
+	if _, err := ReadCSV("x", strings.NewReader("a,b\n1")); err == nil {
+		t.Error("ragged CSV must fail (encoding/csv catches it)")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r, err := ReadCSV("car", strings.NewReader(carsCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ReadCSV("car", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != r.Len() {
+		t.Fatalf("round trip changed row count: %d vs %d", r2.Len(), r.Len())
+	}
+	for i := 0; i < r.Len(); i++ {
+		for _, name := range r.Schema().Names() {
+			a, _ := r.Tuple(i).Get(name)
+			b, _ := r2.Tuple(i).Get(name)
+			if !pref.EqualValues(a, b) {
+				t.Errorf("row %d column %s: %v vs %v", i, name, a, b)
+			}
+		}
+	}
+}
+
+func TestLoadCSVFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.csv")
+	if err := os.WriteFile(path, []byte(carsCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "fleet" {
+		t.Errorf("relation name = %q, want fleet", r.Name())
+	}
+	if _, err := LoadCSVFile(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestReadCSVEmptyColumnIsString(t *testing.T) {
+	r, err := ReadCSV("x", strings.NewReader("a,b\n1,\n2,\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, _ := r.Schema().Index("b"); r.Schema().Col(i).Type != String {
+		t.Error("all-empty column defaults to STRING")
+	}
+}

@@ -1,0 +1,385 @@
+// Package relation is the relational substrate the preference library
+// evaluates against: typed schemas, in-memory relations, projection, hard
+// selection, grouping and CSV interchange. A relation's rows expose the
+// pref.Tuple view required by preference evaluation, so database sets R
+// plug directly into the BMO query model of §5.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/pref"
+)
+
+// Type enumerates the supported column types.
+type Type int
+
+// Column types.
+const (
+	String Type = iota
+	Int
+	Float
+	Bool
+	Time
+)
+
+// String renders the type name.
+func (t Type) String() string {
+	switch t {
+	case String:
+		return "STRING"
+	case Int:
+		return "INT"
+	case Float:
+		return "FLOAT"
+	case Bool:
+		return "BOOL"
+	case Time:
+		return "TIME"
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// Column is one attribute of a schema.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of columns with unique names.
+type Schema struct {
+	cols  []Column
+	index map[string]int
+}
+
+// NewSchema builds a schema, rejecting duplicate column names.
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{cols: append([]Column(nil), cols...), index: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if _, dup := s.index[c.Name]; dup {
+			return nil, fmt.Errorf("relation: duplicate column %q", c.Name)
+		}
+		s.index[c.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on duplicates; for literals.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Columns returns the column list; callers must not modify it.
+func (s *Schema) Columns() []Column { return s.cols }
+
+// Index returns the position of the named column and whether it exists.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Col returns the column at position i.
+func (s *Schema) Col(i int) Column { return s.cols[i] }
+
+// Names returns the column names in schema order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// checkValue verifies v is assignable to column type t.
+func checkValue(t Type, v pref.Value) error {
+	if v == nil {
+		return nil
+	}
+	switch t {
+	case String:
+		if _, ok := v.(string); ok {
+			return nil
+		}
+	case Int:
+		switch v.(type) {
+		case int, int8, int16, int32, int64:
+			return nil
+		}
+	case Float:
+		if _, ok := pref.Numeric(v); ok {
+			return nil
+		}
+	case Bool:
+		if _, ok := v.(bool); ok {
+			return nil
+		}
+	case Time:
+		if _, ok := v.(time.Time); ok {
+			return nil
+		}
+	}
+	return fmt.Errorf("relation: value %v (%T) not assignable to %s column", v, v, t)
+}
+
+// Row is one tuple's values in schema order.
+type Row []pref.Value
+
+// Relation is an in-memory database set R(B1, …, Bm).
+type Relation struct {
+	name   string
+	schema *Schema
+	rows   []Row
+}
+
+// New creates an empty relation with the given name and schema.
+func New(name string, schema *Schema) *Relation {
+	return &Relation{name: name, schema: schema}
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the row count, card(R).
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Row returns row i; callers must not modify it.
+func (r *Relation) Row(i int) Row { return r.rows[i] }
+
+// Rows returns all rows; callers must not modify the slice.
+func (r *Relation) Rows() []Row { return r.rows }
+
+// Insert appends a row after type-checking every value against the schema.
+func (r *Relation) Insert(row Row) error {
+	if len(row) != r.schema.Len() {
+		return fmt.Errorf("relation %s: row arity %d does not match schema arity %d", r.name, len(row), r.schema.Len())
+	}
+	for i, v := range row {
+		if err := checkValue(r.schema.Col(i).Type, v); err != nil {
+			return fmt.Errorf("relation %s, column %s: %w", r.name, r.schema.Col(i).Name, err)
+		}
+	}
+	r.rows = append(r.rows, append(Row(nil), row...))
+	return nil
+}
+
+// MustInsert is Insert that panics on error; for test fixtures.
+func (r *Relation) MustInsert(rows ...Row) *Relation {
+	for _, row := range rows {
+		if err := r.Insert(row); err != nil {
+			panic(err)
+		}
+	}
+	return r
+}
+
+// Tuple returns the pref.Tuple view of row i.
+func (r *Relation) Tuple(i int) pref.Tuple {
+	return rowTuple{schema: r.schema, row: r.rows[i]}
+}
+
+// Tuples returns pref.Tuple views of every row.
+func (r *Relation) Tuples() []pref.Tuple {
+	out := make([]pref.Tuple, len(r.rows))
+	for i := range r.rows {
+		out[i] = r.Tuple(i)
+	}
+	return out
+}
+
+// rowTuple adapts a schema-indexed row to the pref.Tuple interface.
+type rowTuple struct {
+	schema *Schema
+	row    Row
+}
+
+// Get implements pref.Tuple.
+func (t rowTuple) Get(attr string) (pref.Value, bool) {
+	i, ok := t.schema.Index(attr)
+	if !ok {
+		return nil, false
+	}
+	return t.row[i], true
+}
+
+// FromRows builds a relation containing the given rows.
+func FromRows(name string, schema *Schema, rows []Row) (*Relation, error) {
+	r := New(name, schema)
+	for _, row := range rows {
+		if err := r.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Select returns the rows satisfying the hard predicate, as a new relation.
+func (r *Relation) Select(pred func(pref.Tuple) bool) *Relation {
+	out := New(r.name, r.schema)
+	for i := range r.rows {
+		if pred(r.Tuple(i)) {
+			out.rows = append(out.rows, r.rows[i])
+		}
+	}
+	return out
+}
+
+// Pick returns a new relation containing the rows at the given indices.
+func (r *Relation) Pick(indices []int) *Relation {
+	out := New(r.name, r.schema)
+	out.rows = make([]Row, 0, len(indices))
+	for _, i := range indices {
+		out.rows = append(out.rows, r.rows[i])
+	}
+	return out
+}
+
+// Project returns π over the named attributes, preserving duplicates
+// (bag semantics); use DistinctProject for set semantics.
+func (r *Relation) Project(attrs []string) (*Relation, error) {
+	cols := make([]Column, len(attrs))
+	idx := make([]int, len(attrs))
+	for k, a := range attrs {
+		i, ok := r.schema.Index(a)
+		if !ok {
+			return nil, fmt.Errorf("relation %s: no column %q", r.name, a)
+		}
+		idx[k] = i
+		cols[k] = r.schema.Col(i)
+	}
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	out := New(r.name, schema)
+	for _, row := range r.rows {
+		proj := make(Row, len(idx))
+		for k, i := range idx {
+			proj[k] = row[i]
+		}
+		out.rows = append(out.rows, proj)
+	}
+	return out, nil
+}
+
+// DistinctProject returns π over the named attributes with duplicates
+// removed; its cardinality is card(π_A(R)), used by result-size metrics
+// (Definition 18).
+func (r *Relation) DistinctProject(attrs []string) (*Relation, error) {
+	proj, err := r.Project(attrs)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]struct{}, proj.Len())
+	out := New(r.name, proj.schema)
+	for i, row := range proj.rows {
+		k := pref.ProjectionKey(proj.Tuple(i), attrs)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.rows = append(out.rows, row)
+	}
+	return out, nil
+}
+
+// DistinctCount returns card(π_A(R)) without materializing the projection.
+func (r *Relation) DistinctCount(attrs []string) int {
+	seen := make(map[string]struct{}, r.Len())
+	for i := range r.rows {
+		seen[pref.ProjectionKey(r.Tuple(i), attrs)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Groups partitions the relation's row indices by equal projections onto
+// attrs, in first-seen order. It backs the groupby evaluation of Prop 10.
+func (r *Relation) Groups(attrs []string) [][]int {
+	order := []string{}
+	byKey := make(map[string][]int)
+	for i := range r.rows {
+		k := pref.ProjectionKey(r.Tuple(i), attrs)
+		if _, ok := byKey[k]; !ok {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], i)
+	}
+	out := make([][]int, len(order))
+	for j, k := range order {
+		out[j] = byKey[k]
+	}
+	return out
+}
+
+// SortBy orders the relation's rows in place by the given less function
+// over tuple views; the sort is stable.
+func (r *Relation) SortBy(less func(a, b pref.Tuple) bool) {
+	sort.SliceStable(r.rows, func(i, j int) bool {
+		return less(r.Tuple(i), r.Tuple(j))
+	})
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	out := New(r.name, r.schema)
+	out.rows = make([]Row, len(r.rows))
+	for i, row := range r.rows {
+		out.rows[i] = append(Row(nil), row...)
+	}
+	return out
+}
+
+// String renders the relation as an aligned text table.
+func (r *Relation) String() string {
+	names := r.schema.Names()
+	widths := make([]int, len(names))
+	for i, n := range names {
+		widths[i] = len(n)
+	}
+	cells := make([][]string, len(r.rows))
+	for i, row := range r.rows {
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			s := pref.FormatValue(v)
+			cells[i][j] = s
+			if len(s) > widths[j] {
+				widths[j] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(vals []string) {
+		for j, v := range vals {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(v)
+			for pad := len(v); pad < widths[j]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(names)
+	seps := make([]string, len(names))
+	for j := range seps {
+		seps[j] = strings.Repeat("-", widths[j])
+	}
+	writeRow(seps)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return b.String()
+}

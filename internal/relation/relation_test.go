@@ -1,0 +1,240 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pref"
+)
+
+func carSchema(t *testing.T) *Schema {
+	t.Helper()
+	return MustSchema(
+		Column{Name: "id", Type: Int},
+		Column{Name: "color", Type: String},
+		Column{Name: "price", Type: Float},
+	)
+}
+
+func sample(t *testing.T) *Relation {
+	t.Helper()
+	return New("car", carSchema(t)).MustInsert(
+		Row{int64(1), "red", 10.0},
+		Row{int64(2), "red", 20.0},
+		Row{int64(3), "blue", 10.0},
+	)
+}
+
+func TestSchemaRejectsDuplicates(t *testing.T) {
+	if _, err := NewSchema(Column{Name: "a", Type: Int}, Column{Name: "a", Type: String}); err == nil {
+		t.Fatal("duplicate column names must be rejected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema must panic on duplicates")
+		}
+	}()
+	MustSchema(Column{Name: "a", Type: Int}, Column{Name: "a", Type: Int})
+}
+
+func TestSchemaAccessors(t *testing.T) {
+	s := carSchema(t)
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if i, ok := s.Index("color"); !ok || i != 1 {
+		t.Errorf("Index(color) = %d, %v", i, ok)
+	}
+	if _, ok := s.Index("nope"); ok {
+		t.Error("unknown column found")
+	}
+	names := s.Names()
+	if len(names) != 3 || names[0] != "id" || names[2] != "price" {
+		t.Errorf("Names = %v", names)
+	}
+	if s.Col(1).Name != "color" {
+		t.Error("Col broken")
+	}
+	if len(s.Columns()) != 3 {
+		t.Error("Columns broken")
+	}
+}
+
+func TestInsertTypeChecking(t *testing.T) {
+	r := New("car", carSchema(t))
+	if err := r.Insert(Row{int64(1), "red", 9.5}); err != nil {
+		t.Fatalf("valid row rejected: %v", err)
+	}
+	if err := r.Insert(Row{"one", "red", 9.5}); err == nil {
+		t.Error("string into INT column must fail")
+	}
+	if err := r.Insert(Row{int64(1), int64(2), 9.5}); err == nil {
+		t.Error("int into STRING column must fail")
+	}
+	if err := r.Insert(Row{int64(1), "red"}); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+	// NULLs are allowed in every column.
+	if err := r.Insert(Row{nil, nil, nil}); err != nil {
+		t.Errorf("NULLs must be allowed: %v", err)
+	}
+	// Float column accepts ints (numeric family).
+	if err := r.Insert(Row{int64(2), "blue", int64(7)}); err != nil {
+		t.Errorf("int into FLOAT column should work: %v", err)
+	}
+}
+
+func TestTypeChecksAllTypes(t *testing.T) {
+	s := MustSchema(
+		Column{Name: "b", Type: Bool},
+		Column{Name: "t", Type: Time},
+	)
+	r := New("x", s)
+	if err := r.Insert(Row{true, time.Now()}); err != nil {
+		t.Fatalf("bool/time row rejected: %v", err)
+	}
+	if err := r.Insert(Row{"yes", time.Now()}); err == nil {
+		t.Error("string into BOOL must fail")
+	}
+	if err := r.Insert(Row{false, "2001-01-01"}); err == nil {
+		t.Error("string into TIME must fail")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for typ, want := range map[Type]string{String: "STRING", Int: "INT", Float: "FLOAT", Bool: "BOOL", Time: "TIME"} {
+		if typ.String() != want {
+			t.Errorf("%v", typ)
+		}
+	}
+	if !strings.Contains(Type(99).String(), "99") {
+		t.Error("unknown type rendering")
+	}
+}
+
+func TestTupleView(t *testing.T) {
+	r := sample(t)
+	tup := r.Tuple(0)
+	if v, ok := tup.Get("color"); !ok || v != "red" {
+		t.Errorf("Get(color) = %v, %v", v, ok)
+	}
+	if _, ok := tup.Get("nope"); ok {
+		t.Error("unknown attribute must report absent")
+	}
+	if len(r.Tuples()) != 3 {
+		t.Error("Tuples length")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := sample(t)
+	red := r.Select(func(tup pref.Tuple) bool {
+		v, _ := tup.Get("color")
+		return v == "red"
+	})
+	if red.Len() != 2 {
+		t.Errorf("red cars = %d, want 2", red.Len())
+	}
+	if r.Len() != 3 {
+		t.Error("Select must not mutate the source")
+	}
+}
+
+func TestPick(t *testing.T) {
+	r := sample(t)
+	p := r.Pick([]int{2, 0})
+	if p.Len() != 2 {
+		t.Fatal("Pick length")
+	}
+	if v, _ := p.Tuple(0).Get("id"); !pref.EqualValues(v, int64(3)) {
+		t.Error("Pick must preserve given order")
+	}
+}
+
+func TestProjectAndDistinct(t *testing.T) {
+	r := sample(t)
+	p, err := r.Project([]string{"color"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3 || p.Schema().Len() != 1 {
+		t.Error("projection shape wrong")
+	}
+	d, err := r.DistinctProject([]string{"color"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Errorf("distinct colors = %d, want 2", d.Len())
+	}
+	if _, err := r.Project([]string{"nope"}); err == nil {
+		t.Error("unknown column must fail")
+	}
+	if got := r.DistinctCount([]string{"price"}); got != 2 {
+		t.Errorf("DistinctCount(price) = %d, want 2", got)
+	}
+}
+
+func TestGroups(t *testing.T) {
+	r := sample(t)
+	groups := r.Groups([]string{"color"})
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	// First-seen order: red group first with rows 0, 1.
+	if len(groups[0]) != 2 || groups[0][0] != 0 || groups[0][1] != 1 {
+		t.Errorf("red group = %v", groups[0])
+	}
+	if len(groups[1]) != 1 || groups[1][0] != 2 {
+		t.Errorf("blue group = %v", groups[1])
+	}
+}
+
+func TestSortByAndClone(t *testing.T) {
+	r := sample(t)
+	c := r.Clone()
+	c.SortBy(func(a, b pref.Tuple) bool {
+		av, _ := a.Get("price")
+		bv, _ := b.Get("price")
+		cmp, _ := pref.CompareValues(av, bv)
+		return cmp > 0 // descending
+	})
+	if v, _ := c.Tuple(0).Get("price"); !pref.EqualValues(v, 20.0) {
+		t.Error("sort descending by price failed")
+	}
+	// Original untouched.
+	if v, _ := r.Tuple(0).Get("id"); !pref.EqualValues(v, int64(1)) {
+		t.Error("Clone must isolate mutations")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	r, err := FromRows("x", carSchema(t), []Row{{int64(1), "red", 1.0}})
+	if err != nil || r.Len() != 1 {
+		t.Fatalf("FromRows: %v", err)
+	}
+	if _, err := FromRows("x", carSchema(t), []Row{{int64(1)}}); err == nil {
+		t.Error("bad rows must fail")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	out := sample(t).String()
+	if !strings.Contains(out, "id") || !strings.Contains(out, "red") || !strings.Contains(out, "---") {
+		t.Errorf("table rendering missing pieces:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + separator + 3 rows
+		t.Errorf("expected 5 lines, got %d", len(lines))
+	}
+}
+
+func TestMustInsertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustInsert must panic on type errors")
+		}
+	}()
+	New("car", carSchema(t)).MustInsert(Row{"bad", "red", 1.0})
+}

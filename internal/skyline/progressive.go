@@ -1,0 +1,85 @@
+package skyline
+
+import (
+	"sort"
+
+	"repro/internal/pref"
+	"repro/internal/relation"
+)
+
+// Progressive computes the skyline incrementally in the spirit of [TEO01]
+// ("Efficient Progressive Skyline Computation", cited in §6.1): rows are
+// presorted by a monotone score so that no later row can dominate an
+// earlier one, and every confirmed skyline member is emitted immediately —
+// first results arrive after a sort plus a few comparisons rather than
+// after the full computation. yield receives the row index in R and
+// returns false to stop early (e.g. after the first k skyline members).
+// It returns the number of rows emitted.
+func Progressive(c Clause, r *relation.Relation, yield func(row int) bool) (int, error) {
+	p, err := c.Preference()
+	if err != nil {
+		return 0, err
+	}
+	// Entropy sort: descending sum of per-dimension maximize-scores. If
+	// x <P y then every dimension scores y ≥ x with one >, so y's sum is
+	// strictly larger and y precedes x — a later row never dominates an
+	// earlier one.
+	dims := make([]pref.Scorer, len(c.Dims))
+	for i, d := range c.Dims {
+		if d.Dir == Min {
+			dims[i] = pref.LOWEST(d.Attr)
+		} else {
+			dims[i] = pref.HIGHEST(d.Attr)
+		}
+	}
+	type cand struct {
+		row int
+		sum float64
+	}
+	cands := make([]cand, r.Len())
+	for i := 0; i < r.Len(); i++ {
+		t := r.Tuple(i)
+		var sum float64
+		for _, d := range dims {
+			sum += d.ScoreOf(t)
+		}
+		cands[i] = cand{i, sum}
+	}
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].sum > cands[b].sum })
+
+	emitted := 0
+	var confirmed []int
+	for _, c := range cands {
+		tc := r.Tuple(c.row)
+		dominated := false
+		for _, w := range confirmed {
+			if p.Less(tc, r.Tuple(w)) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		confirmed = append(confirmed, c.row)
+		emitted++
+		if !yield(c.row) {
+			break
+		}
+	}
+	return emitted, nil
+}
+
+// FirstK returns the first k skyline rows in progressive emission order,
+// the "show something immediately" use case of progressive skylines.
+func FirstK(c Clause, r *relation.Relation, k int) ([]int, error) {
+	var out []int
+	_, err := Progressive(c, r, func(row int) bool {
+		out = append(out, row)
+		return len(out) < k
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,201 @@
+// Package workload generates the synthetic evaluation data: the
+// independent / correlated / anti-correlated numeric distributions that are
+// standard for skyline-style evaluation (introduced by [BKS01]), and a
+// used-car e-shop database with realistic attribute cardinalities for the
+// preference-engineering scenario of Example 6 and the [KFH01] result-size
+// study. All generators are deterministic for a given seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/relation"
+)
+
+// Distribution selects the correlation structure of numeric data.
+type Distribution int
+
+// Distributions.
+const (
+	// Independent draws every dimension uniformly at random.
+	Independent Distribution = iota
+	// Correlated draws points near the diagonal: good in one dimension
+	// tends to be good in all, shrinking skylines.
+	Correlated
+	// AntiCorrelated draws points near the anti-diagonal plane: good in
+	// one dimension tends to be bad in others, inflating skylines.
+	AntiCorrelated
+)
+
+// String renders the distribution name.
+func (d Distribution) String() string {
+	switch d {
+	case Independent:
+		return "independent"
+	case Correlated:
+		return "correlated"
+	case AntiCorrelated:
+		return "anti-correlated"
+	}
+	return fmt.Sprintf("Distribution(%d)", int(d))
+}
+
+// Numeric generates an n-row, dims-column relation of float64 values in
+// [0, 1) named d1…dk, drawn from the given distribution.
+func Numeric(n, dims int, dist Distribution, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([]relation.Column, dims)
+	for i := range cols {
+		cols[i] = relation.Column{Name: fmt.Sprintf("d%d", i+1), Type: relation.Float}
+	}
+	rel := relation.New(fmt.Sprintf("%s_%dx%d", dist, n, dims), relation.MustSchema(cols...))
+	for i := 0; i < n; i++ {
+		row := make(relation.Row, dims)
+		vec := drawVector(rng, dims, dist)
+		for j, v := range vec {
+			row[j] = v
+		}
+		if err := rel.Insert(row); err != nil {
+			panic(err) // generator bug: schema is float-only
+		}
+	}
+	return rel
+}
+
+// drawVector draws one point per the distribution, clamped to [0, 1).
+func drawVector(rng *rand.Rand, dims int, dist Distribution) []float64 {
+	out := make([]float64, dims)
+	switch dist {
+	case Independent:
+		for i := range out {
+			out[i] = rng.Float64()
+		}
+	case Correlated:
+		// A common base level plus small independent jitter keeps points
+		// close to the diagonal.
+		base := rng.Float64()
+		for i := range out {
+			out[i] = clamp01(base + 0.15*(rng.Float64()-0.5))
+		}
+	case AntiCorrelated:
+		// Points near the plane Σxi = dims/2 with per-axis perturbations:
+		// start from a normalized random direction and renormalize the sum.
+		sumTarget := float64(dims) / 2
+		var sum float64
+		for i := range out {
+			out[i] = rng.Float64()
+			sum += out[i]
+		}
+		if sum == 0 {
+			sum = 1
+		}
+		for i := range out {
+			out[i] = clamp01(out[i]*sumTarget/sum + 0.05*(rng.Float64()-0.5))
+		}
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	return math.Min(math.Max(v, 0), math.Nextafter(1, 0))
+}
+
+// Car attribute vocabularies, sized after a realistic used-car e-shop.
+var (
+	CarMakes      = []string{"Audi", "BMW", "Ford", "Mercedes", "Opel", "Toyota", "VW", "Volvo"}
+	CarCategories = []string{"cabriolet", "roadster", "sedan", "suv", "van", "passenger"}
+	CarColors     = []string{"black", "blue", "gray", "green", "red", "silver", "white", "yellow"}
+	Transmissions = []string{"automatic", "manual"}
+)
+
+// CarSchema is the schema of the synthetic used-car relation.
+func CarSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "oid", Type: relation.Int},
+		relation.Column{Name: "make", Type: relation.String},
+		relation.Column{Name: "category", Type: relation.String},
+		relation.Column{Name: "transmission", Type: relation.String},
+		relation.Column{Name: "color", Type: relation.String},
+		relation.Column{Name: "horsepower", Type: relation.Int},
+		relation.Column{Name: "price", Type: relation.Int},
+		relation.Column{Name: "mileage", Type: relation.Int},
+		relation.Column{Name: "year", Type: relation.Int},
+		relation.Column{Name: "commission", Type: relation.Int},
+	)
+}
+
+// Cars generates a synthetic used-car database of n offers. Prices
+// correlate with horsepower and year and anti-correlate with mileage, as
+// in a real market, so preference queries face realistic trade-offs.
+func Cars(n int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	rel := relation.New("car", CarSchema())
+	for i := 0; i < n; i++ {
+		hp := 45 + rng.Intn(256)
+		year := 1990 + rng.Intn(22)
+		age := 2012 - year
+		mileage := 5000*age + rng.Intn(20000*age+1)
+		base := float64(hp)*180 + float64(year-1990)*900 - float64(mileage)/18
+		price := int(base*(0.8+0.4*rng.Float64())) + 2500
+		if price < 500 {
+			price = 500 + rng.Intn(2000)
+		}
+		commission := 200 + rng.Intn(price/10+1)
+		row := relation.Row{
+			int64(i + 1),
+			CarMakes[rng.Intn(len(CarMakes))],
+			CarCategories[rng.Intn(len(CarCategories))],
+			Transmissions[rng.Intn(len(Transmissions))],
+			CarColors[rng.Intn(len(CarColors))],
+			int64(hp),
+			int64(price),
+			int64(mileage),
+			int64(year),
+			int64(commission),
+		}
+		if err := rel.Insert(row); err != nil {
+			panic(err)
+		}
+	}
+	return rel
+}
+
+// TripSchema is the schema of the synthetic trips relation used by the
+// BUT ONLY example query of §6.1.
+func TripSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Column{Name: "tid", Type: relation.Int},
+		relation.Column{Name: "destination", Type: relation.String},
+		relation.Column{Name: "start_day", Type: relation.Int},
+		relation.Column{Name: "duration", Type: relation.Int},
+		relation.Column{Name: "price", Type: relation.Int},
+	)
+}
+
+// TripDestinations is the destination vocabulary of the trips generator.
+var TripDestinations = []string{"Crete", "Ibiza", "Madeira", "Malta", "Rhodes", "Tenerife"}
+
+// Trips generates a synthetic trips relation; start_day is a day-of-year
+// ordinal so AROUND preferences on dates exercise the same code path as
+// the paper's Date-typed example.
+func Trips(n int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	rel := relation.New("trips", TripSchema())
+	durations := []int64{7, 10, 14, 21}
+	for i := 0; i < n; i++ {
+		dur := durations[rng.Intn(len(durations))]
+		row := relation.Row{
+			int64(i + 1),
+			TripDestinations[rng.Intn(len(TripDestinations))],
+			int64(1 + rng.Intn(365)),
+			dur,
+			int64(300) + int64(rng.Intn(50))*int64(dur),
+		}
+		if err := rel.Insert(row); err != nil {
+			panic(err)
+		}
+	}
+	return rel
+}

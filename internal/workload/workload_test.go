@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/pref"
+)
+
+func TestNumericShapeAndDeterminism(t *testing.T) {
+	r1 := Numeric(100, 3, Independent, 42)
+	r2 := Numeric(100, 3, Independent, 42)
+	if r1.Len() != 100 || r1.Schema().Len() != 3 {
+		t.Fatalf("shape: %d rows, %d cols", r1.Len(), r1.Schema().Len())
+	}
+	for i := 0; i < r1.Len(); i++ {
+		for _, c := range r1.Schema().Names() {
+			a, _ := r1.Tuple(i).Get(c)
+			b, _ := r2.Tuple(i).Get(c)
+			if !pref.EqualValues(a, b) {
+				t.Fatal("same seed must reproduce identical data")
+			}
+		}
+	}
+	r3 := Numeric(100, 3, Independent, 43)
+	same := true
+	for i := 0; i < r1.Len() && same; i++ {
+		a, _ := r1.Tuple(i).Get("d1")
+		b, _ := r3.Tuple(i).Get("d1")
+		same = pref.EqualValues(a, b)
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestNumericValuesInRange(t *testing.T) {
+	for _, dist := range []Distribution{Independent, Correlated, AntiCorrelated} {
+		r := Numeric(500, 4, dist, 7)
+		for i := 0; i < r.Len(); i++ {
+			for _, c := range r.Schema().Names() {
+				v, _ := r.Tuple(i).Get(c)
+				f, ok := pref.Numeric(v)
+				if !ok || f < 0 || f >= 1 {
+					t.Fatalf("%s: value %v out of [0,1)", dist, v)
+				}
+			}
+		}
+	}
+}
+
+func TestDistributionSkylineOrdering(t *testing.T) {
+	// The whole point of the three distributions: skyline sizes must order
+	// correlated < independent < anti-correlated.
+	p := pref.ParetoAll(pref.LOWEST("d1"), pref.LOWEST("d2"), pref.LOWEST("d3"))
+	size := func(d Distribution) int {
+		return engine.BMO(p, Numeric(3000, 3, d, 11), engine.BNL).Len()
+	}
+	corr, ind, anti := size(Correlated), size(Independent), size(AntiCorrelated)
+	if !(corr < ind && ind < anti) {
+		t.Errorf("skyline sizes corr=%d ind=%d anti=%d must be increasing", corr, ind, anti)
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Independent.String() != "independent" || Correlated.String() != "correlated" || AntiCorrelated.String() != "anti-correlated" {
+		t.Error("distribution names")
+	}
+	if Distribution(9).String() == "" {
+		t.Error("unknown distribution still renders")
+	}
+}
+
+func TestCarsRealism(t *testing.T) {
+	cars := Cars(2000, 42)
+	if cars.Len() != 2000 {
+		t.Fatal("row count")
+	}
+	prices := 0
+	for i := 0; i < cars.Len(); i++ {
+		tup := cars.Tuple(i)
+		p, _ := tup.Get("price")
+		price, _ := pref.Numeric(p)
+		if price < 500 {
+			t.Fatalf("price %v below floor", p)
+		}
+		hp, _ := tup.Get("horsepower")
+		h, _ := pref.Numeric(hp)
+		if h < 45 || h > 300 {
+			t.Fatalf("horsepower %v out of range", hp)
+		}
+		y, _ := tup.Get("year")
+		yr, _ := pref.Numeric(y)
+		if yr < 1990 || yr > 2011 {
+			t.Fatalf("year %v out of range", y)
+		}
+		m, _ := tup.Get("make")
+		if m.(string) == "" {
+			t.Fatal("empty make")
+		}
+		prices += int(price)
+	}
+	// Prices correlate with horsepower: top-quartile hp cars must cost
+	// more on average than bottom-quartile.
+	var hiSum, hiN, loSum, loN float64
+	for i := 0; i < cars.Len(); i++ {
+		tup := cars.Tuple(i)
+		hp, _ := tup.Get("horsepower")
+		h, _ := pref.Numeric(hp)
+		p, _ := tup.Get("price")
+		price, _ := pref.Numeric(p)
+		switch {
+		case h > 230:
+			hiSum += price
+			hiN++
+		case h < 110:
+			loSum += price
+			loN++
+		}
+	}
+	if hiN == 0 || loN == 0 {
+		t.Fatal("horsepower buckets empty")
+	}
+	if hiSum/hiN <= loSum/loN {
+		t.Error("price must correlate with horsepower")
+	}
+}
+
+func TestCarsDeterministic(t *testing.T) {
+	a, b := Cars(50, 9), Cars(50, 9)
+	for i := 0; i < a.Len(); i++ {
+		av, _ := a.Tuple(i).Get("price")
+		bv, _ := b.Tuple(i).Get("price")
+		if !pref.EqualValues(av, bv) {
+			t.Fatal("Cars must be deterministic per seed")
+		}
+	}
+}
+
+func TestTripsShape(t *testing.T) {
+	trips := Trips(500, 3)
+	if trips.Len() != 500 {
+		t.Fatal("row count")
+	}
+	validDur := map[int64]bool{7: true, 10: true, 14: true, 21: true}
+	for i := 0; i < trips.Len(); i++ {
+		tup := trips.Tuple(i)
+		d, _ := tup.Get("duration")
+		if !validDur[d.(int64)] {
+			t.Fatalf("duration %v invalid", d)
+		}
+		s, _ := tup.Get("start_day")
+		day := s.(int64)
+		if day < 1 || day > 365 {
+			t.Fatalf("start_day %v out of range", s)
+		}
+	}
+}
