@@ -1,0 +1,27 @@
+# Local entry points mirroring .github/workflows/ci.yml, so `make test`
+# locally and the CI job run the same commands.
+
+GO ?= go
+
+.PHONY: build test bench lint fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# One iteration per benchmark — the CI smoke job. Use BENCHTIME=2s (or any
+# go -benchtime value) for real measurements.
+BENCHTIME ?= 1x
+bench:
+	$(GO) test -run 'xxx' -bench . -benchtime $(BENCHTIME) -benchmem ./...
+
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .

@@ -14,8 +14,8 @@ import (
 	"repro/internal/workload"
 )
 
-// One benchmark per reproduced experiment (DESIGN.md per-experiment index),
-// plus the ablation benches the design calls out. Run with
+// One benchmark per reproduced experiment, plus the ablation and
+// evaluation-layer benches (parallel variants, planner, streaming). Run with
 //
 //	go test -bench=. -benchmem
 //
@@ -298,5 +298,82 @@ func BenchmarkExperimentExamples(b *testing.B) {
 				b.Fatalf("%s failed: %v", id, rep.Err)
 			}
 		}
+	}
+}
+
+// BenchmarkParallelVsSequential measures the partitioned variants against
+// their sequential counterparts on a multi-core-friendly workload: large
+// anti-correlated chain product, where local maxima sets stay small
+// relative to the partitions. On a multi-core machine the parallel rows
+// should beat their sequential siblings; on one core they degrade to the
+// sequential path plus negligible dispatch overhead.
+func BenchmarkParallelVsSequential(b *testing.B) {
+	rel := workload.Numeric(20000, 3, workload.AntiCorrelated, 37)
+	p := pref.ParetoAll(pref.LOWEST("d1"), pref.LOWEST("d2"), pref.LOWEST("d3"))
+	for _, alg := range []engine.Algorithm{
+		engine.BNL, engine.ParallelBNL,
+		engine.SFS, engine.ParallelSFS,
+		engine.DNC, engine.ParallelDNC,
+	} {
+		b.Run(alg.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				engine.BMOIndices(p, rel, alg)
+			}
+		})
+	}
+}
+
+// BenchmarkPlanner isolates the cost of a plan decision (statistics
+// sampling plus cost model) so planning overhead stays visibly tiny next
+// to the evaluation it steers.
+func BenchmarkPlanner(b *testing.B) {
+	rel := workload.Numeric(20000, 3, workload.AntiCorrelated, 41)
+	p := pref.ParetoAll(pref.LOWEST("d1"), pref.LOWEST("d2"), pref.LOWEST("d3"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.PlanFor(p, rel)
+	}
+}
+
+// BenchmarkEvalStreamFirstMaximum measures progressive time-to-first-result
+// through the engine's general streaming evaluator against the full batch
+// computation it short-circuits.
+func BenchmarkEvalStreamFirstMaximum(b *testing.B) {
+	rel := workload.Numeric(20000, 2, workload.AntiCorrelated, 43)
+	p := pref.Pareto(pref.LOWEST("d1"), pref.LOWEST("d2"))
+	b.Run("stream-first", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st := engine.EvalStream(p, rel)
+			if _, ok := st.Next(); !ok {
+				b.Fatal("no first maximum")
+			}
+		}
+	})
+	b.Run("batch-full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			engine.BMOIndices(p, rel, engine.BNL)
+		}
+	})
+}
+
+// BenchmarkPlannerDistributions runs the planner-dispatched Auto path
+// across the generator family, the workload mix the cost model is tuned
+// against.
+func BenchmarkPlannerDistributions(b *testing.B) {
+	p := pref.Pareto(pref.LOWEST("d1"), pref.LOWEST("d2"))
+	for _, dist := range []workload.Distribution{
+		workload.Independent, workload.Correlated, workload.AntiCorrelated, workload.Skewed,
+	} {
+		rel := workload.Numeric(8000, 2, dist, 47)
+		b.Run(dist.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				engine.BMOIndices(p, rel, engine.Auto)
+			}
+		})
 	}
 }

@@ -3,26 +3,44 @@
 // BMO result sizes, algorithm crossover, ranked query model). Each report
 // states PASS/FAIL against the outcome the paper claims.
 //
+// It also fronts the physical evaluation layer: -plan explains the
+// cost-based plan the engine picks for a synthetic skyline workload, and
+// -stream demonstrates progressive delivery (first maxima served long
+// before the scan completes).
+//
 // Usage:
 //
 //	prefbench -all
 //	prefbench -run E7
 //	prefbench -list
+//	prefbench -plan "price MIN, mileage MIN" -rows 50000 -dist anti
+//	prefbench -stream "d1 MIN, d2 MIN" -rows 20000 -dist anti -first 5
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/relation"
+	"repro/internal/skyline"
+	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		all  = flag.Bool("all", false, "run every experiment")
-		run  = flag.String("run", "", "run one experiment by ID (e.g. E7, F1)")
-		list = flag.Bool("list", false, "list experiments")
+		all    = flag.Bool("all", false, "run every experiment")
+		run    = flag.String("run", "", "run one experiment by ID (e.g. E7, F1)")
+		list   = flag.Bool("list", false, "list experiments")
+		plan   = flag.String("plan", "", "explain the cost-based plan for a SKYLINE OF clause over a synthetic workload")
+		stream = flag.String("stream", "", "stream first maxima of a SKYLINE OF clause over a synthetic workload")
+		rows   = flag.Int("rows", 20000, "synthetic workload size for -plan/-stream")
+		dims   = flag.Int("dims", 0, "synthetic workload dimensions (default: clause dimension count)")
+		dist   = flag.String("dist", "anti", "distribution for -plan/-stream: independent|correlated|anti|skewed")
+		first  = flag.Int("first", 5, "maxima to stream before stopping with -stream")
 	)
 	flag.Parse()
 
@@ -30,6 +48,14 @@ func main() {
 	case *list:
 		for _, e := range experiments.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+	case *plan != "":
+		if err := planDemo(*plan, *rows, *dims, *dist); err != nil {
+			fatal(err)
+		}
+	case *stream != "":
+		if err := streamDemo(*stream, *rows, *dims, *dist, *first); err != nil {
+			fatal(err)
 		}
 	case *run != "":
 		e, ok := experiments.ByID(*run)
@@ -60,4 +86,72 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// synth builds the synthetic relation and preference for a SKYLINE OF
+// clause over generated data.
+func synth(clause string, rows, dims int, dist string) (skyline.Clause, *relation.Relation, error) {
+	c, err := skyline.Parse(clause)
+	if err != nil {
+		return skyline.Clause{}, nil, err
+	}
+	var d workload.Distribution
+	switch strings.ToLower(dist) {
+	case "independent", "ind":
+		d = workload.Independent
+	case "correlated", "corr":
+		d = workload.Correlated
+	case "anti", "anti-correlated", "anticorrelated":
+		d = workload.AntiCorrelated
+	case "skewed", "skew":
+		d = workload.Skewed
+	default:
+		return skyline.Clause{}, nil, fmt.Errorf("prefbench: unknown distribution %q", dist)
+	}
+	if dims < len(c.Dims) {
+		dims = len(c.Dims)
+	}
+	return c, workload.Numeric(rows, dims, d, 42), nil
+}
+
+// planDemo prints the cost-based plan decision for the workload.
+func planDemo(clause string, rows, dims int, dist string) error {
+	c, rel, err := synth(clause, rows, dims, dist)
+	if err != nil {
+		return err
+	}
+	p, err := c.Preference()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %s (%d rows)\npreference: %s\n\n", rel.Name(), rel.Len(), p)
+	fmt.Print(engine.PlanFor(p, rel).Explain())
+	return nil
+}
+
+// streamDemo serves the first maxima progressively and reports how little
+// of the input each one needed.
+func streamDemo(clause string, rows, dims int, dist string, first int) error {
+	c, rel, err := synth(clause, rows, dims, dist)
+	if err != nil {
+		return err
+	}
+	st, err := skyline.Stream(c, rel)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %s (%d rows), %s, progressive=%v\n", rel.Name(), rel.Len(), c, st.Progressive())
+	emitted := 0
+	st.Each(func(row int) bool {
+		emitted++
+		fmt.Printf("maximum #%d: row %d after examining %d/%d candidates\n", emitted, row, st.Consumed(), rel.Len())
+		return emitted < first
+	})
+	fmt.Printf("served %d maxima having examined %d of %d rows\n", emitted, st.Consumed(), rel.Len())
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

@@ -29,7 +29,7 @@ func main() {
 		dataDir = flag.String("data", "", "directory of *.csv tables")
 		expr    = flag.String("e", "", "query to execute (omit for a REPL)")
 		demo    = flag.Bool("demo", false, "load built-in synthetic car and trips tables")
-		algName = flag.String("alg", "auto", "BMO algorithm: auto, naive, bnl, sfs, dnc, decomposition")
+		algName = flag.String("alg", "auto", "BMO algorithm: auto, naive, bnl, sfs, dnc, decomposition, parallel-bnl, parallel-sfs, parallel-dnc")
 		seed    = flag.Int64("seed", 42, "seed for -demo data")
 		rows    = flag.Int("rows", 5000, "row count for -demo data")
 	)
@@ -116,6 +116,12 @@ func parseAlg(name string) (engine.Algorithm, error) {
 		return engine.DNC, nil
 	case "decomposition":
 		return engine.Decomposition, nil
+	case "parallel-bnl":
+		return engine.ParallelBNL, nil
+	case "parallel-sfs":
+		return engine.ParallelSFS, nil
+	case "parallel-dnc":
+		return engine.ParallelDNC, nil
 	}
 	return 0, fmt.Errorf("prefsql: unknown algorithm %q", name)
 }

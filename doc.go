@@ -5,8 +5,8 @@
 // Preference XPath, plus the evaluation substrates needed to regenerate
 // every worked example and quantitative claim of the paper.
 //
-// Start with internal/core (the façade API), README.md (tour), DESIGN.md
-// (system inventory) and EXPERIMENTS.md (paper-vs-measured results).
-// bench_test.go in this directory holds one benchmark per reproduced
-// experiment.
+// Start with internal/core (the façade API) and README.md (package tour,
+// how to run the examples, benchmarks and CI). bench_test.go in this
+// directory holds one benchmark per reproduced experiment plus the
+// evaluation-layer benches (parallel variants, planner, streaming).
 package repro

@@ -124,6 +124,9 @@ func yy(p1, p2 pref.Preference, r *relation.Relation, idx []int) []int {
 
 // groupByIndices evaluates σ[P groupby A](R) over the whole relation.
 func groupByIndices(p pref.Preference, groupAttrs []string, r *relation.Relation, alg Algorithm) []int {
+	// Statistics are sampled once per relation, not once per group: the
+	// Auto planner reuses them across every group's plan.
+	var stats *relation.Stats
 	eval := func(p pref.Preference, r *relation.Relation, idx []int) []int {
 		switch alg {
 		case Naive:
@@ -136,8 +139,16 @@ func groupByIndices(p pref.Preference, groupAttrs []string, r *relation.Relation
 			return decomposed(p, r, idx)
 		case ParallelBNL:
 			return bnlParallel(p, r, idx)
+		case ParallelSFS:
+			return sfsParallel(p, r, idx)
+		case ParallelDNC:
+			return dncParallel(p, r, idx)
 		case Auto:
-			return auto(p, r, idx)
+			if len(idx) >= smallInput && stats == nil {
+				stats = relation.AnalyzeSample(r, Env{}.sampleLimit())
+			}
+			pl := planCore(p, r, len(idx), Env{Stats: stats})
+			return execute(pl.Algorithm, pl.Workers, p, r, idx)
 		}
 		return bnl(p, r, idx)
 	}

@@ -46,6 +46,13 @@ const (
 	// maxima concurrently and merges them with a final BNL pass; exact for
 	// every strict partial order.
 	ParallelBNL
+	// ParallelSFS is the partitioned variant of SFS on the same
+	// partition/merge framework; falls back to partitioned BNL when no
+	// compatible sort key exists.
+	ParallelSFS
+	// ParallelDNC is the partitioned variant of the [KLP75] divide &
+	// conquer; falls back to partitioned BNL for non-chain-product terms.
+	ParallelDNC
 )
 
 // String renders the algorithm name.
@@ -65,6 +72,10 @@ func (a Algorithm) String() string {
 		return "decomposition"
 	case ParallelBNL:
 		return "parallel-bnl"
+	case ParallelSFS:
+		return "parallel-sfs"
+	case ParallelDNC:
+		return "parallel-dnc"
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
@@ -90,6 +101,10 @@ func BMOIndices(p pref.Preference, r *relation.Relation, alg Algorithm) []int {
 		return decomposed(p, r, allIndices(r.Len()))
 	case ParallelBNL:
 		return bnlParallel(p, r, allIndices(r.Len()))
+	case ParallelSFS:
+		return sfsParallel(p, r, allIndices(r.Len()))
+	case ParallelDNC:
+		return dncParallel(p, r, allIndices(r.Len()))
 	}
 	return auto(p, r, allIndices(r.Len()))
 }
@@ -191,27 +206,19 @@ func allIndices(n int) []int {
 	return idx
 }
 
-// auto dispatches to the most specific applicable algorithm.
+// auto plans and executes with the cost-based planner: preference shape
+// plus relation statistics pick among the sequential and parallel variants.
+// It runs per candidate set, so groupby queries get a fresh (cheap) plan
+// for every group.
 func auto(p pref.Preference, r *relation.Relation, idx []int) []int {
-	switch ResolveAuto(p, len(idx)) {
-	case DNC:
-		return dnc(p, r, idx)
-	case SFS:
-		return sfs(p, r, idx)
-	}
-	return bnl(p, r, idx)
+	pl := planCore(p, r, len(idx), Env{})
+	return execute(pl.Algorithm, pl.Workers, p, r, idx)
 }
 
 // ResolveAuto reports the algorithm Auto selects for a preference over an
-// input of n rows: DNC for chain-product preferences on large inputs, SFS
-// when a compatible sort key exists, BNL otherwise. Query explanation
-// (EXPLAIN in Preference SQL) surfaces this choice.
+// input of n rows, without relation statistics (shape and cardinality
+// only). Query explanation (EXPLAIN in Preference SQL) surfaces this
+// choice; PlanWith gives the fully statistics-informed decision.
 func ResolveAuto(p pref.Preference, n int) Algorithm {
-	if _, ok := chainDims(p); ok && n >= 256 {
-		return DNC
-	}
-	if _, ok := sfsKey(p); ok {
-		return SFS
-	}
-	return BNL
+	return planCore(p, nil, n, Env{}).Algorithm
 }

@@ -9,21 +9,34 @@ import (
 	"repro/internal/relation"
 )
 
-// bnlParallel evaluates the BMO query with partitioned block-nested-loops:
-// the candidate set splits into one partition per CPU, each partition's
-// maxima are computed concurrently, and the local maxima merge with a
-// final BNL pass. Correctness rests on the divide & conquer identity
-// max(P over A ∪ B) = max(P over max(P, A) ∪ max(P, B)), which holds for
-// every strict partial order: a tuple dominated within its partition is
-// dominated globally, and the merge removes cross-partition domination.
-func bnlParallel(p pref.Preference, r *relation.Relation, idx []int) []int {
+// parallelGrain is the minimum number of candidates per worker: below it,
+// goroutine scheduling costs more than the comparisons it saves.
+const parallelGrain = 512
+
+// defaultWorkers returns the worker count the engine uses for a candidate
+// set of size n when the caller does not force one: one per CPU, but never
+// so many that a partition falls under parallelGrain.
+func defaultWorkers(n int) int {
 	workers := runtime.NumCPU()
-	if workers > len(idx)/512 {
-		workers = len(idx) / 512
+	if workers > n/parallelGrain {
+		workers = n / parallelGrain
 	}
-	if workers < 2 {
-		return bnl(p, r, idx)
-	}
+	return workers
+}
+
+// partitionMaxima is the shared partition/merge framework behind every
+// parallel variant: split the candidate set into `workers` contiguous
+// partitions, compute each partition's maxima concurrently with `local`,
+// then reduce the concatenated local maxima with `merge`. Correctness rests
+// on the divide & conquer identity
+//
+//	max(P over A ∪ B) = max(P over max(P, A) ∪ max(P, B)),
+//
+// which holds for every strict partial order: a tuple dominated within its
+// partition is dominated globally, and the merge removes cross-partition
+// domination. local and merge must be pure functions of their index slice
+// (they run concurrently on disjoint slices).
+func partitionMaxima(idx []int, workers int, local, merge func([]int) []int) []int {
 	chunk := (len(idx) + workers - 1) / workers
 	locals := make([][]int, workers)
 	var wg sync.WaitGroup
@@ -39,7 +52,7 @@ func bnlParallel(p pref.Preference, r *relation.Relation, idx []int) []int {
 		wg.Add(1)
 		go func(w int, part []int) {
 			defer wg.Done()
-			locals[w] = bnl(p, r, part)
+			locals[w] = local(part)
 		}(w, idx[lo:hi])
 	}
 	wg.Wait()
@@ -47,7 +60,58 @@ func bnlParallel(p pref.Preference, r *relation.Relation, idx []int) []int {
 	for _, l := range locals {
 		merged = append(merged, l...)
 	}
-	out := bnl(p, r, merged)
+	out := merge(merged)
 	sort.Ints(out)
 	return out
+}
+
+// bnlParallel evaluates the BMO query with partitioned block-nested-loops
+// using the default worker count; exact for every strict partial order.
+func bnlParallel(p pref.Preference, r *relation.Relation, idx []int) []int {
+	return bnlParallelWorkers(p, r, idx, defaultWorkers(len(idx)))
+}
+
+// bnlParallelWorkers is bnlParallel with an explicit worker count (tests
+// and the planner inject it). Fewer than two workers runs sequentially.
+func bnlParallelWorkers(p pref.Preference, r *relation.Relation, idx []int, workers int) []int {
+	if workers < 2 {
+		return bnl(p, r, idx)
+	}
+	eval := func(part []int) []int { return bnl(p, r, part) }
+	return partitionMaxima(idx, workers, eval, eval)
+}
+
+// sfsParallel evaluates with partitioned sort-filter-skyline: each worker
+// sorts and filters its partition, and the merged local maxima take one
+// more SFS pass. Falls back to sequential below two workers; sfs itself
+// falls back to BNL when no compatible key exists, so the partition/merge
+// identity still applies.
+func sfsParallel(p pref.Preference, r *relation.Relation, idx []int) []int {
+	return sfsParallelWorkers(p, r, idx, defaultWorkers(len(idx)))
+}
+
+// sfsParallelWorkers is sfsParallel with an explicit worker count.
+func sfsParallelWorkers(p pref.Preference, r *relation.Relation, idx []int, workers int) []int {
+	if workers < 2 {
+		return sfs(p, r, idx)
+	}
+	eval := func(part []int) []int { return sfs(p, r, part) }
+	return partitionMaxima(idx, workers, eval, eval)
+}
+
+// dncParallel evaluates with partitioned divide & conquer: each worker runs
+// [KLP75] on its partition, and the merged local maxima take one more D&C
+// pass. dnc falls back to BNL for non-chain-product preferences, keeping
+// the partition/merge identity intact.
+func dncParallel(p pref.Preference, r *relation.Relation, idx []int) []int {
+	return dncParallelWorkers(p, r, idx, defaultWorkers(len(idx)))
+}
+
+// dncParallelWorkers is dncParallel with an explicit worker count.
+func dncParallelWorkers(p pref.Preference, r *relation.Relation, idx []int, workers int) []int {
+	if workers < 2 {
+		return dnc(p, r, idx)
+	}
+	eval := func(part []int) []int { return dnc(p, r, part) }
+	return partitionMaxima(idx, workers, eval, eval)
 }

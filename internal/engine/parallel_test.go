@@ -61,3 +61,96 @@ func TestParallelBNLInGrouping(t *testing.T) {
 		t.Errorf("grouping with parallel BNL diverged: %d vs %d", a.Len(), b.Len())
 	}
 }
+
+// --- partition/merge edge cases (the framework behind every parallel variant) ---
+
+func TestParallelWorkersEmptyIndexSet(t *testing.T) {
+	rel := relation.New("R", relation.MustSchema(relation.Column{Name: "A1", Type: relation.Int}))
+	rel.MustInsert(relation.Row{int64(1)})
+	p := pref.LOWEST("A1")
+	for _, workers := range []int{2, 3, 8} {
+		if got := bnlParallelWorkers(p, rel, nil, workers); len(got) != 0 {
+			t.Errorf("workers=%d: empty candidate set must stay empty, got %v", workers, got)
+		}
+	}
+}
+
+func TestParallelWorkersBelowGrainStaySequential(t *testing.T) {
+	// Fewer than parallelGrain candidates: defaultWorkers yields < 2 and the
+	// parallel entry points must produce the sequential result.
+	rng := rand.New(rand.NewSource(21))
+	rel := randomRelation(rng, parallelGrain-1, 4)
+	p := pref.Pareto(pref.LOWEST("A1"), pref.HIGHEST("A2"))
+	if defaultWorkers(rel.Len()) >= 2 {
+		t.Fatalf("defaultWorkers(%d) = %d", rel.Len(), defaultWorkers(rel.Len()))
+	}
+	want := BMOIndices(p, rel, BNL)
+	for alg, got := range map[string][]int{
+		"parallel-bnl": bnlParallel(p, rel, allIndices(rel.Len())),
+		"parallel-sfs": sfsParallel(p, rel, allIndices(rel.Len())),
+		"parallel-dnc": dncParallel(p, rel, allIndices(rel.Len())),
+	} {
+		if !sameIndices(got, want) {
+			t.Errorf("%s below grain diverged", alg)
+		}
+	}
+}
+
+func TestParallelWorkersIndivisiblePartitioning(t *testing.T) {
+	// Index counts that do not divide by the worker count: ragged last
+	// partitions, including workers > len(idx) (empty trailing partitions).
+	rng := rand.New(rand.NewSource(22))
+	p := pref.Pareto(pref.LOWEST("A1"), pref.LOWEST("A2"))
+	for _, n := range []int{7, 530, 1023, 1025} {
+		rel := randomRelation(rng, n, 6)
+		want := bnl(p, rel, allIndices(n))
+		for _, workers := range []int{2, 3, 5, 7, 16, n + 3} {
+			if got := bnlParallelWorkers(p, rel, allIndices(n), workers); !sameIndices(got, want) {
+				t.Errorf("n=%d workers=%d: partition/merge diverged (%d vs %d rows)", n, workers, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestParallelVariantsRandomizedAgreement runs all three partitioned
+// variants against sequential BNL on random terms with forced worker
+// counts; run under -race it also exercises the merge path for data races.
+func TestParallelVariantsRandomizedAgreement(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rel := randomRelation(rng, 400+rng.Intn(800), 2+rng.Intn(8))
+		p := randomTerm(rng, 8)
+		workers := 2 + rng.Intn(7)
+		idx := allIndices(rel.Len())
+		want := bnl(p, rel, idx)
+		for name, got := range map[string][]int{
+			"bnl": bnlParallelWorkers(p, rel, idx, workers),
+			"sfs": sfsParallelWorkers(p, rel, idx, workers),
+			"dnc": dncParallelWorkers(p, rel, idx, workers),
+		} {
+			if !sameIndices(got, want) {
+				t.Logf("seed %d: parallel %s ×%d diverged on %s: %d vs %d rows", seed, name, workers, p, len(got), len(want))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupByDispatchesParallelVariants(t *testing.T) {
+	// Explicitly requested parallel algorithms must reach the per-group
+	// dispatch (a fall-through to BNL would still agree on results, so
+	// agreement plus the Auto path is checked per variant).
+	rng := rand.New(rand.NewSource(33))
+	rel := randomRelation(rng, 1200, 3)
+	p := pref.Pareto(pref.LOWEST("A1"), pref.HIGHEST("A2"))
+	want := GroupBy(p, []string{"A1"}, rel, BNL)
+	for _, alg := range []Algorithm{ParallelSFS, ParallelDNC, ParallelBNL, Auto} {
+		if got := GroupBy(p, []string{"A1"}, rel, alg); got.Len() != want.Len() {
+			t.Errorf("%s grouping diverged: %d vs %d rows", alg, got.Len(), want.Len())
+		}
+	}
+}

@@ -1,0 +1,416 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+
+	"repro/internal/pref"
+	"repro/internal/relation"
+)
+
+// Shape classifies the structure of a preference term for planning: the
+// physical algorithms that apply depend on it, not on the input data.
+type Shape int
+
+// Preference shapes, from most to least exploitable.
+const (
+	// ShapeChainProduct is a Pareto accumulation of LOWEST/HIGHEST chains
+	// on distinct attributes (the SKYLINE OF fragment): coordinate-wise
+	// dominance holds and [KLP75] divide & conquer applies.
+	ShapeChainProduct Shape = iota
+	// ShapeKeyed has a sort key compatible with P (Scorer leaves under
+	// Pareto/prioritized accumulation): SFS applies.
+	ShapeKeyed
+	// ShapeGeneral is an arbitrary strict partial order: only window-based
+	// algorithms (BNL and its partitioned variant) apply.
+	ShapeGeneral
+)
+
+// String renders the shape name.
+func (s Shape) String() string {
+	switch s {
+	case ShapeChainProduct:
+		return "chain-product"
+	case ShapeKeyed:
+		return "keyed"
+	case ShapeGeneral:
+		return "general"
+	}
+	return fmt.Sprintf("Shape(%d)", int(s))
+}
+
+// shapeOf classifies a preference term.
+func shapeOf(p pref.Preference) Shape {
+	if _, ok := chainDims(p); ok {
+		return ShapeChainProduct
+	}
+	if _, ok := sfsKey(p); ok {
+		return ShapeKeyed
+	}
+	return ShapeGeneral
+}
+
+// Env configures planning. The zero value means "this machine, sampled
+// statistics": NumCPU defaults to runtime.NumCPU(), statistics are computed
+// from the relation with SampleLimit (default 2048) sampled rows.
+type Env struct {
+	// NumCPU caps the worker count of parallel plans. 0 means the actual
+	// CPU count; tests inject larger values to exercise parallel plans on
+	// small machines.
+	NumCPU int
+	// Stats overrides statistics collection (e.g. precomputed or synthetic
+	// stats). Nil computes them from the relation on demand.
+	Stats *relation.Stats
+	// SampleLimit bounds the rows sampled for distinct/correlation
+	// statistics when Stats is nil. 0 means 2048.
+	SampleLimit int
+}
+
+func (e Env) numCPU() int {
+	if e.NumCPU > 0 {
+		return e.NumCPU
+	}
+	return runtime.NumCPU()
+}
+
+func (e Env) sampleLimit() int {
+	if e.SampleLimit > 0 {
+		return e.SampleLimit
+	}
+	return 2048
+}
+
+// Candidate is one (algorithm, workers) pair the planner costed. Cost is in
+// abstract comparison units; only relative magnitudes matter.
+type Candidate struct {
+	Algorithm Algorithm
+	Workers   int
+	Cost      float64
+	// Applicable is false when the algorithm cannot run this shape and was
+	// listed for explanation only.
+	Applicable bool
+	Note       string
+}
+
+// Plan is an explainable physical evaluation plan for one BMO query: the
+// chosen algorithm with its degree of parallelism, the statistics and cost
+// estimates that led to the choice, and the rejected candidates. Explain()
+// renders the whole decision; Indices()/Run() execute it.
+type Plan struct {
+	Algorithm  Algorithm
+	Workers    int // ≥ 2 only for parallel algorithms
+	Shape      Shape
+	Input      int // candidate-set cardinality the plan was costed for
+	EstResult  int // estimated BMO result size
+	Candidates []Candidate
+	Reasons    []string
+	Stats      *relation.Stats // nil when planning skipped stats (small inputs)
+
+	p pref.Preference
+	r *relation.Relation
+}
+
+// PlanFor plans σ[P](R) for this machine.
+func PlanFor(p pref.Preference, r *relation.Relation) *Plan {
+	return PlanWith(p, r, Env{})
+}
+
+// PlanWith plans σ[P](R) under an explicit environment.
+func PlanWith(p pref.Preference, r *relation.Relation, env Env) *Plan {
+	pl := planCore(p, r, r.Len(), env)
+	pl.p, pl.r = p, r
+	return pl
+}
+
+// Indices executes the plan and returns the qualifying row indices.
+func (pl *Plan) Indices() []int {
+	return execute(pl.Algorithm, pl.Workers, pl.p, pl.r, allIndices(pl.r.Len()))
+}
+
+// Run executes the plan and returns the qualifying rows as a new relation
+// preserving R's row order.
+func (pl *Plan) Run() *relation.Relation { return pl.r.Pick(pl.Indices()) }
+
+// Explain renders the plan decision for debugging, tests and the EXPLAIN
+// front-ends.
+func (pl *Plan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: n=%d shape=%s est.result≈%d → %s", pl.Input, pl.Shape, pl.EstResult, pl.Algorithm)
+	if pl.Workers >= 2 {
+		fmt.Fprintf(&b, " (%d workers)", pl.Workers)
+	}
+	b.WriteByte('\n')
+	if pl.Stats != nil {
+		fmt.Fprintf(&b, "stats: %s\n", pl.Stats)
+	}
+	if len(pl.Candidates) > 0 {
+		b.WriteString("candidates:\n")
+		for _, c := range pl.Candidates {
+			name := c.Algorithm.String()
+			if c.Workers >= 2 {
+				name = fmt.Sprintf("%s×%d", name, c.Workers)
+			}
+			mark := " "
+			if c.Algorithm == pl.Algorithm && c.Workers == pl.Workers {
+				mark = "*"
+			}
+			fmt.Fprintf(&b, "  %s %-16s cost≈%.3g", mark, name, c.Cost)
+			if !c.Applicable {
+				b.WriteString(" (not applicable)")
+			}
+			if c.Note != "" {
+				fmt.Fprintf(&b, " — %s", c.Note)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for _, r := range pl.Reasons {
+		fmt.Fprintf(&b, "because: %s\n", r)
+	}
+	return b.String()
+}
+
+// smallInput is the cardinality below which plan choice is immaterial
+// (every algorithm finishes in microseconds): the planner skips statistics
+// and uses the shape heuristic alone, which also keeps per-group planning
+// in groupby queries cheap.
+const smallInput = 256
+
+// planCore plans evaluation of p over n candidate rows of r. It is the
+// single decision point behind Auto, PlanFor and the EXPLAIN front-ends.
+func planCore(p pref.Preference, r *relation.Relation, n int, env Env) *Plan {
+	shape := shapeOf(p)
+	pl := &Plan{Shape: shape, Input: n, Workers: 1}
+	if n < smallInput {
+		switch shape {
+		case ShapeChainProduct, ShapeKeyed:
+			pl.Algorithm = SFS
+		default:
+			pl.Algorithm = BNL
+		}
+		pl.EstResult = estimateResult(p, n, nil)
+		pl.Reasons = append(pl.Reasons,
+			fmt.Sprintf("input below %d rows: cost differences are noise, shape heuristic picks %s", smallInput, pl.Algorithm))
+		return pl
+	}
+
+	stats := env.Stats
+	if stats == nil && r != nil {
+		stats = relation.AnalyzeSample(r, env.sampleLimit())
+	}
+	pl.Stats = stats
+	s := estimateResult(p, n, stats)
+	pl.EstResult = s
+
+	cpus := env.numCPU()
+	workers := cpus
+	if workers > n/parallelGrain {
+		workers = n / parallelGrain
+	}
+
+	fs := float64(s)
+	fn := float64(n)
+	dims, _ := chainDims(p)
+	d := len(dims)
+
+	seqCost := func(alg Algorithm, n float64) (float64, bool, string) {
+		switch alg {
+		case Naive:
+			return n * n, true, "exhaustive pairwise"
+		case BNL:
+			return n * fs / 2, true, "window scan ∝ result size"
+		case SFS:
+			if shape == ShapeGeneral {
+				return 0, false, "no compatible sort key"
+			}
+			sortCost := n * math.Log2(math.Max(n, 2))
+			note := "presort + filter pass"
+			if presortedFor(p, stats) {
+				sortCost = n
+				note = "input already sorted by the key: presort degenerates to a verify pass"
+			}
+			return sortCost + n*fs/4, true, note
+		case DNC:
+			if shape != ShapeChainProduct {
+				return 0, false, "not a chain product"
+			}
+			return n * math.Log2(math.Max(n, 2)) * math.Max(1, float64(d-2)), true, "[KLP75] divide & conquer"
+		}
+		return 0, false, ""
+	}
+
+	var cands []Candidate
+	addSeq := func(alg Algorithm) {
+		c, ok, note := seqCost(alg, fn)
+		cands = append(cands, Candidate{Algorithm: alg, Workers: 1, Cost: c, Applicable: ok, Note: note})
+	}
+	addPar := func(par, seq Algorithm) {
+		if workers < 2 {
+			return
+		}
+		local, ok, _ := seqCost(seq, fn/float64(workers))
+		if !ok {
+			return
+		}
+		merge, _, _ := seqCost(seq, float64(workers)*fs)
+		cost := local + merge + 1500*float64(workers)
+		cands = append(cands, Candidate{
+			Algorithm: par, Workers: workers, Cost: cost, Applicable: true,
+			Note: fmt.Sprintf("%d partitions of ≈%d rows, merge over ≈%d local maxima", workers, n/workers, workers*s),
+		})
+	}
+	addSeq(Naive)
+	addSeq(BNL)
+	addSeq(SFS)
+	addSeq(DNC)
+	addPar(ParallelBNL, BNL)
+	addPar(ParallelSFS, SFS)
+	addPar(ParallelDNC, DNC)
+	pl.Candidates = cands
+
+	best := -1
+	for i, c := range cands {
+		if c.Algorithm == Naive || !c.Applicable {
+			continue
+		}
+		if best < 0 || c.Cost < cands[best].Cost {
+			best = i
+		}
+	}
+	pl.Algorithm = cands[best].Algorithm
+	pl.Workers = cands[best].Workers
+
+	pl.Reasons = append(pl.Reasons, fmt.Sprintf("shape %s over %d attrs, estimated result ≈ %d of %d rows", shape, len(p.Attrs()), s, n))
+	if stats != nil && stats.HasCorr {
+		switch {
+		case stats.Corr < -0.1:
+			pl.Reasons = append(pl.Reasons, fmt.Sprintf("anti-correlated input (corr=%+.2f) inflates the result estimate", stats.Corr))
+		case stats.Corr > 0.1:
+			pl.Reasons = append(pl.Reasons, fmt.Sprintf("correlated input (corr=%+.2f) shrinks the result estimate", stats.Corr))
+		}
+	}
+	if pl.Workers >= 2 {
+		pl.Reasons = append(pl.Reasons, fmt.Sprintf("%d CPUs available and %d candidates/worker ≥ grain %d", cpus, n/pl.Workers, parallelGrain))
+	} else if cpus >= 2 {
+		pl.Reasons = append(pl.Reasons, fmt.Sprintf("input too small to amortize parallelism at grain %d", parallelGrain))
+	}
+	return pl
+}
+
+// presortedFor reports whether the relation is already physically ordered
+// by a single-attribute sort key compatible with p, making SFS's presort a
+// linear verify pass.
+func presortedFor(p pref.Preference, stats *relation.Stats) bool {
+	if stats == nil {
+		return false
+	}
+	switch q := p.(type) {
+	case *pref.Lowest:
+		// SFS visits best-first: lowest values first, i.e. ascending order.
+		if c, ok := stats.Col(q.Attr()); ok {
+			return c.SortedAsc
+		}
+	case *pref.Highest:
+		if c, ok := stats.Col(q.Attr()); ok {
+			return c.SortedDesc
+		}
+	}
+	return false
+}
+
+// estimateResult estimates the BMO result cardinality. For d effective
+// dimensions over n rows of independent data the classic estimate is
+// (ln n)^(d-1)/(d-1)! [Buchta 1989]; measured correlation scales it —
+// anti-correlated data inflates skylines, correlated data deflates them.
+func estimateResult(p pref.Preference, n int, stats *relation.Stats) int {
+	if n <= 1 {
+		return n
+	}
+	d := len(p.Attrs())
+	if dims, ok := chainDims(p); ok {
+		// Constant columns contribute no trade-off; only the effective
+		// (varying) dimensions shape the skyline.
+		var effective []string
+		for _, dim := range dims {
+			attr := dim.Attrs()[0]
+			if stats != nil {
+				if c, ok := stats.Col(attr); ok && c.Distinct <= 1 {
+					continue
+				}
+			}
+			effective = append(effective, attr)
+		}
+		if len(effective) == 0 {
+			// Every dimension constant: all tuples mutually indifferent,
+			// everything is maximal.
+			return n
+		}
+		if len(effective) == 1 {
+			// A single chain: one maximal value, duplicates of it survive.
+			if stats != nil {
+				if c, ok := stats.Col(effective[0]); ok && c.Distinct > 0 {
+					return clampInt(n/c.Distinct, 1, n)
+				}
+			}
+			return 1
+		}
+		d = len(effective)
+	}
+	if d <= 1 {
+		// Non-chain single-attribute preference: assume one maximal class.
+		if stats != nil && d == 1 {
+			if c, ok := stats.Col(p.Attrs()[0]); ok && c.Distinct > 0 {
+				return clampInt(n/c.Distinct, 1, n)
+			}
+		}
+		return 1
+	}
+	logn := math.Log(float64(n))
+	est := 1.0
+	for k := 1; k < d; k++ {
+		est *= logn / float64(k)
+	}
+	if stats != nil && stats.HasCorr {
+		// exp(-2.5·corr·(d-1)): corr −0.5 on 3 dims ⇒ ×12, corr +0.8 on 2
+		// dims ⇒ ×0.14. Crude, but it moves the estimate in the direction
+		// and magnitude the [BKS01] measurements show.
+		est *= math.Exp(-2.5 * stats.Corr * float64(d-1))
+	}
+	return clampInt(int(est), 1, n)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// execute dispatches one (algorithm, workers) choice over a candidate set.
+func execute(alg Algorithm, workers int, p pref.Preference, r *relation.Relation, idx []int) []int {
+	switch alg {
+	case Naive:
+		return naive(p, r, idx)
+	case BNL:
+		return bnl(p, r, idx)
+	case SFS:
+		return sfs(p, r, idx)
+	case DNC:
+		return dnc(p, r, idx)
+	case Decomposition:
+		return decomposed(p, r, idx)
+	case ParallelBNL:
+		return bnlParallelWorkers(p, r, idx, workers)
+	case ParallelSFS:
+		return sfsParallelWorkers(p, r, idx, workers)
+	case ParallelDNC:
+		return dncParallelWorkers(p, r, idx, workers)
+	}
+	pl := planCore(p, r, len(idx), Env{})
+	return execute(pl.Algorithm, pl.Workers, p, r, idx)
+}

@@ -1,0 +1,243 @@
+package engine
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/pref"
+	"repro/internal/relation"
+)
+
+// antiCorrelated builds an n-row relation whose two float columns trade off
+// against each other, the workload that inflates BMO results.
+func antiCorrelated(rng *rand.Rand, n int) *relation.Relation {
+	r := relation.New("R", relation.MustSchema(
+		relation.Column{Name: "d1", Type: relation.Float},
+		relation.Column{Name: "d2", Type: relation.Float},
+	))
+	for i := 0; i < n; i++ {
+		v := rng.Float64()
+		r.MustInsert(relation.Row{v + 0.1*rng.Float64(), 1 - v + 0.1*rng.Float64()})
+	}
+	return r
+}
+
+func TestPlannerSelectsParallelForLargeChainProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rel := antiCorrelated(rng, 20000)
+	p := pref.Pareto(pref.LOWEST("d1"), pref.LOWEST("d2"))
+	pl := PlanWith(p, rel, Env{NumCPU: 8})
+	if pl.Shape != ShapeChainProduct {
+		t.Fatalf("shape = %s", pl.Shape)
+	}
+	switch pl.Algorithm {
+	case ParallelBNL, ParallelSFS, ParallelDNC:
+	default:
+		t.Fatalf("large chain-product workload must plan parallel, got %s\n%s", pl.Algorithm, pl.Explain())
+	}
+	if pl.Workers < 2 {
+		t.Errorf("parallel plan with %d workers", pl.Workers)
+	}
+	// The plan must execute to the exact BMO set.
+	if !sameIndices(pl.Indices(), BMOIndices(p, rel, BNL)) {
+		t.Error("plan execution diverged from sequential BNL")
+	}
+}
+
+func TestPlannerSequentialOnOneCPU(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rel := antiCorrelated(rng, 5000)
+	p := pref.Pareto(pref.LOWEST("d1"), pref.LOWEST("d2"))
+	pl := PlanWith(p, rel, Env{NumCPU: 1})
+	switch pl.Algorithm {
+	case ParallelBNL, ParallelSFS, ParallelDNC:
+		t.Fatalf("single CPU must not plan parallel, got %s", pl.Algorithm)
+	}
+	if pl.Workers != 1 {
+		t.Errorf("workers = %d", pl.Workers)
+	}
+}
+
+func TestPlannerSmallInputUsesShapeHeuristic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rel := antiCorrelated(rng, 50)
+	keyed := pref.Pareto(pref.LOWEST("d1"), pref.LOWEST("d2"))
+	if pl := PlanWith(keyed, rel, Env{NumCPU: 64}); pl.Algorithm != SFS {
+		t.Errorf("small keyed input plans %s, want sfs", pl.Algorithm)
+	}
+	general := pref.POS("d1", 0.5)
+	if pl := PlanWith(general, rel, Env{NumCPU: 64}); pl.Algorithm != BNL {
+		t.Errorf("small general input plans %s, want bnl", pl.Algorithm)
+	}
+}
+
+func TestPlannerGeneralShapeNeverPlansKeyedAlgorithms(t *testing.T) {
+	rel := relation.New("R", relation.MustSchema(relation.Column{Name: "c", Type: relation.String}))
+	for i := 0; i < 2000; i++ {
+		rel.MustInsert(relation.Row{[]string{"red", "blue", "green"}[i%3]})
+	}
+	p := pref.POS("c", "red")
+	pl := PlanWith(p, rel, Env{NumCPU: 8})
+	if pl.Shape != ShapeGeneral {
+		t.Fatalf("shape = %s", pl.Shape)
+	}
+	switch pl.Algorithm {
+	case SFS, DNC, ParallelSFS, ParallelDNC:
+		t.Fatalf("general shape planned %s", pl.Algorithm)
+	}
+	if !sameIndices(pl.Indices(), BMOIndices(p, rel, Naive)) {
+		t.Error("plan execution diverged from naive")
+	}
+}
+
+func TestPlannerCorrelationMovesEstimate(t *testing.T) {
+	// Same cardinality and shape; anti-correlated data must estimate a
+	// larger result than correlated data.
+	n := 4000
+	anti := antiCorrelated(rand.New(rand.NewSource(4)), n)
+	corr := relation.New("C", relation.MustSchema(
+		relation.Column{Name: "d1", Type: relation.Float},
+		relation.Column{Name: "d2", Type: relation.Float},
+	))
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < n; i++ {
+		v := rng.Float64()
+		corr.MustInsert(relation.Row{v + 0.05*rng.Float64(), v + 0.05*rng.Float64()})
+	}
+	p := pref.Pareto(pref.LOWEST("d1"), pref.LOWEST("d2"))
+	ea := PlanWith(p, anti, Env{NumCPU: 1}).EstResult
+	ec := PlanWith(p, corr, Env{NumCPU: 1}).EstResult
+	if ea <= ec {
+		t.Errorf("anti-correlated estimate %d must exceed correlated %d", ea, ec)
+	}
+}
+
+func TestPlanExplainRendersDecision(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	rel := antiCorrelated(rng, 3000)
+	p := pref.Pareto(pref.LOWEST("d1"), pref.LOWEST("d2"))
+	text := PlanWith(p, rel, Env{NumCPU: 4}).Explain()
+	for _, want := range []string{"plan:", "shape=chain-product", "candidates:", "because:", "stats:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Explain missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestPlannerSyntheticStatsOverride(t *testing.T) {
+	// Injected stats must drive the decision without touching the relation.
+	rng := rand.New(rand.NewSource(7))
+	rel := antiCorrelated(rng, 2000)
+	p := pref.Pareto(pref.LOWEST("d1"), pref.LOWEST("d2"))
+	stats := relation.Analyze(rel)
+	pl := PlanWith(p, rel, Env{NumCPU: 2, Stats: stats})
+	if pl.Stats != stats {
+		t.Error("planner must use the injected stats")
+	}
+}
+
+func TestResolveAutoCompat(t *testing.T) {
+	chain := pref.Pareto(pref.LOWEST("a"), pref.LOWEST("b"))
+	if alg := ResolveAuto(chain, 10); alg != SFS {
+		t.Errorf("small chain product resolves %s, want sfs", alg)
+	}
+	if alg := ResolveAuto(pref.POS("a", int64(1)), 10); alg != BNL {
+		t.Errorf("small general resolves %s, want bnl", alg)
+	}
+	// Large inputs go through the cost model; the winner must at least be
+	// applicable to the shape.
+	switch alg := ResolveAuto(chain, 100000); alg {
+	case Naive, Decomposition:
+		t.Errorf("cost model picked %s", alg)
+	}
+}
+
+// TestAutoAndParallelVariantsAgree extends the pairwise-agreement guarantee
+// to every new algorithm and the planner's own dispatch.
+func TestAutoAndParallelVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 8; trial++ {
+		rel := randomRelation(rng, 500+rng.Intn(800), 2+rng.Intn(6))
+		p := randomTerm(rng, 6)
+		want := BMOIndices(p, rel, BNL)
+		for _, alg := range []Algorithm{Auto, ParallelBNL, ParallelSFS, ParallelDNC} {
+			if got := BMOIndices(p, rel, alg); !sameIndices(got, want) {
+				t.Fatalf("trial %d: %s disagrees on %s: %d vs %d rows", trial, alg, p, len(got), len(want))
+			}
+		}
+		for _, cpus := range []int{2, 3, 8} {
+			pl := PlanWith(p, rel, Env{NumCPU: cpus})
+			if got := pl.Indices(); !sameIndices(got, want) {
+				t.Fatalf("trial %d: plan %s×%d disagrees on %s", trial, pl.Algorithm, pl.Workers, p)
+			}
+		}
+	}
+}
+
+func TestShapeAndAlgorithmStrings(t *testing.T) {
+	for s, want := range map[Shape]string{
+		ShapeChainProduct: "chain-product", ShapeKeyed: "keyed", ShapeGeneral: "general",
+	} {
+		if s.String() != want {
+			t.Errorf("%d renders %q", s, s.String())
+		}
+	}
+	if Shape(9).String() == "" {
+		t.Error("unknown shape must render")
+	}
+	for alg, want := range map[Algorithm]string{
+		ParallelBNL: "parallel-bnl", ParallelSFS: "parallel-sfs", ParallelDNC: "parallel-dnc",
+	} {
+		if alg.String() != want {
+			t.Errorf("%d renders %q", alg, alg.String())
+		}
+	}
+}
+
+func TestPresortedInputDiscountsSFSSort(t *testing.T) {
+	// A relation already ascending in the preferred attribute: the planner
+	// must notice and mention the discount in the SFS candidate note.
+	rel := relation.New("R", relation.MustSchema(relation.Column{Name: "v", Type: relation.Float}))
+	for i := 0; i < 2000; i++ {
+		rel.MustInsert(relation.Row{float64(i)})
+	}
+	pl := PlanWith(pref.LOWEST("v"), rel, Env{NumCPU: 1})
+	var note string
+	for _, c := range pl.Candidates {
+		if c.Algorithm == SFS {
+			note = c.Note
+		}
+	}
+	if !strings.Contains(note, "already sorted") {
+		t.Errorf("SFS candidate note %q must mention the presort discount\n%s", note, pl.Explain())
+	}
+}
+
+func TestEstimateIgnoresConstantChainDims(t *testing.T) {
+	// One constant dimension and one varying dimension: the estimate must
+	// come from the varying one (≈1 distinct-heavy chain), not blow up to n.
+	rel := relation.New("R", relation.MustSchema(
+		relation.Column{Name: "a", Type: relation.Float},
+		relation.Column{Name: "b", Type: relation.Float},
+	))
+	for i := 0; i < 1000; i++ {
+		rel.MustInsert(relation.Row{1.0, float64(i)})
+	}
+	p := pref.Pareto(pref.LOWEST("a"), pref.LOWEST("b"))
+	pl := PlanWith(p, rel, Env{NumCPU: 1})
+	if pl.EstResult > 10 {
+		t.Errorf("constant dim must not inflate estimate: est=%d", pl.EstResult)
+	}
+	// All dimensions constant: every tuple is maximal.
+	allConst := relation.New("C", relation.MustSchema(
+		relation.Column{Name: "a", Type: relation.Float},
+		relation.Column{Name: "b", Type: relation.Float},
+	))
+	for i := 0; i < 500; i++ {
+		allConst.MustInsert(relation.Row{1.0, 2.0})
+	}
+	if pl := PlanWith(p, allConst, Env{NumCPU: 1}); pl.EstResult != 500 {
+		t.Errorf("all-constant dims: est=%d, want 500", pl.EstResult)
+	}
+}

@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/pref"
+	"repro/internal/relation"
+)
+
+// Stream is a progressive BMO evaluator in the spirit of [TEO01]: Next()
+// yields row positions as soon as they are *confirmed* maxima, so a caller
+// can serve first results before the full candidate set has been examined.
+//
+// When P has a compatible sort key (SFS-keyed shapes, which include every
+// chain product), candidates are visited in descending key order; a visited
+// candidate can never be dominated by an unvisited one, so each candidate
+// that survives the filter against the already-confirmed set is final the
+// moment it is seen. Without a key the stream degrades gracefully: the
+// first Next() computes the full result with BNL and replays it (Consumed
+// then equals the input size — Progressive() reports which mode is active).
+type Stream struct {
+	p       pref.Preference
+	tuples  []pref.Tuple
+	order   []int // visit order (positions into tuples)
+	pos     int
+	confirm []int // confirmed maxima, for domination filtering
+
+	progressive bool
+	started     bool
+	buffered    []int // fallback mode: precomputed result
+	consumed    int
+}
+
+// EvalStream starts progressive evaluation of σ[P](R); emitted values are
+// row indices in R.
+func EvalStream(p pref.Preference, r *relation.Relation) *Stream {
+	return EvalStreamTuples(p, r.Tuples())
+}
+
+// EvalStreamTuples starts progressive evaluation over a plain tuple slice
+// (e.g. the node sets of Preference XPath); emitted values are positions in
+// the slice.
+func EvalStreamTuples(p pref.Preference, tuples []pref.Tuple) *Stream {
+	s := &Stream{p: p, tuples: tuples}
+	keyFn, keyed := sfsKey(p)
+	if !keyed {
+		return s
+	}
+	s.progressive = true
+	keys := make([][]float64, len(tuples))
+	s.order = make([]int, len(tuples))
+	for i, t := range tuples {
+		keys[i] = keyFn(t)
+		s.order[i] = i
+	}
+	sort.SliceStable(s.order, func(a, b int) bool {
+		ka, kb := keys[s.order[a]], keys[s.order[b]]
+		for i := range ka {
+			if ka[i] != kb[i] {
+				return ka[i] > kb[i] // best first
+			}
+		}
+		return false
+	})
+	return s
+}
+
+// Progressive reports whether the stream confirms maxima incrementally
+// (true) or had to fall back to batch evaluation (false).
+func (s *Stream) Progressive() bool { return s.progressive }
+
+// Consumed returns the number of candidates examined so far; on a
+// progressive-friendly preference the first maximum arrives with
+// Consumed() ≪ input size.
+func (s *Stream) Consumed() int { return s.consumed }
+
+// Next returns the next confirmed maximum, or ok=false when the result set
+// is exhausted.
+func (s *Stream) Next() (row int, ok bool) {
+	if !s.progressive {
+		if !s.started {
+			s.started = true
+			s.consumed = len(s.tuples)
+			s.buffered = bnlTuples(s.p, s.tuples)
+		}
+		if s.pos >= len(s.buffered) {
+			return 0, false
+		}
+		row = s.buffered[s.pos]
+		s.pos++
+		return row, true
+	}
+	for s.pos < len(s.order) {
+		i := s.order[s.pos]
+		s.pos++
+		s.consumed++
+		dominated := false
+		for _, c := range s.confirm {
+			if s.p.Less(s.tuples[i], s.tuples[c]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			// Key order guarantees no unvisited candidate dominates i:
+			// x <P y implies key(x) <lex key(y), and i's key is ≥ all
+			// remaining keys. i is final.
+			s.confirm = append(s.confirm, i)
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Each drains the stream through yield; returning false stops early. It
+// returns the number of rows emitted.
+func (s *Stream) Each(yield func(row int) bool) int {
+	emitted := 0
+	for {
+		row, ok := s.Next()
+		if !ok {
+			return emitted
+		}
+		emitted++
+		if !yield(row) {
+			return emitted
+		}
+	}
+}
+
+// Collect drains the remaining stream into a slice in emission order.
+func (s *Stream) Collect() []int {
+	var out []int
+	s.Each(func(row int) bool { out = append(out, row); return true })
+	return out
+}
+
+// bnlTuples is block-nested-loops over a plain tuple slice, the batch
+// fallback of the stream (same window invariant as bnl).
+func bnlTuples(p pref.Preference, tuples []pref.Tuple) []int {
+	window := make([]int, 0, 16)
+	for i := range tuples {
+		dominated := false
+		keep := window[:0]
+		for _, w := range window {
+			if p.Less(tuples[i], tuples[w]) {
+				dominated = true
+				break
+			}
+			if !p.Less(tuples[w], tuples[i]) {
+				keep = append(keep, w)
+			}
+		}
+		if dominated {
+			continue
+		}
+		window = append(keep, i)
+	}
+	sort.Ints(window)
+	return window
+}

@@ -42,8 +42,10 @@ func Explain(q *Query, cat Catalog, opts Options) (string, error) {
 		simplified := algebra.Simplify(p)
 		alg := opts.Algorithm
 		resolved := alg
+		var plan *engine.Plan
 		if alg == engine.Auto {
-			resolved = engine.ResolveAuto(simplified, n)
+			plan = engine.PlanWith(simplified, rel, engine.Env{})
+			resolved = plan.Algorithm
 		}
 		if _, isScorer := p.(pref.Scorer); isScorer && q.Top > 0 {
 			emit("ranked query model (k-best): TOP %d by combined score of %s", q.Top, p)
@@ -58,6 +60,12 @@ func Explain(q *Query, cat Catalog, opts Options) (string, error) {
 		}
 		if simplified.String() != p.String() {
 			fmt.Fprintf(&b, "    (simplified from %s by the preference algebra)\n", p)
+		}
+		if plan != nil {
+			// The cost-based decision, indented under the BMO step.
+			for _, line := range strings.Split(strings.TrimRight(plan.Explain(), "\n"), "\n") {
+				fmt.Fprintf(&b, "      %s\n", line)
+			}
 		}
 	}
 	for _, c := range q.Cascades {
@@ -81,10 +89,20 @@ func Explain(q *Query, cat Catalog, opts Options) (string, error) {
 			return "", err
 		}
 		resolved := opts.Algorithm
+		var plan *engine.Plan
 		if resolved == engine.Auto {
-			resolved = engine.ResolveAuto(p, n)
+			// Statistics-informed only when the skyline scans the base
+			// relation directly; downstream of a PREFERRING step the input
+			// cardinality is unknown at explain time.
+			plan = engine.PlanWith(p, rel, engine.Env{})
+			resolved = plan.Algorithm
 		}
 		emit("%s ⇒ BMO σ[P], P = %s [algorithm %s]", q.Skyline, p, resolved)
+		if plan != nil && q.Preferring == nil {
+			for _, line := range strings.Split(strings.TrimRight(plan.Explain(), "\n"), "\n") {
+				fmt.Fprintf(&b, "      %s\n", line)
+			}
+		}
 	}
 	if len(q.OrderBy) > 0 {
 		parts := make([]string, len(q.OrderBy))

@@ -127,3 +127,37 @@ func TestExplainErrors(t *testing.T) {
 		t.Error("unknown column must fail")
 	}
 }
+
+func TestExplainSurfacesCostBasedPlan(t *testing.T) {
+	plan, err := ExplainQuery("SELECT * FROM car PREFERRING LOWEST(price) AND LOWEST(mileage)", testCatalog(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Auto resolution now goes through the cost-based planner, whose
+	// decision is inlined under the BMO step.
+	for _, want := range []string{"plan: n=5", "shape=chain-product", "because:"} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan detail missing %q:\n%s", want, plan)
+		}
+	}
+	// Explicit algorithms skip planning (nothing to decide).
+	plan, err = ExplainQuery("SELECT * FROM car PREFERRING LOWEST(price)", testCatalog(), Options{Algorithm: engine.BNL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "because:") {
+		t.Errorf("explicit algorithm must not emit planner output:\n%s", plan)
+	}
+}
+
+func TestExplainSkylineSurfacesPlan(t *testing.T) {
+	plan, err := ExplainQuery("SELECT * FROM car SKYLINE OF price MIN, power MAX", testCatalog(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SKYLINE OF price MIN, power MAX", "plan: n=5", "because:"} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("skyline plan detail missing %q:\n%s", want, plan)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package psql
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/pref"
+	"repro/internal/relation"
+)
+
+// RunStream parses and executes a Preference SQL statement, yielding result
+// rows as they are confirmed rather than after the full evaluation — the
+// progressive-delivery mode of the §5 evaluation layer. yield receives each
+// projected row and returns false to stop early (e.g. a web front-end that
+// fills its first page). It returns the number of rows emitted.
+//
+// Queries whose single soft clause is a PREFERRING or SKYLINE OF term
+// stream truly progressively when the preference has a compatible sort key;
+// everything else (grouping, cascades, BUT ONLY, ORDER BY, DISTINCT, the
+// ranked model) falls back to batch execution and replays the finished
+// result through yield, so callers need no special-casing.
+//
+// Ordering caveat: streamed rows arrive in confirmation order (best sort
+// key first), not relation order. With TOP k this means the streaming path
+// serves the k best-keyed members of the BMO set, while Exec — and the
+// batch fallback — truncate the BMO set in relation row order. Both are k
+// members of the same BMO result; callers that need one specific subset
+// should ORDER BY (which forces the batch path).
+func RunStream(query string, cat Catalog, opts Options, yield func(relation.Row) bool) (int, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return 0, err
+	}
+	return ExecStream(q, cat, opts, yield)
+}
+
+// ExecStream is RunStream over a parsed query.
+func ExecStream(q *Query, cat Catalog, opts Options, yield func(relation.Row) bool) (int, error) {
+	p, scanned, ok, err := streamablePlan(q, cat)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		out, err := Exec(q, cat, opts)
+		if err != nil {
+			return 0, err
+		}
+		emitted := 0
+		for i := 0; i < out.Len(); i++ {
+			emitted++
+			if !yield(out.Row(i)) {
+				break
+			}
+		}
+		return emitted, nil
+	}
+
+	project, err := rowProjector(q, scanned)
+	if err != nil {
+		return 0, err
+	}
+	st := engine.EvalStream(p, scanned)
+	emitted := 0
+	st.Each(func(row int) bool {
+		emitted++
+		if !yield(project(scanned.Row(row))) {
+			return false
+		}
+		return q.Top <= 0 || emitted < q.Top
+	})
+	return emitted, nil
+}
+
+// streamablePlan reports whether the query is a single-soft-clause BMO
+// query that can stream; if so it returns the preference and the scanned
+// (hard-filtered) input relation.
+func streamablePlan(q *Query, cat Catalog) (pref.Preference, *relation.Relation, bool, error) {
+	rel, found := cat[q.From]
+	if !found {
+		return nil, nil, false, fmt.Errorf("psql: unknown relation %q", q.From)
+	}
+	if err := checkAttrs(q, rel); err != nil {
+		return nil, nil, false, err
+	}
+	if q.ExplainPlan || q.Distinct || len(q.GroupingBy) > 0 || len(q.Cascades) > 0 ||
+		len(q.OrderBy) > 0 || q.ButOnly != nil {
+		return nil, nil, false, nil
+	}
+	var p pref.Preference
+	switch {
+	case q.Preferring != nil && q.Skyline == nil:
+		built, err := q.Preferring.Build()
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if _, scored := built.(pref.Scorer); scored && q.Top > 0 {
+			return nil, nil, false, nil // ranked query model, not BMO
+		}
+		p = built
+	case q.Skyline != nil && q.Preferring == nil:
+		built, err := q.Skyline.Preference()
+		if err != nil {
+			return nil, nil, false, err
+		}
+		p = built
+	default:
+		return nil, nil, false, nil
+	}
+	if q.Where != nil {
+		rel = rel.Select(q.Where.Eval)
+	}
+	return p, rel, true, nil
+}
+
+// rowProjector compiles the SELECT list into a per-row projection function.
+func rowProjector(q *Query, rel *relation.Relation) (func(relation.Row) relation.Row, error) {
+	if len(q.Select) == 0 {
+		return func(r relation.Row) relation.Row { return r }, nil
+	}
+	idx := make([]int, len(q.Select))
+	for k, a := range q.Select {
+		i, ok := rel.Schema().Index(a)
+		if !ok {
+			return nil, fmt.Errorf("psql: no column %q in relation %q", a, rel.Name())
+		}
+		idx[k] = i
+	}
+	return func(r relation.Row) relation.Row {
+		out := make(relation.Row, len(idx))
+		for k, i := range idx {
+			out[k] = r[i]
+		}
+		return out
+	}, nil
+}

@@ -1,6 +1,7 @@
 package pxpath
 
 import (
+	"repro/internal/engine"
 	"repro/internal/pref"
 )
 
@@ -9,8 +10,21 @@ import (
 // node set; soft selections apply the BMO query model to it, keeping only
 // the best-matching nodes (Definition 15 lifted to node sets).
 func (p *Path) Eval(root *Node) []*Node {
+	nodes, soft := p.evalPrefix(root)
+	if soft != nil {
+		nodes = bmoNodes(soft, nodes)
+	}
+	return nodes
+}
+
+// evalPrefix evaluates every step and filter except a trailing soft filter
+// on the final step, which it returns unapplied — the streaming evaluator
+// feeds that final BMO through the engine's progressive machinery instead
+// of computing it batch-wise.
+func (p *Path) evalPrefix(root *Node) ([]*Node, pref.Preference) {
+	var trailing pref.Preference
 	current := []*Node{root}
-	for _, step := range p.Steps {
+	for si, step := range p.Steps {
 		var next []*Node
 		for _, n := range current {
 			switch step.Axis {
@@ -29,7 +43,7 @@ func (p *Path) Eval(root *Node) []*Node {
 			}
 		}
 		next = dedupe(next)
-		for _, f := range step.Filters {
+		for fi, f := range step.Filters {
 			switch {
 			case f.Hard != nil:
 				var kept []*Node
@@ -40,12 +54,16 @@ func (p *Path) Eval(root *Node) []*Node {
 				}
 				next = kept
 			case f.Soft != nil:
-				next = bmoNodes(f.Soft, next)
+				if si == len(p.Steps)-1 && fi == len(step.Filters)-1 {
+					trailing = f.Soft
+				} else {
+					next = bmoNodes(f.Soft, next)
+				}
 			}
 		}
 		current = next
 	}
-	return current
+	return current, trailing
 }
 
 // Query parses and evaluates a Preference XPath expression in one call.
@@ -55,6 +73,35 @@ func Query(root *Node, path string) ([]*Node, error) {
 		return nil, err
 	}
 	return p.Eval(root), nil
+}
+
+// QueryStream parses and evaluates a Preference XPath expression, yielding
+// matching nodes as they are confirmed. Paths ending in a soft preference
+// filter stream that final BMO progressively through the engine; other
+// paths emit their (already final) node set directly. yield returns false
+// to stop early; QueryStream returns the number of nodes emitted.
+func QueryStream(root *Node, path string, yield func(*Node) bool) (int, error) {
+	p, err := ParsePath(path)
+	if err != nil {
+		return 0, err
+	}
+	nodes, soft := p.evalPrefix(root)
+	if soft == nil {
+		emitted := 0
+		for _, n := range nodes {
+			emitted++
+			if !yield(n) {
+				break
+			}
+		}
+		return emitted, nil
+	}
+	tuples := make([]pref.Tuple, len(nodes))
+	for i, n := range nodes {
+		tuples[i] = n
+	}
+	st := engine.EvalStreamTuples(soft, tuples)
+	return st.Each(func(pos int) bool { return yield(nodes[pos]) }), nil
 }
 
 // bmoNodes computes the BMO subset of a node set under the preference:

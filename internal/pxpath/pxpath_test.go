@@ -259,3 +259,57 @@ func contains(xs []string, want string) bool {
 	}
 	return false
 }
+
+func TestQueryStreamMatchesBatch(t *testing.T) {
+	root := doc(t)
+	path := `//CAR #[(@fuel_economy)highest and (@horsepower)highest]#`
+	batch, err := Query(root, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []*Node
+	n, err := QueryStream(root, path, func(n *Node) bool {
+		streamed = append(streamed, n)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(batch) || len(streamed) != len(batch) {
+		t.Fatalf("stream emitted %d nodes, batch %d", n, len(batch))
+	}
+	want := map[*Node]bool{}
+	for _, b := range batch {
+		want[b] = true
+	}
+	for _, s := range streamed {
+		if !want[s] {
+			t.Errorf("streamed node %v not in batch result", s)
+		}
+	}
+}
+
+func TestQueryStreamHardOnlyPathAndEarlyStop(t *testing.T) {
+	root := doc(t)
+	// No trailing soft filter: nodes emit directly in document order.
+	var got []string
+	n, err := QueryStream(root, `//CAR[@make = "Opel"]`, func(n *Node) bool {
+		m, _ := n.Attr("make")
+		got = append(got, m)
+		return true
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("emitted %d (%v)", n, err)
+	}
+	// Early stop after the first node.
+	n, err = QueryStream(root, "//CAR", func(*Node) bool { return false })
+	if err != nil || n != 1 {
+		t.Errorf("early stop emitted %d (%v)", n, err)
+	}
+}
+
+func TestQueryStreamParseError(t *testing.T) {
+	if _, err := QueryStream(doc(t), "//[", func(*Node) bool { return true }); err == nil {
+		t.Error("parse error must surface")
+	}
+}

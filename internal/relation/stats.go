@@ -1,0 +1,211 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/pref"
+)
+
+// ColStats summarizes one column for the cost-based planner: domain width
+// (distinct count), numeric range, and physical order. Sortedness matters
+// because sort-filter-skyline can skip its presort when the relation is
+// already ordered by a compatible key.
+type ColStats struct {
+	Name     string
+	Type     Type
+	Distinct int // distinct values among the sampled rows
+	// Numeric range; valid only when HasRange is true (numeric column with
+	// at least one non-nil value).
+	Min, Max float64
+	HasRange bool
+	// Physical order of the column over the full relation. A column of
+	// fewer than two rows is trivially sorted both ways.
+	SortedAsc, SortedDesc bool
+}
+
+// Stats are relation-level statistics driving cost-based plan selection:
+// cardinality, per-column summaries, and the mean pairwise correlation of
+// the numeric columns. Correlation is the single most important input to
+// skyline cardinality estimation — anti-correlated data inflates BMO
+// results by orders of magnitude (observed since [BKS01]) — so the planner
+// reads it to scale its result-size estimate.
+type Stats struct {
+	Card    int // card(R)
+	Sampled int // rows examined for the sampled statistics (distinct, correlation)
+	Cols    []ColStats
+	// Corr is the mean pairwise Pearson correlation over numeric columns,
+	// in [-1, 1]; valid only when HasCorr is true (≥ 2 numeric columns and
+	// ≥ 2 sampled rows).
+	Corr    float64
+	HasCorr bool
+
+	byName map[string]int
+}
+
+// Col returns the statistics of the named column.
+func (s *Stats) Col(name string) (ColStats, bool) {
+	i, ok := s.byName[name]
+	if !ok {
+		return ColStats{}, false
+	}
+	return s.Cols[i], true
+}
+
+// String renders a one-line summary for plan explanations.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "card=%d sampled=%d", s.Card, s.Sampled)
+	if s.HasCorr {
+		fmt.Fprintf(&b, " corr=%+.2f", s.Corr)
+	}
+	for _, c := range s.Cols {
+		fmt.Fprintf(&b, " %s(distinct=%d", c.Name, c.Distinct)
+		if c.HasRange {
+			fmt.Fprintf(&b, " range=[%g,%g]", c.Min, c.Max)
+		}
+		switch {
+		case c.SortedAsc && c.SortedDesc:
+			b.WriteString(" const")
+		case c.SortedAsc:
+			b.WriteString(" asc")
+		case c.SortedDesc:
+			b.WriteString(" desc")
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// Analyze computes full-scan statistics for R.
+func Analyze(r *Relation) *Stats { return AnalyzeSample(r, r.Len()) }
+
+// AnalyzeSample computes statistics with the expensive parts (distinct
+// counting, correlation) restricted to an evenly spaced sample of at most
+// sample rows. Min/max and sortedness always use the full scan — they are
+// O(n) with trivial constants, and sortedness is meaningless on a sample.
+// A non-positive sample analyzes every row.
+func AnalyzeSample(r *Relation, sample int) *Stats {
+	n := r.Len()
+	if sample <= 0 || sample > n {
+		sample = n
+	}
+	s := &Stats{Card: n, byName: make(map[string]int, r.Schema().Len())}
+	stride := 1
+	if sample > 0 {
+		stride = (n + sample - 1) / sample
+	}
+
+	numericIdx := []int{}
+	for ci, col := range r.Schema().Columns() {
+		cs := ColStats{
+			Name:      col.Name,
+			Type:      col.Type,
+			SortedAsc: true, SortedDesc: true,
+		}
+		distinct := make(map[pref.Value]struct{})
+		var prev pref.Value
+		havePrev := false
+		for i := 0; i < n; i++ {
+			v := r.rows[i][ci]
+			if f, ok := pref.Numeric(v); ok {
+				if !cs.HasRange || f < cs.Min {
+					cs.Min = f
+				}
+				if !cs.HasRange || f > cs.Max {
+					cs.Max = f
+				}
+				cs.HasRange = true
+			}
+			if i%stride == 0 {
+				distinct[v] = struct{}{}
+			}
+			if havePrev && (cs.SortedAsc || cs.SortedDesc) {
+				if c, ok := pref.CompareValues(prev, v); ok {
+					if c > 0 {
+						cs.SortedAsc = false
+					}
+					if c < 0 {
+						cs.SortedDesc = false
+					}
+				}
+			}
+			prev, havePrev = v, true
+		}
+		cs.Distinct = len(distinct)
+		s.byName[col.Name] = len(s.Cols)
+		s.Cols = append(s.Cols, cs)
+		if col.Type == Int || col.Type == Float {
+			numericIdx = append(numericIdx, ci)
+		}
+	}
+	s.Sampled = 0
+	for i := 0; i < n; i += stride {
+		s.Sampled++
+	}
+	s.Corr, s.HasCorr = meanPairwiseCorr(r, numericIdx, stride)
+	return s
+}
+
+// meanPairwiseCorr computes the mean Pearson correlation over all pairs of
+// the given numeric columns, on every stride-th row.
+func meanPairwiseCorr(r *Relation, cols []int, stride int) (float64, bool) {
+	if len(cols) < 2 {
+		return 0, false
+	}
+	var rows [][]float64
+	for i := 0; i < r.Len(); i += stride {
+		vec := make([]float64, len(cols))
+		ok := true
+		for k, ci := range cols {
+			f, isNum := pref.Numeric(r.rows[i][ci])
+			if !isNum {
+				ok = false
+				break
+			}
+			vec[k] = f
+		}
+		if ok {
+			rows = append(rows, vec)
+		}
+	}
+	if len(rows) < 2 {
+		return 0, false
+	}
+	mean := make([]float64, len(cols))
+	for _, vec := range rows {
+		for k, v := range vec {
+			mean[k] += v
+		}
+	}
+	for k := range mean {
+		mean[k] /= float64(len(rows))
+	}
+	variance := make([]float64, len(cols))
+	for _, vec := range rows {
+		for k, v := range vec {
+			d := v - mean[k]
+			variance[k] += d * d
+		}
+	}
+	var sum float64
+	pairs := 0
+	for a := 0; a < len(cols); a++ {
+		for b := a + 1; b < len(cols); b++ {
+			if variance[a] == 0 || variance[b] == 0 {
+				continue // constant column: correlation undefined, treat as 0
+			}
+			var cov float64
+			for _, vec := range rows {
+				cov += (vec[a] - mean[a]) * (vec[b] - mean[b])
+			}
+			sum += cov / math.Sqrt(variance[a]*variance[b])
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 0, true // all-constant columns: uncorrelated by convention
+	}
+	return sum / float64(pairs), true
+}

@@ -1,9 +1,7 @@
 package skyline
 
 import (
-	"sort"
-
-	"repro/internal/pref"
+	"repro/internal/engine"
 	"repro/internal/relation"
 )
 
@@ -15,59 +13,27 @@ import (
 // after the full computation. yield receives the row index in R and
 // returns false to stop early (e.g. after the first k skyline members).
 // It returns the number of rows emitted.
+//
+// It is a thin wrapper over the engine's general streaming evaluator: a
+// skyline clause is a chain product, whose entropy key (the sum of the
+// per-dimension maximize-scores) makes every surviving candidate final on
+// first sight.
 func Progressive(c Clause, r *relation.Relation, yield func(row int) bool) (int, error) {
-	p, err := c.Preference()
+	st, err := Stream(c, r)
 	if err != nil {
 		return 0, err
 	}
-	// Entropy sort: descending sum of per-dimension maximize-scores. If
-	// x <P y then every dimension scores y ≥ x with one >, so y's sum is
-	// strictly larger and y precedes x — a later row never dominates an
-	// earlier one.
-	dims := make([]pref.Scorer, len(c.Dims))
-	for i, d := range c.Dims {
-		if d.Dir == Min {
-			dims[i] = pref.LOWEST(d.Attr)
-		} else {
-			dims[i] = pref.HIGHEST(d.Attr)
-		}
-	}
-	type cand struct {
-		row int
-		sum float64
-	}
-	cands := make([]cand, r.Len())
-	for i := 0; i < r.Len(); i++ {
-		t := r.Tuple(i)
-		var sum float64
-		for _, d := range dims {
-			sum += d.ScoreOf(t)
-		}
-		cands[i] = cand{i, sum}
-	}
-	sort.SliceStable(cands, func(a, b int) bool { return cands[a].sum > cands[b].sum })
+	return st.Each(yield), nil
+}
 
-	emitted := 0
-	var confirmed []int
-	for _, c := range cands {
-		tc := r.Tuple(c.row)
-		dominated := false
-		for _, w := range confirmed {
-			if p.Less(tc, r.Tuple(w)) {
-				dominated = true
-				break
-			}
-		}
-		if dominated {
-			continue
-		}
-		confirmed = append(confirmed, c.row)
-		emitted++
-		if !yield(c.row) {
-			break
-		}
+// Stream starts progressive skyline evaluation and returns the row stream;
+// the front-ends use it to serve first results before the scan completes.
+func Stream(c Clause, r *relation.Relation) (*engine.Stream, error) {
+	p, err := c.Preference()
+	if err != nil {
+		return nil, err
 	}
-	return emitted, nil
+	return engine.EvalStream(p, r), nil
 }
 
 // FirstK returns the first k skyline rows in progressive emission order,

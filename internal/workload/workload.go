@@ -27,6 +27,11 @@ const (
 	// AntiCorrelated draws points near the anti-diagonal plane: good in
 	// one dimension tends to be bad in others, inflating skylines.
 	AntiCorrelated
+	// Skewed draws points from a Zipf-weighted mixture of tight clusters:
+	// most mass piles onto a few cells, with a uniform background. It
+	// models real catalogs (many near-identical offers plus a long tail)
+	// and stresses the planner's sampled distinct/correlation statistics.
+	Skewed
 )
 
 // String renders the distribution name.
@@ -38,6 +43,8 @@ func (d Distribution) String() string {
 		return "correlated"
 	case AntiCorrelated:
 		return "anti-correlated"
+	case Skewed:
+		return "skewed"
 	}
 	return fmt.Sprintf("Distribution(%d)", int(d))
 }
@@ -63,6 +70,10 @@ func Numeric(n, dims int, dist Distribution, seed int64) *relation.Relation {
 	}
 	return rel
 }
+
+// skewClusters is the cluster count of the Skewed distribution; cluster k
+// is drawn with probability ∝ 1/(k+1) (a Zipf(1) law).
+const skewClusters = 8
 
 // drawVector draws one point per the distribution, clamped to [0, 1).
 func drawVector(rng *rand.Rand, dims int, dist Distribution) []float64 {
@@ -93,6 +104,35 @@ func drawVector(rng *rand.Rand, dims int, dist Distribution) []float64 {
 		}
 		for i := range out {
 			out[i] = clamp01(out[i]*sumTarget/sum + 0.05*(rng.Float64()-0.5))
+		}
+	case Skewed:
+		// 1-in-10 points are uniform background; the rest snap to a
+		// Zipf-chosen cluster center with small jitter, so a handful of
+		// cells hold most of the mass.
+		if rng.Intn(10) == 0 {
+			for i := range out {
+				out[i] = rng.Float64()
+			}
+			break
+		}
+		// Inverse-CDF draw from the harmonic weights 1, 1/2, …, 1/k.
+		var total float64
+		for k := 0; k < skewClusters; k++ {
+			total += 1 / float64(k+1)
+		}
+		u := rng.Float64() * total
+		cluster := 0
+		for acc := 0.0; cluster < skewClusters-1; cluster++ {
+			acc += 1 / float64(cluster+1)
+			if u < acc {
+				break
+			}
+		}
+		// Deterministic center per (cluster, dimension), independent of rng
+		// state, so every seed shares the same cluster geometry.
+		for i := range out {
+			center := math.Mod(0.17+0.61*float64(cluster)+0.29*float64(i), 1)
+			out[i] = clamp01(center + 0.03*(rng.Float64()-0.5))
 		}
 	}
 	return out

@@ -156,3 +156,40 @@ func TestTripsShape(t *testing.T) {
 		}
 	}
 }
+
+func TestSkewedDistribution(t *testing.T) {
+	r := Numeric(2000, 2, Skewed, 3)
+	if Skewed.String() != "skewed" {
+		t.Error("name")
+	}
+	// Values stay in range.
+	counts := map[[2]int]int{}
+	for i := 0; i < r.Len(); i++ {
+		a, _ := r.Tuple(i).Get("d1")
+		b, _ := r.Tuple(i).Get("d2")
+		fa, fb := a.(float64), b.(float64)
+		if fa < 0 || fa >= 1 || fb < 0 || fb >= 1 {
+			t.Fatalf("out of range: %v %v", fa, fb)
+		}
+		// Bucket on a 10×10 grid: skew must concentrate mass.
+		counts[[2]int{int(fa * 10), int(fb * 10)}]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < r.Len()/5 {
+		t.Errorf("largest cell holds %d of %d rows; skew too weak", max, r.Len())
+	}
+	// Determinism across seeds' shared cluster geometry: same seed, same data.
+	r2 := Numeric(50, 2, Skewed, 3)
+	for i := 0; i < r2.Len(); i++ {
+		a, _ := r.Tuple(i).Get("d1")
+		b, _ := r2.Tuple(i).Get("d1")
+		if a != b {
+			t.Fatal("same seed must reproduce identical skewed data")
+		}
+	}
+}
