@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench lint fmt
+.PHONY: build test bench bench-json lint fmt
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,19 @@ test:
 BENCHTIME ?= 1x
 bench:
 	$(GO) test -run 'xxx' -bench . -benchtime $(BENCHTIME) -benchmem ./...
+
+# Machine-readable benchmark capture: runs the suite and writes the JSON
+# baseline tracked in-tree (ns/op, B/op, allocs/op per benchmark). Pass
+# BENCHJSON_TIME=1x for a smoke run; the committed baseline uses a real
+# benchtime so the numbers are comparable across PRs.
+BENCHJSON_TIME ?= 0.5s
+BENCHJSON_OUT ?= BENCH_PR2.json
+bench-json:
+	# Two steps, not a pipe: a pipe would discard go test's exit status
+	# and mask failing/panicking benchmarks from CI.
+	$(GO) test -run 'xxx' -bench . -benchtime $(BENCHJSON_TIME) -benchmem ./... > $(BENCHJSON_OUT).txt
+	$(GO) run ./cmd/benchjson < $(BENCHJSON_OUT).txt > $(BENCHJSON_OUT)
+	@rm -f $(BENCHJSON_OUT).txt
 
 lint:
 	$(GO) vet ./...

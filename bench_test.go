@@ -164,6 +164,49 @@ func BenchmarkF3Algorithms(b *testing.B) {
 	}
 }
 
+// BenchmarkCompiledColumnar is the acceptance study of the compiled
+// evaluation layer: the F3 crossover workload (anti-correlated 3-d chain
+// product) at n=10000, every core algorithm under compiled columnar
+// versus interpreted interface evaluation. The compiled rows must show
+// ≥5× lower ns/op and ≥10× fewer allocs/op.
+func BenchmarkCompiledColumnar(b *testing.B) {
+	p := pref.ParetoAll(pref.LOWEST("d1"), pref.LOWEST("d2"), pref.LOWEST("d3"))
+	rel := workload.Numeric(10000, 3, workload.AntiCorrelated, 23)
+	rel.Columnarize()
+	for _, alg := range []engine.Algorithm{engine.BNL, engine.SFS, engine.DNC} {
+		for _, mode := range []engine.EvalMode{engine.EvalInterpreted, engine.EvalCompiled} {
+			b.Run(fmt.Sprintf("%s/%s", alg, mode), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					engine.BMOIndicesMode(p, rel, alg, mode)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCompiledDiscreteQuery measures a realistic e-shop query mixing
+// discrete layers (POS/POS, POS, NEG) with numeric dimensions, the term
+// family the compiled level vectors unlock SFS for (interpreted
+// evaluation has no key and runs BNL).
+func BenchmarkCompiledDiscreteQuery(b *testing.B) {
+	cars := workload.Cars(10000, 42)
+	p1 := pref.MustPOSPOS("category", []pref.Value{"cabriolet"}, []pref.Value{"roadster"})
+	p2 := pref.POS("transmission", "automatic")
+	p3 := pref.AROUND("horsepower", 100)
+	p4 := pref.LOWEST("price")
+	p5 := pref.NEG("color", "gray")
+	q := pref.Prioritized(p5, pref.Prioritized(pref.ParetoAll(p1, p2, p3), p4))
+	for _, mode := range []engine.EvalMode{engine.EvalInterpreted, engine.EvalCompiled} {
+		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				engine.BMOIndicesMode(q, cars, engine.Auto, mode)
+			}
+		})
+	}
+}
+
 // BenchmarkF4TopK compares the heap scan against the threshold algorithm
 // for the ranked query model.
 func BenchmarkF4TopK(b *testing.B) {

@@ -5,8 +5,19 @@
 // Preference XPath, plus the evaluation substrates needed to regenerate
 // every worked example and quantitative claim of the paper.
 //
+// Preference evaluation runs over a compiled columnar form whenever the
+// term is built from the library's constructors: pref.Compile binds
+// attribute names to column ordinals once, materializes score dimensions
+// as flat float64 vectors and discrete layers as ordinal codes, and hands
+// the engine a specialized less(i, j) predicate — the interpreted
+// tuple-at-a-time interface path remains as the transparent fallback for
+// foreign Preference implementations (and as the measured baseline, see
+// engine.EvalMode). Plan.Explain and Preference SQL EXPLAIN report which
+// path a query takes.
+//
 // Start with internal/core (the façade API) and README.md (package tour,
 // how to run the examples, benchmarks and CI). bench_test.go in this
 // directory holds one benchmark per reproduced experiment plus the
-// evaluation-layer benches (parallel variants, planner, streaming).
+// evaluation-layer benches (parallel variants, planner, streaming,
+// compiled vs interpreted); BENCH_PR2.json is the committed baseline.
 package repro

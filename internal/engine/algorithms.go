@@ -1,7 +1,8 @@
 package engine
 
 import (
-	"sort"
+	"math"
+	"slices"
 
 	"repro/internal/pref"
 	"repro/internal/relation"
@@ -58,7 +59,7 @@ func bnl(p pref.Preference, r *relation.Relation, idx []int) []int {
 		}
 		window = append(keep, i)
 	}
-	sort.Ints(window)
+	slices.Sort(window)
 	return window
 }
 
@@ -123,14 +124,22 @@ func sfs(p pref.Preference, r *relation.Relation, idx []int) []int {
 	for k, i := range idx {
 		cands[k] = cand{i, keyFn(r.Tuple(i))}
 	}
-	sort.SliceStable(cands, func(a, b int) bool {
-		ka, kb := cands[a].key, cands[b].key
-		for i := range ka {
-			if ka[i] != kb[i] {
-				return ka[i] > kb[i] // descending
+	// Stability is unnecessary: for finite keys, candidates with equal
+	// keys are mutually unranked (x <P y forces a strictly smaller key),
+	// so the filter pass keeps them all regardless of visit order. (±Inf
+	// key components can collapse ranked pairs to equal keys — a
+	// pre-existing unsoundness of the raw-score sum this key derivation
+	// uses, see ROADMAP; the compiled path rank-transforms instead.)
+	slices.SortFunc(cands, func(a, b cand) int {
+		for i := range a.key {
+			switch {
+			case a.key[i] > b.key[i]: // descending
+				return -1
+			case a.key[i] < b.key[i]:
+				return 1
 			}
 		}
-		return false
+		return 0
 	})
 	var result []int
 	for _, c := range cands {
@@ -146,7 +155,7 @@ func sfs(p pref.Preference, r *relation.Relation, idx []int) []int {
 			result = append(result, c.row)
 		}
 	}
-	sort.Ints(result)
+	slices.Sort(result)
 	return result
 }
 
@@ -188,10 +197,16 @@ type dncPoint struct {
 }
 
 // dominates reports coordinate-wise dominance: a ≥ b everywhere and a > b
-// somewhere (all dimensions maximize).
+// somewhere (all dimensions maximize). A NaN score on either side makes
+// the dimension unranked AND unequal (NaN values compare unequal under
+// the paper's equality semantics), so it blocks dominance — the raw `<`
+// comparisons would silently treat NaN pairs as equal and drop maxima.
 func dominates(a, b []float64) bool {
 	strict := false
 	for i := range a {
+		if math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+			return false
+		}
 		if a[i] < b[i] {
 			return false
 		}
@@ -225,40 +240,51 @@ func dnc(p pref.Preference, r *relation.Relation, idx []int) []int {
 	for k, pt := range maxima {
 		out[k] = pt.row
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 
-// dncMaxima returns the non-dominated points.
+// dncMaxima returns the non-dominated points. It owns pts and reorders it
+// freely; a single scratch buffer is reused across every recursion level
+// for the median selection.
 func dncMaxima(pts []dncPoint) []dncPoint {
+	var scratch []float64
+	return dncMaximaRec(pts, &scratch)
+}
+
+func dncMaximaRec(pts []dncPoint, scratch *[]float64) []dncPoint {
 	if len(pts) <= 8 {
 		return bruteMaxima(pts)
 	}
 	// Split at the median of dimension 0: high half can dominate low half
-	// but not vice versa (after in-half maxima are taken).
-	keys := make([]float64, len(pts))
-	for i, p := range pts {
-		keys[i] = p.coord[0]
-	}
-	sort.Float64s(keys)
-	median := keys[len(keys)/2]
-	var high, low []dncPoint
+	// but not vice versa (after in-half maxima are taken). Quickselect on
+	// the reused scratch buffer finds it in O(n) without the full sort and
+	// fresh allocation the previous implementation paid per level.
+	keys := (*scratch)[:0]
 	for _, p := range pts {
-		if p.coord[0] >= median {
-			high = append(high, p)
-		} else {
-			low = append(low, p)
+		keys = append(keys, p.coord[0])
+	}
+	*scratch = keys
+	median := quickselect(keys, len(keys)/2)
+	// Partition in place: points at or above the median to the front.
+	lo := 0
+	for i := range pts {
+		if pts[i].coord[0] >= median {
+			pts[lo], pts[i] = pts[i], pts[lo]
+			lo++
 		}
 	}
+	high, low := pts[:lo], pts[lo:]
 	if len(low) == 0 || len(high) == 0 {
 		// Degenerate split (many ties on dim 0): fall back to brute force
 		// on this partition to guarantee termination.
 		return bruteMaxima(pts)
 	}
-	mHigh := dncMaxima(high)
-	mLow := dncMaxima(low)
-	// Filter the low maxima against the high maxima.
-	out := append([]dncPoint(nil), mHigh...)
+	mHigh := dncMaximaRec(high, scratch)
+	mLow := dncMaximaRec(low, scratch)
+	// Filter the low maxima against the high maxima. Both maxima slices
+	// are freshly built by the recursion, so appending to mHigh is safe.
+	out := mHigh
 	for _, lp := range mLow {
 		dominated := false
 		for _, hp := range mHigh {
@@ -272,6 +298,68 @@ func dncMaxima(pts []dncPoint) []dncPoint {
 		}
 	}
 	return out
+}
+
+// fltLess totally orders float64 with NaN first: the raw `<` is not a
+// total order in the presence of NaN (every comparison reports false),
+// which would run the Hoare scans below past the slice ends.
+func fltLess(a, b float64) bool {
+	if math.IsNaN(a) {
+		return !math.IsNaN(b)
+	}
+	if math.IsNaN(b) {
+		return false
+	}
+	return a < b
+}
+
+// quickselect returns the k-th smallest element (0-based, NaN-first total
+// order) of keys, partially reordering keys in place: expected O(n) with
+// a median-of-three pivot, against the O(n log n) of sorting just to read
+// one rank.
+func quickselect(keys []float64, k int) float64 {
+	lo, hi := 0, len(keys)-1
+	for lo < hi {
+		// Median-of-three pivot: keys[lo] ≤ keys[mid] ≤ keys[hi] in the
+		// total order, so both scans stop inside [lo, hi].
+		mid := lo + (hi-lo)/2
+		if fltLess(keys[mid], keys[lo]) {
+			keys[mid], keys[lo] = keys[lo], keys[mid]
+		}
+		if fltLess(keys[hi], keys[lo]) {
+			keys[hi], keys[lo] = keys[lo], keys[hi]
+		}
+		if fltLess(keys[hi], keys[mid]) {
+			keys[hi], keys[mid] = keys[mid], keys[hi]
+		}
+		pivot := keys[mid]
+		// Hoare partition.
+		i, j := lo-1, hi+1
+		for {
+			for {
+				i++
+				if !fltLess(keys[i], pivot) {
+					break
+				}
+			}
+			for {
+				j--
+				if !fltLess(pivot, keys[j]) {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			keys[i], keys[j] = keys[j], keys[i]
+		}
+		if k <= j {
+			hi = j
+		} else {
+			lo = j + 1
+		}
+	}
+	return keys[k]
 }
 
 // bruteMaxima is the quadratic base case of the divide & conquer.

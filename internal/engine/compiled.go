@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/pref"
+	"repro/internal/relation"
+)
+
+// Compiled columnar execution: every algorithm has a twin that runs over a
+// pref.Compiled — flat score vectors and ordinal codes addressed by row
+// position — instead of calling Preference.Less on boxed tuple views. The
+// engine compiles once per query (BMOIndices / plan execution / stream
+// start) and dispatches the compiled twins whenever compilation succeeds;
+// preferences outside the compilable fragment keep the interface path
+// unchanged.
+
+// EvalMode selects between compiled columnar and interpreted tuple-at-a-
+// time evaluation.
+type EvalMode int
+
+// Evaluation modes.
+const (
+	// EvalAuto compiles whenever the preference is compilable, falling
+	// back to the interface path otherwise. The default everywhere.
+	EvalAuto EvalMode = iota
+	// EvalCompiled behaves like EvalAuto; it exists so benchmarks and
+	// tests state their intent explicitly.
+	EvalCompiled
+	// EvalInterpreted forces the tuple-at-a-time interface path, the
+	// baseline the compiled layer is measured against.
+	EvalInterpreted
+)
+
+// String renders the mode name.
+func (m EvalMode) String() string {
+	switch m {
+	case EvalAuto:
+		return "auto"
+	case EvalCompiled:
+		return "compiled"
+	case EvalInterpreted:
+		return "interpreted"
+	}
+	return fmt.Sprintf("EvalMode(%d)", int(m))
+}
+
+// compileFor binds p to the relation's columns, or returns nil when the
+// mode forbids it or the term is outside the compilable fragment.
+func compileFor(p pref.Preference, r *relation.Relation, mode EvalMode) *pref.Compiled {
+	if mode == EvalInterpreted || r == nil || !pref.Compilable(p) {
+		return nil
+	}
+	c, ok := pref.Compile(p, r)
+	if !ok {
+		return nil
+	}
+	return c
+}
+
+// naiveCompiled is the exhaustive pairwise reference over compiled columns.
+func naiveCompiled(c *pref.Compiled, idx []int) []int {
+	var out []int
+	for _, i := range idx {
+		maximal := true
+		for _, j := range idx {
+			if i != j && c.Less(i, j) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// bnlCompiled is block-nested-loops over compiled columns: the window
+// invariant of bnl with flat-vector comparisons and zero allocation per
+// candidate.
+func bnlCompiled(c *pref.Compiled, idx []int) []int {
+	window := make([]int, 0, 16)
+	for _, i := range idx {
+		dominated := false
+		keep := window[:0]
+		for _, w := range window {
+			if c.Less(i, w) {
+				dominated = true
+				break
+			}
+			if !c.Less(w, i) {
+				keep = append(keep, w)
+			}
+		}
+		if dominated {
+			continue
+		}
+		window = append(keep, i)
+	}
+	slices.Sort(window)
+	return window
+}
+
+// sfsCompiled is sort-filter-skyline over compiled columns: the sort keys
+// are the precomputed per-dimension key vectors of the compiled form —
+// no key materialization, no per-candidate allocation — and the filter
+// pass compares flat vectors. Falls back to bnlCompiled when the term has
+// no compatible key.
+func sfsCompiled(c *pref.Compiled, idx []int) []int {
+	keys, ok := c.SortKeys()
+	if !ok {
+		return bnlCompiled(c, idx)
+	}
+	order := append([]int(nil), idx...)
+	slices.SortFunc(order, func(a, b int) int { return cmpKeyColumns(keys, a, b) })
+	var result []int
+	for _, i := range order {
+		dominated := false
+		for _, w := range result {
+			if c.Less(i, w) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			result = append(result, i)
+		}
+	}
+	slices.Sort(result)
+	return result
+}
+
+// cmpKeyColumns compares two row positions by column-major key vectors,
+// best (lexicographically largest) first — the visit order of SFS and the
+// progressive stream.
+func cmpKeyColumns(keys [][]float64, a, b int) int {
+	for _, k := range keys {
+		switch {
+		case k[a] > k[b]: // descending: best first
+			return -1
+		case k[a] < k[b]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// dncCompiled runs the [KLP75] divide & conquer with coordinates read
+// straight from the compiled score columns (one flat backing array, no
+// per-row ScoreOf calls). Falls back to bnlCompiled for non-chain-product
+// terms.
+func dncCompiled(p pref.Preference, c *pref.Compiled, idx []int) []int {
+	dims, ok := chainDims(p)
+	if !ok {
+		return bnlCompiled(c, idx)
+	}
+	vecs := make([][]float64, len(dims))
+	for d, s := range dims {
+		if vecs[d] = c.ScoreVec(s); vecs[d] == nil {
+			return bnlCompiled(c, idx)
+		}
+	}
+	pts := make([]dncPoint, len(idx))
+	backing := make([]float64, len(idx)*len(dims))
+	for k, i := range idx {
+		coord := backing[k*len(dims) : (k+1)*len(dims) : (k+1)*len(dims)]
+		for d := range dims {
+			coord[d] = vecs[d][i]
+		}
+		pts[k] = dncPoint{i, coord}
+	}
+	maxima := dncMaxima(pts)
+	out := make([]int, len(maxima))
+	for k, pt := range maxima {
+		out[k] = pt.row
+	}
+	slices.Sort(out)
+	return out
+}

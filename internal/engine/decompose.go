@@ -1,7 +1,7 @@
 package engine
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/pref"
 	"repro/internal/relation"
@@ -124,31 +124,30 @@ func yy(p1, p2 pref.Preference, r *relation.Relation, idx []int) []int {
 
 // groupByIndices evaluates σ[P groupby A](R) over the whole relation.
 func groupByIndices(p pref.Preference, groupAttrs []string, r *relation.Relation, alg Algorithm) []int {
-	// Statistics are sampled once per relation, not once per group: the
-	// Auto planner reuses them across every group's plan.
+	// The preference compiles once against the whole relation — its column
+	// vectors are position-addressed, so every group reuses them — and
+	// statistics are sampled once, not once per group: the Auto planner
+	// reuses them across every group's plan.
 	var stats *relation.Stats
+	var c *pref.Compiled
+	if alg != Decomposition {
+		c = compileFor(p, r, EvalAuto)
+	}
 	eval := func(p pref.Preference, r *relation.Relation, idx []int) []int {
 		switch alg {
-		case Naive:
-			return naive(p, r, idx)
-		case SFS:
-			return sfs(p, r, idx)
-		case DNC:
-			return dnc(p, r, idx)
+		case Naive, SFS, DNC, ParallelBNL, ParallelSFS, ParallelDNC:
+			return execute(alg, 0, p, r, c, idx)
 		case Decomposition:
 			return decomposed(p, r, idx)
-		case ParallelBNL:
-			return bnlParallel(p, r, idx)
-		case ParallelSFS:
-			return sfsParallel(p, r, idx)
-		case ParallelDNC:
-			return dncParallel(p, r, idx)
 		case Auto:
 			if len(idx) >= smallInput && stats == nil {
 				stats = relation.AnalyzeSample(r, Env{}.sampleLimit())
 			}
 			pl := planCore(p, r, len(idx), Env{Stats: stats})
-			return execute(pl.Algorithm, pl.Workers, p, r, idx)
+			return execute(pl.Algorithm, pl.Workers, p, r, c, idx)
+		}
+		if c != nil {
+			return bnlCompiled(c, idx)
 		}
 		return bnl(p, r, idx)
 	}
@@ -156,7 +155,7 @@ func groupByIndices(p pref.Preference, groupAttrs []string, r *relation.Relation
 	for _, group := range r.Groups(groupAttrs) {
 		out = append(out, eval(p, r, group)...)
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -176,7 +175,7 @@ func groupByIndicesOn(p pref.Preference, groupAttrs []string, r *relation.Relati
 	for _, k := range order {
 		out = append(out, decomposed(p, r, byKey[k])...)
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -213,7 +212,7 @@ func intersect(a, b []int) []int {
 			out = append(out, i)
 		}
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -230,6 +229,6 @@ func union(sets ...[]int) []int {
 			out = append(out, i)
 		}
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }

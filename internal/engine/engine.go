@@ -86,27 +86,29 @@ func BMO(p pref.Preference, r *relation.Relation, alg Algorithm) *relation.Relat
 	return r.Pick(BMOIndices(p, r, alg))
 }
 
-// BMOIndices is BMO returning the indices of qualifying rows in R.
+// BMOIndices is BMO returning the indices of qualifying rows in R. The
+// preference is compiled to columnar form whenever possible (EvalAuto);
+// BMOIndicesMode gives explicit control.
 func BMOIndices(p pref.Preference, r *relation.Relation, alg Algorithm) []int {
-	switch alg {
-	case Naive:
-		return naive(p, r, allIndices(r.Len()))
-	case BNL:
-		return bnl(p, r, allIndices(r.Len()))
-	case SFS:
-		return sfs(p, r, allIndices(r.Len()))
-	case DNC:
-		return dnc(p, r, allIndices(r.Len()))
-	case Decomposition:
-		return decomposed(p, r, allIndices(r.Len()))
-	case ParallelBNL:
-		return bnlParallel(p, r, allIndices(r.Len()))
-	case ParallelSFS:
-		return sfsParallel(p, r, allIndices(r.Len()))
-	case ParallelDNC:
-		return dncParallel(p, r, allIndices(r.Len()))
+	return BMOIndicesMode(p, r, alg, EvalAuto)
+}
+
+// BMOIndicesMode is BMOIndices under an explicit evaluation mode:
+// EvalInterpreted forces the tuple-at-a-time interface path that compiled
+// evaluation replaces, the baseline for benchmarks and agreement tests.
+func BMOIndicesMode(p pref.Preference, r *relation.Relation, alg Algorithm, mode EvalMode) []int {
+	idx := allIndices(r.Len())
+	if alg == Decomposition {
+		// The decomposition evaluator takes the interface path throughout;
+		// binding columns up front would be pure overhead.
+		return decomposed(p, r, idx)
 	}
-	return auto(p, r, allIndices(r.Len()))
+	c := compileFor(p, r, mode)
+	if alg == Auto {
+		pl := planCore(p, r, len(idx), Env{Mode: mode})
+		return execute(pl.Algorithm, pl.Workers, p, r, c, idx)
+	}
+	return execute(alg, 0, p, r, c, idx)
 }
 
 // GroupBy evaluates σ[P groupby A](R) = σ[A↔ & P](R) per Definition 16:
@@ -204,15 +206,6 @@ func allIndices(n int) []int {
 		idx[i] = i
 	}
 	return idx
-}
-
-// auto plans and executes with the cost-based planner: preference shape
-// plus relation statistics pick among the sequential and parallel variants.
-// It runs per candidate set, so groupby queries get a fresh (cheap) plan
-// for every group.
-func auto(p pref.Preference, r *relation.Relation, idx []int) []int {
-	pl := planCore(p, r, len(idx), Env{})
-	return execute(pl.Algorithm, pl.Workers, p, r, idx)
 }
 
 // ResolveAuto reports the algorithm Auto selects for a preference over an

@@ -2,7 +2,7 @@ package engine
 
 import (
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/pref"
@@ -35,7 +35,8 @@ func defaultWorkers(n int) int {
 // which holds for every strict partial order: a tuple dominated within its
 // partition is dominated globally, and the merge removes cross-partition
 // domination. local and merge must be pure functions of their index slice
-// (they run concurrently on disjoint slices).
+// (they run concurrently on disjoint slices); compiled forms satisfy this —
+// a pref.Compiled is immutable after Compile, so the workers share it.
 func partitionMaxima(idx []int, workers int, local, merge func([]int) []int) []int {
 	chunk := (len(idx) + workers - 1) / workers
 	locals := make([][]int, workers)
@@ -61,23 +62,29 @@ func partitionMaxima(idx []int, workers int, local, merge func([]int) []int) []i
 		merged = append(merged, l...)
 	}
 	out := merge(merged)
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 
 // bnlParallel evaluates the BMO query with partitioned block-nested-loops
 // using the default worker count; exact for every strict partial order.
 func bnlParallel(p pref.Preference, r *relation.Relation, idx []int) []int {
-	return bnlParallelWorkers(p, r, idx, defaultWorkers(len(idx)))
+	return bnlParallelWorkers(p, r, compileFor(p, r, EvalAuto), idx, defaultWorkers(len(idx)))
 }
 
-// bnlParallelWorkers is bnlParallel with an explicit worker count (tests
-// and the planner inject it). Fewer than two workers runs sequentially.
-func bnlParallelWorkers(p pref.Preference, r *relation.Relation, idx []int, workers int) []int {
-	if workers < 2 {
-		return bnl(p, r, idx)
+// bnlParallelWorkers is bnlParallel with an explicit worker count and an
+// optional compiled form (tests and the planner inject them). Fewer than
+// two workers runs sequentially.
+func bnlParallelWorkers(p pref.Preference, r *relation.Relation, c *pref.Compiled, idx []int, workers int) []int {
+	eval := func(part []int) []int {
+		if c != nil {
+			return bnlCompiled(c, part)
+		}
+		return bnl(p, r, part)
 	}
-	eval := func(part []int) []int { return bnl(p, r, part) }
+	if workers < 2 {
+		return eval(idx)
+	}
 	return partitionMaxima(idx, workers, eval, eval)
 }
 
@@ -87,15 +94,21 @@ func bnlParallelWorkers(p pref.Preference, r *relation.Relation, idx []int, work
 // falls back to BNL when no compatible key exists, so the partition/merge
 // identity still applies.
 func sfsParallel(p pref.Preference, r *relation.Relation, idx []int) []int {
-	return sfsParallelWorkers(p, r, idx, defaultWorkers(len(idx)))
+	return sfsParallelWorkers(p, r, compileFor(p, r, EvalAuto), idx, defaultWorkers(len(idx)))
 }
 
-// sfsParallelWorkers is sfsParallel with an explicit worker count.
-func sfsParallelWorkers(p pref.Preference, r *relation.Relation, idx []int, workers int) []int {
-	if workers < 2 {
-		return sfs(p, r, idx)
+// sfsParallelWorkers is sfsParallel with an explicit worker count and an
+// optional compiled form.
+func sfsParallelWorkers(p pref.Preference, r *relation.Relation, c *pref.Compiled, idx []int, workers int) []int {
+	eval := func(part []int) []int {
+		if c != nil {
+			return sfsCompiled(c, part)
+		}
+		return sfs(p, r, part)
 	}
-	eval := func(part []int) []int { return sfs(p, r, part) }
+	if workers < 2 {
+		return eval(idx)
+	}
 	return partitionMaxima(idx, workers, eval, eval)
 }
 
@@ -104,14 +117,20 @@ func sfsParallelWorkers(p pref.Preference, r *relation.Relation, idx []int, work
 // pass. dnc falls back to BNL for non-chain-product preferences, keeping
 // the partition/merge identity intact.
 func dncParallel(p pref.Preference, r *relation.Relation, idx []int) []int {
-	return dncParallelWorkers(p, r, idx, defaultWorkers(len(idx)))
+	return dncParallelWorkers(p, r, compileFor(p, r, EvalAuto), idx, defaultWorkers(len(idx)))
 }
 
-// dncParallelWorkers is dncParallel with an explicit worker count.
-func dncParallelWorkers(p pref.Preference, r *relation.Relation, idx []int, workers int) []int {
-	if workers < 2 {
-		return dnc(p, r, idx)
+// dncParallelWorkers is dncParallel with an explicit worker count and an
+// optional compiled form.
+func dncParallelWorkers(p pref.Preference, r *relation.Relation, c *pref.Compiled, idx []int, workers int) []int {
+	eval := func(part []int) []int {
+		if c != nil {
+			return dncCompiled(p, c, part)
+		}
+		return dnc(p, r, part)
 	}
-	eval := func(part []int) []int { return dnc(p, r, part) }
+	if workers < 2 {
+		return eval(idx)
+	}
 	return partitionMaxima(idx, workers, eval, eval)
 }

@@ -69,7 +69,7 @@ func TestParallelWorkersEmptyIndexSet(t *testing.T) {
 	rel.MustInsert(relation.Row{int64(1)})
 	p := pref.LOWEST("A1")
 	for _, workers := range []int{2, 3, 8} {
-		if got := bnlParallelWorkers(p, rel, nil, workers); len(got) != 0 {
+		if got := bnlParallelWorkers(p, rel, nil, nil, workers); len(got) != 0 {
 			t.Errorf("workers=%d: empty candidate set must stay empty, got %v", workers, got)
 		}
 	}
@@ -105,7 +105,9 @@ func TestParallelWorkersIndivisiblePartitioning(t *testing.T) {
 		rel := randomRelation(rng, n, 6)
 		want := bnl(p, rel, allIndices(n))
 		for _, workers := range []int{2, 3, 5, 7, 16, n + 3} {
-			if got := bnlParallelWorkers(p, rel, allIndices(n), workers); !sameIndices(got, want) {
+			// Interpreted path explicitly: compiled coverage rides on the
+			// randomized agreement test below.
+			if got := bnlParallelWorkers(p, rel, nil, allIndices(n), workers); !sameIndices(got, want) {
 				t.Errorf("n=%d workers=%d: partition/merge diverged (%d vs %d rows)", n, workers, len(got), len(want))
 			}
 		}
@@ -123,10 +125,13 @@ func TestParallelVariantsRandomizedAgreement(t *testing.T) {
 		workers := 2 + rng.Intn(7)
 		idx := allIndices(rel.Len())
 		want := bnl(p, rel, idx)
+		// Workers share one compiled form; under -race this also checks the
+		// compiled columns are read-only across the partition fan-out.
+		c := compileFor(p, rel, EvalAuto)
 		for name, got := range map[string][]int{
-			"bnl": bnlParallelWorkers(p, rel, idx, workers),
-			"sfs": sfsParallelWorkers(p, rel, idx, workers),
-			"dnc": dncParallelWorkers(p, rel, idx, workers),
+			"bnl": bnlParallelWorkers(p, rel, c, idx, workers),
+			"sfs": sfsParallelWorkers(p, rel, c, idx, workers),
+			"dnc": dncParallelWorkers(p, rel, c, idx, workers),
 		} {
 			if !sameIndices(got, want) {
 				t.Logf("seed %d: parallel %s ×%d diverged on %s: %d vs %d rows", seed, name, workers, p, len(got), len(want))

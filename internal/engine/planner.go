@@ -41,12 +41,19 @@ func (s Shape) String() string {
 	return fmt.Sprintf("Shape(%d)", int(s))
 }
 
-// shapeOf classifies a preference term.
+// shapeOf classifies a preference term. Compiled evaluation widens the
+// keyed fragment: level preferences (POS family) are weak orders whose
+// negated level is a valid scalar sort key, so terms like POS & LOWEST
+// classify keyed even though the interpreted sfsKey cannot key them (the
+// interpreted sfs then simply falls back to BNL, which stays correct).
 func shapeOf(p pref.Preference) Shape {
 	if _, ok := chainDims(p); ok {
 		return ShapeChainProduct
 	}
 	if _, ok := sfsKey(p); ok {
+		return ShapeKeyed
+	}
+	if pref.CompiledKeyed(p) {
 		return ShapeKeyed
 	}
 	return ShapeGeneral
@@ -66,6 +73,10 @@ type Env struct {
 	// SampleLimit bounds the rows sampled for distinct/correlation
 	// statistics when Stats is nil. 0 means 2048.
 	SampleLimit int
+	// Mode restricts the evaluation paths the plan may assume; the zero
+	// value (EvalAuto) costs compiled evaluation whenever the term is
+	// compilable.
+	Mode EvalMode
 }
 
 func (e Env) numCPU() int {
@@ -99,17 +110,25 @@ type Candidate struct {
 // estimates that led to the choice, and the rejected candidates. Explain()
 // renders the whole decision; Indices()/Run() execute it.
 type Plan struct {
-	Algorithm  Algorithm
-	Workers    int // ≥ 2 only for parallel algorithms
-	Shape      Shape
+	Algorithm Algorithm
+	Workers   int // ≥ 2 only for parallel algorithms
+	Shape     Shape
+	// Compiled reports the evaluation path the plan was costed for:
+	// compiled columns when the term is structurally compilable and the
+	// environment allows it. Execution re-checks by actually compiling;
+	// in the rare case a structurally compilable term fails to bind (a
+	// discrete layer past the ordinal-coding cap) it runs interpreted
+	// despite the plan's assumption.
+	Compiled   bool
 	Input      int // candidate-set cardinality the plan was costed for
 	EstResult  int // estimated BMO result size
 	Candidates []Candidate
 	Reasons    []string
 	Stats      *relation.Stats // nil when planning skipped stats (small inputs)
 
-	p pref.Preference
-	r *relation.Relation
+	p    pref.Preference
+	r    *relation.Relation
+	mode EvalMode
 }
 
 // PlanFor plans σ[P](R) for this machine.
@@ -120,13 +139,14 @@ func PlanFor(p pref.Preference, r *relation.Relation) *Plan {
 // PlanWith plans σ[P](R) under an explicit environment.
 func PlanWith(p pref.Preference, r *relation.Relation, env Env) *Plan {
 	pl := planCore(p, r, r.Len(), env)
-	pl.p, pl.r = p, r
+	pl.p, pl.r, pl.mode = p, r, env.Mode
 	return pl
 }
 
 // Indices executes the plan and returns the qualifying row indices.
 func (pl *Plan) Indices() []int {
-	return execute(pl.Algorithm, pl.Workers, pl.p, pl.r, allIndices(pl.r.Len()))
+	c := compileFor(pl.p, pl.r, pl.mode)
+	return execute(pl.Algorithm, pl.Workers, pl.p, pl.r, c, allIndices(pl.r.Len()))
 }
 
 // Run executes the plan and returns the qualifying rows as a new relation
@@ -137,7 +157,11 @@ func (pl *Plan) Run() *relation.Relation { return pl.r.Pick(pl.Indices()) }
 // front-ends.
 func (pl *Plan) Explain() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "plan: n=%d shape=%s est.result≈%d → %s", pl.Input, pl.Shape, pl.EstResult, pl.Algorithm)
+	eval := "interpreted"
+	if pl.Compiled {
+		eval = "compiled"
+	}
+	fmt.Fprintf(&b, "plan: n=%d shape=%s eval=%s est.result≈%d → %s", pl.Input, pl.Shape, eval, pl.EstResult, pl.Algorithm)
 	if pl.Workers >= 2 {
 		fmt.Fprintf(&b, " (%d workers)", pl.Workers)
 	}
@@ -182,7 +206,8 @@ const smallInput = 256
 // single decision point behind Auto, PlanFor and the EXPLAIN front-ends.
 func planCore(p pref.Preference, r *relation.Relation, n int, env Env) *Plan {
 	shape := shapeOf(p)
-	pl := &Plan{Shape: shape, Input: n, Workers: 1}
+	pl := &Plan{Shape: shape, Input: n, Workers: 1,
+		Compiled: env.Mode != EvalInterpreted && pref.Compilable(p)}
 	if n < smallInput {
 		switch shape {
 		case ShapeChainProduct, ShapeKeyed:
@@ -215,6 +240,16 @@ func planCore(p pref.Preference, r *relation.Relation, n int, env Env) *Plan {
 	dims, _ := chainDims(p)
 	d := len(dims)
 
+	// Compiled columnar evaluation makes one comparison an order of
+	// magnitude cheaper than the interpreted interface path (no schema
+	// lookups, no boxing), at a one-off bind cost linear in the input.
+	// Costs stay in comparison units; the scale matters against the
+	// absolute parallel dispatch overhead below.
+	cmpScale := 1.0
+	if pl.Compiled {
+		cmpScale = 1.0 / compiledSpeedup
+	}
+
 	seqCost := func(alg Algorithm, n float64) (float64, bool, string) {
 		switch alg {
 		case Naive:
@@ -244,7 +279,7 @@ func planCore(p pref.Preference, r *relation.Relation, n int, env Env) *Plan {
 	var cands []Candidate
 	addSeq := func(alg Algorithm) {
 		c, ok, note := seqCost(alg, fn)
-		cands = append(cands, Candidate{Algorithm: alg, Workers: 1, Cost: c, Applicable: ok, Note: note})
+		cands = append(cands, Candidate{Algorithm: alg, Workers: 1, Cost: c * cmpScale, Applicable: ok, Note: note})
 	}
 	addPar := func(par, seq Algorithm) {
 		if workers < 2 {
@@ -255,7 +290,7 @@ func planCore(p pref.Preference, r *relation.Relation, n int, env Env) *Plan {
 			return
 		}
 		merge, _, _ := seqCost(seq, float64(workers)*fs)
-		cost := local + merge + 1500*float64(workers)
+		cost := (local+merge)*cmpScale + 1500*float64(workers)
 		cands = append(cands, Candidate{
 			Algorithm: par, Workers: workers, Cost: cost, Applicable: true,
 			Note: fmt.Sprintf("%d partitions of ≈%d rows, merge over ≈%d local maxima", workers, n/workers, workers*s),
@@ -283,6 +318,11 @@ func planCore(p pref.Preference, r *relation.Relation, n int, env Env) *Plan {
 	pl.Workers = cands[best].Workers
 
 	pl.Reasons = append(pl.Reasons, fmt.Sprintf("shape %s over %d attrs, estimated result ≈ %d of %d rows", shape, len(p.Attrs()), s, n))
+	if pl.Compiled {
+		pl.Reasons = append(pl.Reasons, fmt.Sprintf("compiled columnar evaluation: comparisons costed ≈%d× cheaper than the interface path", compiledSpeedup))
+	} else {
+		pl.Reasons = append(pl.Reasons, "term outside the compilable fragment: interpreted interface evaluation")
+	}
 	if stats != nil && stats.HasCorr {
 		switch {
 		case stats.Corr < -0.1:
@@ -391,26 +431,50 @@ func clampInt(v, lo, hi int) int {
 	return v
 }
 
-// execute dispatches one (algorithm, workers) choice over a candidate set.
-func execute(alg Algorithm, workers int, p pref.Preference, r *relation.Relation, idx []int) []int {
+// compiledSpeedup is the cost model's estimate of how much cheaper one
+// pairwise comparison is over compiled columns than through the
+// interpreted interface path (measured ≈10–20× on the benchmark suite).
+const compiledSpeedup = 12
+
+// execute dispatches one (algorithm, workers) choice over a candidate
+// set, routing to the compiled twin when a compiled form is supplied.
+// workers ≤ 0 lets the parallel variants pick their default. The
+// decomposition evaluator always takes the interface path: it recurses
+// over sub-terms, which keep the old route.
+func execute(alg Algorithm, workers int, p pref.Preference, r *relation.Relation, c *pref.Compiled, idx []int) []int {
+	if workers <= 0 {
+		workers = defaultWorkers(len(idx))
+	}
 	switch alg {
 	case Naive:
+		if c != nil {
+			return naiveCompiled(c, idx)
+		}
 		return naive(p, r, idx)
 	case BNL:
+		if c != nil {
+			return bnlCompiled(c, idx)
+		}
 		return bnl(p, r, idx)
 	case SFS:
+		if c != nil {
+			return sfsCompiled(c, idx)
+		}
 		return sfs(p, r, idx)
 	case DNC:
+		if c != nil {
+			return dncCompiled(p, c, idx)
+		}
 		return dnc(p, r, idx)
 	case Decomposition:
 		return decomposed(p, r, idx)
 	case ParallelBNL:
-		return bnlParallelWorkers(p, r, idx, workers)
+		return bnlParallelWorkers(p, r, c, idx, workers)
 	case ParallelSFS:
-		return sfsParallelWorkers(p, r, idx, workers)
+		return sfsParallelWorkers(p, r, c, idx, workers)
 	case ParallelDNC:
-		return dncParallelWorkers(p, r, idx, workers)
+		return dncParallelWorkers(p, r, c, idx, workers)
 	}
 	pl := planCore(p, r, len(idx), Env{})
-	return execute(pl.Algorithm, pl.Workers, p, r, idx)
+	return execute(pl.Algorithm, pl.Workers, p, r, c, idx)
 }

@@ -66,7 +66,9 @@ func TestPlannerSmallInputUsesShapeHeuristic(t *testing.T) {
 	if pl := PlanWith(keyed, rel, Env{NumCPU: 64}); pl.Algorithm != SFS {
 		t.Errorf("small keyed input plans %s, want sfs", pl.Algorithm)
 	}
-	general := pref.POS("d1", 0.5)
+	// POS compiles to a keyed weak order nowadays; an EXPLICIT graph stays a
+	// genuinely general partial order with no compatible sort key.
+	general := pref.MustEXPLICIT("d1", []pref.Edge{{Worse: 0.25, Better: 0.75}})
 	if pl := PlanWith(general, rel, Env{NumCPU: 64}); pl.Algorithm != BNL {
 		t.Errorf("small general input plans %s, want bnl", pl.Algorithm)
 	}
@@ -77,7 +79,7 @@ func TestPlannerGeneralShapeNeverPlansKeyedAlgorithms(t *testing.T) {
 	for i := 0; i < 2000; i++ {
 		rel.MustInsert(relation.Row{[]string{"red", "blue", "green"}[i%3]})
 	}
-	p := pref.POS("c", "red")
+	p := pref.MustEXPLICIT("c", []pref.Edge{{Worse: "blue", Better: "red"}})
 	pl := PlanWith(p, rel, Env{NumCPU: 8})
 	if pl.Shape != ShapeGeneral {
 		t.Fatalf("shape = %s", pl.Shape)
@@ -142,7 +144,8 @@ func TestResolveAutoCompat(t *testing.T) {
 	if alg := ResolveAuto(chain, 10); alg != SFS {
 		t.Errorf("small chain product resolves %s, want sfs", alg)
 	}
-	if alg := ResolveAuto(pref.POS("a", int64(1)), 10); alg != BNL {
+	general := pref.MustEXPLICIT("a", []pref.Edge{{Worse: int64(1), Better: int64(2)}})
+	if alg := ResolveAuto(general, 10); alg != BNL {
 		t.Errorf("small general resolves %s, want bnl", alg)
 	}
 	// Large inputs go through the cost model; the winner must at least be

@@ -1,7 +1,7 @@
 package engine
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/pref"
 	"repro/internal/relation"
@@ -16,12 +16,20 @@ import (
 // candidate can never be dominated by an unvisited one, so each candidate
 // that survives the filter against the already-confirmed set is final the
 // moment it is seen. Without a key the stream degrades gracefully: the
-// first Next() computes the full result with BNL and replays it (Consumed
-// then equals the input size — Progressive() reports which mode is active).
+// first Next() computes the full result in one batch and replays it
+// (Consumed then equals the input size — Progressive() reports which mode
+// is active).
+//
+// The stream evaluates over the compiled columnar form whenever the
+// preference compiles: the visit order sorts precomputed key vectors and
+// the domination filter compares flat columns, with no per-candidate
+// allocation. Non-compilable preferences keep the interface path, with
+// the sort keys still materialized once up front.
 type Stream struct {
-	p       pref.Preference
-	tuples  []pref.Tuple
-	order   []int // visit order (positions into tuples)
+	n       int
+	less    func(i, j int) bool
+	keys    [][]float64 // per-dimension key columns; nil without a key
+	order   []int       // visit order (best first)
 	pos     int
 	confirm []int // confirmed maxima, for domination filtering
 
@@ -34,35 +42,73 @@ type Stream struct {
 // EvalStream starts progressive evaluation of σ[P](R); emitted values are
 // row indices in R.
 func EvalStream(p pref.Preference, r *relation.Relation) *Stream {
-	return EvalStreamTuples(p, r.Tuples())
+	return newStream(p, r)
 }
 
 // EvalStreamTuples starts progressive evaluation over a plain tuple slice
 // (e.g. the node sets of Preference XPath); emitted values are positions in
 // the slice.
 func EvalStreamTuples(p pref.Preference, tuples []pref.Tuple) *Stream {
-	s := &Stream{p: p, tuples: tuples}
-	keyFn, keyed := sfsKey(p)
-	if !keyed {
-		return s
+	return newStream(p, tupleSource(tuples))
+}
+
+// tupleSource adapts a tuple slice to the compilation Source interface.
+type tupleSource []pref.Tuple
+
+func (s tupleSource) Len() int               { return len(s) }
+func (s tupleSource) Tuple(i int) pref.Tuple { return s[i] }
+
+func newStream(p pref.Preference, src pref.Source) *Stream {
+	s := &Stream{n: src.Len()}
+	if pref.Compilable(p) {
+		if c, ok := pref.Compile(p, src); ok {
+			s.less = c.Less
+			if keys, ok := c.SortKeys(); ok {
+				s.keys = keys
+			}
+			s.initOrder()
+			return s
+		}
 	}
-	s.progressive = true
-	keys := make([][]float64, len(tuples))
-	s.order = make([]int, len(tuples))
-	for i, t := range tuples {
-		keys[i] = keyFn(t)
-		s.order[i] = i
+	tuples := make([]pref.Tuple, src.Len())
+	for i := range tuples {
+		tuples[i] = src.Tuple(i)
 	}
-	sort.SliceStable(s.order, func(a, b int) bool {
-		ka, kb := keys[s.order[a]], keys[s.order[b]]
-		for i := range ka {
-			if ka[i] != kb[i] {
-				return ka[i] > kb[i] // best first
+	s.less = func(i, j int) bool { return p.Less(tuples[i], tuples[j]) }
+	if keyFn, ok := sfsKey(p); ok && len(tuples) > 0 {
+		// Materialize the key vectors column-major once, instead of
+		// re-deriving (and allocating) a key per comparison.
+		first := keyFn(tuples[0])
+		keys := make([][]float64, len(first))
+		for d := range keys {
+			keys[d] = make([]float64, len(tuples))
+			keys[d][0] = first[d]
+		}
+		for i := 1; i < len(tuples); i++ {
+			for d, v := range keyFn(tuples[i]) {
+				keys[d][i] = v
 			}
 		}
-		return false
-	})
+		s.keys = keys
+	} else if ok {
+		s.keys = [][]float64{}
+	}
+	s.initOrder()
 	return s
+}
+
+// initOrder fixes the visit order when a compatible key exists: best
+// first, stably by position for determinism.
+func (s *Stream) initOrder() {
+	if s.keys == nil {
+		return
+	}
+	s.progressive = true
+	s.order = make([]int, s.n)
+	for i := range s.order {
+		s.order[i] = i
+	}
+	slices.SortStableFunc(s.order, func(a, b int) int { return cmpKeyColumns(s.keys, a, b) })
 }
 
 // Progressive reports whether the stream confirms maxima incrementally
@@ -80,8 +126,8 @@ func (s *Stream) Next() (row int, ok bool) {
 	if !s.progressive {
 		if !s.started {
 			s.started = true
-			s.consumed = len(s.tuples)
-			s.buffered = bnlTuples(s.p, s.tuples)
+			s.consumed = s.n
+			s.buffered = s.batch()
 		}
 		if s.pos >= len(s.buffered) {
 			return 0, false
@@ -96,7 +142,7 @@ func (s *Stream) Next() (row int, ok bool) {
 		s.consumed++
 		dominated := false
 		for _, c := range s.confirm {
-			if s.p.Less(s.tuples[i], s.tuples[c]) {
+			if s.less(i, c) {
 				dominated = true
 				break
 			}
@@ -135,19 +181,19 @@ func (s *Stream) Collect() []int {
 	return out
 }
 
-// bnlTuples is block-nested-loops over a plain tuple slice, the batch
-// fallback of the stream (same window invariant as bnl).
-func bnlTuples(p pref.Preference, tuples []pref.Tuple) []int {
+// batch is the block-nested-loops fallback of the stream over the bound
+// less predicate (same window invariant as bnl).
+func (s *Stream) batch() []int {
 	window := make([]int, 0, 16)
-	for i := range tuples {
+	for i := 0; i < s.n; i++ {
 		dominated := false
 		keep := window[:0]
 		for _, w := range window {
-			if p.Less(tuples[i], tuples[w]) {
+			if s.less(i, w) {
 				dominated = true
 				break
 			}
-			if !p.Less(tuples[w], tuples[i]) {
+			if !s.less(w, i) {
 				keep = append(keep, w)
 			}
 		}
@@ -156,6 +202,6 @@ func bnlTuples(p pref.Preference, tuples []pref.Tuple) []int {
 		}
 		window = append(keep, i)
 	}
-	sort.Ints(window)
+	slices.Sort(window)
 	return window
 }

@@ -63,10 +63,16 @@ func TestEvalStreamEveryEmissionIsFinal(t *testing.T) {
 func TestEvalStreamFallbackForGeneralPreferences(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	rel := randomRelation(rng, 300, 4)
-	p := pref.POS("A1", int64(1), int64(2)) // no compatible sort key
+	// An EXPLICIT graph is a genuine partial order with no compatible sort
+	// key, in the interpreted and the compiled world alike (POS, the old
+	// example here, became keyed with compiled level vectors).
+	p := pref.MustEXPLICIT("A1", []pref.Edge{
+		{Worse: int64(0), Better: int64(1)},
+		{Worse: int64(0), Better: int64(2)},
+	})
 	st := EvalStream(p, rel)
 	if st.Progressive() {
-		t.Fatal("POS has no key: stream must report batch fallback")
+		t.Fatal("EXPLICIT has no key: stream must report batch fallback")
 	}
 	got := st.Collect()
 	sort.Ints(got)

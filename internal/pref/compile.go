@@ -1,0 +1,813 @@
+package pref
+
+import (
+	"math"
+	"slices"
+	"sync"
+)
+
+// This file implements the compiled columnar evaluation layer: Compile
+// binds a preference term to a concrete tuple collection ONCE — attribute
+// names resolve to column vectors, every Scorer/level dimension
+// materializes as a flat []float64, discrete layers (POS/NEG/EXPLICIT,
+// linear sums) become small ordinal codes — and returns a specialized
+// less(i, j int) predicate over row positions. The interpreted path pays a
+// schema-map lookup, a Value interface boxing and a type switch for every
+// attribute of every pairwise comparison inside the O(n²)/O(n log n) BMO
+// loops; the compiled path pays them once per row at bind time and then
+// compares flat vectors, the block/column-at-a-time evaluation of the
+// skyline literature ([BKS01] block processing, column stores).
+
+// Source is the input of compilation: a fixed collection of tuples
+// addressed by position. *relation.Relation satisfies it structurally.
+type Source interface {
+	// Len returns the number of rows.
+	Len() int
+	// Tuple returns the row's Tuple view.
+	Tuple(i int) Tuple
+}
+
+// FloatColumner is optionally implemented by sources with typed columnar
+// storage (see relation.FloatColumn): FloatColumn returns the attribute's
+// values pre-mapped to the toScale linear scale together with an on-scale
+// mask, so materializing a numeric dimension is a vector copy instead of a
+// per-row interface unboxing and type switch.
+type FloatColumner interface {
+	FloatColumn(attr string) (vals []float64, onScale []bool, ok bool)
+}
+
+// EqColumner is optionally implemented by sources that maintain equality
+// codes per column (see relation.EqColumn): rows carry equal codes exactly
+// when their values are equal in the EqualValues sense. Compilation then
+// skips the per-row canonical-key formatting of the generic path, and the
+// codes amortize across every compile against the same source.
+type EqColumner interface {
+	EqColumn(attr string) (codes []uint32, ok bool)
+}
+
+// Compiled is the bound form of a preference over one Source: flat score
+// vectors, ordinal codes and equality codes, plus the less/dominates
+// predicates over row positions. A Compiled is immutable after Compile and
+// safe for concurrent readers; it does not observe later source mutations.
+type Compiled struct {
+	n    int
+	root cnode
+	p    Preference
+
+	// scoreVecs maps every scorer-or-level sub-term to its materialized
+	// score vector ("higher is better"), keyed by term identity. The engine
+	// reads chain-product coordinates straight from here.
+	scoreVecs map[Preference][]float64
+	// rankVecs caches the dense-rank transform of score vectors, the
+	// building block of sound sort keys (see SortKeys).
+	rankVecs map[Preference][]float64
+
+	keysOnce sync.Once
+	keys     [][]float64
+	keysOK   bool
+}
+
+// Compile binds p to src. It reports ok=false when the term contains a
+// constructor outside the compilable fragment (see Compilable) or a
+// dictionary-coded layer exceeds the ordinal-coding capacity; callers then
+// keep the interpreted Preference.Less path. The compiled predicate agrees
+// with p.Less(src.Tuple(i), src.Tuple(j)) on every pair of positions — the
+// cross-evaluation property tests assert exactly that.
+func Compile(p Preference, src Source) (*Compiled, bool) {
+	c := &compiler{
+		src:       src,
+		n:         src.Len(),
+		eqVecs:    make(map[string][]uint32),
+		presVecs:  make(map[string][]bool),
+		scoreVecs: make(map[Preference][]float64),
+	}
+	root, ok := c.compile(p)
+	if !ok {
+		return nil, false
+	}
+	cd := &Compiled{
+		n:         c.n,
+		root:      root,
+		p:         p,
+		scoreVecs: c.scoreVecs,
+		rankVecs:  make(map[Preference][]float64),
+	}
+	return cd, true
+}
+
+// Len returns the bound row count.
+func (cd *Compiled) Len() int { return cd.n }
+
+// Less reports src.Tuple(i) <P src.Tuple(j) over the compiled columns.
+func (cd *Compiled) Less(i, j int) bool { return cd.root.less(i, j) }
+
+// Dominates reports that row i beats row j, i.e. j <P i.
+func (cd *Compiled) Dominates(i, j int) bool { return cd.root.less(j, i) }
+
+// ScoreVec returns the materialized score vector of a scorer-or-level
+// sub-term of the compiled preference (identified by term identity), or
+// nil. Chain-product algorithms read their coordinates from it.
+func (cd *Compiled) ScoreVec(p Preference) []float64 { return cd.scoreVecs[p] }
+
+// SortKeys returns per-dimension key vectors such that comparing rows by
+// descending lexicographic key order is compatible with the preference:
+// i <P j implies key(i) <lex key(j) strictly, and projection-equality on
+// the relevant attribute set implies key equality. SFS-style algorithms
+// sort by it; ok=false when the term has no compatible key (general
+// partial orders: EXPLICIT graphs, duals, aggregations).
+//
+// Keys are built from dense ranks of the score vectors rather than the
+// raw scores: summing raw scores (the interpreted sfsKey strategy) loses
+// strictness when a component is ±Inf (absent attribute, off-scale value)
+// because Inf absorbs the finite component; ranks are always finite, so
+// the Pareto sum stays strictly monotone.
+func (cd *Compiled) SortKeys() ([][]float64, bool) {
+	// Lazy: algorithms that never sort (BNL, D&C coordinates) skip the
+	// rank transforms entirely. sync.Once keeps concurrent partition
+	// workers safe.
+	cd.keysOnce.Do(func() {
+		cd.keys, cd.keysOK = cd.keyVecs(cd.p)
+	})
+	return cd.keys, cd.keysOK
+}
+
+// keyVecs derives the lexicographic key columns: prioritized accumulation
+// concatenates (Definition 9 is lexicographic), everything else must
+// reduce to a scalar.
+func (cd *Compiled) keyVecs(p Preference) ([][]float64, bool) {
+	if q, ok := p.(*PrioritizedPref); ok {
+		k1, ok1 := cd.keyVecs(q.Left())
+		k2, ok2 := cd.keyVecs(q.Right())
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		return append(k1, k2...), true
+	}
+	v, ok := cd.scalarKeyVec(p)
+	if !ok {
+		return nil, false
+	}
+	return [][]float64{v}, true
+}
+
+// scalarKeyVec derives a scalar key column with i <P j ⇒ key[i] < key[j]
+// and projection-equality ⇒ key equality: rank-transformed score vectors
+// for scorer/level leaves, sums for Pareto accumulations (each addend is
+// ≤ with at least one <, and ranks are finite, so the sum is strict).
+func (cd *Compiled) scalarKeyVec(p Preference) ([]float64, bool) {
+	if s, ok := cd.scoreVecs[p]; ok {
+		return cd.rankOf(p, s), true
+	}
+	var parts []Preference
+	switch q := p.(type) {
+	case *ParetoPref:
+		parts = []Preference{q.Left(), q.Right()}
+	case *ProductPref:
+		parts = q.Parts()
+	default:
+		return nil, false
+	}
+	sum := make([]float64, cd.n)
+	for _, part := range parts {
+		v, ok := cd.scalarKeyVec(part)
+		if !ok {
+			return nil, false
+		}
+		for i := range sum {
+			sum[i] += v[i]
+		}
+	}
+	return sum, true
+}
+
+// rankOf returns the cached dense-rank transform of a score vector: equal
+// scores share a rank, higher scores get higher ranks, NaN scores form
+// their own lowest class (they are unranked against everything, so any
+// placement that keeps equal values equal is compatible).
+func (cd *Compiled) rankOf(p Preference, s []float64) []float64 {
+	if r, ok := cd.rankVecs[p]; ok {
+		return r
+	}
+	order := make([]int, len(s))
+	for i := range order {
+		order[i] = i
+	}
+	slices.SortFunc(order, func(a, b int) int { return cmpScore(s[a], s[b]) })
+	ranks := make([]float64, len(s))
+	rank := 0.0
+	for k, i := range order {
+		if k > 0 && cmpScore(s[order[k-1]], s[i]) != 0 {
+			rank++
+		}
+		ranks[i] = rank
+	}
+	cd.rankVecs[p] = ranks
+	return ranks
+}
+
+// cmpScore totally orders float64 scores with NaN first as its own class.
+func cmpScore(a, b float64) int {
+	aNaN, bNaN := math.IsNaN(a), math.IsNaN(b)
+	switch {
+	case aNaN && bNaN:
+		return 0
+	case aNaN:
+		return -1
+	case bNaN:
+		return 1
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// Compilable reports whether the term is inside the compiled fragment:
+// every built-in base and complex constructor of the library. Foreign
+// Preference implementations (and Scorers outside the built-in set) are
+// not, and evaluate through the interface path.
+func Compilable(p Preference) bool {
+	switch q := p.(type) {
+	case *Around, *Between, *Lowest, *Highest, *Score,
+		*Pos, *Neg, *PosNeg, *PosPos, *AntiChainPref,
+		*Explicit, *LinearSumPref:
+		return true
+	case *RankPref:
+		for _, part := range q.Parts() {
+			if !Compilable(part) {
+				return false
+			}
+		}
+		return true
+	case *DualPref:
+		return Compilable(q.Inner())
+	case *ParetoPref:
+		return Compilable(q.Left()) && Compilable(q.Right())
+	case *PrioritizedPref:
+		return Compilable(q.Left()) && Compilable(q.Right())
+	case *IntersectionPref:
+		return Compilable(q.Left()) && Compilable(q.Right())
+	case *DisjointUnionPref:
+		return Compilable(q.Left()) && Compilable(q.Right())
+	case *ProductPref:
+		for _, part := range q.Parts() {
+			if !Compilable(part) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// CompiledKeyed reports whether the compiled form of the term will carry
+// SortKeys: scorer and level leaves are scalar-keyed, Pareto accumulations
+// of scalars sum, prioritized accumulations concatenate. This is a strict
+// superset of the interpreted sfsKey fragment (level preferences such as
+// POS are weak orders, so their negated level is a valid scalar key); the
+// planner uses it to classify shapes for compiled evaluation.
+func CompiledKeyed(p Preference) bool {
+	return Compilable(p) && keyedShape(p)
+}
+
+func keyedShape(p Preference) bool {
+	if q, ok := p.(*PrioritizedPref); ok {
+		return keyedShape(q.Left()) && keyedShape(q.Right())
+	}
+	return scalarShape(p)
+}
+
+func scalarShape(p Preference) bool {
+	switch q := p.(type) {
+	case *Around, *Between, *Lowest, *Highest, *Score, *RankPref,
+		*Pos, *Neg, *PosNeg, *PosPos, *AntiChainPref:
+		return true
+	case *ParetoPref:
+		return scalarShape(q.Left()) && scalarShape(q.Right())
+	case *ProductPref:
+		for _, part := range q.Parts() {
+			if !scalarShape(part) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// maxOrdinalDim caps the dictionary size of ordinal-coded layers
+// (EXPLICIT graphs, linear sums): the precomputed pairwise matrix is
+// m×m bools, and a discrete layer with thousands of distinct values is
+// better served by the interface path than by a megabyte of matrix.
+const maxOrdinalDim = 512
+
+// cnode is one node of the compiled evaluation tree.
+type cnode interface {
+	less(i, j int) bool
+}
+
+// neverNode ranks nothing (anti-chains, Definition 3b).
+type neverNode struct{}
+
+func (neverNode) less(i, j int) bool { return false }
+
+// scoreNode evaluates i <P j as s[i] < s[j] over a materialized "higher is
+// better" vector, guarded by the per-row attribute presence mask (a row
+// without the attribute is unranked against everything). pres == nil means
+// every row has the attribute.
+type scoreNode struct {
+	pres []bool
+	s    []float64
+}
+
+func (n *scoreNode) less(i, j int) bool {
+	if n.pres != nil && (!n.pres[i] || !n.pres[j]) {
+		return false
+	}
+	return n.s[i] < n.s[j]
+}
+
+// matrixNode evaluates a discrete layer through ordinal codes and a
+// precomputed pairwise better-than matrix: code[i] indexes the distinct
+// values of the column, mat[code[i]*m+code[j]] caches Less on the value
+// pair. EXPLICIT graphs and linear sums compile here.
+type matrixNode struct {
+	pres []bool
+	code []int32
+	m    int
+	mat  []bool
+}
+
+func (n *matrixNode) less(i, j int) bool {
+	if n.pres != nil && (!n.pres[i] || !n.pres[j]) {
+		return false
+	}
+	return n.mat[int(n.code[i])*n.m+int(n.code[j])]
+}
+
+// dualNode swaps the argument order (Definition 3c).
+type dualNode struct{ inner cnode }
+
+func (n *dualNode) less(i, j int) bool { return n.inner.less(j, i) }
+
+// andNode is intersection ♦ (Definition 11a).
+type andNode struct{ l, r cnode }
+
+func (n *andNode) less(i, j int) bool { return n.l.less(i, j) && n.r.less(i, j) }
+
+// orNode is disjoint union + (Definition 11b).
+type orNode struct{ l, r cnode }
+
+func (n *orNode) less(i, j int) bool { return n.l.less(i, j) || n.r.less(i, j) }
+
+// prioNode is prioritized accumulation & (Definition 9); eq1 holds the
+// equality-code columns of P1's attribute set.
+type prioNode struct {
+	l, r cnode
+	eq1  [][]uint32
+}
+
+func (n *prioNode) less(i, j int) bool {
+	if n.l.less(i, j) {
+		return true
+	}
+	return eqAll(n.eq1, i, j) && n.r.less(i, j)
+}
+
+// paretoNode is Pareto accumulation ⊗ (Definition 8); eqL/eqR hold the
+// equality-code columns of the left/right attribute sets.
+type paretoNode struct {
+	l, r     cnode
+	eqL, eqR [][]uint32
+}
+
+func (n *paretoNode) less(i, j int) bool {
+	b := n.l.less(i, j)
+	d := n.r.less(i, j)
+	if b && d {
+		return true
+	}
+	if b && eqAll(n.eqR, i, j) {
+		return true
+	}
+	if d && eqAll(n.eqL, i, j) {
+		return true
+	}
+	return false
+}
+
+// productNode is the n-ary coordinate-wise Pareto accumulation.
+type productNode struct {
+	parts []cnode
+	eqs   [][][]uint32
+}
+
+func (n *productNode) less(i, j int) bool {
+	strict := false
+	for k, part := range n.parts {
+		switch {
+		case part.less(i, j):
+			strict = true
+		case eqAll(n.eqs[k], i, j):
+		default:
+			return false
+		}
+	}
+	return strict
+}
+
+// eqAll reports equality of rows i and j on every equality-code column.
+func eqAll(vecs [][]uint32, i, j int) bool {
+	for _, v := range vecs {
+		if v[i] != v[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// compiler carries the per-Source bind state: one pass per leaf over the
+// rows, shared equality/presence columns, and the boxed tuple views
+// allocated at most once.
+type compiler struct {
+	src       Source
+	n         int
+	tuples    []Tuple
+	eqVecs    map[string][]uint32
+	presVecs  map[string][]bool
+	scoreVecs map[Preference][]float64
+}
+
+func (c *compiler) ensureTuples() []Tuple {
+	if c.tuples == nil {
+		c.tuples = make([]Tuple, c.n)
+		for i := range c.tuples {
+			c.tuples[i] = c.src.Tuple(i)
+		}
+	}
+	return c.tuples
+}
+
+// presence returns the per-row attribute presence mask, or nil when the
+// attribute is present in every row (the invariable case over a schema-
+// backed relation).
+func (c *compiler) presence(attr string) []bool {
+	if mask, ok := c.presVecs[attr]; ok {
+		return mask
+	}
+	tuples := c.ensureTuples()
+	all := true
+	mask := make([]bool, c.n)
+	for i, t := range tuples {
+		_, ok := t.Get(attr)
+		mask[i] = ok
+		all = all && ok
+	}
+	if all {
+		mask = nil
+	}
+	c.presVecs[attr] = mask
+	return mask
+}
+
+// eqVec returns the attribute's equality-code column: rows carry equal
+// codes exactly when EqualOn holds for the attribute (canonical ValueKey
+// identity, absent rows sharing the reserved code 0). Sources with typed
+// column storage supply cached codes directly.
+func (c *compiler) eqVec(attr string) []uint32 {
+	if v, ok := c.eqVecs[attr]; ok {
+		return v
+	}
+	if ec, ok := c.src.(EqColumner); ok {
+		if codes, ok := ec.EqColumn(attr); ok {
+			c.eqVecs[attr] = codes
+			return codes
+		}
+	}
+	tuples := c.ensureTuples()
+	codes := make([]uint32, c.n)
+	dict := make(map[string]uint32)
+	next := uint32(1)
+	for i, t := range tuples {
+		v, ok := t.Get(attr)
+		if !ok {
+			codes[i] = 0
+			continue
+		}
+		if n, isNum := numeric(v); isNum && math.IsNaN(n) {
+			// NaN is unequal to everything including itself under
+			// EqualValues; every occurrence forms its own class (ValueKey
+			// would collapse them).
+			codes[i] = next
+			next++
+			continue
+		}
+		k := ValueKey(v)
+		code, hit := dict[k]
+		if !hit {
+			code = next
+			next++
+			dict[k] = code
+		}
+		codes[i] = code
+	}
+	c.eqVecs[attr] = codes
+	return codes
+}
+
+// eqSet returns the equality-code columns of an attribute set.
+func (c *compiler) eqSet(attrs []string) [][]uint32 {
+	out := make([][]uint32, len(attrs))
+	for k, a := range attrs {
+		out[k] = c.eqVec(a)
+	}
+	return out
+}
+
+// scoreFromColumn materializes a scorer leaf from a typed float column
+// when the source has one: a vector map with no boxing and no type
+// switches. score maps the on-scale value; off-scale rows score −Inf.
+func (c *compiler) scoreFromColumn(attr string, score func(float64) float64) (*scoreNode, bool) {
+	fc, ok := c.src.(FloatColumner)
+	if !ok {
+		return nil, false
+	}
+	vals, onScale, ok := fc.FloatColumn(attr)
+	if !ok {
+		return nil, false
+	}
+	s := make([]float64, c.n)
+	for i := range s {
+		if onScale[i] {
+			s[i] = score(vals[i])
+		} else {
+			s[i] = math.Inf(-1)
+		}
+	}
+	return &scoreNode{s: s}, true
+}
+
+// scoreFromValues materializes a scorer leaf through the generic tuple
+// path: one Get and one score call per row, once.
+func (c *compiler) scoreFromValues(attr string, score func(Value) float64) *scoreNode {
+	tuples := c.ensureTuples()
+	pres := c.presence(attr)
+	s := make([]float64, c.n)
+	for i, t := range tuples {
+		v, ok := t.Get(attr)
+		if !ok {
+			s[i] = math.Inf(-1)
+			continue
+		}
+		s[i] = score(v)
+	}
+	return &scoreNode{pres: pres, s: s}
+}
+
+// scorerLeaf compiles one built-in scorer, preferring the typed column
+// fast path, and registers the score vector under the term's identity.
+func (c *compiler) scorerLeaf(p Preference, attr string, fast func(float64) float64, slow func(Value) float64) cnode {
+	var node *scoreNode
+	if fast != nil {
+		if n, ok := c.scoreFromColumn(attr, fast); ok {
+			node = n
+		}
+	}
+	if node == nil {
+		node = c.scoreFromValues(attr, slow)
+	}
+	c.scoreVecs[p] = node.s
+	return node
+}
+
+// levelLeaf compiles a POS-family layer to its negated level vector: the
+// Definition 6 orders are weak orders by level, so i <P j iff
+// level(i) > level(j) iff −level(i) < −level(j). The level function runs
+// once per distinct value (via the equality codes), not once per row.
+func (c *compiler) levelLeaf(p Preference, attr string, level func(Value) int) cnode {
+	tuples := c.ensureTuples()
+	pres := c.presence(attr)
+	codes := c.eqVec(attr)
+	s := make([]float64, c.n)
+	byCode := make([]float64, c.n+2) // codes are dense and bounded by n+1
+	seen := make([]bool, c.n+2)
+	for i, t := range tuples {
+		if pres != nil && !pres[i] {
+			s[i] = math.Inf(-1)
+			continue
+		}
+		code := codes[i]
+		if !seen[code] {
+			v, _ := t.Get(attr)
+			byCode[code] = -float64(level(v))
+			seen[code] = true
+		}
+		s[i] = byCode[code]
+	}
+	node := &scoreNode{pres: pres, s: s}
+	c.scoreVecs[p] = node.s
+	return node
+}
+
+// matrixLeaf compiles a discrete single-attribute layer by dictionary-
+// coding the column's distinct values and caching Less on every value
+// pair. It fails beyond maxOrdinalDim distinct values.
+func (c *compiler) matrixLeaf(p Preference, attr string) (cnode, bool) {
+	tuples := c.ensureTuples()
+	pres := c.presence(attr)
+	codes := make([]int32, c.n)
+	dict := make(map[string]int32)
+	var vals []Value
+	for i, t := range tuples {
+		v, ok := t.Get(attr)
+		if !ok {
+			continue
+		}
+		k := ValueKey(v)
+		code, hit := dict[k]
+		if !hit {
+			code = int32(len(vals))
+			dict[k] = code
+			vals = append(vals, v)
+			if len(vals) > maxOrdinalDim {
+				return nil, false
+			}
+		}
+		codes[i] = code
+	}
+	m := len(vals)
+	mat := make([]bool, m*m)
+	for a := 0; a < m; a++ {
+		xa := Single{Attr: attr, Value: vals[a]}
+		for b := 0; b < m; b++ {
+			mat[a*m+b] = p.Less(xa, Single{Attr: attr, Value: vals[b]})
+		}
+	}
+	return &matrixNode{pres: pres, code: codes, m: m, mat: mat}, true
+}
+
+// compile lowers one term of the compilable fragment.
+func (c *compiler) compile(p Preference) (cnode, bool) {
+	switch q := p.(type) {
+	case *Lowest:
+		return c.scorerLeaf(q, q.Attr(),
+			func(v float64) float64 { return -v },
+			func(v Value) float64 {
+				n, ok := toScale(v)
+				if !ok {
+					return math.Inf(-1)
+				}
+				return -n
+			}), true
+	case *Highest:
+		return c.scorerLeaf(q, q.Attr(),
+			func(v float64) float64 { return v },
+			func(v Value) float64 {
+				n, ok := toScale(v)
+				if !ok {
+					return math.Inf(-1)
+				}
+				return n
+			}), true
+	case *Around:
+		return c.scorerLeaf(q, q.Attr(),
+			func(v float64) float64 { return -math.Abs(v - q.z) },
+			func(v Value) float64 { return -q.Distance(v) }), true
+	case *Between:
+		return c.scorerLeaf(q, q.Attr(),
+			func(v float64) float64 {
+				switch {
+				case v < q.low:
+					return v - q.low
+				case v > q.up:
+					return q.up - v
+				}
+				return 0
+			},
+			func(v Value) float64 { return -q.Distance(v) }), true
+	case *Score:
+		return c.scorerLeaf(q, q.Attr(), nil,
+			func(v Value) float64 { return q.f(v) }), true
+	case *RankPref:
+		return c.compileRank(q)
+	case *Pos:
+		return c.levelLeaf(q, q.Attr(), func(v Value) int {
+			if q.posSet.Contains(v) {
+				return 0
+			}
+			return 1
+		}), true
+	case *Neg:
+		return c.levelLeaf(q, q.Attr(), func(v Value) int {
+			if q.negSet.Contains(v) {
+				return 1
+			}
+			return 0
+		}), true
+	case *PosNeg:
+		return c.levelLeaf(q, q.Attr(), func(v Value) int {
+			switch {
+			case q.posSet.Contains(v):
+				return 0
+			case q.negSet.Contains(v):
+				return 2
+			}
+			return 1
+		}), true
+	case *PosPos:
+		return c.levelLeaf(q, q.Attr(), func(v Value) int {
+			switch {
+			case q.pos1.Contains(v):
+				return 0
+			case q.pos2.Contains(v):
+				return 1
+			}
+			return 2
+		}), true
+	case *Explicit:
+		return c.matrixLeaf(q, q.Attr())
+	case *LinearSumPref:
+		return c.matrixLeaf(q, q.Attrs()[0])
+	case *AntiChainPref:
+		c.scoreVecs[q] = make([]float64, c.n)
+		return neverNode{}, true
+	case *DualPref:
+		inner, ok := c.compile(q.Inner())
+		if !ok {
+			return nil, false
+		}
+		return &dualNode{inner}, true
+	case *ParetoPref:
+		l, ok1 := c.compile(q.Left())
+		r, ok2 := c.compile(q.Right())
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		return &paretoNode{l: l, r: r, eqL: c.eqSet(q.Left().Attrs()), eqR: c.eqSet(q.Right().Attrs())}, true
+	case *PrioritizedPref:
+		l, ok1 := c.compile(q.Left())
+		r, ok2 := c.compile(q.Right())
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		return &prioNode{l: l, r: r, eq1: c.eqSet(q.Left().Attrs())}, true
+	case *IntersectionPref:
+		l, ok1 := c.compile(q.Left())
+		r, ok2 := c.compile(q.Right())
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		return &andNode{l, r}, true
+	case *DisjointUnionPref:
+		l, ok1 := c.compile(q.Left())
+		r, ok2 := c.compile(q.Right())
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		return &orNode{l, r}, true
+	case *ProductPref:
+		parts := make([]cnode, len(q.Parts()))
+		eqs := make([][][]uint32, len(q.Parts()))
+		for k, part := range q.Parts() {
+			node, ok := c.compile(part)
+			if !ok {
+				return nil, false
+			}
+			parts[k] = node
+			eqs[k] = c.eqSet(part.Attrs())
+		}
+		return &productNode{parts: parts, eqs: eqs}, true
+	}
+	return nil, false
+}
+
+// compileRank materializes rank(F) by combining the component score
+// vectors column-wise: each part compiles first (registering its vector),
+// then one combine call per row. RankPref.Less compares combined scores
+// with no presence guard, so the node carries none either.
+func (c *compiler) compileRank(q *RankPref) (cnode, bool) {
+	parts := q.Parts()
+	vecs := make([][]float64, len(parts))
+	for k, part := range parts {
+		if _, ok := c.compile(part); !ok {
+			return nil, false
+		}
+		vec := c.scoreVecs[part]
+		if vec == nil {
+			return nil, false
+		}
+		vecs[k] = vec
+	}
+	s := make([]float64, c.n)
+	scratch := make([]float64, len(parts))
+	for i := range s {
+		for k := range vecs {
+			scratch[k] = vecs[k][i]
+		}
+		s[i] = q.f(scratch...)
+	}
+	node := &scoreNode{s: s}
+	c.scoreVecs[q] = node.s
+	return node, true
+}

@@ -1,0 +1,257 @@
+package pref
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// mapSource adapts a MapTuple slice to the compilation Source interface;
+// unlike a schema-backed relation, attribute presence varies per row, so
+// these tests exercise the presence masks.
+type mapSource []MapTuple
+
+func (s mapSource) Len() int          { return len(s) }
+func (s mapSource) Tuple(i int) Tuple { return s[i] }
+
+// randomMapTuples draws tuples over attributes A, B, C with mixed value
+// types (ints, floats, strings, times, NULLs) and occasionally missing
+// attributes.
+func randomMapTuples(rng *rand.Rand, n int) mapSource {
+	base := time.Date(2002, 8, 20, 0, 0, 0, 0, time.UTC)
+	drawValue := func() Value {
+		switch rng.Intn(7) {
+		case 0:
+			return int64(rng.Intn(5))
+		case 1:
+			return float64(rng.Intn(5)) + 0.5
+		case 2:
+			return []string{"x", "y", "z"}[rng.Intn(3)]
+		case 3:
+			return nil
+		case 4:
+			return base.AddDate(0, 0, rng.Intn(4))
+		case 5:
+			// NaN: off-scale, score-incomparable, and unequal to itself —
+			// exercises the per-occurrence equality classes.
+			return math.NaN()
+		}
+		return int64(rng.Intn(3))
+	}
+	out := make(mapSource, n)
+	for i := range out {
+		t := MapTuple{}
+		for _, a := range []string{"A", "B", "C"} {
+			if rng.Intn(8) == 0 {
+				continue // missing attribute
+			}
+			t[a] = drawValue()
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// compileTerms enumerates one instance of every preference constructor of
+// the library, including nested accumulations; the cross-evaluation
+// property tests iterate it.
+func compileTerms(t *testing.T) []Preference {
+	t.Helper()
+	score := SCORE("A", "wiggle", func(v Value) float64 {
+		if n, ok := Numeric(v); ok {
+			return math.Mod(n*7, 5)
+		}
+		return -3
+	})
+	explicit := MustEXPLICIT("B", []Edge{
+		{Worse: int64(0), Better: int64(1)},
+		{Worse: int64(1), Better: "x"},
+		{Worse: int64(0), Better: int64(3)},
+	})
+	linear := MustLinearSum("A",
+		AntiChainSet("A", int64(0), int64(1)),
+		AntiChainSet("A", "x", "y"))
+	posneg := MustPOSNEG("B", []Value{int64(1), "x"}, []Value{int64(0)})
+	pospos := MustPOSPOS("A", []Value{int64(2)}, []Value{"y", int64(0)})
+	rank := Rank("F", WeightedSum(1, -2), AROUND("A", 2), HIGHEST("B"))
+	rankW, err := RankWeighted([]float64{0.5, 2}, LOWEST("C"), score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Preference{
+		POS("A", int64(1), "x"),
+		NEG("B", int64(0), "z"),
+		posneg,
+		pospos,
+		explicit,
+		AROUND("A", 2),
+		AROUNDTime("C", time.Date(2002, 8, 21, 0, 0, 0, 0, time.UTC)),
+		MustBETWEEN("B", 1, 3),
+		LOWEST("A"),
+		HIGHEST("C"),
+		score,
+		rank,
+		rankW,
+		AntiChain("A", "B"),
+		AntiChainSet("C", int64(1), int64(2)),
+		linear,
+		Dual(LOWEST("A")),
+		Dual(explicit),
+		Pareto(LOWEST("A"), HIGHEST("B")),
+		Pareto(posneg, AROUND("A", 1)),
+		ParetoAll(LOWEST("A"), LOWEST("B"), HIGHEST("C")),
+		ParetoProduct(LOWEST("A"), POS("B", int64(2)), HIGHEST("C")),
+		Prioritized(POS("A", int64(0)), LOWEST("B")),
+		Prioritized(explicit, Pareto(LOWEST("A"), HIGHEST("C"))),
+		MustIntersection(Prioritized(LOWEST("A"), HIGHEST("B")), Prioritized(HIGHEST("B"), LOWEST("A"))),
+		MustDisjointUnion(POS("A", int64(1)), NEG("A", int64(0))),
+		GroupBy([]string{"C"}, LOWEST("A")),
+		// Preference on an attribute no tuple or only some tuples carry.
+		LOWEST("Z"),
+		Pareto(LOWEST("Z"), HIGHEST("A")),
+	}
+}
+
+// TestCompiledLessAgreesWithInterpreted is the core cross-evaluation
+// property: on random mixed-type tuple sets, the compiled predicate must
+// equal Preference.Less on every ordered pair, for every constructor.
+func TestCompiledLessAgreesWithInterpreted(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		src := randomMapTuples(rng, 3+rng.Intn(40))
+		for _, p := range compileTerms(t) {
+			if !Compilable(p) {
+				t.Fatalf("library constructor %s must be compilable", p)
+			}
+			c, ok := Compile(p, src)
+			if !ok {
+				t.Fatalf("Compile(%s) failed", p)
+			}
+			for i := 0; i < src.Len(); i++ {
+				for j := 0; j < src.Len(); j++ {
+					got := c.Less(i, j)
+					want := p.Less(src[i], src[j])
+					if got != want {
+						t.Fatalf("trial %d, %s: compiled Less(%d,%d)=%v, interpreted %v\nx=%v\ny=%v",
+							trial, p, i, j, got, want, src[i], src[j])
+					}
+					if c.Dominates(j, i) != got {
+						t.Fatalf("%s: Dominates must mirror Less", p)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledSortKeysCompatible checks the key contract the SFS-style
+// algorithms rely on: i <P j implies key(i) <lex key(j) strictly.
+func TestCompiledSortKeysCompatible(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	keyLess := func(keys [][]float64, i, j int) int {
+		for _, k := range keys {
+			switch {
+			case k[i] < k[j]:
+				return -1
+			case k[i] > k[j]:
+				return 1
+			}
+		}
+		return 0
+	}
+	for trial := 0; trial < 25; trial++ {
+		src := randomMapTuples(rng, 3+rng.Intn(30))
+		for _, p := range compileTerms(t) {
+			c, ok := Compile(p, src)
+			if !ok {
+				t.Fatalf("Compile(%s) failed", p)
+			}
+			keys, ok := c.SortKeys()
+			if !ok {
+				continue
+			}
+			if CompiledKeyed(p) != ok {
+				t.Errorf("%s: CompiledKeyed=%v but SortKeys ok=%v", p, CompiledKeyed(p), ok)
+			}
+			for i := 0; i < src.Len(); i++ {
+				for j := 0; j < src.Len(); j++ {
+					if c.Less(i, j) && keyLess(keys, i, j) >= 0 {
+						t.Fatalf("trial %d, %s: %d <P %d but key not strictly less", trial, p, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledKeyedCoverage pins the keyed fragment: scorer and level
+// terms (and their Pareto/prioritized accumulations) carry keys, true
+// partial orders do not.
+func TestCompiledKeyedCoverage(t *testing.T) {
+	explicit := MustEXPLICIT("A", []Edge{{Worse: int64(0), Better: int64(1)}})
+	for p, want := range map[Preference]bool{
+		LOWEST("A"):                                   true,
+		POS("A", int64(1)):                            true,
+		Pareto(POS("A", int64(1)), LOWEST("B")):       true,
+		Prioritized(NEG("A", int64(0)), HIGHEST("B")): true,
+		explicit:                           false,
+		Dual(LOWEST("A")):                  false,
+		Prioritized(explicit, LOWEST("B")): false,
+	} {
+		if got := CompiledKeyed(p); got != want {
+			t.Errorf("CompiledKeyed(%s) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+// TestCompileRejectsForeignPreferences: terms outside the library fragment
+// must report non-compilable and fail Compile, the fallback contract of
+// the engine.
+func TestCompileRejectsForeignPreferences(t *testing.T) {
+	foreign := foreignPref{}
+	if Compilable(foreign) {
+		t.Error("foreign implementation must not report compilable")
+	}
+	if _, ok := Compile(foreign, mapSource{{"A": int64(1)}}); ok {
+		t.Error("Compile of a foreign implementation must fail")
+	}
+	wrapped := Pareto(LOWEST("A"), foreign)
+	if Compilable(wrapped) {
+		t.Error("accumulations over foreign terms must not report compilable")
+	}
+	if _, ok := Compile(wrapped, mapSource{{"A": int64(1)}}); ok {
+		t.Error("Compile over a foreign sub-term must fail")
+	}
+}
+
+// TestCompileOrdinalCapFallsBack: a discrete layer with more distinct
+// values than the ordinal-coding cap must fail compilation (the engine
+// then keeps the interface path) rather than build a huge matrix.
+func TestCompileOrdinalCapFallsBack(t *testing.T) {
+	src := make(mapSource, maxOrdinalDim+2)
+	for i := range src {
+		src[i] = MapTuple{"A": fmt.Sprintf("v%d", i)}
+	}
+	p := MustEXPLICIT("A", []Edge{{Worse: "v0", Better: "v1"}})
+	if _, ok := Compile(p, src); ok {
+		t.Error("Compile must fail beyond the ordinal cap")
+	}
+}
+
+// foreignPref is a user-defined preference outside the library fragment.
+type foreignPref struct{}
+
+func (foreignPref) Attrs() []string { return []string{"A"} }
+func (foreignPref) Less(x, y Tuple) bool {
+	xv, xok := x.Get("A")
+	yv, yok := y.Get("A")
+	if !xok || !yok {
+		return false
+	}
+	xn, xok := Numeric(xv)
+	yn, yok := Numeric(yv)
+	return xok && yok && xn+1 < yn
+}
+func (foreignPref) String() string { return "FOREIGN(A)" }

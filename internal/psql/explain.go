@@ -53,10 +53,10 @@ func Explain(q *Query, cat Catalog, opts Options) (string, error) {
 			return b.String(), nil
 		}
 		if len(q.GroupingBy) > 0 {
-			emit("BMO σ[P groupby {%s}], P = %s [algorithm %s per group]",
-				strings.Join(q.GroupingBy, ", "), simplified, resolved)
+			emit("BMO σ[P groupby {%s}], P = %s [algorithm %s per group, %s evaluation]",
+				strings.Join(q.GroupingBy, ", "), simplified, resolved, evalModeOf(simplified, resolved))
 		} else {
-			emit("BMO σ[P], P = %s [algorithm %s]", simplified, resolved)
+			emit("BMO σ[P], P = %s [algorithm %s, %s evaluation]", simplified, resolved, evalModeOf(simplified, resolved))
 		}
 		if simplified.String() != p.String() {
 			fmt.Fprintf(&b, "    (simplified from %s by the preference algebra)\n", p)
@@ -97,7 +97,7 @@ func Explain(q *Query, cat Catalog, opts Options) (string, error) {
 			plan = engine.PlanWith(p, rel, engine.Env{})
 			resolved = plan.Algorithm
 		}
-		emit("%s ⇒ BMO σ[P], P = %s [algorithm %s]", q.Skyline, p, resolved)
+		emit("%s ⇒ BMO σ[P], P = %s [algorithm %s, %s evaluation]", q.Skyline, p, resolved, evalModeOf(p, resolved))
 		if plan != nil && q.Preferring == nil {
 			for _, line := range strings.Split(strings.TrimRight(plan.Explain(), "\n"), "\n") {
 				fmt.Fprintf(&b, "      %s\n", line)
@@ -119,6 +119,20 @@ func Explain(q *Query, cat Catalog, opts Options) (string, error) {
 	}
 	emitProjection(&b, &step, q)
 	return b.String(), nil
+}
+
+// evalModeOf names the evaluation path the engine will take for the term
+// under the resolved algorithm: compiled columnar for the library's
+// constructor fragment, interpreted tuple-at-a-time otherwise — and
+// always interpreted for the decomposition evaluator, which recurses over
+// sub-terms on the interface path. (A structurally compilable term can
+// still fall back at bind time when a discrete layer exceeds the
+// ordinal-coding cap; that rare case is not visible at explain time.)
+func evalModeOf(p pref.Preference, alg engine.Algorithm) string {
+	if alg != engine.Decomposition && pref.Compilable(p) {
+		return "compiled"
+	}
+	return "interpreted"
 }
 
 // emitProjection appends the projection/distinct steps.

@@ -38,14 +38,14 @@ func TestExplainReportsAutoAlgorithm(t *testing.T) {
 	}
 	// Five rows: auto resolves to SFS for a chain-product preference below
 	// the DNC threshold.
-	if !strings.Contains(plan, "[algorithm sfs]") {
+	if !strings.Contains(plan, "[algorithm sfs, compiled evaluation]") {
 		t.Errorf("plan must state the resolved algorithm:\n%s", plan)
 	}
 	plan, err = ExplainQuery("SELECT * FROM car PREFERRING LOWEST(price)", testCatalog(), Options{Algorithm: engine.Naive})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(plan, "[algorithm naive]") {
+	if !strings.Contains(plan, "[algorithm naive, compiled evaluation]") {
 		t.Errorf("explicit algorithm must be reported:\n%s", plan)
 	}
 }

@@ -1,0 +1,213 @@
+package relation
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/pref"
+)
+
+// Columnar storage mode: alongside the row store, a relation lazily
+// maintains typed column arrays (float64 vectors with on-scale masks for
+// the linearly ordered column types). The compiled preference evaluator
+// (pref.Compile) reads them through the pref.FloatColumner interface, so
+// materializing a score dimension is a flat vector copy instead of a
+// per-row schema lookup, interface unboxing and type switch. The arrays
+// are derived data: any row mutation (Insert, SortBy) invalidates them and
+// the next access rebuilds. FromColumns ingests column-major data and
+// builds both representations in one pass.
+
+// floatColumn is one column mapped to the toScale linear scale.
+type floatColumn struct {
+	vals    []float64
+	onScale []bool
+}
+
+// FloatColumn returns the named column's values mapped to the linear scale
+// preference scoring uses (numerics as themselves, TIME as Unix seconds)
+// together with an on-scale mask (false for NULLs and off-scale values).
+// It reports ok=false for columns that are not linearly ordered (STRING,
+// BOOL) and for unknown names. The returned slices are shared and cached;
+// callers must not modify them. It implements pref.FloatColumner.
+func (r *Relation) FloatColumn(name string) (vals []float64, onScale []bool, ok bool) {
+	ci, ok := r.schema.Index(name)
+	if !ok {
+		return nil, nil, false
+	}
+	switch r.schema.Col(ci).Type {
+	case Int, Float, Time:
+	default:
+		return nil, nil, false
+	}
+	r.colMu.Lock()
+	defer r.colMu.Unlock()
+	if r.floatCols == nil {
+		r.floatCols = make(map[int]*floatColumn, r.schema.Len())
+	}
+	col, hit := r.floatCols[ci]
+	if !hit {
+		col = buildFloatColumn(r.rows, ci)
+		r.floatCols[ci] = col
+	}
+	return col.vals, col.onScale, true
+}
+
+// buildFloatColumn materializes one column: the only place a per-row type
+// switch runs, once per (relation, column) instead of per comparison.
+func buildFloatColumn(rows []Row, ci int) *floatColumn {
+	col := &floatColumn{
+		vals:    make([]float64, len(rows)),
+		onScale: make([]bool, len(rows)),
+	}
+	for i, row := range rows {
+		v := row[ci]
+		if n, ok := pref.Numeric(v); ok {
+			col.vals[i], col.onScale[i] = n, true
+			continue
+		}
+		if t, ok := v.(time.Time); ok {
+			col.vals[i], col.onScale[i] = float64(t.Unix()), true
+		}
+	}
+	return col
+}
+
+// EqColumn returns equality codes for the named column: rows carry equal
+// codes exactly when their values are equal in the pref.EqualValues sense
+// (numeric cross-type equality, time instants, NULL equal to NULL only).
+// Codes start at 1; each NaN is its own class (NaN ≠ NaN). The slice is
+// cached until the next row mutation, so repeated compilations against
+// the same relation pay the dictionary pass once. It implements
+// pref.EqColumner.
+func (r *Relation) EqColumn(name string) ([]uint32, bool) {
+	ci, ok := r.schema.Index(name)
+	if !ok {
+		return nil, false
+	}
+	r.colMu.Lock()
+	defer r.colMu.Unlock()
+	if r.eqCols == nil {
+		r.eqCols = make(map[int][]uint32, r.schema.Len())
+	}
+	codes, hit := r.eqCols[ci]
+	if !hit {
+		codes = buildEqColumn(r.rows, ci)
+		r.eqCols[ci] = codes
+	}
+	return codes, true
+}
+
+// buildEqColumn dictionary-codes one column with type-native keys — no
+// canonical string formatting on the hot path.
+func buildEqColumn(rows []Row, ci int) []uint32 {
+	codes := make([]uint32, len(rows))
+	next := uint32(1)
+	nilCode := uint32(0)
+	byFloat := make(map[float64]uint32)
+	byString := make(map[string]uint32)
+	byInstant := make(map[int64]uint32)
+	for i, row := range rows {
+		v := row[ci]
+		if v == nil {
+			if nilCode == 0 {
+				nilCode = next
+				next++
+			}
+			codes[i] = nilCode
+			continue
+		}
+		if n, ok := pref.Numeric(v); ok {
+			code, hit := byFloat[n]
+			if !hit { // every NaN misses: each forms its own class
+				code = next
+				next++
+				byFloat[n] = code
+			}
+			codes[i] = code
+			continue
+		}
+		switch t := v.(type) {
+		case string:
+			code, hit := byString[t]
+			if !hit {
+				code = next
+				next++
+				byString[t] = code
+			}
+			codes[i] = code
+		case bool:
+			key := "f"
+			if t {
+				key = "t"
+			}
+			code, hit := byString[key]
+			if !hit {
+				code = next
+				next++
+				byString[key] = code
+			}
+			codes[i] = code
+		case time.Time:
+			key := t.UnixNano()
+			code, hit := byInstant[key]
+			if !hit {
+				code = next
+				next++
+				byInstant[key] = code
+			}
+			codes[i] = code
+		}
+	}
+	return codes
+}
+
+// Columnarize eagerly builds the typed arrays of every linearly ordered
+// column, so later compiled evaluations find them ready. It is optional:
+// FloatColumn builds lazily on first use.
+func (r *Relation) Columnarize() {
+	for _, c := range r.schema.Columns() {
+		r.FloatColumn(c.Name)
+	}
+}
+
+// invalidateColumns drops the derived typed arrays after a row mutation.
+func (r *Relation) invalidateColumns() {
+	r.colMu.Lock()
+	r.floatCols = nil
+	r.eqCols = nil
+	r.colMu.Unlock()
+}
+
+// FromColumns builds a relation from column-major data: cols[k] holds the
+// values of schema column k, all of equal length. Values are type-checked
+// as in Insert, and the linearly ordered columns' typed arrays are built
+// in the same pass, so the relation is born columnar.
+func FromColumns(name string, schema *Schema, cols ...[]pref.Value) (*Relation, error) {
+	if len(cols) != schema.Len() {
+		return nil, fmt.Errorf("relation %s: %d columns for schema arity %d", name, len(cols), schema.Len())
+	}
+	n := 0
+	for k, col := range cols {
+		if k == 0 {
+			n = len(col)
+		} else if len(col) != n {
+			return nil, fmt.Errorf("relation %s: column %s has %d rows, want %d", name, schema.Col(k).Name, len(col), n)
+		}
+	}
+	r := New(name, schema)
+	r.rows = make([]Row, n)
+	for i := range r.rows {
+		r.rows[i] = make(Row, len(cols))
+	}
+	for k, col := range cols {
+		t := schema.Col(k).Type
+		for i, v := range col {
+			if err := checkValue(t, v); err != nil {
+				return nil, fmt.Errorf("relation %s, column %s, row %d: %w", name, schema.Col(k).Name, i, err)
+			}
+			r.rows[i][k] = v
+		}
+	}
+	r.Columnarize()
+	return r, nil
+}

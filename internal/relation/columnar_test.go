@@ -1,0 +1,98 @@
+package relation
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/pref"
+)
+
+func TestFloatColumnTypesAndMasks(t *testing.T) {
+	day := time.Date(2002, 8, 20, 0, 0, 0, 0, time.UTC)
+	r := New("R", MustSchema(
+		Column{Name: "i", Type: Int},
+		Column{Name: "f", Type: Float},
+		Column{Name: "t", Type: Time},
+		Column{Name: "s", Type: String},
+	))
+	r.MustInsert(
+		Row{int64(3), 1.5, day, "a"},
+		Row{int64(-2), nil, day.AddDate(0, 0, 1), "b"},
+	)
+	vals, onScale, ok := r.FloatColumn("i")
+	if !ok || vals[0] != 3 || vals[1] != -2 || !onScale[0] || !onScale[1] {
+		t.Errorf("int column: vals=%v onScale=%v ok=%v", vals, onScale, ok)
+	}
+	vals, onScale, ok = r.FloatColumn("f")
+	if !ok || vals[0] != 1.5 || onScale[1] {
+		t.Errorf("float column must mask NULLs: vals=%v onScale=%v", vals, onScale)
+	}
+	vals, _, ok = r.FloatColumn("t")
+	if !ok || vals[0] != float64(day.Unix()) {
+		t.Errorf("time column maps to Unix seconds: %v", vals)
+	}
+	if _, _, ok := r.FloatColumn("s"); ok {
+		t.Error("string columns are not linearly ordered")
+	}
+	if _, _, ok := r.FloatColumn("nope"); ok {
+		t.Error("unknown column must report !ok")
+	}
+}
+
+func TestFloatColumnInvalidatedByMutation(t *testing.T) {
+	r := New("R", MustSchema(Column{Name: "v", Type: Float}))
+	r.MustInsert(Row{1.0})
+	vals, _, _ := r.FloatColumn("v")
+	if len(vals) != 1 {
+		t.Fatalf("len=%d", len(vals))
+	}
+	r.MustInsert(Row{2.0})
+	vals, _, _ = r.FloatColumn("v")
+	if len(vals) != 2 || vals[1] != 2 {
+		t.Errorf("Insert must invalidate the columnar cache: %v", vals)
+	}
+	r.SortBy(func(a, b pref.Tuple) bool {
+		av, _ := a.Get("v")
+		bv, _ := b.Get("v")
+		an, _ := pref.Numeric(av)
+		bn, _ := pref.Numeric(bv)
+		return an > bn
+	})
+	vals, _, _ = r.FloatColumn("v")
+	if vals[0] != 2 || vals[1] != 1 {
+		t.Errorf("SortBy must invalidate the columnar cache: %v", vals)
+	}
+}
+
+func TestFromColumns(t *testing.T) {
+	schema := MustSchema(
+		Column{Name: "a", Type: Int},
+		Column{Name: "b", Type: String},
+	)
+	r, err := FromColumns("C", schema,
+		[]pref.Value{int64(1), int64(2), int64(3)},
+		[]pref.Value{"x", "y", "z"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len=%d", r.Len())
+	}
+	if v, _ := r.Tuple(1).Get("b"); v != "y" {
+		t.Errorf("row view: %v", v)
+	}
+	vals, onScale, ok := r.FloatColumn("a")
+	if !ok || vals[2] != 3 || !onScale[2] {
+		t.Errorf("born-columnar access: %v %v %v", vals, onScale, ok)
+	}
+	if _, err := FromColumns("C", schema, []pref.Value{int64(1)}, []pref.Value{"x", "y"}); err == nil {
+		t.Error("ragged columns must fail")
+	}
+	if _, err := FromColumns("C", schema, []pref.Value{"notint"}, []pref.Value{"x"}); err == nil {
+		t.Error("type mismatch must fail")
+	}
+	if _, err := FromColumns("C", schema, []pref.Value{int64(1)}); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+}

@@ -7,8 +7,9 @@ package relation
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/pref"
@@ -134,11 +135,17 @@ func checkValue(t Type, v pref.Value) error {
 // Row is one tuple's values in schema order.
 type Row []pref.Value
 
-// Relation is an in-memory database set R(B1, …, Bm).
+// Relation is an in-memory database set R(B1, …, Bm). Rows are the storage
+// of record; typed column arrays for compiled evaluation are maintained
+// lazily alongside them (see columnar.go).
 type Relation struct {
 	name   string
 	schema *Schema
 	rows   []Row
+
+	colMu     sync.Mutex
+	floatCols map[int]*floatColumn
+	eqCols    map[int][]uint32
 }
 
 // New creates an empty relation with the given name and schema.
@@ -172,6 +179,7 @@ func (r *Relation) Insert(row Row) error {
 		}
 	}
 	r.rows = append(r.rows, append(Row(nil), row...))
+	r.invalidateColumns()
 	return nil
 }
 
@@ -326,9 +334,18 @@ func (r *Relation) Groups(attrs []string) [][]int {
 // SortBy orders the relation's rows in place by the given less function
 // over tuple views; the sort is stable.
 func (r *Relation) SortBy(less func(a, b pref.Tuple) bool) {
-	sort.SliceStable(r.rows, func(i, j int) bool {
-		return less(r.Tuple(i), r.Tuple(j))
+	slices.SortStableFunc(r.rows, func(a, b Row) int {
+		ta := rowTuple{schema: r.schema, row: a}
+		tb := rowTuple{schema: r.schema, row: b}
+		switch {
+		case less(ta, tb):
+			return -1
+		case less(tb, ta):
+			return 1
+		}
+		return 0
 	})
+	r.invalidateColumns()
 }
 
 // Clone returns a deep copy of the relation.
