@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-json lint fmt
+.PHONY: build test bench bench-json lint lint-docs fmt
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ bench:
 # BENCHJSON_TIME=1x for a smoke run; the committed baseline uses a real
 # benchtime so the numbers are comparable across PRs.
 BENCHJSON_TIME ?= 0.5s
-BENCHJSON_OUT ?= BENCH_PR2.json
+BENCHJSON_OUT ?= BENCH_PR3.json
 bench-json:
 	# Two steps, not a pipe: a pipe would discard go test's exit status
 	# and mask failing/panicking benchmarks from CI.
@@ -35,6 +35,22 @@ lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "files need gofmt:"; echo "$$out"; exit 1; \
 	fi
+
+# Grep-based doc lint: every exported top-level symbol in the core
+# packages must carry a doc comment (the line above its declaration must
+# be a comment). Grouped const/var blocks are exempt by construction —
+# their members are indented.
+DOC_PKGS = internal/pref internal/engine internal/relation internal/filter internal/boundcache
+lint-docs:
+	@fail=0; \
+	for f in $$(find $(DOC_PKGS) -name '*.go' ! -name '*_test.go'); do \
+		awk -v file=$$f '\
+			/^(func|type|var|const) [A-Z]/ || /^func \([A-Za-z_]+ \*?[A-Z][^)]*\) [A-Z]/ { \
+				if (prev !~ /^\/\//) { printf "%s:%d: missing doc comment: %s\n", file, FNR, $$0; bad = 1 } } \
+			{ prev = $$0 } \
+			END { exit bad }' $$f || fail=1; \
+	done; \
+	if [ $$fail -ne 0 ]; then echo "lint-docs: exported symbols need doc comments"; exit 1; fi
 
 fmt:
 	gofmt -w .

@@ -5,19 +5,24 @@
 // Preference XPath, plus the evaluation substrates needed to regenerate
 // every worked example and quantitative claim of the paper.
 //
-// Preference evaluation runs over a compiled columnar form whenever the
-// term is built from the library's constructors: pref.Compile binds
-// attribute names to column ordinals once, materializes score dimensions
-// as flat float64 vectors and discrete layers as ordinal codes, and hands
-// the engine a specialized less(i, j) predicate — the interpreted
-// tuple-at-a-time interface path remains as the transparent fallback for
-// foreign Preference implementations (and as the measured baseline, see
-// engine.EvalMode). Plan.Explain and Preference SQL EXPLAIN report which
-// path a query takes.
+// The whole query path runs over compiled columnar forms whenever the
+// terms are built from the library's constructors: pref.Compile binds a
+// preference to column vectors once (flat score vectors, ordinal codes, a
+// specialized less(i, j) predicate), filter.Compile does the same for
+// hard WHERE selections (vector scans, per-distinct-value dictionary
+// evaluation, a Keep(i) bitmap), and both layers cache their bound forms
+// keyed by relation identity + mutation version + term rendering, so
+// repeated queries over an unchanged relation skip binding entirely. The
+// interpreted tuple-at-a-time interface path remains as the transparent
+// fallback for foreign Preference/Pred implementations (and as the
+// measured baseline, see engine.EvalMode). Plan.Explain and Preference
+// SQL EXPLAIN report which path a query takes and whether the caches hit.
 //
-// Start with internal/core (the façade API) and README.md (package tour,
+// Start with ARCHITECTURE.md (the end-to-end dataflow tour with file
+// pointers), internal/core (the façade API) and README.md (package tour,
 // how to run the examples, benchmarks and CI). bench_test.go in this
 // directory holds one benchmark per reproduced experiment plus the
 // evaluation-layer benches (parallel variants, planner, streaming,
-// compiled vs interpreted); BENCH_PR2.json is the committed baseline.
+// compiled vs interpreted, selection and compile-cache studies);
+// BENCH_PR3.json is the committed baseline.
 package repro

@@ -1,0 +1,119 @@
+// Package boundcache is the bounded, version-keyed cache shared by the
+// compile layers: the engine's preference compile cache and the filter
+// layer's selection cache both map (source identity, source mutation
+// version, canonical term key) to an immutable bound form. The policy —
+// what is safe to key and what to store — stays with the callers; this
+// package owns the mechanics: bounded size, stale-version-first eviction,
+// hit/miss accounting, thread safety.
+package boundcache
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one bound form: the source it was bound against (an
+// identity, typically a *relation.Relation — it must be comparable), the
+// source's mutation version at bind time, and a canonical rendering of
+// the compiled term. Callers must only use term keys that fully determine
+// the term's semantics.
+type Key struct {
+	Src     any
+	Version uint64
+	Term    string
+}
+
+// Cache is a bounded map from Key to bound forms of type V. The zero
+// value is not usable; construct with New. All methods are safe for
+// concurrent use.
+type Cache[V any] struct {
+	cap int
+
+	mu sync.Mutex
+	m  map[Key]V
+
+	hits, misses atomic.Uint64
+}
+
+// New returns an empty cache bounded to capacity entries.
+func New[V any](capacity int) *Cache[V] {
+	return &Cache[V]{cap: capacity, m: make(map[Key]V)}
+}
+
+// Get returns the cached bound form for the key and counts a hit or miss.
+func (c *Cache[V]) Get(k Key) (V, bool) {
+	c.mu.Lock()
+	v, ok := c.m[k]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Peek returns the cached bound form without touching the hit/miss
+// counters; EXPLAIN-style status probes use it.
+func (c *Cache[V]) Peek(k Key) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[k]
+	return v, ok
+}
+
+// Put stores a bound form. At capacity it evicts entries of the same
+// source with an outdated version first (they can never be read again),
+// then arbitrary entries until there is room. Overwriting an existing key
+// never evicts: it cannot grow the map (duplicate Puts are the normal
+// outcome of two goroutines racing the same miss).
+func (c *Cache[V]) Put(k Key, v V) {
+	c.mu.Lock()
+	if _, exists := c.m[k]; !exists && len(c.m) >= c.cap {
+		for o := range c.m {
+			if o.Src == k.Src && o.Version != k.Version {
+				delete(c.m, o)
+			}
+		}
+		for o := range c.m {
+			if len(c.m) < c.cap {
+				break
+			}
+			delete(c.m, o)
+		}
+	}
+	c.m[k] = v
+	c.mu.Unlock()
+}
+
+// Len returns the current number of cached entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache[V]) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Reset empties the cache and zeroes the counters.
+func (c *Cache[V]) Reset() {
+	c.mu.Lock()
+	c.m = make(map[Key]V)
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// WriteKeyStr appends a length-prefixed string to b: the canonical
+// encoding the cache layers build collision-safe term keys from —
+// components containing delimiter bytes cannot forge another key.
+func WriteKeyStr(b *strings.Builder, s string) {
+	b.WriteString(strconv.Itoa(len(s)))
+	b.WriteByte(':')
+	b.WriteString(s)
+}

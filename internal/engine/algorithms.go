@@ -63,100 +63,158 @@ func bnl(p pref.Preference, r *relation.Relation, idx []int) []int {
 	return window
 }
 
-// sfsKey derives a sort key compatible with P: a vector key(t) ∈ ℝ^k,
-// compared lexicographically, such that x <P y implies key(x) <lex key(y)
-// strictly. SFS sorts candidates by descending key so no tuple can be
-// dominated by a later one.
+// keyColumns derives the structure of a sort key compatible with P: a list
+// of lexicographic key columns, each the set of Scorer leaves whose
+// dense-ranked score vectors sum into that column. Comparing tuples by
+// descending lexicographic key is then compatible with P — x <P y implies
+// key(x) <lex key(y) strictly — so SFS can visit best-first and confirm on
+// sight.
 //
-// Keys exist for Scorer leaves (k=1), prioritized accumulations
-// (concatenation: lexicographic order respects & by Definition 9), and
-// Pareto accumulations of scalar-keyed operands (sum: each component is ≤
-// with at least one <, per Definition 8).
-func sfsKey(p pref.Preference) (func(pref.Tuple) []float64, bool) {
-	if fn, ok := scalarKey(p); ok {
-		return func(t pref.Tuple) []float64 { return []float64{fn(t)} }, true
+// Keys exist for Scorer leaves (one column, one leaf), prioritized
+// accumulations (column concatenation: lexicographic order respects & by
+// Definition 9), and Pareto accumulations of scalar-keyed operands (leaf
+// union summed into one column: each addend is ≤ with at least one <, per
+// Definition 8). The summed components are dense ranks of the leaf scores,
+// not the raw scores: ranks are always finite, so the sum stays strictly
+// monotone where a ±Inf raw component (NULL, off-scale value) would absorb
+// the finite part and collapse a ranked pair to equal keys — the
+// soundness edge the compiled SortKeys fixed first (see pref.Compiled).
+func keyColumns(p pref.Preference) ([][]func(pref.Tuple) float64, bool) {
+	if leaves, ok := scalarLeaves(p); ok {
+		return [][]func(pref.Tuple) float64{leaves}, true
 	}
-	switch q := p.(type) {
-	case *pref.PrioritizedPref:
-		k1, ok1 := sfsKey(q.Left())
-		k2, ok2 := sfsKey(q.Right())
+	if q, ok := p.(*pref.PrioritizedPref); ok {
+		k1, ok1 := keyColumns(q.Left())
+		k2, ok2 := keyColumns(q.Right())
 		if !ok1 || !ok2 {
 			return nil, false
 		}
-		return func(t pref.Tuple) []float64 {
-			return append(k1(t), k2(t)...)
-		}, true
+		return append(k1, k2...), true
 	}
 	return nil, false
 }
 
-// scalarKey derives a scalar key with x <P y ⇒ key(x) < key(y) and
-// projection-equality ⇒ key-equality: Scorers directly, Pareto trees of
-// scalars by summation.
-func scalarKey(p pref.Preference) (func(pref.Tuple) float64, bool) {
+// scalarLeaves flattens the scorer leaves of a scalar-keyed term: Scorers
+// directly, Pareto trees of scalars by leaf union.
+func scalarLeaves(p pref.Preference) ([]func(pref.Tuple) float64, bool) {
 	switch q := p.(type) {
 	case pref.Scorer:
-		return q.ScoreOf, true
+		return []func(pref.Tuple) float64{q.ScoreOf}, true
 	case *pref.ParetoPref:
-		k1, ok1 := scalarKey(q.Left())
-		k2, ok2 := scalarKey(q.Right())
+		l, ok1 := scalarLeaves(q.Left())
+		r, ok2 := scalarLeaves(q.Right())
 		if !ok1 || !ok2 {
 			return nil, false
 		}
-		return func(t pref.Tuple) float64 { return k1(t) + k2(t) }, true
+		return append(l, r...), true
 	}
 	return nil, false
+}
+
+// interpretedKeyVecs materializes the per-dimension sort key vectors of p
+// over a tuple collection: every leaf scores once per tuple, the score
+// vector dense-rank-transforms, and ranks sum per key column. It is the
+// interface-path mirror of Compiled.SortKeys; ok=false when the term has
+// no compatible key.
+func interpretedKeyVecs(p pref.Preference, tuples []pref.Tuple) ([][]float64, bool) {
+	cols, ok := keyColumns(p)
+	if !ok {
+		return nil, false
+	}
+	keys := make([][]float64, len(cols))
+	scores := make([]float64, len(tuples))
+	for d, leaves := range cols {
+		sum := make([]float64, len(tuples))
+		for _, leaf := range leaves {
+			for i, t := range tuples {
+				scores[i] = leaf(t)
+			}
+			addDenseRanks(sum, scores)
+		}
+		keys[d] = sum
+	}
+	return keys, true
+}
+
+// addDenseRanks adds the dense ranks of scores into sum, position-wise:
+// equal scores share a rank, higher scores get higher ranks, and every NaN
+// joins one lowest class (NaN scores are unranked against everything, so
+// any placement keeping equal values equal is compatible) — the same
+// transform Compiled.SortKeys applies to its score vectors.
+func addDenseRanks(sum, scores []float64) {
+	order := make([]int, len(scores))
+	for i := range order {
+		order[i] = i
+	}
+	slices.SortFunc(order, func(a, b int) int {
+		switch {
+		case fltLess(scores[a], scores[b]):
+			return -1
+		case fltLess(scores[b], scores[a]):
+			return 1
+		}
+		return 0
+	})
+	rank := 0.0
+	for k, i := range order {
+		if k > 0 {
+			prev := scores[order[k-1]]
+			if fltLess(prev, scores[i]) || fltLess(scores[i], prev) {
+				rank++
+			}
+		}
+		sum[i] += rank
+	}
 }
 
 // sfs runs sort-filter-skyline: sort by descending compatible key, then a
 // single pass comparing each candidate only against confirmed result
-// members. Falls back to BNL when no compatible key exists.
+// members. The key vectors are materialized once over the candidate set
+// with dense-ranked components (see interpretedKeyVecs). Falls back to BNL
+// when no compatible key exists.
 func sfs(p pref.Preference, r *relation.Relation, idx []int) []int {
-	keyFn, ok := sfsKey(p)
+	if _, ok := keyColumns(p); !ok {
+		// Keyability is input-independent: decide before materializing the
+		// candidate tuple views.
+		return bnl(p, r, idx)
+	}
+	tuples := make([]pref.Tuple, len(idx))
+	for k, i := range idx {
+		tuples[k] = r.Tuple(i)
+	}
+	keys, ok := interpretedKeyVecs(p, tuples)
 	if !ok {
 		return bnl(p, r, idx)
 	}
-	type cand struct {
-		row int
-		key []float64
+	// Candidates with equal keys are mutually unranked (x <P y forces a
+	// strictly smaller key now that rank components are finite), so the
+	// filter pass keeps them all regardless of visit order and stability
+	// is unnecessary.
+	order := make([]int, len(idx))
+	for k := range order {
+		order[k] = k
 	}
-	cands := make([]cand, len(idx))
-	for k, i := range idx {
-		cands[k] = cand{i, keyFn(r.Tuple(i))}
-	}
-	// Stability is unnecessary: for finite keys, candidates with equal
-	// keys are mutually unranked (x <P y forces a strictly smaller key),
-	// so the filter pass keeps them all regardless of visit order. (±Inf
-	// key components can collapse ranked pairs to equal keys — a
-	// pre-existing unsoundness of the raw-score sum this key derivation
-	// uses, see ROADMAP; the compiled path rank-transforms instead.)
-	slices.SortFunc(cands, func(a, b cand) int {
-		for i := range a.key {
-			switch {
-			case a.key[i] > b.key[i]: // descending
-				return -1
-			case a.key[i] < b.key[i]:
-				return 1
-			}
-		}
-		return 0
-	})
+	slices.SortFunc(order, func(a, b int) int { return cmpKeyColumns(keys, a, b) })
 	var result []int
-	for _, c := range cands {
-		tc := r.Tuple(c.row)
+	for _, k := range order {
+		tc := tuples[k]
 		dominated := false
 		for _, w := range result {
-			if p.Less(tc, r.Tuple(w)) {
+			if p.Less(tc, tuples[w]) {
 				dominated = true
 				break
 			}
 		}
 		if !dominated {
-			result = append(result, c.row)
+			result = append(result, k)
 		}
 	}
-	slices.Sort(result)
-	return result
+	out := make([]int, len(result))
+	for j, k := range result {
+		out[j] = idx[k]
+	}
+	slices.Sort(out)
+	return out
 }
 
 // chainDims flattens a Pareto tree into its chain dimensions (LOWEST or

@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"repro/internal/boundcache"
+	"repro/internal/pref"
+	"repro/internal/relation"
+)
+
+// The compile cache: bound preference forms (pref.Compiled) keyed by
+// relation identity, the relation's mutation counter and the term's
+// canonical rendering (see internal/boundcache for the shared mechanics).
+// BMOIndices used to compile the same term afresh on every call; with the
+// cache, repeated queries over an unchanged relation — the workload
+// auto-administration studies target — reuse the flat score vectors,
+// ordinal codes and rank transforms outright. Terms are keyed by
+// pref.CacheKey — a canonical, semantics-faithful encoding, NOT String()
+// (see cachekey.go for why the human rendering collides) — rather than
+// pointer identity, so a re-parsed Preference SQL statement hits the
+// entry its previous execution left; terms without a faithful key
+// (SCORE/rank(F) opaque functions, day-rendered time values) bypass the
+// cache and bind fresh. Any Insert/SortBy bumps relation.Version and
+// strands the
+// stale entries (evicted lazily); a pref.Compiled is immutable after
+// Compile, so sharing one bound form across queries and goroutines is
+// safe.
+
+// compileCacheCap bounds the number of cached bound forms.
+const compileCacheCap = 128
+
+// compileEntry also caches negative outcomes: a structurally compilable
+// term can still fail to bind (ordinal-coding cap), and re-discovering
+// that per query would cost a full bind attempt.
+type compileEntry struct {
+	c *pref.Compiled
+}
+
+var compileCache = boundcache.New[compileEntry](compileCacheCap)
+
+// cachedCompile returns the bound form of p over r through the compile
+// cache, or nil when binding fails. Callers have already checked
+// pref.Compilable. Two classes of input bypass the cache and bind fresh:
+// terms without a faithful cache key (pref.CacheKey reports ok=false),
+// and ephemeral relations (query intermediates built by Pick/Select —
+// their identity is new per query, so an entry could never hit again and
+// would only pin the materialized rows until eviction).
+func cachedCompile(p pref.Preference, r *relation.Relation) *pref.Compiled {
+	term, keyed := pref.CacheKey(p)
+	if !keyed || r.Ephemeral() {
+		c, ok := pref.Compile(p, r)
+		if !ok {
+			return nil
+		}
+		return c
+	}
+	key := boundcache.Key{Src: r, Version: r.Version(), Term: term}
+	if e, hit := compileCache.Get(key); hit {
+		return e.c
+	}
+	c, ok := pref.Compile(p, r)
+	if !ok {
+		c = nil
+	}
+	compileCache.Put(key, compileEntry{c: c})
+	return c
+}
+
+// CompileCached reports whether a bound form of p over r's current version
+// is already in the compile cache, without compiling. EXPLAIN uses it to
+// report compile-cache status. Cached negative outcomes (terms that failed
+// to bind) do not count: no bound form exists to reuse.
+func CompileCached(p pref.Preference, r *relation.Relation) bool {
+	if r == nil || r.Ephemeral() {
+		return false
+	}
+	term, keyed := pref.CacheKey(p)
+	if !keyed {
+		return false
+	}
+	key := boundcache.Key{Src: r, Version: r.Version(), Term: term}
+	e, hit := compileCache.Peek(key)
+	return hit && e.c != nil
+}
+
+// CompileCacheStats returns the cumulative compile-cache hit and miss
+// counts.
+func CompileCacheStats() (hits, misses uint64) {
+	return compileCache.Stats()
+}
+
+// ResetCompileCache empties the compile cache and zeroes its counters;
+// tests and benchmarks use it to measure cold binds.
+func ResetCompileCache() {
+	compileCache.Reset()
+}

@@ -46,17 +46,15 @@ func (m EvalMode) String() string {
 	return fmt.Sprintf("EvalMode(%d)", int(m))
 }
 
-// compileFor binds p to the relation's columns, or returns nil when the
-// mode forbids it or the term is outside the compilable fragment.
+// compileFor binds p to the relation's columns through the compile cache,
+// or returns nil when the mode forbids it or the term is outside the
+// compilable fragment. Repeated calls with the same term over an unchanged
+// relation reuse one bound form (see cache.go).
 func compileFor(p pref.Preference, r *relation.Relation, mode EvalMode) *pref.Compiled {
 	if mode == EvalInterpreted || r == nil || !pref.Compilable(p) {
 		return nil
 	}
-	c, ok := pref.Compile(p, r)
-	if !ok {
-		return nil
-	}
-	return c
+	return cachedCompile(p, r)
 }
 
 // naiveCompiled is the exhaustive pairwise reference over compiled columns.
@@ -150,9 +148,12 @@ func cmpKeyColumns(keys [][]float64, a, b int) int {
 // dncCompiled runs the [KLP75] divide & conquer with coordinates read
 // straight from the compiled score columns (one flat backing array, no
 // per-row ScoreOf calls). Falls back to bnlCompiled for non-chain-product
-// terms.
-func dncCompiled(p pref.Preference, c *pref.Compiled, idx []int) []int {
-	dims, ok := chainDims(p)
+// terms. The chain dimensions are resolved from the compiled form's own
+// term: ScoreVec is keyed by sub-term pointer identity, and a cache-served
+// form may stem from a different (structurally identical) tree than the
+// caller's.
+func dncCompiled(c *pref.Compiled, idx []int) []int {
+	dims, ok := chainDims(c.Pref())
 	if !ok {
 		return bnlCompiled(c, idx)
 	}

@@ -7,8 +7,8 @@ import (
 	"repro/internal/relation"
 )
 
-// decomposed evaluates σ[P](R) by structural recursion over the preference
-// term using the paper's decomposition theorems:
+// decomposedMode evaluates σ[P](R) by structural recursion over the
+// preference term using the paper's decomposition theorems:
 //
 //	Prop 8:  σ[P1+P2](R) = σ[P1](R) ∩ σ[P2](R)
 //	Prop 9:  σ[P1♦P2](R) = σ[P1](R) ∪ σ[P2](R) ∪ YY(P1, P2)R
@@ -18,99 +18,166 @@ import (
 //	                       (σ[P2](R) ∩ σ[P1 groupby A2](R)) ∪
 //	                       YY(P1&P2, P2&P1)R
 //
-// Leaves and non-decomposable terms evaluate with BNL.
+// Leaves and non-decomposable terms evaluate with BNL — over the compiled
+// columnar form of the sub-term whenever one binds. Each sub-term compiles
+// once against the whole relation (position-addressed, so every recursion
+// level and every group shares the bound form through the compile cache)
+// instead of falling back to the interface path throughout, which also
+// means repeated decomposition queries over an unchanged relation reuse
+// the bound sub-terms outright.
+func decomposedMode(p pref.Preference, r *relation.Relation, idx []int, mode EvalMode) []int {
+	d := &decomposer{r: r, mode: mode}
+	return d.eval(p, idx)
+}
+
+// decomposed is decomposedMode under the default evaluation mode.
 func decomposed(p pref.Preference, r *relation.Relation, idx []int) []int {
+	return decomposedMode(p, r, idx, EvalAuto)
+}
+
+// decomposer carries the evaluation state of one decomposition query: the
+// relation, the evaluation mode every sub-term compile respects
+// (EvalInterpreted keeps the historical interface path end-to-end, the
+// agreement-test baseline), and a per-query memo of bound forms. The memo
+// is keyed by sub-term pointer identity — sub-terms are shared across the
+// recursion — and matters precisely where the global compile cache cannot
+// help: uncacheable terms (SCORE/rank) and ephemeral relations would
+// otherwise re-bind on every group of a Prop 10/12 grouping.
+type decomposer struct {
+	r     *relation.Relation
+	mode  EvalMode
+	bound map[pref.Preference]*pref.Compiled
+}
+
+// compiled returns the sub-term's bound form (nil when it does not bind),
+// memoized for the duration of this query.
+func (d *decomposer) compiled(p pref.Preference) *pref.Compiled {
+	if c, hit := d.bound[p]; hit {
+		return c
+	}
+	c := compileFor(p, d.r, d.mode)
+	if d.bound == nil {
+		d.bound = make(map[pref.Preference]*pref.Compiled)
+	}
+	d.bound[p] = c
+	return c
+}
+
+// eval applies the decomposition theorems by structural recursion.
+func (d *decomposer) eval(p pref.Preference, idx []int) []int {
 	switch q := p.(type) {
 	case *pref.DisjointUnionPref:
 		return intersect(
-			decomposed(q.Left(), r, idx),
-			decomposed(q.Right(), r, idx),
+			d.eval(q.Left(), idx),
+			d.eval(q.Right(), idx),
 		)
 	case *pref.IntersectionPref:
 		return union(
-			decomposed(q.Left(), r, idx),
-			decomposed(q.Right(), r, idx),
-			yy(q.Left(), q.Right(), r, idx),
+			d.eval(q.Left(), idx),
+			d.eval(q.Right(), idx),
+			d.yy(q.Left(), q.Right(), idx),
 		)
 	case *pref.PrioritizedPref:
-		return decomposedPrioritized(q, r, idx)
+		return d.prioritized(q, idx)
 	case *pref.ParetoPref:
-		return decomposedPareto(q, r, idx)
+		return d.pareto(q, idx)
 	}
-	return bnl(p, r, idx)
+	return d.leaf(p, idx)
 }
 
-// decomposedPrioritized applies Prop 4a (shared attributes), Prop 11
-// (chain shortcut) or Prop 10 (grouping), falling back to BNL when the
-// attribute sets overlap without being equal.
-func decomposedPrioritized(q *pref.PrioritizedPref, r *relation.Relation, idx []int) []int {
+// leaf evaluates a non-decomposable term with BNL over its compiled form
+// when the term binds (fetched through the compile cache, so the same
+// sub-term never binds twice per query), and over the interface path
+// otherwise.
+func (d *decomposer) leaf(p pref.Preference, idx []int) []int {
+	if c := d.compiled(p); c != nil {
+		return bnlCompiled(c, idx)
+	}
+	return bnl(p, d.r, idx)
+}
+
+// prioritized applies Prop 4a (shared attributes), Prop 11 (chain
+// shortcut) or Prop 10 (grouping), falling back to BNL when the attribute
+// sets overlap without being equal.
+func (d *decomposer) prioritized(q *pref.PrioritizedPref, idx []int) []int {
 	a1, a2 := q.Left().Attrs(), q.Right().Attrs()
 	if pref.AttrsEqual(a1, a2) {
 		// Prop 4a: P1 & P2 ≡ P1 on shared attributes.
-		return decomposed(q.Left(), r, idx)
+		return d.eval(q.Left(), idx)
 	}
 	if !pref.AttrsDisjoint(a1, a2) {
-		return bnl(q, r, idx)
+		return d.leaf(q, idx)
 	}
 	if isStructuralChain(q.Left()) {
 		// Prop 11: cascade of preference queries.
-		return decomposed(q.Right(), r, decomposed(q.Left(), r, idx))
+		return d.eval(q.Right(), d.eval(q.Left(), idx))
 	}
 	// Prop 10: σ[P1](R) ∩ σ[P2 groupby A1](R).
 	return intersect(
-		decomposed(q.Left(), r, idx),
-		groupByIndicesOn(q.Right(), a1, r, idx),
+		d.eval(q.Left(), idx),
+		d.groupOn(q.Right(), a1, idx),
 	)
 }
 
-// decomposedPareto applies the main decomposition theorem Prop 12. It
-// requires disjoint attribute sets (the prioritized sub-terms degrade to
-// Prop 4a otherwise, which would change the semantics); shared-attribute
-// Pareto terms use Prop 6 (⊗ ≡ ♦ on identical attribute sets) or BNL.
-func decomposedPareto(q *pref.ParetoPref, r *relation.Relation, idx []int) []int {
+// pareto applies the main decomposition theorem Prop 12. It requires
+// disjoint attribute sets (the prioritized sub-terms degrade to Prop 4a
+// otherwise, which would change the semantics); shared-attribute Pareto
+// terms use Prop 6 (⊗ ≡ ♦ on identical attribute sets) or BNL.
+func (d *decomposer) pareto(q *pref.ParetoPref, idx []int) []int {
 	a1, a2 := q.Left().Attrs(), q.Right().Attrs()
 	if pref.AttrsEqual(a1, a2) {
 		// Prop 6: P1 ⊗ P2 ≡ P1 ♦ P2 on identical attribute sets.
 		return union(
-			decomposed(q.Left(), r, idx),
-			decomposed(q.Right(), r, idx),
-			yy(q.Left(), q.Right(), r, idx),
+			d.eval(q.Left(), idx),
+			d.eval(q.Right(), idx),
+			d.yy(q.Left(), q.Right(), idx),
 		)
 	}
 	if !pref.AttrsDisjoint(a1, a2) {
-		return bnl(q, r, idx)
+		return d.leaf(q, idx)
 	}
 	term1 := intersect(
-		decomposed(q.Left(), r, idx),
-		groupByIndicesOn(q.Right(), a1, r, idx),
+		d.eval(q.Left(), idx),
+		d.groupOn(q.Right(), a1, idx),
 	)
 	term2 := intersect(
-		decomposed(q.Right(), r, idx),
-		groupByIndicesOn(q.Left(), a2, r, idx),
+		d.eval(q.Right(), idx),
+		d.groupOn(q.Left(), a2, idx),
 	)
-	term3 := yy(pref.Prioritized(q.Left(), q.Right()), pref.Prioritized(q.Right(), q.Left()), r, idx)
+	term3 := d.yy(pref.Prioritized(q.Left(), q.Right()), pref.Prioritized(q.Right(), q.Left()), idx)
 	return union(term1, term2, term3)
 }
 
 // yy computes YY(P1, P2)R over the candidate rows (Definition 17c): the
 // rows whose projection is non-maximal in both P1R and P2R yet has no
-// common dominator, i.e. P1↑t[A] ∩ P2↑t[A] ∩ R[A] = ∅.
-func yy(p1, p2 pref.Preference, r *relation.Relation, idx []int) []int {
-	max1 := toSet(bnl(p1, r, idx))
-	max2 := toSet(bnl(p2, r, idx))
+// common dominator, i.e. P1↑t[A] ∩ P2↑t[A] ∩ R[A] = ∅. The common-
+// dominator scan runs over the compiled forms of both terms when they
+// bind; these are cache-shared with the max(P1)/max(P2) leaf passes.
+func (d *decomposer) yy(p1, p2 pref.Preference, idx []int) []int {
+	max1 := toSet(d.leaf(p1, idx))
+	max2 := toSet(d.leaf(p2, idx))
+	c1 := d.compiled(p1)
+	c2 := d.compiled(p2)
+	bothLess := func(i, j int) bool {
+		return c1.Less(i, j) && c2.Less(i, j)
+	}
+	if c1 == nil || c2 == nil {
+		bothLess = func(i, j int) bool {
+			ti, tj := d.r.Tuple(i), d.r.Tuple(j)
+			return p1.Less(ti, tj) && p2.Less(ti, tj)
+		}
+	}
 	var out []int
 	for _, i := range idx {
 		if max1[i] || max2[i] {
 			continue // maximal in one of them, not in Nmax ∩ Nmax
 		}
-		ti := r.Tuple(i)
 		common := false
 		for _, j := range idx {
 			if i == j {
 				continue
 			}
-			tj := r.Tuple(j)
-			if p1.Less(ti, tj) && p2.Less(ti, tj) {
+			if bothLess(i, j) {
 				common = true
 				break
 			}
@@ -119,6 +186,33 @@ func yy(p1, p2 pref.Preference, r *relation.Relation, idx []int) []int {
 			out = append(out, i)
 		}
 	}
+	return out
+}
+
+// yy is the package-level YY(P1, P2)R entry point under the default
+// evaluation mode; the decomposition law tests exercise it directly.
+func yy(p1, p2 pref.Preference, r *relation.Relation, idx []int) []int {
+	return (&decomposer{r: r, mode: EvalAuto}).yy(p1, p2, idx)
+}
+
+// groupOn evaluates σ[P groupby A] restricted to a candidate index set,
+// used inside the decomposition recursion. Every group's recursion shares
+// the sub-term bound forms through the compile cache.
+func (d *decomposer) groupOn(p pref.Preference, groupAttrs []string, idx []int) []int {
+	byKey := make(map[string][]int)
+	var order []string
+	for _, i := range idx {
+		k := pref.ProjectionKey(d.r.Tuple(i), groupAttrs)
+		if _, ok := byKey[k]; !ok {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], i)
+	}
+	var out []int
+	for _, k := range order {
+		out = append(out, d.eval(p, byKey[k])...)
+	}
+	slices.Sort(out)
 	return out
 }
 
@@ -154,26 +248,6 @@ func groupByIndices(p pref.Preference, groupAttrs []string, r *relation.Relation
 	var out []int
 	for _, group := range r.Groups(groupAttrs) {
 		out = append(out, eval(p, r, group)...)
-	}
-	slices.Sort(out)
-	return out
-}
-
-// groupByIndicesOn is groupByIndices restricted to a candidate index set,
-// used inside the decomposition recursion.
-func groupByIndicesOn(p pref.Preference, groupAttrs []string, r *relation.Relation, idx []int) []int {
-	byKey := make(map[string][]int)
-	var order []string
-	for _, i := range idx {
-		k := pref.ProjectionKey(r.Tuple(i), groupAttrs)
-		if _, ok := byKey[k]; !ok {
-			order = append(order, k)
-		}
-		byKey[k] = append(byKey[k], i)
-	}
-	var out []int
-	for _, k := range order {
-		out = append(out, decomposed(p, r, byKey[k])...)
 	}
 	slices.Sort(out)
 	return out

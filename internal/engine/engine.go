@@ -97,11 +97,27 @@ func BMOIndices(p pref.Preference, r *relation.Relation, alg Algorithm) []int {
 // EvalInterpreted forces the tuple-at-a-time interface path that compiled
 // evaluation replaces, the baseline for benchmarks and agreement tests.
 func BMOIndicesMode(p pref.Preference, r *relation.Relation, alg Algorithm, mode EvalMode) []int {
-	idx := allIndices(r.Len())
+	return bmoOn(p, r, alg, mode, allIndices(r.Len()))
+}
+
+// BMOIndicesOn evaluates the preference query over the subset of R at the
+// given candidate row positions and returns the qualifying positions in
+// ascending order. Compiled forms bind to R's full column arrays
+// (position-addressed), so an index-chained pipeline — hard selection,
+// PREFERRING, CASCADE steps all over one base relation — shares cached
+// bound forms across queries no matter how the candidate set changes.
+// idx must not contain duplicates.
+func BMOIndicesOn(p pref.Preference, r *relation.Relation, alg Algorithm, idx []int) []int {
+	return bmoOn(p, r, alg, EvalAuto, idx)
+}
+
+// bmoOn is the shared core of BMOIndicesMode and BMOIndicesOn.
+func bmoOn(p pref.Preference, r *relation.Relation, alg Algorithm, mode EvalMode, idx []int) []int {
 	if alg == Decomposition {
-		// The decomposition evaluator takes the interface path throughout;
-		// binding columns up front would be pure overhead.
-		return decomposed(p, r, idx)
+		// The decomposition evaluator compiles per sub-term inside the
+		// recursion (see decompose.go); binding the root term up front
+		// would be pure overhead.
+		return decomposedMode(p, r, idx, mode)
 	}
 	c := compileFor(p, r, mode)
 	if alg == Auto {

@@ -304,16 +304,16 @@ func TestChainDimsDetection(t *testing.T) {
 }
 
 func TestSFSKeyCoverage(t *testing.T) {
-	if _, ok := sfsKey(pref.Pareto(pref.LOWEST("a"), pref.AROUND("b", 1))); !ok {
+	if _, ok := keyColumns(pref.Pareto(pref.LOWEST("a"), pref.AROUND("b", 1))); !ok {
 		t.Error("Pareto of scorers has a scalar key")
 	}
-	if _, ok := sfsKey(pref.Prioritized(pref.LOWEST("a"), pref.Pareto(pref.LOWEST("b"), pref.HIGHEST("c")))); !ok {
-		t.Error("prioritized of scalar-keyed terms has a lex key")
+	if cols, ok := keyColumns(pref.Prioritized(pref.LOWEST("a"), pref.Pareto(pref.LOWEST("b"), pref.HIGHEST("c")))); !ok || len(cols) != 2 {
+		t.Error("prioritized of scalar-keyed terms has a lex key of two columns")
 	}
-	if _, ok := sfsKey(pref.POS("a", int64(1))); ok {
-		t.Error("POS has no compatible key")
+	if _, ok := keyColumns(pref.POS("a", int64(1))); ok {
+		t.Error("POS has no compatible interpreted key")
 	}
-	if _, ok := sfsKey(pref.Pareto(pref.POS("a", int64(1)), pref.LOWEST("b"))); ok {
-		t.Error("Pareto containing POS has no key; SFS must fall back")
+	if _, ok := keyColumns(pref.Pareto(pref.POS("a", int64(1)), pref.LOWEST("b"))); ok {
+		t.Error("Pareto containing POS has no interpreted key; SFS must fall back")
 	}
 }

@@ -125,7 +125,7 @@ func dncParallel(p pref.Preference, r *relation.Relation, idx []int) []int {
 func dncParallelWorkers(p pref.Preference, r *relation.Relation, c *pref.Compiled, idx []int, workers int) []int {
 	eval := func(part []int) []int {
 		if c != nil {
-			return dncCompiled(p, c, part)
+			return dncCompiled(c, part)
 		}
 		return dnc(p, r, part)
 	}

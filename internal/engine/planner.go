@@ -44,13 +44,14 @@ func (s Shape) String() string {
 // shapeOf classifies a preference term. Compiled evaluation widens the
 // keyed fragment: level preferences (POS family) are weak orders whose
 // negated level is a valid scalar sort key, so terms like POS & LOWEST
-// classify keyed even though the interpreted sfsKey cannot key them (the
-// interpreted sfs then simply falls back to BNL, which stays correct).
+// classify keyed even though the interpreted keyColumns cannot key them
+// (the interpreted sfs then simply falls back to BNL, which stays
+// correct).
 func shapeOf(p pref.Preference) Shape {
 	if _, ok := chainDims(p); ok {
 		return ShapeChainProduct
 	}
-	if _, ok := sfsKey(p); ok {
+	if _, ok := keyColumns(p); ok {
 		return ShapeKeyed
 	}
 	if pref.CompiledKeyed(p) {
@@ -119,7 +120,11 @@ type Plan struct {
 	// in the rare case a structurally compilable term fails to bind (a
 	// discrete layer past the ordinal-coding cap) it runs interpreted
 	// despite the plan's assumption.
-	Compiled   bool
+	Compiled bool
+	// CacheHit reports whether a bound form of the term over the
+	// relation's current version was already in the compile cache at plan
+	// time — execution will reuse it instead of binding afresh.
+	CacheHit   bool
 	Input      int // candidate-set cardinality the plan was costed for
 	EstResult  int // estimated BMO result size
 	Candidates []Candidate
@@ -138,8 +143,25 @@ func PlanFor(p pref.Preference, r *relation.Relation) *Plan {
 
 // PlanWith plans σ[P](R) under an explicit environment.
 func PlanWith(p pref.Preference, r *relation.Relation, env Env) *Plan {
-	pl := planCore(p, r, r.Len(), env)
+	return PlanWithInput(p, r, r.Len(), env)
+}
+
+// PlanWithInput plans σ[P](R′) for a candidate subset of R with the given
+// cardinality — e.g. downstream of a hard selection whose selectivity is
+// already known (EXPLAIN uses it so the inlined plan matches what
+// BMOIndicesOn will actually decide for the filtered input). Statistics
+// still sample R itself; Indices()/Run() evaluate over the whole
+// relation, as in PlanWith.
+func PlanWithInput(p pref.Preference, r *relation.Relation, n int, env Env) *Plan {
+	pl := planCore(p, r, n, env)
 	pl.p, pl.r, pl.mode = p, r, env.Mode
+	// The cache probe runs only on these EXPLAIN-facing entry points: the
+	// per-query planCore inside bmoOn would pay a key render + lock for a
+	// field execution discards (and would misread its own just-populated
+	// entry as a pre-existing hit).
+	if pl.Compiled {
+		pl.CacheHit = CompileCached(p, r)
+	}
 	return pl
 }
 
@@ -159,7 +181,10 @@ func (pl *Plan) Explain() string {
 	var b strings.Builder
 	eval := "interpreted"
 	if pl.Compiled {
-		eval = "compiled"
+		eval = "compiled cache=cold"
+		if pl.CacheHit {
+			eval = "compiled cache=hit"
+		}
 	}
 	fmt.Fprintf(&b, "plan: n=%d shape=%s eval=%s est.result≈%d → %s", pl.Input, pl.Shape, eval, pl.EstResult, pl.Algorithm)
 	if pl.Workers >= 2 {
@@ -463,7 +488,7 @@ func execute(alg Algorithm, workers int, p pref.Preference, r *relation.Relation
 		return sfs(p, r, idx)
 	case DNC:
 		if c != nil {
-			return dncCompiled(p, c, idx)
+			return dncCompiled(c, idx)
 		}
 		return dnc(p, r, idx)
 	case Decomposition:

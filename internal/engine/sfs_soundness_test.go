@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pref"
+	"repro/internal/relation"
+)
+
+// Regression for the interpreted sfsKey soundness edge (ROADMAP): the old
+// key derivation summed raw ScoreOf values, and a ±Inf component (NULL,
+// off-scale value, an Inf float in the data) absorbed the finite part, so
+// a dominating tuple and its victim could compare key-equal. SFS then
+// depended on the visit order among equal keys: if the dominated tuple was
+// visited first it was confirmed into the result, violating BMO. The
+// dense-rank transform (mirroring the compiled SortKeys) keeps every key
+// component finite, so the Pareto sum stays strictly monotone.
+
+// infValue draws from a domain rigged to produce ±Inf and NULL score
+// components alongside finite ties.
+func infValue(rng *rand.Rand) pref.Value {
+	switch rng.Intn(6) {
+	case 0:
+		return nil
+	case 1:
+		return math.Inf(1)
+	case 2:
+		return math.Inf(-1)
+	default:
+		return float64(rng.Intn(4))
+	}
+}
+
+func infRelation(rng *rand.Rand, n int) *relation.Relation {
+	rel := relation.New("R", relation.MustSchema(
+		relation.Column{Name: "a", Type: relation.Float},
+		relation.Column{Name: "b", Type: relation.Float},
+		relation.Column{Name: "c", Type: relation.Float},
+	))
+	for i := 0; i < n; i++ {
+		rel.MustInsert(relation.Row{infValue(rng), infValue(rng), infValue(rng)})
+	}
+	return rel
+}
+
+// TestInterpretedSFSInfSoundness cross-checks interpreted SFS against
+// interpreted BNL (window-based, sound for every strict partial order) on
+// relations saturated with ±Inf and NULL values, over the key shapes the
+// interpreted derivation covers: Pareto sums and prioritized
+// concatenations of scorer leaves.
+func TestInterpretedSFSInfSoundness(t *testing.T) {
+	terms := []pref.Preference{
+		pref.Pareto(pref.HIGHEST("a"), pref.HIGHEST("b")),
+		pref.Pareto(pref.LOWEST("a"), pref.Pareto(pref.HIGHEST("b"), pref.LOWEST("c"))),
+		pref.Prioritized(pref.HIGHEST("a"), pref.Pareto(pref.LOWEST("b"), pref.HIGHEST("c"))),
+	}
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		rel := infRelation(rng, 8+rng.Intn(40))
+		for _, p := range terms {
+			got := BMOIndicesMode(p, rel, SFS, EvalInterpreted)
+			want := BMOIndicesMode(p, rel, BNL, EvalInterpreted)
+			if !sameIndices(got, want) {
+				t.Fatalf("seed %d, %s: interpreted SFS = %v, BNL = %v\n%s",
+					seed, p, got, want, rel)
+			}
+		}
+	}
+}
+
+// TestInterpretedSFSInfPinned pins one concrete instance of the absorbed
+// key: rows sharing an Inf component with a finite trade-off underneath.
+// Row 1 (a=Inf, b=5) dominates row 0 (a=Inf, b=3) under HIGHEST⊗HIGHEST
+// while both raw-sum keys were +Inf.
+func TestInterpretedSFSInfPinned(t *testing.T) {
+	rel := relation.New("R", relation.MustSchema(
+		relation.Column{Name: "a", Type: relation.Float},
+		relation.Column{Name: "b", Type: relation.Float},
+	))
+	rel.MustInsert(
+		relation.Row{math.Inf(1), 3.0},
+		relation.Row{math.Inf(1), 5.0},
+		relation.Row{1.0, 7.0},
+	)
+	p := pref.Pareto(pref.HIGHEST("a"), pref.HIGHEST("b"))
+	got := BMOIndicesMode(p, rel, SFS, EvalInterpreted)
+	want := BMOIndicesMode(p, rel, Naive, EvalInterpreted)
+	if !sameIndices(got, want) {
+		t.Fatalf("interpreted SFS = %v, want %v (row 0 is dominated by row 1)", got, want)
+	}
+}

@@ -61,7 +61,16 @@ func (s tupleSource) Tuple(i int) pref.Tuple { return s[i] }
 func newStream(p pref.Preference, src pref.Source) *Stream {
 	s := &Stream{n: src.Len()}
 	if pref.Compilable(p) {
-		if c, ok := pref.Compile(p, src); ok {
+		var c *pref.Compiled
+		if rel, isRel := src.(*relation.Relation); isRel {
+			// Relation-backed streams bind through the compile cache, so a
+			// repeated stream over an unchanged relation reuses the bound
+			// form and its rank-transformed sort keys.
+			c = compileFor(p, rel, EvalAuto)
+		} else if cc, ok := pref.Compile(p, src); ok {
+			c = cc
+		}
+		if c != nil {
 			s.less = c.Less
 			if keys, ok := c.SortKeys(); ok {
 				s.keys = keys
@@ -75,23 +84,11 @@ func newStream(p pref.Preference, src pref.Source) *Stream {
 		tuples[i] = src.Tuple(i)
 	}
 	s.less = func(i, j int) bool { return p.Less(tuples[i], tuples[j]) }
-	if keyFn, ok := sfsKey(p); ok && len(tuples) > 0 {
-		// Materialize the key vectors column-major once, instead of
-		// re-deriving (and allocating) a key per comparison.
-		first := keyFn(tuples[0])
-		keys := make([][]float64, len(first))
-		for d := range keys {
-			keys[d] = make([]float64, len(tuples))
-			keys[d][0] = first[d]
-		}
-		for i := 1; i < len(tuples); i++ {
-			for d, v := range keyFn(tuples[i]) {
-				keys[d][i] = v
-			}
-		}
+	if keys, ok := interpretedKeyVecs(p, tuples); ok {
+		// Key vectors materialize column-major once, dense-ranked (the
+		// same ±Inf-safe transform sfs uses), instead of re-deriving and
+		// allocating a key per comparison.
 		s.keys = keys
-	} else if ok {
-		s.keys = [][]float64{}
 	}
 	s.initOrder()
 	return s

@@ -1,0 +1,175 @@
+package filter
+
+import (
+	"strings"
+
+	"repro/internal/boundcache"
+	"repro/internal/pref"
+)
+
+// The selection cache: bound predicate forms keyed by source identity, the
+// source's mutation counter and a canonical predicate key (see
+// internal/boundcache for the shared mechanics). Repeated queries over an
+// unchanged relation reuse the finished bitmap — the hard-selection
+// analogue of the amortization FloatColumn/EqColumn already perform —
+// while any row mutation bumps the counter and strands the stale entry
+// (evicted lazily). Only the built-in condition nodes are cacheable: their
+// key is derived from pref.ValueKey renderings (full precision, including
+// nanosecond time instants), so equal keys imply equal semantics; foreign
+// Pred implementations compile fresh on every call.
+
+// Versioned is implemented by sources that maintain a mutation counter
+// (see relation.Version). Only Versioned sources are cacheable: without a
+// counter, staleness is undetectable. Implementations must be comparable
+// (pointer-shaped), as they key the cache map.
+type Versioned interface {
+	Version() uint64
+}
+
+// Ephemeraler is implemented by sources that can mark themselves as
+// per-query intermediates (see relation.Ephemeral): their identity is
+// fresh each query, so caching against them could never hit and would
+// only pin their rows until eviction. Ephemeral sources compile fresh.
+type Ephemeraler interface {
+	Ephemeral() bool
+}
+
+// cacheableSrc reports whether the source carries a mutation counter and
+// is not a per-query intermediate.
+func cacheableSrc(src pref.Source) (Versioned, bool) {
+	v, ok := src.(Versioned)
+	if !ok {
+		return nil, false
+	}
+	if e, ok := src.(Ephemeraler); ok && e.Ephemeral() {
+		return nil, false
+	}
+	return v, true
+}
+
+// cacheCap bounds the number of cached bound forms.
+const cacheCap = 128
+
+var selCache = boundcache.New[*Compiled](cacheCap)
+
+// predKey derives a canonical cache key for a condition tree, ok=false
+// for trees containing foreign Pred implementations. Unlike String(),
+// which renders SQL for humans (day-precision times, no type tags), the
+// key encodes values through pref.ValueKey and length-prefixes every
+// string component (attribute names, patterns can contain any byte), so
+// equal keys imply equal semantics.
+func predKey(p Pred) (string, bool) {
+	var b strings.Builder
+	if !writePredKey(&b, p) {
+		return "", false
+	}
+	return b.String(), true
+}
+
+func writePredKey(b *strings.Builder, p Pred) bool {
+	switch q := p.(type) {
+	case *And:
+		b.WriteString("(and ")
+		ok := writePredKey(b, q.L)
+		b.WriteByte(' ')
+		ok = writePredKey(b, q.R) && ok
+		b.WriteByte(')')
+		return ok
+	case *Or:
+		b.WriteString("(or ")
+		ok := writePredKey(b, q.L)
+		b.WriteByte(' ')
+		ok = writePredKey(b, q.R) && ok
+		b.WriteByte(')')
+		return ok
+	case *Not:
+		b.WriteString("(not ")
+		ok := writePredKey(b, q.E)
+		b.WriteByte(')')
+		return ok
+	case *Cmp:
+		b.WriteString("(cmp ")
+		boundcache.WriteKeyStr(b, q.Attr)
+		boundcache.WriteKeyStr(b, q.Op)
+		boundcache.WriteKeyStr(b, pref.ValueKey(q.Value))
+		b.WriteByte(')')
+		return true
+	case *In:
+		if q.Negate {
+			b.WriteString("(notin ")
+		} else {
+			b.WriteString("(in ")
+		}
+		boundcache.WriteKeyStr(b, q.Attr)
+		for _, v := range q.Set.Values() {
+			boundcache.WriteKeyStr(b, pref.ValueKey(v))
+		}
+		b.WriteByte(')')
+		return true
+	case *Like:
+		b.WriteString("(like ")
+		boundcache.WriteKeyStr(b, q.Attr)
+		boundcache.WriteKeyStr(b, q.Pattern)
+		b.WriteByte(')')
+		return true
+	case *IsNull:
+		if q.Negate {
+			b.WriteString("(notnull ")
+		} else {
+			b.WriteString("(null ")
+		}
+		boundcache.WriteKeyStr(b, q.Attr)
+		b.WriteByte(')')
+		return true
+	}
+	return false
+}
+
+// CompileCached is Compile through the selection cache: sources that carry
+// a mutation counter reuse the bound bitmap of an identical built-in
+// predicate over an unchanged source; everything else (unversioned
+// sources, trees containing foreign Pred nodes) compiles fresh.
+func CompileCached(p Pred, src pref.Source) *Compiled {
+	v, ok := cacheableSrc(src)
+	if !ok {
+		return Compile(p, src)
+	}
+	term, ok := predKey(p)
+	if !ok {
+		return Compile(p, src)
+	}
+	key := boundcache.Key{Src: v, Version: v.Version(), Term: term}
+	if cd, hit := selCache.Get(key); hit {
+		return cd
+	}
+	cd := Compile(p, src)
+	selCache.Put(key, cd)
+	return cd
+}
+
+// CacheContains reports whether a bound form for this predicate over the
+// source's current version is cached, without compiling. EXPLAIN uses it
+// to report selection-cache status.
+func CacheContains(p Pred, src pref.Source) bool {
+	v, ok := cacheableSrc(src)
+	if !ok {
+		return false
+	}
+	term, ok := predKey(p)
+	if !ok {
+		return false
+	}
+	_, hit := selCache.Peek(boundcache.Key{Src: v, Version: v.Version(), Term: term})
+	return hit
+}
+
+// CacheStats returns the cumulative selection-cache hit and miss counts.
+func CacheStats() (hits, misses uint64) {
+	return selCache.Stats()
+}
+
+// ResetCache empties the selection cache and zeroes its counters; tests
+// and benchmarks use it to measure cold binds.
+func ResetCache() {
+	selCache.Reset()
+}

@@ -1,0 +1,245 @@
+package filter
+
+import (
+	"sync"
+
+	"repro/internal/pref"
+)
+
+// This file implements compiled hard selection: Compile binds a predicate
+// tree to a concrete tuple collection once — numeric comparisons become
+// flat float64 vector scans, single-attribute discrete conditions evaluate
+// once per distinct value through cached equality codes, boolean
+// connectives combine bitmaps — and returns the selection as a Keep(i)
+// bitmap over row positions. The interpreted path pays a schema-map
+// lookup, a Value interface boxing and a type dispatch per attribute per
+// row; the compiled path pays them never (vector leaves) or once per
+// distinct value (dictionary leaves). Row-at-a-time evaluation remains as
+// the transparent fallback for foreign Pred implementations.
+
+// NumericColumner is optionally implemented by sources whose numeric
+// (INT/FLOAT) columns are cached as flat float64 arrays (see
+// relation.NumericColumn). Unlike pref.FloatColumner it must report
+// ok=false for TIME columns: the float image of a time instant is truncated
+// to seconds, which would change sub-second comparison results.
+type NumericColumner interface {
+	NumericColumn(attr string) (vals []float64, onScale []bool, ok bool)
+}
+
+// Compiled is the bound form of a predicate over one source: the selection
+// bitmap plus binding statistics. A Compiled is immutable after Compile and
+// safe for concurrent readers; it does not observe later source mutations.
+type Compiled struct {
+	n     int
+	mask  []bool
+	count int
+
+	vector, dict, row int // leaf counts per binding class
+
+	idxOnce sync.Once
+	idx     []int
+}
+
+// Compile binds p to src and evaluates the selection into a bitmap.
+// It never fails: condition nodes outside the vectorizable set (and
+// foreign Pred implementations) evaluate row-at-a-time through Eval, once,
+// at bind time. The bitmap agrees with p.Eval(src.Tuple(i)) on every row —
+// the cross-evaluation property tests assert exactly that.
+func Compile(p Pred, src pref.Source) *Compiled {
+	c := &compiler{src: src, n: src.Len()}
+	mask := c.compile(p)
+	cd := &Compiled{n: c.n, mask: mask, vector: c.vector, dict: c.dict, row: c.row}
+	for _, keep := range mask {
+		if keep {
+			cd.count++
+		}
+	}
+	return cd
+}
+
+// Len returns the bound row count.
+func (cd *Compiled) Len() int { return cd.n }
+
+// Keep reports whether row i satisfies the predicate.
+func (cd *Compiled) Keep(i int) bool { return cd.mask[i] }
+
+// Mask returns the selection bitmap; callers must not modify it.
+func (cd *Compiled) Mask() []bool { return cd.mask }
+
+// Count returns the number of selected rows.
+func (cd *Compiled) Count() int { return cd.count }
+
+// Indices returns the selected row positions in ascending order. The
+// slice is materialized once and shared (a cache-served bound form would
+// otherwise pay an O(n) rescan per query); callers must not modify it.
+func (cd *Compiled) Indices() []int {
+	cd.idxOnce.Do(func() {
+		out := make([]int, 0, cd.count)
+		for i, keep := range cd.mask {
+			if keep {
+				out = append(out, i)
+			}
+		}
+		cd.idx = out
+	})
+	return cd.idx
+}
+
+// Vectorized reports whether every leaf bound to typed column vectors or
+// dictionary codes — i.e. no tuple was boxed per row anywhere in the tree.
+func (cd *Compiled) Vectorized() bool { return cd.row == 0 }
+
+// BindClasses returns the leaf counts per binding class: vector (flat
+// float64 comparisons), dict (one evaluation per distinct value through
+// equality codes), row (tuple-at-a-time fallback).
+func (cd *Compiled) BindClasses() (vector, dict, row int) {
+	return cd.vector, cd.dict, cd.row
+}
+
+// Mode names the overall binding for EXPLAIN output: "vectorized" when no
+// leaf fell back to row-at-a-time evaluation, "row-fallback" otherwise.
+func (cd *Compiled) Mode() string {
+	if cd.Vectorized() {
+		return "vectorized"
+	}
+	return "row-fallback"
+}
+
+// compiler carries the per-source bind state.
+type compiler struct {
+	src pref.Source
+	n   int
+
+	vector, dict, row int
+}
+
+// compile lowers one node to its selection bitmap.
+func (c *compiler) compile(p Pred) []bool {
+	switch q := p.(type) {
+	case *And:
+		l, r := c.compile(q.L), c.compile(q.R)
+		for i := range l {
+			l[i] = l[i] && r[i]
+		}
+		return l
+	case *Or:
+		l, r := c.compile(q.L), c.compile(q.R)
+		for i := range l {
+			l[i] = l[i] || r[i]
+		}
+		return l
+	case *Not:
+		m := c.compile(q.E)
+		for i := range m {
+			m[i] = !m[i]
+		}
+		return m
+	case *Cmp:
+		if m, ok := c.cmpVector(q); ok {
+			c.vector++
+			return m
+		}
+		return c.perDistinct(q.Attr, q)
+	case *In:
+		return c.perDistinct(q.Attr, q)
+	case *Like:
+		return c.perDistinct(q.Attr, q)
+	case *IsNull:
+		return c.perDistinct(q.Attr, q)
+	}
+	return c.perRow(p)
+}
+
+// cmpVector lowers a numeric comparison to a flat vector scan. The
+// comparisons replicate Cmp.Eval exactly, including its NaN semantics:
+// CompareValues reports NaN pairs as neither smaller nor greater, so <=
+// and >= hold for them while < and > do not.
+func (c *compiler) cmpVector(q *Cmp) ([]bool, bool) {
+	lit, ok := pref.Numeric(q.Value)
+	if !ok {
+		return nil, false
+	}
+	nc, ok := c.src.(NumericColumner)
+	if !ok {
+		return nil, false
+	}
+	vals, onScale, ok := nc.NumericColumn(q.Attr)
+	if !ok {
+		return nil, false
+	}
+	m := make([]bool, c.n)
+	switch q.Op {
+	case "=":
+		for i, v := range vals {
+			m[i] = onScale[i] && v == lit
+		}
+	case "<>":
+		for i, v := range vals {
+			m[i] = onScale[i] && v != lit
+		}
+	case "<":
+		for i, v := range vals {
+			m[i] = onScale[i] && v < lit
+		}
+	case "<=":
+		for i, v := range vals {
+			m[i] = onScale[i] && !(v > lit)
+		}
+	case ">":
+		for i, v := range vals {
+			m[i] = onScale[i] && v > lit
+		}
+	case ">=":
+		for i, v := range vals {
+			m[i] = onScale[i] && !(v < lit)
+		}
+	default:
+		return nil, false
+	}
+	return m, true
+}
+
+// perDistinct evaluates a single-attribute condition once per distinct
+// value of the column: rows with equal equality codes carry EqualValues-
+// equal values, so the condition's verdict is shared. Falls back to perRow
+// when the source has no equality codes for the attribute.
+func (c *compiler) perDistinct(attr string, p Pred) []bool {
+	ec, ok := c.src.(pref.EqColumner)
+	if !ok {
+		return c.perRow(p)
+	}
+	codes, ok := ec.EqColumn(attr)
+	if !ok {
+		return c.perRow(p)
+	}
+	c.dict++
+	m := make([]bool, c.n)
+	// Codes are dense and bounded by the row count (one new class per row
+	// at most), so a flat verdict table replaces a hash map.
+	const unknown, yes = 0, 1
+	verdict := make([]uint8, c.n+2)
+	for i, code := range codes {
+		v := verdict[code]
+		if v == unknown {
+			if p.Eval(c.src.Tuple(i)) {
+				v = yes
+			} else {
+				v = 2
+			}
+			verdict[code] = v
+		}
+		m[i] = v == yes
+	}
+	return m
+}
+
+// perRow is the interpreted fallback: one boxed tuple evaluation per row,
+// once, at bind time.
+func (c *compiler) perRow(p Pred) []bool {
+	c.row++
+	m := make([]bool, c.n)
+	for i := range m {
+		m[i] = p.Eval(c.src.Tuple(i))
+	}
+	return m
+}

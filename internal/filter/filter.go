@@ -1,0 +1,205 @@
+// Package filter is the hard-selection layer of the query path: boolean
+// predicate trees over tuples (the WHERE clause of Preference SQL and the
+// hard σ of the BMO model, §5) together with a compiler that binds a tree
+// to a relation's cached column arrays once and evaluates it as vector
+// operations over row positions — the columnar twin of the interpreted
+// func(Tuple) bool path, mirroring what pref.Compile does for the soft
+// PREFERRING side.
+package filter
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pref"
+)
+
+// Pred is a hard-selection condition tree. Eval is the interpreted
+// tuple-at-a-time path; Compile binds a tree to a columnar source and
+// evaluates it position-addressed instead. Foreign implementations are
+// supported everywhere and simply take the interpreted path per row.
+type Pred interface {
+	// Eval reports whether the tuple satisfies the condition.
+	Eval(t pref.Tuple) bool
+	// String renders the condition in SQL syntax.
+	String() string
+}
+
+// And conjoins two conditions.
+type And struct{ L, R Pred }
+
+// Eval implements Pred.
+func (e *And) Eval(t pref.Tuple) bool { return e.L.Eval(t) && e.R.Eval(t) }
+
+// String implements Pred.
+func (e *And) String() string { return "(" + e.L.String() + " AND " + e.R.String() + ")" }
+
+// Or disjoins two conditions.
+type Or struct{ L, R Pred }
+
+// Eval implements Pred.
+func (e *Or) Eval(t pref.Tuple) bool { return e.L.Eval(t) || e.R.Eval(t) }
+
+// String implements Pred.
+func (e *Or) String() string { return "(" + e.L.String() + " OR " + e.R.String() + ")" }
+
+// Not negates a condition.
+type Not struct{ E Pred }
+
+// Eval implements Pred.
+func (e *Not) Eval(t pref.Tuple) bool { return !e.E.Eval(t) }
+
+// String implements Pred.
+func (e *Not) String() string { return "NOT " + e.E.String() }
+
+// Cmp compares an attribute with a literal: attr op value, with op one of
+// = <> < <= > >=.
+type Cmp struct {
+	Attr  string
+	Op    string
+	Value pref.Value
+}
+
+// Eval implements Pred. Comparisons against NULL or between incomparable
+// types are false, following SQL's three-valued logic collapsed to boolean.
+func (e *Cmp) Eval(t pref.Tuple) bool {
+	v, ok := t.Get(e.Attr)
+	if !ok || v == nil {
+		return false
+	}
+	switch e.Op {
+	case "=":
+		return pref.EqualValues(v, e.Value)
+	case "<>":
+		return !pref.EqualValues(v, e.Value)
+	}
+	c, ok := pref.CompareValues(v, e.Value)
+	if !ok {
+		return false
+	}
+	switch e.Op {
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}
+
+// String implements Pred.
+func (e *Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", e.Attr, e.Op, LitString(e.Value))
+}
+
+// In tests set membership: attr [NOT] IN (v1, …).
+type In struct {
+	Attr   string
+	Set    *pref.ValueSet
+	Negate bool
+}
+
+// Eval implements Pred.
+func (e *In) Eval(t pref.Tuple) bool {
+	v, ok := t.Get(e.Attr)
+	if !ok || v == nil {
+		return false
+	}
+	return e.Set.Contains(v) != e.Negate
+}
+
+// String implements Pred.
+func (e *In) String() string {
+	op := "IN"
+	if e.Negate {
+		op = "NOT IN"
+	}
+	parts := make([]string, 0, e.Set.Len())
+	for _, v := range e.Set.Values() {
+		parts = append(parts, LitString(v))
+	}
+	return fmt.Sprintf("%s %s (%s)", e.Attr, op, strings.Join(parts, ", "))
+}
+
+// Like matches a string attribute against a SQL LIKE pattern with % and _
+// wildcards.
+type Like struct {
+	Attr    string
+	Pattern string
+}
+
+// Eval implements Pred.
+func (e *Like) Eval(t pref.Tuple) bool {
+	v, ok := t.Get(e.Attr)
+	if !ok {
+		return false
+	}
+	s, ok := v.(string)
+	if !ok {
+		return false
+	}
+	return LikeMatch(e.Pattern, s)
+}
+
+// String implements Pred.
+func (e *Like) String() string {
+	return fmt.Sprintf("%s LIKE '%s'", e.Attr, e.Pattern)
+}
+
+// LikeMatch implements SQL LIKE semantics via iterative backtracking on %.
+func LikeMatch(pattern, s string) bool {
+	pi, si := 0, 0
+	starP, starS := -1, -1
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			pi++
+			si++
+		case pi < len(pattern) && pattern[pi] == '%':
+			starP, starS = pi, si
+			pi++
+		case starP >= 0:
+			starS++
+			pi, si = starP+1, starS
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// IsNull tests attr IS [NOT] NULL.
+type IsNull struct {
+	Attr   string
+	Negate bool
+}
+
+// Eval implements Pred.
+func (e *IsNull) Eval(t pref.Tuple) bool {
+	v, ok := t.Get(e.Attr)
+	isNull := !ok || v == nil
+	return isNull != e.Negate
+}
+
+// String implements Pred.
+func (e *IsNull) String() string {
+	if e.Negate {
+		return e.Attr + " IS NOT NULL"
+	}
+	return e.Attr + " IS NULL"
+}
+
+// LitString renders a literal in SQL syntax (strings quoted and escaped,
+// everything else through pref.FormatValue).
+func LitString(v pref.Value) string {
+	if s, ok := v.(string); ok {
+		return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+	}
+	return pref.FormatValue(v)
+}

@@ -31,6 +31,7 @@ func (p *Pos) Less(x, y Tuple) bool {
 	return !p.posSet.Contains(xv) && p.posSet.Contains(yv)
 }
 
+// String renders the preference term in the paper's notation.
 func (p *Pos) String() string {
 	return fmt.Sprintf("POS(%s, %s)", p.attr, p.posSet)
 }
@@ -61,6 +62,7 @@ func (p *Neg) Less(x, y Tuple) bool {
 	return !p.negSet.Contains(yv) && p.negSet.Contains(xv)
 }
 
+// String renders the preference term in the paper's notation.
 func (p *Neg) String() string {
 	return fmt.Sprintf("NEG(%s, %s)", p.attr, p.negSet)
 }
@@ -115,6 +117,7 @@ func (p *PosNeg) Less(x, y Tuple) bool {
 	return !xNeg && !p.posSet.Contains(xv) && p.posSet.Contains(yv)
 }
 
+// String renders the preference term in the paper's notation.
 func (p *PosNeg) String() string {
 	return fmt.Sprintf("POS/NEG(%s, %s; %s)", p.attr, p.posSet, p.negSet)
 }
@@ -171,6 +174,7 @@ func (p *PosPos) Less(x, y Tuple) bool {
 	return !x1 && !x2 && (y1 || y2)
 }
 
+// String renders the preference term in the paper's notation.
 func (p *PosPos) String() string {
 	return fmt.Sprintf("POS/POS(%s, %s; %s)", p.attr, p.pos1, p.pos2)
 }
@@ -275,6 +279,7 @@ func (p *Explicit) Less(x, y Tuple) bool {
 	return !p.rng.Contains(xv) && p.rng.Contains(yv)
 }
 
+// String renders the preference term in the paper's notation.
 func (p *Explicit) String() string {
 	parts := make([]string, 0, len(p.edges))
 	for _, e := range p.edges {

@@ -98,6 +98,12 @@ func Compile(p Preference, src Source) (*Compiled, bool) {
 // Len returns the bound row count.
 func (cd *Compiled) Len() int { return cd.n }
 
+// Pref returns the preference term this form was compiled from. Callers
+// that resolve sub-term data by pointer identity (ScoreVec) must walk
+// THIS term: a cache-served Compiled may have been built from a different
+// — structurally identical — tree than the one the caller holds.
+func (cd *Compiled) Pref() Preference { return cd.p }
+
 // Less reports src.Tuple(i) <P src.Tuple(j) over the compiled columns.
 func (cd *Compiled) Less(i, j int) bool { return cd.root.less(i, j) }
 
@@ -117,7 +123,7 @@ func (cd *Compiled) ScoreVec(p Preference) []float64 { return cd.scoreVecs[p] }
 // partial orders: EXPLICIT graphs, duals, aggregations).
 //
 // Keys are built from dense ranks of the score vectors rather than the
-// raw scores: summing raw scores (the interpreted sfsKey strategy) loses
+// raw scores: summing raw scores (the strategy the interpreted key derivation also used before it adopted this transform) loses
 // strictness when a component is ±Inf (absent attribute, off-scale value)
 // because Inf absorbs the finite component; ranks are always finite, so
 // the Pareto sum stays strictly monotone.
@@ -264,7 +270,7 @@ func Compilable(p Preference) bool {
 // CompiledKeyed reports whether the compiled form of the term will carry
 // SortKeys: scorer and level leaves are scalar-keyed, Pareto accumulations
 // of scalars sum, prioritized accumulations concatenate. This is a strict
-// superset of the interpreted sfsKey fragment (level preferences such as
+// superset of the interpreted keyColumns fragment (level preferences such as
 // POS are weak orders, so their negated level is a valid scalar key); the
 // planner uses it to classify shapes for compiled evaluation.
 func CompiledKeyed(p Preference) bool {

@@ -37,6 +37,7 @@ func (p *AntiChainPref) Less(x, y Tuple) bool { return false }
 // Domain returns the explicit value set, or nil when unconstrained.
 func (p *AntiChainPref) Domain() *ValueSet { return p.domain }
 
+// String renders the preference term in the paper's notation.
 func (p *AntiChainPref) String() string {
 	if p.domain != nil {
 		return p.domain.String() + "<->"
@@ -68,6 +69,7 @@ func (p *DualPref) Attrs() []string { return p.inner.Attrs() }
 // Less reports x <Pδ y iff y <P x.
 func (p *DualPref) Less(x, y Tuple) bool { return p.inner.Less(y, x) }
 
+// String renders the preference term in the paper's notation.
 func (p *DualPref) String() string { return p.inner.String() + "∂" }
 
 // ParetoPref is the Pareto accumulation P1 ⊗ P2 of Definition 8: P1 and P2
@@ -127,6 +129,7 @@ func (p *ParetoPref) Less(x, y Tuple) bool {
 	return false
 }
 
+// String renders the preference term in the paper's notation.
 func (p *ParetoPref) String() string {
 	return fmt.Sprintf("(%s ⊗ %s)", p.p1, p.p2)
 }
@@ -174,6 +177,7 @@ func (p *PrioritizedPref) Less(x, y Tuple) bool {
 	return EqualOn(x, y, p.p1.Attrs()) && p.p2.Less(x, y)
 }
 
+// String renders the preference term in the paper's notation.
 func (p *PrioritizedPref) String() string {
 	return fmt.Sprintf("(%s & %s)", p.p1, p.p2)
 }
@@ -251,6 +255,7 @@ func (p *RankPref) Less(x, y Tuple) bool {
 	return p.ScoreOf(x) < p.ScoreOf(y)
 }
 
+// String renders the preference term in the paper's notation.
 func (p *RankPref) String() string {
 	names := make([]string, len(p.parts))
 	for i, s := range p.parts {
@@ -298,6 +303,7 @@ func (p *IntersectionPref) Less(x, y Tuple) bool {
 	return p.p1.Less(x, y) && p.p2.Less(x, y)
 }
 
+// String renders the preference term in the paper's notation.
 func (p *IntersectionPref) String() string {
 	return fmt.Sprintf("(%s ♦ %s)", p.p1, p.p2)
 }
@@ -343,6 +349,7 @@ func (p *DisjointUnionPref) Less(x, y Tuple) bool {
 	return p.p1.Less(x, y) || p.p2.Less(x, y)
 }
 
+// String renders the preference term in the paper's notation.
 func (p *DisjointUnionPref) String() string {
 	return fmt.Sprintf("(%s + %s)", p.p1, p.p2)
 }
@@ -424,6 +431,7 @@ func (p *LinearSumPref) Less(x, y Tuple) bool {
 	return p.dom2.Contains(xv) && p.dom1.Contains(yv)
 }
 
+// String renders the preference term in the paper's notation.
 func (p *LinearSumPref) String() string {
 	return fmt.Sprintf("(%s ⊕ %s)", p.p1, p.p2)
 }

@@ -74,6 +74,7 @@ func (p *Around) Less(x, y Tuple) bool {
 	return p.Distance(xv) > p.Distance(yv)
 }
 
+// String renders the preference term in the paper's notation.
 func (p *Around) String() string {
 	return fmt.Sprintf("AROUND(%s, %s)", p.attr, FormatValue(p.z))
 }
@@ -143,6 +144,7 @@ func (p *Between) Less(x, y Tuple) bool {
 	return p.Distance(xv) > p.Distance(yv)
 }
 
+// String renders the preference term in the paper's notation.
 func (p *Between) String() string {
 	return fmt.Sprintf("BETWEEN(%s, [%s, %s])", p.attr, FormatValue(p.low), FormatValue(p.up))
 }
@@ -181,6 +183,7 @@ func (p *Lowest) Less(x, y Tuple) bool {
 	return p.ScoreOf(x) < p.ScoreOf(y)
 }
 
+// String renders the preference term in the paper's notation.
 func (p *Lowest) String() string { return fmt.Sprintf("LOWEST(%s)", p.attr) }
 
 // Highest is the HIGHEST preference of Definition 7c: as high as possible.
@@ -218,6 +221,7 @@ func (p *Highest) Less(x, y Tuple) bool {
 	return p.ScoreOf(x) < p.ScoreOf(y)
 }
 
+// String renders the preference term in the paper's notation.
 func (p *Highest) String() string { return fmt.Sprintf("HIGHEST(%s)", p.attr) }
 
 // Score is the SCORE preference of Definition 7d: the order induced by an
@@ -256,6 +260,7 @@ func (p *Score) Less(x, y Tuple) bool {
 	return p.f(xv) < p.f(yv)
 }
 
+// String renders the preference term in the paper's notation.
 func (p *Score) String() string {
 	return fmt.Sprintf("SCORE(%s, %s)", p.attr, p.name)
 }

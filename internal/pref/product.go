@@ -55,6 +55,7 @@ func (p *ProductPref) Less(x, y Tuple) bool {
 	return strict
 }
 
+// String renders the preference term in the paper's notation.
 func (p *ProductPref) String() string {
 	names := make([]string, len(p.parts))
 	for i, part := range p.parts {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/filter"
 	"repro/internal/pref"
 	"repro/internal/quality"
 	"repro/internal/skyline"
@@ -96,179 +97,37 @@ func (q *Query) String() string {
 	return b.String()
 }
 
-// BoolExpr is a hard-constraint condition tree (WHERE clause).
-type BoolExpr interface {
-	Eval(t pref.Tuple) bool
-	String() string
-}
+// BoolExpr is a hard-constraint condition tree (WHERE clause). The node
+// types live in internal/filter, which also compiles a tree against a
+// relation's cached column arrays; the aliases below keep the psql AST
+// vocabulary while execution binds through the compiled selection path.
+type BoolExpr = filter.Pred
 
 // AndExpr conjoins conditions.
-type AndExpr struct{ L, R BoolExpr }
-
-// Eval implements BoolExpr.
-func (e *AndExpr) Eval(t pref.Tuple) bool { return e.L.Eval(t) && e.R.Eval(t) }
-func (e *AndExpr) String() string         { return "(" + e.L.String() + " AND " + e.R.String() + ")" }
+type AndExpr = filter.And
 
 // OrExpr disjoins conditions.
-type OrExpr struct{ L, R BoolExpr }
-
-// Eval implements BoolExpr.
-func (e *OrExpr) Eval(t pref.Tuple) bool { return e.L.Eval(t) || e.R.Eval(t) }
-func (e *OrExpr) String() string         { return "(" + e.L.String() + " OR " + e.R.String() + ")" }
+type OrExpr = filter.Or
 
 // NotExpr negates a condition.
-type NotExpr struct{ E BoolExpr }
-
-// Eval implements BoolExpr.
-func (e *NotExpr) Eval(t pref.Tuple) bool { return !e.E.Eval(t) }
-func (e *NotExpr) String() string         { return "NOT " + e.E.String() }
+type NotExpr = filter.Not
 
 // CmpExpr compares an attribute with a literal: attr op value.
-type CmpExpr struct {
-	Attr  string
-	Op    string // = <> < <= > >=
-	Value pref.Value
-}
-
-// Eval implements BoolExpr. Comparisons against NULL or between
-// incomparable types are false, following SQL's three-valued logic
-// collapsed to boolean.
-func (e *CmpExpr) Eval(t pref.Tuple) bool {
-	v, ok := t.Get(e.Attr)
-	if !ok || v == nil {
-		return false
-	}
-	switch e.Op {
-	case "=":
-		return pref.EqualValues(v, e.Value)
-	case "<>":
-		return !pref.EqualValues(v, e.Value)
-	}
-	c, ok := pref.CompareValues(v, e.Value)
-	if !ok {
-		return false
-	}
-	switch e.Op {
-	case "<":
-		return c < 0
-	case "<=":
-		return c <= 0
-	case ">":
-		return c > 0
-	case ">=":
-		return c >= 0
-	}
-	return false
-}
-
-func (e *CmpExpr) String() string {
-	return fmt.Sprintf("%s %s %s", e.Attr, e.Op, litString(e.Value))
-}
+type CmpExpr = filter.Cmp
 
 // InExpr tests set membership: attr [NOT] IN (v1, …).
-type InExpr struct {
-	Attr   string
-	Set    *pref.ValueSet
-	Negate bool
-}
-
-// Eval implements BoolExpr.
-func (e *InExpr) Eval(t pref.Tuple) bool {
-	v, ok := t.Get(e.Attr)
-	if !ok || v == nil {
-		return false
-	}
-	return e.Set.Contains(v) != e.Negate
-}
-
-func (e *InExpr) String() string {
-	op := "IN"
-	if e.Negate {
-		op = "NOT IN"
-	}
-	parts := make([]string, 0, e.Set.Len())
-	for _, v := range e.Set.Values() {
-		parts = append(parts, litString(v))
-	}
-	return fmt.Sprintf("%s %s (%s)", e.Attr, op, strings.Join(parts, ", "))
-}
+type InExpr = filter.In
 
 // LikeExpr matches a string attribute against a SQL LIKE pattern with %
 // and _ wildcards.
-type LikeExpr struct {
-	Attr    string
-	Pattern string
-}
-
-// Eval implements BoolExpr.
-func (e *LikeExpr) Eval(t pref.Tuple) bool {
-	v, ok := t.Get(e.Attr)
-	if !ok {
-		return false
-	}
-	s, ok := v.(string)
-	if !ok {
-		return false
-	}
-	return likeMatch(e.Pattern, s)
-}
-
-func (e *LikeExpr) String() string {
-	return fmt.Sprintf("%s LIKE '%s'", e.Attr, e.Pattern)
-}
-
-// likeMatch implements SQL LIKE via iterative backtracking on %.
-func likeMatch(pattern, s string) bool {
-	pi, si := 0, 0
-	starP, starS := -1, -1
-	for si < len(s) {
-		switch {
-		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
-			pi++
-			si++
-		case pi < len(pattern) && pattern[pi] == '%':
-			starP, starS = pi, si
-			pi++
-		case starP >= 0:
-			starS++
-			pi, si = starP+1, starS
-		default:
-			return false
-		}
-	}
-	for pi < len(pattern) && pattern[pi] == '%' {
-		pi++
-	}
-	return pi == len(pattern)
-}
+type LikeExpr = filter.Like
 
 // IsNullExpr tests attr IS [NOT] NULL.
-type IsNullExpr struct {
-	Attr   string
-	Negate bool
-}
+type IsNullExpr = filter.IsNull
 
-// Eval implements BoolExpr.
-func (e *IsNullExpr) Eval(t pref.Tuple) bool {
-	v, ok := t.Get(e.Attr)
-	isNull := !ok || v == nil
-	return isNull != e.Negate
-}
-
-func (e *IsNullExpr) String() string {
-	if e.Negate {
-		return e.Attr + " IS NOT NULL"
-	}
-	return e.Attr + " IS NULL"
-}
-
-// litString renders a literal in SQL syntax.
-func litString(v pref.Value) string {
-	if s, ok := v.(string); ok {
-		return "'" + strings.ReplaceAll(s, "'", "''") + "'"
-	}
-	return pref.FormatValue(v)
-}
+// litString renders a literal in SQL syntax; one definition for the whole
+// SQL layer, shared with the WHERE condition nodes.
+func litString(v pref.Value) string { return filter.LitString(v) }
 
 // PrefExpr is a soft-constraint preference tree; Build lowers it to the
 // preference model.

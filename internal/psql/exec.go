@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/algebra"
 	"repro/internal/engine"
+	"repro/internal/filter"
 	"repro/internal/pref"
 	"repro/internal/quality"
 	"repro/internal/rank"
@@ -35,6 +37,16 @@ func Run(query string, cat Catalog, opts Options) (*relation.Relation, error) {
 // queries, the BUT ONLY quality filter, SKYLINE OF, ORDER BY, TOP-k and
 // finally projection. A TOP-k with a RANK preference switches to the
 // ranked (k-best) query model of §6.2 instead of BMO.
+//
+// The pipeline is index-chained over the base relation: the WHERE clause
+// compiles to a cached selection bitmap (filter.CompileCached), each soft
+// step evaluates via engine.BMOIndicesOn over the surviving row positions,
+// and rows materialize only at ORDER BY / projection time. Every compiled
+// form therefore binds to the base relation's column arrays and is reused
+// across repeated executions of the same query (or any query sharing a
+// clause) while the relation is unchanged; preference terms run through
+// algebra.Simplify first, so the evaluated term matches the one EXPLAIN
+// reports.
 func Exec(q *Query, cat Catalog, opts Options) (*relation.Relation, error) {
 	if q.ExplainPlan {
 		text, err := Explain(q, cat, opts)
@@ -50,69 +62,103 @@ func Exec(q *Query, cat Catalog, opts Options) (*relation.Relation, error) {
 	if err := checkAttrs(q, rel); err != nil {
 		return nil, err
 	}
-	out := rel
+	base := rel
+	var idx []int
 	if q.Where != nil {
-		out = out.Select(q.Where.Eval)
+		idx = filter.CompileCached(q.Where, base).Indices()
+	} else {
+		idx = allIndices(base.Len())
 	}
 	var builtPref pref.Preference
 	if q.Preferring != nil {
-		p, err := q.Preferring.Build()
+		built, err := q.Preferring.Build()
 		if err != nil {
 			return nil, err
 		}
-		builtPref = p
-		if s, ok := p.(pref.Scorer); ok && q.Top > 0 {
+		builtPref = built
+		p := algebra.Simplify(built)
+		if s, ok := built.(pref.Scorer); ok && q.Top > 0 {
 			// Ranked query model: k best by combined score, bypassing BMO.
+			// Dispatch on the term as written (like Explain): simplification
+			// can collapse a non-Scorer accumulation to a Scorer leaf, which
+			// must stay a BMO query with TOP-k truncation.
+			out := base.Pick(idx)
 			results := rank.TopK(s, out, q.Top)
-			idx := make([]int, len(results))
+			ridx := make([]int, len(results))
 			for i, r := range results {
-				idx[i] = r.Row
+				ridx[i] = r.Row
 			}
-			out = out.Pick(idx)
-			return project(q, out)
+			return project(q, out.Pick(ridx))
 		}
 		if len(q.GroupingBy) > 0 {
-			out = engine.GroupBy(p, q.GroupingBy, out, opts.Algorithm)
+			// Grouped evaluation: a full scan passes the catalog relation
+			// straight through, so its bound form stays cache-served across
+			// repeated queries; a WHERE subset must materialize (group
+			// membership is defined on the restricted relation), which is
+			// ephemeral and re-binds per query.
+			grouped := base
+			if len(idx) != base.Len() {
+				grouped = base.Pick(idx)
+			}
+			base = engine.GroupBy(p, q.GroupingBy, grouped, opts.Algorithm)
+			idx = allIndices(base.Len())
 		} else {
-			out = engine.BMO(p, out, opts.Algorithm)
+			idx = engine.BMOIndicesOn(p, base, opts.Algorithm, idx)
 		}
 	}
 	for _, c := range q.Cascades {
-		p, err := c.Build()
+		built, err := c.Build()
 		if err != nil {
 			return nil, err
 		}
 		if builtPref == nil {
-			builtPref = p
+			builtPref = built
 		}
-		out = engine.BMO(p, out, opts.Algorithm)
+		idx = engine.BMOIndicesOn(algebra.Simplify(built), base, opts.Algorithm, idx)
 	}
 	if q.ButOnly != nil {
 		if builtPref == nil {
 			return nil, fmt.Errorf("psql: BUT ONLY requires a PREFERRING clause")
 		}
 		byAttr := collectBasePrefs(q)
-		out = out.Select(func(t pref.Tuple) bool { return q.ButOnly.Eval(byAttr, t) })
+		kept := idx[:0]
+		for _, i := range idx {
+			if q.ButOnly.Eval(byAttr, base.Tuple(i)) {
+				kept = append(kept, i)
+			}
+		}
+		idx = kept
 	}
 	if q.Skyline != nil {
 		p, err := q.Skyline.Preference()
 		if err != nil {
 			return nil, err
 		}
-		out = engine.BMO(p, out, opts.Algorithm)
+		idx = engine.BMOIndicesOn(p, base, opts.Algorithm, idx)
 	}
+	out := base.Pick(idx)
 	if len(q.OrderBy) > 0 {
-		out = out.Clone()
+		// Pick built a fresh row slice, so the in-place sort cannot disturb
+		// the catalog relation.
 		out.SortBy(func(a, b pref.Tuple) bool { return orderLess(q.OrderBy, a, b) })
 	}
 	if q.Top > 0 && out.Len() > q.Top {
-		idx := make([]int, q.Top)
-		for i := range idx {
-			idx[i] = i
+		top := make([]int, q.Top)
+		for i := range top {
+			top[i] = i
 		}
-		out = out.Pick(idx)
+		out = out.Pick(top)
 	}
 	return project(q, out)
+}
+
+// allIndices returns 0..n-1.
+func allIndices(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
 }
 
 // checkAttrs validates every attribute reference in the query against the

@@ -241,3 +241,56 @@ func TestExecInAndLikeAndNull(t *testing.T) {
 		t.Error("IS NOT NULL must keep all rows")
 	}
 }
+
+// TestTopKDispatchUsesUnsimplifiedTerm guards the ranked-model dispatch:
+// LOWEST(price) PRIOR TO HIGHEST(price) collapses to LOWEST(price) by
+// Prop 4a, which is a Scorer — but the query as written is not, so it
+// must stay a BMO query truncated by TOP (one row: the price minimum),
+// not switch to the ranked k-best model (which would return 3 rows).
+// Explain makes the same check on the unsimplified term.
+func TestTopKDispatchUsesUnsimplifiedTerm(t *testing.T) {
+	res := run(t, "SELECT oid FROM car PREFERRING LOWEST(price) PRIOR TO HIGHEST(price) TOP 3")
+	if got := oids(t, res); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("BMO + TOP 3 must return the single price minimum {2}, got %v", got)
+	}
+	plan, err := ExplainQuery("EXPLAIN SELECT oid FROM car PREFERRING LOWEST(price) PRIOR TO HIGHEST(price) TOP 3", testCatalog(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "truncate to TOP 3") || strings.Contains(plan, "ranked query model") {
+		t.Fatalf("EXPLAIN must describe BMO + truncation, not the ranked model:\n%s", plan)
+	}
+}
+
+// TestGroupedQueryReusesCompileCache: a grouped query with no WHERE scans
+// the catalog relation directly, so its bound form is cache-served across
+// repeated executions (a filtered grouped scan must materialize and
+// re-binds per query, which EXPLAIN reports as "not applicable").
+func TestGroupedQueryReusesCompileCache(t *testing.T) {
+	engine.ResetCompileCache()
+	defer engine.ResetCompileCache()
+	cat := testCatalog()
+	query := "SELECT oid FROM car PREFERRING price AROUND 40000 GROUPING BY make"
+	for i := 0; i < 2; i++ {
+		if _, err := Run(query, cat, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h, _ := engine.CompileCacheStats(); h < 1 {
+		t.Fatal("repeated grouped full-scan query must reuse the cached bound form")
+	}
+	plan, err := ExplainQuery(query, cat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "compile cache: hit") {
+		t.Fatalf("EXPLAIN after grouped executions must report the hit:\n%s", plan)
+	}
+	plan, err = ExplainQuery("SELECT oid FROM car WHERE price <= 45000 PREFERRING price AROUND 40000 GROUPING BY make", cat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "compile cache: not applicable") {
+		t.Fatalf("filtered grouped EXPLAIN must report the cache as not applicable:\n%s", plan)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/engine"
+	"repro/internal/filter"
 	"repro/internal/pref"
 	"repro/internal/relation"
 )
@@ -15,6 +16,25 @@ import (
 // (before and after algebraic simplification), and the physical algorithm
 // the engine would select. This is the observable face of the paper's §7
 // "preference query optimizer" roadmap item.
+//
+// Each step reports its evaluation path and cache status:
+//
+//   - the hard selection line shows the binding mode
+//     ("vectorized" — every WHERE leaf bound to column vectors or
+//     equality codes — or "row-fallback"), the exact selectivity, and
+//     the selection-cache status. The WHERE clause binds at explain time:
+//     the resulting bitmap is cached and reused by the next execution,
+//     so a first EXPLAIN reports "miss — now bound and cached" and any
+//     repeat reports "hit";
+//   - BMO steps show "compiled evaluation" when the (simplified) term is
+//     inside the compilable constructor fragment, "interpreted" when it
+//     will take the tuple-at-a-time interface path, and a
+//     "compile cache: hit|cold" line. Preference terms do not bind at
+//     explain time, so the compile cache reports "cold" until the query
+//     first executes and "hit — bound form reused" afterwards;
+//   - with engine.Auto, the cost-based plan is inlined underneath
+//     (engine.Plan.Explain), carrying the same facts as
+//     "eval=compiled|interpreted" and "cache=hit|cold".
 func Explain(q *Query, cat Catalog, opts Options) (string, error) {
 	rel, ok := cat[q.From]
 	if !ok {
@@ -32,7 +52,18 @@ func Explain(q *Query, cat Catalog, opts Options) (string, error) {
 	emit("scan %s (%d rows)", q.From, rel.Len())
 	n := rel.Len()
 	if q.Where != nil {
-		emit("hard selection: %s", q.Where)
+		// The WHERE clause binds (through the selection cache) at explain
+		// time: the bitmap is exactly what execution will reuse, so EXPLAIN
+		// can report true selectivity, the binding mode and cache status.
+		hit := filter.CacheContains(q.Where, rel)
+		sel := filter.CompileCached(q.Where, rel)
+		status := "miss — now bound and cached"
+		if hit {
+			status = "hit"
+		}
+		emit("hard selection: %s [%s, %d of %d rows; selection cache %s]",
+			q.Where, sel.Mode(), sel.Count(), rel.Len(), status)
+		n = sel.Count()
 	}
 	if q.Preferring != nil {
 		p, err := q.Preferring.Build()
@@ -44,7 +75,9 @@ func Explain(q *Query, cat Catalog, opts Options) (string, error) {
 		resolved := alg
 		var plan *engine.Plan
 		if alg == engine.Auto {
-			plan = engine.PlanWith(simplified, rel, engine.Env{})
+			// Planned at the post-WHERE cardinality (n), matching the
+			// decision BMOIndicesOn makes at execution time.
+			plan = engine.PlanWithInput(simplified, rel, n, engine.Env{})
 			resolved = plan.Algorithm
 		}
 		if _, isScorer := p.(pref.Scorer); isScorer && q.Top > 0 {
@@ -60,6 +93,27 @@ func Explain(q *Query, cat Catalog, opts Options) (string, error) {
 		}
 		if simplified.String() != p.String() {
 			fmt.Fprintf(&b, "    (simplified from %s by the preference algebra)\n", p)
+		}
+		if evalModeOf(simplified, resolved) == "compiled" {
+			if len(q.GroupingBy) > 0 && q.Where != nil && n < rel.Len() {
+				// Matches execution: only a WHERE that actually filters
+				// forces the grouped path onto a per-query materialized
+				// subset; a keep-everything WHERE passes the catalog
+				// relation through and caches normally.
+				// Grouped evaluation over a filtered scan binds against the
+				// per-query materialized subset; no cached form applies.
+				b.WriteString("    (compile cache: not applicable — grouped evaluation over a filtered scan binds per query)\n")
+			} else {
+				// Execution evaluates the simplified term, so the cache
+				// probe uses it too. EXPLAIN does not bind preference terms
+				// itself (unlike the WHERE clause, a bind is not free), so a
+				// cold cache stays cold until the first execution.
+				status := "cold — binds at first execution"
+				if engine.CompileCached(simplified, rel) {
+					status = "hit — bound form reused"
+				}
+				fmt.Fprintf(&b, "    (compile cache: %s)\n", status)
+			}
 		}
 		if plan != nil {
 			// The cost-based decision, indented under the BMO step.
@@ -91,10 +145,11 @@ func Explain(q *Query, cat Catalog, opts Options) (string, error) {
 		resolved := opts.Algorithm
 		var plan *engine.Plan
 		if resolved == engine.Auto {
-			// Statistics-informed only when the skyline scans the base
-			// relation directly; downstream of a PREFERRING step the input
-			// cardinality is unknown at explain time.
-			plan = engine.PlanWith(p, rel, engine.Env{})
+			// Planned at the post-WHERE cardinality; downstream of a
+			// PREFERRING step the true input cardinality is unknown at
+			// explain time (the plan is only inlined when the skyline is
+			// the sole soft step).
+			plan = engine.PlanWithInput(p, rel, n, engine.Env{})
 			resolved = plan.Algorithm
 		}
 		emit("%s ⇒ BMO σ[P], P = %s [algorithm %s, %s evaluation]", q.Skyline, p, resolved, evalModeOf(p, resolved))
@@ -123,16 +178,21 @@ func Explain(q *Query, cat Catalog, opts Options) (string, error) {
 
 // evalModeOf names the evaluation path the engine will take for the term
 // under the resolved algorithm: compiled columnar for the library's
-// constructor fragment, interpreted tuple-at-a-time otherwise — and
-// always interpreted for the decomposition evaluator, which recurses over
-// sub-terms on the interface path. (A structurally compilable term can
-// still fall back at bind time when a discrete layer exceeds the
-// ordinal-coding cap; that rare case is not visible at explain time.)
+// constructor fragment, interpreted tuple-at-a-time otherwise. The
+// decomposition evaluator compiles per sub-term inside its recursion
+// (each Prop 8–12 leaf binds and caches independently), so it reports
+// "compiled (sub-terms)" — and the whole-term compile-cache probe does
+// not apply to it. (A structurally compilable term can still fall back at
+// bind time when a discrete layer exceeds the ordinal-coding cap; that
+// rare case is not visible at explain time.)
 func evalModeOf(p pref.Preference, alg engine.Algorithm) string {
-	if alg != engine.Decomposition && pref.Compilable(p) {
-		return "compiled"
+	if !pref.Compilable(p) {
+		return "interpreted"
 	}
-	return "interpreted"
+	if alg == engine.Decomposition {
+		return "compiled (sub-terms)"
+	}
+	return "compiled"
 }
 
 // emitProjection appends the projection/distinct steps.

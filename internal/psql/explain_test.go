@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/filter"
+	"repro/internal/relation"
 )
 
 func TestExplainPipeline(t *testing.T) {
@@ -159,5 +161,73 @@ func TestExplainSkylineSurfacesPlan(t *testing.T) {
 		if !strings.Contains(plan, want) {
 			t.Errorf("skyline plan detail missing %q:\n%s", want, plan)
 		}
+	}
+}
+
+// TestExplainReportsCacheStatus pins the cache fields of EXPLAIN: the
+// WHERE clause binds at explain time (selection cache miss, then hit),
+// while the PREFERRING compile cache stays cold until the query actually
+// runs and reports a hit on the repeat.
+func TestExplainReportsCacheStatus(t *testing.T) {
+	engine.ResetCompileCache()
+	filter.ResetCache()
+	defer engine.ResetCompileCache()
+	defer filter.ResetCache()
+	cat := testCatalog() // one catalog: cache keys are relation identities
+	query := `SELECT oid FROM car WHERE price <= 45000
+		PREFERRING LOWEST(price) AND LOWEST(mileage)`
+
+	plan, err := ExplainQuery(query, cat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"hard selection: price <= 45000 [vectorized, 4 of 5 rows; selection cache miss — now bound and cached]",
+		"(compile cache: cold — binds at first execution)",
+	} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("cold EXPLAIN missing %q:\n%s", want, plan)
+		}
+	}
+
+	if _, err := Run(query, cat, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	plan, err = ExplainQuery(query, cat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"selection cache hit",
+		"(compile cache: hit — bound form reused)",
+	} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("repeated-query EXPLAIN missing %q:\n%s", want, plan)
+		}
+	}
+}
+
+// TestExplainPlansAtFilteredCardinality: the inlined cost plan must be
+// computed for the post-WHERE candidate count — the decision execution's
+// BMOIndicesOn actually makes — not the base relation size.
+func TestExplainPlansAtFilteredCardinality(t *testing.T) {
+	big := relation.New("big", relation.MustSchema(
+		relation.Column{Name: "price", Type: relation.Int},
+		relation.Column{Name: "mileage", Type: relation.Int},
+	))
+	for i := 0; i < 600; i++ {
+		big.MustInsert(relation.Row{int64(i), int64(600 - i)})
+	}
+	cat := Catalog{"big": big}
+	plan, err := ExplainQuery(`EXPLAIN SELECT * FROM big WHERE price < 10
+		PREFERRING LOWEST(price) AND LOWEST(mileage)`, cat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "10 of 600 rows") {
+		t.Fatalf("selectivity missing:\n%s", plan)
+	}
+	if !strings.Contains(plan, "plan: n=10 ") {
+		t.Fatalf("inlined plan must use the filtered cardinality (n=10):\n%s", plan)
 	}
 }

@@ -272,7 +272,7 @@ func (p *parser) parseBoolOr() (BoolExpr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &OrExpr{l, r}
+		l = &OrExpr{L: l, R: r}
 	}
 	return l, nil
 }
@@ -287,7 +287,7 @@ func (p *parser) parseBoolAnd() (BoolExpr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &AndExpr{l, r}
+		l = &AndExpr{L: l, R: r}
 	}
 	return l, nil
 }
@@ -298,7 +298,7 @@ func (p *parser) parseBoolUnary() (BoolExpr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &NotExpr{e}, nil
+		return &NotExpr{E: e}, nil
 	}
 	if p.accept(TokLParen, "(") {
 		e, err := p.parseBoolOr()
@@ -321,13 +321,13 @@ func (p *parser) parseBoolUnary() (BoolExpr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &CmpExpr{attr, op, v}, nil
+		return &CmpExpr{Attr: attr, Op: op, Value: v}, nil
 	case p.acceptKeyword("IN"):
 		vs, err := p.literalList()
 		if err != nil {
 			return nil, err
 		}
-		return &InExpr{attr, pref.NewValueSet(vs...), false}, nil
+		return &InExpr{Attr: attr, Set: pref.NewValueSet(vs...)}, nil
 	case p.acceptKeyword("NOT"):
 		if _, err := p.expect(TokKeyword, "IN"); err != nil {
 			return nil, err
@@ -336,19 +336,19 @@ func (p *parser) parseBoolUnary() (BoolExpr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &InExpr{attr, pref.NewValueSet(vs...), true}, nil
+		return &InExpr{Attr: attr, Set: pref.NewValueSet(vs...), Negate: true}, nil
 	case p.acceptKeyword("LIKE"):
 		t, err := p.expect(TokString, "")
 		if err != nil {
 			return nil, err
 		}
-		return &LikeExpr{attr, t.Text}, nil
+		return &LikeExpr{Attr: attr, Pattern: t.Text}, nil
 	case p.acceptKeyword("IS"):
 		negate := p.acceptKeyword("NOT")
 		if _, err := p.expect(TokKeyword, "NULL"); err != nil {
 			return nil, err
 		}
-		return &IsNullExpr{attr, negate}, nil
+		return &IsNullExpr{Attr: attr, Negate: negate}, nil
 	}
 	return nil, p.errorf("expected comparison after %q", attr)
 }

@@ -3,6 +3,8 @@ package psql
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/filter"
 )
 
 func TestLexBasics(t *testing.T) {
@@ -286,8 +288,8 @@ func TestLikeMatch(t *testing.T) {
 		{"%a%b%", "xaxbx", true},
 	}
 	for _, c := range cases {
-		if got := likeMatch(c.pattern, c.s); got != c.want {
-			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.pattern, c.s, got, c.want)
+		if got := filter.LikeMatch(c.pattern, c.s); got != c.want {
+			t.Errorf("LikeMatch(%q, %q) = %v, want %v", c.pattern, c.s, got, c.want)
 		}
 	}
 }

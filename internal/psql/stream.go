@@ -107,7 +107,9 @@ func streamablePlan(q *Query, cat Catalog) (pref.Preference, *relation.Relation,
 		return nil, nil, false, nil
 	}
 	if q.Where != nil {
-		rel = rel.Select(q.Where.Eval)
+		// Compiled selection with a cached bitmap; the preference stream
+		// then binds against the materialized scan.
+		rel = rel.Where(q.Where)
 	}
 	return p, rel, true, nil
 }

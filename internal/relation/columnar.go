@@ -161,6 +161,24 @@ func buildEqColumn(rows []Row, ci int) []uint32 {
 	return codes
 }
 
+// NumericColumn is FloatColumn restricted to the genuinely numeric column
+// types (INT, FLOAT): ok=false for TIME, whose float image is truncated to
+// seconds and would change sub-second comparison results. The compiled
+// hard-selection layer binds comparison predicates through it; it
+// implements filter.NumericColumner.
+func (r *Relation) NumericColumn(name string) (vals []float64, onScale []bool, ok bool) {
+	ci, ok := r.schema.Index(name)
+	if !ok {
+		return nil, nil, false
+	}
+	switch r.schema.Col(ci).Type {
+	case Int, Float:
+	default:
+		return nil, nil, false
+	}
+	return r.FloatColumn(name)
+}
+
 // Columnarize eagerly builds the typed arrays of every linearly ordered
 // column, so later compiled evaluations find them ready. It is optional:
 // FloatColumn builds lazily on first use.
@@ -170,12 +188,15 @@ func (r *Relation) Columnarize() {
 	}
 }
 
-// invalidateColumns drops the derived typed arrays after a row mutation.
+// invalidateColumns drops the derived typed arrays after a row mutation
+// and bumps the mutation counter, stranding every cached bound form keyed
+// to the previous version (engine compile cache, filter selection cache).
 func (r *Relation) invalidateColumns() {
 	r.colMu.Lock()
 	r.floatCols = nil
 	r.eqCols = nil
 	r.colMu.Unlock()
+	r.version.Add(1)
 }
 
 // FromColumns builds a relation from column-major data: cols[k] holds the

@@ -10,8 +10,10 @@ import (
 	"slices"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/filter"
 	"repro/internal/pref"
 )
 
@@ -146,6 +148,8 @@ type Relation struct {
 	colMu     sync.Mutex
 	floatCols map[int]*floatColumn
 	eqCols    map[int][]uint32
+	version   atomic.Uint64
+	derived   bool
 }
 
 // New creates an empty relation with the given name and schema.
@@ -161,6 +165,19 @@ func (r *Relation) Schema() *Schema { return r.schema }
 
 // Len returns the row count, card(R).
 func (r *Relation) Len() int { return len(r.rows) }
+
+// Version returns the relation's mutation counter: it increases on every
+// row mutation (Insert, SortBy) and never otherwise. Compile caches key
+// bound forms by (relation, version, term), so a bumped counter strands
+// every stale entry. It implements filter.Versioned.
+func (r *Relation) Version() uint64 { return r.version.Load() }
+
+// Ephemeral reports whether the relation is a derived query intermediate
+// (built by Pick, Select, Where or a projection). Compile caches skip
+// ephemeral relations: their identity is fresh per query, so a cached
+// bound form could never be reused and would only pin the materialized
+// rows until eviction. It implements filter.Ephemeraler.
+func (r *Relation) Ephemeral() bool { return r.derived }
 
 // Row returns row i; callers must not modify it.
 func (r *Relation) Row(i int) Row { return r.rows[i] }
@@ -233,9 +250,13 @@ func FromRows(name string, schema *Schema, rows []Row) (*Relation, error) {
 	return r, nil
 }
 
-// Select returns the rows satisfying the hard predicate, as a new relation.
+// Select returns the rows satisfying the hard predicate, as a new
+// relation. This is the interpreted selection path — one boxed tuple
+// evaluation per row; predicates expressible as a filter.Pred tree should
+// go through Where, which binds to the cached column arrays instead.
 func (r *Relation) Select(pred func(pref.Tuple) bool) *Relation {
 	out := New(r.name, r.schema)
+	out.derived = true
 	for i := range r.rows {
 		if pred(r.Tuple(i)) {
 			out.rows = append(out.rows, r.rows[i])
@@ -244,9 +265,28 @@ func (r *Relation) Select(pred func(pref.Tuple) bool) *Relation {
 	return out
 }
 
+// Where returns the rows satisfying the predicate tree, as a new relation.
+// The tree is compiled against the relation's cached column arrays through
+// the selection cache (see filter.CompileCached), so repeated selections
+// over an unchanged relation reuse the finished bitmap; WhereIndices
+// returns the row positions instead of materializing.
+func (r *Relation) Where(pred filter.Pred) *Relation {
+	return r.Pick(r.WhereIndices(pred))
+}
+
+// WhereIndices returns the positions of the rows satisfying the predicate
+// tree, in ascending order, through the compiled selection path. The
+// slice is the caller's to own: the cached bound form's memoized index
+// list is copied at this API boundary so mutations cannot corrupt later
+// queries.
+func (r *Relation) WhereIndices(pred filter.Pred) []int {
+	return slices.Clone(filter.CompileCached(pred, r).Indices())
+}
+
 // Pick returns a new relation containing the rows at the given indices.
 func (r *Relation) Pick(indices []int) *Relation {
 	out := New(r.name, r.schema)
+	out.derived = true
 	out.rows = make([]Row, 0, len(indices))
 	for _, i := range indices {
 		out.rows = append(out.rows, r.rows[i])
@@ -272,6 +312,7 @@ func (r *Relation) Project(attrs []string) (*Relation, error) {
 		return nil, err
 	}
 	out := New(r.name, schema)
+	out.derived = true
 	for _, row := range r.rows {
 		proj := make(Row, len(idx))
 		for k, i := range idx {
@@ -292,6 +333,7 @@ func (r *Relation) DistinctProject(attrs []string) (*Relation, error) {
 	}
 	seen := make(map[string]struct{}, proj.Len())
 	out := New(r.name, proj.schema)
+	out.derived = true
 	for i, row := range proj.rows {
 		k := pref.ProjectionKey(proj.Tuple(i), attrs)
 		if _, dup := seen[k]; dup {
@@ -348,9 +390,11 @@ func (r *Relation) SortBy(less func(a, b pref.Tuple) bool) {
 	r.invalidateColumns()
 }
 
-// Clone returns a deep copy of the relation.
+// Clone returns a deep copy of the relation; the copy keeps the
+// original's ephemerality.
 func (r *Relation) Clone() *Relation {
 	out := New(r.name, r.schema)
+	out.derived = r.derived
 	out.rows = make([]Row, len(r.rows))
 	for i, row := range r.rows {
 		out.rows[i] = append(Row(nil), row...)
