@@ -15,16 +15,19 @@
 //	prefbench -list
 //	prefbench -plan "price MIN, mileage MIN" -rows 50000 -dist anti
 //	prefbench -stream "d1 MIN, d2 MIN" -rows 20000 -dist anti -first 5
+//	prefbench -stream "d1 MIN, d2 MIN" -where "d3 <= 0.3" -dims 3 -rows 20000 -first 5
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/filter"
 	"repro/internal/relation"
 	"repro/internal/skyline"
 	"repro/internal/workload"
@@ -37,6 +40,7 @@ func main() {
 		list   = flag.Bool("list", false, "list experiments")
 		plan   = flag.String("plan", "", "explain the cost-based plan for a SKYLINE OF clause over a synthetic workload")
 		stream = flag.String("stream", "", "stream first maxima of a SKYLINE OF clause over a synthetic workload")
+		where  = flag.String("where", "", "hard selection 'attr op number' for -stream (e.g. 'd3 <= 0.3'): streams index-chained over the WHERE index list")
 		rows   = flag.Int("rows", 20000, "synthetic workload size for -plan/-stream")
 		dims   = flag.Int("dims", 0, "synthetic workload dimensions (default: clause dimension count)")
 		dist   = flag.String("dist", "anti", "distribution for -plan/-stream: independent|correlated|anti|skewed")
@@ -54,7 +58,7 @@ func main() {
 			fatal(err)
 		}
 	case *stream != "":
-		if err := streamDemo(*stream, *rows, *dims, *dist, *first); err != nil {
+		if err := streamDemo(*stream, *where, *rows, *dims, *dist, *first); err != nil {
 			fatal(err)
 		}
 	case *run != "":
@@ -129,25 +133,68 @@ func planDemo(clause string, rows, dims int, dist string) error {
 	return nil
 }
 
+// parseWhere lowers a simple 'attr op number' condition to a hard
+// selection predicate for the -stream demo.
+func parseWhere(s string) (*filter.Cmp, error) {
+	parts := strings.Fields(s)
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("prefbench: -where wants 'attr op number', got %q", s)
+	}
+	switch parts[1] {
+	case "<", "<=", "=", ">=", ">", "<>":
+	default:
+		return nil, fmt.Errorf("prefbench: -where operator %q not supported", parts[1])
+	}
+	v, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return nil, fmt.Errorf("prefbench: -where value %q: %w", parts[2], err)
+	}
+	return &filter.Cmp{Attr: parts[0], Op: parts[1], Value: v}, nil
+}
+
 // streamDemo serves the first maxima progressively and reports how little
-// of the input each one needed.
-func streamDemo(clause string, rows, dims int, dist string, first int) error {
+// of the input each one needed. With a WHERE condition it runs the
+// index-chained streaming path: the compiled selection yields a cached
+// index list over the base relation and the preference stream visits
+// exactly those positions — no materialized intermediate.
+func streamDemo(clause, where string, rows, dims int, dist string, first int) error {
 	c, rel, err := synth(clause, rows, dims, dist)
 	if err != nil {
 		return err
 	}
-	st, err := skyline.Stream(c, rel)
-	if err != nil {
-		return err
+	var st *engine.Stream
+	candidates := rel.Len()
+	if where != "" {
+		pred, err := parseWhere(where)
+		if err != nil {
+			return err
+		}
+		if _, ok := rel.Schema().Index(pred.Attr); !ok {
+			return fmt.Errorf("prefbench: -where column %q not in the synthetic workload (have %s; raise -dims?)",
+				pred.Attr, strings.Join(rel.Schema().Names(), ", "))
+		}
+		p, err := c.Preference()
+		if err != nil {
+			return err
+		}
+		idx := rel.WhereIndices(pred)
+		candidates = len(idx)
+		fmt.Printf("hard selection %s: %d of %d rows (cache-served index list)\n", where, len(idx), rel.Len())
+		st = engine.EvalStreamOn(p, rel, engine.Auto, idx)
+	} else {
+		st, err = skyline.Stream(c, rel)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("workload: %s (%d rows), %s, progressive=%v\n", rel.Name(), rel.Len(), c, st.Progressive())
 	emitted := 0
 	st.Each(func(row int) bool {
 		emitted++
-		fmt.Printf("maximum #%d: row %d after examining %d/%d candidates\n", emitted, row, st.Consumed(), rel.Len())
+		fmt.Printf("maximum #%d: row %d after examining %d/%d candidates\n", emitted, row, st.Consumed(), candidates)
 		return emitted < first
 	})
-	fmt.Printf("served %d maxima having examined %d of %d rows\n", emitted, st.Consumed(), rel.Len())
+	fmt.Printf("served %d maxima having examined %d of %d candidates\n", emitted, st.Consumed(), candidates)
 	return nil
 }
 

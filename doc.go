@@ -10,9 +10,15 @@
 // preference to column vectors once (flat score vectors, ordinal codes, a
 // specialized less(i, j) predicate), filter.Compile does the same for
 // hard WHERE selections (vector scans, per-distinct-value dictionary
-// evaluation, a Keep(i) bitmap), and both layers cache their bound forms
-// keyed by relation identity + mutation version + term rendering, so
-// repeated queries over an unchanged relation skip binding entirely. The
+// evaluation, a Keep(i) bitmap), quality.LevelVec/DistanceVec materialize
+// the BUT ONLY quality measures as threshold-scannable vectors, and every
+// layer caches its bound forms keyed by relation identity + mutation
+// version + canonical term key, so repeated queries over an unchanged
+// relation skip binding entirely (dropping a catalog relation evicts its
+// entries, see engine.EvictRelation). Grouping partitions by cached
+// equality codes, ranked TOP-k queries score row positions through the
+// compiled vectors (internal/rank), and streaming delivery runs
+// index-chained over the WHERE index list (engine.EvalStreamOn). The
 // interpreted tuple-at-a-time interface path remains as the transparent
 // fallback for foreign Preference/Pred implementations (and as the
 // measured baseline, see engine.EvalMode). Plan.Explain and Preference
@@ -24,5 +30,5 @@
 // directory holds one benchmark per reproduced experiment plus the
 // evaluation-layer benches (parallel variants, planner, streaming,
 // compiled vs interpreted, selection and compile-cache studies);
-// BENCH_PR3.json is the committed baseline.
+// BENCH_PR4.json is the committed baseline.
 package repro

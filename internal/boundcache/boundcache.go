@@ -37,9 +37,61 @@ type Cache[V any] struct {
 	hits, misses atomic.Uint64
 }
 
-// New returns an empty cache bounded to capacity entries.
+// evictor is the type-erased view of a Cache the package-level eviction
+// registry holds: EvictSource must sweep caches of every value type.
+type evictor interface {
+	EvictSrc(src any) int
+}
+
+// registry tracks every cache created by New so EvictSource can sweep all
+// bound forms of a dropped source in one call. Caches are package-level
+// singletons in practice, so the registry only ever grows by a handful of
+// entries per process.
+var (
+	registryMu sync.Mutex
+	registry   []evictor
+)
+
+// New returns an empty cache bounded to capacity entries and registers it
+// for package-level eviction sweeps (see EvictSource).
 func New[V any](capacity int) *Cache[V] {
-	return &Cache[V]{cap: capacity, m: make(map[Key]V)}
+	c := &Cache[V]{cap: capacity, m: make(map[Key]V)}
+	registryMu.Lock()
+	registry = append(registry, c)
+	registryMu.Unlock()
+	return c
+}
+
+// EvictSrc removes every entry bound against the given source identity,
+// regardless of version or term, and returns the number of entries
+// dropped. Callers use it when a source is dropped or replaced, so its
+// bound forms stop pinning it until ordinary capacity eviction.
+func (c *Cache[V]) EvictSrc(src any) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for k := range c.m {
+		if k.Src == src {
+			delete(c.m, k)
+			n++
+		}
+	}
+	return n
+}
+
+// EvictSource sweeps the entries of one source identity out of every cache
+// created by New — the compile, selection and quality caches all key their
+// bound forms by source, so one call releases everything a dropped catalog
+// relation pinned. It returns the total number of entries dropped.
+func EvictSource(src any) int {
+	registryMu.Lock()
+	caches := registry
+	registryMu.Unlock()
+	n := 0
+	for _, c := range caches {
+		n += c.EvictSrc(src)
+	}
+	return n
 }
 
 // Get returns the cached bound form for the key and counts a hit or miss.

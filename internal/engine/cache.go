@@ -81,6 +81,19 @@ func CompileCached(p pref.Preference, r *relation.Relation) bool {
 	return hit && e.c != nil
 }
 
+// EvictRelation releases every bound form cached against the relation —
+// compile cache, selection cache, quality and rank vectors alike (the
+// sweep runs through the shared boundcache registry). Callers drop or
+// replace catalog relations through it so the stale entries stop pinning
+// the relation's rows until ordinary capacity eviction; see
+// psql.Catalog.Drop. It returns the number of entries released.
+func EvictRelation(r *relation.Relation) int {
+	if r == nil {
+		return 0
+	}
+	return boundcache.EvictSource(r)
+}
+
 // CompileCacheStats returns the cumulative compile-cache hit and miss
 // counts.
 func CompileCacheStats() (hits, misses uint64) {

@@ -104,8 +104,10 @@ func bnlCompiled(c *pref.Compiled, idx []int) []int {
 // sfsCompiled is sort-filter-skyline over compiled columns: the sort keys
 // are the precomputed per-dimension key vectors of the compiled form —
 // no key materialization, no per-candidate allocation — and the filter
-// pass compares flat vectors. Falls back to bnlCompiled when the term has
-// no compatible key.
+// pass compares flat vectors. Chain-product terms run the blocked
+// candidate-vs-maxima filter (see chainFilter); everything else compares
+// through the compiled predicate tree. Falls back to bnlCompiled when the
+// term has no compatible key.
 func sfsCompiled(c *pref.Compiled, idx []int) []int {
 	keys, ok := c.SortKeys()
 	if !ok {
@@ -113,6 +115,15 @@ func sfsCompiled(c *pref.Compiled, idx []int) []int {
 	}
 	order := append([]int(nil), idx...)
 	slices.SortFunc(order, func(a, b int) int { return cmpKeyColumns(keys, a, b) })
+	if cf := newChainFilter(c); cf != nil {
+		return sfsFilterChain(cf, order)
+	}
+	return sfsFilterGeneric(c, order)
+}
+
+// sfsFilterGeneric is the filter pass of sfsCompiled through the compiled
+// predicate tree: one c.Less call per (candidate, confirmed maximum) pair.
+func sfsFilterGeneric(c *pref.Compiled, order []int) []int {
 	var result []int
 	for _, i := range order {
 		dominated := false
@@ -128,6 +139,139 @@ func sfsCompiled(c *pref.Compiled, idx []int) []int {
 	}
 	slices.Sort(result)
 	return result
+}
+
+// sfsFilterChain is the blocked filter pass for chain products: each
+// candidate tests against up to filterBlock confirmed maxima per inner
+// iteration over flat coordinate columns.
+func sfsFilterChain(cf *chainFilter, order []int) []int {
+	var result []int
+	for _, i := range order {
+		if !cf.dominated(i) {
+			cf.add(i)
+			result = append(result, i)
+		}
+	}
+	slices.Sort(result)
+	return result
+}
+
+// filterBlock is the number of confirmed maxima one masked filter
+// iteration compares a candidate against; see dominatedMasked.
+const filterBlock = 8
+
+// chainFilter is the flat-column candidate-vs-maxima domination filter
+// for chain-product preferences: confirmed maxima coordinates are stored
+// column-major per dimension, so the filter scans contiguous float64
+// arrays instead of walking the compiled predicate tree per pair. On the
+// chain fragment (distinct LOWEST/HIGHEST attributes) coordinate-wise
+// score dominance coincides with the compiled Pareto predicate — the same
+// equivalence dncCompiled relies on — with NaN on either side blocking
+// dominance, exactly like dominates.
+//
+// Two filter passes exist: dominated, the shipped scalar loop with
+// per-maximum early exit, and dominatedMasked, the textbook 8-wide
+// blocked pass with bitmask accumulation ("compare one candidate against
+// 4–8 maxima per iteration so the compiler can vectorize"). The
+// BenchmarkSFSChainFilter measurement: without SIMD code generation the
+// masked pass does ~2× the comparisons the early exit skips, and loses to
+// the scalar loop on every workload shape — while both beat the predicate
+// tree by 2.5–4× on anti-correlated inputs. The masked variant stays as
+// the measured baseline and the starting point for a future assembly
+// kernel.
+type chainFilter struct {
+	d    int
+	vecs [][]float64 // per-dimension score vectors, position-addressed
+	cols [][]float64 // confirmed maxima coordinates, column-major per dim
+	n    int         // confirmed maxima count
+}
+
+// newChainFilter returns a filter reading its coordinates from the
+// compiled form's chain-dimension score vectors, or nil when the term is
+// not a chain product.
+func newChainFilter(c *pref.Compiled) *chainFilter {
+	dims, ok := chainDims(c.Pref())
+	if !ok {
+		return nil
+	}
+	vecs := make([][]float64, len(dims))
+	for d, s := range dims {
+		if vecs[d] = c.ScoreVec(s); vecs[d] == nil {
+			return nil
+		}
+	}
+	return &chainFilter{d: len(dims), vecs: vecs, cols: make([][]float64, len(dims))}
+}
+
+// dominated reports whether any confirmed maximum dominates row i:
+// coordinate-wise ≥ on every dimension with > somewhere, NaN blocking
+// (mv >= cv is false when either side is NaN). One maximum at a time with
+// early exit on the first failing dimension — non-dominating maxima
+// typically die on their first coordinate, so the pass reads ~one
+// contiguous column element per maximum.
+func (f *chainFilter) dominated(i int) bool {
+outer:
+	for w := 0; w < f.n; w++ {
+		strict := false
+		for k := 0; k < f.d; k++ {
+			cv := f.vecs[k][i]
+			mv := f.cols[k][w]
+			if !(mv >= cv) {
+				continue outer
+			}
+			if mv > cv {
+				strict = true
+			}
+		}
+		if strict {
+			return true
+		}
+	}
+	return false
+}
+
+// dominatedMasked is the blocked variant of dominated: filterBlock maxima
+// test per iteration, one dimension at a time across the block, with ≥
+// and > bitmask accumulation over the contiguous coordinate columns. Kept
+// as the measured baseline for dominated (see the chainFilter comment);
+// BenchmarkSFSChainFilter runs both.
+func (f *chainFilter) dominatedMasked(i int) bool {
+	for blk := 0; blk < f.n; blk += filterBlock {
+		end := blk + filterBlock
+		if end > f.n {
+			end = f.n
+		}
+		alive := uint32(1)<<(end-blk) - 1
+		var strict uint32
+		for k := 0; k < f.d && alive != 0; k++ {
+			cv := f.vecs[k][i]
+			col := f.cols[k][blk:end]
+			var ge, gt uint32
+			for b, mv := range col {
+				if mv >= cv {
+					ge |= 1 << b
+				}
+				if mv > cv {
+					gt |= 1 << b
+				}
+			}
+			alive &= ge
+			strict |= gt
+		}
+		if alive&strict != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// add confirms row i as a maximum, appending its coordinates to the
+// column-major store.
+func (f *chainFilter) add(i int) {
+	for k := 0; k < f.d; k++ {
+		f.cols[k] = append(f.cols[k], f.vecs[k][i])
+	}
+	f.n++
 }
 
 // cmpKeyColumns compares two row positions by column-major key vectors,

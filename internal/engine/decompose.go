@@ -196,21 +196,14 @@ func yy(p1, p2 pref.Preference, r *relation.Relation, idx []int) []int {
 }
 
 // groupOn evaluates σ[P groupby A] restricted to a candidate index set,
-// used inside the decomposition recursion. Every group's recursion shares
-// the sub-term bound forms through the compile cache.
+// used inside the decomposition recursion. Groups partition by the
+// relation's equality codes (relation.GroupsOn — no per-row key strings),
+// and every group's recursion shares the sub-term bound forms through the
+// compile cache.
 func (d *decomposer) groupOn(p pref.Preference, groupAttrs []string, idx []int) []int {
-	byKey := make(map[string][]int)
-	var order []string
-	for _, i := range idx {
-		k := pref.ProjectionKey(d.r.Tuple(i), groupAttrs)
-		if _, ok := byKey[k]; !ok {
-			order = append(order, k)
-		}
-		byKey[k] = append(byKey[k], i)
-	}
 	var out []int
-	for _, k := range order {
-		out = append(out, d.eval(p, byKey[k])...)
+	for _, group := range d.r.GroupsOn(groupAttrs, idx) {
+		out = append(out, d.eval(p, group)...)
 	}
 	slices.Sort(out)
 	return out
@@ -218,6 +211,18 @@ func (d *decomposer) groupOn(p pref.Preference, groupAttrs []string, idx []int) 
 
 // groupByIndices evaluates σ[P groupby A](R) over the whole relation.
 func groupByIndices(p pref.Preference, groupAttrs []string, r *relation.Relation, alg Algorithm) []int {
+	return GroupByIndicesOn(p, groupAttrs, r, alg, nil)
+}
+
+// GroupByIndicesOn evaluates σ[P groupby A] over the candidate row
+// positions of R (idx == nil means every row) and returns the qualifying
+// positions in ascending order. The candidate set partitions into groups
+// by the relation's cached equality codes and each group evaluates as an
+// index slice over the base relation — the grouped counterpart of
+// BMOIndicesOn — so a WHERE-filtered grouped query stays on the base
+// relation's cached bound forms instead of materializing a per-query
+// subset.
+func GroupByIndicesOn(p pref.Preference, groupAttrs []string, r *relation.Relation, alg Algorithm, idx []int) []int {
 	// The preference compiles once against the whole relation — its column
 	// vectors are position-addressed, so every group reuses them — and
 	// statistics are sampled once, not once per group: the Auto planner
@@ -246,7 +251,7 @@ func groupByIndices(p pref.Preference, groupAttrs []string, r *relation.Relation
 		return bnl(p, r, idx)
 	}
 	var out []int
-	for _, group := range r.Groups(groupAttrs) {
+	for _, group := range r.GroupsOn(groupAttrs, idx) {
 		out = append(out, eval(p, r, group)...)
 	}
 	slices.Sort(out)

@@ -17,39 +17,135 @@ import (
 // that survives the filter against the already-confirmed set is final the
 // moment it is seen. Without a key the stream degrades gracefully: the
 // first Next() computes the full result in one batch and replays it
-// (Consumed then equals the input size — Progressive() reports which mode
-// is active).
+// (Consumed then equals the candidate count — Progressive() reports which
+// mode is active).
 //
 // The stream evaluates over the compiled columnar form whenever the
-// preference compiles: the visit order sorts precomputed key vectors and
-// the domination filter compares flat columns, with no per-candidate
-// allocation. Non-compilable preferences keep the interface path, with
-// the sort keys still materialized once up front.
+// preference compiles: relation-backed streams bind through the compile
+// cache (position-addressed, so any candidate subset shares the relation's
+// cached bound form), the visit order sorts precomputed key vectors, and
+// the domination filter compares flat columns — blocked, for chain
+// products — with no per-candidate allocation. Non-compilable preferences
+// keep the interface path, with the sort keys still materialized once up
+// front.
+//
+// Internally the stream works in slot space: slots 0..n-1 index the
+// candidate set, and cand maps them to row positions. A whole-relation
+// stream keeps cand nil (identity) so it shares the compiled form's
+// cached key vectors by reference instead of gathering copies.
 type Stream struct {
 	n       int
-	less    func(i, j int) bool
-	keys    [][]float64 // per-dimension key columns; nil without a key
-	order   []int       // visit order (best first)
+	cand    []int               // candidate row positions; nil = identity
+	less    func(a, b int) bool // slot-level domination predicate
+	keys    [][]float64         // per-dimension key columns in slot space; nil without a key
+	order   []int               // visit order (slots, best first)
 	pos     int
-	confirm []int // confirmed maxima, for domination filtering
+	confirm []int        // confirmed maxima (slots); unused when chain is set
+	chain   *chainFilter // blocked filter for compiled chain products, or nil
 
 	progressive bool
 	started     bool
-	buffered    []int // fallback mode: precomputed result
+	buffered    []int                  // fallback mode: precomputed result (row positions)
+	batch       func(cand []int) []int // fallback evaluator over row positions
 	consumed    int
+}
+
+// row maps a slot to its row position.
+func (s *Stream) row(slot int) int {
+	if s.cand == nil {
+		return slot
+	}
+	return s.cand[slot]
 }
 
 // EvalStream starts progressive evaluation of σ[P](R); emitted values are
 // row indices in R.
 func EvalStream(p pref.Preference, r *relation.Relation) *Stream {
-	return newStream(p, r)
+	return EvalStreamOn(p, r, Auto, nil)
+}
+
+// EvalStreamOn starts progressive evaluation of the preference query over
+// the subset of R at the given candidate row positions (idx == nil means
+// every row); emitted values are row indices in R. Compiled forms bind to
+// R's full column arrays through the compile cache, so an index-chained
+// streaming pipeline — WHERE bitmap feeding a progressive PREFERRING scan
+// — reuses the base relation's cached bound form across queries without
+// materializing a single tuple. alg selects the batch algorithm the
+// stream falls back to when the preference has no compatible sort key.
+// The stream borrows idx (without modifying it); callers must not mutate
+// the slice while the stream is live. idx must not contain duplicates.
+func EvalStreamOn(p pref.Preference, r *relation.Relation, alg Algorithm, idx []int) *Stream {
+	n := r.Len()
+	if idx != nil {
+		n = len(idx)
+	}
+	s := &Stream{
+		n:    n,
+		cand: idx,
+		batch: func(cand []int) []int {
+			if cand == nil {
+				cand = allIndices(r.Len())
+			}
+			return bmoOn(p, r, alg, EvalAuto, cand)
+		},
+	}
+	if pref.Compilable(p) {
+		if c := compileFor(p, r, EvalAuto); c != nil {
+			s.bindCompiled(c)
+			return s
+		}
+	}
+	s.bindInterpreted(p, relationSource{r})
+	return s
 }
 
 // EvalStreamTuples starts progressive evaluation over a plain tuple slice
 // (e.g. the node sets of Preference XPath); emitted values are positions in
 // the slice.
 func EvalStreamTuples(p pref.Preference, tuples []pref.Tuple) *Stream {
-	return newStream(p, tupleSource(tuples))
+	src := tupleSource(tuples)
+	s := &Stream{n: len(tuples)}
+	if pref.Compilable(p) {
+		if c, ok := pref.Compile(p, src); ok {
+			s.bindCompiled(c)
+			return s
+		}
+	}
+	s.bindInterpreted(p, src)
+	return s
+}
+
+// bindCompiled wires the slot-space predicate, key vectors and chain
+// filter from a compiled form. With an identity candidate set the cached
+// key vectors are shared by reference; a proper subset gathers them into
+// slot space once so the visit-order sort scans contiguous columns.
+func (s *Stream) bindCompiled(c *pref.Compiled) {
+	if s.cand == nil {
+		s.less = c.Less
+	} else {
+		s.less = func(a, b int) bool { return c.Less(s.cand[a], s.cand[b]) }
+	}
+	if keys, ok := c.SortKeys(); ok {
+		if s.cand == nil {
+			s.keys = keys
+		} else {
+			s.keys = gatherKeys(keys, s.cand)
+		}
+		s.chain = newChainFilter(c)
+	}
+	s.initOrder()
+}
+
+// StreamKeyed reports whether progressive streaming is available for the
+// preference: a compiled form with sort keys (the CompiledKeyed fragment)
+// or an interpreted compatible key. EvalStream degrades to one batch
+// computation otherwise; query explanation surfaces the distinction.
+func StreamKeyed(p pref.Preference) bool {
+	if pref.CompiledKeyed(p) {
+		return true
+	}
+	_, ok := keyColumns(p)
+	return ok
 }
 
 // tupleSource adapts a tuple slice to the compilation Source interface.
@@ -58,40 +154,43 @@ type tupleSource []pref.Tuple
 func (s tupleSource) Len() int               { return len(s) }
 func (s tupleSource) Tuple(i int) pref.Tuple { return s[i] }
 
-func newStream(p pref.Preference, src pref.Source) *Stream {
-	s := &Stream{n: src.Len()}
-	if pref.Compilable(p) {
-		var c *pref.Compiled
-		if rel, isRel := src.(*relation.Relation); isRel {
-			// Relation-backed streams bind through the compile cache, so a
-			// repeated stream over an unchanged relation reuses the bound
-			// form and its rank-transformed sort keys.
-			c = compileFor(p, rel, EvalAuto)
-		} else if cc, ok := pref.Compile(p, src); ok {
-			c = cc
-		}
-		if c != nil {
-			s.less = c.Less
-			if keys, ok := c.SortKeys(); ok {
-				s.keys = keys
-			}
-			s.initOrder()
-			return s
-		}
+// relationSource adapts a relation to the Source interface without the
+// method set of *relation.Relation (the interpreted bind path only needs
+// positional tuple views).
+type relationSource struct{ r *relation.Relation }
+
+func (s relationSource) Len() int               { return s.r.Len() }
+func (s relationSource) Tuple(i int) pref.Tuple { return s.r.Tuple(i) }
+
+// bindInterpreted sets up the interface-path stream over the candidate
+// subset: tuple views materialize once, and the sort keys (when the term
+// has a compatible key) materialize column-major, dense-ranked — the same
+// ±Inf-safe transform sfs uses — instead of re-deriving and allocating a
+// key per comparison.
+func (s *Stream) bindInterpreted(p pref.Preference, src pref.Source) {
+	tuples := make([]pref.Tuple, s.n)
+	for k := range tuples {
+		tuples[k] = src.Tuple(s.row(k))
 	}
-	tuples := make([]pref.Tuple, src.Len())
-	for i := range tuples {
-		tuples[i] = src.Tuple(i)
-	}
-	s.less = func(i, j int) bool { return p.Less(tuples[i], tuples[j]) }
+	s.less = func(a, b int) bool { return p.Less(tuples[a], tuples[b]) }
 	if keys, ok := interpretedKeyVecs(p, tuples); ok {
-		// Key vectors materialize column-major once, dense-ranked (the
-		// same ±Inf-safe transform sfs uses), instead of re-deriving and
-		// allocating a key per comparison.
 		s.keys = keys
 	}
 	s.initOrder()
-	return s
+}
+
+// gatherKeys projects position-addressed key vectors onto the candidate
+// subset (slot space), so the visit-order sort scans contiguous columns.
+func gatherKeys(keys [][]float64, idx []int) [][]float64 {
+	out := make([][]float64, len(keys))
+	for d, col := range keys {
+		g := make([]float64, len(idx))
+		for k, i := range idx {
+			g[k] = col[i]
+		}
+		out[d] = g
+	}
+	return out
 }
 
 // initOrder fixes the visit order when a compatible key exists: best
@@ -114,7 +213,7 @@ func (s *Stream) Progressive() bool { return s.progressive }
 
 // Consumed returns the number of candidates examined so far; on a
 // progressive-friendly preference the first maximum arrives with
-// Consumed() ≪ input size.
+// Consumed() ≪ candidate count.
 func (s *Stream) Consumed() int { return s.consumed }
 
 // Next returns the next confirmed maximum, or ok=false when the result set
@@ -124,7 +223,7 @@ func (s *Stream) Next() (row int, ok bool) {
 		if !s.started {
 			s.started = true
 			s.consumed = s.n
-			s.buffered = s.batch()
+			s.buffered = s.runBatch()
 		}
 		if s.pos >= len(s.buffered) {
 			return 0, false
@@ -134,25 +233,38 @@ func (s *Stream) Next() (row int, ok bool) {
 		return row, true
 	}
 	for s.pos < len(s.order) {
-		i := s.order[s.pos]
+		slot := s.order[s.pos]
 		s.pos++
 		s.consumed++
-		dominated := false
-		for _, c := range s.confirm {
-			if s.less(i, c) {
-				dominated = true
-				break
-			}
+		if s.slotDominated(slot) {
+			continue
 		}
-		if !dominated {
-			// Key order guarantees no unvisited candidate dominates i:
-			// x <P y implies key(x) <lex key(y), and i's key is ≥ all
-			// remaining keys. i is final.
-			s.confirm = append(s.confirm, i)
-			return i, true
+		// Key order guarantees no unvisited candidate dominates slot:
+		// x <P y implies key(x) <lex key(y), and slot's key is ≥ all
+		// remaining keys. slot is final.
+		if s.chain != nil {
+			s.chain.add(s.row(slot))
+		} else {
+			s.confirm = append(s.confirm, slot)
 		}
+		return s.row(slot), true
 	}
 	return 0, false
+}
+
+// slotDominated filters one candidate slot against the confirmed maxima:
+// the blocked chain filter when the compiled form is a chain product, the
+// bound predicate otherwise.
+func (s *Stream) slotDominated(slot int) bool {
+	if s.chain != nil {
+		return s.chain.dominated(s.row(slot))
+	}
+	for _, c := range s.confirm {
+		if s.less(slot, c) {
+			return true
+		}
+	}
+	return false
 }
 
 // Each drains the stream through yield; returning false stops early. It
@@ -178,9 +290,15 @@ func (s *Stream) Collect() []int {
 	return out
 }
 
-// batch is the block-nested-loops fallback of the stream over the bound
-// less predicate (same window invariant as bnl).
-func (s *Stream) batch() []int {
+// runBatch computes the fallback result as row positions, ready to emit:
+// the engine's batch evaluator over the candidate row positions when the
+// stream is relation-backed (sharing the compiled twins and their
+// caches), a block-nested-loops pass over the bound predicate otherwise
+// (tuple streams, where slots and positions coincide).
+func (s *Stream) runBatch() []int {
+	if s.batch != nil {
+		return s.batch(s.cand)
+	}
 	window := make([]int, 0, 16)
 	for i := 0; i < s.n; i++ {
 		dominated := false

@@ -125,6 +125,59 @@ func TestEvalStreamEmptyAndSingleton(t *testing.T) {
 	}
 }
 
+// TestEvalStreamOnMatchesBMOIndicesOn: streaming over a candidate subset
+// of the base relation must emit exactly the subset's BMO result, across
+// random terms (progressive and batch-fallback alike).
+func TestEvalStreamOnMatchesBMOIndicesOn(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		rel := randomRelation(rng, 50+rng.Intn(300), 2+rng.Intn(5))
+		p := randomTerm(rng, 6)
+		var idx []int
+		for i := 0; i < rel.Len(); i++ {
+			if rng.Intn(3) > 0 {
+				idx = append(idx, i)
+			}
+		}
+		st := EvalStreamOn(p, rel, Auto, idx)
+		got := st.Collect()
+		sort.Ints(got)
+		want := BMOIndicesOn(p, rel, Naive, idx)
+		if !sameIndices(got, want) {
+			t.Fatalf("trial %d: stream-on of %s emitted %v, batch %v (progressive=%v)",
+				trial, p, got, want, st.Progressive())
+		}
+	}
+}
+
+// TestEvalStreamOnReusesCompileCache: repeated streams over an unchanged
+// relation must be served by one cached bound form, whatever the
+// candidate subset.
+func TestEvalStreamOnReusesCompileCache(t *testing.T) {
+	ResetCompileCache()
+	defer ResetCompileCache()
+	rng := rand.New(rand.NewSource(7))
+	rel := antiCorrelated(rng, 2000)
+	p := pref.Pareto(pref.LOWEST("d1"), pref.LOWEST("d2"))
+	st := EvalStreamOn(p, rel, Auto, []int{0, 5, 9, 40, 77})
+	st.Collect()
+	if h, m := CompileCacheStats(); h != 0 || m == 0 {
+		t.Fatalf("cold stream: hits=%d misses=%d", h, m)
+	}
+	hBefore, mBefore := CompileCacheStats()
+	st = EvalStreamOn(p, rel, Auto, allIndices(rel.Len())[:500])
+	if _, ok := st.Next(); !ok {
+		t.Fatal("stream must yield")
+	}
+	hAfter, mAfter := CompileCacheStats()
+	if hAfter <= hBefore || mAfter != mBefore {
+		t.Fatalf("repeat stream must hit the cache: hits %d→%d misses %d→%d", hBefore, hAfter, mBefore, mAfter)
+	}
+	if !st.Progressive() {
+		t.Fatal("keyed chain product must stream progressively over a subset")
+	}
+}
+
 func TestEvalStreamTuples(t *testing.T) {
 	tuples := []pref.Tuple{
 		pref.MapTuple{"v": int64(3)},

@@ -41,6 +41,9 @@ type FloatColumner interface {
 // when their values are equal in the EqualValues sense. Compilation then
 // skips the per-row canonical-key formatting of the generic path, and the
 // codes amortize across every compile against the same source.
+// Implementations must return codes only for attributes that resolve on
+// every row (schema-backed columns): compilation derives the attribute
+// presence mask from their existence.
 type EqColumner interface {
 	EqColumn(attr string) (codes []uint32, ok bool)
 }
@@ -462,6 +465,15 @@ func (c *compiler) presence(attr string) []bool {
 	if mask, ok := c.presVecs[attr]; ok {
 		return mask
 	}
+	if ec, ok := c.src.(EqColumner); ok {
+		if _, ok := ec.EqColumn(attr); ok {
+			// EqColumner contract: codes exist only for attributes every
+			// row resolves, so the mask is nil without boxing a single
+			// tuple view.
+			c.presVecs[attr] = nil
+			return nil
+		}
+	}
 	tuples := c.ensureTuples()
 	all := true
 	mask := make([]bool, c.n)
@@ -587,26 +599,57 @@ func (c *compiler) scorerLeaf(p Preference, attr string, fast func(float64) floa
 	return node
 }
 
+// codedScorerLeaf compiles a SCORE leaf through the attribute's equality
+// codes: the opaque scoring function runs once per distinct value class
+// (ordinal coding) instead of once per row — the win for low-cardinality
+// string dimensions, which rank(F)'s threshold algorithm reads as sorted
+// feature lists. Scoring per class is sound because a scoring function is
+// a function of the domain value and rows share a code exactly when their
+// values are equal in the EqualValues sense (each NaN is its own class,
+// so NaN rows still score individually). Only sources with cached
+// equality codes (EqColumner) take this path: deriving codes through the
+// generic ValueKey dictionary would cost a string format per row, more
+// than the per-row score call it saves.
+func (c *compiler) codedScorerLeaf(p Preference, attr string, score func(Value) float64) cnode {
+	hasCodes := false
+	if ec, ok := c.src.(EqColumner); ok {
+		_, hasCodes = ec.EqColumn(attr)
+	}
+	if !hasCodes {
+		node := c.scoreFromValues(attr, score)
+		c.scoreVecs[p] = node.s
+		return node
+	}
+	return c.classScoreLeaf(p, attr, score)
+}
+
 // levelLeaf compiles a POS-family layer to its negated level vector: the
 // Definition 6 orders are weak orders by level, so i <P j iff
 // level(i) > level(j) iff −level(i) < −level(j). The level function runs
 // once per distinct value (via the equality codes), not once per row.
 func (c *compiler) levelLeaf(p Preference, attr string, level func(Value) int) cnode {
-	tuples := c.ensureTuples()
+	return c.classScoreLeaf(p, attr, func(v Value) float64 { return -float64(level(v)) })
+}
+
+// classScoreLeaf is the shared once-per-equality-class materialization
+// kernel of levelLeaf and codedScorerLeaf: score runs once per distinct
+// value class of the attribute's equality codes, with one tuple view per
+// class (not per row) and −Inf for rows lacking the attribute.
+func (c *compiler) classScoreLeaf(p Preference, attr string, score func(Value) float64) cnode {
 	pres := c.presence(attr)
 	codes := c.eqVec(attr)
 	s := make([]float64, c.n)
 	byCode := make([]float64, c.n+2) // codes are dense and bounded by n+1
 	seen := make([]bool, c.n+2)
-	for i, t := range tuples {
+	for i := 0; i < c.n; i++ {
 		if pres != nil && !pres[i] {
 			s[i] = math.Inf(-1)
 			continue
 		}
 		code := codes[i]
 		if !seen[code] {
-			v, _ := t.Get(attr)
-			byCode[code] = -float64(level(v))
+			v, _ := c.src.Tuple(i).Get(attr)
+			byCode[code] = score(v)
 			seen[code] = true
 		}
 		s[i] = byCode[code]
@@ -693,7 +736,7 @@ func (c *compiler) compile(p Preference) (cnode, bool) {
 			},
 			func(v Value) float64 { return -q.Distance(v) }), true
 	case *Score:
-		return c.scorerLeaf(q, q.Attr(), nil,
+		return c.codedScorerLeaf(q, q.Attr(),
 			func(v Value) float64 { return q.f(v) }), true
 	case *RankPref:
 		return c.compileRank(q)

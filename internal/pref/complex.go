@@ -182,7 +182,11 @@ func (p *PrioritizedPref) String() string {
 	return fmt.Sprintf("(%s & %s)", p.p1, p.p2)
 }
 
-// CombineFn accumulates component scores into an overall score for rank(F).
+// CombineFn accumulates component scores into an overall score for
+// rank(F). Implementations must treat the score slice as read-only and
+// must not retain it after returning: evaluators (the compiled rank
+// materialization, the threshold algorithm) reuse one scratch buffer
+// across calls.
 type CombineFn func(scores ...float64) float64
 
 // WeightedSum returns the combining function F(x1, …, xn) = Σ wi·xi.

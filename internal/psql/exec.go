@@ -16,6 +16,29 @@ import (
 // Catalog resolves relation names for query execution.
 type Catalog map[string]*relation.Relation
 
+// Drop removes a relation from the catalog and evicts every bound form
+// cached against it — compile cache, selection bitmaps, quality vectors —
+// so the dropped relation's rows stop being pinned until ordinary
+// capacity eviction. It reports whether the relation existed.
+func (c Catalog) Drop(name string) bool {
+	rel, ok := c[name]
+	if !ok {
+		return false
+	}
+	engine.EvictRelation(rel)
+	delete(c, name)
+	return true
+}
+
+// Replace installs a relation under the name, evicting the cached bound
+// forms of any relation it displaces (see Drop).
+func (c Catalog) Replace(name string, rel *relation.Relation) {
+	if old, ok := c[name]; ok && old != rel {
+		engine.EvictRelation(old)
+	}
+	c[name] = rel
+}
+
 // Options configure execution.
 type Options struct {
 	// Algorithm selects the BMO evaluation strategy (engine.Auto default).
@@ -81,27 +104,24 @@ func Exec(q *Query, cat Catalog, opts Options) (*relation.Relation, error) {
 			// Ranked query model: k best by combined score, bypassing BMO.
 			// Dispatch on the term as written (like Explain): simplification
 			// can collapse a non-Scorer accumulation to a Scorer leaf, which
-			// must stay a BMO query with TOP-k truncation.
-			out := base.Pick(idx)
-			results := rank.TopK(s, out, q.Top)
+			// must stay a BMO query with TOP-k truncation. Scoring runs over
+			// the base relation's candidate positions (compiled vector when
+			// the term compiles) — nothing materializes before the k best
+			// rows are known.
+			results := rank.TopKOn(s, base, q.Top, idx)
 			ridx := make([]int, len(results))
 			for i, r := range results {
 				ridx[i] = r.Row
 			}
-			return project(q, out.Pick(ridx))
+			return project(q, base.Pick(ridx))
 		}
 		if len(q.GroupingBy) > 0 {
-			// Grouped evaluation: a full scan passes the catalog relation
-			// straight through, so its bound form stays cache-served across
-			// repeated queries; a WHERE subset must materialize (group
-			// membership is defined on the restricted relation), which is
-			// ephemeral and re-binds per query.
-			grouped := base
-			if len(idx) != base.Len() {
-				grouped = base.Pick(idx)
-			}
-			base = engine.GroupBy(p, q.GroupingBy, grouped, opts.Algorithm)
-			idx = allIndices(base.Len())
+			// Grouped evaluation over the candidate index set: groups
+			// partition by the base relation's cached equality codes and
+			// each group evaluates as an index slice (GroupByIndicesOn), so
+			// even a WHERE-filtered grouped query stays on the catalog
+			// relation's cache-served bound form.
+			idx = engine.GroupByIndicesOn(p, q.GroupingBy, base, opts.Algorithm, idx)
 		} else {
 			idx = engine.BMOIndicesOn(p, base, opts.Algorithm, idx)
 		}
@@ -122,9 +142,25 @@ func Exec(q *Query, cat Catalog, opts Options) (*relation.Relation, error) {
 		}
 		byAttr := collectBasePrefs(q)
 		kept := idx[:0]
-		for _, i := range idx {
-			if q.ButOnly.Eval(byAttr, base.Tuple(i)) {
-				kept = append(kept, i)
+		compiled := false
+		if butVectorWorthwhile(len(idx), base.Len()) || butBound(q.ButOnly, byAttr, base) {
+			if keep, ok := compileBut(q.ButOnly, byAttr, base); ok {
+				// Compiled quality cascade: every LEVEL/DISTANCE measure is
+				// a cached vector over the base relation and the filter is a
+				// threshold scan over the surviving positions.
+				compiled = true
+				for _, i := range idx {
+					if keep(i) {
+						kept = append(kept, i)
+					}
+				}
+			}
+		}
+		if !compiled {
+			for _, i := range idx {
+				if q.ButOnly.Eval(byAttr, base.Tuple(i)) {
+					kept = append(kept, i)
+				}
 			}
 		}
 		idx = kept
@@ -204,6 +240,60 @@ func checkAttrs(q *Query, rel *relation.Relation) error {
 		return fmt.Errorf("psql: unknown column(s) %v in relation %q", missing, rel.Name())
 	}
 	return nil
+}
+
+// butVectorWorthwhile reports whether a cold compiled quality cascade
+// pays for itself: binding a measure vector costs one pass over the
+// WHOLE base relation (amortized by the cache across repeated queries),
+// so a very small surviving candidate set is cheaper to filter with
+// per-tuple Eval. rank.CompiledBindAdvantage is the shared ≈12×
+// estimate of compiled-vs-interpreted per-row cost. Already-cached
+// vectors bypass this gate (butBound): using them is free at any
+// selectivity.
+func butVectorWorthwhile(nIdx, total int) bool {
+	return nIdx*rank.CompiledBindAdvantage >= total
+}
+
+// butBound reports whether every LEVEL/DISTANCE leaf of the tree already
+// has its quality vector cached over the base relation's current
+// version; foreign ButExpr nodes report false.
+func butBound(e ButExpr, byAttr map[string]pref.Preference, r *relation.Relation) bool {
+	switch n := e.(type) {
+	case *ButAnd:
+		return butBound(n.L, byAttr, r) && butBound(n.R, byAttr, r)
+	case *ButOr:
+		return butBound(n.L, byAttr, r) && butBound(n.R, byAttr, r)
+	case *ButCond:
+		return n.C.Bound(byAttr, r)
+	}
+	return false
+}
+
+// compileBut lowers a BUT ONLY condition tree to a compiled per-row
+// predicate over the base relation: each LEVEL/DISTANCE leaf binds its
+// quality vector through the bound-form cache (quality.Condition.Bind)
+// and the connectives combine closures. ok=false for trees containing
+// foreign ButExpr implementations, which keep the interpreted Eval path.
+func compileBut(e ButExpr, byAttr map[string]pref.Preference, r *relation.Relation) (func(int) bool, bool) {
+	switch n := e.(type) {
+	case *ButAnd:
+		l, ok1 := compileBut(n.L, byAttr, r)
+		rr, ok2 := compileBut(n.R, byAttr, r)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		return func(i int) bool { return l(i) && rr(i) }, true
+	case *ButOr:
+		l, ok1 := compileBut(n.L, byAttr, r)
+		rr, ok2 := compileBut(n.R, byAttr, r)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		return func(i int) bool { return l(i) || rr(i) }, true
+	case *ButCond:
+		return n.C.Bind(byAttr, r), true
+	}
+	return nil, false
 }
 
 // collectBasePrefs indexes the base preferences of PREFERRING and CASCADE

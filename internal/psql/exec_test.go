@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/filter"
 	"repro/internal/pref"
 	"repro/internal/relation"
 )
@@ -242,6 +243,55 @@ func TestExecInAndLikeAndNull(t *testing.T) {
 	}
 }
 
+// TestCatalogDropEvictsCaches: dropping (or replacing) a catalog relation
+// must release every bound form cached against it — compile cache and
+// selection bitmaps alike — so the dropped rows stop being pinned.
+func TestCatalogDropEvictsCaches(t *testing.T) {
+	engine.ResetCompileCache()
+	filter.ResetCache()
+	defer engine.ResetCompileCache()
+	defer filter.ResetCache()
+	cat := testCatalog()
+	rel := cat["car"]
+	query := "SELECT oid FROM car WHERE price <= 45000 PREFERRING LOWEST(price)"
+	if _, err := Run(query, cat, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	where := &CmpExpr{Attr: "price", Op: "<=", Value: 45000.0}
+	if !filter.CacheContains(where, rel) {
+		t.Fatal("execution must have cached the selection bitmap")
+	}
+	if !engine.CompileCached(pref.LOWEST("price"), rel) {
+		t.Fatal("execution must have cached the bound preference form")
+	}
+	if !cat.Drop("car") {
+		t.Fatal("Drop must report the relation existed")
+	}
+	if _, ok := cat["car"]; ok {
+		t.Fatal("Drop must remove the catalog entry")
+	}
+	if filter.CacheContains(where, rel) {
+		t.Fatal("Drop must evict the selection bitmap")
+	}
+	if engine.CompileCached(pref.LOWEST("price"), rel) {
+		t.Fatal("Drop must evict the compiled preference form")
+	}
+	if cat.Drop("car") {
+		t.Fatal("double Drop must report a missing relation")
+	}
+
+	// Replace evicts the displaced relation's entries the same way.
+	cat = testCatalog()
+	rel = cat["car"]
+	if _, err := Run(query, cat, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	cat.Replace("car", testCatalog()["car"])
+	if engine.CompileCached(pref.LOWEST("price"), rel) {
+		t.Fatal("Replace must evict the displaced relation's bound forms")
+	}
+}
+
 // TestTopKDispatchUsesUnsimplifiedTerm guards the ranked-model dispatch:
 // LOWEST(price) PRIOR TO HIGHEST(price) collapses to LOWEST(price) by
 // Prop 4a, which is a Scorer — but the query as written is not, so it
@@ -262,10 +312,11 @@ func TestTopKDispatchUsesUnsimplifiedTerm(t *testing.T) {
 	}
 }
 
-// TestGroupedQueryReusesCompileCache: a grouped query with no WHERE scans
-// the catalog relation directly, so its bound form is cache-served across
-// repeated executions (a filtered grouped scan must materialize and
-// re-binds per query, which EXPLAIN reports as "not applicable").
+// TestGroupedQueryReusesCompileCache: grouped queries evaluate as index
+// slices over the base catalog relation (GroupByIndicesOn), so their
+// bound form is cache-served across repeated executions — with and
+// without a WHERE clause, which used to force a per-query materialized
+// subset and re-bind.
 func TestGroupedQueryReusesCompileCache(t *testing.T) {
 	engine.ResetCompileCache()
 	defer engine.ResetCompileCache()
@@ -286,11 +337,21 @@ func TestGroupedQueryReusesCompileCache(t *testing.T) {
 	if !strings.Contains(plan, "compile cache: hit") {
 		t.Fatalf("EXPLAIN after grouped executions must report the hit:\n%s", plan)
 	}
-	plan, err = ExplainQuery("SELECT oid FROM car WHERE price <= 45000 PREFERRING price AROUND 40000 GROUPING BY make", cat, Options{})
+	// The WHERE-filtered grouped query shares the very same bound form:
+	// the candidate subset changes, the cache entry does not.
+	filtered := "SELECT oid FROM car WHERE price <= 45000 PREFERRING price AROUND 40000 GROUPING BY make"
+	plan, err = ExplainQuery(filtered, cat, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(plan, "compile cache: not applicable") {
-		t.Fatalf("filtered grouped EXPLAIN must report the cache as not applicable:\n%s", plan)
+	if !strings.Contains(plan, "compile cache: hit") {
+		t.Fatalf("filtered grouped EXPLAIN must report the shared cached form:\n%s", plan)
+	}
+	hBefore, _ := engine.CompileCacheStats()
+	if _, err := Run(filtered, cat, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if hAfter, _ := engine.CompileCacheStats(); hAfter <= hBefore {
+		t.Fatal("filtered grouped execution must hit the compile cache")
 	}
 }

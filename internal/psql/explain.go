@@ -81,7 +81,11 @@ func Explain(q *Query, cat Catalog, opts Options) (string, error) {
 			resolved = plan.Algorithm
 		}
 		if _, isScorer := p.(pref.Scorer); isScorer && q.Top > 0 {
-			emit("ranked query model (k-best): TOP %d by combined score of %s", q.Top, p)
+			scoring := "interpreted"
+			if pref.Compilable(p) {
+				scoring = "compiled"
+			}
+			emit("ranked query model (k-best): TOP %d by combined score of %s [%s scoring]", q.Top, p, scoring)
 			emitProjection(&b, &step, q)
 			return b.String(), nil
 		}
@@ -95,25 +99,21 @@ func Explain(q *Query, cat Catalog, opts Options) (string, error) {
 			fmt.Fprintf(&b, "    (simplified from %s by the preference algebra)\n", p)
 		}
 		if evalModeOf(simplified, resolved) == "compiled" {
-			if len(q.GroupingBy) > 0 && q.Where != nil && n < rel.Len() {
-				// Matches execution: only a WHERE that actually filters
-				// forces the grouped path onto a per-query materialized
-				// subset; a keep-everything WHERE passes the catalog
-				// relation through and caches normally.
-				// Grouped evaluation over a filtered scan binds against the
-				// per-query materialized subset; no cached form applies.
-				b.WriteString("    (compile cache: not applicable — grouped evaluation over a filtered scan binds per query)\n")
-			} else {
-				// Execution evaluates the simplified term, so the cache
-				// probe uses it too. EXPLAIN does not bind preference terms
-				// itself (unlike the WHERE clause, a bind is not free), so a
-				// cold cache stays cold until the first execution.
-				status := "cold — binds at first execution"
-				if engine.CompileCached(simplified, rel) {
-					status = "hit — bound form reused"
-				}
-				fmt.Fprintf(&b, "    (compile cache: %s)\n", status)
+			// Execution evaluates the simplified term, so the cache probe
+			// uses it too. Grouped evaluation partitions the candidate set
+			// by equality codes and evaluates index slices over the base
+			// relation, so it shares the same cache entry as a plain BMO
+			// step — filtered or not. EXPLAIN does not bind preference
+			// terms itself (unlike the WHERE clause, a bind is not free),
+			// so a cold cache stays cold until the first execution.
+			status := "cold — binds at first execution"
+			if engine.CompileCached(simplified, rel) {
+				status = "hit — bound form reused"
 			}
+			fmt.Fprintf(&b, "    (compile cache: %s)\n", status)
+		}
+		if streamShape(q) {
+			fmt.Fprintf(&b, "    (streaming: %s)\n", streamModeOf(simplified, q.Where != nil))
 		}
 		if plan != nil {
 			// The cost-based decision, indented under the BMO step.
@@ -135,7 +135,19 @@ func Explain(q *Query, cat Catalog, opts Options) (string, error) {
 		emit("cascade BMO σ[P], P = %s [algorithm %s]", simplified, resolved)
 	}
 	if q.ButOnly != nil {
-		emit("quality filter BUT ONLY %s", q.ButOnly)
+		// Built-in trees run vectorized when the surviving candidate set
+		// warrants a bind or the vectors are already cached; the surviving
+		// count is a runtime quantity (post-BMO), so a cold plan reports
+		// the dispatch as adaptive.
+		mode := "interpreted"
+		if butCompilable(q.ButOnly) {
+			if butBound(q.ButOnly, collectBasePrefs(q), rel) {
+				mode = "compiled vector scan (vectors cached)"
+			} else {
+				mode = "compiled vector scan (adaptive)"
+			}
+		}
+		emit("quality filter BUT ONLY %s [%s]", q.ButOnly, mode)
 	}
 	if q.Skyline != nil {
 		p, err := q.Skyline.Preference()
@@ -157,6 +169,9 @@ func Explain(q *Query, cat Catalog, opts Options) (string, error) {
 			for _, line := range strings.Split(strings.TrimRight(plan.Explain(), "\n"), "\n") {
 				fmt.Fprintf(&b, "      %s\n", line)
 			}
+		}
+		if q.Preferring == nil && streamShape(q) {
+			fmt.Fprintf(&b, "    (streaming: %s)\n", streamModeOf(p, q.Where != nil))
 		}
 	}
 	if len(q.OrderBy) > 0 {
@@ -193,6 +208,40 @@ func evalModeOf(p pref.Preference, alg engine.Algorithm) string {
 		return "compiled (sub-terms)"
 	}
 	return "compiled"
+}
+
+// streamModeOf names the delivery mode ExecStream will use for the term
+// (streamShape in stream.go decides whether the note applies at all):
+// progressive confirmation in sort-key order (over the compiled key
+// vectors or the interpreted key derivation) or one batch computation
+// replayed. hasWhere selects the index-chained wording — without a WHERE
+// clause the stream visits the whole relation and no index list exists.
+func streamModeOf(p pref.Preference, hasWhere bool) string {
+	if !engine.StreamKeyed(p) {
+		return "batch fallback — no compatible sort key"
+	}
+	if pref.Compilable(p) {
+		if hasWhere {
+			return "progressive — compiled keys over the WHERE index list"
+		}
+		return "progressive — compiled keys"
+	}
+	return "progressive — interpreted keys"
+}
+
+// butCompilable reports whether a BUT ONLY tree consists solely of
+// built-in nodes, i.e. executes as a compiled vector threshold scan; a
+// foreign ButExpr implementation keeps the per-tuple Eval path.
+func butCompilable(e ButExpr) bool {
+	switch n := e.(type) {
+	case *ButAnd:
+		return butCompilable(n.L) && butCompilable(n.R)
+	case *ButOr:
+		return butCompilable(n.L) && butCompilable(n.R)
+	case *ButCond:
+		return true
+	}
+	return false
 }
 
 // emitProjection appends the projection/distinct steps.

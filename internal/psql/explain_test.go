@@ -207,6 +207,56 @@ func TestExplainReportsCacheStatus(t *testing.T) {
 	}
 }
 
+// TestExplainReportsStreamQualityAndRankedModes pins the PR 4 EXPLAIN
+// fields: the streaming delivery mode of single-soft-clause queries, the
+// BUT ONLY evaluation mode, and the ranked model's scoring mode.
+func TestExplainReportsStreamQualityAndRankedModes(t *testing.T) {
+	plan, err := ExplainQuery("SELECT oid FROM car WHERE price <= 45000 PREFERRING LOWEST(price) AND LOWEST(mileage)", testCatalog(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "(streaming: progressive — compiled keys over the WHERE index list)") {
+		t.Errorf("keyed single-clause query must report progressive streaming:\n%s", plan)
+	}
+	plan, err = ExplainQuery("SELECT * FROM car PREFERRING EXPLICIT(color, ('blue', 'red'))", testCatalog(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "(streaming: batch fallback — no compatible sort key)") {
+		t.Errorf("keyless term must report the batch fallback:\n%s", plan)
+	}
+	plan, err = ExplainQuery("SELECT * FROM car PREFERRING LOWEST(price) ORDER BY price", testCatalog(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "(streaming:") {
+		t.Errorf("ORDER BY forces batch execution; no streaming line expected:\n%s", plan)
+	}
+	plan, err = ExplainQuery("SELECT * FROM car SKYLINE OF price MIN, power MAX", testCatalog(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No WHERE clause: the stream visits the whole relation, so the note
+	// must not claim an index list.
+	if !strings.Contains(plan, "(streaming: progressive — compiled keys)") {
+		t.Errorf("skyline clause must report progressive streaming:\n%s", plan)
+	}
+	plan, err = ExplainQuery("SELECT oid FROM car PREFERRING price AROUND 40000 BUT ONLY DISTANCE(price) <= 1000", testCatalog(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "BUT ONLY DISTANCE(price) <= 1000 [compiled vector scan") {
+		t.Errorf("built-in quality filter must report the compiled mode:\n%s", plan)
+	}
+	plan, err = ExplainQuery("SELECT oid FROM car PREFERRING RANK(HIGHEST(power), LOWEST(price)) TOP 3", testCatalog(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "[compiled scoring]") {
+		t.Errorf("compilable RANK must report compiled scoring:\n%s", plan)
+	}
+}
+
 // TestExplainPlansAtFilteredCardinality: the inlined cost plan must be
 // computed for the post-WHERE candidate count — the decision execution's
 // BMOIndicesOn actually makes — not the base relation size.

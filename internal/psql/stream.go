@@ -3,7 +3,9 @@ package psql
 import (
 	"fmt"
 
+	"repro/internal/algebra"
 	"repro/internal/engine"
+	"repro/internal/filter"
 	"repro/internal/pref"
 	"repro/internal/relation"
 )
@@ -34,9 +36,15 @@ func RunStream(query string, cat Catalog, opts Options, yield func(relation.Row)
 	return ExecStream(q, cat, opts, yield)
 }
 
-// ExecStream is RunStream over a parsed query.
+// ExecStream is RunStream over a parsed query. Streamable queries run
+// index-chained over the base catalog relation: the WHERE clause resolves
+// to the cached selection index list, the preference binds through the
+// shared compile cache (position-addressed, so the candidate subset is
+// irrelevant to the bound form), and not a single tuple materializes
+// before the first yield — rows are projected straight off the base
+// relation as they are confirmed.
 func ExecStream(q *Query, cat Catalog, opts Options, yield func(relation.Row) bool) (int, error) {
-	p, scanned, ok, err := streamablePlan(q, cat)
+	p, base, idx, ok, err := streamablePlan(q, cat)
 	if err != nil {
 		return 0, err
 	}
@@ -55,15 +63,15 @@ func ExecStream(q *Query, cat Catalog, opts Options, yield func(relation.Row) bo
 		return emitted, nil
 	}
 
-	project, err := rowProjector(q, scanned)
+	project, err := rowProjector(q, base)
 	if err != nil {
 		return 0, err
 	}
-	st := engine.EvalStream(p, scanned)
+	st := engine.EvalStreamOn(p, base, opts.Algorithm, idx)
 	emitted := 0
 	st.Each(func(row int) bool {
 		emitted++
-		if !yield(project(scanned.Row(row))) {
+		if !yield(project(base.Row(row))) {
 			return false
 		}
 		return q.Top <= 0 || emitted < q.Top
@@ -71,47 +79,66 @@ func ExecStream(q *Query, cat Catalog, opts Options, yield func(relation.Row) bo
 	return emitted, nil
 }
 
+// streamShape reports whether the query has the single-soft-clause BMO
+// structure the streaming path serves progressively: exactly one of
+// PREFERRING / SKYLINE OF and none of the clauses that force batch
+// execution. It is the shared structural gate of streamablePlan and the
+// EXPLAIN streaming note; the ranked model (Scorer + TOP) and EXPLAIN
+// statements are excluded by their callers, which have the built term /
+// the context at hand.
+func streamShape(q *Query) bool {
+	if q.Distinct || len(q.GroupingBy) > 0 || len(q.Cascades) > 0 ||
+		len(q.OrderBy) > 0 || q.ButOnly != nil {
+		return false
+	}
+	return (q.Preferring != nil) != (q.Skyline != nil)
+}
+
 // streamablePlan reports whether the query is a single-soft-clause BMO
-// query that can stream; if so it returns the preference and the scanned
-// (hard-filtered) input relation.
-func streamablePlan(q *Query, cat Catalog) (pref.Preference, *relation.Relation, bool, error) {
+// query that can stream; if so it returns the preference, the base
+// catalog relation and the candidate index list (nil = full scan, a
+// cache-served WHERE index list otherwise).
+func streamablePlan(q *Query, cat Catalog) (pref.Preference, *relation.Relation, []int, bool, error) {
 	rel, found := cat[q.From]
 	if !found {
-		return nil, nil, false, fmt.Errorf("psql: unknown relation %q", q.From)
+		return nil, nil, nil, false, fmt.Errorf("psql: unknown relation %q", q.From)
 	}
 	if err := checkAttrs(q, rel); err != nil {
-		return nil, nil, false, err
+		return nil, nil, nil, false, err
 	}
-	if q.ExplainPlan || q.Distinct || len(q.GroupingBy) > 0 || len(q.Cascades) > 0 ||
-		len(q.OrderBy) > 0 || q.ButOnly != nil {
-		return nil, nil, false, nil
+	if q.ExplainPlan || !streamShape(q) {
+		return nil, nil, nil, false, nil
 	}
 	var p pref.Preference
-	switch {
-	case q.Preferring != nil && q.Skyline == nil:
+	if q.Preferring != nil {
 		built, err := q.Preferring.Build()
 		if err != nil {
-			return nil, nil, false, err
+			return nil, nil, nil, false, err
 		}
 		if _, scored := built.(pref.Scorer); scored && q.Top > 0 {
-			return nil, nil, false, nil // ranked query model, not BMO
+			return nil, nil, nil, false, nil // ranked query model, not BMO
 		}
 		p = built
-	case q.Skyline != nil && q.Preferring == nil:
+	} else {
 		built, err := q.Skyline.Preference()
 		if err != nil {
-			return nil, nil, false, err
+			return nil, nil, nil, false, err
 		}
 		p = built
-	default:
-		return nil, nil, false, nil
 	}
+	// Simplify like Exec does, so a stream and a batch execution of the
+	// same statement share one compile-cache entry (and EXPLAIN's term
+	// matches what actually evaluates).
+	p = algebra.Simplify(p)
+	var idx []int
 	if q.Where != nil {
-		// Compiled selection with a cached bitmap; the preference stream
-		// then binds against the materialized scan.
-		rel = rel.Where(q.Where)
+		// Compiled selection with a cached bitmap: the stream visits the
+		// surviving row positions of the base relation directly. Like
+		// Exec, this reads the memoized index list uncloned — the stream
+		// only borrows it and never mutates.
+		idx = filter.CompileCached(q.Where, rel).Indices()
 	}
-	return p, rel, true, nil
+	return p, rel, idx, true, nil
 }
 
 // rowProjector compiles the SELECT list into a per-row projection function.

@@ -1,8 +1,11 @@
 package psql
 
 import (
+	"fmt"
 	"testing"
 
+	"repro/internal/engine"
+	"repro/internal/filter"
 	"repro/internal/relation"
 	"repro/internal/workload"
 )
@@ -81,6 +84,92 @@ func TestRunStreamFallbackForNonStreamableQueries(t *testing.T) {
 		}
 		if n != batch.Len() {
 			t.Errorf("%s: fallback emitted %d rows, batch %d", query, n, batch.Len())
+		}
+	}
+}
+
+// TestExecStreamIndexChainedCacheReuse is the acceptance test of the
+// index-chained streaming path: a WHERE + PREFERRING stream over a
+// cached catalog relation binds the preference through the shared
+// compile cache (the old path bound against an ephemeral materialized
+// scan, which bypassed the cache by design and could never hit), and a
+// repeat query reuses both the bound form and the selection bitmap with
+// zero new misses — nothing rebinds, nothing materializes ahead of the
+// first yield.
+func TestExecStreamIndexChainedCacheReuse(t *testing.T) {
+	engine.ResetCompileCache()
+	filter.ResetCache()
+	defer engine.ResetCompileCache()
+	defer filter.ResetCache()
+	cat := Catalog{"car": workload.Cars(3000, 19)}
+	query := "SELECT oid FROM car WHERE price <= 40000 PREFERRING LOWEST(price) AND LOWEST(mileage)"
+	if _, err := RunStream(query, cat, Options{}, func(relation.Row) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	ch, cm := engine.CompileCacheStats()
+	if ch != 0 || cm == 0 {
+		t.Fatalf("cold stream must miss the compile cache once: hits=%d misses=%d", ch, cm)
+	}
+	sh, sm := filter.CacheStats()
+	// Early stop after the first row: the repeat query must be entirely
+	// cache-served — one new compile-cache hit, no new misses on either
+	// cache.
+	n, err := RunStream(query, cat, Options{}, func(relation.Row) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("early-stopped stream emitted %d rows", n)
+	}
+	ch2, cm2 := engine.CompileCacheStats()
+	if ch2 <= ch || cm2 != cm {
+		t.Fatalf("repeat stream must hit the compile cache: hits %d→%d misses %d→%d", ch, ch2, cm, cm2)
+	}
+	sh2, sm2 := filter.CacheStats()
+	if sh2 <= sh || sm2 != sm {
+		t.Fatalf("repeat stream must reuse the selection bitmap: hits %d→%d misses %d→%d", sh, sh2, sm, sm2)
+	}
+}
+
+// TestExecStreamRandomizedAgreement: streamed results must equal batch
+// results as sets for WHERE + single-soft-clause queries across random
+// selectivities and preference shapes.
+func TestExecStreamRandomizedAgreement(t *testing.T) {
+	cat := Catalog{"car": workload.Cars(800, 37)}
+	shapes := []string{
+		"PREFERRING LOWEST(price) AND LOWEST(mileage)",
+		"PREFERRING HIGHEST(horsepower) PRIOR TO LOWEST(price)",
+		"PREFERRING color = 'red'",
+		"SKYLINE OF price MIN, horsepower MAX",
+	}
+	for _, limit := range []int{15000, 30000, 60000} {
+		for _, shape := range shapes {
+			query := fmt.Sprintf("SELECT oid FROM car WHERE price <= %d %s", limit, shape)
+			batch, err := Run(query, cat, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make(map[int64]bool)
+			for i := 0; i < batch.Len(); i++ {
+				v, _ := batch.Tuple(i).Get("oid")
+				want[v.(int64)] = true
+			}
+			got := make(map[int64]bool)
+			n, err := RunStream(query, cat, Options{}, func(row relation.Row) bool {
+				got[row[0].(int64)] = true
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(want) || len(got) != len(want) {
+				t.Fatalf("%s: stream emitted %d rows, batch %d", query, n, batch.Len())
+			}
+			for oid := range want {
+				if !got[oid] {
+					t.Fatalf("%s: oid %d missing from stream", query, oid)
+				}
+			}
 		}
 	}
 }

@@ -11,8 +11,9 @@ package rank
 import (
 	"container/heap"
 	"math"
-	"sort"
+	"slices"
 
+	"repro/internal/boundcache"
 	"repro/internal/pref"
 	"repro/internal/relation"
 )
@@ -26,15 +27,35 @@ type Result struct {
 
 // TopK returns the k best rows of R under the Scorer p (highest combined
 // score first; ties broken by ascending row index for determinism). It
-// performs one full scan maintaining a size-k min-heap: O(n log k).
+// performs one scan maintaining a size-k min-heap: O(n log k).
 func TopK(p pref.Scorer, r *relation.Relation, k int) []Result {
+	return TopKOn(p, r, k, nil)
+}
+
+// TopKOn is TopK over the candidate row positions of R (idx == nil means
+// every row); returned Row values are positions in R. An index-chained
+// ranked query — WHERE bitmap feeding the k-best model — therefore scores
+// candidates straight off the base relation without materializing a
+// subset. Scoring runs over the compiled combined-score vector when the
+// term compiles (flat column reads, ordinal-coded discrete dimensions);
+// tuple-at-a-time ScoreOf otherwise.
+func TopKOn(p pref.Scorer, r *relation.Relation, k int, idx []int) []Result {
 	if k <= 0 {
 		return nil
 	}
+	score := scoreFn(p, r, idx)
+	n := r.Len()
+	if idx != nil {
+		n = len(idx)
+	}
 	h := &resultHeap{}
 	heap.Init(h)
-	for i := 0; i < r.Len(); i++ {
-		s := p.ScoreOf(r.Tuple(i))
+	for pos := 0; pos < n; pos++ {
+		i := pos
+		if idx != nil {
+			i = idx[pos]
+		}
+		s := score(i)
 		if h.Len() < k {
 			heap.Push(h, Result{i, s})
 			continue
@@ -49,6 +70,103 @@ func TopK(p pref.Scorer, r *relation.Relation, k int) []Result {
 		out[i] = heap.Pop(h).(Result)
 	}
 	return out
+}
+
+// scoreCacheCap bounds the number of cached score vectors.
+const scoreCacheCap = 64
+
+// scoreCache holds materialized score vectors of keyed Scorer terms per
+// (relation, version, term) — the ranked layer's instance of the shared
+// bound-form cache, so repeated TOP-k queries over an unchanged catalog
+// relation are bind-free and engine.EvictRelation releases the vectors
+// of a dropped relation. rank(F) terms carry opaque combining functions
+// and have no faithful cache key; they bypass the cache and bind per
+// call (one columnar pass, not a tuple walk per feature).
+var scoreCache = boundcache.New[[]float64](scoreCacheCap)
+
+// scoreVecKey returns the cache key of a Scorer's vector over r, ok=false
+// when the term is keyless or the source uncacheable (ephemeral
+// intermediates, like every other bound-form cache).
+func scoreVecKey(p pref.Scorer, r *relation.Relation) (boundcache.Key, bool) {
+	if r.Ephemeral() {
+		return boundcache.Key{}, false
+	}
+	term, keyed := pref.CacheKey(p)
+	if !keyed {
+		return boundcache.Key{}, false
+	}
+	return boundcache.Key{Src: r, Version: r.Version(), Term: "rank:" + term}, true
+}
+
+// compiledScoreVec materializes the term's score vector over the whole
+// relation, or nil when the term is outside the compilable fragment.
+func compiledScoreVec(p pref.Scorer, r *relation.Relation) []float64 {
+	if !pref.Compilable(p) {
+		return nil
+	}
+	c, ok := pref.Compile(p, r)
+	if !ok {
+		return nil
+	}
+	return c.ScoreVec(p)
+}
+
+// cachedScoreVec is compiledScoreVec through scoreCache; negative
+// outcomes cache as nil.
+func cachedScoreVec(p pref.Scorer, r *relation.Relation) []float64 {
+	key, ok := scoreVecKey(p, r)
+	if !ok {
+		return compiledScoreVec(p, r)
+	}
+	if vec, hit := scoreCache.Get(key); hit {
+		return vec
+	}
+	vec := compiledScoreVec(p, r)
+	scoreCache.Put(key, vec)
+	return vec
+}
+
+// scoreFn returns a row-position scorer over R: the compiled score vector
+// of the term when one is cached or worth binding, per-row ScoreOf
+// through the tuple view otherwise. Binding costs a pass over the WHOLE
+// relation, so a cold bind only pays off when the candidate subset is a
+// meaningful fraction of it — a highly selective WHERE keeps the
+// subset-proportional interpreted path; an already-cached vector is free
+// to use at any selectivity.
+func scoreFn(p pref.Scorer, r *relation.Relation, idx []int) func(int) float64 {
+	if key, ok := scoreVecKey(p, r); ok {
+		if vec, hit := scoreCache.Peek(key); hit && vec != nil {
+			return func(i int) float64 { return vec[i] }
+		}
+	}
+	// Compiled binding is ~CompiledBindAdvantage× cheaper per row than
+	// interpreted scoring; below that fraction of the relation, scoring
+	// just the subset wins.
+	if idx == nil || len(idx)*CompiledBindAdvantage >= r.Len() {
+		if vec := cachedScoreVec(p, r); vec != nil {
+			return func(i int) float64 { return vec[i] }
+		}
+	}
+	return func(i int) float64 { return p.ScoreOf(r.Tuple(i)) }
+}
+
+// CompiledBindAdvantage estimates how much cheaper one compiled-bind row
+// is than one interpreted ScoreOf call (vector copy vs schema lookup +
+// boxing + type switch), mirroring the engine cost model's
+// compiledSpeedup. The psql BUT ONLY dispatch shares it, so the two
+// compiled-vs-interpreted gates stay in sync.
+const CompiledBindAdvantage = 12
+
+// ScoreCacheStats returns the cumulative score-vector cache hit and miss
+// counts.
+func ScoreCacheStats() (hits, misses uint64) {
+	return scoreCache.Stats()
+}
+
+// ResetScoreCache empties the score-vector cache and zeroes its counters;
+// tests and benchmarks use it to measure cold binds.
+func ResetScoreCache() {
+	scoreCache.Reset()
 }
 
 // worse reports a ranks strictly below b (lower score, or equal score and
@@ -99,19 +217,37 @@ func ThresholdTopK(p *pref.RankPref, r *relation.Relation, k int) ([]Result, Sta
 	parts := p.Parts()
 	m := len(parts)
 	n := r.Len()
-	// Materialize per-feature scores and sorted access lists.
+	// Materialize per-feature scores and sorted access lists: each
+	// feature's vector is a flat column served from the score cache when
+	// the part has a faithful key (SCORE dimensions ordinal-coded: the
+	// scoring function runs once per distinct value, the win for string
+	// features), and the sorted access lists order over contiguous
+	// float64 arrays — with a per-row ScoreOf walk as the fallback.
 	scores := make([][]float64, m)
 	lists := make([][]int, m)
 	for f := 0; f < m; f++ {
-		scores[f] = make([]float64, n)
+		// Shared with the cache / compiled form; read-only from here on.
+		scores[f] = cachedScoreVec(parts[f], r)
+		if scores[f] == nil {
+			fs := make([]float64, n)
+			for i := 0; i < n; i++ {
+				fs[i] = parts[f].ScoreOf(r.Tuple(i))
+			}
+			scores[f] = fs
+		}
 		lists[f] = make([]int, n)
 		for i := 0; i < n; i++ {
-			scores[f][i] = parts[f].ScoreOf(r.Tuple(i))
 			lists[f][i] = i
 		}
 		fs := scores[f]
-		sort.SliceStable(lists[f], func(a, b int) bool {
-			return fs[lists[f][a]] > fs[lists[f][b]]
+		slices.SortStableFunc(lists[f], func(a, b int) int {
+			switch {
+			case fs[a] > fs[b]:
+				return -1
+			case fs[a] < fs[b]:
+				return 1
+			}
+			return 0
 		})
 	}
 	combine := func(vec []float64) float64 {
@@ -121,6 +257,7 @@ func ThresholdTopK(p *pref.RankPref, r *relation.Relation, k int) ([]Result, Sta
 	h := &resultHeap{}
 	heap.Init(h)
 	depth := 0
+	scratch := make([]float64, m) // combine() does not retain its argument
 	for depth < n {
 		// One round of sorted access on every list at the current depth.
 		for f := 0; f < m; f++ {
@@ -130,15 +267,14 @@ func ThresholdTopK(p *pref.RankPref, r *relation.Relation, k int) ([]Result, Sta
 				continue
 			}
 			seen[row] = struct{}{}
-			vec := make([]float64, m)
 			for g := 0; g < m; g++ {
-				vec[g] = scores[g][row]
+				scratch[g] = scores[g][row]
 				if g != f {
 					stats.RandomAccesses++
 				}
 			}
 			stats.Scanned++
-			res := Result{row, combine(vec)}
+			res := Result{row, combine(scratch)}
 			if h.Len() < k {
 				heap.Push(h, res)
 			} else if worse(h.items[0], res) {
@@ -148,15 +284,14 @@ func ThresholdTopK(p *pref.RankPref, r *relation.Relation, k int) ([]Result, Sta
 		}
 		depth++
 		// Threshold: best combined score any unseen row could reach.
-		tvec := make([]float64, m)
 		for f := 0; f < m; f++ {
 			if depth < n {
-				tvec[f] = scores[f][lists[f][depth]]
+				scratch[f] = scores[f][lists[f][depth]]
 			} else {
-				tvec[f] = math.Inf(-1)
+				scratch[f] = math.Inf(-1)
 			}
 		}
-		if h.Len() == k && !worse(h.items[0], Result{Row: -1, Score: combine(tvec)}) {
+		if h.Len() == k && !worse(h.items[0], Result{Row: -1, Score: combine(scratch)}) {
 			break
 		}
 	}

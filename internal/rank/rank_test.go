@@ -88,6 +88,111 @@ func TestThresholdAgreesWithHeap(t *testing.T) {
 	}
 }
 
+// TestThresholdWithStringScoreDimension: a rank(F) mixing a numeric chain
+// with a SCORE feature over a string column must agree between the heap
+// scan and the threshold algorithm — the ordinal-coded columnar path the
+// compiled form takes for discrete dimensions.
+func TestThresholdWithStringScoreDimension(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	colors := []string{"red", "blue", "gray", "green", "black"}
+	colorScore := map[string]float64{"red": 5, "blue": 3, "gray": 0, "green": 2, "black": 1}
+	r := relation.New("R", relation.MustSchema(
+		relation.Column{Name: "color", Type: relation.String},
+		relation.Column{Name: "a", Type: relation.Float},
+	))
+	for i := 0; i < 500; i++ {
+		r.MustInsert(relation.Row{colors[rng.Intn(len(colors))], rng.Float64() * 10})
+	}
+	p := pref.Rank("F", pref.WeightedSum(1, 1),
+		pref.SCORE("color", "colorScore", func(v pref.Value) float64 {
+			s, _ := v.(string)
+			return colorScore[s]
+		}),
+		pref.HIGHEST("a"))
+	for _, k := range []int{1, 5, 17} {
+		want := TopK(p, r, k)
+		got, stats := ThresholdTopK(p, r, k)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: %d results, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d rank %d: %v != %v", k, i, got[i], want[i])
+			}
+		}
+		if stats.Scanned == 0 {
+			t.Fatal("stats must be populated")
+		}
+	}
+}
+
+// TestTopKOnSubset: the index-chained entry point must rank exactly the
+// candidate subset, returning base-relation row positions.
+func TestTopKOnSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	r := scoreRel(rng, 200)
+	p := testRank()
+	var idx []int
+	for i := 0; i < r.Len(); i++ {
+		if i%3 != 0 {
+			idx = append(idx, i)
+		}
+	}
+	got := TopKOn(p, r, 7, idx)
+	// Reference: materialize the subset and rank it, then map back.
+	sub := r.Pick(idx)
+	want := TopK(p, sub, 7)
+	if len(got) != len(want) {
+		t.Fatalf("%d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Row != idx[want[i].Row] || got[i].Score != want[i].Score {
+			t.Fatalf("rank %d: got %v, want row %d score %v", i, got[i], idx[want[i].Row], want[i].Score)
+		}
+	}
+	// A highly selective subset takes the subset-proportional interpreted
+	// scorer instead of a whole-relation bind; results must agree with the
+	// compiled whole-relation ranking restricted to the same rows.
+	tiny := idx[:4]
+	got = TopKOn(p, r, 2, tiny)
+	wantTiny := TopK(p, r.Pick(tiny), 2)
+	for i := range wantTiny {
+		if got[i].Row != tiny[wantTiny[i].Row] || got[i].Score != wantTiny[i].Score {
+			t.Fatalf("tiny subset rank %d: got %v, want row %d score %v",
+				i, got[i], tiny[wantTiny[i].Row], wantTiny[i].Score)
+		}
+	}
+}
+
+// TestScoreCacheReuseAndInvalidation: keyed Scorer features are served
+// from the score-vector cache on repeat, a row mutation strands the
+// entry, and results stay correct either way.
+func TestScoreCacheReuseAndInvalidation(t *testing.T) {
+	ResetScoreCache()
+	defer ResetScoreCache()
+	rng := rand.New(rand.NewSource(43))
+	r := scoreRel(rng, 300)
+	p := testRank() // parts HIGHEST(a), HIGHEST(b) carry faithful keys
+	first, _ := ThresholdTopK(p, r, 5)
+	if h, m := ScoreCacheStats(); h != 0 || m == 0 {
+		t.Fatalf("cold run: hits=%d misses=%d", h, m)
+	}
+	repeat, _ := ThresholdTopK(p, r, 5)
+	if h, _ := ScoreCacheStats(); h == 0 {
+		t.Fatal("repeated run must hit the score cache")
+	}
+	for i := range first {
+		if first[i] != repeat[i] {
+			t.Fatalf("cached run diverged: %v vs %v", repeat, first)
+		}
+	}
+	r.MustInsert(relation.Row{100.0, 100.0})
+	got, _ := ThresholdTopK(p, r, 1)
+	if len(got) != 1 || got[0].Row != r.Len()-1 {
+		t.Fatalf("stale vector: inserted best row must win, got %v", got)
+	}
+}
+
 func TestThresholdSavesAccesses(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	r := scoreRel(rng, 5000)

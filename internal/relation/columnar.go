@@ -191,12 +191,16 @@ func (r *Relation) Columnarize() {
 // invalidateColumns drops the derived typed arrays after a row mutation
 // and bumps the mutation counter, stranding every cached bound form keyed
 // to the previous version (engine compile cache, filter selection cache).
+// The bump happens while colMu is held, so builders that release the lock
+// during a long derivation (GroupKeys) can verify under the lock that no
+// mutation intervened before storing their result.
 func (r *Relation) invalidateColumns() {
 	r.colMu.Lock()
 	r.floatCols = nil
 	r.eqCols = nil
-	r.colMu.Unlock()
+	r.groupCols = nil
 	r.version.Add(1)
+	r.colMu.Unlock()
 }
 
 // FromColumns builds a relation from column-major data: cols[k] holds the

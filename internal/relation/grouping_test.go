@@ -1,0 +1,142 @@
+package relation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pref"
+)
+
+// projectionGroups is the pre-equality-code reference implementation:
+// group keys built by per-row ProjectionKey strings. The new code path
+// must agree with it exactly on NaN-free data.
+func projectionGroups(r *Relation, attrs []string, idx []int) [][]int {
+	if idx == nil {
+		idx = make([]int, r.Len())
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	var order []string
+	byKey := make(map[string][]int)
+	for _, i := range idx {
+		k := pref.ProjectionKey(r.Tuple(i), attrs)
+		if _, ok := byKey[k]; !ok {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], i)
+	}
+	out := make([][]int, len(order))
+	for j, k := range order {
+		out[j] = byKey[k]
+	}
+	return out
+}
+
+func sameGroups(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for g := range a {
+		if len(a[g]) != len(b[g]) {
+			return false
+		}
+		for i := range a[g] {
+			if a[g][i] != b[g][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestGroupsOnAgreesWithProjectionKeys: on NaN-free data the equality-code
+// grouping must produce exactly the groups (and group order) the old
+// string-key implementation produced — single and multi attribute, full
+// relation and candidate subsets, mixed column types.
+func TestGroupsOnAgreesWithProjectionKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	makes := []string{"Opel", "BMW", "Ford"}
+	for trial := 0; trial < 30; trial++ {
+		r := New("cars", MustSchema(
+			Column{Name: "make", Type: String},
+			Column{Name: "doors", Type: Int},
+			Column{Name: "price", Type: Float},
+		))
+		n := 5 + rng.Intn(120)
+		for i := 0; i < n; i++ {
+			var price pref.Value = math.Floor(rng.Float64() * 4)
+			if rng.Intn(10) == 0 {
+				price = nil
+			}
+			r.MustInsert(Row{makes[rng.Intn(len(makes))], int64(rng.Intn(3)), price})
+		}
+		var idx []int
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) > 0 {
+				idx = append(idx, i)
+			}
+		}
+		for _, attrs := range [][]string{
+			{"make"}, {"doors"}, {"price"},
+			{"make", "doors"}, {"make", "doors", "price"},
+		} {
+			if got, want := r.GroupsOn(attrs, nil), projectionGroups(r, attrs, nil); !sameGroups(got, want) {
+				t.Fatalf("trial %d attrs %v full scan: %v != %v", trial, attrs, got, want)
+			}
+			if got, want := r.GroupsOn(attrs, idx), projectionGroups(r, attrs, idx); !sameGroups(got, want) {
+				t.Fatalf("trial %d attrs %v subset: %v != %v", trial, attrs, got, want)
+			}
+		}
+	}
+}
+
+// TestGroupsNaNPolicy pins the documented NaN semantics: NaN ≠ NaN under
+// EqualValues, so every NaN row forms its own group — where the old
+// ProjectionKey encoding collapsed them into one.
+func TestGroupsNaNPolicy(t *testing.T) {
+	r := New("R", MustSchema(Column{Name: "v", Type: Float})).MustInsert(
+		Row{1.0}, Row{math.NaN()}, Row{1.0}, Row{math.NaN()}, Row{2.0},
+	)
+	groups := r.Groups([]string{"v"})
+	if len(groups) != 4 {
+		t.Fatalf("want 4 groups ({0,2} {1} {3} {4}), got %v", groups)
+	}
+	if len(groups[0]) != 2 || groups[0][0] != 0 || groups[0][1] != 2 {
+		t.Errorf("equal non-NaN values must share a group: %v", groups)
+	}
+	for _, g := range groups[1:3] {
+		if len(g) != 1 {
+			t.Errorf("each NaN row must be its own group: %v", groups)
+		}
+	}
+}
+
+// TestGroupsForeignAttr: grouping on an attribute outside the schema
+// falls back to the ValueKey dictionary — all rows lack it and share one
+// group, matching EqualOn's absent-on-both-sides agreement.
+func TestGroupsForeignAttr(t *testing.T) {
+	r := New("R", MustSchema(Column{Name: "v", Type: Int})).MustInsert(
+		Row{int64(1)}, Row{int64(2)}, Row{int64(1)},
+	)
+	groups := r.Groups([]string{"nope"})
+	if len(groups) != 1 || len(groups[0]) != 3 {
+		t.Fatalf("foreign attribute must yield one group of all rows: %v", groups)
+	}
+	// Mixed known/unknown attributes still partition by the known one.
+	groups = r.Groups([]string{"nope", "v"})
+	if len(groups) != 2 {
+		t.Fatalf("mixed attrs must group by the known column: %v", groups)
+	}
+}
+
+// TestGroupKeysEmptyAttrs: an empty grouping list puts every row in one
+// class (code 0), the degenerate σ[P groupby ∅] = σ[P].
+func TestGroupKeysEmptyAttrs(t *testing.T) {
+	r := New("R", MustSchema(Column{Name: "v", Type: Int})).MustInsert(Row{int64(1)}, Row{int64(2)})
+	groups := r.Groups(nil)
+	if len(groups) != 1 || len(groups[0]) != 2 {
+		t.Fatalf("empty attrs must yield one group: %v", groups)
+	}
+}

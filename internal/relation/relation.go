@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/boundcache"
 	"repro/internal/filter"
 	"repro/internal/pref"
 )
@@ -148,6 +149,7 @@ type Relation struct {
 	colMu     sync.Mutex
 	floatCols map[int]*floatColumn
 	eqCols    map[int][]uint32
+	groupCols map[string][]uint32
 	version   atomic.Uint64
 	derived   bool
 }
@@ -356,21 +358,144 @@ func (r *Relation) DistinctCount(attrs []string) int {
 
 // Groups partitions the relation's row indices by equal projections onto
 // attrs, in first-seen order. It backs the groupby evaluation of Prop 10.
+// Equality is the EqualValues sense, via the cached per-column equality
+// codes (see GroupKey for the key encoding and the NaN policy).
 func (r *Relation) Groups(attrs []string) [][]int {
-	order := []string{}
-	byKey := make(map[string][]int)
-	for i := range r.rows {
-		k := pref.ProjectionKey(r.Tuple(i), attrs)
-		if _, ok := byKey[k]; !ok {
-			order = append(order, k)
-		}
-		byKey[k] = append(byKey[k], i)
+	return r.GroupsOn(attrs, nil)
+}
+
+// GroupsOn partitions the candidate row positions by equal projections
+// onto attrs, in first-seen order; idx == nil means every row. Group keys
+// are composite equality codes built from the cached EqColumn arrays —
+// no per-row string formatting — so an index-chained grouped query
+// (WHERE bitmap → grouped BMO) partitions its candidate set without
+// materializing a single tuple. See GroupKeys for the code semantics.
+func (r *Relation) GroupsOn(attrs []string, idx []int) [][]int {
+	codes := r.GroupKeys(attrs)
+	n := len(idx)
+	if idx == nil {
+		n = len(r.rows)
 	}
-	out := make([][]int, len(order))
-	for j, k := range order {
-		out[j] = byKey[k]
+	at := func(k int) int {
+		if idx == nil {
+			return k
+		}
+		return idx[k]
+	}
+	first := make(map[uint32]int) // code → slot in out
+	var out [][]int
+	for k := 0; k < n; k++ {
+		i := at(k)
+		c := codes[i]
+		slot, seen := first[c]
+		if !seen {
+			slot = len(out)
+			first[c] = slot
+			out = append(out, nil)
+		}
+		out[slot] = append(out[slot], i)
 	}
 	return out
+}
+
+// GroupKeys returns one composite equality code per row: rows carry equal
+// codes exactly when their projections onto attrs are equal in the
+// EqualValues sense (the group equivalence A↔ of Definition 16). Codes
+// come from the cached EqColumn arrays, combined pairwise through a dense
+// re-dictionary for multi-attribute groupings.
+//
+// NaN policy: each NaN occurrence forms its own equality class (EqColumn
+// semantics — NaN ≠ NaN under EqualValues), so every NaN row is its own
+// group. The previous ProjectionKey string encoding collapsed all NaNs of
+// a column into one class; the code path is the documented semantics now,
+// matching how the compiled preference layer treats NaN throughout.
+// Attributes outside the schema fall back to a ValueKey dictionary over
+// the tuple view (all rows lack the attribute and share one class), so
+// grouping on a foreign attribute list stays well-defined. Composite
+// codes are cached per attribute list until the next row mutation — like
+// EqColumn itself — so repeated grouped queries (however selective their
+// candidate subsets) pay the full-relation dictionary pass once. The
+// returned slice may alias a cached column; callers must not modify it.
+func (r *Relation) GroupKeys(attrs []string) []uint32 {
+	if len(attrs) == 0 {
+		return make([]uint32, len(r.rows))
+	}
+	if len(attrs) == 1 {
+		return r.attrCodes(attrs[0])
+	}
+	var key strings.Builder
+	for _, a := range attrs {
+		boundcache.WriteKeyStr(&key, a)
+	}
+	r.colMu.Lock()
+	if r.groupCols == nil {
+		r.groupCols = make(map[string][]uint32)
+	}
+	if codes, hit := r.groupCols[key.String()]; hit {
+		r.colMu.Unlock()
+		return codes
+	}
+	// Capture the version under the lock: invalidateColumns bumps it with
+	// the lock held, so an unchanged version at store time proves no
+	// mutation slipped in while the codes were being combined below.
+	v0 := r.version.Load()
+	r.colMu.Unlock()
+	acc := r.attrCodes(attrs[0])
+	for _, a := range attrs[1:] {
+		next := r.attrCodes(a)
+		pair := make(map[uint64]uint32, 16)
+		combined := make([]uint32, len(r.rows))
+		n := uint32(1)
+		for i := range combined {
+			k := uint64(acc[i])<<32 | uint64(next[i])
+			code, hit := pair[k]
+			if !hit {
+				code = n
+				n++
+				pair[k] = code
+			}
+			combined[i] = code
+		}
+		acc = combined
+	}
+	r.colMu.Lock()
+	if r.version.Load() == v0 {
+		if r.groupCols == nil {
+			r.groupCols = make(map[string][]uint32)
+		}
+		r.groupCols[key.String()] = acc
+	}
+	r.colMu.Unlock()
+	return acc
+}
+
+// attrCodes returns the equality-code column of one attribute: the cached
+// EqColumn for schema columns, a ValueKey dictionary over the tuple views
+// for anything else (code 0 = attribute absent, shared — absence on both
+// sides counts as agreement, per EqualOn).
+func (r *Relation) attrCodes(attr string) []uint32 {
+	if codes, ok := r.EqColumn(attr); ok {
+		return codes
+	}
+	codes := make([]uint32, len(r.rows))
+	dict := make(map[string]uint32)
+	next := uint32(1)
+	for i := range r.rows {
+		v, ok := r.Tuple(i).Get(attr)
+		if !ok {
+			codes[i] = 0
+			continue
+		}
+		k := pref.ValueKey(v)
+		code, hit := dict[k]
+		if !hit {
+			code = next
+			next++
+			dict[k] = code
+		}
+		codes[i] = code
+	}
+	return codes
 }
 
 // SortBy orders the relation's rows in place by the given less function
