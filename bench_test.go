@@ -637,6 +637,105 @@ func BenchmarkThresholdTopKStringDim(b *testing.B) {
 	})
 }
 
+// BenchmarkShardedBMO measures shard-aware BMO evaluation at n=100k
+// against the flat compiled path, both steady-state (warm compile
+// caches): per-shard evaluation off each shard's cached bound form with
+// the cross-shard chain-filter merge, fan-out across GOMAXPROCS. The
+// shards-1 row isolates the sharding overhead; 2/4/8 show the scale-out.
+func BenchmarkShardedBMO(b *testing.B) {
+	const n = 100000
+	flat := workload.Numeric(n, 2, workload.AntiCorrelated, 7)
+	flat.Columnarize()
+	p := pref.Pareto(pref.LOWEST("d1"), pref.LOWEST("d2"))
+	b.Run("flat-compiled", func(b *testing.B) {
+		engine.BMOIndices(p, flat, engine.SFS) // warm the cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			engine.BMOIndices(p, flat, engine.SFS)
+		}
+	})
+	for _, shards := range []int{1, 2, 4, 8} {
+		s, err := relation.ShardRelation(flat, shards, relation.ByHash("d1"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			engine.BMOShardedIndices(p, s, engine.SFS) // warm every shard
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				engine.BMOShardedIndices(p, s, engine.SFS)
+			}
+		})
+	}
+}
+
+// BenchmarkShardedTopK measures the sharded ranked model at n=100k:
+// per-shard k-best scans off cached score vectors with the final heap
+// merge, against the flat heap scan — both steady-state.
+func BenchmarkShardedTopK(b *testing.B) {
+	const n = 100000
+	flat := workload.Numeric(n, 2, workload.Independent, 11)
+	flat.Columnarize()
+	p := pref.AROUND("d1", 0.5)
+	b.Run("flat", func(b *testing.B) {
+		rank.TopK(p, flat, 10) // warm the score vector
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rank.TopK(p, flat, 10)
+		}
+	})
+	for _, shards := range []int{1, 2, 4, 8} {
+		s, err := relation.ShardRelation(flat, shards, relation.ByHash("d2"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			rank.TopKSharded(p, s, 10) // warm every shard
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rank.TopKSharded(p, s, 10)
+			}
+		})
+	}
+}
+
+// BenchmarkShardedThresholdTopK measures the round-robin sharded
+// threshold algorithm with cached sorted-access permutations (sort-free
+// repeats) against the flat threshold scan.
+func BenchmarkShardedThresholdTopK(b *testing.B) {
+	const n = 100000
+	flat := workload.Numeric(n, 2, workload.Independent, 13)
+	flat.Columnarize()
+	p := pref.Rank("F", pref.WeightedSum(1, 2), pref.HIGHEST("d1"), pref.HIGHEST("d2"))
+	h := rank.Register(p)
+	b.Run("flat", func(b *testing.B) {
+		h.ThresholdTopK(flat, 10) // warm vectors + permutations
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.ThresholdTopK(flat, 10)
+		}
+	})
+	for _, shards := range []int{1, 4} {
+		s, err := relation.ShardRelation(flat, shards, relation.ByHash("d2"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			rank.ThresholdTopKSharded(p, s, 10) // warm every shard
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rank.ThresholdTopKSharded(p, s, 10)
+			}
+		})
+	}
+}
+
 // BenchmarkCompileCache isolates the compile cache on a repeated BMO
 // query: the miss row rebinds the term each iteration, the hit row reuses
 // the cached bound form — the amortization repeated workloads over a

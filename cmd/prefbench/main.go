@@ -16,6 +16,8 @@
 //	prefbench -plan "price MIN, mileage MIN" -rows 50000 -dist anti
 //	prefbench -stream "d1 MIN, d2 MIN" -rows 20000 -dist anti -first 5
 //	prefbench -stream "d1 MIN, d2 MIN" -where "d3 <= 0.3" -dims 3 -rows 20000 -first 5
+//	prefbench -plan "d1 MIN, d2 MIN" -rows 100000 -shards 4
+//	prefbench -stream "d1 MIN, d2 MIN" -rows 100000 -shards 4 -first 5
 package main
 
 import (
@@ -45,6 +47,7 @@ func main() {
 		dims   = flag.Int("dims", 0, "synthetic workload dimensions (default: clause dimension count)")
 		dist   = flag.String("dist", "anti", "distribution for -plan/-stream: independent|correlated|anti|skewed")
 		first  = flag.Int("first", 5, "maxima to stream before stopping with -stream")
+		shards = flag.Int("shards", 1, "shard the synthetic workload into N shards for -plan/-stream (range-partitioned on the first dimension)")
 	)
 	flag.Parse()
 
@@ -54,11 +57,11 @@ func main() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
 	case *plan != "":
-		if err := planDemo(*plan, *rows, *dims, *dist); err != nil {
+		if err := planDemo(*plan, *rows, *dims, *dist, *shards); err != nil {
 			fatal(err)
 		}
 	case *stream != "":
-		if err := streamDemo(*stream, *where, *rows, *dims, *dist, *first); err != nil {
+		if err := streamDemo(*stream, *where, *rows, *dims, *dist, *first, *shards); err != nil {
 			fatal(err)
 		}
 	case *run != "":
@@ -118,8 +121,16 @@ func synth(clause string, rows, dims int, dist string) (skyline.Clause, *relatio
 	return c, workload.Numeric(rows, dims, d, 42), nil
 }
 
-// planDemo prints the cost-based plan decision for the workload.
-func planDemo(clause string, rows, dims int, dist string) error {
+// shardWorkload range-partitions a synthetic relation on its first
+// dimension into n equi-depth shards.
+func shardWorkload(rel *relation.Relation, n int) (*relation.Sharded, error) {
+	attr := rel.Schema().Col(0).Name
+	return relation.ShardRelation(rel, n, relation.ByRange(attr, relation.RangeBounds(rel, attr, n)...))
+}
+
+// planDemo prints the cost-based plan decision for the workload: the
+// flat plan, or — with -shards N — the sharded fan-out/merge decision.
+func planDemo(clause string, rows, dims int, dist string, shards int) error {
 	c, rel, err := synth(clause, rows, dims, dist)
 	if err != nil {
 		return err
@@ -127,6 +138,16 @@ func planDemo(clause string, rows, dims int, dist string) error {
 	p, err := c.Preference()
 	if err != nil {
 		return err
+	}
+	if shards > 1 {
+		s, err := shardWorkload(rel, shards)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("workload: %s (%d rows, %d shards by %s)\npreference: %s\n\n",
+			rel.Name(), rel.Len(), s.NumShards(), s.Part(), p)
+		fmt.Print(engine.PlanSharded(p, s, engine.Env{}).Explain())
+		return nil
 	}
 	fmt.Printf("workload: %s (%d rows)\npreference: %s\n\n", rel.Name(), rel.Len(), p)
 	fmt.Print(engine.PlanFor(p, rel).Explain())
@@ -157,10 +178,13 @@ func parseWhere(s string) (*filter.Cmp, error) {
 // index-chained streaming path: the compiled selection yields a cached
 // index list over the base relation and the preference stream visits
 // exactly those positions — no materialized intermediate.
-func streamDemo(clause, where string, rows, dims int, dist string, first int) error {
+func streamDemo(clause, where string, rows, dims int, dist string, first, shards int) error {
 	c, rel, err := synth(clause, rows, dims, dist)
 	if err != nil {
 		return err
+	}
+	if shards > 1 {
+		return streamShardedDemo(c, rel, where, first, shards)
 	}
 	var st *engine.Stream
 	candidates := rel.Len()
@@ -192,6 +216,52 @@ func streamDemo(clause, where string, rows, dims int, dist string, first int) er
 	st.Each(func(row int) bool {
 		emitted++
 		fmt.Printf("maximum #%d: row %d after examining %d/%d candidates\n", emitted, row, st.Consumed(), candidates)
+		return emitted < first
+	})
+	fmt.Printf("served %d maxima having examined %d of %d candidates\n", emitted, st.Consumed(), candidates)
+	return nil
+}
+
+// streamShardedDemo is streamDemo over a sharded workload: per-shard
+// WHERE index lists feed the cross-shard progressive stream, and emitted
+// global row ids decode to (shard, row).
+func streamShardedDemo(c skyline.Clause, rel *relation.Relation, where string, first, shards int) error {
+	s, err := shardWorkload(rel, shards)
+	if err != nil {
+		return err
+	}
+	p, err := c.Preference()
+	if err != nil {
+		return err
+	}
+	var sets engine.ShardSets
+	candidates := s.Len()
+	if where != "" {
+		pred, err := parseWhere(where)
+		if err != nil {
+			return err
+		}
+		if _, ok := s.Schema().Index(pred.Attr); !ok {
+			return fmt.Errorf("prefbench: -where column %q not in the synthetic workload (have %s; raise -dims?)",
+				pred.Attr, strings.Join(s.Schema().Names(), ", "))
+		}
+		sets = make(engine.ShardSets, s.NumShards())
+		candidates = 0
+		for i := 0; i < s.NumShards(); i++ {
+			sets[i] = s.Shard(i).WhereIndices(pred)
+			candidates += len(sets[i])
+		}
+		fmt.Printf("hard selection %s: %d of %d rows (per-shard cache-served index lists)\n", where, candidates, s.Len())
+	}
+	st := engine.EvalStreamShardedOn(p, s, engine.Auto, sets)
+	fmt.Printf("workload: %s (%d rows, %d shards by %s), %s, progressive=%v\n",
+		rel.Name(), s.Len(), s.NumShards(), s.Part(), c, st.Progressive())
+	emitted := 0
+	st.Each(func(gid int) bool {
+		emitted++
+		shard, row := relation.SplitGlobalID(gid)
+		fmt.Printf("maximum #%d: shard %d row %d after examining %d/%d candidates\n",
+			emitted, shard, row, st.Consumed(), candidates)
 		return emitted < first
 	})
 	fmt.Printf("served %d maxima having examined %d of %d candidates\n", emitted, st.Consumed(), candidates)

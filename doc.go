@@ -17,18 +17,32 @@
 // relation skip binding entirely (dropping a catalog relation evicts its
 // entries, see engine.EvictRelation). Grouping partitions by cached
 // equality codes, ranked TOP-k queries score row positions through the
-// compiled vectors (internal/rank), and streaming delivery runs
-// index-chained over the WHERE index list (engine.EvalStreamOn). The
-// interpreted tuple-at-a-time interface path remains as the transparent
-// fallback for foreign Preference/Pred implementations (and as the
-// measured baseline, see engine.EvalMode). Plan.Explain and Preference
-// SQL EXPLAIN report which path a query takes and whether the caches hit.
+// compiled vectors (internal/rank, with session handles — rank.Register
+// — giving opaque rank(F) terms faithful cache keys, and sorted-access
+// permutations cached alongside the score vectors), and streaming
+// delivery runs index-chained over the WHERE index list
+// (engine.EvalStreamOn). The interpreted tuple-at-a-time interface path
+// remains as the transparent fallback for foreign Preference/Pred
+// implementations (and as the measured baseline, see engine.EvalMode).
+// Plan.Explain and Preference SQL EXPLAIN report which path a query
+// takes and whether the caches hit.
+//
+// The catalog scales out horizontally: relation.Sharded partitions a
+// table into N shards (hash or range over an attribute, stable global
+// row ids), engine.BMOSharded / GroupByShardedOn / EvalStreamSharded and
+// rank.TopKSharded / ThresholdTopKSharded evaluate shard-local off each
+// shard's independently cached bound forms and merge candidate maxima
+// cross-shard (chain filter over raw compiled coordinates, BNL
+// otherwise), engine.PlanSharded costs the fan-out against the flat
+// path, and psql routes sharded catalog tables through all of it with
+// EXPLAIN reporting shards=N and the merge mode per phase.
 //
 // Start with ARCHITECTURE.md (the end-to-end dataflow tour with file
 // pointers), internal/core (the façade API) and README.md (package tour,
 // how to run the examples, benchmarks and CI). bench_test.go in this
 // directory holds one benchmark per reproduced experiment plus the
 // evaluation-layer benches (parallel variants, planner, streaming,
-// compiled vs interpreted, selection and compile-cache studies);
-// BENCH_PR4.json is the committed baseline.
+// compiled vs interpreted, selection and compile-cache studies, sharded
+// evaluation at n=100k over 1/2/4/8 shards); BENCH_PR5.json is the
+// committed baseline.
 package repro

@@ -1,0 +1,426 @@
+package engine
+
+import (
+	"math"
+	"slices"
+	"strings"
+
+	"repro/internal/boundcache"
+	"repro/internal/pref"
+	"repro/internal/relation"
+)
+
+// Shard-aware BMO evaluation. The partition/merge identity behind the
+// parallel algorithms — max(P over A ∪ B) = max(P over max(P, A) ∪
+// max(P, B)) for every strict partial order — holds just as well when the
+// partitions are storage shards: every query evaluates shard-local first
+// (each shard is a normal *Relation, so the compile caches serve its
+// bound forms independently) and the shard-local maxima merge with the
+// same machinery the single-process parallel variants use. Chain products
+// merge over raw compiled score coordinates (cross-shard comparable — the
+// score vectors are images of ScoreOf, not per-relation ranks); every
+// other shape merges with a block-nested-loops pass over tuple views.
+
+// ShardSets is a per-shard list of candidate row positions, aligned with
+// the sharded table's shard indices: the sharded counterpart of the flat
+// paths' []int candidate set. In candidate INPUTS a nil element means
+// every row of that shard; result sets returned by the sharded entry
+// points are always non-nil per shard (an empty shard result is an empty
+// slice), so they can feed GlobalIDs or the next pipeline stage without
+// re-expanding.
+type ShardSets [][]int
+
+// ensureNonNil replaces nil per-shard lists with empty slices: nil means
+// "every row" only on the candidate-input side, never in results.
+func ensureNonNil(ss ShardSets) ShardSets {
+	for i := range ss {
+		if ss[i] == nil {
+			ss[i] = []int{}
+		}
+	}
+	return ss
+}
+
+// AllShardSets returns the candidate sets covering every row of every
+// shard (all-nil, the identity candidate sets).
+func AllShardSets(s *relation.Sharded) ShardSets {
+	return make(ShardSets, s.NumShards())
+}
+
+// Total returns the total candidate count; table must be the sharded
+// table the sets index into (for resolving nil elements).
+func (ss ShardSets) Total(table *relation.Sharded) int {
+	n := 0
+	for i := range ss {
+		if ss[i] == nil {
+			n += table.Shard(i).Len()
+		} else {
+			n += len(ss[i])
+		}
+	}
+	return n
+}
+
+// GlobalIDs flattens the per-shard sets into global row ids in
+// shard-major order; table resolves nil elements.
+func (ss ShardSets) GlobalIDs(table *relation.Sharded) []int {
+	out := make([]int, 0, ss.Total(table))
+	for i := range ss {
+		set := ss[i]
+		if set == nil {
+			for j := 0; j < table.Shard(i).Len(); j++ {
+				out = append(out, relation.GlobalID(i, j))
+			}
+			continue
+		}
+		for _, j := range set {
+			out = append(out, relation.GlobalID(i, j))
+		}
+	}
+	return out
+}
+
+// Resolve returns shard i's candidate positions under the input
+// convention (a nil receiver or nil element means every row of that
+// shard); psql's per-shard filter steps share it.
+func (ss ShardSets) Resolve(table *relation.Sharded, i int) []int {
+	if ss == nil || ss[i] == nil {
+		return allIndices(table.Shard(i).Len())
+	}
+	return ss[i]
+}
+
+// shardCand resolves one shard's candidate set (nil = every row).
+func shardCand(s *relation.Sharded, sets ShardSets, i int) []int {
+	return sets.Resolve(s, i)
+}
+
+// BMOSharded evaluates σ[P](S) over a sharded table and returns the
+// qualifying rows as a new flat relation in shard-major order.
+func BMOSharded(p pref.Preference, s *relation.Sharded, alg Algorithm) *relation.Relation {
+	return s.Pick(BMOShardedIndices(p, s, alg).GlobalIDs(s))
+}
+
+// BMOShardedIndices is BMOSharded returning per-shard row positions.
+func BMOShardedIndices(p pref.Preference, s *relation.Sharded, alg Algorithm) ShardSets {
+	return BMOShardedOn(p, s, alg, nil)
+}
+
+// BMOShardedOn evaluates the preference query over per-shard candidate
+// subsets (sets == nil, or a nil element, means every row) and returns
+// the qualifying positions per shard in ascending order. Each shard
+// evaluates locally through the ordinary flat entry points — compiled
+// forms bind per shard through the compile cache, so repeated queries
+// are bind-free on every shard independently — and the shard-local
+// maxima merge cross-shard (see mergeShardMaxima). With Auto, the
+// sharded planner first decides sharded-vs-flat (see PlanShardedOn).
+func BMOShardedOn(p pref.Preference, s *relation.Sharded, alg Algorithm, sets ShardSets) ShardSets {
+	if sets == nil {
+		sets = AllShardSets(s)
+	}
+	if s.NumShards() == 1 {
+		return ensureNonNil(ShardSets{bmoOn(p, s.Shard(0), alg, EvalAuto, shardCand(s, sets, 0))})
+	}
+	if alg == Auto {
+		if sp := PlanShardedOn(p, s, sets, Env{}); !sp.UseSharded {
+			return flatEvalSharded(p, s, alg, sets)
+		}
+	}
+	locals := make(ShardSets, s.NumShards())
+	relation.FanShards(s.NumShards(), func(i int) {
+		cand := shardCand(s, sets, i)
+		if len(cand) == 0 {
+			return
+		}
+		locals[i] = bmoOn(p, s.Shard(i), alg, EvalAuto, cand)
+	})
+	return mergeShardMaxima(p, s, locals)
+}
+
+// flatEvalSharded is the planner's flat path: materialize the candidate
+// rows as one ephemeral relation, evaluate once, and map the winners
+// back to per-shard positions. It pays a per-query flatten and an
+// uncached bind — exactly the costs the sharded path avoids — but skips
+// the cross-shard merge, which wins when the merge would redo most of
+// the work (huge result fractions over few rows).
+func flatEvalSharded(p pref.Preference, s *relation.Sharded, alg Algorithm, sets ShardSets) ShardSets {
+	gids := sets.GlobalIDs(s)
+	flat := s.Pick(gids)
+	win := BMOIndices(p, flat, alg)
+	out := make(ShardSets, s.NumShards())
+	for _, k := range win {
+		shard, local := relation.SplitGlobalID(gids[k])
+		out[shard] = append(out[shard], local)
+	}
+	for i := range out {
+		slices.Sort(out[i])
+	}
+	return ensureNonNil(out)
+}
+
+// mergeShardMaxima reduces per-shard local maxima to the global maxima:
+// the cross-shard half of the partition/merge identity. Chain products
+// merge over raw compiled score coordinates with the [KLP75] divide &
+// conquer (the same dominance filter the chain filter and dncCompiled
+// use); other shapes run one interpreted block-nested-loops pass over
+// the merged candidates' tuple views. Input and output sets are
+// per-shard ascending.
+func mergeShardMaxima(p pref.Preference, s *relation.Sharded, locals ShardSets) ShardSets {
+	nonEmpty := 0
+	for i := range locals {
+		if len(locals[i]) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty <= 1 {
+		return ensureNonNil(locals)
+	}
+	if out, ok := chainMergeSharded(p, s, locals); ok {
+		return out
+	}
+	return bnlMergeSharded(p, s, locals)
+}
+
+// shardChainVecs resolves the raw per-dimension score vectors of every
+// shard's cached compiled form, ok=false when the term is not a chain
+// product or any shard failed to compile. Dimension order is structural
+// (chainDims flattens deterministically), so dimension d lines up across
+// shards; the vectors hold raw ScoreOf images — not per-relation rank
+// transforms — so coordinates compare across shards.
+func shardChainVecs(p pref.Preference, s *relation.Sharded) ([][][]float64, bool) {
+	if _, ok := chainDims(p); !ok {
+		return nil, false
+	}
+	vecs := make([][][]float64, s.NumShards())
+	for i := 0; i < s.NumShards(); i++ {
+		c := compileFor(p, s.Shard(i), EvalAuto)
+		if c == nil {
+			return nil, false
+		}
+		dims, ok := chainDims(c.Pref())
+		if !ok {
+			return nil, false
+		}
+		vecs[i] = make([][]float64, len(dims))
+		for d, dim := range dims {
+			if vecs[i][d] = c.ScoreVec(dim); vecs[i][d] == nil {
+				return nil, false
+			}
+		}
+	}
+	return vecs, true
+}
+
+// chainMergeSharded merges chain-product shard maxima over raw compiled
+// coordinates.
+func chainMergeSharded(p pref.Preference, s *relation.Sharded, locals ShardSets) (ShardSets, bool) {
+	vecs, ok := shardChainVecs(p, s)
+	if !ok {
+		return nil, false
+	}
+	d := len(vecs[0])
+	total := 0
+	for i := range locals {
+		total += len(locals[i])
+	}
+	pts := make([]dncPoint, 0, total)
+	backing := make([]float64, 0, total*d)
+	for i := range locals {
+		for _, local := range locals[i] {
+			coord := backing[len(backing) : len(backing)+d : len(backing)+d]
+			backing = backing[:len(backing)+d]
+			for k := 0; k < d; k++ {
+				coord[k] = vecs[i][k][local]
+			}
+			pts = append(pts, dncPoint{relation.GlobalID(i, local), coord})
+		}
+	}
+	out := make(ShardSets, s.NumShards())
+	for _, pt := range dncMaxima(pts) {
+		shard, local := relation.SplitGlobalID(pt.row)
+		out[shard] = append(out[shard], local)
+	}
+	for i := range out {
+		slices.Sort(out[i])
+	}
+	return ensureNonNil(out), true
+}
+
+// bnlMergeSharded merges shard maxima with one block-nested-loops pass
+// over tuple views — exact for every strict partial order, and cheap
+// because the input is already reduced to per-shard maxima.
+func bnlMergeSharded(p pref.Preference, s *relation.Sharded, locals ShardSets) ShardSets {
+	type item struct {
+		shard, local int
+		t            pref.Tuple
+	}
+	var all []item
+	for i := range locals {
+		sh := s.Shard(i)
+		for _, local := range locals[i] {
+			all = append(all, item{i, local, sh.Tuple(local)})
+		}
+	}
+	window := make([]int, 0, 16)
+	for i := range all {
+		dominated := false
+		keep := window[:0]
+		for _, w := range window {
+			if p.Less(all[i].t, all[w].t) {
+				dominated = true
+				break
+			}
+			if !p.Less(all[w].t, all[i].t) {
+				keep = append(keep, w)
+			}
+		}
+		if dominated {
+			continue
+		}
+		window = append(keep, i)
+	}
+	out := make(ShardSets, s.NumShards())
+	for _, w := range window {
+		out[all[w].shard] = append(out[all[w].shard], all[w].local)
+	}
+	for i := range out {
+		slices.Sort(out[i])
+	}
+	return ensureNonNil(out)
+}
+
+// ShardMergeMode names the cross-shard merge a term will use: the
+// coordinate chain filter for compilable chain products, an interpreted
+// BNL pass otherwise. Query explanation reports it per phase.
+func ShardMergeMode(p pref.Preference) string {
+	if _, ok := chainDims(p); ok && pref.Compilable(p) {
+		return "chain-filter"
+	}
+	return "bnl"
+}
+
+// GroupBySharded evaluates σ[P groupby A](S) over a sharded table and
+// returns the qualifying rows as a new flat relation.
+func GroupBySharded(p pref.Preference, groupAttrs []string, s *relation.Sharded, alg Algorithm) *relation.Relation {
+	return s.Pick(GroupByShardedOn(p, groupAttrs, s, alg, nil).GlobalIDs(s))
+}
+
+// GroupByShardedOn is the sharded counterpart of GroupByIndicesOn: each
+// shard partitions its candidate set by its own cached equality codes,
+// the per-shard groups unify cross-shard through a shard-merge
+// dictionary over canonical value keys (NaN groups stay singletons, per
+// the EqualValues NaN policy — a NaN never equals another, so NaN
+// groups never unify), and every global group evaluates shard-local
+// then merges, like an independent sharded BMO query.
+func GroupByShardedOn(p pref.Preference, groupAttrs []string, s *relation.Sharded, alg Algorithm, sets ShardSets) ShardSets {
+	type group struct {
+		perShard ShardSets
+	}
+	var groups []*group
+	dict := make(map[string]int)
+	for i := 0; i < s.NumShards(); i++ {
+		sh := s.Shard(i)
+		cand := shardCand(s, sets, i)
+		if len(cand) == 0 {
+			continue
+		}
+		for _, g := range sh.GroupsOn(groupAttrs, cand) {
+			key, unifiable := shardGroupKey(sh.Tuple(g[0]), groupAttrs)
+			slot := -1
+			if unifiable {
+				if at, hit := dict[key]; hit {
+					slot = at
+				}
+			}
+			if slot < 0 {
+				slot = len(groups)
+				groups = append(groups, &group{perShard: make(ShardSets, s.NumShards())})
+				if unifiable {
+					dict[key] = slot
+				}
+			}
+			groups[slot].perShard[i] = g
+		}
+	}
+	// One fan-out over every non-empty (group, shard) slice — groups run
+	// concurrently with each other instead of paying a pool and a barrier
+	// per group — then each group merges cross-shard sequentially over
+	// its finished locals.
+	type job struct{ group, shard int }
+	var jobs []job
+	locals := make([]ShardSets, len(groups))
+	for g := range groups {
+		locals[g] = make(ShardSets, s.NumShards())
+		for i := range groups[g].perShard {
+			if len(groups[g].perShard[i]) > 0 {
+				jobs = append(jobs, job{g, i})
+			}
+		}
+	}
+	relation.FanShards(len(jobs), func(j int) {
+		g, i := jobs[j].group, jobs[j].shard
+		locals[g][i] = bmoOn(p, s.Shard(i), alg, EvalAuto, groups[g].perShard[i])
+	})
+	out := make(ShardSets, s.NumShards())
+	for g := range groups {
+		for i, win := range mergeShardMaxima(p, s, locals[g]) {
+			out[i] = append(out[i], win...)
+		}
+	}
+	for i := range out {
+		slices.Sort(out[i])
+	}
+	return ensureNonNil(out)
+}
+
+// shardGroupKey renders a group's projection onto the grouping
+// attributes as a canonical cross-shard key, matching the EqualValues
+// equivalence the per-shard equality codes encode: absent attributes
+// share one class, every value keys by its canonical pref.ValueKey
+// (numeric cross-type equality holds), and a NaN anywhere makes the
+// group non-unifiable (ok=false) — each NaN is its own equality class,
+// so its group can never merge with another.
+func shardGroupKey(t pref.Tuple, attrs []string) (string, bool) {
+	var b strings.Builder
+	for _, a := range attrs {
+		v, ok := t.Get(a)
+		if !ok || v == nil {
+			b.WriteByte('0')
+			b.WriteByte(';')
+			continue
+		}
+		if f, isNum := pref.Numeric(v); isNum && math.IsNaN(f) {
+			return "", false
+		}
+		boundcache.WriteKeyStr(&b, pref.ValueKey(v))
+	}
+	return b.String(), true
+}
+
+// EvictSharded releases every bound form cached against any shard of the
+// table — the sharded counterpart of EvictRelation; psql.Catalog's Drop
+// and Replace route sharded tables through it. It returns the number of
+// entries released.
+func EvictSharded(s *relation.Sharded) int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, sh := range s.Shards() {
+		n += EvictRelation(sh)
+	}
+	return n
+}
+
+// CompileCachedAllShards reports whether every shard of the table holds
+// a cached bound form of p at its current version — the "fully
+// cache-served" state repeated sharded queries reach after their first
+// execution. EXPLAIN and the acceptance tests use it.
+func CompileCachedAllShards(p pref.Preference, s *relation.Sharded) bool {
+	for _, sh := range s.Shards() {
+		if !CompileCached(p, sh) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"slices"
+
+	"repro/internal/pref"
+	"repro/internal/relation"
+)
+
+// ShardedStream is the progressive BMO evaluator over a sharded table;
+// emitted values are stable global row ids (relation.GlobalID). For
+// compilable chain products it streams truly progressively: the raw
+// compiled score coordinates of the chain dimensions are cross-shard
+// comparable (images of ScoreOf, not per-relation ranks), so visiting
+// the union of all shards' candidates in descending lexicographic raw
+// coordinate order restores the sort-filter-skyline invariant globally —
+// a dominator always has a strictly greater key, hence is visited first,
+// and every undominated candidate is final on sight. Each shard's
+// coordinates are read from its own cached compiled form, so repeated
+// streams are bind-free per shard. Other shapes degrade to one batch
+// sharded evaluation replayed through Next, exactly like the flat
+// Stream's fallback.
+type ShardedStream struct {
+	table      *relation.Sharded
+	candidates int
+
+	progressive bool
+	vecs        [][][]float64 // per shard, per dimension raw score vectors
+	dims        int
+	order       []int // gids, best raw-lex key first
+	confirmed   [][]float64
+	scratch     []float64
+	pos         int
+
+	started  bool
+	buffered []int // batch fallback, in shard-major order
+	batch    func() []int
+	consumed int
+}
+
+// EvalStreamSharded starts progressive evaluation of σ[P](S) over every
+// row of the sharded table.
+func EvalStreamSharded(p pref.Preference, s *relation.Sharded, alg Algorithm) *ShardedStream {
+	return EvalStreamShardedOn(p, s, alg, nil)
+}
+
+// EvalStreamShardedOn starts progressive evaluation over per-shard
+// candidate subsets (sets == nil, or a nil element, means every row of
+// that shard); emitted values are global row ids. alg selects the batch
+// algorithm the stream falls back to for non-chain terms. The stream
+// borrows the sets without modifying them.
+func EvalStreamShardedOn(p pref.Preference, s *relation.Sharded, alg Algorithm, sets ShardSets) *ShardedStream {
+	st := &ShardedStream{
+		table:      s,
+		candidates: sets.Total(s),
+		batch: func() []int {
+			return BMOShardedOn(p, s, alg, sets).GlobalIDs(s)
+		},
+	}
+	if sets == nil {
+		st.candidates = s.Len()
+	}
+	vecs, ok := shardChainVecs(p, s)
+	if !ok {
+		return st
+	}
+	st.progressive = true
+	st.vecs = vecs
+	st.dims = len(vecs[0])
+	st.scratch = make([]float64, st.dims)
+	if sets == nil {
+		sets = AllShardSets(s)
+	}
+	st.order = sets.GlobalIDs(s)
+	slices.SortFunc(st.order, func(a, b int) int {
+		sa, la := relation.SplitGlobalID(a)
+		sb, lb := relation.SplitGlobalID(b)
+		for d := 0; d < st.dims; d++ {
+			if c := pref.CmpScore(vecs[sa][d][la], vecs[sb][d][lb]); c != 0 {
+				return -c // descending: best raw key first
+			}
+		}
+		// Equal keys are mutually unranked; order by id for determinism.
+		return a - b
+	})
+	return st
+}
+
+// Progressive reports whether the stream confirms maxima incrementally
+// (true) or falls back to one batch sharded evaluation (false).
+func (st *ShardedStream) Progressive() bool { return st.progressive }
+
+// Consumed returns the number of candidates examined so far.
+func (st *ShardedStream) Consumed() int { return st.consumed }
+
+// Next returns the next confirmed maximum as a global row id, or
+// ok=false when the result set is exhausted.
+func (st *ShardedStream) Next() (gid int, ok bool) {
+	if !st.progressive {
+		if !st.started {
+			st.started = true
+			st.buffered = st.batch()
+			// The batch pass examined exactly the candidate set, like the
+			// flat Stream's fallback.
+			st.consumed = st.candidates
+		}
+		if st.pos >= len(st.buffered) {
+			return 0, false
+		}
+		gid = st.buffered[st.pos]
+		st.pos++
+		return gid, true
+	}
+	for st.pos < len(st.order) {
+		gid := st.order[st.pos]
+		st.pos++
+		st.consumed++
+		shard, local := relation.SplitGlobalID(gid)
+		for d := 0; d < st.dims; d++ {
+			st.scratch[d] = st.vecs[shard][d][local]
+		}
+		if st.dominated(st.scratch) {
+			continue
+		}
+		// Raw-lex order guarantees no unvisited candidate dominates this
+		// one (a dominator's key is strictly greater); it is final.
+		st.confirmed = append(st.confirmed, slices.Clone(st.scratch))
+		return gid, true
+	}
+	return 0, false
+}
+
+// dominated filters a candidate's raw coordinates against the confirmed
+// maxima — the cross-shard instance of the chain filter's dominance
+// test, NaN blocking on either side like everywhere else in the chain
+// fragment.
+func (st *ShardedStream) dominated(coord []float64) bool {
+	for _, w := range st.confirmed {
+		if dominates(w, coord) {
+			return true
+		}
+	}
+	return false
+}
+
+// Each drains the stream through yield; returning false stops early. It
+// returns the number of rows emitted.
+func (st *ShardedStream) Each(yield func(gid int) bool) int {
+	emitted := 0
+	for {
+		gid, ok := st.Next()
+		if !ok {
+			return emitted
+		}
+		emitted++
+		if !yield(gid) {
+			return emitted
+		}
+	}
+}
+
+// Collect drains the remaining stream into a slice in emission order.
+func (st *ShardedStream) Collect() []int {
+	var out []int
+	st.Each(func(gid int) bool { out = append(out, gid); return true })
+	return out
+}

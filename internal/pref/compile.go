@@ -214,6 +214,12 @@ func (cd *Compiled) rankOf(p Preference, s []float64) []float64 {
 	return ranks
 }
 
+// CmpScore totally orders float64 scores with NaN first as its own
+// class — the canonical score order the rank transform sorts by. The
+// engine's cross-shard stream shares it so raw coordinates order
+// identically everywhere.
+func CmpScore(a, b float64) int { return cmpScore(a, b) }
+
 // cmpScore totally orders float64 scores with NaN first as its own class.
 func cmpScore(a, b float64) int {
 	aNaN, bNaN := math.IsNaN(a), math.IsNaN(b)

@@ -13,30 +13,44 @@ import (
 	"repro/internal/relation"
 )
 
-// Catalog resolves relation names for query execution.
-type Catalog map[string]*relation.Relation
+// Catalog resolves table names for query execution. A table is either a
+// flat *relation.Relation or a *relation.Sharded — execution dispatches
+// on the concrete storage layout, so registering a sharded table routes
+// every query through the shard-aware entry points.
+type Catalog map[string]relation.Table
 
-// Drop removes a relation from the catalog and evicts every bound form
-// cached against it — compile cache, selection bitmaps, quality vectors —
-// so the dropped relation's rows stop being pinned until ordinary
-// capacity eviction. It reports whether the relation existed.
+// Drop removes a table from the catalog and evicts every bound form
+// cached against it — compile cache, selection bitmaps, quality and rank
+// vectors; for a sharded table the sweep covers every shard — so the
+// dropped rows stop being pinned until ordinary capacity eviction. It
+// reports whether the table existed.
 func (c Catalog) Drop(name string) bool {
-	rel, ok := c[name]
+	tbl, ok := c[name]
 	if !ok {
 		return false
 	}
-	engine.EvictRelation(rel)
+	evictTable(tbl)
 	delete(c, name)
 	return true
 }
 
-// Replace installs a relation under the name, evicting the cached bound
-// forms of any relation it displaces (see Drop).
-func (c Catalog) Replace(name string, rel *relation.Relation) {
-	if old, ok := c[name]; ok && old != rel {
-		engine.EvictRelation(old)
+// Replace installs a table under the name, evicting the cached bound
+// forms of any table it displaces (see Drop).
+func (c Catalog) Replace(name string, tbl relation.Table) {
+	if old, ok := c[name]; ok && old != tbl {
+		evictTable(old)
 	}
-	c[name] = rel
+	c[name] = tbl
+}
+
+// evictTable sweeps a table's cached bound forms, whatever its layout.
+func evictTable(tbl relation.Table) {
+	switch t := tbl.(type) {
+	case *relation.Relation:
+		engine.EvictRelation(t)
+	case *relation.Sharded:
+		engine.EvictSharded(t)
+	}
 }
 
 // Options configure execution.
@@ -78,14 +92,20 @@ func Exec(q *Query, cat Catalog, opts Options) (*relation.Relation, error) {
 		}
 		return explainRelation(text), nil
 	}
-	rel, ok := cat[q.From]
+	tbl, ok := cat[q.From]
 	if !ok {
 		return nil, fmt.Errorf("psql: unknown relation %q", q.From)
 	}
-	if err := checkAttrs(q, rel); err != nil {
+	if err := checkAttrs(q, tbl); err != nil {
 		return nil, err
 	}
-	base := rel
+	if sh, sharded := tbl.(*relation.Sharded); sharded {
+		return execSharded(q, sh, opts)
+	}
+	base, ok := tbl.(*relation.Relation)
+	if !ok {
+		return nil, fmt.Errorf("psql: relation %q has unsupported storage %T", q.From, tbl)
+	}
 	var idx []int
 	if q.Where != nil {
 		idx = filter.CompileCached(q.Where, base).Indices()
@@ -172,7 +192,12 @@ func Exec(q *Query, cat Catalog, opts Options) (*relation.Relation, error) {
 		}
 		idx = engine.BMOIndicesOn(p, base, opts.Algorithm, idx)
 	}
-	out := base.Pick(idx)
+	return finishRows(q, base.Pick(idx))
+}
+
+// finishRows applies the materialized pipeline tail shared by the flat
+// and sharded paths: ORDER BY, TOP-k truncation and projection.
+func finishRows(q *Query, out *relation.Relation) (*relation.Relation, error) {
 	if len(q.OrderBy) > 0 {
 		// Pick built a fresh row slice, so the in-place sort cannot disturb
 		// the catalog relation.
@@ -188,6 +213,96 @@ func Exec(q *Query, cat Catalog, opts Options) (*relation.Relation, error) {
 	return project(q, out)
 }
 
+// execSharded is the shard-aware twin of Exec: the same §5/§6.1 pipeline
+// index-chained per shard. The WHERE clause binds per shard through the
+// selection cache (each shard keeps its own bitmap), every soft step
+// evaluates shard-local through the shards' cached bound forms and
+// merges cross-shard (engine.BMOShardedOn / GroupByShardedOn,
+// rank.TopKShardedOn for the ranked model), the BUT ONLY quality filter
+// threshold-scans each shard's cached measure vectors, and rows
+// materialize only at the tail — in shard-major global id order, the
+// sharded image of base relation order.
+func execSharded(q *Query, s *relation.Sharded, opts Options) (*relation.Relation, error) {
+	sets := make(engine.ShardSets, s.NumShards())
+	if q.Where != nil {
+		for i := 0; i < s.NumShards(); i++ {
+			sets[i] = filter.CompileCached(q.Where, s.Shard(i)).Indices()
+		}
+	}
+	var builtPref pref.Preference
+	if q.Preferring != nil {
+		built, err := q.Preferring.Build()
+		if err != nil {
+			return nil, err
+		}
+		builtPref = built
+		p := algebra.Simplify(built)
+		if sc, ok := built.(pref.Scorer); ok && q.Top > 0 {
+			// Ranked query model: per-shard k-best off the cached score
+			// vectors, heap-merged to the global k.
+			results := rank.TopKShardedOn(sc, s, q.Top, sets)
+			gids := make([]int, len(results))
+			for i, r := range results {
+				gids[i] = r.Row
+			}
+			return project(q, s.Pick(gids))
+		}
+		if len(q.GroupingBy) > 0 {
+			sets = engine.GroupByShardedOn(p, q.GroupingBy, s, opts.Algorithm, sets)
+		} else {
+			sets = engine.BMOShardedOn(p, s, opts.Algorithm, sets)
+		}
+	}
+	for _, c := range q.Cascades {
+		built, err := c.Build()
+		if err != nil {
+			return nil, err
+		}
+		if builtPref == nil {
+			builtPref = built
+		}
+		sets = engine.BMOShardedOn(algebra.Simplify(built), s, opts.Algorithm, sets)
+	}
+	if q.ButOnly != nil {
+		if builtPref == nil {
+			return nil, fmt.Errorf("psql: BUT ONLY requires a PREFERRING clause")
+		}
+		byAttr := collectBasePrefs(q)
+		for i := 0; i < s.NumShards(); i++ {
+			sh := s.Shard(i)
+			idx := sets.Resolve(s, i)
+			kept := idx[:0:0]
+			compiled := false
+			if butVectorWorthwhile(len(idx), sh.Len()) || butBound(q.ButOnly, byAttr, sh) {
+				if keep, ok := compileBut(q.ButOnly, byAttr, sh); ok {
+					compiled = true
+					for _, j := range idx {
+						if keep(j) {
+							kept = append(kept, j)
+						}
+					}
+				}
+			}
+			if !compiled {
+				for _, j := range idx {
+					if q.ButOnly.Eval(byAttr, sh.Tuple(j)) {
+						kept = append(kept, j)
+					}
+				}
+			}
+			sets[i] = kept
+		}
+	}
+	if q.Skyline != nil {
+		p, err := q.Skyline.Preference()
+		if err != nil {
+			return nil, err
+		}
+		sets = engine.BMOShardedOn(p, s, opts.Algorithm, sets)
+	}
+	return finishRows(q, s.Pick(sets.GlobalIDs(s)))
+}
+
 // allIndices returns 0..n-1.
 func allIndices(n int) []int {
 	idx := make([]int, n)
@@ -198,9 +313,9 @@ func allIndices(n int) []int {
 }
 
 // checkAttrs validates every attribute reference in the query against the
-// relation's schema, so typos fail fast rather than silently matching
+// table's schema, so typos fail fast rather than silently matching
 // nothing.
-func checkAttrs(q *Query, rel *relation.Relation) error {
+func checkAttrs(q *Query, rel relation.Table) error {
 	var missing []string
 	check := func(attr string) {
 		if _, ok := rel.Schema().Index(attr); !ok {

@@ -132,7 +132,7 @@ func TestExecSkylineClause(t *testing.T) {
 	res := run(t, "SELECT oid FROM car SKYLINE OF price MIN, power MAX ORDER BY oid")
 	// Check against the engine directly.
 	p := pref.Pareto(pref.LOWEST("price"), pref.HIGHEST("power"))
-	want := engine.BMO(p, testCatalog()["car"], engine.Naive)
+	want := engine.BMO(p, testCatalog()["car"].(*relation.Relation), engine.Naive)
 	if res.Len() != want.Len() {
 		t.Errorf("skyline size %d, want %d", res.Len(), want.Len())
 	}
@@ -252,7 +252,7 @@ func TestCatalogDropEvictsCaches(t *testing.T) {
 	defer engine.ResetCompileCache()
 	defer filter.ResetCache()
 	cat := testCatalog()
-	rel := cat["car"]
+	rel := cat["car"].(*relation.Relation)
 	query := "SELECT oid FROM car WHERE price <= 45000 PREFERRING LOWEST(price)"
 	if _, err := Run(query, cat, Options{}); err != nil {
 		t.Fatal(err)
@@ -282,7 +282,7 @@ func TestCatalogDropEvictsCaches(t *testing.T) {
 
 	// Replace evicts the displaced relation's entries the same way.
 	cat = testCatalog()
-	rel = cat["car"]
+	rel = cat["car"].(*relation.Relation)
 	if _, err := Run(query, cat, Options{}); err != nil {
 		t.Fatal(err)
 	}

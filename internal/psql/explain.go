@@ -36,12 +36,19 @@ import (
 //     (engine.Plan.Explain), carrying the same facts as
 //     "eval=compiled|interpreted" and "cache=hit|cold".
 func Explain(q *Query, cat Catalog, opts Options) (string, error) {
-	rel, ok := cat[q.From]
+	tbl, ok := cat[q.From]
 	if !ok {
 		return "", fmt.Errorf("psql: unknown relation %q", q.From)
 	}
-	if err := checkAttrs(q, rel); err != nil {
+	if err := checkAttrs(q, tbl); err != nil {
 		return "", err
+	}
+	if sh, sharded := tbl.(*relation.Sharded); sharded {
+		return explainSharded(q, sh, opts)
+	}
+	rel, ok := tbl.(*relation.Relation)
+	if !ok {
+		return "", fmt.Errorf("psql: relation %q has unsupported storage %T", q.From, tbl)
 	}
 	var b strings.Builder
 	step := 0
@@ -189,6 +196,188 @@ func Explain(q *Query, cat Catalog, opts Options) (string, error) {
 	}
 	emitProjection(&b, &step, q)
 	return b.String(), nil
+}
+
+// explainSharded renders the plan of a query over a sharded table: the
+// same pipeline as the flat Explain with every phase carrying its shard
+// fan-out facts — "shards=N, merge=<mode>" — plus per-shard cache
+// status. The WHERE clause binds per shard at explain time (the bitmaps
+// are exactly what execution reuses), preference terms do not bind, so
+// their compile-cache status counts shards with a live bound form.
+func explainSharded(q *Query, s *relation.Sharded, opts Options) (string, error) {
+	var b strings.Builder
+	step := 0
+	emit := func(format string, args ...any) {
+		step++
+		fmt.Fprintf(&b, "%2d. %s\n", step, fmt.Sprintf(format, args...))
+	}
+	nShards := s.NumShards()
+	emit("scan %s (sharded: %d shards by %s, %d rows)", q.From, nShards, s.Part(), s.Len())
+	n := s.Len()
+	var sets engine.ShardSets
+	if q.Where != nil {
+		hits, count := 0, 0
+		mode := ""
+		sets = make(engine.ShardSets, nShards)
+		for i, sh := range s.Shards() {
+			if filter.CacheContains(q.Where, sh) {
+				hits++
+			}
+			sel := filter.CompileCached(q.Where, sh)
+			sets[i] = sel.Indices()
+			count += sel.Count()
+			if i == 0 {
+				mode = sel.Mode()
+			}
+		}
+		status := fmt.Sprintf("miss on %d/%d shards — now bound and cached", nShards-hits, nShards)
+		if hits == nShards {
+			status = "hit on all shards"
+		}
+		emit("hard selection: %s [%s, %d of %d rows; shards=%d, selection cache %s]",
+			q.Where, mode, count, s.Len(), nShards, status)
+		n = count
+	}
+	shardFacts := func(p pref.Preference) string {
+		return fmt.Sprintf("shards=%d, merge=%s", nShards, engine.ShardMergeMode(p))
+	}
+	cacheLine := func(p pref.Preference) {
+		cached := 0
+		for _, sh := range s.Shards() {
+			if engine.CompileCached(p, sh) {
+				cached++
+			}
+		}
+		status := fmt.Sprintf("cold on %d/%d shards — binds at first execution", nShards-cached, nShards)
+		if cached == nShards {
+			status = "hit on all shards — bound forms reused"
+		}
+		fmt.Fprintf(&b, "    (compile cache: %s)\n", status)
+	}
+	inlinePlan := func(p pref.Preference) {
+		sp := engine.PlanShardedOn(p, s, sets, engine.Env{})
+		for _, line := range strings.Split(strings.TrimRight(sp.Explain(), "\n"), "\n") {
+			fmt.Fprintf(&b, "      %s\n", line)
+		}
+	}
+	if q.Preferring != nil {
+		p, err := q.Preferring.Build()
+		if err != nil {
+			return "", err
+		}
+		simplified := algebra.Simplify(p)
+		alg := opts.Algorithm
+		resolved := alg
+		if alg == engine.Auto {
+			resolved = engine.PlanShardedOn(simplified, s, sets, engine.Env{}).PerShard.Algorithm
+		}
+		if _, isScorer := p.(pref.Scorer); isScorer && q.Top > 0 {
+			scoring := "interpreted"
+			if pref.Compilable(p) {
+				scoring = "compiled"
+			}
+			emit("ranked query model (k-best): TOP %d by combined score of %s [%s scoring per shard; shards=%d, merge=top-k heap]",
+				q.Top, p, scoring, nShards)
+			emitProjection(&b, &step, q)
+			return b.String(), nil
+		}
+		if len(q.GroupingBy) > 0 {
+			emit("BMO σ[P groupby {%s}], P = %s [algorithm %s per group per shard, %s evaluation; %s via shard-merge dictionary]",
+				strings.Join(q.GroupingBy, ", "), simplified, resolved, evalModeOf(simplified, resolved), shardFacts(simplified))
+		} else {
+			emit("BMO σ[P], P = %s [algorithm %s per shard, %s evaluation; %s]",
+				simplified, resolved, evalModeOf(simplified, resolved), shardFacts(simplified))
+		}
+		if simplified.String() != p.String() {
+			fmt.Fprintf(&b, "    (simplified from %s by the preference algebra)\n", p)
+		}
+		if evalModeOf(simplified, resolved) == "compiled" {
+			cacheLine(simplified)
+		}
+		if streamShape(q) {
+			fmt.Fprintf(&b, "    (streaming: %s)\n", shardedStreamModeOf(simplified, q.Where != nil))
+		}
+		if alg == engine.Auto {
+			inlinePlan(simplified)
+		}
+	}
+	for _, c := range q.Cascades {
+		p, err := c.Build()
+		if err != nil {
+			return "", err
+		}
+		simplified := algebra.Simplify(p)
+		resolved := opts.Algorithm
+		if resolved == engine.Auto {
+			resolved = engine.ResolveAuto(simplified, n/max(nShards, 1))
+		}
+		emit("cascade BMO σ[P], P = %s [algorithm %s per shard; %s]", simplified, resolved, shardFacts(simplified))
+	}
+	if q.ButOnly != nil {
+		mode := "interpreted"
+		if butCompilable(q.ButOnly) {
+			byAttr := collectBasePrefs(q)
+			boundShards := 0
+			for _, sh := range s.Shards() {
+				if butBound(q.ButOnly, byAttr, sh) {
+					boundShards++
+				}
+			}
+			if boundShards == nShards {
+				mode = "compiled vector scan (vectors cached on all shards)"
+			} else {
+				mode = "compiled vector scan (adaptive)"
+			}
+		}
+		emit("quality filter BUT ONLY %s [%s per shard; shards=%d]", q.ButOnly, mode, nShards)
+	}
+	if q.Skyline != nil {
+		p, err := q.Skyline.Preference()
+		if err != nil {
+			return "", err
+		}
+		resolved := opts.Algorithm
+		planned := resolved == engine.Auto
+		if planned {
+			resolved = engine.PlanShardedOn(p, s, sets, engine.Env{}).PerShard.Algorithm
+		}
+		emit("%s ⇒ BMO σ[P], P = %s [algorithm %s per shard, %s evaluation; %s]",
+			q.Skyline, p, resolved, evalModeOf(p, resolved), shardFacts(p))
+		if planned && q.Preferring == nil {
+			inlinePlan(p)
+		}
+		if q.Preferring == nil && streamShape(q) {
+			fmt.Fprintf(&b, "    (streaming: %s)\n", shardedStreamModeOf(p, q.Where != nil))
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		parts := make([]string, len(q.OrderBy))
+		for i, o := range q.OrderBy {
+			parts[i] = o.Attr
+			if o.Desc {
+				parts[i] += " DESC"
+			}
+		}
+		emit("sort by %s", strings.Join(parts, ", "))
+	}
+	if q.Top > 0 {
+		emit("truncate to TOP %d", q.Top)
+	}
+	emitProjection(&b, &step, q)
+	return b.String(), nil
+}
+
+// shardedStreamModeOf names the delivery mode the sharded stream will
+// use: cross-shard progressive confirmation in raw coordinate order for
+// compilable chain products, batch fallback otherwise.
+func shardedStreamModeOf(p pref.Preference, hasWhere bool) string {
+	if engine.ShardMergeMode(p) != "chain-filter" {
+		return "batch fallback — term outside the cross-shard chain fragment"
+	}
+	if hasWhere {
+		return "progressive — cross-shard raw coordinate order over the per-shard WHERE index lists"
+	}
+	return "progressive — cross-shard raw coordinate order"
 }
 
 // evalModeOf names the evaluation path the engine will take for the term

@@ -42,25 +42,23 @@ func RunStream(query string, cat Catalog, opts Options, yield func(relation.Row)
 // shared compile cache (position-addressed, so the candidate subset is
 // irrelevant to the bound form), and not a single tuple materializes
 // before the first yield — rows are projected straight off the base
-// relation as they are confirmed.
+// relation as they are confirmed. Sharded tables stream through
+// engine.EvalStreamShardedOn: per-shard WHERE index lists, per-shard
+// cached bound forms, and cross-shard progressive confirmation for chain
+// products (batch fallback otherwise, like the flat stream).
 func ExecStream(q *Query, cat Catalog, opts Options, yield func(relation.Row) bool) (int, error) {
+	if sh, sharded := cat[q.From].(*relation.Sharded); sharded {
+		if emitted, streamed, err := execStreamSharded(q, sh, opts, yield); streamed || err != nil {
+			return emitted, err
+		}
+		return replayExec(q, cat, opts, yield)
+	}
 	p, base, idx, ok, err := streamablePlan(q, cat)
 	if err != nil {
 		return 0, err
 	}
 	if !ok {
-		out, err := Exec(q, cat, opts)
-		if err != nil {
-			return 0, err
-		}
-		emitted := 0
-		for i := 0; i < out.Len(); i++ {
-			emitted++
-			if !yield(out.Row(i)) {
-				break
-			}
-		}
-		return emitted, nil
+		return replayExec(q, cat, opts, yield)
 	}
 
 	project, err := rowProjector(q, base)
@@ -77,6 +75,82 @@ func ExecStream(q *Query, cat Catalog, opts Options, yield func(relation.Row) bo
 		return q.Top <= 0 || emitted < q.Top
 	})
 	return emitted, nil
+}
+
+// replayExec is the batch fallback: execute fully and replay the result
+// rows through yield.
+func replayExec(q *Query, cat Catalog, opts Options, yield func(relation.Row) bool) (int, error) {
+	out, err := Exec(q, cat, opts)
+	if err != nil {
+		return 0, err
+	}
+	emitted := 0
+	for i := 0; i < out.Len(); i++ {
+		emitted++
+		if !yield(out.Row(i)) {
+			break
+		}
+	}
+	return emitted, nil
+}
+
+// execStreamSharded serves a streamable query over a sharded table;
+// streamed=false (with no rows emitted) sends the caller to the batch
+// fallback.
+func execStreamSharded(q *Query, s *relation.Sharded, opts Options, yield func(relation.Row) bool) (emitted int, streamed bool, err error) {
+	if err := checkAttrs(q, s); err != nil {
+		return 0, false, err
+	}
+	if q.ExplainPlan || !streamShape(q) {
+		return 0, false, nil
+	}
+	p, ranked, err := streamPref(q)
+	if err != nil || ranked {
+		return 0, false, err
+	}
+	var sets engine.ShardSets
+	if q.Where != nil {
+		sets = make(engine.ShardSets, s.NumShards())
+		for i := 0; i < s.NumShards(); i++ {
+			// Borrowed uncloned like the flat path: the stream never
+			// mutates its candidate sets.
+			sets[i] = filter.CompileCached(q.Where, s.Shard(i)).Indices()
+		}
+	}
+	project, err := rowProjector(q, s)
+	if err != nil {
+		return 0, false, err
+	}
+	st := engine.EvalStreamShardedOn(p, s, opts.Algorithm, sets)
+	st.Each(func(gid int) bool {
+		emitted++
+		if !yield(project(s.Row(gid))) {
+			return false
+		}
+		return q.Top <= 0 || emitted < q.Top
+	})
+	return emitted, true, nil
+}
+
+// streamPref builds and simplifies the single soft-clause preference of
+// a stream-shaped query; ranked=true flags the Scorer+TOP combination
+// that belongs to the ranked query model instead.
+func streamPref(q *Query) (p pref.Preference, ranked bool, err error) {
+	if q.Preferring != nil {
+		built, err := q.Preferring.Build()
+		if err != nil {
+			return nil, false, err
+		}
+		if _, scored := built.(pref.Scorer); scored && q.Top > 0 {
+			return nil, true, nil
+		}
+		return algebra.Simplify(built), false, nil
+	}
+	built, err := q.Skyline.Preference()
+	if err != nil {
+		return nil, false, err
+	}
+	return algebra.Simplify(built), false, nil
 }
 
 // streamShape reports whether the query has the single-soft-clause BMO
@@ -99,9 +173,13 @@ func streamShape(q *Query) bool {
 // catalog relation and the candidate index list (nil = full scan, a
 // cache-served WHERE index list otherwise).
 func streamablePlan(q *Query, cat Catalog) (pref.Preference, *relation.Relation, []int, bool, error) {
-	rel, found := cat[q.From]
+	tbl, found := cat[q.From]
 	if !found {
 		return nil, nil, nil, false, fmt.Errorf("psql: unknown relation %q", q.From)
+	}
+	rel, flat := tbl.(*relation.Relation)
+	if !flat {
+		return nil, nil, nil, false, fmt.Errorf("psql: relation %q has unsupported storage %T", q.From, tbl)
 	}
 	if err := checkAttrs(q, rel); err != nil {
 		return nil, nil, nil, false, err
@@ -109,27 +187,14 @@ func streamablePlan(q *Query, cat Catalog) (pref.Preference, *relation.Relation,
 	if q.ExplainPlan || !streamShape(q) {
 		return nil, nil, nil, false, nil
 	}
-	var p pref.Preference
-	if q.Preferring != nil {
-		built, err := q.Preferring.Build()
-		if err != nil {
-			return nil, nil, nil, false, err
-		}
-		if _, scored := built.(pref.Scorer); scored && q.Top > 0 {
-			return nil, nil, nil, false, nil // ranked query model, not BMO
-		}
-		p = built
-	} else {
-		built, err := q.Skyline.Preference()
-		if err != nil {
-			return nil, nil, nil, false, err
-		}
-		p = built
+	// Built simplified like Exec, so a stream and a batch execution of
+	// the same statement share one compile-cache entry (and EXPLAIN's
+	// term matches what actually evaluates). The ranked query model
+	// (Scorer + TOP) is not a BMO stream.
+	p, ranked, err := streamPref(q)
+	if err != nil || ranked {
+		return nil, nil, nil, false, err
 	}
-	// Simplify like Exec does, so a stream and a batch execution of the
-	// same statement share one compile-cache entry (and EXPLAIN's term
-	// matches what actually evaluates).
-	p = algebra.Simplify(p)
 	var idx []int
 	if q.Where != nil {
 		// Compiled selection with a cached bitmap: the stream visits the
@@ -142,7 +207,7 @@ func streamablePlan(q *Query, cat Catalog) (pref.Preference, *relation.Relation,
 }
 
 // rowProjector compiles the SELECT list into a per-row projection function.
-func rowProjector(q *Query, rel *relation.Relation) (func(relation.Row) relation.Row, error) {
+func rowProjector(q *Query, rel relation.Table) (func(relation.Row) relation.Row, error) {
 	if len(q.Select) == 0 {
 		return func(r relation.Row) relation.Row { return r }, nil
 	}

@@ -10,8 +10,10 @@ package rank
 
 import (
 	"container/heap"
+	"fmt"
 	"math"
 	"slices"
+	"sync/atomic"
 
 	"repro/internal/boundcache"
 	"repro/internal/pref"
@@ -81,26 +83,46 @@ const scoreCacheCap = 64
 // relation are bind-free and engine.EvictRelation releases the vectors
 // of a dropped relation. rank(F) terms carry opaque combining functions
 // and have no faithful cache key; they bypass the cache and bind per
-// call (one columnar pass, not a tuple walk per feature).
+// call (one columnar pass, not a tuple walk per feature) — unless the
+// caller gives them a session identity through Register.
 var scoreCache = boundcache.New[[]float64](scoreCacheCap)
 
-// scoreVecKey returns the cache key of a Scorer's vector over r, ok=false
-// when the term is keyless or the source uncacheable (ephemeral
-// intermediates, like every other bound-form cache).
-func scoreVecKey(p pref.Scorer, r *relation.Relation) (boundcache.Key, bool) {
+// termKeyOf returns the faithful cache key of a Scorer term: the
+// canonical pref.CacheKey encoding, or — for terms carrying opaque Go
+// functions — the session token of a registered Handle (see Register).
+func termKeyOf(p pref.Scorer) (string, bool) {
+	if h, ok := p.(*Handle); ok {
+		return h.token, true
+	}
+	return pref.CacheKey(p)
+}
+
+// rankKey builds the bound-form cache key of one derived artifact kind
+// ("rank" score vectors, "rankperm" sorted-access permutations) of a
+// Scorer over r; ok=false when the term is keyless or the source
+// uncacheable (ephemeral intermediates, like every other bound-form
+// cache).
+func rankKey(p pref.Scorer, r *relation.Relation, kind string) (boundcache.Key, bool) {
 	if r.Ephemeral() {
 		return boundcache.Key{}, false
 	}
-	term, keyed := pref.CacheKey(p)
+	term, keyed := termKeyOf(p)
 	if !keyed {
 		return boundcache.Key{}, false
 	}
-	return boundcache.Key{Src: r, Version: r.Version(), Term: "rank:" + term}, true
+	return boundcache.Key{Src: r, Version: r.Version(), Term: kind + ":" + term}, true
+}
+
+// scoreVecKey returns the cache key of a Scorer's vector over r.
+func scoreVecKey(p pref.Scorer, r *relation.Relation) (boundcache.Key, bool) {
+	return rankKey(p, r, "rank")
 }
 
 // compiledScoreVec materializes the term's score vector over the whole
 // relation, or nil when the term is outside the compilable fragment.
+// Registered handles compile their wrapped term.
 func compiledScoreVec(p pref.Scorer, r *relation.Relation) []float64 {
+	p = unwrap(p)
 	if !pref.Compilable(p) {
 		return nil
 	}
@@ -169,6 +191,142 @@ func ResetScoreCache() {
 	scoreCache.Reset()
 }
 
+// permCacheCap bounds the number of cached sorted-access permutations.
+const permCacheCap = 64
+
+// permCache holds the descending-score visit permutations the threshold
+// algorithm sorts its per-feature access lists by, cached alongside each
+// score vector per (relation, version, term): the sort is the dominant
+// per-query cost once the vectors themselves come from the cache, so a
+// repeated ThresholdTopK over an unchanged relation is sort-free. Keys
+// share the score cache's term encoding with a distinct kind prefix, so
+// engine.EvictRelation's registry sweep releases permutations too, and
+// any row mutation strands them via the version.
+var permCache = boundcache.New[[]int](permCacheCap)
+
+// cachedSortedPerm returns the sorted-access permutation of a feature's
+// score vector: row positions ordered by descending score, ties by
+// ascending position. Served from permCache for keyed terms over
+// cacheable relations; sorted fresh otherwise.
+func cachedSortedPerm(p pref.Scorer, r *relation.Relation, scores []float64) []int {
+	key, ok := rankKey(p, r, "rankperm")
+	if ok {
+		if perm, hit := permCache.Get(key); hit && perm != nil {
+			return perm
+		}
+	}
+	perm := sortScorePerm(scores)
+	if ok {
+		permCache.Put(key, perm)
+	}
+	return perm
+}
+
+// sortScorePerm builds the descending-score permutation; the stable sort
+// pins ascending-position tie order, the determinism ThresholdTopK's
+// access statistics rely on.
+func sortScorePerm(scores []float64) []int {
+	perm := make([]int, len(scores))
+	for i := range perm {
+		perm[i] = i
+	}
+	slices.SortStableFunc(perm, func(a, b int) int {
+		switch {
+		case scores[a] > scores[b]:
+			return -1
+		case scores[a] < scores[b]:
+			return 1
+		}
+		return 0
+	})
+	return perm
+}
+
+// PermCacheStats returns the cumulative sorted-permutation cache hit and
+// miss counts.
+func PermCacheStats() (hits, misses uint64) {
+	return permCache.Stats()
+}
+
+// ResetPermCache empties the sorted-permutation cache and zeroes its
+// counters.
+func ResetPermCache() {
+	permCache.Reset()
+}
+
+// Handle gives a Scorer term a session-scoped identity the bound-form
+// caches can key by. rank(F) terms (and raw SCORE leaves) carry opaque
+// Go functions, so they have no canonical cache key and would re-bind
+// their score vectors and sorted lists on every execution; registering
+// the term once hands back a token-carrying wrapper that scores exactly
+// like the original but hits the caches on every repeat. The token is
+// valid for the process lifetime; registering the same term twice
+// yields two independent identities.
+type Handle struct {
+	pref.Scorer
+	token string
+}
+
+// handleSeq numbers session handles.
+var handleSeq atomic.Uint64
+
+// Register wraps a Scorer term in a session-scoped Handle. The caller
+// must not mutate the term's behaviour afterwards (the token asserts
+// that repeated evaluations are semantically identical — that is what
+// makes it a faithful cache key).
+func Register(p pref.Scorer) *Handle {
+	return &Handle{Scorer: p, token: fmt.Sprintf("handle#%d", handleSeq.Add(1))}
+}
+
+// Token returns the session token; diagnostics only.
+func (h *Handle) Token() string { return h.token }
+
+// unwrap returns the underlying term of a registered handle (handles do
+// not nest: Register always wraps the term it is given).
+func unwrap(p pref.Scorer) pref.Scorer {
+	if h, ok := p.(*Handle); ok {
+		return h.Scorer
+	}
+	return p
+}
+
+// TopK returns the k best rows under the registered term, serving the
+// combined score vector from the cache on every repeat.
+func (h *Handle) TopK(r *relation.Relation, k int) []Result {
+	return TopKOn(h, r, k, nil)
+}
+
+// TopKOn is TopK over a candidate subset (idx == nil means every row).
+func (h *Handle) TopKOn(r *relation.Relation, k int, idx []int) []Result {
+	return TopKOn(h, r, k, idx)
+}
+
+// ThresholdTopK runs the threshold algorithm under the registered term
+// when it wraps a rank(F) accumulation: every feature's score vector and
+// sorted-access permutation is cached under the handle's token (features
+// with their own canonical key keep it), so repeat queries are bind- and
+// sort-free. A handle wrapping a plain Scorer has no per-feature lists
+// and degrades to one cached heap scan with trivial access statistics.
+func (h *Handle) ThresholdTopK(r *relation.Relation, k int) ([]Result, Stats) {
+	rp, ok := unwrap(h).(*pref.RankPref)
+	if !ok {
+		out := h.TopK(r, k)
+		return out, Stats{SortedAccesses: r.Len(), Scanned: r.Len()}
+	}
+	parts := rp.Parts()
+	feats := make([]pref.Scorer, len(parts))
+	for f, part := range parts {
+		if _, keyed := pref.CacheKey(part); keyed {
+			feats[f] = part
+		} else {
+			// Derive a per-feature identity from the handle token, so
+			// opaque features amortize under it.
+			feats[f] = &Handle{Scorer: part, token: fmt.Sprintf("%s/f%d", h.token, f)}
+		}
+	}
+	return thresholdTopK(feats, rp.Combine, r, k)
+}
+
 // worse reports a ranks strictly below b (lower score, or equal score and
 // higher row index).
 func worse(a, b Result) bool {
@@ -210,19 +368,29 @@ type Stats struct {
 // F(next scores at the list heads), no unseen row can qualify and the scan
 // stops. Returns the same ranking as TopK plus access statistics.
 func ThresholdTopK(p *pref.RankPref, r *relation.Relation, k int) ([]Result, Stats) {
+	parts := p.Parts()
+	feats := make([]pref.Scorer, len(parts))
+	copy(feats, parts)
+	return thresholdTopK(feats, p.Combine, r, k)
+}
+
+// thresholdTopK is the threshold-algorithm core shared by ThresholdTopK
+// and registered handles: per-feature scorers plus the monotone
+// combining function.
+func thresholdTopK(parts []pref.Scorer, combine func([]float64) float64, r *relation.Relation, k int) ([]Result, Stats) {
 	var stats Stats
 	if k <= 0 || r.Len() == 0 {
 		return nil, stats
 	}
-	parts := p.Parts()
 	m := len(parts)
 	n := r.Len()
 	// Materialize per-feature scores and sorted access lists: each
 	// feature's vector is a flat column served from the score cache when
 	// the part has a faithful key (SCORE dimensions ordinal-coded: the
 	// scoring function runs once per distinct value, the win for string
-	// features), and the sorted access lists order over contiguous
-	// float64 arrays — with a per-row ScoreOf walk as the fallback.
+	// features), and the sorted access lists come from the permutation
+	// cache — repeated threshold queries over an unchanged relation are
+	// sort-free — with a per-row ScoreOf walk as the cold fallback.
 	scores := make([][]float64, m)
 	lists := make([][]int, m)
 	for f := 0; f < m; f++ {
@@ -235,23 +403,7 @@ func ThresholdTopK(p *pref.RankPref, r *relation.Relation, k int) ([]Result, Sta
 			}
 			scores[f] = fs
 		}
-		lists[f] = make([]int, n)
-		for i := 0; i < n; i++ {
-			lists[f][i] = i
-		}
-		fs := scores[f]
-		slices.SortStableFunc(lists[f], func(a, b int) int {
-			switch {
-			case fs[a] > fs[b]:
-				return -1
-			case fs[a] < fs[b]:
-				return 1
-			}
-			return 0
-		})
-	}
-	combine := func(vec []float64) float64 {
-		return evalRankCombine(p, vec)
+		lists[f] = cachedSortedPerm(parts[f], r, scores[f])
 	}
 	seen := make(map[int]struct{}, 2*k)
 	h := &resultHeap{}
@@ -300,11 +452,4 @@ func ThresholdTopK(p *pref.RankPref, r *relation.Relation, k int) ([]Result, Sta
 		out[i] = heap.Pop(h).(Result)
 	}
 	return out, stats
-}
-
-// evalRankCombine applies the RankPref's combining function to a score
-// vector. RankPref exposes only tuple-level scoring, so the combine step
-// re-derives F through a probe tuple carrying precomputed part scores.
-func evalRankCombine(p *pref.RankPref, vec []float64) float64 {
-	return p.Combine(vec)
 }

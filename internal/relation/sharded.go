@@ -1,0 +1,411 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"slices"
+	"sync"
+	"time"
+
+	"repro/internal/pref"
+)
+
+// Sharded storage: a relation partitioned horizontally into N shards, each
+// a normal *Relation with its own mutation Version, columnar arrays and
+// equality-code caches. The BMO model is algebraically partitionable —
+// max(P over A ∪ B) = max(P over max(P, A) ∪ max(P, B)) for every strict
+// partial order — so every preference query evaluates shard-local first
+// and merges candidate maxima, and the compile caches (keyed per shard
+// relation and version) amortize independently per shard. Rows route to
+// shards by a Partitioner (hash or range over one attribute); global row
+// ids address rows stably across the whole table.
+
+// Table is the catalog-facing view shared by flat and sharded relations:
+// psql.Catalog stores either, and query execution dispatches on the
+// concrete type.
+type Table interface {
+	// Name returns the table name.
+	Name() string
+	// Schema returns the table schema.
+	Schema() *Schema
+	// Len returns the total row count.
+	Len() int
+}
+
+// Compile-time checks that both storage layouts satisfy the catalog view.
+var (
+	_ Table = (*Relation)(nil)
+	_ Table = (*Sharded)(nil)
+)
+
+// gidShardShift splits a global row id into (shard, local): the shard
+// index lives above bit 40, the shard-local row position below. A shard
+// can hold 2^40 rows and a table 2^23 shards — both far beyond the
+// in-memory store's reach — and the id of a row never changes as long as
+// the table is not resharded (shards are append-only).
+const gidShardShift = 40
+
+// maxShards bounds the shard count so global ids stay positive int64s.
+const maxShards = 1 << 23
+
+// GlobalID packs a (shard, shard-local row) address into one stable int.
+func GlobalID(shard, local int) int {
+	return shard<<gidShardShift | local
+}
+
+// SplitGlobalID unpacks a global row id into its shard index and
+// shard-local row position.
+func SplitGlobalID(gid int) (shard, local int) {
+	return gid >> gidShardShift, gid & (1<<gidShardShift - 1)
+}
+
+// Partitioner routes rows to shards. Implementations must be
+// deterministic pure functions of the row values, so a row routes to the
+// same shard no matter when it is inserted.
+type Partitioner interface {
+	// ShardOf returns the target shard in [0, n) for a row under the
+	// given schema.
+	ShardOf(row Row, schema *Schema, n int) int
+	// String renders the partitioning spec (e.g. "hash(color)") for
+	// query explanation.
+	String() string
+}
+
+// hashPart partitions by a hash of one attribute's canonical value key.
+type hashPart struct{ attr string }
+
+// ByHash returns a Partitioner distributing rows by a hash of the named
+// attribute (pref.ValueKey canonical encoding, so numeric cross-type
+// equality hashes consistently). NULLs all hash to one shard.
+func ByHash(attr string) Partitioner { return hashPart{attr: attr} }
+
+// ShardOf implements Partitioner. The FNV-1a loop is inlined so routing
+// a row — the hot path of Insert and ShardRelation — allocates nothing
+// beyond the canonical key string.
+func (p hashPart) ShardOf(row Row, schema *Schema, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	var key string
+	if i, ok := schema.Index(p.attr); ok && row[i] != nil {
+		key = pref.ValueKey(row[i])
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return int(h % uint32(n))
+}
+
+// String implements Partitioner.
+func (p hashPart) String() string { return fmt.Sprintf("hash(%s)", p.attr) }
+
+// rangePart partitions a linearly ordered attribute by upper bounds.
+type rangePart struct {
+	attr   string
+	bounds []float64
+}
+
+// ByRange returns a Partitioner distributing rows by ranges of the named
+// numeric (or time) attribute: shard i holds values below bounds[i], the
+// last shard everything else, so the shard count must be len(bounds)+1.
+// NULLs and values off the linear scale go to shard 0.
+func ByRange(attr string, bounds ...float64) Partitioner {
+	return rangePart{attr: attr, bounds: append([]float64(nil), bounds...)}
+}
+
+// ShardOf implements Partitioner.
+func (p rangePart) ShardOf(row Row, schema *Schema, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	i, ok := schema.Index(p.attr)
+	if !ok || row[i] == nil {
+		return 0
+	}
+	v, ok := pref.Numeric(row[i])
+	if !ok {
+		if t, isTime := row[i].(time.Time); isTime {
+			v = float64(t.Unix())
+		} else {
+			return 0
+		}
+	}
+	if math.IsNaN(v) {
+		return 0
+	}
+	for s, b := range p.bounds {
+		if s >= n-1 {
+			break
+		}
+		if v < b {
+			return s
+		}
+	}
+	return min(len(p.bounds), n-1)
+}
+
+// String implements Partitioner.
+func (p rangePart) String() string { return fmt.Sprintf("range(%s)", p.attr) }
+
+// shardCountChecker is implemented by partitioners that can sanity-check
+// a shard count; NewSharded and Reshard consult it so a misconfigured
+// partitioner fails loudly instead of silently skewing the table.
+type shardCountChecker interface {
+	checkShards(n int) error
+}
+
+// checkShards rejects shard counts the bound list cannot address — in
+// particular the zero-bound case RangeBounds produces for non-numeric
+// attributes, which would route every row to shard 0.
+func (p rangePart) checkShards(n int) error {
+	if len(p.bounds)+1 != n {
+		return fmt.Errorf("relation: range partitioner on %s has %d bounds for %d shards (want %d)",
+			p.attr, len(p.bounds), n, n-1)
+	}
+	return nil
+}
+
+// RangeBounds computes n-1 equi-depth upper bounds of the named attribute
+// over an existing relation, for ByRange sharding into n shards of
+// roughly equal size. Rows without an on-scale value are ignored.
+func RangeBounds(r *Relation, attr string, n int) []float64 {
+	vals, onScale, ok := r.FloatColumn(attr)
+	if !ok || n < 2 {
+		return nil
+	}
+	kept := make([]float64, 0, len(vals))
+	for i, v := range vals {
+		if onScale[i] && !math.IsNaN(v) {
+			kept = append(kept, v)
+		}
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	slices.Sort(kept)
+	bounds := make([]float64, n-1)
+	for k := 1; k < n; k++ {
+		bounds[k-1] = kept[k*len(kept)/n]
+	}
+	return bounds
+}
+
+// Sharded is a horizontally partitioned table: N shards, each a normal
+// *Relation sharing one schema, with rows routed by the Partitioner.
+// Shards are append-only (no deletes exist in the store), so a global
+// row id — GlobalID(shard, local) — addresses its row stably. Reads of
+// distinct shards never contend: each shard owns its rows, columnar
+// arrays and caches outright.
+type Sharded struct {
+	name   string
+	schema *Schema
+	part   Partitioner
+	shards []*Relation
+}
+
+// NewSharded creates an empty sharded table with nShards shards.
+func NewSharded(name string, schema *Schema, nShards int, part Partitioner) (*Sharded, error) {
+	if nShards < 1 || nShards > maxShards {
+		return nil, fmt.Errorf("relation %s: shard count %d outside [1, %d]", name, nShards, maxShards)
+	}
+	if part == nil {
+		return nil, fmt.Errorf("relation %s: nil partitioner", name)
+	}
+	if c, ok := part.(shardCountChecker); ok {
+		if err := c.checkShards(nShards); err != nil {
+			return nil, fmt.Errorf("relation %s: %w", name, err)
+		}
+	}
+	s := &Sharded{name: name, schema: schema, part: part, shards: make([]*Relation, nShards)}
+	for i := range s.shards {
+		s.shards[i] = New(fmt.Sprintf("%s#%d", name, i), schema)
+	}
+	return s, nil
+}
+
+// ShardRelation distributes an existing relation's rows into a new
+// sharded table with nShards shards under the given partitioner. The
+// source relation is left untouched; row value slices are shared (rows
+// are immutable by convention throughout the store).
+func ShardRelation(r *Relation, nShards int, part Partitioner) (*Sharded, error) {
+	s, err := NewSharded(r.Name(), r.Schema(), nShards, part)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range r.Rows() {
+		sh := s.shards[s.ShardOf(row)]
+		sh.rows = append(sh.rows, row)
+	}
+	for _, sh := range s.shards {
+		sh.invalidateColumns()
+	}
+	return s, nil
+}
+
+// Name returns the table name.
+func (s *Sharded) Name() string { return s.name }
+
+// Schema returns the shared schema.
+func (s *Sharded) Schema() *Schema { return s.schema }
+
+// Len returns the total row count across every shard.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Shard returns shard i; callers must not mutate it directly (route rows
+// through Insert so the partitioning invariant holds).
+func (s *Sharded) Shard(i int) *Relation { return s.shards[i] }
+
+// Shards returns the shard list; callers must not modify the slice.
+func (s *Sharded) Shards() []*Relation { return s.shards }
+
+// Part returns the partitioner.
+func (s *Sharded) Part() Partitioner { return s.part }
+
+// ShardOf returns the shard a row routes to under the partitioner.
+func (s *Sharded) ShardOf(row Row) int {
+	return s.part.ShardOf(row, s.schema, len(s.shards))
+}
+
+// Insert routes the row to its shard after the usual schema type check.
+// Concurrent Inserts into DISTINCT shards are independent (each shard
+// owns its storage); inserts into one shard must be serialized by the
+// caller, like Relation.Insert itself.
+func (s *Sharded) Insert(row Row) error {
+	if len(row) != s.schema.Len() {
+		return fmt.Errorf("relation %s: row arity %d does not match schema arity %d", s.name, len(row), s.schema.Len())
+	}
+	return s.shards[s.ShardOf(row)].Insert(row)
+}
+
+// MustInsert is Insert that panics on error; for test fixtures.
+func (s *Sharded) MustInsert(rows ...Row) *Sharded {
+	for _, row := range rows {
+		if err := s.Insert(row); err != nil {
+			panic(err)
+		}
+	}
+	return s
+}
+
+// Row returns the row at a global id; callers must not modify it.
+func (s *Sharded) Row(gid int) Row {
+	shard, local := SplitGlobalID(gid)
+	return s.shards[shard].Row(local)
+}
+
+// Tuple returns the pref.Tuple view of the row at a global id.
+func (s *Sharded) Tuple(gid int) pref.Tuple {
+	shard, local := SplitGlobalID(gid)
+	return s.shards[shard].Tuple(local)
+}
+
+// Pick materializes the rows at the given global ids as a new flat
+// (derived) relation, in id order.
+func (s *Sharded) Pick(gids []int) *Relation {
+	out := New(s.name, s.schema)
+	out.derived = true
+	out.rows = make([]Row, 0, len(gids))
+	for _, gid := range gids {
+		out.rows = append(out.rows, s.Row(gid))
+	}
+	return out
+}
+
+// Flatten materializes the union of every shard as a new flat (derived)
+// relation in shard-major order. The planner's flat evaluation path and
+// agreement tests use it; per-query flattening is exactly the cost the
+// sharded evaluation paths avoid.
+func (s *Sharded) Flatten() *Relation {
+	out := New(s.name, s.schema)
+	out.derived = true
+	out.rows = make([]Row, 0, s.Len())
+	for _, sh := range s.shards {
+		out.rows = append(out.rows, sh.rows...)
+	}
+	return out
+}
+
+// Reshard redistributes every row into nShards fresh shards under a new
+// partitioner and returns the displaced shard relations, so callers can
+// evict their cached bound forms (see engine.EvictSharded); the sharded
+// table keeps its identity. Global row ids are NOT stable across a
+// Reshard — it is the one operation that re-addresses rows.
+func (s *Sharded) Reshard(nShards int, part Partitioner) ([]*Relation, error) {
+	if nShards < 1 || nShards > maxShards {
+		return nil, fmt.Errorf("relation %s: shard count %d outside [1, %d]", s.name, nShards, maxShards)
+	}
+	if part == nil {
+		part = s.part
+	}
+	if c, ok := part.(shardCountChecker); ok {
+		if err := c.checkShards(nShards); err != nil {
+			return nil, fmt.Errorf("relation %s: %w", s.name, err)
+		}
+	}
+	next := make([]*Relation, nShards)
+	for i := range next {
+		next[i] = New(fmt.Sprintf("%s#%d", s.name, i), s.schema)
+	}
+	for _, sh := range s.shards {
+		for _, row := range sh.rows {
+			t := part.ShardOf(row, s.schema, nShards)
+			next[t].rows = append(next[t].rows, row)
+		}
+	}
+	for _, sh := range next {
+		sh.invalidateColumns()
+	}
+	old := s.shards
+	s.shards, s.part = next, part
+	return old, nil
+}
+
+// String renders the table as an aligned text table (shard-major order).
+func (s *Sharded) String() string {
+	return s.Flatten().String()
+}
+
+// FanShards runs f(0..n-1) concurrently, at most NumCPU at a time — the
+// bounded fan-out every shard-parallel evaluation layer shares (engine
+// BMO/groupby fan-out, rank's per-shard scans). Work items must be
+// independent: f runs on distinct goroutines with no ordering beyond the
+// final wait, and below two workers the sweep degrades to a plain loop.
+func FanShards(n int, f func(i int)) {
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers < 2 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
