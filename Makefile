@@ -3,13 +3,22 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-json lint lint-docs fmt
+.PHONY: build test test-noasm test-noavx2 bench bench-json benchdiff lint lint-docs fmt
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test -race ./...
+
+# The CI matrix legs that prove the portable dominance-kernel fallbacks:
+# a build without the assembly at all, and the assembly build with the
+# kernel force-disabled at process start (see internal/engine/kernel.go).
+test-noasm:
+	$(GO) test -race -tags noasm ./...
+
+test-noavx2:
+	PREFSQL_DISABLE_AVX2=1 $(GO) test -race ./...
 
 # One iteration per benchmark — the CI smoke job. Use BENCHTIME=2s (or any
 # go -benchtime value) for real measurements.
@@ -22,13 +31,30 @@ bench:
 # BENCHJSON_TIME=1x for a smoke run; the committed baseline uses a real
 # benchtime so the numbers are comparable across PRs.
 BENCHJSON_TIME ?= 0.5s
-BENCHJSON_OUT ?= BENCH_PR5.json
+BENCHJSON_OUT ?= BENCH_PR6.json
 bench-json:
 	# Two steps, not a pipe: a pipe would discard go test's exit status
 	# and mask failing/panicking benchmarks from CI.
 	$(GO) test -run 'xxx' -bench . -benchtime $(BENCHJSON_TIME) -benchmem ./... > $(BENCHJSON_OUT).txt
 	$(GO) run ./cmd/benchjson < $(BENCHJSON_OUT).txt > $(BENCHJSON_OUT)
 	@rm -f $(BENCHJSON_OUT).txt
+
+# Regression gate: compare a fresh capture against the committed
+# baseline, failing on >BENCHDIFF_THRESHOLD slowdowns in tracked
+# benchmarks (see cmd/benchdiff for the tracked/min-ns rules). The
+# capture must use a real benchtime (BENCHJSON_TIME=0.3s or more, not
+# the 1x smoke): single-iteration timings are cold-start numbers and
+# compare 2-5x high against a warm baseline. Sub-millisecond benchmarks
+# are excluded — inside a full-suite run their timings swing several-fold
+# with GC debt from neighboring benchmarks, so a ratio on them is noise.
+# Flagged benchmarks get a confirmation re-run in isolation and only
+# fail the gate if the isolated timing still exceeds the threshold.
+BENCHDIFF_BASE ?= BENCH_PR5.json
+BENCHDIFF_CUR ?= bench-gate.json
+BENCHDIFF_THRESHOLD ?= 1.5
+BENCHDIFF_MIN_NS ?= 1000000
+benchdiff:
+	$(GO) run ./cmd/benchdiff -baseline $(BENCHDIFF_BASE) -current $(BENCHDIFF_CUR) -threshold $(BENCHDIFF_THRESHOLD) -min-ns $(BENCHDIFF_MIN_NS)
 
 lint:
 	$(GO) vet ./...
@@ -40,7 +66,7 @@ lint:
 # packages must carry a doc comment (the line above its declaration must
 # be a comment). Grouped const/var blocks are exempt by construction —
 # their members are indented.
-DOC_PKGS = internal/pref internal/engine internal/relation internal/filter internal/boundcache internal/quality internal/rank
+DOC_PKGS = internal/pref internal/engine internal/relation internal/filter internal/boundcache internal/quality internal/rank internal/benchfmt
 lint-docs:
 	@fail=0; \
 	for f in $$(find $(DOC_PKGS) -name '*.go' ! -name '*_test.go'); do \

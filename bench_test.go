@@ -762,3 +762,42 @@ func BenchmarkCompileCache(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkShardedStreamFirstResult measures progressive
+// time-to-first-result through the k-way merged sharded stream with warm
+// per-shard order caches, at n=10k and n=100k. The point of the k-way
+// merge is that first-yield work is bounded by the shard count, not the
+// table size, so the two sizes should land within noise of each other —
+// unlike the up-front global sort it replaced, whose first Next paid an
+// O(n log n) sort. The full batch evaluation at each size is included
+// for scale.
+func BenchmarkShardedStreamFirstResult(b *testing.B) {
+	p := pref.Pareto(pref.LOWEST("d1"), pref.LOWEST("d2"))
+	for _, n := range []int{10000, 100000} {
+		flat := workload.Numeric(n, 2, workload.AntiCorrelated, 51)
+		flat.Columnarize()
+		s, err := relation.ShardRelation(flat, 4, relation.ByHash("d1"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("stream-first/n=%d", n), func(b *testing.B) {
+			engine.EvalStreamSharded(p, s, engine.Auto).Collect() // warm order + score caches
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st := engine.EvalStreamSharded(p, s, engine.Auto)
+				if _, ok := st.Next(); !ok {
+					b.Fatal("no first maximum")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("batch-full/n=%d", n), func(b *testing.B) {
+			engine.BMOShardedIndices(p, s, engine.Auto) // warm every shard
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				engine.BMOShardedIndices(p, s, engine.Auto)
+			}
+		})
+	}
+}

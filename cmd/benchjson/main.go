@@ -8,51 +8,16 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+
+	"repro/internal/benchfmt"
 )
 
-// Result is one benchmark measurement.
-type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
-}
-
-// Baseline is the committed file layout.
-type Baseline struct {
-	GOOS    string   `json:"goos,omitempty"`
-	GOARCH  string   `json:"goarch,omitempty"`
-	CPU     string   `json:"cpu,omitempty"`
-	Results []Result `json:"results"`
-}
-
 func main() {
-	var b Baseline
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "goos: "):
-			b.GOOS = strings.TrimPrefix(line, "goos: ")
-		case strings.HasPrefix(line, "goarch: "):
-			b.GOARCH = strings.TrimPrefix(line, "goarch: ")
-		case strings.HasPrefix(line, "cpu: "):
-			b.CPU = strings.TrimPrefix(line, "cpu: ")
-		case strings.HasPrefix(line, "Benchmark"):
-			if r, ok := parseLine(line); ok {
-				b.Results = append(b.Results, r)
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
+	b, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -62,33 +27,4 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-}
-
-// parseLine parses one benchmark result line, e.g.
-//
-//	BenchmarkX/sub-8   	     100	  11216 ns/op	  1024 B/op	  12 allocs/op
-func parseLine(line string) (Result, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || fields[3] != "ns/op" {
-		return Result{}, false
-	}
-	iters, err1 := strconv.ParseInt(fields[1], 10, 64)
-	ns, err2 := strconv.ParseFloat(fields[2], 64)
-	if err1 != nil || err2 != nil {
-		return Result{}, false
-	}
-	r := Result{Name: fields[0], Iterations: iters, NsPerOp: ns}
-	for i := 4; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseInt(fields[i], 10, 64)
-		if err != nil {
-			continue
-		}
-		switch fields[i+1] {
-		case "B/op":
-			r.BytesPerOp = v
-		case "allocs/op":
-			r.AllocsPerOp = v
-		}
-	}
-	return r, true
 }

@@ -293,6 +293,9 @@ func dnc(p pref.Preference, r *relation.Relation, idx []int) []int {
 		}
 		pts[k] = dncPoint{i, coord}
 	}
+	if !chainCoordsExact(dims, r, idx, pts) {
+		return bnl(p, r, idx)
+	}
 	maxima := dncMaxima(pts)
 	out := make([]int, len(maxima))
 	for k, pt := range maxima {
@@ -300,6 +303,42 @@ func dnc(p pref.Preference, r *relation.Relation, idx []int) []int {
 	}
 	slices.Sort(out)
 	return out
+}
+
+// chainCoordsExact reports whether coordinate-wise dominance over the raw
+// chain scores coincides with the preference on this candidate set: per
+// dimension and infinity sign, every row scoring ±Inf must come from one
+// value class. Distinct classes tied at an infinity (NULLs next to
+// infinite domain values) are Pareto-incomparable but look coordinate-
+// dominated, so dnc falls back to BNL — the interpreted twin of the
+// pref.InfCollapse gate the compiled paths use. Only infinite coordinates
+// cost a tuple lookup; finite-only data scans floats.
+func chainCoordsExact(dims []pref.Scorer, r *relation.Relation, idx []int, pts []dncPoint) bool {
+	for d, s := range dims {
+		attr := s.Attrs()[0]
+		ic := pref.InfCollapse{Exact: true}
+		for k, i := range idx {
+			coord := pts[k].coord[d]
+			if !math.IsInf(coord, 0) {
+				continue
+			}
+			key := "\x00off"
+			if v, ok := r.Tuple(i).Get(attr); ok && v != nil {
+				key = pref.ValueKey(v)
+			}
+			one := pref.InfCollapse{Exact: true}
+			if coord > 0 {
+				one.PosClass = key
+			} else {
+				one.NegClass = key
+			}
+			ic = pref.MergeInfCollapse(ic, one)
+			if !ic.Exact {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // dncMaxima returns the non-dominated points. It owns pts and reorders it

@@ -162,6 +162,19 @@ func BenchmarkSFSChainFilter(b *testing.B) {
 			}
 		})
 		b.Run(shape.name+"/scalar", func(b *testing.B) {
+			prev := SetAVX2Enabled(false)
+			defer SetAVX2Enabled(prev)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sfsFilterChain(newChainFilter(c), order)
+			}
+		})
+		b.Run(shape.name+"/avx2", func(b *testing.B) {
+			if !AVX2Available() {
+				b.Skip("no AVX2 kernel in this build")
+			}
+			prev := SetAVX2Enabled(true)
+			defer SetAVX2Enabled(prev)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sfsFilterChain(newChainFilter(c), order)

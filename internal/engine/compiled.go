@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"slices"
 
 	"repro/internal/pref"
@@ -162,33 +163,50 @@ const filterBlock = 8
 
 // chainFilter is the flat-column candidate-vs-maxima domination filter
 // for chain-product preferences: confirmed maxima coordinates are stored
-// column-major per dimension, so the filter scans contiguous float64
+// in blocked column-major form, so the filter scans contiguous float64
 // arrays instead of walking the compiled predicate tree per pair. On the
 // chain fragment (distinct LOWEST/HIGHEST attributes) coordinate-wise
 // score dominance coincides with the compiled Pareto predicate — the same
-// equivalence dncCompiled relies on — with NaN on either side blocking
-// dominance, exactly like dominates.
+// equivalence dncCompiled relies on, valid only while each dimension's
+// ±Inf scores absorbed at most one value class (newChainFilter gates on
+// pref.InfCollapse) — with NaN on either side blocking dominance, exactly
+// like dominates.
 //
-// Two filter passes exist: dominated, the shipped scalar loop with
-// per-maximum early exit, and dominatedMasked, the textbook 8-wide
-// blocked pass with bitmask accumulation ("compare one candidate against
-// 4–8 maxima per iteration so the compiler can vectorize"). The
-// BenchmarkSFSChainFilter measurement: without SIMD code generation the
-// masked pass does ~2× the comparisons the early exit skips, and loses to
-// the scalar loop on every workload shape — while both beat the predicate
-// tree by 2.5–4× on anti-correlated inputs. The masked variant stays as
-// the measured baseline and the starting point for a future assembly
-// kernel.
+// Layout: maxima are grouped into blocks of filterBlock(=8); block b
+// stores dimension k of its lane j at blocks[(b*d+k)*filterBlock + j],
+// tail lanes of the last block padded with NaN (a NaN pad can never
+// satisfy ≥, so padded lanes drop out on the first dimension — no tail
+// special-casing anywhere). Three passes share the layout:
+//
+//   - dominatedScalar: one maximum at a time with early exit on the
+//     first failing dimension — the portable pass that wins without
+//     SIMD, because non-dominating maxima typically die on their first
+//     coordinate.
+//   - dominatedMasked: the 8-wide blocked pass with ≥/> bitmask
+//     accumulation. gc does not vectorize it, so it does ~2× the
+//     comparisons the early exit skips and loses to the scalar loop in
+//     pure Go (BenchmarkSFSChainFilter) — but it is the exact portable
+//     model of the assembly kernel, and the property tests run it as a
+//     third oracle.
+//   - dominatedBlocksAVX2 (kernel_amd64.s): the masked pass as
+//     hand-written AVX2 — VCMPPD ≥/> masks over 8 lanes per iteration
+//     with per-block early exit — selected per filter at construction
+//     when the build, the CPU and the runtime flag allow it (kernel.go).
 type chainFilter struct {
-	d    int
-	vecs [][]float64 // per-dimension score vectors, position-addressed
-	cols [][]float64 // confirmed maxima coordinates, column-major per dim
-	n    int         // confirmed maxima count
+	d      int
+	vecs   [][]float64 // per-dimension score vectors, position-addressed
+	blocks []float64   // maxima coords, blocked column-major, NaN-padded
+	n      int         // confirmed maxima count
+	cand   []float64   // candidate coordinate scratch, len d
+	avx2   bool        // captured from AVX2Enabled at construction
 }
 
 // newChainFilter returns a filter reading its coordinates from the
 // compiled form's chain-dimension score vectors, or nil when the term is
-// not a chain product.
+// not a chain product — or when a dimension's ±Inf scores absorbed more
+// than one value class (pref.InfCollapse), where coordinate dominance
+// would over-kill rows the Pareto predicate leaves incomparable; callers
+// fall back to the predicate-tree filter.
 func newChainFilter(c *pref.Compiled) *chainFilter {
 	dims, ok := chainDims(c.Pref())
 	if !ok {
@@ -196,26 +214,47 @@ func newChainFilter(c *pref.Compiled) *chainFilter {
 	}
 	vecs := make([][]float64, len(dims))
 	for d, s := range dims {
-		if vecs[d] = c.ScoreVec(s); vecs[d] == nil {
+		if vecs[d] = c.ScoreVec(s); vecs[d] == nil || !c.ScoreVecExact(s) {
 			return nil
 		}
 	}
-	return &chainFilter{d: len(dims), vecs: vecs, cols: make([][]float64, len(dims))}
+	return &chainFilter{
+		d:    len(dims),
+		vecs: vecs,
+		cand: make([]float64, len(dims)),
+		avx2: AVX2Enabled(),
+	}
 }
 
 // dominated reports whether any confirmed maximum dominates row i:
 // coordinate-wise ≥ on every dimension with > somewhere, NaN blocking
-// (mv >= cv is false when either side is NaN). One maximum at a time with
-// early exit on the first failing dimension — non-dominating maxima
-// typically die on their first coordinate, so the pass reads ~one
-// contiguous column element per maximum.
+// (mv >= cv is false when either side is NaN). Dispatches the AVX2
+// kernel when the filter captured it enabled, the scalar early-exit pass
+// otherwise.
 func (f *chainFilter) dominated(i int) bool {
+	if f.n == 0 {
+		return false
+	}
+	if f.avx2 {
+		for k := 0; k < f.d; k++ {
+			f.cand[k] = f.vecs[k][i]
+		}
+		nblocks := (f.n + filterBlock - 1) / filterBlock
+		return dominatedBlocksAVX2(&f.cand[0], f.d, &f.blocks[0], nblocks) != 0
+	}
+	return f.dominatedScalar(i)
+}
+
+// dominatedScalar is the portable early-exit pass over the blocked
+// store; see the chainFilter comment.
+func (f *chainFilter) dominatedScalar(i int) bool {
 outer:
 	for w := 0; w < f.n; w++ {
+		base := (w/filterBlock)*f.d*filterBlock + w%filterBlock
 		strict := false
 		for k := 0; k < f.d; k++ {
 			cv := f.vecs[k][i]
-			mv := f.cols[k][w]
+			mv := f.blocks[base+k*filterBlock]
 			if !(mv >= cv) {
 				continue outer
 			}
@@ -230,29 +269,28 @@ outer:
 	return false
 }
 
-// dominatedMasked is the blocked variant of dominated: filterBlock maxima
-// test per iteration, one dimension at a time across the block, with ≥
-// and > bitmask accumulation over the contiguous coordinate columns. Kept
-// as the measured baseline for dominated (see the chainFilter comment);
-// BenchmarkSFSChainFilter runs both.
+// dominatedMasked is the blocked bitmask pass over the store: filterBlock
+// maxima test per iteration, one dimension at a time across the block,
+// with ≥ and > mask accumulation — the exact portable model of the
+// assembly kernel (NaN pad lanes die on their first dimension, so full
+// blocks need no tail handling). Kept as the third oracle and the
+// measured pure-Go baseline; BenchmarkSFSChainFilter runs all passes.
 func (f *chainFilter) dominatedMasked(i int) bool {
-	for blk := 0; blk < f.n; blk += filterBlock {
-		end := blk + filterBlock
-		if end > f.n {
-			end = f.n
-		}
-		alive := uint32(1)<<(end-blk) - 1
+	nblocks := (f.n + filterBlock - 1) / filterBlock
+	for b := 0; b < nblocks; b++ {
+		base := b * f.d * filterBlock
+		alive := uint32(1)<<filterBlock - 1
 		var strict uint32
 		for k := 0; k < f.d && alive != 0; k++ {
 			cv := f.vecs[k][i]
-			col := f.cols[k][blk:end]
+			col := f.blocks[base+k*filterBlock : base+(k+1)*filterBlock]
 			var ge, gt uint32
-			for b, mv := range col {
+			for lane, mv := range col {
 				if mv >= cv {
-					ge |= 1 << b
+					ge |= 1 << lane
 				}
 				if mv > cv {
-					gt |= 1 << b
+					gt |= 1 << lane
 				}
 			}
 			alive &= ge
@@ -265,11 +303,20 @@ func (f *chainFilter) dominatedMasked(i int) bool {
 	return false
 }
 
-// add confirms row i as a maximum, appending its coordinates to the
-// column-major store.
+// add confirms row i as a maximum, writing its coordinates into the
+// blocked store; opening a new block pads it with NaN first.
 func (f *chainFilter) add(i int) {
+	b, lane := f.n/filterBlock, f.n%filterBlock
+	if lane == 0 {
+		start := len(f.blocks)
+		f.blocks = append(f.blocks, make([]float64, f.d*filterBlock)...)
+		for x := start; x < len(f.blocks); x++ {
+			f.blocks[x] = math.NaN()
+		}
+	}
+	base := b * f.d * filterBlock
 	for k := 0; k < f.d; k++ {
-		f.cols[k] = append(f.cols[k], f.vecs[k][i])
+		f.blocks[base+k*filterBlock+lane] = f.vecs[k][i]
 	}
 	f.n++
 }
@@ -303,7 +350,9 @@ func dncCompiled(c *pref.Compiled, idx []int) []int {
 	}
 	vecs := make([][]float64, len(dims))
 	for d, s := range dims {
-		if vecs[d] = c.ScoreVec(s); vecs[d] == nil {
+		// ScoreVecExact: an inexact ±Inf collapse breaks the coordinate-
+		// dominance equivalence (see newChainFilter) — fall back.
+		if vecs[d] = c.ScoreVec(s); vecs[d] == nil || !c.ScoreVecExact(s) {
 			return bnlCompiled(c, idx)
 		}
 	}

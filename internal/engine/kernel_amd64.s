@@ -1,0 +1,103 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// func dominatedBlocksAVX2(cand *float64, d int, blocks *float64, nblocks int) int32
+//
+// The AVX2 chain-filter dominance kernel: tests one candidate's chain
+// coordinates (cand[0..d-1]) against nblocks blocks of confirmed maxima
+// stored in the chainFilter blocked column-major layout — block b holds
+// filterBlock(=8) maxima, dimension k of lane j at
+// blocks[(b*d+k)*8 + j], tail lanes padded with NaN. For each block the
+// kernel keeps two 4-lane ≥-masks (alive) and two 4-lane >-masks
+// (strict), ANDing/ORing per dimension with VCMPPD; the ordered-quiet
+// predicates (imm 0x1D = GE_OQ, 0x1E = GT_OQ) evaluate false when either
+// operand is NaN, which is exactly the Go semantics of `mv >= cv` — NaN
+// (and the NaN pad lanes) block dominance. A lane that survives every
+// dimension's ≥ with a > somewhere is a dominating maximum: return 1.
+// Early exit per block when no lane is alive (the common case: most
+// maxima die on their first coordinate).
+TEXT ·dominatedBlocksAVX2(SB), NOSPLIT, $0-36
+	MOVQ cand+0(FP), SI
+	MOVQ d+8(FP), CX
+	MOVQ blocks+16(FP), DI
+	MOVQ nblocks+24(FP), DX
+	MOVQ CX, R8
+	SHLQ $6, R8               // R8 = d*64 bytes: the block stride
+
+blockloop:
+	TESTQ DX, DX
+	JZ    notdominated
+	VPCMPEQQ Y3, Y3, Y3       // alive lanes 0-3: all ones
+	VPCMPEQQ Y4, Y4, Y4       // alive lanes 4-7
+	VPXOR    Y5, Y5, Y5       // strict lanes 0-3: zero
+	VPXOR    Y6, Y6, Y6       // strict lanes 4-7
+	XORQ     R10, R10         // dimension index k
+	MOVQ     DI, R11          // this block's column cursor
+
+dimloop:
+	CMPQ R10, CX
+	JGE  dimdone
+	VBROADCASTSD (SI)(R10*8), Y0 // cv = cand[k] in every lane
+	VMOVUPD (R11), Y1            // maxima k-coords, lanes 0-3
+	VMOVUPD 32(R11), Y2          // lanes 4-7
+	VCMPPD  $0x1D, Y0, Y1, Y7    // mv >= cv (GE_OQ: NaN -> false)
+	VPAND   Y7, Y3, Y3
+	VCMPPD  $0x1D, Y0, Y2, Y7
+	VPAND   Y7, Y4, Y4
+	VCMPPD  $0x1E, Y0, Y1, Y7    // mv > cv (GT_OQ)
+	VPOR    Y7, Y5, Y5
+	VCMPPD  $0x1E, Y0, Y2, Y7
+	VPOR    Y7, Y6, Y6
+	VPOR    Y4, Y3, Y7           // any lane still alive?
+	VPTEST  Y7, Y7
+	JZ      nextblock            // no: this block cannot dominate
+	INCQ    R10
+	ADDQ    $64, R11             // next dimension's 8 coords
+	JMP     dimloop
+
+dimdone:
+	VPAND  Y5, Y3, Y3            // dominating = alive AND strict
+	VPAND  Y6, Y4, Y4
+	VPOR   Y4, Y3, Y7
+	VPTEST Y7, Y7
+	JNZ    dominated
+
+nextblock:
+	ADDQ R8, DI
+	DECQ DX
+	JMP  blockloop
+
+dominated:
+	MOVL $1, ret+32(FP)
+	VZEROUPPER
+	RET
+
+notdominated:
+	MOVL $0, ret+32(FP)
+	VZEROUPPER
+	RET
+
+// func cpuidex(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+//
+// Raw CPUID leaf/subleaf query for the feature detection in
+// kernel_amd64.go.
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+//
+// XGETBV(XCR0): which vector register states the OS saves/restores.
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -137,6 +137,78 @@ func BMOShardedOn(p pref.Preference, s *relation.Sharded, alg Algorithm, sets Sh
 	return mergeShardMaxima(p, s, locals)
 }
 
+// ShardFilter is a per-shard acceptance filter over local row positions:
+// given a shard number and an ascending list of that shard's BMO maxima,
+// it returns the accepted subset (ascending). psql fuses the BUT ONLY
+// quality threshold into the sharded BMO pass through it. Implementations
+// must be safe for concurrent calls on distinct shards — the fan-out
+// evaluates shards in parallel.
+type ShardFilter func(shard int, maxima []int) []int
+
+// BMOShardedOnFiltered is BMOShardedOn with a fused post-BMO acceptance
+// filter. The filter runs inside the per-shard fan-out, right after each
+// shard's local BMO pass — while the shard's columns are cache-hot and in
+// parallel across shards — instead of as a separate serial scan over the
+// finished result. Its SEMANTICS stay filter-after-merge: a maximum the
+// filter rejects still enters the cross-shard merge (it dominates other
+// shards' candidates exactly like any maximum, per the §6.1 pipeline
+// where BUT ONLY prunes the BMO result rather than the candidate set);
+// only the merge survivors are intersected with the accepted subsets.
+func BMOShardedOnFiltered(p pref.Preference, s *relation.Sharded, alg Algorithm, sets ShardSets, keep ShardFilter) ShardSets {
+	if keep == nil {
+		return BMOShardedOn(p, s, alg, sets)
+	}
+	if sets == nil {
+		sets = AllShardSets(s)
+	}
+	if s.NumShards() == 1 {
+		local := bmoOn(p, s.Shard(0), alg, EvalAuto, shardCand(s, sets, 0))
+		return ensureNonNil(ShardSets{keep(0, local)})
+	}
+	if alg == Auto {
+		if sp := PlanShardedOn(p, s, sets, Env{}); !sp.UseSharded {
+			out := flatEvalSharded(p, s, alg, sets)
+			for i := range out {
+				out[i] = keep(i, out[i])
+			}
+			return ensureNonNil(out)
+		}
+	}
+	locals := make(ShardSets, s.NumShards())
+	accepted := make(ShardSets, s.NumShards())
+	relation.FanShards(s.NumShards(), func(i int) {
+		cand := shardCand(s, sets, i)
+		if len(cand) == 0 {
+			return
+		}
+		locals[i] = bmoOn(p, s.Shard(i), alg, EvalAuto, cand)
+		accepted[i] = keep(i, locals[i])
+	})
+	out := mergeShardMaxima(p, s, locals)
+	for i := range out {
+		out[i] = intersectSorted(out[i], accepted[i])
+	}
+	return ensureNonNil(out)
+}
+
+// intersectSorted intersects two ascending position lists.
+func intersectSorted(a, b []int) []int {
+	var out []int
+	for i, j := 0, 0; i < len(a) && j < len(b); {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
 // flatEvalSharded is the planner's flat path: materialize the candidate
 // rows as one ephemeral relation, evaluate once, and map the winners
 // back to per-shard positions. It pays a per-query flatten and an
@@ -192,6 +264,13 @@ func shardChainVecs(p pref.Preference, s *relation.Sharded) ([][][]float64, bool
 		return nil, false
 	}
 	vecs := make([][][]float64, s.NumShards())
+	// Cross-shard coordinate comparison needs more than per-shard
+	// exactness: a ±Inf score tie across two shards must also come from
+	// ONE value class globally (shard A's NULLs vs shard B's infinite
+	// domain values would tie coordinates the predicate leaves
+	// incomparable). Fold every shard's pref.InfCollapse per dimension
+	// and require the merged record to stay exact.
+	var collapse []pref.InfCollapse
 	for i := 0; i < s.NumShards(); i++ {
 		c := compileFor(p, s.Shard(i), EvalAuto)
 		if c == nil {
@@ -201,9 +280,19 @@ func shardChainVecs(p pref.Preference, s *relation.Sharded) ([][][]float64, bool
 		if !ok {
 			return nil, false
 		}
+		if collapse == nil {
+			collapse = make([]pref.InfCollapse, len(dims))
+			for d := range collapse {
+				collapse[d] = pref.InfCollapse{Exact: true}
+			}
+		}
 		vecs[i] = make([][]float64, len(dims))
 		for d, dim := range dims {
 			if vecs[i][d] = c.ScoreVec(dim); vecs[i][d] == nil {
+				return nil, false
+			}
+			collapse[d] = pref.MergeInfCollapse(collapse[d], c.ScoreVecInf(dim))
+			if !collapse[d].Exact {
 				return nil, false
 			}
 		}

@@ -3,6 +3,7 @@ package engine
 import (
 	"slices"
 
+	"repro/internal/boundcache"
 	"repro/internal/pref"
 	"repro/internal/relation"
 )
@@ -15,11 +16,20 @@ import (
 // the union of all shards' candidates in descending lexicographic raw
 // coordinate order restores the sort-filter-skyline invariant globally —
 // a dominator always has a strictly greater key, hence is visited first,
-// and every undominated candidate is final on sight. Each shard's
-// coordinates are read from its own cached compiled form, so repeated
-// streams are bind-free per shard. Other shapes degrade to one batch
-// sharded evaluation replayed through Next, exactly like the flat
-// Stream's fallback.
+// and every undominated candidate is final on sight.
+//
+// The union is never sorted as one list. Each shard keeps its own visit
+// order — locals by descending raw-lex key, cache-served per (shard,
+// version, term) like the rank permutations — and Next runs a k-way heap
+// merge over the per-shard heads. The merged sequence is identical to
+// sorting the union (per-shard orders break key ties by ascending local,
+// the heap breaks cross-shard ties by ascending global id), but the work
+// before the first emission is O(shards) heap setup on a warm cache —
+// independent of the table size — instead of an O(n log n) sort. Each
+// shard's coordinates are read from its own cached compiled form, so
+// repeated streams are bind- and sort-free per shard. Other shapes
+// degrade to one batch sharded evaluation replayed through Next, exactly
+// like the flat Stream's fallback.
 type ShardedStream struct {
 	table      *relation.Sharded
 	candidates int
@@ -27,7 +37,9 @@ type ShardedStream struct {
 	progressive bool
 	vecs        [][][]float64 // per shard, per dimension raw score vectors
 	dims        int
-	order       []int // gids, best raw-lex key first
+	orders      [][]int  // per shard full visit order, best raw key first
+	member      [][]bool // per shard candidate mask; nil = every row
+	heads       []shardHead
 	confirmed   [][]float64
 	scratch     []float64
 	pos         int
@@ -36,6 +48,70 @@ type ShardedStream struct {
 	buffered []int // batch fallback, in shard-major order
 	batch    func() []int
 	consumed int
+}
+
+// shardHead is one shard's cursor into its visit order during the k-way
+// merge.
+type shardHead struct {
+	shard int
+	at    int
+}
+
+// streamOrderCacheCap bounds the number of cached per-shard visit orders.
+const streamOrderCacheCap = 64
+
+// streamOrderCache holds the per-shard chain visit orders (locals by
+// descending raw-lex coordinate key) the sharded stream merges, cached
+// per (shard, version, term) alongside the shard's bound form: once the
+// coordinates come from the compile cache, the sort is the dominant
+// start-up cost, and a repeated stream over an unchanged table starts in
+// O(shards). Keys share the bound-form registry, so EvictSharded's sweep
+// releases orders too, and any row mutation strands them via the version.
+var streamOrderCache = boundcache.New[[]int](streamOrderCacheCap)
+
+// StreamOrderCacheStats returns the hit/miss counters of the per-shard
+// stream-order cache.
+func StreamOrderCacheStats() (hits, misses uint64) {
+	return streamOrderCache.Stats()
+}
+
+// ResetStreamOrderCache empties the stream-order cache and zeroes its
+// counters.
+func ResetStreamOrderCache() {
+	streamOrderCache.Reset()
+}
+
+// shardStreamOrder returns the shard's full visit order — every local row
+// position, descending raw-lex chain key, key ties by ascending local —
+// cache-served for keyed terms over cacheable shards, sorted fresh
+// otherwise.
+func shardStreamOrder(p pref.Preference, sh *relation.Relation, vecs [][]float64) []int {
+	term, keyed := pref.CacheKey(p)
+	cacheable := keyed && !sh.Ephemeral()
+	var key boundcache.Key
+	if cacheable {
+		key = boundcache.Key{Src: sh, Version: sh.Version(), Term: "streamorder:" + term}
+		if ord, hit := streamOrderCache.Get(key); hit && ord != nil {
+			return ord
+		}
+	}
+	ord := make([]int, len(vecs[0]))
+	for i := range ord {
+		ord[i] = i
+	}
+	slices.SortFunc(ord, func(a, b int) int {
+		for d := range vecs {
+			if c := pref.CmpScore(vecs[d][a], vecs[d][b]); c != 0 {
+				return -c // descending: best raw key first
+			}
+		}
+		// Equal keys are mutually unranked; order by id for determinism.
+		return a - b
+	})
+	if cacheable {
+		streamOrderCache.Put(key, ord)
+	}
+	return ord
 }
 
 // EvalStreamSharded starts progressive evaluation of σ[P](S) over every
@@ -68,21 +144,32 @@ func EvalStreamShardedOn(p pref.Preference, s *relation.Sharded, alg Algorithm, 
 	st.vecs = vecs
 	st.dims = len(vecs[0])
 	st.scratch = make([]float64, st.dims)
-	if sets == nil {
-		sets = AllShardSets(s)
+	st.orders = make([][]int, s.NumShards())
+	for i := range st.orders {
+		st.orders[i] = shardStreamOrder(p, s.Shard(i), vecs[i])
 	}
-	st.order = sets.GlobalIDs(s)
-	slices.SortFunc(st.order, func(a, b int) int {
-		sa, la := relation.SplitGlobalID(a)
-		sb, lb := relation.SplitGlobalID(b)
-		for d := 0; d < st.dims; d++ {
-			if c := pref.CmpScore(vecs[sa][d][la], vecs[sb][d][lb]); c != 0 {
-				return -c // descending: best raw key first
+	if sets != nil {
+		st.member = make([][]bool, s.NumShards())
+		for i := range st.member {
+			if i >= len(sets) || sets[i] == nil {
+				continue // nil element: every row is a candidate
 			}
+			m := make([]bool, s.Shard(i).Len())
+			for _, local := range sets[i] {
+				m[local] = true
+			}
+			st.member[i] = m
 		}
-		// Equal keys are mutually unranked; order by id for determinism.
-		return a - b
-	})
+	}
+	st.heads = make([]shardHead, 0, len(st.orders))
+	for i := range st.orders {
+		if at := st.skipToMember(i, 0); at < len(st.orders[i]) {
+			st.heads = append(st.heads, shardHead{shard: i, at: at})
+		}
+	}
+	for i := len(st.heads)/2 - 1; i >= 0; i-- {
+		st.siftDown(i)
+	}
 	return st
 }
 
@@ -92,6 +179,62 @@ func (st *ShardedStream) Progressive() bool { return st.progressive }
 
 // Consumed returns the number of candidates examined so far.
 func (st *ShardedStream) Consumed() int { return st.consumed }
+
+// headLess orders two shard cursors by the merge relation: larger raw-lex
+// key first, key ties by ascending global id — the exact total order the
+// previous implementation materialized by sorting the candidate union.
+func (st *ShardedStream) headLess(a, b shardHead) bool {
+	la, lb := st.orders[a.shard][a.at], st.orders[b.shard][b.at]
+	for d := 0; d < st.dims; d++ {
+		if c := pref.CmpScore(st.vecs[a.shard][d][la], st.vecs[b.shard][d][lb]); c != 0 {
+			return c > 0
+		}
+	}
+	return relation.GlobalID(a.shard, la) < relation.GlobalID(b.shard, lb)
+}
+
+// siftDown restores the heap invariant below position i.
+func (st *ShardedStream) siftDown(i int) {
+	for {
+		best := i
+		if l := 2*i + 1; l < len(st.heads) && st.headLess(st.heads[l], st.heads[best]) {
+			best = l
+		}
+		if r := 2*i + 2; r < len(st.heads) && st.headLess(st.heads[r], st.heads[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		st.heads[i], st.heads[best] = st.heads[best], st.heads[i]
+		i = best
+	}
+}
+
+// skipToMember returns the first position ≥ at in the shard's visit
+// order holding a candidate, or the order's length when exhausted.
+func (st *ShardedStream) skipToMember(shard, at int) int {
+	ord := st.orders[shard]
+	if st.member == nil || st.member[shard] == nil {
+		return min(at, len(ord))
+	}
+	for at < len(ord) && !st.member[shard][ord[at]] {
+		at++
+	}
+	return at
+}
+
+// advanceTop moves the best head past its current candidate, dropping
+// the head when its shard is exhausted, and restores the heap.
+func (st *ShardedStream) advanceTop() {
+	h := &st.heads[0]
+	if h.at = st.skipToMember(h.shard, h.at+1); h.at >= len(st.orders[h.shard]) {
+		last := len(st.heads) - 1
+		st.heads[0] = st.heads[last]
+		st.heads = st.heads[:last]
+	}
+	st.siftDown(0)
+}
 
 // Next returns the next confirmed maximum as a global row id, or
 // ok=false when the result set is exhausted.
@@ -111,11 +254,11 @@ func (st *ShardedStream) Next() (gid int, ok bool) {
 		st.pos++
 		return gid, true
 	}
-	for st.pos < len(st.order) {
-		gid := st.order[st.pos]
-		st.pos++
+	for len(st.heads) > 0 {
+		top := st.heads[0]
+		shard, local := top.shard, st.orders[top.shard][top.at]
+		st.advanceTop()
 		st.consumed++
-		shard, local := relation.SplitGlobalID(gid)
 		for d := 0; d < st.dims; d++ {
 			st.scratch[d] = st.vecs[shard][d][local]
 		}
@@ -125,7 +268,7 @@ func (st *ShardedStream) Next() (gid int, ok bool) {
 		// Raw-lex order guarantees no unvisited candidate dominates this
 		// one (a dominator's key is strictly greater); it is final.
 		st.confirmed = append(st.confirmed, slices.Clone(st.scratch))
-		return gid, true
+		return relation.GlobalID(shard, local), true
 	}
 	return 0, false
 }

@@ -61,6 +61,10 @@ type Compiled struct {
 	// score vector ("higher is better"), keyed by term identity. The engine
 	// reads chain-product coordinates straight from here.
 	scoreVecs map[Preference][]float64
+	// scoreInf records, per scorer leaf, which value classes its ±Inf
+	// scores absorbed — the soundness gate for coordinate-dominance
+	// algorithms (see InfCollapse).
+	scoreInf map[Preference]InfCollapse
 	// rankVecs caches the dense-rank transform of score vectors, the
 	// building block of sound sort keys (see SortKeys).
 	rankVecs map[Preference][]float64
@@ -83,6 +87,7 @@ func Compile(p Preference, src Source) (*Compiled, bool) {
 		eqVecs:    make(map[string][]uint32),
 		presVecs:  make(map[string][]bool),
 		scoreVecs: make(map[Preference][]float64),
+		scoreInf:  make(map[Preference]InfCollapse),
 	}
 	root, ok := c.compile(p)
 	if !ok {
@@ -93,6 +98,7 @@ func Compile(p Preference, src Source) (*Compiled, bool) {
 		root:      root,
 		p:         p,
 		scoreVecs: c.scoreVecs,
+		scoreInf:  c.scoreInf,
 		rankVecs:  make(map[Preference][]float64),
 	}
 	return cd, true
@@ -117,6 +123,74 @@ func (cd *Compiled) Dominates(i, j int) bool { return cd.root.less(j, i) }
 // sub-term of the compiled preference (identified by term identity), or
 // nil. Chain-product algorithms read their coordinates from it.
 func (cd *Compiled) ScoreVec(p Preference) []float64 { return cd.scoreVecs[p] }
+
+// InfCollapse records which value classes of a scorer leaf collapsed to
+// an infinite score when its vector was materialized. The built-in
+// LOWEST/HIGHEST scorers are strictly monotone on finite values, so a
+// finite score tie always means a value tie — but ±Inf absorbs several
+// distinct classes at once (absent attributes and off-scale rows score
+// −Inf next to genuinely infinite domain values). The Pareto predicate
+// treats such rows as incomparable on that dimension (score tie without
+// equality-class tie), while raw coordinate dominance reads the tie as
+// non-blocking — so coordinate algorithms over-kill exactly when an
+// infinity absorbed two classes. Exact reports that each infinity (per
+// sign) absorbed at most one class; NegClass/PosClass carry a canonical
+// witness of that class ("" when no row scores the infinity), letting
+// sharded callers check that the SAME class collapsed in every shard
+// before comparing coordinates across shards.
+type InfCollapse struct {
+	Exact    bool
+	NegClass string
+	PosClass string
+}
+
+// note folds one infinite-scoring row's class witness into the record.
+func (ic *InfCollapse) note(pos bool, key string) {
+	slot := &ic.NegClass
+	if pos {
+		slot = &ic.PosClass
+	}
+	if *slot == "" {
+		*slot = key
+	} else if *slot != key {
+		ic.Exact = false
+	}
+}
+
+// merge folds another record (same dimension, different row range —
+// the sharded case) into this one.
+func (ic *InfCollapse) merge(o InfCollapse) {
+	if !o.Exact {
+		ic.Exact = false
+	}
+	if o.NegClass != "" {
+		ic.note(false, o.NegClass)
+	}
+	if o.PosClass != "" {
+		ic.note(true, o.PosClass)
+	}
+}
+
+// MergeInfCollapse folds per-shard collapse records of one dimension into
+// a cross-shard record: exact only when every part is exact and all parts
+// collapsed the same class per infinity sign.
+func MergeInfCollapse(parts ...InfCollapse) InfCollapse {
+	out := InfCollapse{Exact: true}
+	for _, p := range parts {
+		out.merge(p)
+	}
+	return out
+}
+
+// ScoreVecInf returns the infinite-score collapse record of a scorer
+// sub-term's vector. Sub-terms without a record (level/SCORE leaves,
+// whose weak orders tie distinct classes at finite scores too) report
+// inexact, so coordinate algorithms gate conservatively.
+func (cd *Compiled) ScoreVecInf(p Preference) InfCollapse { return cd.scoreInf[p] }
+
+// ScoreVecExact reports whether coordinate-wise dominance over ScoreVec(p)
+// coincides with the compiled predicate on that dimension; see InfCollapse.
+func (cd *Compiled) ScoreVecExact(p Preference) bool { return cd.scoreInf[p].Exact }
 
 // SortKeys returns per-dimension key vectors such that comparing rows by
 // descending lexicographic key order is compatible with the preference:
@@ -452,6 +526,7 @@ type compiler struct {
 	eqVecs    map[string][]uint32
 	presVecs  map[string][]bool
 	scoreVecs map[Preference][]float64
+	scoreInf  map[Preference]InfCollapse
 }
 
 func (c *compiler) ensureTuples() []Tuple {
@@ -552,56 +627,83 @@ func (c *compiler) eqSet(attrs []string) [][]uint32 {
 // scoreFromColumn materializes a scorer leaf from a typed float column
 // when the source has one: a vector map with no boxing and no type
 // switches. score maps the on-scale value; off-scale rows score −Inf.
-func (c *compiler) scoreFromColumn(attr string, score func(float64) float64) (*scoreNode, bool) {
+func (c *compiler) scoreFromColumn(attr string, score func(float64) float64) (*scoreNode, InfCollapse, bool) {
 	fc, ok := c.src.(FloatColumner)
 	if !ok {
-		return nil, false
+		return nil, InfCollapse{}, false
 	}
 	vals, onScale, ok := fc.FloatColumn(attr)
 	if !ok {
-		return nil, false
+		return nil, InfCollapse{}, false
 	}
 	s := make([]float64, c.n)
+	ic := InfCollapse{Exact: true}
 	for i := range s {
 		if onScale[i] {
 			s[i] = score(vals[i])
 		} else {
 			s[i] = math.Inf(-1)
 		}
+		if math.IsInf(s[i], 0) {
+			key := offScaleClass
+			if onScale[i] {
+				// vals is the canonical numeric scale, so ValueKey here
+				// agrees with ValueKey on the boxed domain value.
+				key = ValueKey(vals[i])
+			}
+			ic.note(s[i] > 0, key)
+		}
 	}
-	return &scoreNode{s: s}, true
+	return &scoreNode{s: s}, ic, true
 }
+
+// offScaleClass is the collapse witness of rows without a scoreable value
+// (absent attribute, NULL, off-scale type) — one shared equality class,
+// matching the reserved equality code the predicate ties them under.
+const offScaleClass = "\x00off"
 
 // scoreFromValues materializes a scorer leaf through the generic tuple
 // path: one Get and one score call per row, once.
-func (c *compiler) scoreFromValues(attr string, score func(Value) float64) *scoreNode {
+func (c *compiler) scoreFromValues(attr string, score func(Value) float64) (*scoreNode, InfCollapse) {
 	tuples := c.ensureTuples()
 	pres := c.presence(attr)
 	s := make([]float64, c.n)
+	ic := InfCollapse{Exact: true}
 	for i, t := range tuples {
 		v, ok := t.Get(attr)
 		if !ok {
 			s[i] = math.Inf(-1)
+			ic.note(false, offScaleClass)
 			continue
 		}
 		s[i] = score(v)
+		if math.IsInf(s[i], 0) {
+			key := offScaleClass
+			if v != nil {
+				key = ValueKey(v)
+			}
+			ic.note(s[i] > 0, key)
+		}
 	}
-	return &scoreNode{pres: pres, s: s}
+	return &scoreNode{pres: pres, s: s}, ic
 }
 
 // scorerLeaf compiles one built-in scorer, preferring the typed column
-// fast path, and registers the score vector under the term's identity.
+// fast path, and registers the score vector — with its infinite-score
+// collapse record — under the term's identity.
 func (c *compiler) scorerLeaf(p Preference, attr string, fast func(float64) float64, slow func(Value) float64) cnode {
 	var node *scoreNode
+	var ic InfCollapse
 	if fast != nil {
-		if n, ok := c.scoreFromColumn(attr, fast); ok {
-			node = n
+		if n, nic, ok := c.scoreFromColumn(attr, fast); ok {
+			node, ic = n, nic
 		}
 	}
 	if node == nil {
-		node = c.scoreFromValues(attr, slow)
+		node, ic = c.scoreFromValues(attr, slow)
 	}
 	c.scoreVecs[p] = node.s
+	c.scoreInf[p] = ic
 	return node
 }
 
@@ -622,7 +724,10 @@ func (c *compiler) codedScorerLeaf(p Preference, attr string, score func(Value) 
 		_, hasCodes = ec.EqColumn(attr)
 	}
 	if !hasCodes {
-		node := c.scoreFromValues(attr, score)
+		// No scoreInf record: an opaque scoring function can tie distinct
+		// classes at finite scores too, so its vector never claims the
+		// coordinate-dominance exactness of the monotone built-ins.
+		node, _ := c.scoreFromValues(attr, score)
 		c.scoreVecs[p] = node.s
 		return node
 	}

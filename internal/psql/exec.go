@@ -229,6 +229,16 @@ func execSharded(q *Query, s *relation.Sharded, opts Options) (*relation.Relatio
 			sets[i] = filter.CompileCached(q.Where, s.Shard(i)).Indices()
 		}
 	}
+	// The BUT ONLY threshold fuses into the last soft pass before it —
+	// the final CASCADE, else a non-grouped PREFERRING — so its scan runs
+	// inside the per-shard fan-out on hot columns instead of as a
+	// separate serial step (engine.BMOShardedOnFiltered keeps the
+	// filter-after-merge semantics). Grouped PREFERRING without cascades,
+	// and the error cases, keep the separate step below.
+	fuseButCascade := q.ButOnly != nil && len(q.Cascades) > 0
+	fuseButPreferring := q.ButOnly != nil && len(q.Cascades) == 0 &&
+		q.Preferring != nil && len(q.GroupingBy) == 0
+	butFused := false
 	var builtPref pref.Preference
 	if q.Preferring != nil {
 		built, err := q.Preferring.Build()
@@ -249,11 +259,14 @@ func execSharded(q *Query, s *relation.Sharded, opts Options) (*relation.Relatio
 		}
 		if len(q.GroupingBy) > 0 {
 			sets = engine.GroupByShardedOn(p, q.GroupingBy, s, opts.Algorithm, sets)
+		} else if fuseButPreferring {
+			sets = engine.BMOShardedOnFiltered(p, s, opts.Algorithm, sets, butShardFilter(q, s))
+			butFused = true
 		} else {
 			sets = engine.BMOShardedOn(p, s, opts.Algorithm, sets)
 		}
 	}
-	for _, c := range q.Cascades {
+	for ci, c := range q.Cascades {
 		built, err := c.Build()
 		if err != nil {
 			return nil, err
@@ -261,36 +274,21 @@ func execSharded(q *Query, s *relation.Sharded, opts Options) (*relation.Relatio
 		if builtPref == nil {
 			builtPref = built
 		}
-		sets = engine.BMOShardedOn(algebra.Simplify(built), s, opts.Algorithm, sets)
+		p := algebra.Simplify(built)
+		if fuseButCascade && ci == len(q.Cascades)-1 {
+			sets = engine.BMOShardedOnFiltered(p, s, opts.Algorithm, sets, butShardFilter(q, s))
+			butFused = true
+		} else {
+			sets = engine.BMOShardedOn(p, s, opts.Algorithm, sets)
+		}
 	}
-	if q.ButOnly != nil {
+	if q.ButOnly != nil && !butFused {
 		if builtPref == nil {
 			return nil, fmt.Errorf("psql: BUT ONLY requires a PREFERRING clause")
 		}
-		byAttr := collectBasePrefs(q)
+		keep := butShardFilter(q, s)
 		for i := 0; i < s.NumShards(); i++ {
-			sh := s.Shard(i)
-			idx := sets.Resolve(s, i)
-			kept := idx[:0:0]
-			compiled := false
-			if butVectorWorthwhile(len(idx), sh.Len()) || butBound(q.ButOnly, byAttr, sh) {
-				if keep, ok := compileBut(q.ButOnly, byAttr, sh); ok {
-					compiled = true
-					for _, j := range idx {
-						if keep(j) {
-							kept = append(kept, j)
-						}
-					}
-				}
-			}
-			if !compiled {
-				for _, j := range idx {
-					if q.ButOnly.Eval(byAttr, sh.Tuple(j)) {
-						kept = append(kept, j)
-					}
-				}
-			}
-			sets[i] = kept
+			sets[i] = keep(i, sets.Resolve(s, i))
 		}
 	}
 	if q.Skyline != nil {
@@ -367,6 +365,37 @@ func checkAttrs(q *Query, rel relation.Table) error {
 // selectivity.
 func butVectorWorthwhile(nIdx, total int) bool {
 	return nIdx*rank.CompiledBindAdvantage >= total
+}
+
+// butShardFilter lowers the query's BUT ONLY tree to the per-shard
+// acceptance filter the sharded BMO pass fuses in: each shard threshold-
+// scans its maxima through the compiled predicate when the vector bind
+// pays off (or is already cached), through interpreted Eval otherwise.
+// The base-preference index is resolved once; per-shard binds go through
+// the mutex-guarded bound-form caches, so concurrent shard calls from
+// the fan-out are safe.
+func butShardFilter(q *Query, s *relation.Sharded) engine.ShardFilter {
+	byAttr := collectBasePrefs(q)
+	return func(i int, idx []int) []int {
+		sh := s.Shard(i)
+		kept := idx[:0:0]
+		if butVectorWorthwhile(len(idx), sh.Len()) || butBound(q.ButOnly, byAttr, sh) {
+			if keep, ok := compileBut(q.ButOnly, byAttr, sh); ok {
+				for _, j := range idx {
+					if keep(j) {
+						kept = append(kept, j)
+					}
+				}
+				return kept
+			}
+		}
+		for _, j := range idx {
+			if q.ButOnly.Eval(byAttr, sh.Tuple(j)) {
+				kept = append(kept, j)
+			}
+		}
+		return kept
+	}
 }
 
 // butBound reports whether every LEVEL/DISTANCE leaf of the tree already

@@ -329,7 +329,13 @@ func explainSharded(q *Query, s *relation.Sharded, opts Options) (string, error)
 				mode = "compiled vector scan (adaptive)"
 			}
 		}
-		emit("quality filter BUT ONLY %s [%s per shard; shards=%d]", q.ButOnly, mode, nShards)
+		// Mirror execSharded's fusion rule: the threshold scan rides the
+		// per-shard fan-out of the last soft pass when one precedes it.
+		placement := "separate scan"
+		if len(q.Cascades) > 0 || (q.Preferring != nil && len(q.GroupingBy) == 0) {
+			placement = "fused into per-shard BMO pass"
+		}
+		emit("quality filter BUT ONLY %s [%s per shard; %s; shards=%d]", q.ButOnly, mode, placement, nShards)
 	}
 	if q.Skyline != nil {
 		p, err := q.Skyline.Preference()

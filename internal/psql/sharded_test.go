@@ -60,6 +60,9 @@ func TestExecShardedAgreesWithFlat(t *testing.T) {
 		"SELECT oid FROM car WHERE horsepower >= 80 PREFERRING LOWEST(price) GROUPING BY make, color",
 		"SELECT oid FROM car PREFERRING LOWEST(price) CASCADE HIGHEST(horsepower)",
 		"SELECT oid FROM car PREFERRING price AROUND 30000 BUT ONLY level(price) <= 2",
+		"SELECT oid FROM car PREFERRING price AROUND 30000 CASCADE HIGHEST(horsepower) BUT ONLY level(price) <= 2",
+		"SELECT oid FROM car PREFERRING price AROUND 30000 GROUPING BY color BUT ONLY level(price) <= 2",
+		"SELECT oid FROM car WHERE mileage <= 90000 PREFERRING price AROUND 30000 BUT ONLY level(price) <= 1",
 		"SELECT oid FROM car SKYLINE OF price MIN, horsepower MAX",
 		"SELECT oid FROM car WHERE price <= 45000 SKYLINE OF price MIN, mileage MIN",
 		"SELECT oid FROM car PREFERRING price AROUND 30000 TOP 7",
