@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-noasm test-noavx2 bench bench-json benchdiff lint lint-docs fmt
+.PHONY: build test test-noasm test-noavx2 test-faults bench bench-json benchdiff lint lint-docs fmt
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,15 @@ test-noasm:
 test-noavx2:
 	PREFSQL_DISABLE_AVX2=1 $(GO) test -race ./...
 
+# The fault-tolerance suite under the race detector: fault injection
+# (slow/hung/panicking/erroring shards) against both policies, the
+# randomized cancellation agreement property (clean context error XOR the
+# exactly-correct result, never torn), admission control, and the
+# goroutine-leak checks around abandoned streams.
+test-faults:
+	$(GO) test -race -run 'Fault|Cancel|Partial|Admission|FanShards|Abandoned|Robust' \
+		./internal/faultinject ./internal/relation ./internal/engine ./internal/psql
+
 # One iteration per benchmark — the CI smoke job. Use BENCHTIME=2s (or any
 # go -benchtime value) for real measurements.
 BENCHTIME ?= 1x
@@ -31,7 +40,7 @@ bench:
 # BENCHJSON_TIME=1x for a smoke run; the committed baseline uses a real
 # benchtime so the numbers are comparable across PRs.
 BENCHJSON_TIME ?= 0.5s
-BENCHJSON_OUT ?= BENCH_PR6.json
+BENCHJSON_OUT ?= BENCH_PR7.json
 bench-json:
 	# Two steps, not a pipe: a pipe would discard go test's exit status
 	# and mask failing/panicking benchmarks from CI.
@@ -49,7 +58,7 @@ bench-json:
 # with GC debt from neighboring benchmarks, so a ratio on them is noise.
 # Flagged benchmarks get a confirmation re-run in isolation and only
 # fail the gate if the isolated timing still exceeds the threshold.
-BENCHDIFF_BASE ?= BENCH_PR5.json
+BENCHDIFF_BASE ?= BENCH_PR6.json
 BENCHDIFF_CUR ?= bench-gate.json
 BENCHDIFF_THRESHOLD ?= 1.5
 BENCHDIFF_MIN_NS ?= 1000000
@@ -66,7 +75,7 @@ lint:
 # packages must carry a doc comment (the line above its declaration must
 # be a comment). Grouped const/var blocks are exempt by construction —
 # their members are indented.
-DOC_PKGS = internal/pref internal/engine internal/relation internal/filter internal/boundcache internal/quality internal/rank internal/benchfmt
+DOC_PKGS = internal/pref internal/engine internal/relation internal/filter internal/boundcache internal/quality internal/rank internal/benchfmt internal/faultinject
 lint-docs:
 	@fail=0; \
 	for f in $$(find $(DOC_PKGS) -name '*.go' ! -name '*_test.go'); do \

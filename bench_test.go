@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -800,4 +801,41 @@ func BenchmarkShardedStreamFirstResult(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkCancellationOverhead prices the tentpole trade: the ctx-aware
+// evaluators poll for cancellation every cancelStride comparisons via a
+// masked counter, and this pair pins that cost against the tick-free
+// legacy path on the same 100k anti-correlated BMO workload. The two
+// timings must stay within a few percent of each other — the stride
+// exists precisely so responsiveness is not bought with hot-loop cycles.
+func BenchmarkCancellationOverhead(b *testing.B) {
+	flat := workload.Numeric(100000, 2, workload.AntiCorrelated, 7)
+	flat.Columnarize()
+	p := pref.Pareto(pref.LOWEST("d1"), pref.LOWEST("d2"))
+	b.Run("legacy", func(b *testing.B) {
+		engine.BMOIndices(p, flat, engine.SFS) // warm order + score caches
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			engine.BMOIndices(p, flat, engine.SFS)
+		}
+	})
+	b.Run("ctx", func(b *testing.B) {
+		// A live cancellable context: Done() is non-nil, so the stride
+		// polling actually runs — context.Background() would degenerate
+		// to the legacy path and measure nothing.
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		if _, err := engine.EvalIndicesCtx(ctx, p, flat, engine.SFS, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.EvalIndicesCtx(ctx, p, flat, engine.SFS, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -18,18 +18,23 @@
 //	prefbench -stream "d1 MIN, d2 MIN" -where "d3 <= 0.3" -dims 3 -rows 20000 -first 5
 //	prefbench -plan "d1 MIN, d2 MIN" -rows 100000 -shards 4
 //	prefbench -stream "d1 MIN, d2 MIN" -rows 100000 -shards 4 -first 5
+//	prefbench -stream "d1 MIN, d2 MIN" -rows 100000 -shards 4 -timeout 100ms -faults "shard=2,mode=slow,ms=500"
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/filter"
+	"repro/internal/pref"
 	"repro/internal/relation"
 	"repro/internal/skyline"
 	"repro/internal/workload"
@@ -37,17 +42,19 @@ import (
 
 func main() {
 	var (
-		all    = flag.Bool("all", false, "run every experiment")
-		run    = flag.String("run", "", "run one experiment by ID (e.g. E7, F1)")
-		list   = flag.Bool("list", false, "list experiments")
-		plan   = flag.String("plan", "", "explain the cost-based plan for a SKYLINE OF clause over a synthetic workload")
-		stream = flag.String("stream", "", "stream first maxima of a SKYLINE OF clause over a synthetic workload")
-		where  = flag.String("where", "", "hard selection 'attr op number' for -stream (e.g. 'd3 <= 0.3'): streams index-chained over the WHERE index list")
-		rows   = flag.Int("rows", 20000, "synthetic workload size for -plan/-stream")
-		dims   = flag.Int("dims", 0, "synthetic workload dimensions (default: clause dimension count)")
-		dist   = flag.String("dist", "anti", "distribution for -plan/-stream: independent|correlated|anti|skewed")
-		first  = flag.Int("first", 5, "maxima to stream before stopping with -stream")
-		shards = flag.Int("shards", 1, "shard the synthetic workload into N shards for -plan/-stream (range-partitioned on the first dimension)")
+		all     = flag.Bool("all", false, "run every experiment")
+		run     = flag.String("run", "", "run one experiment by ID (e.g. E7, F1)")
+		list    = flag.Bool("list", false, "list experiments")
+		plan    = flag.String("plan", "", "explain the cost-based plan for a SKYLINE OF clause over a synthetic workload")
+		stream  = flag.String("stream", "", "stream first maxima of a SKYLINE OF clause over a synthetic workload")
+		where   = flag.String("where", "", "hard selection 'attr op number' for -stream (e.g. 'd3 <= 0.3'): streams index-chained over the WHERE index list")
+		rows    = flag.Int("rows", 20000, "synthetic workload size for -plan/-stream")
+		dims    = flag.Int("dims", 0, "synthetic workload dimensions (default: clause dimension count)")
+		dist    = flag.String("dist", "anti", "distribution for -plan/-stream: independent|correlated|anti|skewed")
+		first   = flag.Int("first", 5, "maxima to stream before stopping with -stream")
+		shards  = flag.Int("shards", 1, "shard the synthetic workload into N shards for -plan/-stream (range-partitioned on the first dimension)")
+		timeout = flag.Duration("timeout", 0, "bound -stream with a deadline (and, sharded, a per-shard deadline under the partial-result policy)")
+		faults  = flag.String("faults", "", "inject a per-shard fault for -stream -shards N: 'shard=2,mode=slow,ms=50' (modes slow|hang|panic|error)")
 	)
 	flag.Parse()
 
@@ -61,7 +68,7 @@ func main() {
 			fatal(err)
 		}
 	case *stream != "":
-		if err := streamDemo(*stream, *where, *rows, *dims, *dist, *first, *shards); err != nil {
+		if err := streamDemo(*stream, *where, *rows, *dims, *dist, *first, *shards, *timeout, *faults); err != nil {
 			fatal(err)
 		}
 	case *run != "":
@@ -178,15 +185,22 @@ func parseWhere(s string) (*filter.Cmp, error) {
 // index-chained streaming path: the compiled selection yields a cached
 // index list over the base relation and the preference stream visits
 // exactly those positions — no materialized intermediate.
-func streamDemo(clause, where string, rows, dims int, dist string, first, shards int) error {
+func streamDemo(clause, where string, rows, dims int, dist string, first, shards int, timeout time.Duration, faults string) error {
 	c, rel, err := synth(clause, rows, dims, dist)
 	if err != nil {
 		return err
 	}
 	if shards > 1 {
-		return streamShardedDemo(c, rel, where, first, shards)
+		return streamShardedDemo(c, rel, where, first, shards, timeout, faults)
 	}
-	var st *engine.Stream
+	if faults != "" {
+		return fmt.Errorf("prefbench: -faults needs a sharded workload (-shards N)")
+	}
+	p, err := c.Preference()
+	if err != nil {
+		return err
+	}
+	var idx []int
 	candidates := rel.Len()
 	if where != "" {
 		pred, err := parseWhere(where)
@@ -197,19 +211,17 @@ func streamDemo(clause, where string, rows, dims int, dist string, first, shards
 			return fmt.Errorf("prefbench: -where column %q not in the synthetic workload (have %s; raise -dims?)",
 				pred.Attr, strings.Join(rel.Schema().Names(), ", "))
 		}
-		p, err := c.Preference()
-		if err != nil {
-			return err
-		}
-		idx := rel.WhereIndices(pred)
+		idx = rel.WhereIndices(pred)
 		candidates = len(idx)
 		fmt.Printf("hard selection %s: %d of %d rows (cache-served index list)\n", where, len(idx), rel.Len())
-		st = engine.EvalStreamOn(p, rel, engine.Auto, idx)
+	}
+	var st *engine.Stream
+	if timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		st = engine.EvalStreamCtx(ctx, p, rel, engine.Auto, idx)
 	} else {
-		st, err = skyline.Stream(c, rel)
-		if err != nil {
-			return err
-		}
+		st = engine.EvalStreamOn(p, rel, engine.Auto, idx)
 	}
 	fmt.Printf("workload: %s (%d rows), %s, progressive=%v\n", rel.Name(), rel.Len(), c, st.Progressive())
 	emitted := 0
@@ -218,14 +230,59 @@ func streamDemo(clause, where string, rows, dims int, dist string, first, shards
 		fmt.Printf("maximum #%d: row %d after examining %d/%d candidates\n", emitted, row, st.Consumed(), candidates)
 		return emitted < first
 	})
+	if err := st.Err(); err != nil {
+		fmt.Printf("stream terminated early: %v\n", err)
+	}
 	fmt.Printf("served %d maxima having examined %d of %d candidates\n", emitted, st.Consumed(), candidates)
 	return nil
 }
 
+// parseFaults lowers the -faults spec ('shard=2,mode=slow,ms=50') to a
+// shard index and an installable fault.
+func parseFaults(spec string) (int, faultinject.Fault, error) {
+	shard := -1
+	f := faultinject.Fault{}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return 0, f, fmt.Errorf("prefbench: -faults wants k=v pairs, got %q", kv)
+		}
+		switch k {
+		case "shard":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return 0, f, fmt.Errorf("prefbench: -faults shard %q: %w", v, err)
+			}
+			shard = n
+		case "mode":
+			m, err := faultinject.ParseMode(v)
+			if err != nil {
+				return 0, f, err
+			}
+			f.Mode = m
+		case "ms":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return 0, f, fmt.Errorf("prefbench: -faults ms %q: %w", v, err)
+			}
+			f.Latency = time.Duration(n) * time.Millisecond
+		default:
+			return 0, f, fmt.Errorf("prefbench: -faults key %q not supported (want shard|mode|ms)", k)
+		}
+	}
+	if shard < 0 {
+		return 0, f, fmt.Errorf("prefbench: -faults needs shard=N")
+	}
+	return shard, f, nil
+}
+
 // streamShardedDemo is streamDemo over a sharded workload: per-shard
 // WHERE index lists feed the cross-shard progressive stream, and emitted
-// global row ids decode to (shard, row).
-func streamShardedDemo(c skyline.Clause, rel *relation.Relation, where string, first, shards int) error {
+// global row ids decode to (shard, row). With -timeout or -faults the
+// stream runs the ctx-aware fault-tolerant path: injected faults fire in
+// the shard workers, a deadline bounds the run (and each shard), and the
+// query degrades under the partial-result policy instead of failing.
+func streamShardedDemo(c skyline.Clause, rel *relation.Relation, where string, first, shards int, timeout time.Duration, faults string) error {
 	s, err := shardWorkload(rel, shards)
 	if err != nil {
 		return err
@@ -253,7 +310,21 @@ func streamShardedDemo(c skyline.Clause, rel *relation.Relation, where string, f
 		}
 		fmt.Printf("hard selection %s: %d of %d rows (per-shard cache-served index lists)\n", where, candidates, s.Len())
 	}
-	st := engine.EvalStreamShardedOn(p, s, engine.Auto, sets)
+	if faults != "" {
+		// A fault demo must go through the shard workers: the progressive
+		// stream builds its per-shard state synchronously up front, so only
+		// the batch fan-out exercises the injected fault.
+		return faultDemo(p, s, sets, faults, timeout)
+	}
+	var st *engine.ShardedStream
+	if timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		rb := engine.Robust{Policy: engine.PolicyPartial, ShardTimeout: timeout}
+		st = engine.EvalStreamShardedCtx(ctx, p, s, engine.Auto, sets, rb)
+	} else {
+		st = engine.EvalStreamShardedOn(p, s, engine.Auto, sets)
+	}
 	fmt.Printf("workload: %s (%d rows, %d shards by %s), %s, progressive=%v\n",
 		rel.Name(), s.Len(), s.NumShards(), s.Part(), c, st.Progressive())
 	emitted := 0
@@ -264,7 +335,54 @@ func streamShardedDemo(c skyline.Clause, rel *relation.Relation, where string, f
 			emitted, shard, row, st.Consumed(), candidates)
 		return emitted < first
 	})
+	if err := st.Err(); err != nil {
+		fmt.Printf("stream terminated early: %v\n", err)
+	}
+	if part := st.Partial(); part != nil {
+		fmt.Printf("partial result: shards %v missing (%v)\n", part.Missing, part.Errs[0])
+	}
 	fmt.Printf("served %d maxima having examined %d of %d candidates\n", emitted, st.Consumed(), candidates)
+	return nil
+}
+
+// faultDemo injects the requested fault into one shard and runs the
+// batch fan-out under the partial-result policy, reporting what survived.
+// A -timeout doubles as both the query deadline and the per-shard budget.
+func faultDemo(p pref.Preference, s *relation.Sharded, sets engine.ShardSets, faults string, timeout time.Duration) error {
+	shard, f, err := parseFaults(faults)
+	if err != nil {
+		return err
+	}
+	if shard >= s.NumShards() {
+		return fmt.Errorf("prefbench: -faults shard %d out of range (have %d shards)", shard, s.NumShards())
+	}
+	faultinject.Install(s, shard, f)
+	defer faultinject.RemoveAll(s)
+	fmt.Printf("fault injected: shard %d %s\n", shard, f.Mode)
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	rb := engine.Robust{Policy: engine.PolicyPartial, ShardTimeout: timeout}
+	start := time.Now()
+	out, part, err := engine.BMOShardedOnCtx(ctx, p, s, engine.Auto, sets, rb)
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Printf("query failed after %v: %v\n", elapsed.Round(time.Millisecond), err)
+		return nil
+	}
+	rows := 0
+	for _, local := range out {
+		rows += len(local)
+	}
+	fmt.Printf("batch evaluation over %d shards: %d maxima in %v\n", s.NumShards(), rows, elapsed.Round(time.Millisecond))
+	if part != nil {
+		fmt.Printf("partial result: shards %v missing (%v)\n", part.Missing, part.Errs[0])
+	} else {
+		fmt.Println("all shards responsive — complete result")
+	}
 	return nil
 }
 

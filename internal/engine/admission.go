@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Admission is a bounded semaphore of in-flight queries: the serving
+// layer's overload valve. A query acquires a slot before evaluating and
+// releases it when done; when every slot is busy the acquire waits in
+// queue up to the configured timeout and then fails with a typed
+// *OverloadError — load sheds at the front door with a small bounded
+// queue instead of piling up evaluation goroutines until memory or
+// latency collapses. The zero-value/nil Admission admits everything
+// (no limiter), so wiring it through options costs nothing by default.
+type Admission struct {
+	slots        chan struct{}
+	queueTimeout time.Duration
+}
+
+// NewAdmission returns a limiter admitting at most maxInFlight
+// concurrent queries, with acquires waiting in queue up to queueTimeout
+// (0 = fail immediately when saturated) before shedding.
+// maxInFlight < 1 is treated as 1.
+func NewAdmission(maxInFlight int, queueTimeout time.Duration) *Admission {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	return &Admission{
+		slots:        make(chan struct{}, maxInFlight),
+		queueTimeout: queueTimeout,
+	}
+}
+
+// OverloadError reports an admission failure: every slot was busy and
+// the queue wait expired. Callers distinguish it from evaluation errors
+// with errors.As and typically answer "try again later".
+type OverloadError struct {
+	// Limit is the limiter's in-flight capacity.
+	Limit int
+	// Waited is how long the acquire queued before giving up.
+	Waited time.Duration
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("engine: overloaded: %d queries in flight, queue timeout after %v", e.Limit, e.Waited)
+}
+
+// Acquire claims an in-flight slot, waiting in queue up to the
+// limiter's timeout. It returns the release closure on success (callers
+// must invoke it exactly once, typically by defer), a *OverloadError
+// when the queue wait expires, or ctx.Err() when the caller's context
+// dies first. A nil limiter admits immediately with a no-op release.
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	if a == nil {
+		return func() {}, nil
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots }, nil
+	default:
+	}
+	if a.queueTimeout <= 0 {
+		return nil, &OverloadError{Limit: cap(a.slots)}
+	}
+	t := time.NewTimer(a.queueTimeout)
+	defer t.Stop()
+	start := time.Now()
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots }, nil
+	case <-t.C:
+		return nil, &OverloadError{Limit: cap(a.slots), Waited: time.Since(start)}
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// InFlight reports the number of currently admitted queries;
+// diagnostics and tests.
+func (a *Admission) InFlight() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.slots)
+}

@@ -10,12 +10,13 @@ import (
 
 // naive performs exhaustive pairwise better-than tests over the candidate
 // index set: O(n²) comparisons, the paper's reference strategy (§5.1).
-func naive(p pref.Preference, r *relation.Relation, idx []int) []int {
+func naive(p pref.Preference, r *relation.Relation, idx []int, cc *canceller) []int {
 	var out []int
 	for _, i := range idx {
 		ti := r.Tuple(i)
 		maximal := true
 		for _, j := range idx {
+			cc.tick()
 			if i == j {
 				continue
 			}
@@ -35,9 +36,10 @@ func naive(p pref.Preference, r *relation.Relation, idx []int) []int {
 // unranked candidates; each incoming tuple either is dominated by a window
 // member, evicts dominated members, or joins the window. The window is the
 // exact BMO result after one pass because domination is transitive.
-func bnl(p pref.Preference, r *relation.Relation, idx []int) []int {
+func bnl(p pref.Preference, r *relation.Relation, idx []int, cc *canceller) []int {
 	window := make([]int, 0, 16)
 	for _, i := range idx {
+		cc.tick()
 		ti := r.Tuple(i)
 		dominated := false
 		keep := window[:0]
@@ -172,11 +174,11 @@ func addDenseRanks(sum, scores []float64) {
 // members. The key vectors are materialized once over the candidate set
 // with dense-ranked components (see interpretedKeyVecs). Falls back to BNL
 // when no compatible key exists.
-func sfs(p pref.Preference, r *relation.Relation, idx []int) []int {
+func sfs(p pref.Preference, r *relation.Relation, idx []int, cc *canceller) []int {
 	if _, ok := keyColumns(p); !ok {
 		// Keyability is input-independent: decide before materializing the
 		// candidate tuple views.
-		return bnl(p, r, idx)
+		return bnl(p, r, idx, cc)
 	}
 	tuples := make([]pref.Tuple, len(idx))
 	for k, i := range idx {
@@ -184,8 +186,9 @@ func sfs(p pref.Preference, r *relation.Relation, idx []int) []int {
 	}
 	keys, ok := interpretedKeyVecs(p, tuples)
 	if !ok {
-		return bnl(p, r, idx)
+		return bnl(p, r, idx, cc)
 	}
+	cc.check()
 	// Candidates with equal keys are mutually unranked (x <P y forces a
 	// strictly smaller key now that rank components are finite), so the
 	// filter pass keeps them all regardless of visit order and stability
@@ -197,6 +200,7 @@ func sfs(p pref.Preference, r *relation.Relation, idx []int) []int {
 	slices.SortFunc(order, func(a, b int) int { return cmpKeyColumns(keys, a, b) })
 	var result []int
 	for _, k := range order {
+		cc.tick()
 		tc := tuples[k]
 		dominated := false
 		for _, w := range result {
@@ -279,13 +283,14 @@ func dominates(a, b []float64) bool {
 // preferences: split on the median of the first dimension, recurse, then
 // filter the low half's maxima against the high half's maxima. Falls back
 // to BNL for non-chain-product preferences.
-func dnc(p pref.Preference, r *relation.Relation, idx []int) []int {
+func dnc(p pref.Preference, r *relation.Relation, idx []int, cc *canceller) []int {
 	dims, ok := chainDims(p)
 	if !ok {
-		return bnl(p, r, idx)
+		return bnl(p, r, idx, cc)
 	}
 	pts := make([]dncPoint, len(idx))
 	for k, i := range idx {
+		cc.tick()
 		coord := make([]float64, len(dims))
 		t := r.Tuple(i)
 		for d, s := range dims {
@@ -294,9 +299,9 @@ func dnc(p pref.Preference, r *relation.Relation, idx []int) []int {
 		pts[k] = dncPoint{i, coord}
 	}
 	if !chainCoordsExact(dims, r, idx, pts) {
-		return bnl(p, r, idx)
+		return bnl(p, r, idx, cc)
 	}
-	maxima := dncMaxima(pts)
+	maxima := dncMaxima(pts, cc)
 	out := make([]int, len(maxima))
 	for k, pt := range maxima {
 		out[k] = pt.row
@@ -344,12 +349,16 @@ func chainCoordsExact(dims []pref.Scorer, r *relation.Relation, idx []int, pts [
 // dncMaxima returns the non-dominated points. It owns pts and reorders it
 // freely; a single scratch buffer is reused across every recursion level
 // for the median selection.
-func dncMaxima(pts []dncPoint) []dncPoint {
+func dncMaxima(pts []dncPoint, cc *canceller) []dncPoint {
 	var scratch []float64
-	return dncMaximaRec(pts, &scratch)
+	return dncMaximaRec(pts, &scratch, cc)
 }
 
-func dncMaximaRec(pts []dncPoint, scratch *[]float64) []dncPoint {
+func dncMaximaRec(pts []dncPoint, scratch *[]float64, cc *canceller) []dncPoint {
+	// One tick per recursive call: each call does at least a linear pass
+	// over its partition, so the stride bounds latency without touching
+	// the partition scans themselves.
+	cc.tick()
 	if len(pts) <= 8 {
 		return bruteMaxima(pts)
 	}
@@ -377,8 +386,8 @@ func dncMaximaRec(pts []dncPoint, scratch *[]float64) []dncPoint {
 		// on this partition to guarantee termination.
 		return bruteMaxima(pts)
 	}
-	mHigh := dncMaximaRec(high, scratch)
-	mLow := dncMaximaRec(low, scratch)
+	mHigh := dncMaximaRec(high, scratch, cc)
+	mLow := dncMaximaRec(low, scratch, cc)
 	// Filter the low maxima against the high maxima. Both maxima slices
 	// are freshly built by the recursion, so appending to mHigh is safe.
 	out := mHigh

@@ -56,12 +56,12 @@ func TestBlockedChainFilterAgreesWithGeneric(t *testing.T) {
 		}
 		order := allIndices(rel.Len())
 		slices.SortFunc(order, func(a, b int) int { return cmpKeyColumns(keys, a, b) })
-		generic := sfsFilterGeneric(c, order)
+		generic := sfsFilterGeneric(c, order, nil)
 		cf := newChainFilter(c)
 		if cf == nil {
 			t.Fatal("chain product must build a chain filter")
 		}
-		scalar := sfsFilterChain(cf, order)
+		scalar := sfsFilterChain(cf, order, nil)
 		if !sameIndices(generic, scalar) {
 			t.Fatalf("trial %d: chain filter %v, generic %v", trial, scalar, generic)
 		}
@@ -145,7 +145,7 @@ func BenchmarkSFSChainFilter(b *testing.B) {
 		b.Run(shape.name+"/generic", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				sfsFilterGeneric(c, order)
+				sfsFilterGeneric(c, order, nil)
 			}
 		})
 		b.Run(shape.name+"/masked", func(b *testing.B) {
@@ -166,7 +166,7 @@ func BenchmarkSFSChainFilter(b *testing.B) {
 			defer SetAVX2Enabled(prev)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				sfsFilterChain(newChainFilter(c), order)
+				sfsFilterChain(newChainFilter(c), order, nil)
 			}
 		})
 		b.Run(shape.name+"/avx2", func(b *testing.B) {
@@ -177,7 +177,7 @@ func BenchmarkSFSChainFilter(b *testing.B) {
 			defer SetAVX2Enabled(prev)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				sfsFilterChain(newChainFilter(c), order)
+				sfsFilterChain(newChainFilter(c), order, nil)
 			}
 		})
 	}

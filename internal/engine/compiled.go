@@ -59,11 +59,12 @@ func compileFor(p pref.Preference, r *relation.Relation, mode EvalMode) *pref.Co
 }
 
 // naiveCompiled is the exhaustive pairwise reference over compiled columns.
-func naiveCompiled(c *pref.Compiled, idx []int) []int {
+func naiveCompiled(c *pref.Compiled, idx []int, cc *canceller) []int {
 	var out []int
 	for _, i := range idx {
 		maximal := true
 		for _, j := range idx {
+			cc.tick()
 			if i != j && c.Less(i, j) {
 				maximal = false
 				break
@@ -79,9 +80,10 @@ func naiveCompiled(c *pref.Compiled, idx []int) []int {
 // bnlCompiled is block-nested-loops over compiled columns: the window
 // invariant of bnl with flat-vector comparisons and zero allocation per
 // candidate.
-func bnlCompiled(c *pref.Compiled, idx []int) []int {
+func bnlCompiled(c *pref.Compiled, idx []int, cc *canceller) []int {
 	window := make([]int, 0, 16)
 	for _, i := range idx {
+		cc.tick()
 		dominated := false
 		keep := window[:0]
 		for _, w := range window {
@@ -109,24 +111,26 @@ func bnlCompiled(c *pref.Compiled, idx []int) []int {
 // candidate-vs-maxima filter (see chainFilter); everything else compares
 // through the compiled predicate tree. Falls back to bnlCompiled when the
 // term has no compatible key.
-func sfsCompiled(c *pref.Compiled, idx []int) []int {
+func sfsCompiled(c *pref.Compiled, idx []int, cc *canceller) []int {
 	keys, ok := c.SortKeys()
 	if !ok {
-		return bnlCompiled(c, idx)
+		return bnlCompiled(c, idx, cc)
 	}
+	cc.check()
 	order := append([]int(nil), idx...)
 	slices.SortFunc(order, func(a, b int) int { return cmpKeyColumns(keys, a, b) })
 	if cf := newChainFilter(c); cf != nil {
-		return sfsFilterChain(cf, order)
+		return sfsFilterChain(cf, order, cc)
 	}
-	return sfsFilterGeneric(c, order)
+	return sfsFilterGeneric(c, order, cc)
 }
 
 // sfsFilterGeneric is the filter pass of sfsCompiled through the compiled
 // predicate tree: one c.Less call per (candidate, confirmed maximum) pair.
-func sfsFilterGeneric(c *pref.Compiled, order []int) []int {
+func sfsFilterGeneric(c *pref.Compiled, order []int, cc *canceller) []int {
 	var result []int
 	for _, i := range order {
+		cc.tick()
 		dominated := false
 		for _, w := range result {
 			if c.Less(i, w) {
@@ -145,9 +149,10 @@ func sfsFilterGeneric(c *pref.Compiled, order []int) []int {
 // sfsFilterChain is the blocked filter pass for chain products: each
 // candidate tests against up to filterBlock confirmed maxima per inner
 // iteration over flat coordinate columns.
-func sfsFilterChain(cf *chainFilter, order []int) []int {
+func sfsFilterChain(cf *chainFilter, order []int, cc *canceller) []int {
 	var result []int
 	for _, i := range order {
+		cc.tick()
 		if !cf.dominated(i) {
 			cf.add(i)
 			result = append(result, i)
@@ -343,17 +348,17 @@ func cmpKeyColumns(keys [][]float64, a, b int) int {
 // term: ScoreVec is keyed by sub-term pointer identity, and a cache-served
 // form may stem from a different (structurally identical) tree than the
 // caller's.
-func dncCompiled(c *pref.Compiled, idx []int) []int {
+func dncCompiled(c *pref.Compiled, idx []int, cc *canceller) []int {
 	dims, ok := chainDims(c.Pref())
 	if !ok {
-		return bnlCompiled(c, idx)
+		return bnlCompiled(c, idx, cc)
 	}
 	vecs := make([][]float64, len(dims))
 	for d, s := range dims {
 		// ScoreVecExact: an inexact ±Inf collapse breaks the coordinate-
 		// dominance equivalence (see newChainFilter) — fall back.
 		if vecs[d] = c.ScoreVec(s); vecs[d] == nil || !c.ScoreVecExact(s) {
-			return bnlCompiled(c, idx)
+			return bnlCompiled(c, idx, cc)
 		}
 	}
 	pts := make([]dncPoint, len(idx))
@@ -365,7 +370,7 @@ func dncCompiled(c *pref.Compiled, idx []int) []int {
 		}
 		pts[k] = dncPoint{i, coord}
 	}
-	maxima := dncMaxima(pts)
+	maxima := dncMaxima(pts, cc)
 	out := make([]int, len(maxima))
 	for k, pt := range maxima {
 		out[k] = pt.row

@@ -26,13 +26,25 @@ import (
 // means repeated decomposition queries over an unchanged relation reuse
 // the bound sub-terms outright.
 func decomposedMode(p pref.Preference, r *relation.Relation, idx []int, mode EvalMode) []int {
-	d := &decomposer{r: r, mode: mode}
+	return decomposedModeCC(p, r, idx, mode, nil)
+}
+
+// decomposedModeCC is decomposedMode threading a canceller through the
+// recursion: the leaf BNL passes, the YY common-dominator scans and the
+// group loops all tick on it.
+func decomposedModeCC(p pref.Preference, r *relation.Relation, idx []int, mode EvalMode, cc *canceller) []int {
+	d := &decomposer{r: r, mode: mode, cc: cc}
 	return d.eval(p, idx)
 }
 
 // decomposed is decomposedMode under the default evaluation mode.
 func decomposed(p pref.Preference, r *relation.Relation, idx []int) []int {
 	return decomposedMode(p, r, idx, EvalAuto)
+}
+
+// decomposedCC is decomposed with a canceller; execute routes here.
+func decomposedCC(p pref.Preference, r *relation.Relation, idx []int, cc *canceller) []int {
+	return decomposedModeCC(p, r, idx, EvalAuto, cc)
 }
 
 // decomposer carries the evaluation state of one decomposition query: the
@@ -47,6 +59,7 @@ type decomposer struct {
 	r     *relation.Relation
 	mode  EvalMode
 	bound map[pref.Preference]*pref.Compiled
+	cc    *canceller
 }
 
 // compiled returns the sub-term's bound form (nil when it does not bind),
@@ -91,9 +104,9 @@ func (d *decomposer) eval(p pref.Preference, idx []int) []int {
 // otherwise.
 func (d *decomposer) leaf(p pref.Preference, idx []int) []int {
 	if c := d.compiled(p); c != nil {
-		return bnlCompiled(c, idx)
+		return bnlCompiled(c, idx, d.cc)
 	}
-	return bnl(p, d.r, idx)
+	return bnl(p, d.r, idx, d.cc)
 }
 
 // prioritized applies Prop 4a (shared attributes), Prop 11 (chain
@@ -174,6 +187,7 @@ func (d *decomposer) yy(p1, p2 pref.Preference, idx []int) []int {
 		}
 		common := false
 		for _, j := range idx {
+			d.cc.tick()
 			if i == j {
 				continue
 			}
@@ -203,6 +217,7 @@ func yy(p1, p2 pref.Preference, r *relation.Relation, idx []int) []int {
 func (d *decomposer) groupOn(p pref.Preference, groupAttrs []string, idx []int) []int {
 	var out []int
 	for _, group := range d.r.GroupsOn(groupAttrs, idx) {
+		d.cc.check()
 		out = append(out, d.eval(p, group)...)
 	}
 	slices.Sort(out)
@@ -235,7 +250,7 @@ func GroupByIndicesOn(p pref.Preference, groupAttrs []string, r *relation.Relati
 	eval := func(p pref.Preference, r *relation.Relation, idx []int) []int {
 		switch alg {
 		case Naive, SFS, DNC, ParallelBNL, ParallelSFS, ParallelDNC:
-			return execute(alg, 0, p, r, c, idx)
+			return execute(alg, 0, p, r, c, idx, nil)
 		case Decomposition:
 			return decomposed(p, r, idx)
 		case Auto:
@@ -243,12 +258,12 @@ func GroupByIndicesOn(p pref.Preference, groupAttrs []string, r *relation.Relati
 				stats = relation.AnalyzeSample(r, Env{}.sampleLimit())
 			}
 			pl := planCore(p, r, len(idx), Env{Stats: stats})
-			return execute(pl.Algorithm, pl.Workers, p, r, c, idx)
+			return execute(pl.Algorithm, pl.Workers, p, r, c, idx, nil)
 		}
 		if c != nil {
-			return bnlCompiled(c, idx)
+			return bnlCompiled(c, idx, nil)
 		}
-		return bnl(p, r, idx)
+		return bnl(p, r, idx, nil)
 	}
 	var out []int
 	for _, group := range r.GroupsOn(groupAttrs, idx) {

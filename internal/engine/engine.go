@@ -111,20 +111,28 @@ func BMOIndicesOn(p pref.Preference, r *relation.Relation, alg Algorithm, idx []
 	return bmoOn(p, r, alg, EvalAuto, idx)
 }
 
-// bmoOn is the shared core of BMOIndicesMode and BMOIndicesOn.
+// bmoOn is the shared core of BMOIndicesMode and BMOIndicesOn: the
+// uncancellable spelling of bmoOnCC every legacy entry point uses.
 func bmoOn(p pref.Preference, r *relation.Relation, alg Algorithm, mode EvalMode, idx []int) []int {
+	return bmoOnCC(p, r, alg, mode, idx, nil)
+}
+
+// bmoOnCC is the shared evaluation core with a canceller threaded into the
+// algorithm layer; the ctx entry points (ctx.go) reach it through
+// runCancellable.
+func bmoOnCC(p pref.Preference, r *relation.Relation, alg Algorithm, mode EvalMode, idx []int, cc *canceller) []int {
 	if alg == Decomposition {
 		// The decomposition evaluator compiles per sub-term inside the
 		// recursion (see decompose.go); binding the root term up front
 		// would be pure overhead.
-		return decomposedMode(p, r, idx, mode)
+		return decomposedModeCC(p, r, idx, mode, cc)
 	}
 	c := compileFor(p, r, mode)
 	if alg == Auto {
 		pl := planCore(p, r, len(idx), Env{Mode: mode})
-		return execute(pl.Algorithm, pl.Workers, p, r, c, idx)
+		return execute(pl.Algorithm, pl.Workers, p, r, c, idx, cc)
 	}
-	return execute(alg, 0, p, r, c, idx)
+	return execute(alg, 0, p, r, c, idx, cc)
 }
 
 // GroupBy evaluates σ[P groupby A](R) = σ[A↔ & P](R) per Definition 16:

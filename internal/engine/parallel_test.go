@@ -69,7 +69,7 @@ func TestParallelWorkersEmptyIndexSet(t *testing.T) {
 	rel.MustInsert(relation.Row{int64(1)})
 	p := pref.LOWEST("A1")
 	for _, workers := range []int{2, 3, 8} {
-		if got := bnlParallelWorkers(p, rel, nil, nil, workers); len(got) != 0 {
+		if got := bnlParallelWorkers(p, rel, nil, nil, workers, nil); len(got) != 0 {
 			t.Errorf("workers=%d: empty candidate set must stay empty, got %v", workers, got)
 		}
 	}
@@ -103,11 +103,11 @@ func TestParallelWorkersIndivisiblePartitioning(t *testing.T) {
 	p := pref.Pareto(pref.LOWEST("A1"), pref.LOWEST("A2"))
 	for _, n := range []int{7, 530, 1023, 1025} {
 		rel := randomRelation(rng, n, 6)
-		want := bnl(p, rel, allIndices(n))
+		want := bnl(p, rel, allIndices(n), nil)
 		for _, workers := range []int{2, 3, 5, 7, 16, n + 3} {
 			// Interpreted path explicitly: compiled coverage rides on the
 			// randomized agreement test below.
-			if got := bnlParallelWorkers(p, rel, nil, allIndices(n), workers); !sameIndices(got, want) {
+			if got := bnlParallelWorkers(p, rel, nil, allIndices(n), workers, nil); !sameIndices(got, want) {
 				t.Errorf("n=%d workers=%d: partition/merge diverged (%d vs %d rows)", n, workers, len(got), len(want))
 			}
 		}
@@ -124,14 +124,14 @@ func TestParallelVariantsRandomizedAgreement(t *testing.T) {
 		p := randomTerm(rng, 8)
 		workers := 2 + rng.Intn(7)
 		idx := allIndices(rel.Len())
-		want := bnl(p, rel, idx)
+		want := bnl(p, rel, idx, nil)
 		// Workers share one compiled form; under -race this also checks the
 		// compiled columns are read-only across the partition fan-out.
 		c := compileFor(p, rel, EvalAuto)
 		for name, got := range map[string][]int{
-			"bnl": bnlParallelWorkers(p, rel, c, idx, workers),
-			"sfs": sfsParallelWorkers(p, rel, c, idx, workers),
-			"dnc": dncParallelWorkers(p, rel, c, idx, workers),
+			"bnl": bnlParallelWorkers(p, rel, c, idx, workers, nil),
+			"sfs": sfsParallelWorkers(p, rel, c, idx, workers, nil),
+			"dnc": dncParallelWorkers(p, rel, c, idx, workers, nil),
 		} {
 			if !sameIndices(got, want) {
 				t.Logf("seed %d: parallel %s ×%d diverged on %s: %d vs %d rows", seed, name, workers, p, len(got), len(want))

@@ -168,7 +168,7 @@ func PlanWithInput(p pref.Preference, r *relation.Relation, n int, env Env) *Pla
 // Indices executes the plan and returns the qualifying row indices.
 func (pl *Plan) Indices() []int {
 	c := compileFor(pl.p, pl.r, pl.mode)
-	return execute(pl.Algorithm, pl.Workers, pl.p, pl.r, c, allIndices(pl.r.Len()))
+	return execute(pl.Algorithm, pl.Workers, pl.p, pl.r, c, allIndices(pl.r.Len()), nil)
 }
 
 // Run executes the plan and returns the qualifying rows as a new relation
@@ -466,40 +466,40 @@ const compiledSpeedup = 12
 // workers ≤ 0 lets the parallel variants pick their default. The
 // decomposition evaluator always takes the interface path: it recurses
 // over sub-terms, which keep the old route.
-func execute(alg Algorithm, workers int, p pref.Preference, r *relation.Relation, c *pref.Compiled, idx []int) []int {
+func execute(alg Algorithm, workers int, p pref.Preference, r *relation.Relation, c *pref.Compiled, idx []int, cc *canceller) []int {
 	if workers <= 0 {
 		workers = defaultWorkers(len(idx))
 	}
 	switch alg {
 	case Naive:
 		if c != nil {
-			return naiveCompiled(c, idx)
+			return naiveCompiled(c, idx, cc)
 		}
-		return naive(p, r, idx)
+		return naive(p, r, idx, cc)
 	case BNL:
 		if c != nil {
-			return bnlCompiled(c, idx)
+			return bnlCompiled(c, idx, cc)
 		}
-		return bnl(p, r, idx)
+		return bnl(p, r, idx, cc)
 	case SFS:
 		if c != nil {
-			return sfsCompiled(c, idx)
+			return sfsCompiled(c, idx, cc)
 		}
-		return sfs(p, r, idx)
+		return sfs(p, r, idx, cc)
 	case DNC:
 		if c != nil {
-			return dncCompiled(c, idx)
+			return dncCompiled(c, idx, cc)
 		}
-		return dnc(p, r, idx)
+		return dnc(p, r, idx, cc)
 	case Decomposition:
-		return decomposed(p, r, idx)
+		return decomposedCC(p, r, idx, cc)
 	case ParallelBNL:
-		return bnlParallelWorkers(p, r, c, idx, workers)
+		return bnlParallelWorkers(p, r, c, idx, workers, cc)
 	case ParallelSFS:
-		return sfsParallelWorkers(p, r, c, idx, workers)
+		return sfsParallelWorkers(p, r, c, idx, workers, cc)
 	case ParallelDNC:
-		return dncParallelWorkers(p, r, c, idx, workers)
+		return dncParallelWorkers(p, r, c, idx, workers, cc)
 	}
 	pl := planCore(p, r, len(idx), Env{})
-	return execute(pl.Algorithm, pl.Workers, p, r, c, idx)
+	return execute(pl.Algorithm, pl.Workers, p, r, c, idx, cc)
 }

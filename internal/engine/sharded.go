@@ -325,7 +325,7 @@ func chainMergeSharded(p pref.Preference, s *relation.Sharded, locals ShardSets)
 		}
 	}
 	out := make(ShardSets, s.NumShards())
-	for _, pt := range dncMaxima(pts) {
+	for _, pt := range dncMaxima(pts, nil) {
 		shard, local := relation.SplitGlobalID(pt.row)
 		out[shard] = append(out[shard], local)
 	}

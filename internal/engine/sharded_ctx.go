@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"context"
+
+	"repro/internal/faultinject"
+	"repro/internal/pref"
+	"repro/internal/relation"
+)
+
+// Ctx-aware sharded evaluation: the fault-tolerance layer over
+// BMOShardedOn. Shards evaluate under relation.FanShardsCtx — panic
+// containment, per-shard deadlines, early abandon on a dead query
+// context — and per-shard failures resolve under a relation.Robust
+// policy: strict (fail the query, the default) or partial (merge the
+// responsive shards and report the missing set). The partial merge is
+// exact over what it covers: the partition/merge identity
+// max(P over A ∪ B) = max(P over max(P,A) ∪ max(P,B)) applies to any
+// subset of the partitions, so the partial maxima are precisely the
+// maxima of the union of responsive shards' rows — absent rows, never
+// wrong ones.
+
+// Policy re-exports the partial-result policy at the engine layer.
+type Policy = relation.Policy
+
+// Partial-result policies (see relation.Policy).
+const (
+	PolicyStrict  = relation.PolicyStrict
+	PolicyPartial = relation.PolicyPartial
+)
+
+// Robust re-exports the per-evaluation fault-tolerance configuration.
+type Robust = relation.Robust
+
+// Partial re-exports the missing-shard report of a partial result.
+type Partial = relation.Partial
+
+// BMOShardedCtx evaluates σ[P](S) under a context and a fault-tolerance
+// policy, returning the qualifying rows as a flat relation in
+// shard-major order. A non-nil Partial reports shards missing from the
+// merge under PolicyPartial.
+func BMOShardedCtx(ctx context.Context, p pref.Preference, s *relation.Sharded, alg Algorithm, rb Robust) (*relation.Relation, *Partial, error) {
+	sets, part, err := BMOShardedOnCtx(ctx, p, s, alg, nil, rb)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.Pick(sets.GlobalIDs(s)), part, nil
+}
+
+// BMOShardedOnCtx is the ctx-aware twin of BMOShardedOn: per-shard
+// candidate subsets in, per-shard qualifying positions out, with
+// cooperative cancellation inside every shard's evaluation and
+// per-shard fault handling under rb. Unlike BMOShardedOn it always
+// evaluates shard-at-a-time (never the planner's flattened path):
+// per-shard fault isolation — deadlines, panic containment, partial
+// merges — only exists along shard boundaries.
+//
+// On success the Partial is nil (complete result) or lists the shards
+// missing from the merge (PolicyPartial). On error the ShardSets are
+// nil: a cancelled or strictly-failed query never returns a torn
+// result.
+func BMOShardedOnCtx(ctx context.Context, p pref.Preference, s *relation.Sharded, alg Algorithm, sets ShardSets, rb Robust) (ShardSets, *Partial, error) {
+	if sets == nil {
+		sets = AllShardSets(s)
+	}
+	locals := make(ShardSets, s.NumShards())
+	errs := relation.FanShardsCtx(ctx, s.NumShards(), rb.ShardTimeout, func(ictx context.Context, i int) error {
+		if err := faultinject.Invoke(ictx, s, i); err != nil {
+			return err
+		}
+		cand := shardCand(s, sets, i)
+		if len(cand) == 0 {
+			locals[i] = []int{}
+			return nil
+		}
+		out, err := runCancellable(ictx, func(cc *canceller) []int {
+			return bmoOnCC(p, s.Shard(i), alg, EvalAuto, cand, cc)
+		})
+		if err != nil {
+			return err
+		}
+		locals[i] = out
+		return nil
+	})
+	part, err := relation.CollectPartial(rb.Policy, errs)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Copy the responsive shards into a fresh set before merging: an
+	// abandoned worker may still be running (it exits when its canceller
+	// observes the dead context) and would race with any touch of its
+	// locals slot. Slots with a nil error slot are ordered after their
+	// worker's completion send; only those are read.
+	responsive := make(ShardSets, len(locals))
+	for i := range locals {
+		if errs[i] == nil {
+			responsive[i] = locals[i]
+		} else {
+			responsive[i] = []int{}
+		}
+	}
+	// The merge runs over already-reduced local maxima — cheap relative
+	// to the per-shard scans — and deliberately without the query
+	// context: under PolicyPartial the context may already be dead (that
+	// is *why* shards are missing), yet the responsive shards' merge
+	// must still complete to produce the partial result.
+	return mergeShardMaxima(p, s, responsive), part, nil
+}
+
+// BMOShardedOnFilteredCtx is the ctx-aware twin of BMOShardedOnFiltered:
+// the fused post-BMO acceptance filter runs inside the hardened fan-out,
+// with the same filter-after-merge semantics (a rejected maximum still
+// enters the cross-shard merge; only merge survivors intersect with the
+// accepted subsets). A shard missing under PolicyPartial contributes
+// neither maxima nor acceptances — its slot merges empty, like
+// BMOShardedOnCtx.
+func BMOShardedOnFilteredCtx(ctx context.Context, p pref.Preference, s *relation.Sharded, alg Algorithm, sets ShardSets, keep ShardFilter, rb Robust) (ShardSets, *Partial, error) {
+	if keep == nil {
+		return BMOShardedOnCtx(ctx, p, s, alg, sets, rb)
+	}
+	if sets == nil {
+		sets = AllShardSets(s)
+	}
+	locals := make(ShardSets, s.NumShards())
+	accepted := make(ShardSets, s.NumShards())
+	errs := relation.FanShardsCtx(ctx, s.NumShards(), rb.ShardTimeout, func(ictx context.Context, i int) error {
+		if err := faultinject.Invoke(ictx, s, i); err != nil {
+			return err
+		}
+		cand := shardCand(s, sets, i)
+		if len(cand) == 0 {
+			locals[i], accepted[i] = []int{}, []int{}
+			return nil
+		}
+		out, err := runCancellable(ictx, func(cc *canceller) []int {
+			return bmoOnCC(p, s.Shard(i), alg, EvalAuto, cand, cc)
+		})
+		if err != nil {
+			return err
+		}
+		locals[i] = out
+		accepted[i] = keep(i, out)
+		return nil
+	})
+	part, err := relation.CollectPartial(rb.Policy, errs)
+	if err != nil {
+		return nil, nil, err
+	}
+	responsive := make(ShardSets, len(locals))
+	for i := range locals {
+		if errs[i] == nil {
+			responsive[i] = locals[i]
+		} else {
+			responsive[i] = []int{}
+		}
+	}
+	out := mergeShardMaxima(p, s, responsive)
+	for i := range out {
+		if errs[i] == nil {
+			out[i] = intersectSorted(out[i], accepted[i])
+		} else {
+			out[i] = []int{}
+		}
+	}
+	return ensureNonNil(out), part, nil
+}

@@ -46,8 +46,16 @@ type ShardedStream struct {
 
 	started  bool
 	buffered []int // batch fallback, in shard-major order
-	batch    func() []int
+	batch    func() ([]int, error)
 	consumed int
+
+	// Cancellation and partial-result state of ctx streams (see
+	// EvalStreamShardedCtx); all nil/zero on the legacy entry points.
+	cc      *canceller
+	cancel  func()
+	closed  bool
+	err     error
+	partial *Partial
 }
 
 // shardHead is one shard's cursor into its visit order during the k-way
@@ -129,8 +137,8 @@ func EvalStreamShardedOn(p pref.Preference, s *relation.Sharded, alg Algorithm, 
 	st := &ShardedStream{
 		table:      s,
 		candidates: sets.Total(s),
-		batch: func() []int {
-			return BMOShardedOn(p, s, alg, sets).GlobalIDs(s)
+		batch: func() ([]int, error) {
+			return BMOShardedOn(p, s, alg, sets).GlobalIDs(s), nil
 		},
 	}
 	if sets == nil {
@@ -237,17 +245,28 @@ func (st *ShardedStream) advanceTop() {
 }
 
 // Next returns the next confirmed maximum as a global row id, or
-// ok=false when the result set is exhausted.
+// ok=false when the result set is exhausted — or, on a ctx stream, when
+// the context died (Err reports the cause) or Close was called.
 func (st *ShardedStream) Next() (gid int, ok bool) {
+	if st.closed {
+		return 0, false
+	}
 	if !st.progressive {
 		if !st.started {
 			st.started = true
-			st.buffered = st.batch()
+			var err error
+			if st.buffered, err = st.batch(); err != nil {
+				st.fail(err)
+				return 0, false
+			}
 			// The batch pass examined exactly the candidate set, like the
 			// flat Stream's fallback.
 			st.consumed = st.candidates
 		}
 		if st.pos >= len(st.buffered) {
+			// Exhausted: self-close so a ctx stream's derived context is
+			// released even when the consumer never calls Close.
+			st.Close()
 			return 0, false
 		}
 		gid = st.buffered[st.pos]
@@ -255,6 +274,10 @@ func (st *ShardedStream) Next() (gid int, ok bool) {
 		return gid, true
 	}
 	for len(st.heads) > 0 {
+		if err := st.cc.tickErr(); err != nil {
+			st.fail(err)
+			return 0, false
+		}
 		top := st.heads[0]
 		shard, local := top.shard, st.orders[top.shard][top.at]
 		st.advanceTop()
@@ -270,6 +293,7 @@ func (st *ShardedStream) Next() (gid int, ok bool) {
 		st.confirmed = append(st.confirmed, slices.Clone(st.scratch))
 		return relation.GlobalID(shard, local), true
 	}
+	st.Close()
 	return 0, false
 }
 

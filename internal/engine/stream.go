@@ -45,9 +45,16 @@ type Stream struct {
 
 	progressive bool
 	started     bool
-	buffered    []int                  // fallback mode: precomputed result (row positions)
-	batch       func(cand []int) []int // fallback evaluator over row positions
+	buffered    []int                           // fallback mode: precomputed result (row positions)
+	batch       func(cand []int) ([]int, error) // fallback evaluator over row positions
 	consumed    int
+
+	// Cancellation state of ctx streams (see EvalStreamCtx); all nil/zero
+	// on the legacy entry points.
+	cc     *canceller
+	cancel func()
+	closed bool
+	err    error
 }
 
 // row maps a slot to its row position.
@@ -82,11 +89,11 @@ func EvalStreamOn(p pref.Preference, r *relation.Relation, alg Algorithm, idx []
 	s := &Stream{
 		n:    n,
 		cand: idx,
-		batch: func(cand []int) []int {
+		batch: func(cand []int) ([]int, error) {
 			if cand == nil {
 				cand = allIndices(r.Len())
 			}
-			return bmoOn(p, r, alg, EvalAuto, cand)
+			return bmoOn(p, r, alg, EvalAuto, cand), nil
 		},
 	}
 	if pref.Compilable(p) {
@@ -217,15 +224,26 @@ func (s *Stream) Progressive() bool { return s.progressive }
 func (s *Stream) Consumed() int { return s.consumed }
 
 // Next returns the next confirmed maximum, or ok=false when the result set
-// is exhausted.
+// is exhausted — or, on a ctx stream, when the context died (Err reports
+// the cause) or Close was called.
 func (s *Stream) Next() (row int, ok bool) {
+	if s.closed {
+		return 0, false
+	}
 	if !s.progressive {
 		if !s.started {
 			s.started = true
 			s.consumed = s.n
-			s.buffered = s.runBatch()
+			var err error
+			if s.buffered, err = s.runBatch(); err != nil {
+				s.fail(err)
+				return 0, false
+			}
 		}
 		if s.pos >= len(s.buffered) {
+			// Exhausted: self-close so a ctx stream's derived context is
+			// released even when the consumer never calls Close.
+			s.Close()
 			return 0, false
 		}
 		row = s.buffered[s.pos]
@@ -233,6 +251,10 @@ func (s *Stream) Next() (row int, ok bool) {
 		return row, true
 	}
 	for s.pos < len(s.order) {
+		if err := s.cc.tickErr(); err != nil {
+			s.fail(err)
+			return 0, false
+		}
 		slot := s.order[s.pos]
 		s.pos++
 		s.consumed++
@@ -249,6 +271,7 @@ func (s *Stream) Next() (row int, ok bool) {
 		}
 		return s.row(slot), true
 	}
+	s.Close()
 	return 0, false
 }
 
@@ -295,12 +318,15 @@ func (s *Stream) Collect() []int {
 // stream is relation-backed (sharing the compiled twins and their
 // caches), a block-nested-loops pass over the bound predicate otherwise
 // (tuple streams, where slots and positions coincide).
-func (s *Stream) runBatch() []int {
+func (s *Stream) runBatch() ([]int, error) {
 	if s.batch != nil {
 		return s.batch(s.cand)
 	}
 	window := make([]int, 0, 16)
 	for i := 0; i < s.n; i++ {
+		if err := s.cc.tickErr(); err != nil {
+			return nil, err
+		}
 		dominated := false
 		keep := window[:0]
 		for _, w := range window {
@@ -318,5 +344,5 @@ func (s *Stream) runBatch() []int {
 		window = append(keep, i)
 	}
 	slices.Sort(window)
-	return window
+	return window, nil
 }

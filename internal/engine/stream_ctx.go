@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"context"
+
+	"repro/internal/pref"
+	"repro/internal/relation"
+)
+
+// Ctx-aware progressive evaluation. A ctx stream polls its context at
+// the cancellation stride on every pull path (progressive visits and
+// batch fallbacks alike); when the context dies the stream closes
+// itself — Next reports exhaustion and Err the cause — so an abandoned
+// consumer never holds live evaluation state. Close is idempotent,
+// releases the stream's buffers and cancels the stream's derived
+// context, which also unblocks any shard workers a sharded batch
+// fallback still has in flight: stopping to pull IS stopping the work.
+
+// EvalStreamCtx starts progressive evaluation of σ[P](R) under a
+// context over the candidate row positions idx (nil means every row);
+// emitted values are row indices in R. See EvalStreamOn for the
+// evaluation machinery; the ctx additions are cooperative cancellation
+// on every pull and the Close/Err lifecycle.
+func EvalStreamCtx(ctx context.Context, p pref.Preference, r *relation.Relation, alg Algorithm, idx []int) *Stream {
+	sctx, cancel := context.WithCancel(ctx)
+	s := EvalStreamOn(p, r, alg, idx)
+	s.cc = newCanceller(sctx)
+	s.cancel = cancel
+	s.batch = func(cand []int) ([]int, error) {
+		if cand == nil {
+			cand = allIndices(r.Len())
+		}
+		return runCancellable(sctx, func(cc *canceller) []int {
+			return bmoOnCC(p, r, alg, EvalAuto, cand, cc)
+		})
+	}
+	if err := ctx.Err(); err != nil {
+		// A context dead on arrival yields zero rows, not a stride's worth.
+		s.fail(err)
+	}
+	return s
+}
+
+// fail records the terminal error and closes the stream.
+func (s *Stream) fail(err error) {
+	s.err = err
+	s.Close()
+}
+
+// Err returns the error that terminated the stream early — the
+// context's error after cancellation or deadline — or nil after a
+// clean drain (or while the stream is still live). A stream is never
+// torn: rows emitted before the error are confirmed maxima, and Err
+// non-nil means the enumeration stopped, not that any emitted row was
+// wrong.
+func (s *Stream) Err() error { return s.err }
+
+// Close terminates the stream: subsequent Next calls report
+// exhaustion, buffers are released, and the stream's derived context
+// (ctx streams) is cancelled so any in-flight evaluation work winds
+// down. Idempotent; also invoked internally when the stream's context
+// dies.
+func (s *Stream) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.cancel != nil {
+		s.cancel()
+	}
+	s.order, s.buffered, s.confirm, s.keys, s.chain, s.batch = nil, nil, nil, nil, nil, nil
+}
+
+// EvalStreamShardedCtx starts progressive evaluation over a sharded
+// table under a context and a fault-tolerance policy; emitted values
+// are global row ids. Chain products stream through the k-way merge
+// with a strided context poll per pull. Other shapes fall back to one
+// ctx-aware batch sharded evaluation (BMOShardedOnCtx) under rb —
+// after it, Partial reports any shards missing from the enumeration
+// under PolicyPartial. The progressive path itself always covers every
+// shard: its per-shard state is built synchronously at start, so there
+// is no shard to lose mid-stream — cancellation just stops the
+// enumeration (Err reports the cause).
+func EvalStreamShardedCtx(ctx context.Context, p pref.Preference, s *relation.Sharded, alg Algorithm, sets ShardSets, rb Robust) *ShardedStream {
+	sctx, cancel := context.WithCancel(ctx)
+	st := EvalStreamShardedOn(p, s, alg, sets)
+	st.cc = newCanceller(sctx)
+	st.cancel = cancel
+	st.batch = func() ([]int, error) {
+		out, part, err := BMOShardedOnCtx(sctx, p, s, alg, sets, rb)
+		if err != nil {
+			return nil, err
+		}
+		st.partial = part
+		return out.GlobalIDs(s), nil
+	}
+	if err := ctx.Err(); err != nil {
+		// A context dead on arrival yields zero rows, not a stride's worth.
+		st.fail(err)
+	}
+	return st
+}
+
+// fail records the terminal error and closes the stream.
+func (st *ShardedStream) fail(err error) {
+	st.err = err
+	st.Close()
+}
+
+// Err returns the error that terminated the stream early, or nil; see
+// Stream.Err.
+func (st *ShardedStream) Err() error { return st.err }
+
+// Partial reports the shards missing from the enumeration after a
+// batch-fallback evaluation under PolicyPartial, nil for a complete
+// result. Populated once the batch has run (first Next).
+func (st *ShardedStream) Partial() *Partial { return st.partial }
+
+// Close terminates the stream; see Stream.Close. Cancelling the
+// derived context makes any shard workers of an in-flight batch
+// fallback exit, so abandoning a sharded stream leaks no goroutines.
+func (st *ShardedStream) Close() {
+	if st.closed {
+		return
+	}
+	st.closed = true
+	if st.cancel != nil {
+		st.cancel()
+	}
+	st.orders, st.heads, st.confirmed, st.buffered, st.member, st.vecs, st.batch = nil, nil, nil, nil, nil, nil, nil
+}

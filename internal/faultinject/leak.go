@@ -1,0 +1,33 @@
+package faultinject
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// LeakCheck snapshots the goroutine count and returns a verifier for a
+// test's defer: the verifier re-counts with settle retries (workers
+// legitimately need a moment to observe cancellation and exit) and
+// errors when goroutines outlive the test body — the abandoned-stream
+// leak the Close/cancel machinery exists to prevent. Coarse by design:
+// it compares counts, not stacks, so tests using it should not start
+// unrelated long-lived goroutines between the snapshot and the check.
+func LeakCheck() func() error {
+	before := runtime.NumGoroutine()
+	return func() error {
+		deadline := time.Now().Add(2 * time.Second)
+		var now int
+		for {
+			if now = runtime.NumGoroutine(); now <= before {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			runtime.Gosched()
+			time.Sleep(5 * time.Millisecond)
+		}
+		return fmt.Errorf("faultinject: goroutine leak: %d before, %d after settle", before, now)
+	}
+}

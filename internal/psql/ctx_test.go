@@ -1,0 +1,169 @@
+package psql
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/faultinject"
+	"repro/internal/relation"
+)
+
+// ctxFixture builds a small sharded catalog for the serving-layer
+// fault tests: hotels spread over shards by hash.
+func ctxFixture(t *testing.T, shards int) (Catalog, *relation.Sharded) {
+	t.Helper()
+	flat := relation.New("hotels", relation.MustSchema(
+		relation.Column{Name: "oid", Type: relation.Int},
+		relation.Column{Name: "price", Type: relation.Int},
+		relation.Column{Name: "dist", Type: relation.Int},
+	))
+	for i := 0; i < 64; i++ {
+		flat.MustInsert(relation.Row{i, int64(10 + (i*7)%50), int64((i * 13) % 40)})
+	}
+	s, err := relation.ShardRelation(flat, shards, relation.ByHash("oid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { faultinject.RemoveAll(s) })
+	return Catalog{"hotels": s}, s
+}
+
+const ctxQuery = "SELECT oid FROM hotels PREFERRING LOWEST(price) AND LOWEST(dist)"
+
+func TestExecCtxPartialResult(t *testing.T) {
+	cat, s := ctxFixture(t, 4)
+	faultinject.Install(s, 1, faultinject.Fault{Mode: faultinject.Panic})
+	opts := Options{Robust: engine.Robust{Policy: engine.PolicyPartial}}
+	res, err := RunCtx(context.Background(), ctxQuery, cat, opts)
+	if err != nil {
+		t.Fatalf("partial policy failed the query: %v", err)
+	}
+	if res.Partial == nil || len(res.Partial.Missing) != 1 || res.Partial.Missing[0] != 1 {
+		t.Fatalf("partial = %+v, want shard 1 missing", res.Partial)
+	}
+	if res.Rel.Len() == 0 {
+		t.Fatal("partial result dropped every row")
+	}
+	// The same query under the strict default fails with the shard error.
+	// (A cancellable context engages the hardened path; with
+	// context.Background() and all-default options the legacy evaluators
+	// run and test hooks never fire.)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err = RunCtx(ctx, ctxQuery, cat, Options{})
+	var se *relation.ShardError
+	if !errors.As(err, &se) || se.Shard != 1 {
+		t.Fatalf("strict err = %v, want *ShardError for shard 1", err)
+	}
+}
+
+func TestExecCtxTimeout(t *testing.T) {
+	cat, s := ctxFixture(t, 4)
+	faultinject.Install(s, 2, faultinject.Fault{Mode: faultinject.Hang})
+	start := time.Now()
+	_, err := RunCtx(context.Background(), ctxQuery, cat, Options{Timeout: 50 * time.Millisecond})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout did not bound the query: %v", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded in chain", err)
+	}
+	// With PolicyPartial and a per-shard deadline the same hang degrades
+	// instead of failing.
+	opts := Options{
+		Timeout: 2 * time.Second,
+		Robust:  engine.Robust{Policy: engine.PolicyPartial, ShardTimeout: 40 * time.Millisecond},
+	}
+	res, err := RunCtx(context.Background(), ctxQuery, cat, opts)
+	if err != nil {
+		t.Fatalf("partial policy failed: %v", err)
+	}
+	if res.Partial == nil || len(res.Partial.Missing) != 1 || res.Partial.Missing[0] != 2 {
+		t.Fatalf("partial = %+v, want shard 2 missing", res.Partial)
+	}
+}
+
+func TestExecCtxCancelled(t *testing.T) {
+	cat, _ := ctxFixture(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, ctxQuery, cat, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestExecCtxAgreesWithLegacy(t *testing.T) {
+	cat, _ := ctxFixture(t, 3)
+	queries := []string{
+		ctxQuery,
+		"SELECT oid FROM hotels WHERE price < 40 PREFERRING LOWEST(price) AND LOWEST(dist)",
+		"SELECT oid FROM hotels PREFERRING LOWEST(price) CASCADE LOWEST(dist)",
+	}
+	for _, query := range queries {
+		legacy, err := Run(query, cat, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", query, err)
+		}
+		res, err := RunCtx(context.Background(), query, cat, Options{Timeout: time.Minute})
+		if err != nil {
+			t.Fatalf("%s: %v", query, err)
+		}
+		if res.Partial != nil {
+			t.Fatalf("%s: healthy query reported a partial", query)
+		}
+		if legacy.Len() != res.Rel.Len() {
+			t.Fatalf("%s: ctx path %d rows, legacy %d", query, res.Rel.Len(), legacy.Len())
+		}
+	}
+}
+
+func TestExecCtxAdmission(t *testing.T) {
+	cat, _ := ctxFixture(t, 2)
+	adm := engine.NewAdmission(1, 0)
+	// Hold the only slot, then try to execute: the query must shed with
+	// the typed overload error instead of evaluating.
+	release, err := adm.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunCtx(context.Background(), ctxQuery, cat, Options{Admission: adm})
+	var oe *engine.OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("err = %v, want *engine.OverloadError", err)
+	}
+	release()
+	res, err := RunCtx(context.Background(), ctxQuery, cat, Options{Admission: adm})
+	if err != nil {
+		t.Fatalf("post-release query failed: %v", err)
+	}
+	if res.Rel.Len() == 0 {
+		t.Fatal("post-release query returned no rows")
+	}
+	if got := adm.InFlight(); got != 0 {
+		t.Fatalf("slot leaked: InFlight = %d", got)
+	}
+}
+
+func TestExplainFaultPolicy(t *testing.T) {
+	cat, _ := ctxFixture(t, 3)
+	opts := Options{Robust: engine.Robust{Policy: engine.PolicyPartial, ShardTimeout: 50 * time.Millisecond}}
+	text, err := ExplainQuery(ctxQuery, cat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "fault policy: partial") || !strings.Contains(text, "per-shard timeout 50ms") {
+		t.Fatalf("EXPLAIN missing the fault policy line:\n%s", text)
+	}
+	// The default strict policy stays silent — it is not plan-relevant.
+	text, err = ExplainQuery(ctxQuery, cat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(text, "fault policy") {
+		t.Fatalf("default EXPLAIN leaked a fault policy line:\n%s", text)
+	}
+}

@@ -1,8 +1,10 @@
 package psql
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/engine"
@@ -57,6 +59,20 @@ func evictTable(tbl relation.Table) {
 type Options struct {
 	// Algorithm selects the BMO evaluation strategy (engine.Auto default).
 	Algorithm engine.Algorithm
+	// Timeout, when positive, bounds the whole execution with a deadline
+	// derived from the caller's context (ExecCtx/RunCtx; the legacy
+	// entry points imply context.Background()).
+	Timeout time.Duration
+	// Robust configures the fault tolerance of sharded evaluation: the
+	// partial-result policy plus an optional per-shard deadline. The
+	// zero value is strict and deadline-free. Fault isolation exists
+	// along shard boundaries, so Robust has no effect on flat tables.
+	Robust engine.Robust
+	// Admission, when non-nil, gates execution behind a bounded
+	// in-flight semaphore: the query acquires a slot before evaluating
+	// (queueing up to the limiter's timeout) and overload sheds with a
+	// typed *engine.OverloadError instead of piling up work.
+	Admission *engine.Admission
 }
 
 // Run parses and executes a Preference SQL statement against the catalog.
@@ -85,12 +101,23 @@ func Run(query string, cat Catalog, opts Options) (*relation.Relation, error) {
 // algebra.Simplify first, so the evaluated term matches the one EXPLAIN
 // reports.
 func Exec(q *Query, cat Catalog, opts Options) (*relation.Relation, error) {
+	res, err := ExecCtx(context.Background(), q, cat, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rel, nil
+}
+
+// execPipeline dispatches a parsed query to the flat or sharded pipeline.
+// The context is live here: admission and the Options.Timeout deadline
+// were applied by ExecCtx before dispatch.
+func execPipeline(ctx context.Context, q *Query, cat Catalog, opts Options) (*Result, error) {
 	if q.ExplainPlan {
 		text, err := Explain(q, cat, opts)
 		if err != nil {
 			return nil, err
 		}
-		return explainRelation(text), nil
+		return &Result{Rel: explainRelation(text)}, nil
 	}
 	tbl, ok := cat[q.From]
 	if !ok {
@@ -100,12 +127,21 @@ func Exec(q *Query, cat Catalog, opts Options) (*relation.Relation, error) {
 		return nil, err
 	}
 	if sh, sharded := tbl.(*relation.Sharded); sharded {
-		return execSharded(q, sh, opts)
+		return execSharded(ctx, q, sh, opts)
 	}
 	base, ok := tbl.(*relation.Relation)
 	if !ok {
 		return nil, fmt.Errorf("psql: relation %q has unsupported storage %T", q.From, tbl)
 	}
+	return execFlat(ctx, q, base, opts)
+}
+
+// execFlat runs the §5/§6.1 pipeline over a flat relation. Soft steps
+// evaluate through the ctx-aware engine twins (cooperative cancellation
+// at the engine's stride; with an uncancellable context they reduce to
+// the legacy evaluators); the grouped step and the BUT ONLY scan are
+// stage-level cancellable — the context is checked at their boundaries.
+func execFlat(ctx context.Context, q *Query, base *relation.Relation, opts Options) (*Result, error) {
 	var idx []int
 	if q.Where != nil {
 		idx = filter.CompileCached(q.Where, base).Indices()
@@ -128,12 +164,15 @@ func Exec(q *Query, cat Catalog, opts Options) (*relation.Relation, error) {
 			// the base relation's candidate positions (compiled vector when
 			// the term compiles) — nothing materializes before the k best
 			// rows are known.
-			results := rank.TopKOn(s, base, q.Top, idx)
+			results, err := rank.TopKOnCtx(ctx, s, base, q.Top, idx)
+			if err != nil {
+				return nil, err
+			}
 			ridx := make([]int, len(results))
 			for i, r := range results {
 				ridx[i] = r.Row
 			}
-			return project(q, base.Pick(ridx))
+			return wrapResult(project(q, base.Pick(ridx)))
 		}
 		if len(q.GroupingBy) > 0 {
 			// Grouped evaluation over the candidate index set: groups
@@ -141,9 +180,15 @@ func Exec(q *Query, cat Catalog, opts Options) (*relation.Relation, error) {
 			// each group evaluates as an index slice (GroupByIndicesOn), so
 			// even a WHERE-filtered grouped query stays on the catalog
 			// relation's cache-served bound form.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			idx = engine.GroupByIndicesOn(p, q.GroupingBy, base, opts.Algorithm, idx)
 		} else {
-			idx = engine.BMOIndicesOn(p, base, opts.Algorithm, idx)
+			var err error
+			if idx, err = engine.EvalIndicesCtx(ctx, p, base, opts.Algorithm, idx); err != nil {
+				return nil, err
+			}
 		}
 	}
 	for _, c := range q.Cascades {
@@ -154,11 +199,16 @@ func Exec(q *Query, cat Catalog, opts Options) (*relation.Relation, error) {
 		if builtPref == nil {
 			builtPref = built
 		}
-		idx = engine.BMOIndicesOn(algebra.Simplify(built), base, opts.Algorithm, idx)
+		if idx, err = engine.EvalIndicesCtx(ctx, algebra.Simplify(built), base, opts.Algorithm, idx); err != nil {
+			return nil, err
+		}
 	}
 	if q.ButOnly != nil {
 		if builtPref == nil {
 			return nil, fmt.Errorf("psql: BUT ONLY requires a PREFERRING clause")
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		byAttr := collectBasePrefs(q)
 		kept := idx[:0]
@@ -190,9 +240,19 @@ func Exec(q *Query, cat Catalog, opts Options) (*relation.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		idx = engine.BMOIndicesOn(p, base, opts.Algorithm, idx)
+		if idx, err = engine.EvalIndicesCtx(ctx, p, base, opts.Algorithm, idx); err != nil {
+			return nil, err
+		}
 	}
-	return finishRows(q, base.Pick(idx))
+	return wrapResult(finishRows(q, base.Pick(idx)))
+}
+
+// wrapResult lifts a legacy (relation, error) pair into a Result.
+func wrapResult(rel *relation.Relation, err error) (*Result, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Rel: rel}, nil
 }
 
 // finishRows applies the materialized pipeline tail shared by the flat
@@ -213,19 +273,56 @@ func finishRows(q *Query, out *relation.Relation) (*relation.Relation, error) {
 	return project(q, out)
 }
 
-// execSharded is the shard-aware twin of Exec: the same §5/§6.1 pipeline
-// index-chained per shard. The WHERE clause binds per shard through the
-// selection cache (each shard keeps its own bitmap), every soft step
-// evaluates shard-local through the shards' cached bound forms and
-// merges cross-shard (engine.BMOShardedOn / GroupByShardedOn,
+// execSharded is the shard-aware twin of execFlat: the same §5/§6.1
+// pipeline index-chained per shard. The WHERE clause binds per shard
+// through the selection cache (each shard keeps its own bitmap), every
+// soft step evaluates shard-local through the shards' cached bound forms
+// and merges cross-shard (engine.BMOShardedOn / GroupByShardedOn,
 // rank.TopKShardedOn for the ranked model), the BUT ONLY quality filter
 // threshold-scans each shard's cached measure vectors, and rows
 // materialize only at the tail — in shard-major global id order, the
 // sharded image of base relation order.
-func execSharded(q *Query, s *relation.Sharded, opts Options) (*relation.Relation, error) {
+//
+// With a cancellable context, a timeout, or a non-default Robust, the
+// soft steps run on the hardened ctx twins (engine.BMOShardedOnCtx &co):
+// per-shard panic containment and deadlines, cooperative cancellation,
+// and PolicyPartial degradation — each stage's missing shards accumulate
+// into Result.Partial. Otherwise the legacy evaluators run, keeping the
+// uninstrumented path (including the planner's flattened-merge choice)
+// byte-identical. The grouped step is stage-level cancellable: groups
+// span shards through the merge dictionary, so there is no per-shard
+// boundary to degrade along — the context is checked at its edges.
+func execSharded(ctx context.Context, q *Query, s *relation.Sharded, opts Options) (*Result, error) {
+	hardened := ctx.Done() != nil || opts.Robust != (engine.Robust{})
+	var part *engine.Partial
+	bmo := func(p pref.Preference, sets engine.ShardSets) (engine.ShardSets, error) {
+		if !hardened {
+			return engine.BMOShardedOn(p, s, opts.Algorithm, sets), nil
+		}
+		out, pt, err := engine.BMOShardedOnCtx(ctx, p, s, opts.Algorithm, sets, opts.Robust)
+		if err != nil {
+			return nil, err
+		}
+		part = mergePartials(part, pt)
+		return out, nil
+	}
+	bmoFiltered := func(p pref.Preference, sets engine.ShardSets, keep engine.ShardFilter) (engine.ShardSets, error) {
+		if !hardened {
+			return engine.BMOShardedOnFiltered(p, s, opts.Algorithm, sets, keep), nil
+		}
+		out, pt, err := engine.BMOShardedOnFilteredCtx(ctx, p, s, opts.Algorithm, sets, keep, opts.Robust)
+		if err != nil {
+			return nil, err
+		}
+		part = mergePartials(part, pt)
+		return out, nil
+	}
 	sets := make(engine.ShardSets, s.NumShards())
 	if q.Where != nil {
 		for i := 0; i < s.NumShards(); i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			sets[i] = filter.CompileCached(q.Where, s.Shard(i)).Indices()
 		}
 	}
@@ -250,20 +347,41 @@ func execSharded(q *Query, s *relation.Sharded, opts Options) (*relation.Relatio
 		if sc, ok := built.(pref.Scorer); ok && q.Top > 0 {
 			// Ranked query model: per-shard k-best off the cached score
 			// vectors, heap-merged to the global k.
-			results := rank.TopKShardedOn(sc, s, q.Top, sets)
+			var results []rank.Result
+			if hardened {
+				var pt *engine.Partial
+				if results, pt, err = rank.TopKShardedCtx(ctx, sc, s, q.Top, sets, opts.Robust); err != nil {
+					return nil, err
+				}
+				part = mergePartials(part, pt)
+			} else {
+				results = rank.TopKShardedOn(sc, s, q.Top, sets)
+			}
 			gids := make([]int, len(results))
 			for i, r := range results {
 				gids[i] = r.Row
 			}
-			return project(q, s.Pick(gids))
+			res, err := wrapResult(project(q, s.Pick(gids)))
+			if err != nil {
+				return nil, err
+			}
+			res.Partial = part
+			return res, nil
 		}
 		if len(q.GroupingBy) > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			sets = engine.GroupByShardedOn(p, q.GroupingBy, s, opts.Algorithm, sets)
 		} else if fuseButPreferring {
-			sets = engine.BMOShardedOnFiltered(p, s, opts.Algorithm, sets, butShardFilter(q, s))
+			if sets, err = bmoFiltered(p, sets, butShardFilter(q, s)); err != nil {
+				return nil, err
+			}
 			butFused = true
 		} else {
-			sets = engine.BMOShardedOn(p, s, opts.Algorithm, sets)
+			if sets, err = bmo(p, sets); err != nil {
+				return nil, err
+			}
 		}
 	}
 	for ci, c := range q.Cascades {
@@ -276,10 +394,14 @@ func execSharded(q *Query, s *relation.Sharded, opts Options) (*relation.Relatio
 		}
 		p := algebra.Simplify(built)
 		if fuseButCascade && ci == len(q.Cascades)-1 {
-			sets = engine.BMOShardedOnFiltered(p, s, opts.Algorithm, sets, butShardFilter(q, s))
+			if sets, err = bmoFiltered(p, sets, butShardFilter(q, s)); err != nil {
+				return nil, err
+			}
 			butFused = true
 		} else {
-			sets = engine.BMOShardedOn(p, s, opts.Algorithm, sets)
+			if sets, err = bmo(p, sets); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if q.ButOnly != nil && !butFused {
@@ -288,6 +410,9 @@ func execSharded(q *Query, s *relation.Sharded, opts Options) (*relation.Relatio
 		}
 		keep := butShardFilter(q, s)
 		for i := 0; i < s.NumShards(); i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			sets[i] = keep(i, sets.Resolve(s, i))
 		}
 	}
@@ -296,9 +421,16 @@ func execSharded(q *Query, s *relation.Sharded, opts Options) (*relation.Relatio
 		if err != nil {
 			return nil, err
 		}
-		sets = engine.BMOShardedOn(p, s, opts.Algorithm, sets)
+		if sets, err = bmo(p, sets); err != nil {
+			return nil, err
+		}
 	}
-	return finishRows(q, s.Pick(sets.GlobalIDs(s)))
+	res, err := wrapResult(finishRows(q, s.Pick(sets.GlobalIDs(s))))
+	if err != nil {
+		return nil, err
+	}
+	res.Partial = part
+	return res, nil
 }
 
 // allIndices returns 0..n-1.

@@ -213,6 +213,18 @@ func explainSharded(q *Query, s *relation.Sharded, opts Options) (string, error)
 	}
 	nShards := s.NumShards()
 	emit("scan %s (sharded: %d shards by %s, %d rows)", q.From, nShards, s.Part(), s.Len())
+	if opts.Robust != (engine.Robust{}) {
+		// Non-default fault tolerance is part of the plan: it changes what
+		// a shard failure does to the result.
+		note := fmt.Sprintf("fault policy: %s", opts.Robust.Policy)
+		if opts.Robust.Policy == relation.PolicyPartial {
+			note += " — merge responsive shards, report missing set"
+		}
+		if opts.Robust.ShardTimeout > 0 {
+			note += fmt.Sprintf("; per-shard timeout %v", opts.Robust.ShardTimeout)
+		}
+		fmt.Fprintf(&b, "    (%s)\n", note)
+	}
 	n := s.Len()
 	var sets engine.ShardSets
 	if q.Where != nil {
