@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-noasm test-noavx2 test-faults bench bench-json benchdiff lint lint-docs fmt
+.PHONY: build test test-noasm test-noavx2 test-faults test-serve bench bench-serve bench-json benchdiff lint lint-docs fmt
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,15 @@ test-faults:
 	$(GO) test -race -run 'Fault|Cancel|Partial|Admission|FanShards|Abandoned|Robust' \
 		./internal/faultinject ./internal/relation ./internal/engine ./internal/psql
 
+# The serving-layer suite under the race detector: the wire-protocol
+# round trips, the server e2e battery (agreement over real connections,
+# streams, prepared statements, admission/timeout/disconnect faults,
+# drain) and the snapshot-isolation torture tests at every level —
+# storage (relation), catalog (psql) and server.
+test-serve:
+	$(GO) test -race ./internal/wire ./internal/server
+	$(GO) test -race -run 'Snapshot|Torture' ./internal/relation ./internal/psql
+
 # One iteration per benchmark — the CI smoke job. Use BENCHTIME=2s (or any
 # go -benchtime value) for real measurements.
 BENCHTIME ?= 1x
@@ -40,13 +49,21 @@ bench:
 # BENCHJSON_TIME=1x for a smoke run; the committed baseline uses a real
 # benchtime so the numbers are comparable across PRs.
 BENCHJSON_TIME ?= 0.5s
-BENCHJSON_OUT ?= BENCH_PR7.json
+BENCHJSON_OUT ?= BENCH_PR8.json
 bench-json:
 	# Two steps, not a pipe: a pipe would discard go test's exit status
 	# and mask failing/panicking benchmarks from CI.
 	$(GO) test -run 'xxx' -bench . -benchtime $(BENCHJSON_TIME) -benchmem ./... > $(BENCHJSON_OUT).txt
 	$(GO) run ./cmd/benchjson < $(BENCHJSON_OUT).txt > $(BENCHJSON_OUT)
 	@rm -f $(BENCHJSON_OUT).txt
+
+# Serving-layer load measurement: prefload drives an in-process server
+# with N concurrent mixed read/ranked/stream sessions plus a writer and
+# reports per-query latency percentiles. With PREFLOAD_FLAGS='-bench'
+# the output concatenates with `make bench` text for cmd/benchjson.
+PREFLOAD_FLAGS ?=
+bench-serve:
+	$(GO) run ./cmd/prefload -sessions 1,8,32 -duration 2s $(PREFLOAD_FLAGS)
 
 # Regression gate: compare a fresh capture against the committed
 # baseline, failing on >BENCHDIFF_THRESHOLD slowdowns in tracked
@@ -58,7 +75,7 @@ bench-json:
 # with GC debt from neighboring benchmarks, so a ratio on them is noise.
 # Flagged benchmarks get a confirmation re-run in isolation and only
 # fail the gate if the isolated timing still exceeds the threshold.
-BENCHDIFF_BASE ?= BENCH_PR6.json
+BENCHDIFF_BASE ?= BENCH_PR7.json
 BENCHDIFF_CUR ?= bench-gate.json
 BENCHDIFF_THRESHOLD ?= 1.5
 BENCHDIFF_MIN_NS ?= 1000000
@@ -75,7 +92,7 @@ lint:
 # packages must carry a doc comment (the line above its declaration must
 # be a comment). Grouped const/var blocks are exempt by construction —
 # their members are indented.
-DOC_PKGS = internal/pref internal/engine internal/relation internal/filter internal/boundcache internal/quality internal/rank internal/benchfmt internal/faultinject
+DOC_PKGS = internal/pref internal/engine internal/relation internal/filter internal/boundcache internal/quality internal/rank internal/benchfmt internal/faultinject internal/wire internal/server
 lint-docs:
 	@fail=0; \
 	for f in $$(find $(DOC_PKGS) -name '*.go' ! -name '*_test.go'); do \

@@ -1,0 +1,188 @@
+// Command prefctl is the interactive wire-protocol client for prefserve:
+// a REPL that sends statements and renders the columnar result frames.
+//
+// Usage:
+//
+//	prefctl -addr localhost:5477
+//	prefctl -addr localhost:5477 -e "SELECT * FROM car PREFERRING price LOWEST TOP 5"
+//	prefctl -addr localhost:5477 -stream -e "SELECT * FROM car PREFERRING power HIGHEST"
+//
+// REPL extras beyond Preference SQL statements:
+//
+//	\set key value     session option (timeout, policy, shard_timeout)
+//	\insert tab v1,v2  append a row (values parsed as SQL literals)
+//	\stream <stmt>     progressive delivery, one row per line
+//	\q                 quit
+//
+// PREPARE name AS <stmt> / EXECUTE name / DEALLOCATE name go to the
+// server verbatim (they are session commands there).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/pref"
+	"repro/internal/relation"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "localhost:5477", "server address")
+		expr   = flag.String("e", "", "statement to execute (omit for a REPL)")
+		stream = flag.Bool("stream", false, "with -e: progressive delivery")
+	)
+	flag.Parse()
+
+	c, err := server.Dial(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	if *expr != "" {
+		if *stream {
+			err = runStream(c, *expr)
+		} else {
+			err = runQuery(c, *expr)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Fprint(os.Stderr, "prefctl> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "--"):
+		case line == `\q` || line == "quit" || line == "exit":
+			return
+		case strings.HasPrefix(line, `\set `):
+			err = runSet(c, strings.TrimPrefix(line, `\set `))
+		case strings.HasPrefix(line, `\insert `):
+			err = runInsert(c, strings.TrimPrefix(line, `\insert `))
+		case strings.HasPrefix(line, `\stream `):
+			err = runStream(c, strings.TrimPrefix(line, `\stream `))
+		default:
+			err = runQuery(c, line)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+		for _, n := range c.Notices() {
+			fmt.Fprintln(os.Stderr, "notice:", n)
+		}
+		fmt.Fprint(os.Stderr, "prefctl> ")
+	}
+}
+
+// runQuery executes a statement and renders the columnar result.
+func runQuery(c *server.Client, stmt string) error {
+	rs, err := c.Query(stmt)
+	if err != nil {
+		return err
+	}
+	if len(rs.Header.Cols) == 0 {
+		fmt.Println("ok")
+		return nil
+	}
+	names := make([]string, len(rs.Header.Cols))
+	for i, col := range rs.Header.Cols {
+		names[i] = col.Name
+	}
+	fmt.Println(strings.Join(names, " | "))
+	for i := 0; i < rs.Len(); i++ {
+		fmt.Println(renderRow(rs.Row(i)))
+	}
+	fmt.Printf("(%d rows, snapshot v%d over %d rows)\n", rs.Len(), rs.Header.SnapVersion, rs.Header.SnapLen)
+	if rs.Partial != "" {
+		fmt.Println("partial:", rs.Partial)
+	}
+	return nil
+}
+
+// runStream executes a statement progressively, one row per line.
+func runStream(c *server.Client, stmt string) error {
+	_, n, err := c.Stream(stmt, func(row relation.Row) bool {
+		fmt.Println(renderRow(row))
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("(%d rows, streamed)\n", n)
+	return nil
+}
+
+// runSet applies "\set key value".
+func runSet(c *server.Client, args string) error {
+	key, value, found := strings.Cut(strings.TrimSpace(args), " ")
+	if !found {
+		return fmt.Errorf("want \\set key value")
+	}
+	return c.Set(key, strings.TrimSpace(value))
+}
+
+// runInsert applies "\insert table v1, v2, …" with SQL-literal values.
+func runInsert(c *server.Client, args string) error {
+	table, vals, found := strings.Cut(strings.TrimSpace(args), " ")
+	if !found {
+		return fmt.Errorf("want \\insert table v1, v2, …")
+	}
+	var row relation.Row
+	for _, f := range strings.Split(vals, ",") {
+		row = append(row, parseLiteral(strings.TrimSpace(f)))
+	}
+	n, err := c.Insert(table, row)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ok (%d rows now)\n", n)
+	return nil
+}
+
+// parseLiteral reads one SQL-ish literal: quoted string, number, bool,
+// NULL; anything else stays a bare string.
+func parseLiteral(s string) pref.Value {
+	if len(s) >= 2 && (s[0] == '\'' || s[0] == '"') && s[len(s)-1] == s[0] {
+		return s[1 : len(s)-1]
+	}
+	switch strings.ToUpper(s) {
+	case "NULL":
+		return nil
+	case "TRUE":
+		return true
+	case "FALSE":
+		return false
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}
+
+// renderRow formats one row for the terminal.
+func renderRow(row relation.Row) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = pref.FormatValue(v)
+	}
+	return strings.Join(parts, " | ")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Command prefserve serves Preference SQL over TCP: the wire-protocol
+// front end of the evaluation engine. Every query pins a storage
+// snapshot of its source table before evaluating, so concurrent
+// inserts (wire INSERT frames) never tear an in-flight result.
+//
+// Usage:
+//
+//	prefserve -addr :5477 -demo                 # synthetic car/trips tables
+//	prefserve -addr :5477 -data ./tables        # every *.csv becomes a table
+//	prefserve -demo -shards 4                   # shard the demo car table
+//
+// SIGTERM/SIGINT drain gracefully: the listener closes, sessions refuse
+// new statements with a SHUTDOWN error, in-flight queries finish (up to
+// -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/psql"
+	"repro/internal/relation"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":5477", "listen address")
+		dataDir      = flag.String("data", "", "directory of *.csv tables")
+		demo         = flag.Bool("demo", false, "load built-in synthetic car and trips tables")
+		rows         = flag.Int("rows", 5000, "row count for -demo data")
+		seed         = flag.Int64("seed", 42, "seed for -demo data")
+		shards       = flag.Int("shards", 0, "shard the demo car table across N shards (0 = flat)")
+		maxInFlight  = flag.Int("max-inflight", 16, "admission: max concurrently evaluating queries")
+		queueTimeout = flag.Duration("queue-timeout", 250*time.Millisecond, "admission: queue wait before shedding")
+		timeout      = flag.Duration("timeout", 0, "default per-query deadline (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	cat := psql.Catalog{}
+	if *demo {
+		car := workload.Cars(*rows, *seed)
+		if *shards > 0 {
+			sh, err := relation.ShardRelation(car, *shards, relation.ByHash("oid"))
+			if err != nil {
+				fatal(err)
+			}
+			cat["car"] = sh
+		} else {
+			cat["car"] = car
+		}
+		cat["trips"] = workload.Trips(*rows, *seed)
+	}
+	if *dataDir != "" {
+		paths, err := filepath.Glob(filepath.Join(*dataDir, "*.csv"))
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range paths {
+			rel, err := relation.LoadCSVFile(p)
+			if err != nil {
+				fatal(err)
+			}
+			cat[rel.Name()] = rel
+		}
+	}
+	if len(cat) == 0 {
+		fatal(fmt.Errorf("prefserve: no tables loaded; use -data or -demo"))
+	}
+	for name, tbl := range cat {
+		fmt.Fprintf(os.Stderr, "prefserve: table %s (%d rows)\n", name, tbl.Len())
+	}
+
+	srv := server.New(cat, server.Config{
+		MaxInFlight:    *maxInFlight,
+		QueueTimeout:   *queueTimeout,
+		DefaultTimeout: *timeout,
+	})
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "prefserve: %v: draining (budget %v)\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "prefserve: drain incomplete: %v\n", err)
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "prefserve: listening on %s\n", *addr)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fatal(err)
+	}
+	m := srv.Metrics()
+	fmt.Fprintf(os.Stderr, "prefserve: drained: %d sessions, %d queries (%d errors, %d shed), %d inserts\n",
+		m.Sessions, m.Queries, m.Errors, m.Overloads, m.Inserts)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -86,12 +86,23 @@ func CompileCached(p pref.Preference, r *relation.Relation) bool {
 // sweep runs through the shared boundcache registry). Callers drop or
 // replace catalog relations through it so the stale entries stop pinning
 // the relation's rows until ordinary capacity eviction; see
-// psql.Catalog.Drop. It returns the number of entries released.
+// psql.Catalog.Drop. The sweep also covers the current generation's
+// memoized Snapshot view, whose bound forms are keyed by the view's own
+// identity; superseded generations' views are unreachable by then and
+// their entries fall to capacity eviction. The eviction is strictly a
+// cache release, never a reclamation: a pinned snapshot still references
+// its generation's rows and column arrays directly, so in-flight queries
+// keep evaluating their epoch untorn and the arrays retire with the last
+// reader. It returns the number of entries released.
 func EvictRelation(r *relation.Relation) int {
 	if r == nil {
 		return 0
 	}
-	return boundcache.EvictSource(r)
+	n := boundcache.EvictSource(r)
+	if sv, ok := r.PeekSnapshot(); ok && sv != r {
+		n += boundcache.EvictSource(sv)
+	}
+	return n
 }
 
 // CompileCacheStats returns the cumulative compile-cache hit and miss

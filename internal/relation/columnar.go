@@ -7,15 +7,18 @@ import (
 	"repro/internal/pref"
 )
 
-// Columnar storage mode: alongside the row store, a relation lazily
-// maintains typed column arrays (float64 vectors with on-scale masks for
-// the linearly ordered column types). The compiled preference evaluator
-// (pref.Compile) reads them through the pref.FloatColumner interface, so
-// materializing a score dimension is a flat vector copy instead of a
-// per-row schema lookup, interface unboxing and type switch. The arrays
-// are derived data: any row mutation (Insert, SortBy) invalidates them and
-// the next access rebuilds. FromColumns ingests column-major data and
-// builds both representations in one pass.
+// Columnar storage mode: alongside the row store, each storage generation
+// lazily maintains typed column arrays (float64 vectors with on-scale
+// masks for the linearly ordered column types). The compiled preference
+// evaluator (pref.Compile) reads them through the pref.FloatColumner
+// interface, so materializing a score dimension is a flat vector copy
+// instead of a per-row schema lookup, interface unboxing and type switch.
+// The arrays are derived data owned by their generation: a row mutation
+// (Insert, SortBy) publishes a fresh generation with empty caches, while
+// the superseded generation — and every array built from it — stays
+// valid for pinned Snapshot readers until the garbage collector retires
+// the epoch. FromColumns ingests column-major data and builds both
+// representations in one pass.
 
 // floatColumn is one column mapped to the toScale linear scale.
 type floatColumn struct {
@@ -27,33 +30,40 @@ type floatColumn struct {
 // preference scoring uses (numerics as themselves, TIME as Unix seconds)
 // together with an on-scale mask (false for NULLs and off-scale values).
 // It reports ok=false for columns that are not linearly ordered (STRING,
-// BOOL) and for unknown names. The returned slices are shared and cached;
-// callers must not modify them. It implements pref.FloatColumner.
+// BOOL) and for unknown names. The returned slices are shared and cached
+// on the current generation; callers must not modify them. It implements
+// pref.FloatColumner.
 func (r *Relation) FloatColumn(name string) (vals []float64, onScale []bool, ok bool) {
-	ci, ok := r.schema.Index(name)
+	return r.cur().floatColumn(r.schema, name)
+}
+
+// floatColumn serves (or builds) the generation's typed array of one
+// column.
+func (g *generation) floatColumn(schema *Schema, name string) (vals []float64, onScale []bool, ok bool) {
+	ci, ok := schema.Index(name)
 	if !ok {
 		return nil, nil, false
 	}
-	switch r.schema.Col(ci).Type {
+	switch schema.Col(ci).Type {
 	case Int, Float, Time:
 	default:
 		return nil, nil, false
 	}
-	r.colMu.Lock()
-	defer r.colMu.Unlock()
-	if r.floatCols == nil {
-		r.floatCols = make(map[int]*floatColumn, r.schema.Len())
+	g.colMu.Lock()
+	defer g.colMu.Unlock()
+	if g.floatCols == nil {
+		g.floatCols = make(map[int]*floatColumn, schema.Len())
 	}
-	col, hit := r.floatCols[ci]
+	col, hit := g.floatCols[ci]
 	if !hit {
-		col = buildFloatColumn(r.rows, ci)
-		r.floatCols[ci] = col
+		col = buildFloatColumn(g.rows, ci)
+		g.floatCols[ci] = col
 	}
 	return col.vals, col.onScale, true
 }
 
 // buildFloatColumn materializes one column: the only place a per-row type
-// switch runs, once per (relation, column) instead of per comparison.
+// switch runs, once per (generation, column) instead of per comparison.
 func buildFloatColumn(rows []Row, ci int) *floatColumn {
 	col := &floatColumn{
 		vals:    make([]float64, len(rows)),
@@ -76,23 +86,29 @@ func buildFloatColumn(rows []Row, ci int) *floatColumn {
 // codes exactly when their values are equal in the pref.EqualValues sense
 // (numeric cross-type equality, time instants, NULL equal to NULL only).
 // Codes start at 1; each NaN is its own class (NaN ≠ NaN). The slice is
-// cached until the next row mutation, so repeated compilations against
-// the same relation pay the dictionary pass once. It implements
+// cached on the current generation, so repeated compilations against an
+// unchanged relation pay the dictionary pass once. It implements
 // pref.EqColumner.
 func (r *Relation) EqColumn(name string) ([]uint32, bool) {
-	ci, ok := r.schema.Index(name)
+	return r.cur().eqColumn(r.schema, name)
+}
+
+// eqColumn serves (or builds) the generation's equality codes of one
+// column.
+func (g *generation) eqColumn(schema *Schema, name string) ([]uint32, bool) {
+	ci, ok := schema.Index(name)
 	if !ok {
 		return nil, false
 	}
-	r.colMu.Lock()
-	defer r.colMu.Unlock()
-	if r.eqCols == nil {
-		r.eqCols = make(map[int][]uint32, r.schema.Len())
+	g.colMu.Lock()
+	defer g.colMu.Unlock()
+	if g.eqCols == nil {
+		g.eqCols = make(map[int][]uint32, schema.Len())
 	}
-	codes, hit := r.eqCols[ci]
+	codes, hit := g.eqCols[ci]
 	if !hit {
-		codes = buildEqColumn(r.rows, ci)
-		r.eqCols[ci] = codes
+		codes = buildEqColumn(g.rows, ci)
+		g.eqCols[ci] = codes
 	}
 	return codes, true
 }
@@ -183,24 +199,10 @@ func (r *Relation) NumericColumn(name string) (vals []float64, onScale []bool, o
 // column, so later compiled evaluations find them ready. It is optional:
 // FloatColumn builds lazily on first use.
 func (r *Relation) Columnarize() {
+	g := r.cur()
 	for _, c := range r.schema.Columns() {
-		r.FloatColumn(c.Name)
+		g.floatColumn(r.schema, c.Name)
 	}
-}
-
-// invalidateColumns drops the derived typed arrays after a row mutation
-// and bumps the mutation counter, stranding every cached bound form keyed
-// to the previous version (engine compile cache, filter selection cache).
-// The bump happens while colMu is held, so builders that release the lock
-// during a long derivation (GroupKeys) can verify under the lock that no
-// mutation intervened before storing their result.
-func (r *Relation) invalidateColumns() {
-	r.colMu.Lock()
-	r.floatCols = nil
-	r.eqCols = nil
-	r.groupCols = nil
-	r.version.Add(1)
-	r.colMu.Unlock()
 }
 
 // FromColumns builds a relation from column-major data: cols[k] holds the
@@ -219,10 +221,9 @@ func FromColumns(name string, schema *Schema, cols ...[]pref.Value) (*Relation, 
 			return nil, fmt.Errorf("relation %s: column %s has %d rows, want %d", name, schema.Col(k).Name, len(col), n)
 		}
 	}
-	r := New(name, schema)
-	r.rows = make([]Row, n)
-	for i := range r.rows {
-		r.rows[i] = make(Row, len(cols))
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = make(Row, len(cols))
 	}
 	for k, col := range cols {
 		t := schema.Col(k).Type
@@ -230,9 +231,11 @@ func FromColumns(name string, schema *Schema, cols ...[]pref.Value) (*Relation, 
 			if err := checkValue(t, v); err != nil {
 				return nil, fmt.Errorf("relation %s, column %s, row %d: %w", name, schema.Col(k).Name, i, err)
 			}
-			r.rows[i][k] = v
+			rows[i][k] = v
 		}
 	}
+	r := New(name, schema)
+	r.gen.Load().rows = rows
 	r.Columnarize()
 	return r, nil
 }

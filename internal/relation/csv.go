@@ -146,7 +146,7 @@ func (r *Relation) WriteCSV(w io.Writer) error {
 	if err := cw.Write(r.schema.Names()); err != nil {
 		return err
 	}
-	for _, row := range r.rows {
+	for _, row := range r.Rows() {
 		rec := make([]string, len(row))
 		for i, v := range row {
 			if v == nil {

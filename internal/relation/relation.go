@@ -138,25 +138,77 @@ func checkValue(t Type, v pref.Value) error {
 // Row is one tuple's values in schema order.
 type Row []pref.Value
 
-// Relation is an in-memory database set R(B1, …, Bm). Rows are the storage
-// of record; typed column arrays for compiled evaluation are maintained
-// lazily alongside them (see columnar.go).
-type Relation struct {
-	name   string
-	schema *Schema
-	rows   []Row
+// generation is one immutable epoch of a relation's storage: the row
+// slice at a mutation version, plus the derived typed-column caches built
+// lazily from exactly those rows. Mutators never modify a published
+// generation — they build a successor and swap the relation's pointer —
+// so any reader (or pinned Snapshot) that loaded a generation keeps a
+// torn-free view for as long as it holds the pointer: rows, float
+// columns, equality codes and group codes all agree on one version.
+// Reclamation is epoch-based by construction: a superseded generation's
+// arrays live until the last pinned reader drops it, then the garbage
+// collector retires the epoch — there is no eager free to race against.
+type generation struct {
+	rows    []Row
+	version uint64
 
+	// Derived caches, built lazily from rows under colMu. The rows are
+	// immutable, so a build can never observe a concurrent mutation;
+	// colMu only coordinates double-build avoidance and map access.
 	colMu     sync.Mutex
 	floatCols map[int]*floatColumn
 	eqCols    map[int][]uint32
 	groupCols map[string][]uint32
-	version   atomic.Uint64
-	derived   bool
+
+	// snap memoizes the frozen Snapshot view of this generation, so every
+	// session pinning the same version shares one *Relation identity and
+	// the bound-form caches (keyed by source pointer) hit across sessions.
+	snapMu sync.Mutex
+	snap   *Relation
+}
+
+// Relation is an in-memory database set R(B1, …, Bm). Storage is
+// generational copy-on-write: the current generation (rows plus derived
+// column caches) is published through an atomic pointer, mutators build a
+// successor generation and swap, and Snapshot pins the current one as an
+// immutable view. Reads and snapshots are therefore safe against
+// concurrent Inserts; see Snapshot for the isolation contract.
+type Relation struct {
+	name    string
+	schema  *Schema
+	derived bool
+	frozen  bool
+
+	mu  sync.Mutex // serializes mutators (Insert, SortBy)
+	gen atomic.Pointer[generation]
 }
 
 // New creates an empty relation with the given name and schema.
 func New(name string, schema *Schema) *Relation {
-	return &Relation{name: name, schema: schema}
+	r := &Relation{name: name, schema: schema}
+	r.gen.Store(&generation{})
+	return r
+}
+
+// newDerived builds a query-intermediate relation directly over the given
+// row slice (which the caller hands over).
+func newDerived(name string, schema *Schema, rows []Row) *Relation {
+	r := New(name, schema)
+	r.derived = true
+	r.gen.Load().rows = rows
+	return r
+}
+
+// cur returns the current generation.
+func (r *Relation) cur() *generation { return r.gen.Load() }
+
+// setRows publishes a successor generation holding the given rows; bulk
+// loaders (ShardRelation, Reshard) use it after routing rows.
+func (r *Relation) setRows(rows []Row) {
+	r.mu.Lock()
+	g := r.cur()
+	r.gen.Store(&generation{rows: rows, version: g.version + 1})
+	r.mu.Unlock()
 }
 
 // Name returns the relation's name.
@@ -166,13 +218,55 @@ func (r *Relation) Name() string { return r.name }
 func (r *Relation) Schema() *Schema { return r.schema }
 
 // Len returns the row count, card(R).
-func (r *Relation) Len() int { return len(r.rows) }
+func (r *Relation) Len() int { return len(r.cur().rows) }
 
 // Version returns the relation's mutation counter: it increases on every
 // row mutation (Insert, SortBy) and never otherwise. Compile caches key
 // bound forms by (relation, version, term), so a bumped counter strands
 // every stale entry. It implements filter.Versioned.
-func (r *Relation) Version() uint64 { return r.version.Load() }
+func (r *Relation) Version() uint64 { return r.cur().version }
+
+// Frozen reports whether the relation is an immutable Snapshot view;
+// mutators refuse frozen relations.
+func (r *Relation) Frozen() bool { return r.frozen }
+
+// Snapshot pins the relation's current generation as an immutable view:
+// a frozen *Relation sharing the pinned rows and derived column caches,
+// valid indefinitely — concurrent Inserts on the live relation publish
+// successor generations and never disturb a pinned one, so a query
+// evaluated against the snapshot can never observe a torn mutation. The
+// view is memoized per generation: every caller pinning the same version
+// gets the same *Relation identity, so the bound-form caches (keyed by
+// source pointer and version) amortize across sessions reading the same
+// epoch. Snapshot of a frozen view returns the view itself.
+func (r *Relation) Snapshot() *Relation {
+	g := r.cur()
+	g.snapMu.Lock()
+	defer g.snapMu.Unlock()
+	if g.snap == nil {
+		if r.frozen {
+			g.snap = r
+		} else {
+			s := &Relation{name: r.name, schema: r.schema, derived: r.derived, frozen: true}
+			s.gen.Store(g)
+			g.snap = s
+		}
+	}
+	return g.snap
+}
+
+// PeekSnapshot returns the memoized Snapshot view of the CURRENT
+// generation, without creating one. Eviction sweeps use it: dropping a
+// catalog relation must also release bound forms cached against its
+// snapshot identity (see engine.EvictRelation). Superseded generations'
+// views are unreachable from here by design — they retire with their
+// last reader and their cache entries fall to capacity eviction.
+func (r *Relation) PeekSnapshot() (*Relation, bool) {
+	g := r.cur()
+	g.snapMu.Lock()
+	defer g.snapMu.Unlock()
+	return g.snap, g.snap != nil
+}
 
 // Ephemeral reports whether the relation is a derived query intermediate
 // (built by Pick, Select, Where or a projection). Compile caches skip
@@ -182,13 +276,24 @@ func (r *Relation) Version() uint64 { return r.version.Load() }
 func (r *Relation) Ephemeral() bool { return r.derived }
 
 // Row returns row i; callers must not modify it.
-func (r *Relation) Row(i int) Row { return r.rows[i] }
+func (r *Relation) Row(i int) Row { return r.cur().rows[i] }
 
 // Rows returns all rows; callers must not modify the slice.
-func (r *Relation) Rows() []Row { return r.rows }
+func (r *Relation) Rows() []Row { return r.cur().rows }
 
-// Insert appends a row after type-checking every value against the schema.
+// ErrFrozen is returned by mutators invoked on a Snapshot view.
+var ErrFrozen = fmt.Errorf("relation: snapshot views are read-only")
+
+// Insert appends a row after type-checking every value against the
+// schema, publishing a successor generation. Concurrent Inserts are safe
+// (they serialize on the relation's writer lock), and concurrent readers
+// or pinned Snapshots keep their generation untouched: the append either
+// writes beyond every published length or relocates to a fresh array,
+// so no published row is ever overwritten.
 func (r *Relation) Insert(row Row) error {
+	if r.frozen {
+		return fmt.Errorf("relation %s: %w", r.name, ErrFrozen)
+	}
 	if len(row) != r.schema.Len() {
 		return fmt.Errorf("relation %s: row arity %d does not match schema arity %d", r.name, len(row), r.schema.Len())
 	}
@@ -197,8 +302,13 @@ func (r *Relation) Insert(row Row) error {
 			return fmt.Errorf("relation %s, column %s: %w", r.name, r.schema.Col(i).Name, err)
 		}
 	}
-	r.rows = append(r.rows, append(Row(nil), row...))
-	r.invalidateColumns()
+	r.mu.Lock()
+	g := r.cur()
+	r.gen.Store(&generation{
+		rows:    append(g.rows, append(Row(nil), row...)),
+		version: g.version + 1,
+	})
+	r.mu.Unlock()
 	return nil
 }
 
@@ -214,14 +324,15 @@ func (r *Relation) MustInsert(rows ...Row) *Relation {
 
 // Tuple returns the pref.Tuple view of row i.
 func (r *Relation) Tuple(i int) pref.Tuple {
-	return rowTuple{schema: r.schema, row: r.rows[i]}
+	return rowTuple{schema: r.schema, row: r.cur().rows[i]}
 }
 
 // Tuples returns pref.Tuple views of every row.
 func (r *Relation) Tuples() []pref.Tuple {
-	out := make([]pref.Tuple, len(r.rows))
-	for i := range r.rows {
-		out[i] = r.Tuple(i)
+	rows := r.cur().rows
+	out := make([]pref.Tuple, len(rows))
+	for i, row := range rows {
+		out[i] = rowTuple{schema: r.schema, row: row}
 	}
 	return out
 }
@@ -257,14 +368,14 @@ func FromRows(name string, schema *Schema, rows []Row) (*Relation, error) {
 // evaluation per row; predicates expressible as a filter.Pred tree should
 // go through Where, which binds to the cached column arrays instead.
 func (r *Relation) Select(pred func(pref.Tuple) bool) *Relation {
-	out := New(r.name, r.schema)
-	out.derived = true
-	for i := range r.rows {
-		if pred(r.Tuple(i)) {
-			out.rows = append(out.rows, r.rows[i])
+	rows := r.cur().rows
+	var kept []Row
+	for _, row := range rows {
+		if pred(rowTuple{schema: r.schema, row: row}) {
+			kept = append(kept, row)
 		}
 	}
-	return out
+	return newDerived(r.name, r.schema, kept)
 }
 
 // Where returns the rows satisfying the predicate tree, as a new relation.
@@ -287,13 +398,12 @@ func (r *Relation) WhereIndices(pred filter.Pred) []int {
 
 // Pick returns a new relation containing the rows at the given indices.
 func (r *Relation) Pick(indices []int) *Relation {
-	out := New(r.name, r.schema)
-	out.derived = true
-	out.rows = make([]Row, 0, len(indices))
+	src := r.cur().rows
+	rows := make([]Row, 0, len(indices))
 	for _, i := range indices {
-		out.rows = append(out.rows, r.rows[i])
+		rows = append(rows, src[i])
 	}
-	return out
+	return newDerived(r.name, r.schema, rows)
 }
 
 // Project returns π over the named attributes, preserving duplicates
@@ -313,16 +423,16 @@ func (r *Relation) Project(attrs []string) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := New(r.name, schema)
-	out.derived = true
-	for _, row := range r.rows {
+	src := r.cur().rows
+	rows := make([]Row, 0, len(src))
+	for _, row := range src {
 		proj := make(Row, len(idx))
 		for k, i := range idx {
 			proj[k] = row[i]
 		}
-		out.rows = append(out.rows, proj)
+		rows = append(rows, proj)
 	}
-	return out, nil
+	return newDerived(r.name, schema, rows), nil
 }
 
 // DistinctProject returns π over the named attributes with duplicates
@@ -334,24 +444,24 @@ func (r *Relation) DistinctProject(attrs []string) (*Relation, error) {
 		return nil, err
 	}
 	seen := make(map[string]struct{}, proj.Len())
-	out := New(r.name, proj.schema)
-	out.derived = true
-	for i, row := range proj.rows {
+	var rows []Row
+	for i, row := range proj.cur().rows {
 		k := pref.ProjectionKey(proj.Tuple(i), attrs)
 		if _, dup := seen[k]; dup {
 			continue
 		}
 		seen[k] = struct{}{}
-		out.rows = append(out.rows, row)
+		rows = append(rows, row)
 	}
-	return out, nil
+	return newDerived(r.name, proj.schema, rows), nil
 }
 
 // DistinctCount returns card(π_A(R)) without materializing the projection.
 func (r *Relation) DistinctCount(attrs []string) int {
-	seen := make(map[string]struct{}, r.Len())
-	for i := range r.rows {
-		seen[pref.ProjectionKey(r.Tuple(i), attrs)] = struct{}{}
+	rows := r.cur().rows
+	seen := make(map[string]struct{}, len(rows))
+	for _, row := range rows {
+		seen[pref.ProjectionKey(rowTuple{schema: r.schema, row: row}, attrs)] = struct{}{}
 	}
 	return len(seen)
 }
@@ -371,10 +481,11 @@ func (r *Relation) Groups(attrs []string) [][]int {
 // (WHERE bitmap → grouped BMO) partitions its candidate set without
 // materializing a single tuple. See GroupKeys for the code semantics.
 func (r *Relation) GroupsOn(attrs []string, idx []int) [][]int {
-	codes := r.GroupKeys(attrs)
+	g := r.cur()
+	codes := g.groupKeys(r.schema, attrs)
 	n := len(idx)
 	if idx == nil {
-		n = len(r.rows)
+		n = len(g.rows)
 	}
 	at := func(k int) int {
 		if idx == nil {
@@ -412,39 +523,41 @@ func (r *Relation) GroupsOn(attrs []string, idx []int) [][]int {
 // Attributes outside the schema fall back to a ValueKey dictionary over
 // the tuple view (all rows lack the attribute and share one class), so
 // grouping on a foreign attribute list stays well-defined. Composite
-// codes are cached per attribute list until the next row mutation — like
-// EqColumn itself — so repeated grouped queries (however selective their
-// candidate subsets) pay the full-relation dictionary pass once. The
-// returned slice may alias a cached column; callers must not modify it.
+// codes are cached per attribute list on the relation's current
+// generation — like EqColumn itself — so repeated grouped queries
+// (however selective their candidate subsets) pay the full-relation
+// dictionary pass once per epoch. The returned slice may alias a cached
+// column; callers must not modify it.
 func (r *Relation) GroupKeys(attrs []string) []uint32 {
+	return r.cur().groupKeys(r.schema, attrs)
+}
+
+// groupKeys computes (or serves) the generation's composite group codes.
+// The generation's rows are immutable, so the derivation can run outside
+// the cache lock: a racing duplicate build produces identical codes and
+// the second store is harmless.
+func (g *generation) groupKeys(schema *Schema, attrs []string) []uint32 {
 	if len(attrs) == 0 {
-		return make([]uint32, len(r.rows))
+		return make([]uint32, len(g.rows))
 	}
 	if len(attrs) == 1 {
-		return r.attrCodes(attrs[0])
+		return g.attrCodes(schema, attrs[0])
 	}
 	var key strings.Builder
 	for _, a := range attrs {
 		boundcache.WriteKeyStr(&key, a)
 	}
-	r.colMu.Lock()
-	if r.groupCols == nil {
-		r.groupCols = make(map[string][]uint32)
-	}
-	if codes, hit := r.groupCols[key.String()]; hit {
-		r.colMu.Unlock()
+	g.colMu.Lock()
+	if codes, hit := g.groupCols[key.String()]; hit {
+		g.colMu.Unlock()
 		return codes
 	}
-	// Capture the version under the lock: invalidateColumns bumps it with
-	// the lock held, so an unchanged version at store time proves no
-	// mutation slipped in while the codes were being combined below.
-	v0 := r.version.Load()
-	r.colMu.Unlock()
-	acc := r.attrCodes(attrs[0])
+	g.colMu.Unlock()
+	acc := g.attrCodes(schema, attrs[0])
 	for _, a := range attrs[1:] {
-		next := r.attrCodes(a)
+		next := g.attrCodes(schema, a)
 		pair := make(map[uint64]uint32, 16)
-		combined := make([]uint32, len(r.rows))
+		combined := make([]uint32, len(g.rows))
 		n := uint32(1)
 		for i := range combined {
 			k := uint64(acc[i])<<32 | uint64(next[i])
@@ -458,14 +571,12 @@ func (r *Relation) GroupKeys(attrs []string) []uint32 {
 		}
 		acc = combined
 	}
-	r.colMu.Lock()
-	if r.version.Load() == v0 {
-		if r.groupCols == nil {
-			r.groupCols = make(map[string][]uint32)
-		}
-		r.groupCols[key.String()] = acc
+	g.colMu.Lock()
+	if g.groupCols == nil {
+		g.groupCols = make(map[string][]uint32)
 	}
-	r.colMu.Unlock()
+	g.groupCols[key.String()] = acc
+	g.colMu.Unlock()
 	return acc
 }
 
@@ -473,15 +584,15 @@ func (r *Relation) GroupKeys(attrs []string) []uint32 {
 // EqColumn for schema columns, a ValueKey dictionary over the tuple views
 // for anything else (code 0 = attribute absent, shared — absence on both
 // sides counts as agreement, per EqualOn).
-func (r *Relation) attrCodes(attr string) []uint32 {
-	if codes, ok := r.EqColumn(attr); ok {
+func (g *generation) attrCodes(schema *Schema, attr string) []uint32 {
+	if codes, ok := g.eqColumn(schema, attr); ok {
 		return codes
 	}
-	codes := make([]uint32, len(r.rows))
+	codes := make([]uint32, len(g.rows))
 	dict := make(map[string]uint32)
 	next := uint32(1)
-	for i := range r.rows {
-		v, ok := r.Tuple(i).Get(attr)
+	for i, row := range g.rows {
+		v, ok := rowTuple{schema: schema, row: row}.Get(attr)
 		if !ok {
 			codes[i] = 0
 			continue
@@ -498,10 +609,19 @@ func (r *Relation) attrCodes(attr string) []uint32 {
 	return codes
 }
 
-// SortBy orders the relation's rows in place by the given less function
-// over tuple views; the sort is stable.
+// SortBy orders the relation's rows by the given less function over tuple
+// views; the sort is stable. It publishes a successor generation over a
+// copied row slice (rows themselves are shared, copy-on-write at the
+// slice level), so pinned Snapshots keep their original order. SortBy
+// panics on a frozen Snapshot view.
 func (r *Relation) SortBy(less func(a, b pref.Tuple) bool) {
-	slices.SortStableFunc(r.rows, func(a, b Row) int {
+	if r.frozen {
+		panic("relation: SortBy on a frozen snapshot view")
+	}
+	r.mu.Lock()
+	g := r.cur()
+	rows := slices.Clone(g.rows)
+	slices.SortStableFunc(rows, func(a, b Row) int {
 		ta := rowTuple{schema: r.schema, row: a}
 		tb := rowTuple{schema: r.schema, row: b}
 		switch {
@@ -512,18 +632,22 @@ func (r *Relation) SortBy(less func(a, b pref.Tuple) bool) {
 		}
 		return 0
 	})
-	r.invalidateColumns()
+	r.gen.Store(&generation{rows: rows, version: g.version + 1})
+	r.mu.Unlock()
 }
 
 // Clone returns a deep copy of the relation; the copy keeps the
-// original's ephemerality.
+// original's ephemerality but is never frozen (it shares nothing with
+// the original, so it is freely mutable).
 func (r *Relation) Clone() *Relation {
+	src := r.cur().rows
+	rows := make([]Row, len(src))
+	for i, row := range src {
+		rows[i] = append(Row(nil), row...)
+	}
 	out := New(r.name, r.schema)
 	out.derived = r.derived
-	out.rows = make([]Row, len(r.rows))
-	for i, row := range r.rows {
-		out.rows[i] = append(Row(nil), row...)
-	}
+	out.gen.Load().rows = rows
 	return out
 }
 
@@ -534,8 +658,9 @@ func (r *Relation) String() string {
 	for i, n := range names {
 		widths[i] = len(n)
 	}
-	cells := make([][]string, len(r.rows))
-	for i, row := range r.rows {
+	rows := r.cur().rows
+	cells := make([][]string, len(rows))
+	for i, row := range rows {
 		cells[i] = make([]string, len(row))
 		for j, v := range row {
 			s := pref.FormatValue(v)

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/pref"
@@ -197,10 +198,31 @@ func RangeBounds(r *Relation, attr string, n int) []float64 {
 // Shards are append-only (no deletes exist in the store), so a global
 // row id — GlobalID(shard, local) — addresses its row stably. Reads of
 // distinct shards never contend: each shard owns its rows, columnar
-// arrays and caches outright.
+// arrays and caches outright. The shard list and partitioner are
+// published through an atomic pointer (swapped only by Reshard), and a
+// table-level reader/writer lock coordinates Inserts against Snapshot so
+// a pinned snapshot is a consistent cut across every shard.
 type Sharded struct {
 	name   string
 	schema *Schema
+	frozen bool
+
+	// mu: Insert holds it shared (concurrent inserts still fan out —
+	// per-shard writer locks do the serialization), Snapshot and Reshard
+	// hold it exclusively for the brief pin/swap.
+	mu    sync.RWMutex
+	state atomic.Pointer[shardState]
+
+	// mutations counts row inserts and reshard swaps; the memoized
+	// snapshot is valid while it is unchanged.
+	mutations atomic.Uint64
+	snapAt    uint64
+	snap      *Sharded
+}
+
+// shardState is the swappable part of a sharded table: the shard list
+// and the partitioner that routes into it.
+type shardState struct {
 	part   Partitioner
 	shards []*Relation
 }
@@ -218,10 +240,12 @@ func NewSharded(name string, schema *Schema, nShards int, part Partitioner) (*Sh
 			return nil, fmt.Errorf("relation %s: %w", name, err)
 		}
 	}
-	s := &Sharded{name: name, schema: schema, part: part, shards: make([]*Relation, nShards)}
-	for i := range s.shards {
-		s.shards[i] = New(fmt.Sprintf("%s#%d", name, i), schema)
+	shards := make([]*Relation, nShards)
+	for i := range shards {
+		shards[i] = New(fmt.Sprintf("%s#%d", name, i), schema)
 	}
+	s := &Sharded{name: name, schema: schema}
+	s.state.Store(&shardState{part: part, shards: shards})
 	return s, nil
 }
 
@@ -234,12 +258,14 @@ func ShardRelation(r *Relation, nShards int, part Partitioner) (*Sharded, error)
 	if err != nil {
 		return nil, err
 	}
+	st := s.state.Load()
+	buckets := make([][]Row, nShards)
 	for _, row := range r.Rows() {
-		sh := s.shards[s.ShardOf(row)]
-		sh.rows = append(sh.rows, row)
+		t := st.part.ShardOf(row, s.schema, nShards)
+		buckets[t] = append(buckets[t], row)
 	}
-	for _, sh := range s.shards {
-		sh.invalidateColumns()
+	for i, sh := range st.shards {
+		sh.setRows(buckets[i])
 	}
 	return s, nil
 }
@@ -250,42 +276,101 @@ func (s *Sharded) Name() string { return s.name }
 // Schema returns the shared schema.
 func (s *Sharded) Schema() *Schema { return s.schema }
 
+// Frozen reports whether the table is an immutable Snapshot view.
+func (s *Sharded) Frozen() bool { return s.frozen }
+
 // Len returns the total row count across every shard.
 func (s *Sharded) Len() int {
 	n := 0
-	for _, sh := range s.shards {
+	for _, sh := range s.state.Load().shards {
 		n += sh.Len()
 	}
 	return n
 }
 
 // NumShards returns the shard count.
-func (s *Sharded) NumShards() int { return len(s.shards) }
+func (s *Sharded) NumShards() int { return len(s.state.Load().shards) }
 
 // Shard returns shard i; callers must not mutate it directly (route rows
 // through Insert so the partitioning invariant holds).
-func (s *Sharded) Shard(i int) *Relation { return s.shards[i] }
+func (s *Sharded) Shard(i int) *Relation { return s.state.Load().shards[i] }
 
 // Shards returns the shard list; callers must not modify the slice.
-func (s *Sharded) Shards() []*Relation { return s.shards }
+func (s *Sharded) Shards() []*Relation { return s.state.Load().shards }
 
 // Part returns the partitioner.
-func (s *Sharded) Part() Partitioner { return s.part }
+func (s *Sharded) Part() Partitioner { return s.state.Load().part }
 
 // ShardOf returns the shard a row routes to under the partitioner.
 func (s *Sharded) ShardOf(row Row) int {
-	return s.part.ShardOf(row, s.schema, len(s.shards))
+	st := s.state.Load()
+	return st.part.ShardOf(row, s.schema, len(st.shards))
 }
 
 // Insert routes the row to its shard after the usual schema type check.
-// Concurrent Inserts into DISTINCT shards are independent (each shard
-// owns its storage); inserts into one shard must be serialized by the
-// caller, like Relation.Insert itself.
+// Concurrent Inserts are safe: inserts into distinct shards proceed in
+// parallel (each shard serializes its own writers), and the table-level
+// read lock only excludes the brief exclusive sections of Snapshot and
+// Reshard, keeping snapshots consistent cuts.
 func (s *Sharded) Insert(row Row) error {
+	if s.frozen {
+		return fmt.Errorf("relation %s: %w", s.name, ErrFrozen)
+	}
 	if len(row) != s.schema.Len() {
 		return fmt.Errorf("relation %s: row arity %d does not match schema arity %d", s.name, len(row), s.schema.Len())
 	}
-	return s.shards[s.ShardOf(row)].Insert(row)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := s.state.Load()
+	err := st.shards[st.part.ShardOf(row, s.schema, len(st.shards))].Insert(row)
+	if err == nil {
+		s.mutations.Add(1)
+	}
+	return err
+}
+
+// Snapshot pins a consistent cut of the whole table: a frozen *Sharded
+// whose shards are the per-shard Snapshot views, taken under the
+// table-level exclusive lock so no insert lands between pinning shard 0
+// and shard N-1. Single-row Inserts are therefore atomic with respect to
+// snapshots — a pinned cut reflects a prefix of the table's insert
+// history, never a row without its predecessors. The cut is memoized
+// until the next mutation, so concurrent sessions pinning the same epoch
+// share shard identities and their cached bound forms. Snapshot of a
+// frozen view returns the view itself.
+func (s *Sharded) Snapshot() *Sharded {
+	if s.frozen {
+		return s
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m := s.mutations.Load(); s.snap != nil && s.snapAt == m {
+		return s.snap
+	} else {
+		st := s.state.Load()
+		shards := make([]*Relation, len(st.shards))
+		for i, sh := range st.shards {
+			shards[i] = sh.Snapshot()
+		}
+		snap := &Sharded{name: s.name, schema: s.schema, frozen: true}
+		snap.state.Store(&shardState{part: st.part, shards: shards})
+		s.snap, s.snapAt = snap, m
+		return snap
+	}
+}
+
+// PeekSnapshot returns the memoized current-cut Snapshot view, without
+// creating one; eviction sweeps use it (see engine.EvictSharded).
+func (s *Sharded) PeekSnapshot() (*Sharded, bool) {
+	if s.frozen {
+		return s, true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snap != nil && s.snapAt == s.mutations.Load() {
+		return s.snap, true
+	}
+	return nil, false
 }
 
 // MustInsert is Insert that panics on error; for test fixtures.
@@ -301,25 +386,25 @@ func (s *Sharded) MustInsert(rows ...Row) *Sharded {
 // Row returns the row at a global id; callers must not modify it.
 func (s *Sharded) Row(gid int) Row {
 	shard, local := SplitGlobalID(gid)
-	return s.shards[shard].Row(local)
+	return s.state.Load().shards[shard].Row(local)
 }
 
 // Tuple returns the pref.Tuple view of the row at a global id.
 func (s *Sharded) Tuple(gid int) pref.Tuple {
 	shard, local := SplitGlobalID(gid)
-	return s.shards[shard].Tuple(local)
+	return s.state.Load().shards[shard].Tuple(local)
 }
 
 // Pick materializes the rows at the given global ids as a new flat
 // (derived) relation, in id order.
 func (s *Sharded) Pick(gids []int) *Relation {
-	out := New(s.name, s.schema)
-	out.derived = true
-	out.rows = make([]Row, 0, len(gids))
+	st := s.state.Load()
+	rows := make([]Row, 0, len(gids))
 	for _, gid := range gids {
-		out.rows = append(out.rows, s.Row(gid))
+		shard, local := SplitGlobalID(gid)
+		rows = append(rows, st.shards[shard].Row(local))
 	}
-	return out
+	return newDerived(s.name, s.schema, rows)
 }
 
 // Flatten materializes the union of every shard as a new flat (derived)
@@ -327,26 +412,31 @@ func (s *Sharded) Pick(gids []int) *Relation {
 // agreement tests use it; per-query flattening is exactly the cost the
 // sharded evaluation paths avoid.
 func (s *Sharded) Flatten() *Relation {
-	out := New(s.name, s.schema)
-	out.derived = true
-	out.rows = make([]Row, 0, s.Len())
-	for _, sh := range s.shards {
-		out.rows = append(out.rows, sh.rows...)
+	var rows []Row
+	for _, sh := range s.state.Load().shards {
+		rows = append(rows, sh.Rows()...)
 	}
-	return out
+	return newDerived(s.name, s.schema, rows)
 }
 
 // Reshard redistributes every row into nShards fresh shards under a new
 // partitioner and returns the displaced shard relations, so callers can
 // evict their cached bound forms (see engine.EvictSharded); the sharded
 // table keeps its identity. Global row ids are NOT stable across a
-// Reshard — it is the one operation that re-addresses rows.
+// Reshard — it is the one operation that re-addresses rows. Pinned
+// Snapshots keep addressing the displaced shards.
 func (s *Sharded) Reshard(nShards int, part Partitioner) ([]*Relation, error) {
+	if s.frozen {
+		return nil, fmt.Errorf("relation %s: %w", s.name, ErrFrozen)
+	}
 	if nShards < 1 || nShards > maxShards {
 		return nil, fmt.Errorf("relation %s: shard count %d outside [1, %d]", s.name, nShards, maxShards)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.state.Load()
 	if part == nil {
-		part = s.part
+		part = st.part
 	}
 	if c, ok := part.(shardCountChecker); ok {
 		if err := c.checkShards(nShards); err != nil {
@@ -354,21 +444,22 @@ func (s *Sharded) Reshard(nShards int, part Partitioner) ([]*Relation, error) {
 		}
 	}
 	next := make([]*Relation, nShards)
+	buckets := make([][]Row, nShards)
 	for i := range next {
 		next[i] = New(fmt.Sprintf("%s#%d", s.name, i), s.schema)
 	}
-	for _, sh := range s.shards {
-		for _, row := range sh.rows {
+	for _, sh := range st.shards {
+		for _, row := range sh.Rows() {
 			t := part.ShardOf(row, s.schema, nShards)
-			next[t].rows = append(next[t].rows, row)
+			buckets[t] = append(buckets[t], row)
 		}
 	}
-	for _, sh := range next {
-		sh.invalidateColumns()
+	for i, sh := range next {
+		sh.setRows(buckets[i])
 	}
-	old := s.shards
-	s.shards, s.part = next, part
-	return old, nil
+	s.state.Store(&shardState{part: part, shards: next})
+	s.mutations.Add(1)
+	return st.shards, nil
 }
 
 // String renders the table as an aligned text table (shard-major order).

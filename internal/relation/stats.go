@@ -108,7 +108,7 @@ func AnalyzeSample(r *Relation, sample int) *Stats {
 		var prev pref.Value
 		havePrev := false
 		for i := 0; i < n; i++ {
-			v := r.rows[i][ci]
+			v := r.Row(i)[ci]
 			if f, ok := pref.Numeric(v); ok {
 				if !cs.HasRange || f < cs.Min {
 					cs.Min = f
@@ -159,7 +159,7 @@ func meanPairwiseCorr(r *Relation, cols []int, stride int) (float64, bool) {
 		vec := make([]float64, len(cols))
 		ok := true
 		for k, ci := range cols {
-			f, isNum := pref.Numeric(r.rows[i][ci])
+			f, isNum := pref.Numeric(r.Row(i)[ci])
 			if !isNum {
 				ok = false
 				break

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/psql"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// tortureQueries is the reader rotation for the torture battery: cheap
+// enough to run hundreds of times, varied enough to cross the
+// selection, BMO and ranked execution paths.
+var tortureQueries = []string{
+	"SELECT oid FROM car WHERE price <= 40000",
+	"SELECT oid FROM car PREFERRING LOWEST(price) AND HIGHEST(horsepower)",
+	"SELECT oid FROM car PREFERRING color IN ('red') PRIOR TO LOWEST(price)",
+	"SELECT oid FROM car PREFERRING RANK(price AROUND 30000, HIGHEST(horsepower)) TOP 10",
+}
+
+// tortureOracle reconstructs, for any snapshot length the server
+// reports, the exact relation that snapshot must have contained: the
+// base prefix plus the writer's insert history up to that length. A
+// single sequential writer makes the row set a pure function of the
+// length, for flat storage (append order) and sharded storage alike
+// (the consistent cut admits only history prefixes).
+type tortureOracle struct {
+	base    *relation.Relation // pre-churn pin of the served table
+	history []relation.Row
+	shards  int
+
+	mu    sync.Mutex
+	cache map[string]string // "query@snaplen" -> rendered rows
+}
+
+func (o *tortureOracle) expect(t *testing.T, query string, snapLen uint64) (string, error) {
+	n := int(snapLen) - o.base.Len()
+	if n < 0 || n > len(o.history) {
+		return "", fmt.Errorf("snapshot length %d outside [%d, %d]", snapLen, o.base.Len(), o.base.Len()+len(o.history))
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	key := fmt.Sprintf("%s@%d", query, snapLen)
+	if want, ok := o.cache[key]; ok {
+		return want, nil
+	}
+	flat := relation.New("car", o.base.Schema())
+	for i := 0; i < o.base.Len(); i++ {
+		if err := flat.Insert(o.base.Row(i)); err != nil {
+			return "", err
+		}
+	}
+	for _, row := range o.history[:n] {
+		if err := flat.Insert(row); err != nil {
+			return "", err
+		}
+	}
+	var tbl relation.Table = flat
+	if o.shards > 0 {
+		sh, err := relation.ShardRelation(flat, o.shards, relation.ByHash("oid"))
+		if err != nil {
+			return "", err
+		}
+		tbl = sh
+	}
+	direct, err := psql.Run(query, psql.Catalog{"car": tbl}, psql.Options{})
+	if err != nil {
+		return "", err
+	}
+	want := renderRel(direct)
+	o.cache[key] = want
+	return want, nil
+}
+
+// testServerTorture is satellite 1 at the serving layer: K reader
+// sessions hammer the server over real connections while a writer
+// session appends rows over the wire. Every single result must equal a
+// pure evaluation over the relation state implied by its header's
+// snapshot length — no torn reads, no mixed generations, under -race.
+func testServerTorture(t *testing.T, shards int) {
+	const (
+		readers  = 8
+		nInserts = 120
+	)
+	base := workload.Cars(240, 11)
+	pin := base.Snapshot() // immutable view of the pre-churn rows
+	history := make([]relation.Row, nInserts)
+	for i := range history {
+		history[i] = carRow(base, int64(100000+i))
+	}
+	oracle := &tortureOracle{base: pin, history: history, shards: shards, cache: map[string]string{}}
+
+	var tbl relation.Table = base
+	if shards > 0 {
+		sh, err := relation.ShardRelation(base, shards, relation.ByHash("oid"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl = sh
+	}
+	_, addr := startServer(t, psql.Catalog{"car": tbl}, Config{MaxInFlight: 32, QueueTimeout: 5 * time.Second})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for s := 0; s < readers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Errorf("reader %d: %v", s, err)
+				return
+			}
+			defer c.Close()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				query := tortureQueries[(i+s)%len(tortureQueries)]
+				rs, err := c.Query(query)
+				if err != nil {
+					t.Errorf("reader %d: %s: %v", s, query, err)
+					return
+				}
+				want, err := oracle.expect(t, query, rs.Header.SnapLen)
+				if err != nil {
+					t.Errorf("reader %d: %s: %v", s, query, err)
+					return
+				}
+				if got := renderRows(rs.Rows()); got != want {
+					t.Errorf("reader %d: %s @ snaplen %d: torn or stale result:\nwire:   %sexpect: %s",
+						s, query, rs.Header.SnapLen, got, want)
+					return
+				}
+			}
+		}(s)
+	}
+
+	// The writer appends the deterministic history over the wire; every
+	// ack must report the exact post-insert length (a second writer
+	// would break the prefix determinism the oracle relies on).
+	w := dialT(t, addr)
+	for i, row := range history {
+		n, err := w.Insert("car", row)
+		if err != nil {
+			t.Errorf("insert %d: %v", i, err)
+			break
+		}
+		if want := pin.Len() + i + 1; n != want {
+			t.Errorf("insert %d acked length %d, want %d", i, n, want)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestServerTortureFlat(t *testing.T) {
+	testServerTorture(t, 0)
+}
+
+func TestServerTortureSharded(t *testing.T) {
+	testServerTorture(t, 3)
+}
