@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-noasm test-noavx2 test-faults test-serve bench bench-serve bench-json benchdiff lint lint-docs fmt
+.PHONY: build test test-noasm test-noavx2 test-faults test-serve test-resultcache bench bench-serve bench-json benchdiff lint lint-docs fmt
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,18 @@ test-serve:
 	$(GO) test -race ./internal/wire ./internal/server
 	$(GO) test -race -run 'Snapshot|Torture' ./internal/relation ./internal/psql
 
+# The result-cache suite under the race detector: the cache's own unit
+# battery (key composition, counters, capacity, the kill switch), the
+# engine serve/maintenance properties (randomized cached-vs-recompute
+# agreement under insert churn, snapshot pinning, sharded agreement at
+# 1..8 shards, dead-context refusal), and the psql end-to-end churn
+# battery across flat and sharded layouts, every algorithm, and catalog
+# insert/replace/drop mutations — plus the EXPLAIN annotations.
+test-resultcache:
+	$(GO) test -race ./internal/engine/resultcache
+	$(GO) test -race -run 'ResultCache|Maintenance|SnapshotPin|DeadContext|EvictRelation|ExplainReports|ParseCache|RowBatch|StreamUsesRowBatch' \
+		./internal/engine ./internal/psql ./internal/wire ./internal/server
+
 # One iteration per benchmark — the CI smoke job. Use BENCHTIME=2s (or any
 # go -benchtime value) for real measurements.
 BENCHTIME ?= 1x
@@ -49,7 +61,7 @@ bench:
 # BENCHJSON_TIME=1x for a smoke run; the committed baseline uses a real
 # benchtime so the numbers are comparable across PRs.
 BENCHJSON_TIME ?= 0.5s
-BENCHJSON_OUT ?= BENCH_PR8.json
+BENCHJSON_OUT ?= BENCH_PR9.json
 bench-json:
 	# Two steps, not a pipe: a pipe would discard go test's exit status
 	# and mask failing/panicking benchmarks from CI.
@@ -75,7 +87,7 @@ bench-serve:
 # with GC debt from neighboring benchmarks, so a ratio on them is noise.
 # Flagged benchmarks get a confirmation re-run in isolation and only
 # fail the gate if the isolated timing still exceeds the threshold.
-BENCHDIFF_BASE ?= BENCH_PR7.json
+BENCHDIFF_BASE ?= BENCH_PR9.json
 BENCHDIFF_CUR ?= bench-gate.json
 BENCHDIFF_THRESHOLD ?= 1.5
 BENCHDIFF_MIN_NS ?= 1000000
@@ -92,7 +104,7 @@ lint:
 # packages must carry a doc comment (the line above its declaration must
 # be a comment). Grouped const/var blocks are exempt by construction —
 # their members are indented.
-DOC_PKGS = internal/pref internal/engine internal/relation internal/filter internal/boundcache internal/quality internal/rank internal/benchfmt internal/faultinject internal/wire internal/server
+DOC_PKGS = internal/pref internal/engine internal/engine/resultcache internal/relation internal/filter internal/boundcache internal/quality internal/rank internal/benchfmt internal/faultinject internal/wire internal/server
 lint-docs:
 	@fail=0; \
 	for f in $$(find $(DOC_PKGS) -name '*.go' ! -name '*_test.go'); do \

@@ -15,12 +15,22 @@
 // (BenchmarkPrefload/sessions=8/p50 …), so the output concatenates with
 // a library bench run and pipes into cmd/benchjson for the committed
 // baseline.
+//
+// With -hotset the mixed rotation is replaced by a hot-set workload:
+// each stage builds a pool of distinct preference statements, runs each
+// once serially (the cold, cache-miss measurement), then lets the
+// sessions draw repeats Zipf-distributed over the pool while a
+// -writeratio fraction of operations insert rows — the result cache's
+// serving case, where repeats hit memoized maxima and the writes are
+// absorbed by incremental maintenance. The report splits cold from warm
+// percentiles (BenchmarkPrefloadHotset/sessions=8/warm_p50 …).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"sort"
@@ -57,6 +67,10 @@ func main() {
 		shards   = flag.Int("shards", 0, "shard the in-process car table (0 = flat)")
 		writers  = flag.Int("writers", 1, "concurrent writer sessions appending rows")
 		bench    = flag.Bool("bench", false, "emit go-test-bench formatted lines on stdout")
+		hotset   = flag.Bool("hotset", false, "hot-set mode: Zipf-distributed repeat statements (result-cache serving case)")
+		hotpool  = flag.Int("hotpool", 8, "distinct statements in the hot-set pool per stage")
+		zipfS    = flag.Float64("zipf", 1.3, "Zipf skew for hot-set statement picks (>1)")
+		wratio   = flag.Float64("writeratio", 0.1, "fraction of hot-set operations that insert a row instead of querying")
 	)
 	flag.Parse()
 
@@ -97,13 +111,132 @@ func main() {
 		fatal(err)
 	}
 
-	for _, n := range counts {
+	for stage, n := range counts {
+		if *hotset {
+			cold, warm, qps, err := runHotsetStage(target, n, stage, *hotpool, *zipfS, *wratio, *duration, *seed, seedRows)
+			if err != nil {
+				fatal(err)
+			}
+			reportHotset(os.Stdout, *bench, n, cold, warm, qps)
+			continue
+		}
 		lat, qps, err := runStage(target, n, *writers, *duration, seedRows)
 		if err != nil {
 			fatal(err)
 		}
 		report(os.Stdout, *bench, n, lat, qps)
 	}
+}
+
+// hotsetPool builds the stage's statement pool: distinct AROUND anchors
+// give each statement its own result-cache entry (the anchor is part of
+// the preference's cache key), and the anchors differ per stage so
+// every stage starts cache-cold even though the sweep reuses one
+// server. No WHERE clause: a warm repeat then serves entirely from the
+// memoized maxima, with no per-query candidate scan.
+func hotsetPool(stage, size int) []string {
+	pool := make([]string, size)
+	for i := range pool {
+		anchor := 20000 + stage*5000 + i*250
+		pool[i] = fmt.Sprintf(
+			"SELECT oid FROM car PREFERRING price AROUND %d AND HIGHEST(horsepower)", anchor)
+	}
+	return pool
+}
+
+// runHotsetStage measures the hot-set workload at n sessions: a serial
+// cold pass over the pool (each statement's first, cache-miss
+// execution), then n sessions drawing Zipf repeats for d with a wratio
+// fraction of operations inserting rows. Returns sorted cold and warm
+// latencies plus warm throughput.
+func runHotsetStage(addr string, n, stage, poolSize int, zipfS, wratio float64, d time.Duration, seed int64, seedRows []relation.Row) (cold, warm []time.Duration, qps float64, err error) {
+	pool := hotsetPool(stage, poolSize)
+	c, err := server.Dial(addr)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	for _, stmt := range pool {
+		start := time.Now()
+		if _, err := c.Query(stmt); err != nil {
+			c.Close()
+			return nil, nil, 0, err
+		}
+		cold = append(cold, time.Since(start))
+	}
+	c.Close()
+
+	var (
+		mu   sync.Mutex
+		errs []error
+	)
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			c, err := server.Dial(addr)
+			if err != nil {
+				mu.Lock()
+				errs = append(errs, err)
+				mu.Unlock()
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(seed + int64(s)*7919))
+			zipf := rand.NewZipf(rng, zipfS, 1, uint64(len(pool)-1))
+			var local []time.Duration
+			for time.Now().Before(deadline) {
+				if wratio > 0 && len(seedRows) > 0 && rng.Float64() < wratio {
+					if _, err := c.Insert("car", seedRows[rng.Intn(len(seedRows))]); err != nil {
+						mu.Lock()
+						errs = append(errs, err)
+						mu.Unlock()
+						return
+					}
+					continue
+				}
+				stmt := pool[zipf.Uint64()]
+				start := time.Now()
+				if _, err := c.Query(stmt); err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+					return
+				}
+				local = append(local, time.Since(start))
+			}
+			mu.Lock()
+			warm = append(warm, local...)
+			mu.Unlock()
+		}(s)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, nil, 0, errs[0]
+	}
+	sort.Slice(cold, func(i, j int) bool { return cold[i] < cold[j] })
+	sort.Slice(warm, func(i, j int) bool { return warm[i] < warm[j] })
+	return cold, warm, float64(len(warm)) / d.Seconds(), nil
+}
+
+// reportHotset prints one hot-set stage's cold/warm split.
+func reportHotset(w *os.File, bench bool, n int, cold, warm []time.Duration, qps float64) {
+	if len(warm) == 0 || len(cold) == 0 {
+		fmt.Fprintf(w, "sessions=%d: no hot-set queries completed\n", n)
+		return
+	}
+	cp50 := pct(cold, 50)
+	wp50, wp95, wp99 := pct(warm, 50), pct(warm, 95), pct(warm, 99)
+	if bench {
+		fmt.Fprintf(w, "BenchmarkPrefloadHotset/sessions=%d/cold_p50 \t%d\t%d ns/op\n", n, len(cold), cp50.Nanoseconds())
+		fmt.Fprintf(w, "BenchmarkPrefloadHotset/sessions=%d/warm_p50 \t%d\t%d ns/op\n", n, len(warm), wp50.Nanoseconds())
+		fmt.Fprintf(w, "BenchmarkPrefloadHotset/sessions=%d/warm_p95 \t%d\t%d ns/op\n", n, len(warm), wp95.Nanoseconds())
+		fmt.Fprintf(w, "BenchmarkPrefloadHotset/sessions=%d/warm_p99 \t%d\t%d ns/op\n", n, len(warm), wp99.Nanoseconds())
+		return
+	}
+	fmt.Fprintf(w, "sessions=%d: %d warm queries, %.0f q/s, cold_p50=%v warm p50=%v p95=%v p99=%v (warm/cold %.1fx)\n",
+		n, len(warm), qps, cp50, wp50, wp95, wp99, float64(cp50)/float64(wp50))
 }
 
 // runStage drives n reader sessions plus the writers for d, returning

@@ -140,6 +140,27 @@ func (c *Cache[V]) Put(k Key, v V) {
 	c.mu.Unlock()
 }
 
+// AtVersion returns a snapshot of every entry bound against the given
+// source identity at exactly the given version, keyed by term. The
+// result cache's incremental-maintenance hook iterates it to carry each
+// cached BMO result forward across a generation step. The returned map
+// is the caller's; values are shared (bound forms are immutable by
+// contract).
+func (c *Cache[V]) AtVersion(src any, version uint64) map[string]V {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out map[string]V
+	for k, v := range c.m {
+		if k.Src == src && k.Version == version {
+			if out == nil {
+				out = make(map[string]V)
+			}
+			out[k.Term] = v
+		}
+	}
+	return out
+}
+
 // Len returns the current number of cached entries.
 func (c *Cache[V]) Len() int {
 	c.mu.Lock()

@@ -153,9 +153,12 @@ func runCancellable(ctx context.Context, f func(cc *canceller) []int) (out []int
 // cancellation and deadlines cooperatively (every long loop polls at a
 // coarse stride) and returns the context's error instead of a result.
 // A result is always complete — cancellation never yields a torn BMO
-// set.
+// set. EvalCtx serves the result cache: a repeat query over an
+// unchanged generation returns the memoized maxima without evaluating
+// (see resultserve.go); EvalIndicesCtx below never does, so agreement
+// baselines and benchmarks keep measuring real work.
 func EvalCtx(ctx context.Context, p pref.Preference, r *relation.Relation, alg Algorithm) (*relation.Relation, error) {
-	idx, err := EvalIndicesCtx(ctx, p, r, alg, nil)
+	idx, err := EvalIndicesCtxKeyed(ctx, p, r, alg, nil, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"slices"
+
+	"repro/internal/engine/resultcache"
+	"repro/internal/filter"
+	"repro/internal/pref"
+	"repro/internal/relation"
+)
+
+// Result-cache serving: the read side of internal/engine/resultcache.
+// The cache memoizes finished BMO maxima sets keyed by the live relation
+// identity (Origin — so lookups through a pinned Snapshot view and
+// through the live relation land on one key), the generation version,
+// the preference's canonical term key and the candidate-set key ("*" for
+// every row, "w:"+filter.PredKey for a WHERE-scoped set). Only the keyed
+// entry points below serve it — the legacy paths (BMOIndices, bmoOn,
+// EvalIndicesCtx, BMOShardedOnCtx) always evaluate, so benchmarks and
+// agreement baselines keep measuring real work.
+
+// resultKey derives the result-cache addressing of σ[P](where(R)):
+// the identity the entry files under, the generation version to read,
+// and the composed term. ok=false means the query must bypass the cache:
+// ephemeral relations (identity fresh per query), preferences without a
+// faithful canonical key, or WHERE trees containing foreign Pred nodes.
+func resultKey(p pref.Preference, r *relation.Relation, where filter.Pred) (src any, version uint64, term string, ok bool) {
+	if r == nil || r.Ephemeral() {
+		return nil, 0, "", false
+	}
+	prefTerm, keyed := pref.CacheKey(p)
+	if !keyed {
+		return nil, 0, "", false
+	}
+	candTerm := "*"
+	if where != nil {
+		pk, wok := filter.PredKey(where)
+		if !wok {
+			return nil, 0, "", false
+		}
+		candTerm = "w:" + pk
+	}
+	return r.Origin(), r.Version(), resultcache.TermKey(prefTerm, candTerm), true
+}
+
+// buildResultEntry packages a finished maxima set for the cache,
+// attaching the chain-product coordinate fast path when the preference
+// flattens to chain dimensions and no maximum scores ±Inf on any of them
+// (±Inf coordinates can collapse distinct value classes — the
+// pref.InfCollapse hazard — so maintenance falls back to interpreted
+// dominance for them).
+func buildResultEntry(p pref.Preference, where filter.Pred, r *relation.Relation, maxima []int) *resultcache.Entry {
+	e := &resultcache.Entry{Pref: p, Where: where, Maxima: slices.Clone(maxima)}
+	if dims, ok := chainDims(p); ok {
+		coords := make([][]float64, len(maxima))
+		clean := true
+	gather:
+		for k, i := range maxima {
+			t := r.Tuple(i)
+			c := make([]float64, len(dims))
+			for d, s := range dims {
+				c[d] = s.ScoreOf(t)
+				if math.IsInf(c[d], 0) {
+					clean = false
+					break gather
+				}
+			}
+			coords[k] = c
+		}
+		if clean {
+			e.Dims, e.Coords = dims, coords
+		}
+	}
+	return e
+}
+
+// EvalIndicesCtxKeyed is EvalIndicesCtx through the result cache. The
+// caller contract: idx is exactly the candidate set selected by where
+// over r's current generation (idx == nil && where == nil means every
+// row) — the pair is what the key encodes, so a mismatched pair would
+// poison the cache. On a hit the stored maxima are cloned and returned
+// without evaluating (after a context liveness check: a cancelled query
+// errors even when the answer is a lookup away); on a miss the
+// evaluation runs and, if no write raced it, the result is stored for
+// the generation it was computed against.
+func EvalIndicesCtxKeyed(ctx context.Context, p pref.Preference, r *relation.Relation, alg Algorithm, idx []int, where filter.Pred) ([]int, error) {
+	src, ver, term, ok := resultKey(p, r, where)
+	if !ok {
+		return EvalIndicesCtx(ctx, p, r, alg, idx)
+	}
+	if e, hit := resultcache.Get(src, ver, term); hit {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		return slices.Clone(e.Maxima), nil
+	}
+	out, err := EvalIndicesCtx(ctx, p, r, alg, idx)
+	if err != nil {
+		return nil, err
+	}
+	if r.Version() == ver {
+		resultcache.Put(src, ver, term, buildResultEntry(p, where, r, out))
+	}
+	return out, nil
+}
+
+// ResultCacheState reports the serving status EXPLAIN prints for a
+// flat BMO step: "hit" (a maxima set for the current generation is
+// cached), "cold" (keyable but absent) or "bypass" (the query cannot be
+// keyed, or the cache is disabled).
+func ResultCacheState(p pref.Preference, r *relation.Relation, where filter.Pred) string {
+	if !resultcache.Enabled() {
+		return "bypass"
+	}
+	src, ver, term, ok := resultKey(p, r, where)
+	if !ok {
+		return "bypass"
+	}
+	if _, hit := resultcache.Peek(src, ver, term); hit {
+		return "hit"
+	}
+	return "cold"
+}
+
+// ResultCachedShards counts the shards of s whose local maxima for
+// (p, where) are cached at their current versions, for EXPLAIN's
+// sharded status line. ok=false when the query cannot be keyed at all.
+func ResultCachedShards(p pref.Preference, s *relation.Sharded, where filter.Pred) (int, bool) {
+	if !resultcache.Enabled() {
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < s.NumShards(); i++ {
+		src, ver, term, ok := resultKey(p, s.Shard(i), where)
+		if !ok {
+			return 0, false
+		}
+		if _, hit := resultcache.Peek(src, ver, term); hit {
+			n++
+		}
+	}
+	return n, true
+}
+
+// shardResultKey captures one shard's result-cache addressing before
+// the evaluation runs, so the post-evaluation store can tell whether a
+// write raced past the keyed version.
+type shardResultKey struct {
+	src  any
+	ver  uint64
+	term string
+	ok   bool
+}
+
+// captureShardKey derives (and remembers) the addressing for one
+// shard's local maxima.
+func captureShardKey(p pref.Preference, shard *relation.Relation, where filter.Pred) shardResultKey {
+	src, ver, term, ok := resultKey(p, shard, where)
+	return shardResultKey{src: src, ver: ver, term: term, ok: ok}
+}
+
+// serve reads the cached local maxima; a dead worker context refuses
+// the hit so the fan-out resolves cancellation through its error path
+// instead of masking it with a lookup. The returned slice is the
+// caller's own.
+func (k shardResultKey) serve(ctx context.Context) ([]int, bool) {
+	if !k.ok {
+		return nil, false
+	}
+	e, hit := resultcache.Get(k.src, k.ver, k.term)
+	if !hit {
+		return nil, false
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return nil, false
+	}
+	return slices.Clone(e.Maxima), true
+}
+
+// store files freshly computed local maxima under the captured key,
+// unless the shard moved past the keyed generation during evaluation.
+func (k shardResultKey) store(p pref.Preference, shard *relation.Relation, where filter.Pred, out []int) {
+	if !k.ok || shard.Version() != k.ver {
+		return
+	}
+	resultcache.Put(k.src, k.ver, k.term, buildResultEntry(p, where, shard, out))
+}

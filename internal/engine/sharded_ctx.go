@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/faultinject"
+	"repro/internal/filter"
 	"repro/internal/pref"
 	"repro/internal/relation"
 )
@@ -60,6 +61,23 @@ func BMOShardedCtx(ctx context.Context, p pref.Preference, s *relation.Sharded, 
 // nil: a cancelled or strictly-failed query never returns a torn
 // result.
 func BMOShardedOnCtx(ctx context.Context, p pref.Preference, s *relation.Sharded, alg Algorithm, sets ShardSets, rb Robust) (ShardSets, *Partial, error) {
+	return bmoShardedOnCtx(ctx, p, s, alg, sets, rb, nil, false)
+}
+
+// BMOShardedOnCtxKeyed is BMOShardedOnCtx through the result cache:
+// each shard's local pre-merge maxima are served from (and stored to)
+// the cache, keyed by the shard's own identity and generation version;
+// the cheap cross-shard merge always recomputes. The caller contract
+// mirrors EvalIndicesCtxKeyed: with a non-nil where, every non-nil
+// per-shard set must be exactly the rows where selects on that shard.
+// Shards whose candidate slot is an arbitrary non-nil set under a nil
+// where bypass the cache (a nil slot always means every row and serves
+// under the "*" candidate key).
+func BMOShardedOnCtxKeyed(ctx context.Context, p pref.Preference, s *relation.Sharded, alg Algorithm, sets ShardSets, where filter.Pred, rb Robust) (ShardSets, *Partial, error) {
+	return bmoShardedOnCtx(ctx, p, s, alg, sets, rb, where, true)
+}
+
+func bmoShardedOnCtx(ctx context.Context, p pref.Preference, s *relation.Sharded, alg Algorithm, sets ShardSets, rb Robust, where filter.Pred, serve bool) (ShardSets, *Partial, error) {
 	if sets == nil {
 		sets = AllShardSets(s)
 	}
@@ -73,11 +91,24 @@ func BMOShardedOnCtx(ctx context.Context, p pref.Preference, s *relation.Sharded
 			locals[i] = []int{}
 			return nil
 		}
+		shard := s.Shard(i)
+		canServe := serve && (where != nil || sets[i] == nil)
+		var key shardResultKey
+		if canServe {
+			key = captureShardKey(p, shard, where)
+			if out, hit := key.serve(ictx); hit {
+				locals[i] = out
+				return nil
+			}
+		}
 		out, err := runCancellable(ictx, func(cc *canceller) []int {
-			return bmoOnCC(p, s.Shard(i), alg, EvalAuto, cand, cc)
+			return bmoOnCC(p, shard, alg, EvalAuto, cand, cc)
 		})
 		if err != nil {
 			return err
+		}
+		if canServe {
+			key.store(p, shard, where, out)
 		}
 		locals[i] = out
 		return nil
@@ -115,8 +146,21 @@ func BMOShardedOnCtx(ctx context.Context, p pref.Preference, s *relation.Sharded
 // neither maxima nor acceptances — its slot merges empty, like
 // BMOShardedOnCtx.
 func BMOShardedOnFilteredCtx(ctx context.Context, p pref.Preference, s *relation.Sharded, alg Algorithm, sets ShardSets, keep ShardFilter, rb Robust) (ShardSets, *Partial, error) {
+	return bmoShardedOnFilteredCtx(ctx, p, s, alg, sets, keep, rb, nil, false)
+}
+
+// BMOShardedOnFilteredCtxKeyed is BMOShardedOnFilteredCtx through the
+// result cache: the per-shard BMO halves serve and store local maxima
+// exactly like BMOShardedOnCtxKeyed (same caller contract for the
+// sets/where pair), while the fused acceptance filter runs on every
+// call — it is query state, not a function of the generation.
+func BMOShardedOnFilteredCtxKeyed(ctx context.Context, p pref.Preference, s *relation.Sharded, alg Algorithm, sets ShardSets, where filter.Pred, keep ShardFilter, rb Robust) (ShardSets, *Partial, error) {
+	return bmoShardedOnFilteredCtx(ctx, p, s, alg, sets, keep, rb, where, true)
+}
+
+func bmoShardedOnFilteredCtx(ctx context.Context, p pref.Preference, s *relation.Sharded, alg Algorithm, sets ShardSets, keep ShardFilter, rb Robust, where filter.Pred, serve bool) (ShardSets, *Partial, error) {
 	if keep == nil {
-		return BMOShardedOnCtx(ctx, p, s, alg, sets, rb)
+		return bmoShardedOnCtx(ctx, p, s, alg, sets, rb, where, serve)
 	}
 	if sets == nil {
 		sets = AllShardSets(s)
@@ -132,11 +176,25 @@ func BMOShardedOnFilteredCtx(ctx context.Context, p pref.Preference, s *relation
 			locals[i], accepted[i] = []int{}, []int{}
 			return nil
 		}
-		out, err := runCancellable(ictx, func(cc *canceller) []int {
-			return bmoOnCC(p, s.Shard(i), alg, EvalAuto, cand, cc)
-		})
-		if err != nil {
-			return err
+		shard := s.Shard(i)
+		canServe := serve && (where != nil || sets[i] == nil)
+		var key shardResultKey
+		var out []int
+		if canServe {
+			key = captureShardKey(p, shard, where)
+			out, _ = key.serve(ictx)
+		}
+		if out == nil {
+			var err error
+			out, err = runCancellable(ictx, func(cc *canceller) []int {
+				return bmoOnCC(p, shard, alg, EvalAuto, cand, cc)
+			})
+			if err != nil {
+				return err
+			}
+			if canServe {
+				key.store(p, shard, where, out)
+			}
 		}
 		locals[i] = out
 		accepted[i] = keep(i, out)

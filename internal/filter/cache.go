@@ -66,6 +66,12 @@ func predKey(p Pred) (string, bool) {
 	return b.String(), true
 }
 
+// PredKey exposes the canonical condition-tree key (ok=false for trees
+// containing foreign Pred implementations). The engine's result cache
+// composes it into its own keys so a cached BMO answer is scoped to the
+// exact WHERE clause it was computed under.
+func PredKey(p Pred) (string, bool) { return predKey(p) }
+
 func writePredKey(b *strings.Builder, p Pred) bool {
 	switch q := p.(type) {
 	case *And:

@@ -142,11 +142,13 @@ func execPipeline(ctx context.Context, q *Query, cat Catalog, opts Options) (*Re
 // the legacy evaluators); the grouped step and the BUT ONLY scan are
 // stage-level cancellable — the context is checked at their boundaries.
 func execFlat(ctx context.Context, q *Query, base *relation.Relation, opts Options) (*Result, error) {
+	// idx == nil means "every row" throughout the soft-step chain (the
+	// engine and rank entry points all take it that way): deferring the
+	// materialization keeps a no-WHERE repeat statement free of any O(n)
+	// work when the result cache serves its maxima.
 	var idx []int
 	if q.Where != nil {
 		idx = filter.CompileCached(q.Where, base).Indices()
-	} else {
-		idx = allIndices(base.Len())
 	}
 	var builtPref pref.Preference
 	if q.Preferring != nil {
@@ -185,8 +187,12 @@ func execFlat(ctx context.Context, q *Query, base *relation.Relation, opts Optio
 			}
 			idx = engine.GroupByIndicesOn(p, q.GroupingBy, base, opts.Algorithm, idx)
 		} else {
+			// First soft step over the WHERE-selected candidates: the one
+			// shape the result cache keys exactly — (relation generation,
+			// simplified term, WHERE tree) — so repeat statements serve the
+			// memoized maxima without evaluating.
 			var err error
-			if idx, err = engine.EvalIndicesCtx(ctx, p, base, opts.Algorithm, idx); err != nil {
+			if idx, err = engine.EvalIndicesCtxKeyed(ctx, p, base, opts.Algorithm, idx, q.Where); err != nil {
 				return nil, err
 			}
 		}
@@ -244,6 +250,11 @@ func execFlat(ctx context.Context, q *Query, base *relation.Relation, opts Optio
 			return nil, err
 		}
 	}
+	if idx == nil && q.Where == nil && q.Preferring == nil && len(q.Cascades) == 0 && q.Skyline == nil {
+		// No step narrowed the candidate set: the deferred "every row"
+		// materializes only here, for the plain-selection shape.
+		idx = allIndices(base.Len())
+	}
 	return wrapResult(finishRows(q, base.Pick(idx)))
 }
 
@@ -295,22 +306,43 @@ func finishRows(q *Query, out *relation.Relation) (*relation.Relation, error) {
 func execSharded(ctx context.Context, q *Query, s *relation.Sharded, opts Options) (*Result, error) {
 	hardened := ctx.Done() != nil || opts.Robust != (engine.Robust{})
 	var part *engine.Partial
-	bmo := func(p pref.Preference, sets engine.ShardSets) (engine.ShardSets, error) {
+	// keyed marks the first soft step, whose per-shard candidate sets are
+	// exactly the WHERE-selected positions — the shape the result cache
+	// keys; later steps run over reduced sets and always evaluate.
+	bmo := func(p pref.Preference, sets engine.ShardSets, keyed bool) (engine.ShardSets, error) {
 		if !hardened {
 			return engine.BMOShardedOn(p, s, opts.Algorithm, sets), nil
 		}
-		out, pt, err := engine.BMOShardedOnCtx(ctx, p, s, opts.Algorithm, sets, opts.Robust)
+		var (
+			out engine.ShardSets
+			pt  *engine.Partial
+			err error
+		)
+		if keyed {
+			out, pt, err = engine.BMOShardedOnCtxKeyed(ctx, p, s, opts.Algorithm, sets, q.Where, opts.Robust)
+		} else {
+			out, pt, err = engine.BMOShardedOnCtx(ctx, p, s, opts.Algorithm, sets, opts.Robust)
+		}
 		if err != nil {
 			return nil, err
 		}
 		part = mergePartials(part, pt)
 		return out, nil
 	}
-	bmoFiltered := func(p pref.Preference, sets engine.ShardSets, keep engine.ShardFilter) (engine.ShardSets, error) {
+	bmoFiltered := func(p pref.Preference, sets engine.ShardSets, keep engine.ShardFilter, keyed bool) (engine.ShardSets, error) {
 		if !hardened {
 			return engine.BMOShardedOnFiltered(p, s, opts.Algorithm, sets, keep), nil
 		}
-		out, pt, err := engine.BMOShardedOnFilteredCtx(ctx, p, s, opts.Algorithm, sets, keep, opts.Robust)
+		var (
+			out engine.ShardSets
+			pt  *engine.Partial
+			err error
+		)
+		if keyed {
+			out, pt, err = engine.BMOShardedOnFilteredCtxKeyed(ctx, p, s, opts.Algorithm, sets, q.Where, keep, opts.Robust)
+		} else {
+			out, pt, err = engine.BMOShardedOnFilteredCtx(ctx, p, s, opts.Algorithm, sets, keep, opts.Robust)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -374,12 +406,12 @@ func execSharded(ctx context.Context, q *Query, s *relation.Sharded, opts Option
 			}
 			sets = engine.GroupByShardedOn(p, q.GroupingBy, s, opts.Algorithm, sets)
 		} else if fuseButPreferring {
-			if sets, err = bmoFiltered(p, sets, butShardFilter(q, s)); err != nil {
+			if sets, err = bmoFiltered(p, sets, butShardFilter(q, s), true); err != nil {
 				return nil, err
 			}
 			butFused = true
 		} else {
-			if sets, err = bmo(p, sets); err != nil {
+			if sets, err = bmo(p, sets, true); err != nil {
 				return nil, err
 			}
 		}
@@ -394,12 +426,12 @@ func execSharded(ctx context.Context, q *Query, s *relation.Sharded, opts Option
 		}
 		p := algebra.Simplify(built)
 		if fuseButCascade && ci == len(q.Cascades)-1 {
-			if sets, err = bmoFiltered(p, sets, butShardFilter(q, s)); err != nil {
+			if sets, err = bmoFiltered(p, sets, butShardFilter(q, s), false); err != nil {
 				return nil, err
 			}
 			butFused = true
 		} else {
-			if sets, err = bmo(p, sets); err != nil {
+			if sets, err = bmo(p, sets, false); err != nil {
 				return nil, err
 			}
 		}
@@ -421,7 +453,7 @@ func execSharded(ctx context.Context, q *Query, s *relation.Sharded, opts Option
 		if err != nil {
 			return nil, err
 		}
-		if sets, err = bmo(p, sets); err != nil {
+		if sets, err = bmo(p, sets, false); err != nil {
 			return nil, err
 		}
 	}

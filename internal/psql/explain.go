@@ -119,6 +119,18 @@ func Explain(q *Query, cat Catalog, opts Options) (string, error) {
 			}
 			fmt.Fprintf(&b, "    (compile cache: %s)\n", status)
 		}
+		if len(q.GroupingBy) == 0 {
+			// The first soft step is the one shape the result cache serves
+			// (see execFlat); grouped and ranked steps always evaluate.
+			switch engine.ResultCacheState(simplified, rel, q.Where) {
+			case "hit":
+				fmt.Fprintf(&b, "    (result cache: hit — memoized maxima served, no evaluation)\n")
+			case "cold":
+				fmt.Fprintf(&b, "    (result cache: cold — maxima stored at first execution)\n")
+			default:
+				fmt.Fprintf(&b, "    (result cache: bypass — term or WHERE not keyable)\n")
+			}
+		}
 		if streamShape(q) {
 			fmt.Fprintf(&b, "    (streaming: %s)\n", streamModeOf(simplified, q.Where != nil))
 		}
@@ -305,6 +317,17 @@ func explainSharded(q *Query, s *relation.Sharded, opts Options) (string, error)
 		}
 		if evalModeOf(simplified, resolved) == "compiled" {
 			cacheLine(simplified)
+		}
+		if len(q.GroupingBy) == 0 {
+			// Per-shard local maxima are what the sharded pipeline caches;
+			// the cross-shard merge recomputes on every execution.
+			if cached, ok := engine.ResultCachedShards(simplified, s, q.Where); !ok {
+				fmt.Fprintf(&b, "    (result cache: bypass — term or WHERE not keyable)\n")
+			} else if cached == nShards {
+				fmt.Fprintf(&b, "    (result cache: hit on all shards — local maxima served, merge only)\n")
+			} else {
+				fmt.Fprintf(&b, "    (result cache: cold on %d/%d shards — local maxima stored at first execution)\n", nShards-cached, nShards)
+			}
 		}
 		if streamShape(q) {
 			fmt.Fprintf(&b, "    (streaming: %s)\n", shardedStreamModeOf(simplified, q.Where != nil))

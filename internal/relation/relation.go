@@ -178,6 +178,7 @@ type Relation struct {
 	schema  *Schema
 	derived bool
 	frozen  bool
+	origin  *Relation // live relation a frozen Snapshot view was pinned from
 
 	mu  sync.Mutex // serializes mutators (Insert, SortBy)
 	gen atomic.Pointer[generation]
@@ -247,12 +248,25 @@ func (r *Relation) Snapshot() *Relation {
 		if r.frozen {
 			g.snap = r
 		} else {
-			s := &Relation{name: r.name, schema: r.schema, derived: r.derived, frozen: true}
+			s := &Relation{name: r.name, schema: r.schema, derived: r.derived, frozen: true, origin: r}
 			s.gen.Store(g)
 			g.snap = s
 		}
 	}
 	return g.snap
+}
+
+// Origin returns the live relation behind this one: a frozen Snapshot
+// view answers with the relation it was pinned from, everything else
+// with itself. Caches that must stay coherent across generations (the
+// result cache keys entries by the live identity plus the generation
+// version) use it so a hit recorded through a snapshot view and a hit
+// recorded through the live relation land on the same key.
+func (r *Relation) Origin() *Relation {
+	if r.origin != nil {
+		return r.origin
+	}
+	return r
 }
 
 // PeekSnapshot returns the memoized Snapshot view of the CURRENT
@@ -284,6 +298,44 @@ func (r *Relation) Rows() []Row { return r.cur().rows }
 // ErrFrozen is returned by mutators invoked on a Snapshot view.
 var ErrFrozen = fmt.Errorf("relation: snapshot views are read-only")
 
+// InsertHook observes one append: r is the live relation, oldVersion the
+// generation version the append superseded, and newIdx the position of
+// the appended row in the successor generation (always the last row).
+// Hooks run inside Insert's writer critical section — after the successor
+// generation is published, before the lock is released — so invocations
+// on one relation are serialized and see consecutive (oldVersion,
+// oldVersion+1) transitions with no gaps. They must be fast and must not
+// mutate the relation. The result cache registers one to carry cached
+// maxima forward across generations (see engine/resultmaint).
+type InsertHook func(r *Relation, oldVersion uint64, newIdx int)
+
+var (
+	hookMu      sync.RWMutex
+	insertHooks []InsertHook
+)
+
+// RegisterInsertHook installs a hook invoked on every successful Insert
+// into a non-derived relation. Registration is append-only (package init
+// time, typically); there is no unregister.
+func RegisterInsertHook(h InsertHook) {
+	hookMu.Lock()
+	insertHooks = append(insertHooks, h)
+	hookMu.Unlock()
+}
+
+// runInsertHooks fires the registered hooks; the caller holds r.mu.
+func runInsertHooks(r *Relation, oldVersion uint64, newIdx int) {
+	if r.derived {
+		return // ephemeral intermediates are never cached
+	}
+	hookMu.RLock()
+	hooks := insertHooks
+	hookMu.RUnlock()
+	for _, h := range hooks {
+		h(r, oldVersion, newIdx)
+	}
+}
+
 // Insert appends a row after type-checking every value against the
 // schema, publishing a successor generation. Concurrent Inserts are safe
 // (they serialize on the relation's writer lock), and concurrent readers
@@ -308,6 +360,7 @@ func (r *Relation) Insert(row Row) error {
 		rows:    append(g.rows, append(Row(nil), row...)),
 		version: g.version + 1,
 	})
+	runInsertHooks(r, g.version, len(g.rows))
 	r.mu.Unlock()
 	return nil
 }

@@ -243,6 +243,26 @@ func (c *Client) Stream(stmt string, yield func(relation.Row) bool) (wire.Header
 					return hdr, n, err
 				}
 			}
+		case wire.FrameRowBatch:
+			if !seenHeader {
+				return hdr, n, fmt.Errorf("client: row-batch frame before header")
+			}
+			rows, err := wire.DecodeRowBatch(payload, len(hdr.Cols))
+			if err != nil {
+				return hdr, n, err
+			}
+			for _, row := range rows {
+				if stopped {
+					break // draining rows already in flight
+				}
+				n++
+				if !yield(row) {
+					stopped = true
+					if err := c.Cancel(); err != nil {
+						return hdr, n, err
+					}
+				}
+			}
 		case wire.FrameReady:
 			return hdr, n, nil
 		default:

@@ -35,10 +35,18 @@ type session struct {
 	inflight context.CancelFunc
 
 	// Session state: execution defaults (SET), prepared statements
-	// (PREPARE/EXECUTE) and their registered ranked-query handles.
+	// (PREPARE/EXECUTE) and their registered ranked-query handles, and
+	// the bounded statement-text parse cache for repeated Q/T frames.
 	opts     psql.Options
 	prepared map[string]*prepared
+	parsed   map[string]*psql.Query
 }
+
+// parseCacheCap bounds the per-session statement parse cache. A hot set
+// of repeated statements (dashboards, load generators) stays parsed;
+// past the cap the cache resets wholesale — re-parsing a statement once
+// per cap-miss epoch is cheaper than tracking recency.
+const parseCacheCap = 128
 
 // frame is one pumped client frame.
 type frame struct {
@@ -64,6 +72,7 @@ func newSession(s *Server, nc net.Conn) *session {
 		frames:   make(chan frame),
 		opts:     psql.Options{Timeout: s.cfg.DefaultTimeout},
 		prepared: make(map[string]*prepared),
+		parsed:   make(map[string]*psql.Query),
 	}
 }
 
@@ -200,10 +209,21 @@ func (ss *session) serveStatement(stmt string, stream bool) {
 	if done := ss.serveSessionCommand(stmt, stream); done {
 		return
 	}
-	q, err := psql.Parse(stmt)
-	if err != nil {
-		ss.sendError(wire.CodeParse, err.Error())
-		return
+	q, ok := ss.parsed[stmt]
+	if !ok {
+		var err error
+		q, err = psql.Parse(stmt)
+		if err != nil {
+			ss.sendError(wire.CodeParse, err.Error())
+			return
+		}
+		// Queries are read-only through execution (the EXECUTE path has
+		// reused them across turns since it existed), so caching the
+		// parsed form by exact statement text is safe.
+		if len(ss.parsed) >= parseCacheCap {
+			clear(ss.parsed)
+		}
+		ss.parsed[stmt] = q
 	}
 	if stream {
 		ss.serveStream(q)
@@ -389,11 +409,18 @@ func (ss *session) writeResult(rel *relation.Relation, version, snapLen uint64, 
 	return nil
 }
 
+// streamBatchRows is the row-batch chunk size for progressive results:
+// the first confirmed row flushes alone (time-to-first-row is the mode's
+// point), then rows chunk into row-batch frames so large results pay one
+// frame header and one flush syscall per chunk instead of per row.
+const streamBatchRows = 64
+
 // serveStream runs one progressive query turn: header (row count
-// unknown), one row frame per confirmed row, ready. The session holds
-// its own admission slot for the duration — the progressive evaluator
-// has no context plumbing, so cancellation (client cancel frame,
-// disconnect, timeout) is enforced at row granularity through the yield.
+// unknown), the first confirmed row as a row frame, subsequent rows as
+// row-batch frames, ready. The session holds its own admission slot for
+// the duration — the progressive evaluator has no context plumbing, so
+// cancellation (client cancel frame, disconnect, timeout) is enforced at
+// row granularity through the yield.
 func (ss *session) serveStream(q *psql.Query) {
 	snap, version, snapLen, err := ss.srv.snapshotTable(q.From)
 	if err != nil {
@@ -434,23 +461,50 @@ func (ss *session) serveStream(q *psql.Query) {
 	opts := ss.opts
 	opts.Timeout, opts.Admission = 0, nil // held by this turn already
 	var encodeErr error
+	var batch wire.RowBatch
+	flushBatch := func() error {
+		if batch.Len() == 0 {
+			return nil
+		}
+		if err := ss.wc.WriteFrame(wire.FrameRowBatch, batch.Payload()); err != nil {
+			return err
+		}
+		batch.Reset()
+		return ss.wc.Flush()
+	}
+	first := true
 	_, err = psql.ExecStream(q, psql.Catalog{q.From: snap}, opts, func(row relation.Row) bool {
 		if ctx.Err() != nil {
 			return false
 		}
-		payload, err := wire.EncodeRow(row)
-		if err != nil {
+		if first {
+			// The first row flushes alone so the client sees the stream
+			// open (and can stop it) before the first chunk fills.
+			first = false
+			payload, err := wire.EncodeRow(row)
+			if err != nil {
+				encodeErr = err
+				return false
+			}
+			if err := ss.wc.WriteFrame(wire.FrameRow, payload); err != nil {
+				encodeErr = err
+				return false
+			}
+			if err := ss.wc.Flush(); err != nil {
+				encodeErr = err
+				return false
+			}
+			return true
+		}
+		if err := batch.Append(row); err != nil {
 			encodeErr = err
 			return false
 		}
-		if err := ss.wc.WriteFrame(wire.FrameRow, payload); err != nil {
-			encodeErr = err
-			return false
-		}
-		// Flush per row: progressive delivery is the point of this mode.
-		if err := ss.wc.Flush(); err != nil {
-			encodeErr = err
-			return false
+		if batch.Len() >= streamBatchRows {
+			if err := flushBatch(); err != nil {
+				encodeErr = err
+				return false
+			}
 		}
 		return true
 	})
@@ -462,6 +516,9 @@ func (ss *session) serveStream(q *psql.Query) {
 	case encodeErr != nil:
 		ss.sendError(wire.CodeExec, encodeErr.Error())
 	default:
+		if err := flushBatch(); err != nil {
+			return
+		}
 		ss.sendReady(wire.Ready{})
 	}
 }

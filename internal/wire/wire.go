@@ -49,6 +49,11 @@ const (
 	FrameColumn = byte('D')
 	// FrameRow carries one streamed result row.
 	FrameRow = byte('d')
+	// FrameRowBatch carries a chunk of streamed result rows in one frame
+	// (uvarint row count, then the rows' tagged values back to back) —
+	// large results amortize the per-frame header and the per-flush
+	// syscall across a whole chunk instead of paying them per row.
+	FrameRowBatch = byte('b')
 	// FrameInsertOK acknowledges an insert with the table's new row count.
 	FrameInsertOK = byte('K')
 	// FrameReady closes a request/response turn: the query (or insert, or
@@ -390,6 +395,90 @@ func DecodeRow(payload []byte, ncols int) (relation.Row, error) {
 		return nil, fmt.Errorf("wire: %d trailing bytes in row frame", len(payload))
 	}
 	return row, nil
+}
+
+// RowBatch accumulates streamed rows into one row-batch frame payload.
+// Rows are encoded as they arrive (nothing borrowed from the producer
+// outlives the Append call), so a yield callback can hand over rows it
+// intends to reuse. The zero value is an empty batch; Reset recycles
+// the buffer across frames.
+type RowBatch struct {
+	buf []byte
+	n   int
+}
+
+// Append encodes one row into the batch.
+func (b *RowBatch) Append(row relation.Row) error {
+	buf := b.buf
+	var err error
+	for _, v := range row {
+		if buf, err = AppendValue(buf, v); err != nil {
+			return err
+		}
+	}
+	b.buf = buf
+	b.n++
+	return nil
+}
+
+// Len returns the number of rows accumulated.
+func (b *RowBatch) Len() int { return b.n }
+
+// Payload renders the batch as a row-batch frame payload.
+func (b *RowBatch) Payload() []byte {
+	out := make([]byte, 0, binary.MaxVarintLen64+len(b.buf))
+	out = binary.AppendUvarint(out, uint64(b.n))
+	return append(out, b.buf...)
+}
+
+// Reset empties the batch, keeping the buffer for reuse.
+func (b *RowBatch) Reset() {
+	b.buf = b.buf[:0]
+	b.n = 0
+}
+
+// EncodeRowBatch encodes a row-batch frame payload in one call.
+func EncodeRowBatch(rows []relation.Row) ([]byte, error) {
+	var b RowBatch
+	for _, row := range rows {
+		if err := b.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return b.Payload(), nil
+}
+
+// DecodeRowBatch decodes a row-batch frame into its rows of ncols
+// values each.
+func DecodeRowBatch(payload []byte, ncols int) ([]relation.Row, error) {
+	n, k := binary.Uvarint(payload)
+	if k <= 0 {
+		return nil, fmt.Errorf("wire: truncated row-batch frame")
+	}
+	payload = payload[k:]
+	// Every encoded value is at least one tag byte, so a well-formed
+	// count never exceeds the remaining bytes; reject before allocating.
+	if ncols <= 0 && n > 0 {
+		return nil, fmt.Errorf("wire: row-batch of %d zero-column rows", n)
+	}
+	if n > uint64(len(payload)) {
+		return nil, fmt.Errorf("wire: row-batch count %d exceeds payload", n)
+	}
+	rows := make([]relation.Row, n)
+	var err error
+	for i := range rows {
+		row := make(relation.Row, ncols)
+		for c := range row {
+			if row[c], payload, err = ReadValue(payload); err != nil {
+				return nil, err
+			}
+		}
+		rows[i] = row
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes in row-batch frame", len(payload))
+	}
+	return rows, nil
 }
 
 // EncodeError encodes an error frame payload.
