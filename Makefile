@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-noasm test-noavx2 test-faults test-serve test-resultcache bench bench-serve bench-json benchdiff lint lint-docs fmt
+.PHONY: build test test-noasm test-noavx2 test-faults test-serve test-resultcache test-persist bench bench-serve bench-json benchdiff lint lint-docs fmt
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,18 @@ test-resultcache:
 	$(GO) test -race -run 'ResultCache|Maintenance|SnapshotPin|DeadContext|EvictRelation|ExplainReports|ParseCache|RowBatch|StreamUsesRowBatch' \
 		./internal/engine ./internal/psql ./internal/wire ./internal/server
 
+# The disk-tier suite under the race detector: the storage-format unit
+# battery (page codec, segments, WAL framing, buffer pool), the
+# relation-level persistence battery (round trips, WAL recovery, the
+# mid-append crash torture, checkpointing, sharded stores, snapshot pins
+# under paged churn, beyond-pool-budget reads), the displaced-shard
+# cache-sweep lifecycle, the psql beyond-RAM agreement acceptance and
+# the server stats frame.
+test-persist:
+	$(GO) test -race ./internal/relation/store
+	$(GO) test -race -run 'Persist|ReshardSweeps|ReplaceSweeps|StatsTurn' \
+		./internal/relation ./internal/engine ./internal/psql ./internal/server
+
 # One iteration per benchmark — the CI smoke job. Use BENCHTIME=2s (or any
 # go -benchtime value) for real measurements.
 BENCHTIME ?= 1x
@@ -61,7 +73,7 @@ bench:
 # BENCHJSON_TIME=1x for a smoke run; the committed baseline uses a real
 # benchtime so the numbers are comparable across PRs.
 BENCHJSON_TIME ?= 0.5s
-BENCHJSON_OUT ?= BENCH_PR9.json
+BENCHJSON_OUT ?= BENCH_PR10.json
 bench-json:
 	# Two steps, not a pipe: a pipe would discard go test's exit status
 	# and mask failing/panicking benchmarks from CI.
@@ -87,7 +99,7 @@ bench-serve:
 # with GC debt from neighboring benchmarks, so a ratio on them is noise.
 # Flagged benchmarks get a confirmation re-run in isolation and only
 # fail the gate if the isolated timing still exceeds the threshold.
-BENCHDIFF_BASE ?= BENCH_PR9.json
+BENCHDIFF_BASE ?= BENCH_PR10.json
 BENCHDIFF_CUR ?= bench-gate.json
 BENCHDIFF_THRESHOLD ?= 1.5
 BENCHDIFF_MIN_NS ?= 1000000
@@ -104,7 +116,7 @@ lint:
 # packages must carry a doc comment (the line above its declaration must
 # be a comment). Grouped const/var blocks are exempt by construction —
 # their members are indented.
-DOC_PKGS = internal/pref internal/engine internal/engine/resultcache internal/relation internal/filter internal/boundcache internal/quality internal/rank internal/benchfmt internal/faultinject internal/wire internal/server
+DOC_PKGS = internal/pref internal/engine internal/engine/resultcache internal/relation internal/relation/store internal/filter internal/boundcache internal/quality internal/rank internal/benchfmt internal/faultinject internal/wire internal/server
 lint-docs:
 	@fail=0; \
 	for f in $$(find $(DOC_PKGS) -name '*.go' ! -name '*_test.go'); do \

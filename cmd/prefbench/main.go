@@ -55,8 +55,21 @@ func main() {
 		shards  = flag.Int("shards", 1, "shard the synthetic workload into N shards for -plan/-stream (range-partitioned on the first dimension)")
 		timeout = flag.Duration("timeout", 0, "bound -stream with a deadline (and, sharded, a per-shard deadline under the partial-result policy)")
 		faults  = flag.String("faults", "", "inject a per-shard fault for -stream -shards N: 'shard=2,mode=slow,ms=50' (modes slow|hang|panic|error)")
+		persist = flag.Bool("persist", false, "back the -plan/-stream workload with a disk-backed store (temp dir)")
+		poolMB  = flag.Int("pool-mb", 4, "with -persist: buffer-pool budget, MiB — size it below the workload to exercise paging")
 	)
 	flag.Parse()
+	if *persist {
+		persistPool = int64(*poolMB) << 20
+		defer func() {
+			if benchStore != nil {
+				benchStore.Close()
+			}
+			if benchStoreDir != "" {
+				os.RemoveAll(benchStoreDir)
+			}
+		}()
+	}
 
 	switch {
 	case *list:
@@ -102,6 +115,41 @@ func main() {
 	}
 }
 
+// The -persist state: a lazily opened temp store the -plan/-stream
+// workloads import into, so the demos run over paged, mmap-served
+// tables instead of heap rows.
+var (
+	persistPool   int64
+	benchStore    *relation.Store
+	benchStoreDir string
+)
+
+// maybePersist routes a workload table through the temp store when
+// -persist is set: the returned table serves rows through the buffer
+// pool and columns from mmap'd segments.
+func maybePersist(tbl relation.Table) (relation.Table, error) {
+	if persistPool == 0 {
+		return tbl, nil
+	}
+	if benchStore == nil {
+		dir, err := os.MkdirTemp("", "prefbench-store-")
+		if err != nil {
+			return nil, err
+		}
+		benchStoreDir = dir
+		if benchStore, err = relation.OpenStore(dir, relation.StoreOptions{PoolBytes: persistPool}); err != nil {
+			return nil, err
+		}
+	}
+	ptbl, err := benchStore.ImportTable(tbl)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("persist: %s paged from %s (%d segment bytes, %d byte pool)\n",
+		ptbl.Name(), benchStoreDir, benchStore.Stats().SegmentBytes(), persistPool)
+	return ptbl, nil
+}
+
 // synth builds the synthetic relation and preference for a SKYLINE OF
 // clause over generated data.
 func synth(clause string, rows, dims int, dist string) (skyline.Clause, *relation.Relation, error) {
@@ -132,7 +180,15 @@ func synth(clause string, rows, dims int, dist string) (skyline.Clause, *relatio
 // dimension into n equi-depth shards.
 func shardWorkload(rel *relation.Relation, n int) (*relation.Sharded, error) {
 	attr := rel.Schema().Col(0).Name
-	return relation.ShardRelation(rel, n, relation.ByRange(attr, relation.RangeBounds(rel, attr, n)...))
+	s, err := relation.ShardRelation(rel, n, relation.ByRange(attr, relation.RangeBounds(rel, attr, n)...))
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := maybePersist(s)
+	if err != nil {
+		return nil, err
+	}
+	return tbl.(*relation.Sharded), nil
 }
 
 // planDemo prints the cost-based plan decision for the workload: the
@@ -156,6 +212,11 @@ func planDemo(clause string, rows, dims int, dist string, shards int) error {
 		fmt.Print(engine.PlanSharded(p, s, engine.Env{}).Explain())
 		return nil
 	}
+	tbl, err := maybePersist(rel)
+	if err != nil {
+		return err
+	}
+	rel = tbl.(*relation.Relation)
 	fmt.Printf("workload: %s (%d rows)\npreference: %s\n\n", rel.Name(), rel.Len(), p)
 	fmt.Print(engine.PlanFor(p, rel).Explain())
 	return nil
@@ -200,6 +261,11 @@ func streamDemo(clause, where string, rows, dims int, dist string, first, shards
 	if err != nil {
 		return err
 	}
+	tbl, err := maybePersist(rel)
+	if err != nil {
+		return err
+	}
+	rel = tbl.(*relation.Relation)
 	var idx []int
 	candidates := rel.Len()
 	if where != "" {

@@ -12,6 +12,8 @@
 //	\set key value     session option (timeout, policy, shard_timeout)
 //	\insert tab v1,v2  append a row (values parsed as SQL literals)
 //	\stream <stmt>     progressive delivery, one row per line
+//	\stats             server status: counters, buffer-pool hit rate,
+//	                   WAL size, per-shard segment bytes
 //	\q                 quit
 //
 // PREPARE name AS <stmt> / EXECUTE name / DEALLOCATE name go to the
@@ -72,6 +74,8 @@ func main() {
 			err = runInsert(c, strings.TrimPrefix(line, `\insert `))
 		case strings.HasPrefix(line, `\stream `):
 			err = runStream(c, strings.TrimPrefix(line, `\stream `))
+		case line == `\stats`:
+			err = runStats(c)
 		default:
 			err = runQuery(c, line)
 		}
@@ -106,6 +110,24 @@ func runQuery(c *server.Client, stmt string) error {
 	fmt.Printf("(%d rows, snapshot v%d over %d rows)\n", rs.Len(), rs.Header.SnapVersion, rs.Header.SnapLen)
 	if rs.Partial != "" {
 		fmt.Println("partial:", rs.Partial)
+	}
+	return nil
+}
+
+// runStats renders a server status report, aligned key/value per line.
+func runStats(c *server.Client) error {
+	stats, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	width := 0
+	for _, s := range stats {
+		if len(s.Key) > width {
+			width = len(s.Key)
+		}
+	}
+	for _, s := range stats {
+		fmt.Printf("%-*s  %s\n", width, s.Key, s.Val)
 	}
 	return nil
 }

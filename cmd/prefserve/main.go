@@ -5,13 +5,23 @@
 //
 // Usage:
 //
-//	prefserve -addr :5477 -demo                 # synthetic car/trips tables
-//	prefserve -addr :5477 -data ./tables        # every *.csv becomes a table
+//	prefserve -addr :5477 -demo                 # in-memory synthetic tables
+//	prefserve -addr :5477 -data ./db            # open (or create) a persistent store
+//	prefserve -addr :5477 -data ./db -demo      # seed a fresh store with the demo tables
+//	prefserve -addr :5477 -data ./tables        # legacy: every *.csv becomes an in-memory table
 //	prefserve -demo -shards 4                   # shard the demo car table
+//
+// A -data directory holding a store catalog (catalog.json) is served
+// from disk: tables page through a buffer pool (-pool-mb), inserts are
+// WAL-logged before they apply, and a restart recovers the exact
+// durable prefix. A directory of *.csv files keeps the historical
+// behavior — loaded in memory, nothing persists. An empty or missing
+// directory becomes a fresh store (seed it with -demo).
 //
 // SIGTERM/SIGINT drain gracefully: the listener closes, sessions refuse
 // new statements with a SHUTDOWN error, in-flight queries finish (up to
-// -drain-timeout), then the process exits.
+// -drain-timeout), then the store is checkpointed and closed so the
+// next start recovers without WAL replay.
 package main
 
 import (
@@ -33,11 +43,14 @@ import (
 func main() {
 	var (
 		addr         = flag.String("addr", ":5477", "listen address")
-		dataDir      = flag.String("data", "", "directory of *.csv tables")
+		dataDir      = flag.String("data", "", "persistent store directory (or a directory of *.csv tables)")
 		demo         = flag.Bool("demo", false, "load built-in synthetic car and trips tables")
 		rows         = flag.Int("rows", 5000, "row count for -demo data")
 		seed         = flag.Int64("seed", 42, "seed for -demo data")
 		shards       = flag.Int("shards", 0, "shard the demo car table across N shards (0 = flat)")
+		poolMB       = flag.Int("pool-mb", 64, "buffer-pool budget for a persistent store, MiB")
+		syncWAL      = flag.Bool("sync-wal", false, "fsync the WAL on every insert (durability over throughput)")
+		ckptRows     = flag.Int("checkpoint-rows", 4096, "auto-checkpoint a shard after this many WAL-tail rows (0 = manual)")
 		maxInFlight  = flag.Int("max-inflight", 16, "admission: max concurrently evaluating queries")
 		queueTimeout = flag.Duration("queue-timeout", 250*time.Millisecond, "admission: queue wait before shedding")
 		timeout      = flag.Duration("timeout", 0, "default per-query deadline (0 = none)")
@@ -46,30 +59,60 @@ func main() {
 	flag.Parse()
 
 	cat := psql.Catalog{}
-	if *demo {
+	var st *relation.Store
+	if *dataDir != "" {
+		csvs, err := filepath.Glob(filepath.Join(*dataDir, "*.csv"))
+		if err != nil {
+			fatal(err)
+		}
+		if len(csvs) > 0 {
+			// Legacy mode: a directory of CSV files, loaded in memory.
+			for _, p := range csvs {
+				rel, err := relation.LoadCSVFile(p)
+				if err != nil {
+					fatal(err)
+				}
+				cat[rel.Name()] = rel
+			}
+		} else {
+			st, err = relation.OpenStore(*dataDir, relation.StoreOptions{
+				PoolBytes:      int64(*poolMB) << 20,
+				SyncWAL:        *syncWAL,
+				AutoCheckpoint: *ckptRows,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			for name, tbl := range st.Tables() {
+				cat[name] = tbl
+			}
+			fmt.Fprintf(os.Stderr, "prefserve: store %s (%d tables, pool %d MiB)\n",
+				*dataDir, len(cat), *poolMB)
+		}
+	}
+	if *demo && (st == nil || len(cat) == 0) {
 		car := workload.Cars(*rows, *seed)
+		var carTbl relation.Table = car
 		if *shards > 0 {
 			sh, err := relation.ShardRelation(car, *shards, relation.ByHash("oid"))
 			if err != nil {
 				fatal(err)
 			}
-			cat["car"] = sh
-		} else {
-			cat["car"] = car
+			carTbl = sh
 		}
-		cat["trips"] = workload.Trips(*rows, *seed)
-	}
-	if *dataDir != "" {
-		paths, err := filepath.Glob(filepath.Join(*dataDir, "*.csv"))
-		if err != nil {
-			fatal(err)
-		}
-		for _, p := range paths {
-			rel, err := relation.LoadCSVFile(p)
-			if err != nil {
-				fatal(err)
+		trips := workload.Trips(*rows, *seed)
+		if st != nil {
+			// Seed the fresh store: the demo tables become persistent.
+			for _, tbl := range []relation.Table{carTbl, trips} {
+				ptbl, err := st.ImportTable(tbl)
+				if err != nil {
+					fatal(err)
+				}
+				cat[ptbl.Name()] = ptbl
 			}
-			cat[rel.Name()] = rel
+		} else {
+			cat["car"] = carTbl
+			cat["trips"] = trips
 		}
 	}
 	if len(cat) == 0 {
@@ -84,6 +127,9 @@ func main() {
 		QueueTimeout:   *queueTimeout,
 		DefaultTimeout: *timeout,
 	})
+	if st != nil {
+		srv.SetStatus(server.StoreStatus(st))
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
@@ -104,6 +150,14 @@ func main() {
 	m := srv.Metrics()
 	fmt.Fprintf(os.Stderr, "prefserve: drained: %d sessions, %d queries (%d errors, %d shed), %d inserts\n",
 		m.Sessions, m.Queries, m.Errors, m.Overloads, m.Inserts)
+	if st != nil {
+		// Checkpoint and close after the drain: the WAL tails fold into
+		// fresh epochs, so the next start opens without replay.
+		if err := st.Close(); err != nil {
+			fatal(fmt.Errorf("prefserve: store close: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "prefserve: store flushed\n")
+	}
 }
 
 func fatal(err error) {

@@ -255,7 +255,7 @@ func GroupByIndicesOn(p pref.Preference, groupAttrs []string, r *relation.Relati
 			return decomposed(p, r, idx)
 		case Auto:
 			if len(idx) >= smallInput && stats == nil {
-				stats = relation.AnalyzeSample(r, Env{}.sampleLimit())
+				stats = cachedStats(r, Env{}.sampleLimit())
 			}
 			pl := planCore(p, r, len(idx), Env{Stats: stats})
 			return execute(pl.Algorithm, pl.Workers, p, r, c, idx, nil)

@@ -248,7 +248,7 @@ func planCore(p pref.Preference, r *relation.Relation, n int, env Env) *Plan {
 
 	stats := env.Stats
 	if stats == nil && r != nil {
-		stats = relation.AnalyzeSample(r, env.sampleLimit())
+		stats = cachedStats(r, env.sampleLimit())
 	}
 	pl.Stats = stats
 	s := estimateResult(p, n, stats)

@@ -39,6 +39,22 @@ import (
 
 func init() {
 	relation.RegisterInsertHook(maintainResultCache)
+	relation.RegisterDisplacedHook(evictDisplacedShards)
+}
+
+// evictDisplacedShards sweeps every cache keyed by a shard identity a
+// Reshard displaced: compiled preference and filter bound forms, rank
+// score/perm vectors and memoized BMO maxima all key by (shard
+// relation, version), and the displaced shards are unreachable from
+// the table afterwards — without the sweep their entries (including
+// stale maxima) survive until capacity eviction. Registered as a
+// relation.DisplacedHook so the sweep runs inside Reshard itself,
+// for every caller, not just the ones that remember to use the
+// returned displaced list.
+func evictDisplacedShards(shards []*relation.Relation) {
+	for _, sh := range shards {
+		EvictRelation(sh)
+	}
 }
 
 // maintainResultCache carries every cached result of r's superseded

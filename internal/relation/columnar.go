@@ -50,16 +50,53 @@ func (g *generation) floatColumn(schema *Schema, name string) (vals []float64, o
 		return nil, nil, false
 	}
 	g.colMu.Lock()
-	defer g.colMu.Unlock()
-	if g.floatCols == nil {
-		g.floatCols = make(map[int]*floatColumn, schema.Len())
-	}
 	col, hit := g.floatCols[ci]
+	g.colMu.Unlock()
 	if !hit {
-		col = buildFloatColumn(g.rows, ci)
-		g.floatCols[ci] = col
+		// Build outside colMu: the paged paths re-enter the lock via
+		// all(), and a racing duplicate build is identical and harmless
+		// (the first store wins).
+		col = g.deriveFloatColumn(ci)
+		g.colMu.Lock()
+		if g.floatCols == nil {
+			g.floatCols = make(map[int]*floatColumn, schema.Len())
+		}
+		if exist, ok := g.floatCols[ci]; ok {
+			col = exist
+		} else {
+			g.floatCols[ci] = col
+		}
+		g.colMu.Unlock()
 	}
 	return col.vals, col.onScale, true
+}
+
+// deriveFloatColumn produces one column's typed array for this
+// generation. A paged generation with no in-memory tail serves the
+// epoch's mmap'd segment directly — zero copies, the kernel pages the
+// bytes in on first touch — which is the property that keeps the
+// compiled hot path at in-memory speed on beyond-RAM tables. With a
+// tail, the segment prefix is copied once and extended; without a
+// base, this is the classic in-memory build.
+func (g *generation) deriveFloatColumn(ci int) *floatColumn {
+	if g.base == nil {
+		return buildFloatColumn(g.rows, ci)
+	}
+	vals, mask, ok := g.base.floats(ci)
+	if !ok {
+		return buildFloatColumn(g.all(), ci)
+	}
+	if len(g.rows) == 0 {
+		return &floatColumn{vals: vals, onScale: mask}
+	}
+	tail := buildFloatColumn(g.rows, ci)
+	n := g.nrows()
+	col := &floatColumn{vals: make([]float64, n), onScale: make([]bool, n)}
+	bn := copy(col.vals, vals)
+	copy(col.onScale, mask)
+	copy(col.vals[bn:], tail.vals)
+	copy(col.onScale[bn:], tail.onScale)
+	return col
 }
 
 // buildFloatColumn materializes one column: the only place a per-row type
@@ -101,16 +138,38 @@ func (g *generation) eqColumn(schema *Schema, name string) ([]uint32, bool) {
 		return nil, false
 	}
 	g.colMu.Lock()
-	defer g.colMu.Unlock()
-	if g.eqCols == nil {
-		g.eqCols = make(map[int][]uint32, schema.Len())
-	}
 	codes, hit := g.eqCols[ci]
+	g.colMu.Unlock()
 	if !hit {
-		codes = buildEqColumn(g.rows, ci)
-		g.eqCols[ci] = codes
+		codes = g.deriveEqColumn(ci)
+		g.colMu.Lock()
+		if g.eqCols == nil {
+			g.eqCols = make(map[int][]uint32, schema.Len())
+		}
+		if exist, ok := g.eqCols[ci]; ok {
+			codes = exist
+		} else {
+			g.eqCols[ci] = codes
+		}
+		g.colMu.Unlock()
 	}
 	return codes, true
+}
+
+// deriveEqColumn produces one column's equality codes. A paged
+// generation with no tail serves the epoch's persisted dictionary
+// image directly (codes are opaque — only equality between them
+// matters, so the checkpointed assignment is as good as a fresh one);
+// any tail forces a full rebuild over the materialized rows, which the
+// next checkpoint amortizes away again.
+func (g *generation) deriveEqColumn(ci int) []uint32 {
+	if g.base == nil {
+		return buildEqColumn(g.rows, ci)
+	}
+	if codes, ok := g.base.eq(ci); ok && len(g.rows) == 0 {
+		return codes
+	}
+	return buildEqColumn(g.all(), ci)
 }
 
 // buildEqColumn dictionary-codes one column with type-native keys — no

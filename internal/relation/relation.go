@@ -148,8 +148,18 @@ type Row []pref.Value
 // Reclamation is epoch-based by construction: a superseded generation's
 // arrays live until the last pinned reader drops it, then the garbage
 // collector retires the epoch — there is no eager free to race against.
+//
+// A persistent relation's generation additionally carries a base: the
+// immutable on-disk prefix (a checkpointed segment epoch, rows decoded
+// on demand through the store's buffer pool, column arrays served as
+// mmap'd views). rows then holds only the in-memory tail appended since
+// the last checkpoint — the rows the WAL would replay after a crash.
+// Snapshot pinning extends naturally: a pinned generation keeps its
+// base (and therefore its epoch's mappings) reachable until the last
+// reader drops it, and the store only unmaps epochs at Close.
 type generation struct {
-	rows    []Row
+	base    *pagedBase // persisted immutable prefix; nil = fully in-memory
+	rows    []Row      // all rows when base == nil, the tail beyond it otherwise
 	version uint64
 
 	// Derived caches, built lazily from rows under colMu. The rows are
@@ -159,12 +169,57 @@ type generation struct {
 	floatCols map[int]*floatColumn
 	eqCols    map[int][]uint32
 	groupCols map[string][]uint32
+	mat       []Row // memoized base+tail materialization (base != nil only)
 
 	// snap memoizes the frozen Snapshot view of this generation, so every
 	// session pinning the same version shares one *Relation identity and
 	// the bound-form caches (keyed by source pointer) hit across sessions.
 	snapMu sync.Mutex
 	snap   *Relation
+}
+
+// nrows returns the generation's total row count (base plus tail).
+func (g *generation) nrows() int {
+	if g.base != nil {
+		return g.base.n() + len(g.rows)
+	}
+	return len(g.rows)
+}
+
+// row returns row i, decoding a base page through the buffer pool when
+// the generation has a persisted prefix. Base reads panic on I/O or
+// checksum failure — the row store is the authoritative copy, and a
+// read API without error returns cannot degrade more gracefully than
+// failing loudly (the serving layer's panic containment turns this
+// into a query error, not a crash).
+func (g *generation) row(i int) Row {
+	if g.base != nil {
+		if bn := g.base.n(); i < bn {
+			return g.base.row(i)
+		}
+		return g.rows[i-g.base.n()]
+	}
+	return g.rows[i]
+}
+
+// all returns the generation's full row slice. For in-memory
+// generations it is the row slice itself; for paged generations the
+// base is materialized through the pool once and memoized, so the
+// interpreted full-scan paths (Select, Project, Clone, CSV export)
+// keep working against persistent relations at one decode per
+// generation. Callers must not modify the result.
+func (g *generation) all() []Row {
+	if g.base == nil {
+		return g.rows
+	}
+	g.colMu.Lock()
+	defer g.colMu.Unlock()
+	if g.mat == nil {
+		rows := make([]Row, 0, g.nrows())
+		rows = g.base.appendAll(rows)
+		g.mat = append(rows, g.rows...)
+	}
+	return g.mat
 }
 
 // Relation is an in-memory database set R(B1, …, Bm). Storage is
@@ -182,6 +237,12 @@ type Relation struct {
 
 	mu  sync.Mutex // serializes mutators (Insert, SortBy)
 	gen atomic.Pointer[generation]
+
+	// persist, when non-nil, ties the relation to a shard directory of
+	// a Store: Insert write-ahead-logs before publishing, SortBy
+	// rewrites the epoch, and checkpoints fold the tail into a fresh
+	// segment epoch. Nil for ordinary in-memory relations.
+	persist *shardPersist
 }
 
 // New creates an empty relation with the given name and schema.
@@ -219,7 +280,7 @@ func (r *Relation) Name() string { return r.name }
 func (r *Relation) Schema() *Schema { return r.schema }
 
 // Len returns the row count, card(R).
-func (r *Relation) Len() int { return len(r.cur().rows) }
+func (r *Relation) Len() int { return r.cur().nrows() }
 
 // Version returns the relation's mutation counter: it increases on every
 // row mutation (Insert, SortBy) and never otherwise. Compile caches key
@@ -290,10 +351,12 @@ func (r *Relation) PeekSnapshot() (*Relation, bool) {
 func (r *Relation) Ephemeral() bool { return r.derived }
 
 // Row returns row i; callers must not modify it.
-func (r *Relation) Row(i int) Row { return r.cur().rows[i] }
+func (r *Relation) Row(i int) Row { return r.cur().row(i) }
 
-// Rows returns all rows; callers must not modify the slice.
-func (r *Relation) Rows() []Row { return r.cur().rows }
+// Rows returns all rows; callers must not modify the slice. For a
+// persistent relation this materializes (and memoizes) the paged base
+// through the buffer pool.
+func (r *Relation) Rows() []Row { return r.cur().all() }
 
 // ErrFrozen is returned by mutators invoked on a Snapshot view.
 var ErrFrozen = fmt.Errorf("relation: snapshot views are read-only")
@@ -336,6 +399,37 @@ func runInsertHooks(r *Relation, oldVersion uint64, newIdx int) {
 	}
 }
 
+// DisplacedHook observes shard relations displaced by a Reshard: the
+// old shard list whose rows were redistributed into fresh shards. The
+// displaced relations are unreachable from the table afterwards (only
+// pinned snapshots still address them), so every cache keyed by their
+// identity — compiled bound forms, rank score/perm vectors, memoized
+// BMO maxima — must be swept or it holds stale entries until capacity
+// eviction. The engine registers one that runs its full per-relation
+// eviction sweep (see engine.EvictRelation).
+type DisplacedHook func(shards []*Relation)
+
+var displacedHooks []DisplacedHook // guarded by hookMu
+
+// RegisterDisplacedHook installs a hook invoked with the displaced
+// shard list of every Reshard. Registration is append-only, like
+// RegisterInsertHook.
+func RegisterDisplacedHook(h DisplacedHook) {
+	hookMu.Lock()
+	displacedHooks = append(displacedHooks, h)
+	hookMu.Unlock()
+}
+
+// runDisplacedHooks fires the registered displaced-shard hooks.
+func runDisplacedHooks(shards []*Relation) {
+	hookMu.RLock()
+	hooks := displacedHooks
+	hookMu.RUnlock()
+	for _, h := range hooks {
+		h(shards)
+	}
+}
+
 // Insert appends a row after type-checking every value against the
 // schema, publishing a successor generation. Concurrent Inserts are safe
 // (they serialize on the relation's writer lock), and concurrent readers
@@ -356,11 +450,26 @@ func (r *Relation) Insert(row Row) error {
 	}
 	r.mu.Lock()
 	g := r.cur()
-	r.gen.Store(&generation{
-		rows:    append(g.rows, append(Row(nil), row...)),
+	stored := append(Row(nil), row...)
+	if r.persist != nil {
+		// Write-ahead: the row must be durable in the WAL before the
+		// successor generation publishes. A failed append leaves both
+		// the disk and the in-memory state at the old generation.
+		if err := r.persist.logInsert(stored); err != nil {
+			r.mu.Unlock()
+			return fmt.Errorf("relation %s: %w", r.name, err)
+		}
+	}
+	ng := &generation{
+		base:    g.base,
+		rows:    append(g.rows, stored),
 		version: g.version + 1,
-	})
-	runInsertHooks(r, g.version, len(g.rows))
+	}
+	r.gen.Store(ng)
+	runInsertHooks(r, g.version, g.nrows())
+	if r.persist != nil {
+		r.persist.maybeCheckpointLocked(r, ng)
+	}
 	r.mu.Unlock()
 	return nil
 }
@@ -377,12 +486,12 @@ func (r *Relation) MustInsert(rows ...Row) *Relation {
 
 // Tuple returns the pref.Tuple view of row i.
 func (r *Relation) Tuple(i int) pref.Tuple {
-	return rowTuple{schema: r.schema, row: r.cur().rows[i]}
+	return rowTuple{schema: r.schema, row: r.cur().row(i)}
 }
 
 // Tuples returns pref.Tuple views of every row.
 func (r *Relation) Tuples() []pref.Tuple {
-	rows := r.cur().rows
+	rows := r.cur().all()
 	out := make([]pref.Tuple, len(rows))
 	for i, row := range rows {
 		out[i] = rowTuple{schema: r.schema, row: row}
@@ -421,7 +530,7 @@ func FromRows(name string, schema *Schema, rows []Row) (*Relation, error) {
 // evaluation per row; predicates expressible as a filter.Pred tree should
 // go through Where, which binds to the cached column arrays instead.
 func (r *Relation) Select(pred func(pref.Tuple) bool) *Relation {
-	rows := r.cur().rows
+	rows := r.cur().all()
 	var kept []Row
 	for _, row := range rows {
 		if pred(rowTuple{schema: r.schema, row: row}) {
@@ -451,10 +560,10 @@ func (r *Relation) WhereIndices(pred filter.Pred) []int {
 
 // Pick returns a new relation containing the rows at the given indices.
 func (r *Relation) Pick(indices []int) *Relation {
-	src := r.cur().rows
+	g := r.cur()
 	rows := make([]Row, 0, len(indices))
 	for _, i := range indices {
-		rows = append(rows, src[i])
+		rows = append(rows, g.row(i))
 	}
 	return newDerived(r.name, r.schema, rows)
 }
@@ -476,7 +585,7 @@ func (r *Relation) Project(attrs []string) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	src := r.cur().rows
+	src := r.cur().all()
 	rows := make([]Row, 0, len(src))
 	for _, row := range src {
 		proj := make(Row, len(idx))
@@ -498,7 +607,7 @@ func (r *Relation) DistinctProject(attrs []string) (*Relation, error) {
 	}
 	seen := make(map[string]struct{}, proj.Len())
 	var rows []Row
-	for i, row := range proj.cur().rows {
+	for i, row := range proj.cur().all() {
 		k := pref.ProjectionKey(proj.Tuple(i), attrs)
 		if _, dup := seen[k]; dup {
 			continue
@@ -511,7 +620,7 @@ func (r *Relation) DistinctProject(attrs []string) (*Relation, error) {
 
 // DistinctCount returns card(π_A(R)) without materializing the projection.
 func (r *Relation) DistinctCount(attrs []string) int {
-	rows := r.cur().rows
+	rows := r.cur().all()
 	seen := make(map[string]struct{}, len(rows))
 	for _, row := range rows {
 		seen[pref.ProjectionKey(rowTuple{schema: r.schema, row: row}, attrs)] = struct{}{}
@@ -538,7 +647,7 @@ func (r *Relation) GroupsOn(attrs []string, idx []int) [][]int {
 	codes := g.groupKeys(r.schema, attrs)
 	n := len(idx)
 	if idx == nil {
-		n = len(g.rows)
+		n = g.nrows()
 	}
 	at := func(k int) int {
 		if idx == nil {
@@ -591,7 +700,7 @@ func (r *Relation) GroupKeys(attrs []string) []uint32 {
 // the second store is harmless.
 func (g *generation) groupKeys(schema *Schema, attrs []string) []uint32 {
 	if len(attrs) == 0 {
-		return make([]uint32, len(g.rows))
+		return make([]uint32, g.nrows())
 	}
 	if len(attrs) == 1 {
 		return g.attrCodes(schema, attrs[0])
@@ -610,7 +719,7 @@ func (g *generation) groupKeys(schema *Schema, attrs []string) []uint32 {
 	for _, a := range attrs[1:] {
 		next := g.attrCodes(schema, a)
 		pair := make(map[uint64]uint32, 16)
-		combined := make([]uint32, len(g.rows))
+		combined := make([]uint32, g.nrows())
 		n := uint32(1)
 		for i := range combined {
 			k := uint64(acc[i])<<32 | uint64(next[i])
@@ -641,10 +750,10 @@ func (g *generation) attrCodes(schema *Schema, attr string) []uint32 {
 	if codes, ok := g.eqColumn(schema, attr); ok {
 		return codes
 	}
-	codes := make([]uint32, len(g.rows))
+	codes := make([]uint32, g.nrows())
 	dict := make(map[string]uint32)
 	next := uint32(1)
-	for i, row := range g.rows {
+	for i, row := range g.all() {
 		v, ok := rowTuple{schema: schema, row: row}.Get(attr)
 		if !ok {
 			codes[i] = 0
@@ -673,7 +782,7 @@ func (r *Relation) SortBy(less func(a, b pref.Tuple) bool) {
 	}
 	r.mu.Lock()
 	g := r.cur()
-	rows := slices.Clone(g.rows)
+	rows := slices.Clone(g.all())
 	slices.SortStableFunc(rows, func(a, b Row) int {
 		ta := rowTuple{schema: r.schema, row: a}
 		tb := rowTuple{schema: r.schema, row: b}
@@ -685,6 +794,18 @@ func (r *Relation) SortBy(less func(a, b pref.Tuple) bool) {
 		}
 		return 0
 	})
+	if r.persist != nil {
+		// Crash-safe reorder: write the sorted rows as a fresh epoch and
+		// publish it atomically (temp epoch + metadata rename). A crash
+		// recovers to either the old or the new order, never a mix; a
+		// plain write failure degrades to an in-memory-only sort that the
+		// next successful checkpoint persists.
+		if ng, err := r.persist.rewriteLocked(rows, g.version+1); err == nil {
+			r.gen.Store(ng)
+			r.mu.Unlock()
+			return
+		}
+	}
 	r.gen.Store(&generation{rows: rows, version: g.version + 1})
 	r.mu.Unlock()
 }
@@ -693,7 +814,7 @@ func (r *Relation) SortBy(less func(a, b pref.Tuple) bool) {
 // original's ephemerality but is never frozen (it shares nothing with
 // the original, so it is freely mutable).
 func (r *Relation) Clone() *Relation {
-	src := r.cur().rows
+	src := r.cur().all()
 	rows := make([]Row, len(src))
 	for i, row := range src {
 		rows[i] = append(Row(nil), row...)
@@ -711,7 +832,7 @@ func (r *Relation) String() string {
 	for i, n := range names {
 		widths[i] = len(n)
 	}
-	rows := r.cur().rows
+	rows := r.cur().all()
 	cells := make([][]string, len(rows))
 	for i, row := range rows {
 		cells[i] = make([]string, len(row))

@@ -420,14 +420,24 @@ func (s *Sharded) Flatten() *Relation {
 }
 
 // Reshard redistributes every row into nShards fresh shards under a new
-// partitioner and returns the displaced shard relations, so callers can
-// evict their cached bound forms (see engine.EvictSharded); the sharded
+// partitioner and returns the displaced shard relations; the sharded
 // table keeps its identity. Global row ids are NOT stable across a
 // Reshard — it is the one operation that re-addresses rows. Pinned
-// Snapshots keep addressing the displaced shards.
+// Snapshots keep addressing the displaced shards. Every registered
+// DisplacedHook fires with the displaced shard list before Reshard
+// returns, so caches keyed by the old shard identities (bound forms,
+// rank score/perm vectors, memoized BMO maxima) are swept eagerly —
+// callers no longer need to remember the eviction themselves, though
+// the displaced list is still returned for them. Persistent tables
+// (opened through a Store) cannot be resharded in place: their shard
+// directories are the unit of recovery, so redistribution goes through
+// Store.ImportTable into a new table instead.
 func (s *Sharded) Reshard(nShards int, part Partitioner) ([]*Relation, error) {
 	if s.frozen {
 		return nil, fmt.Errorf("relation %s: %w", s.name, ErrFrozen)
+	}
+	if sh := s.state.Load().shards; len(sh) > 0 && sh[0].persist != nil {
+		return nil, fmt.Errorf("relation %s: persistent tables cannot be resharded in place", s.name)
 	}
 	if nShards < 1 || nShards > maxShards {
 		return nil, fmt.Errorf("relation %s: shard count %d outside [1, %d]", s.name, nShards, maxShards)
@@ -459,6 +469,7 @@ func (s *Sharded) Reshard(nShards int, part Partitioner) ([]*Relation, error) {
 	}
 	s.state.Store(&shardState{part: part, shards: next})
 	s.mutations.Add(1)
+	runDisplacedHooks(st.shards)
 	return st.shards, nil
 }
 

@@ -86,6 +86,13 @@ func Analyze(r *Relation) *Stats { return AnalyzeSample(r, r.Len()) }
 // sample rows. Min/max and sortedness always use the full scan — they are
 // O(n) with trivial constants, and sortedness is meaningless on a sample.
 // A non-positive sample analyzes every row.
+//
+// Numeric columns are analyzed through their typed arrays (FloatColumn):
+// on a paged relation those are the mmap'd segment vectors, so analysis
+// never decodes row pages for them. Only columns without a float image
+// (STRING, BOOL, TIME) take the row path, and that path decodes each row
+// once for all of them together — the per-(row, column) decode storm the
+// naive column-major scan would cost on disk-backed tables.
 func AnalyzeSample(r *Relation, sample int) *Stats {
 	n := r.Len()
 	if sample <= 0 || sample > n {
@@ -97,18 +104,101 @@ func AnalyzeSample(r *Relation, sample int) *Stats {
 		stride = (n + sample - 1) / sample
 	}
 
+	cols := r.Schema().Columns()
+	stats := make([]ColStats, len(cols))
 	numericIdx := []int{}
-	for ci, col := range r.Schema().Columns() {
-		cs := ColStats{
+	var vecs [][]float64 // typed arrays of the numeric columns, for corr
+	var masks [][]bool
+	var rowCols []int // columns only the row pass can serve
+	for ci, col := range cols {
+		stats[ci] = ColStats{
 			Name:      col.Name,
 			Type:      col.Type,
 			SortedAsc: true, SortedDesc: true,
 		}
-		distinct := make(map[pref.Value]struct{})
-		var prev pref.Value
-		havePrev := false
-		for i := 0; i < n; i++ {
-			v := r.Row(i)[ci]
+		if col.Type == Int || col.Type == Float {
+			numericIdx = append(numericIdx, ci)
+			if vals, mask, ok := r.FloatColumn(col.Name); ok {
+				vecs, masks = append(vecs, vals), append(masks, mask)
+				analyzeFloats(&stats[ci], vals, mask, stride)
+				continue
+			}
+			vecs, masks = append(vecs, nil), append(masks, nil)
+		}
+		rowCols = append(rowCols, ci)
+	}
+
+	if len(rowCols) > 0 {
+		analyzeRows(r, rowCols, stats, stride)
+	}
+	s.Cols = stats
+	for ci, col := range cols {
+		s.byName[col.Name] = ci
+	}
+	s.Sampled = 0
+	for i := 0; i < n; i += stride {
+		s.Sampled++
+	}
+	s.Corr, s.HasCorr = meanPairwiseCorr(r, numericIdx, vecs, masks, stride)
+	return s
+}
+
+// analyzeFloats fills one column's statistics from its typed array:
+// full-scan min/max and physical order over the on-scale values, distinct
+// counting on the stride sample. NaN compares unordered against
+// everything (matching pref.CompareValues), so it never breaks
+// sortedness; off-scale entries are NULLs for INT/FLOAT columns and form
+// one distinct class.
+func analyzeFloats(cs *ColStats, vals []float64, mask []bool, stride int) {
+	distinct := make(map[float64]struct{})
+	sawNull := false
+	for i, v := range vals {
+		if mask[i] {
+			if !cs.HasRange || v < cs.Min {
+				cs.Min = v
+			}
+			if !cs.HasRange || v > cs.Max {
+				cs.Max = v
+			}
+			cs.HasRange = true
+		}
+		if i%stride == 0 {
+			if mask[i] {
+				distinct[v] = struct{}{}
+			} else {
+				sawNull = true
+			}
+		}
+		if i > 0 && (cs.SortedAsc || cs.SortedDesc) && mask[i] && mask[i-1] {
+			if vals[i-1] > v {
+				cs.SortedAsc = false
+			}
+			if vals[i-1] < v {
+				cs.SortedDesc = false
+			}
+		}
+	}
+	cs.Distinct = len(distinct)
+	if sawNull {
+		cs.Distinct++
+	}
+}
+
+// analyzeRows covers the columns without a typed array in one row-major
+// pass: each row is fetched once — on a paged relation one page decode
+// serves every remaining column of the row.
+func analyzeRows(r *Relation, rowCols []int, stats []ColStats, stride int) {
+	n := r.Len()
+	distinct := make([]map[pref.Value]struct{}, len(rowCols))
+	prev := make([]pref.Value, len(rowCols))
+	for k := range distinct {
+		distinct[k] = make(map[pref.Value]struct{})
+	}
+	for i := 0; i < n; i++ {
+		row := r.Row(i)
+		for k, ci := range rowCols {
+			v := row[ci]
+			cs := &stats[ci]
 			if f, ok := pref.Numeric(v); ok {
 				if !cs.HasRange || f < cs.Min {
 					cs.Min = f
@@ -119,10 +209,10 @@ func AnalyzeSample(r *Relation, sample int) *Stats {
 				cs.HasRange = true
 			}
 			if i%stride == 0 {
-				distinct[v] = struct{}{}
+				distinct[k][v] = struct{}{}
 			}
-			if havePrev && (cs.SortedAsc || cs.SortedDesc) {
-				if c, ok := pref.CompareValues(prev, v); ok {
+			if i > 0 && (cs.SortedAsc || cs.SortedDesc) {
+				if c, ok := pref.CompareValues(prev[k], v); ok {
 					if c > 0 {
 						cs.SortedAsc = false
 					}
@@ -131,26 +221,19 @@ func AnalyzeSample(r *Relation, sample int) *Stats {
 					}
 				}
 			}
-			prev, havePrev = v, true
-		}
-		cs.Distinct = len(distinct)
-		s.byName[col.Name] = len(s.Cols)
-		s.Cols = append(s.Cols, cs)
-		if col.Type == Int || col.Type == Float {
-			numericIdx = append(numericIdx, ci)
+			prev[k] = v
 		}
 	}
-	s.Sampled = 0
-	for i := 0; i < n; i += stride {
-		s.Sampled++
+	for k, ci := range rowCols {
+		stats[ci].Distinct = len(distinct[k])
 	}
-	s.Corr, s.HasCorr = meanPairwiseCorr(r, numericIdx, stride)
-	return s
 }
 
 // meanPairwiseCorr computes the mean Pearson correlation over all pairs of
-// the given numeric columns, on every stride-th row.
-func meanPairwiseCorr(r *Relation, cols []int, stride int) (float64, bool) {
+// the given numeric columns, on every stride-th row. Columns with a typed
+// array are read from it (vecs/masks parallel cols); a nil vec falls back
+// to the row interface.
+func meanPairwiseCorr(r *Relation, cols []int, vecs [][]float64, masks [][]bool, stride int) (float64, bool) {
 	if len(cols) < 2 {
 		return 0, false
 	}
@@ -158,8 +241,18 @@ func meanPairwiseCorr(r *Relation, cols []int, stride int) (float64, bool) {
 	for i := 0; i < r.Len(); i += stride {
 		vec := make([]float64, len(cols))
 		ok := true
+		var row Row
 		for k, ci := range cols {
-			f, isNum := pref.Numeric(r.Row(i)[ci])
+			var f float64
+			var isNum bool
+			if vecs[k] != nil {
+				f, isNum = vecs[k][i], masks[k][i]
+			} else {
+				if row == nil {
+					row = r.Row(i)
+				}
+				f, isNum = pref.Numeric(row[ci])
+			}
 			if !isNum {
 				ok = false
 				break

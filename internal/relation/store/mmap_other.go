@@ -1,0 +1,21 @@
+//go:build !linux
+
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapSupported reports whether this build serves segments zero-copy;
+// non-Linux hosts always decode segments into the heap instead.
+const mmapSupported = false
+
+// mapFile is unreachable when mmapSupported is false; it exists so the
+// portable build compiles.
+func mapFile(f *os.File, size int) ([]byte, error) {
+	return nil, fmt.Errorf("store: mmap unsupported on this platform")
+}
+
+// unmapFile is the portable no-op twin of the Linux munmap.
+func unmapFile(b []byte) error { return nil }

@@ -1,0 +1,19 @@
+// Package store is the disk mechanics under relation's persistent
+// catalog: a tagged row codec shared by the write-ahead log and the row
+// pages, a CRC-framed WAL with torn-tail recovery, fixed-size columnar
+// segment files served zero-copy through mmap (with a portable heap
+// fallback), and a small buffer pool (page table, pin/unpin, clock
+// eviction, configurable byte capacity) caching decoded row pages.
+//
+// The package is deliberately below relation in the import graph — it
+// knows pref.Value and nothing else — so relation can orchestrate
+// catalogs, generations and snapshots on top of it without a cycle.
+// Layout on disk is little-endian throughout; the mmap fast path reads
+// segment files through unsafe typed views and is only correct on
+// little-endian hosts (everything this repo targets — the AVX2 kernel
+// is amd64-only anyway). Big-endian ports must set the heap fallback.
+package store
+
+// MaxWALRecord bounds one WAL record's payload so a corrupt length
+// prefix cannot drive a multi-gigabyte allocation during replay.
+const MaxWALRecord = 1 << 26

@@ -1,0 +1,196 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Write-ahead log: one file per shard, a flat sequence of CRC-framed
+// records. A record is [u32 LE payload length][u32 LE CRC-32 of the
+// payload][payload]. Appends go to the tail; recovery replays records
+// front to back and stops at the first frame that is short, oversized
+// or fails its checksum — everything before that point is the last
+// durable prefix, everything after is a torn tail from a crashed
+// writer and is truncated away. There is no in-place mutation, so the
+// only corruption a crash can produce is exactly that torn tail.
+
+// walHeaderLen is the per-record framing overhead.
+const walHeaderLen = 8
+
+// WAL is an append-only record log with torn-tail recovery.
+type WAL struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	size   int64
+	sync   bool
+	failed bool
+}
+
+// OpenWAL opens (creating if absent) the log at path, replays every
+// intact record into the returned payload list, truncates any torn
+// tail, and positions the log for appends. With syncEach set, every
+// Append fsyncs before returning.
+func OpenWAL(path string, syncEach bool) (*WAL, [][]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	var recs [][]byte
+	off := 0
+	for len(data)-off >= walHeaderLen {
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n > MaxWALRecord || len(data)-off-walHeaderLen < n {
+			break // torn or corrupt tail
+		}
+		payload := data[off+walHeaderLen : off+walHeaderLen+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		recs = append(recs, append([]byte(nil), payload...))
+		off += walHeaderLen + n
+	}
+	if int64(off) != int64(len(data)) {
+		if err := f.Truncate(int64(off)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(int64(off), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &WAL{f: f, path: path, size: int64(off), sync: syncEach}, recs, nil
+}
+
+// Append writes one record to the tail. The record is durable (modulo
+// the fsync policy) when Append returns nil; a failed append poisons
+// the log — the file may hold a torn frame, so further appends refuse
+// rather than interleave garbage, and recovery discards the tail.
+func (w *WAL) Append(payload []byte) error {
+	if len(payload) > MaxWALRecord {
+		return fmt.Errorf("store: WAL record of %d bytes exceeds limit", len(payload))
+	}
+	frame := make([]byte, walHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[walHeaderLen:], payload)
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failed {
+		return fmt.Errorf("store: WAL %s is poisoned by an earlier failed append", w.path)
+	}
+	if walFaultActive.Load() != 0 {
+		if keep, ok := takeWALFault(w.path); ok {
+			// Injected crash: only the first keep bytes of the frame
+			// reach the file — the on-disk image a writer killed
+			// mid-append leaves behind.
+			if keep > int64(len(frame)) {
+				keep = int64(len(frame))
+			}
+			if keep > 0 {
+				w.f.Write(frame[:keep])
+				w.f.Sync()
+			}
+			w.failed = true
+			return fmt.Errorf("store: WAL %s: injected crash mid-append", w.path)
+		}
+	}
+	n, err := w.f.Write(frame)
+	if err != nil {
+		w.failed = true
+		return err
+	}
+	w.size += int64(n)
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			w.failed = true
+			return err
+		}
+	}
+	return nil
+}
+
+// Size returns the log's current byte length.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Sync flushes the log to stable storage.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Sync()
+}
+
+// Close syncs and closes the log file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.f.Sync()
+	return w.f.Close()
+}
+
+// Path returns the log's file path.
+func (w *WAL) Path() string {
+	return w.path
+}
+
+// WAL fault injection, in the internal/faultinject mold: a registry
+// consulted on the append path behind one atomic load, so the no-fault
+// fast path costs nothing measurable. Tests install a fault keyed by
+// log path; the next Append on that log writes only the configured
+// byte prefix of its frame and fails as if the process died mid-write.
+var (
+	walFaultMu     sync.Mutex
+	walFaults      map[string]int64
+	walFaultActive atomic.Int32
+)
+
+// InstallWALFault arms a one-shot crash on the next Append to the log
+// at path: only keepBytes bytes of the appended frame reach the file.
+func InstallWALFault(path string, keepBytes int64) {
+	walFaultMu.Lock()
+	if walFaults == nil {
+		walFaults = make(map[string]int64)
+	}
+	if _, dup := walFaults[path]; !dup {
+		walFaultActive.Add(1)
+	}
+	walFaults[path] = keepBytes
+	walFaultMu.Unlock()
+}
+
+// ClearWALFaults disarms every installed WAL fault.
+func ClearWALFaults() {
+	walFaultMu.Lock()
+	walFaultActive.Add(-int32(len(walFaults)))
+	walFaults = nil
+	walFaultMu.Unlock()
+}
+
+// takeWALFault consumes the fault armed for path, if any.
+func takeWALFault(path string) (int64, bool) {
+	walFaultMu.Lock()
+	defer walFaultMu.Unlock()
+	keep, ok := walFaults[path]
+	if ok {
+		delete(walFaults, path)
+		walFaultActive.Add(-1)
+	}
+	return keep, ok
+}

@@ -328,6 +328,39 @@ func (c *Client) Set(key, value string) error {
 	return fmt.Errorf("client: unexpected frame %q after set", typ)
 }
 
+// Stats asks the server for a status report: its cumulative counters
+// followed by the storage tier's entries (buffer-pool hit rate, WAL
+// size, per-shard segment bytes) when the server persists to disk.
+func (c *Client) Stats() ([]wire.Stat, error) {
+	c.turn.Lock()
+	defer c.turn.Unlock()
+	if err := c.wc.WriteFrame(wire.FrameStats, nil); err != nil {
+		return nil, err
+	}
+	if err := c.wc.Flush(); err != nil {
+		return nil, err
+	}
+	var stats []wire.Stat
+	for {
+		typ, payload, err := c.readFrame()
+		if err != nil {
+			return nil, err
+		}
+		switch typ {
+		case wire.FrameError:
+			return nil, asServerError(payload)
+		case wire.FrameStatus:
+			if stats, err = wire.DecodeStatus(payload); err != nil {
+				return nil, err
+			}
+		case wire.FrameReady:
+			return stats, nil
+		default:
+			return nil, fmt.Errorf("client: unexpected frame %q after stats", typ)
+		}
+	}
+}
+
 // RawFrame sends an arbitrary frame and flushes — the protocol-abuse
 // tests craft malformed turns with it.
 func (c *Client) RawFrame(typ byte, payload []byte) error {

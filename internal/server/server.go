@@ -22,6 +22,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/psql"
 	"repro/internal/relation"
+	"repro/internal/wire"
 )
 
 // Config tunes a server.
@@ -76,6 +77,63 @@ type Server struct {
 	nErrors    atomic.Uint64
 	nOverloads atomic.Uint64
 	nInserts   atomic.Uint64
+
+	statusFn atomic.Pointer[func() []wire.Stat]
+}
+
+// SetStatus installs a storage status provider; its entries are appended
+// to every stats-frame answer after the server's own counters. The
+// persistent server wires relation.Store.Stats through it (buffer-pool
+// hit rate, resident pages, WAL size, per-shard segment bytes); an
+// in-memory server leaves it unset. Safe to call while serving.
+func (s *Server) SetStatus(fn func() []wire.Stat) {
+	if fn == nil {
+		s.statusFn.Store(nil)
+		return
+	}
+	s.statusFn.Store(&fn)
+}
+
+// statusExtra returns the provider's entries, nil when unset.
+func (s *Server) statusExtra() []wire.Stat {
+	if fn := s.statusFn.Load(); fn != nil {
+		return (*fn)()
+	}
+	return nil
+}
+
+// StoreStatus adapts a persistent store's statistics to the status
+// report: buffer-pool counters and hit rate, aggregate WAL size, then
+// per-shard segment/WAL/tail figures. prefserve installs it via
+// SetStatus when it serves from a -data directory.
+func StoreStatus(st *relation.Store) func() []wire.Stat {
+	return func() []wire.Stat {
+		stats := st.Stats()
+		p := stats.Pool
+		rate := "n/a"
+		if p.Hits+p.Misses > 0 {
+			rate = fmt.Sprintf("%.1f%%", 100*float64(p.Hits)/float64(p.Hits+p.Misses))
+		}
+		out := []wire.Stat{
+			{Key: "pool.hits", Val: fmt.Sprintf("%d", p.Hits)},
+			{Key: "pool.misses", Val: fmt.Sprintf("%d", p.Misses)},
+			{Key: "pool.hit_rate", Val: rate},
+			{Key: "pool.evictions", Val: fmt.Sprintf("%d", p.Evictions)},
+			{Key: "pool.resident_pages", Val: fmt.Sprintf("%d", p.Resident)},
+			{Key: "pool.resident_bytes", Val: fmt.Sprintf("%d", p.ResidentBytes)},
+			{Key: "pool.cap_bytes", Val: fmt.Sprintf("%d", p.CapBytes)},
+			{Key: "wal.bytes", Val: fmt.Sprintf("%d", stats.WALBytes())},
+			{Key: "segments.bytes", Val: fmt.Sprintf("%d", stats.SegmentBytes())},
+		}
+		for _, sh := range stats.Shards {
+			out = append(out,
+				wire.Stat{Key: "shard." + sh.Shard + ".segment_bytes", Val: fmt.Sprintf("%d", sh.SegmentBytes)},
+				wire.Stat{Key: "shard." + sh.Shard + ".wal_bytes", Val: fmt.Sprintf("%d", sh.WALBytes)},
+				wire.Stat{Key: "shard." + sh.Shard + ".tail_rows", Val: fmt.Sprintf("%d", sh.TailRows)},
+			)
+		}
+		return out
+	}
 }
 
 // New builds a server over the catalog. The catalog map itself must not

@@ -142,6 +142,8 @@ func (ss *session) run() {
 			ss.serveInsert(f.payload)
 		case wire.FrameSet:
 			ss.serveSet(string(f.payload))
+		case wire.FrameStats:
+			ss.serveStats()
 		default:
 			// Protocol violation: answer typed and hang up.
 			ss.sendError(wire.CodeProtocol, fmt.Sprintf("unexpected frame type %q", f.typ))
@@ -561,6 +563,26 @@ func putUint64(b []byte, v uint64) {
 	_ = b[7]
 	b[0], b[1], b[2], b[3] = byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32)
 	b[4], b[5], b[6], b[7] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+}
+
+// serveStats answers a stats frame: the server's cumulative counters
+// first, then whatever the storage provider reports (buffer-pool hit
+// rate, WAL bytes, per-shard segment sizes — see Server.SetStatus), one
+// status frame plus the turn-closing ready.
+func (ss *session) serveStats() {
+	m := ss.srv.Metrics()
+	stats := []wire.Stat{
+		{Key: "server.sessions", Val: fmt.Sprintf("%d", m.Sessions)},
+		{Key: "server.queries", Val: fmt.Sprintf("%d", m.Queries)},
+		{Key: "server.errors", Val: fmt.Sprintf("%d", m.Errors)},
+		{Key: "server.overloads", Val: fmt.Sprintf("%d", m.Overloads)},
+		{Key: "server.inserts", Val: fmt.Sprintf("%d", m.Inserts)},
+	}
+	stats = append(stats, ss.srv.statusExtra()...)
+	if err := ss.wc.WriteFrame(wire.FrameStatus, wire.EncodeStatus(stats)); err != nil {
+		return
+	}
+	ss.sendReady(wire.Ready{})
 }
 
 // serveSet applies one session option assignment.

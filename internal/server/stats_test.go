@@ -1,0 +1,81 @@
+package server
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/psql"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// TestStatsTurn pins the stats frame turn: the client's Stats() returns
+// the server counters, and with a persistent store installed via
+// SetStatus the report carries buffer-pool, WAL and per-shard segment
+// figures that move with the workload.
+func TestStatsTurn(t *testing.T) {
+	st, err := relation.OpenStore(t.TempDir(), relation.StoreOptions{PoolBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	mem := workload.Cars(500, 3)
+	tbl, err := st.ImportTable(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr := startServer(t, psql.Catalog{"car": tbl}, Config{})
+	srv.SetStatus(StoreStatus(st))
+
+	c := dialT(t, addr)
+	if _, err := c.Query("SELECT oid FROM car PREFERRING LOWEST(price)"); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]string{}
+	for _, s := range stats {
+		byKey[s.Key] = s.Val
+	}
+	if byKey["server.queries"] != "1" {
+		t.Fatalf("server.queries = %q, want 1 (report: %v)", byKey["server.queries"], stats)
+	}
+	for _, key := range []string{
+		"pool.hits", "pool.misses", "pool.hit_rate", "pool.resident_pages",
+		"pool.cap_bytes", "wal.bytes", "segments.bytes",
+		"shard.car/s0.segment_bytes", "shard.car/s0.wal_bytes", "shard.car/s0.tail_rows",
+	} {
+		if _, ok := byKey[key]; !ok {
+			t.Fatalf("report lacks %q: %v", key, stats)
+		}
+	}
+	if n, err := strconv.ParseInt(byKey["segments.bytes"], 10, 64); err != nil || n <= 0 {
+		t.Fatalf("segments.bytes = %q, want positive", byKey["segments.bytes"])
+	}
+	if n, err := strconv.ParseInt(byKey["pool.cap_bytes"], 10, 64); err != nil || n != 1<<20 {
+		t.Fatalf("pool.cap_bytes = %q, want %d", byKey["pool.cap_bytes"], 1<<20)
+	}
+
+	// The query path decodes pages through the pool, so misses+hits
+	// must have moved.
+	hits, _ := strconv.ParseInt(byKey["pool.hits"], 10, 64)
+	misses, _ := strconv.ParseInt(byKey["pool.misses"], 10, 64)
+	if hits+misses == 0 {
+		t.Fatalf("pool never touched: %v", stats)
+	}
+
+	// An in-memory server (no provider) still answers with its own
+	// counters only.
+	srv.SetStatus(nil)
+	stats, err = c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stats {
+		if s.Key == "pool.hits" {
+			t.Fatalf("provider entries survived SetStatus(nil): %v", stats)
+		}
+	}
+}

@@ -39,6 +39,10 @@ const (
 	FrameCancel = byte('C')
 	// FrameQuit announces an orderly disconnect.
 	FrameQuit = byte('X')
+	// FrameStats asks for a server status report (buffer-pool hit rate,
+	// WAL and segment sizes, session counters); the server answers with
+	// one status frame and a ready frame.
+	FrameStats = byte('A')
 )
 
 // Frame types, server to client.
@@ -63,6 +67,8 @@ const (
 	FrameError = byte('E')
 	// FrameNotice carries an asynchronous server notice (e.g. drain).
 	FrameNotice = byte('N')
+	// FrameStatus answers a stats frame: ordered key/value pairs.
+	FrameStatus = byte('V')
 )
 
 // Error codes carried by FrameError.
@@ -525,6 +531,56 @@ func DecodeReady(payload []byte) (Ready, error) {
 	}
 	partial, _, err := ReadString(payload[1:])
 	return Ready{Partial: partial}, err
+}
+
+// Stat is one status-report entry. Keys are dotted paths (e.g.
+// "pool.hits", "shard.car/0.segment_bytes"); values stay strings so the
+// report can mix counters, ratios and human-readable sizes without a
+// schema change per metric.
+type Stat struct {
+	// Key names the metric.
+	Key string
+	// Val is its rendered value.
+	Val string
+}
+
+// EncodeStatus encodes a status frame payload: count, then each entry's
+// key and value as length-prefixed strings, order preserved.
+func EncodeStatus(stats []Stat) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(stats)))
+	for _, st := range stats {
+		buf = AppendString(buf, st.Key)
+		buf = AppendString(buf, st.Val)
+	}
+	return buf
+}
+
+// DecodeStatus decodes a status frame payload.
+func DecodeStatus(payload []byte) ([]Stat, error) {
+	n, k := binary.Uvarint(payload)
+	if k <= 0 {
+		return nil, fmt.Errorf("wire: truncated status frame")
+	}
+	payload = payload[k:]
+	// Each entry costs at least two length bytes; reject absurd counts
+	// before allocating.
+	if n > uint64(len(payload)) {
+		return nil, fmt.Errorf("wire: status count %d exceeds payload", n)
+	}
+	stats := make([]Stat, n)
+	var err error
+	for i := range stats {
+		if stats[i].Key, payload, err = ReadString(payload); err != nil {
+			return nil, err
+		}
+		if stats[i].Val, payload, err = ReadString(payload); err != nil {
+			return nil, err
+		}
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes in status frame", len(payload))
+	}
+	return stats, nil
 }
 
 // EncodeInsert encodes an insert frame payload: table name plus row.

@@ -237,3 +237,31 @@ func TestConnRejectsOversizedFrame(t *testing.T) {
 		t.Fatal("zero-length frame accepted")
 	}
 }
+
+func TestStatusRoundTrip(t *testing.T) {
+	in := []Stat{
+		{Key: "pool.hits", Val: "812"},
+		{Key: "pool.hit_rate", Val: "97.3%"},
+		{Key: "shard.car/s0.segment_bytes", Val: "1048576"},
+	}
+	out, err := DecodeStatus(EncodeStatus(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("status round trip: %v != %v", out, in)
+	}
+	empty, err := DecodeStatus(EncodeStatus(nil))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty status: %v, %v", empty, err)
+	}
+	if _, err := DecodeStatus([]byte{}); err == nil {
+		t.Fatal("truncated status frame must error")
+	}
+	if _, err := DecodeStatus([]byte{200}); err == nil {
+		t.Fatal("overlong status count must error")
+	}
+	if _, err := DecodeStatus(append(EncodeStatus(in), 0)); err == nil {
+		t.Fatal("trailing bytes must error")
+	}
+}
